@@ -1,0 +1,64 @@
+// Command trio-bench regenerates the tables and figures of the Trio
+// paper's evaluation (§6) over the simulated NVM machine.
+//
+// Usage:
+//
+//	trio-bench -experiment fig5            # one experiment
+//	trio-bench -experiment all             # the whole evaluation
+//	trio-bench -experiment fig7 -quick     # shrunken sweeps (CI)
+//	trio-bench -list                       # available experiments
+//
+// The output units match the paper (GiB/s, ops/µs, kops/s, µs/op);
+// EXPERIMENTS.md records a reference run side by side with the paper's
+// numbers and discusses which shapes reproduce.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"trio/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment id (fig5..fig10, tab3, tab5, integrity, all)")
+		quick      = flag.Bool("quick", false, "shrink sweeps and op counts")
+		nocost     = flag.Bool("nocost", false, "disable the hardware cost model (functional smoke run)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	reg := experiments.Registry()
+	if *list || *experiment == "" {
+		ids := make([]string, 0, len(reg))
+		for id := range reg {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Println("available experiments:")
+		for _, id := range ids {
+			fmt.Printf("  %s\n", id)
+		}
+		if *experiment == "" && !*list {
+			fmt.Fprintln(os.Stderr, "\nuse -experiment <id>")
+			os.Exit(2)
+		}
+		return
+	}
+	fn, ok := reg[*experiment]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *experiment)
+		os.Exit(2)
+	}
+	start := time.Now()
+	err := fn(os.Stdout, experiments.Params{Quick: *quick, NoCost: *nocost})
+	fmt.Printf("\n[%s finished in %v]\n", *experiment, time.Since(start).Round(time.Millisecond))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiment failed: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,97 @@
+// Command trio-demo walks through the Fig. 2 sharing protocol end to
+// end, narrating each step: two LibFSes in different trust domains
+// share a file; one corrupts it; the verifier catches it and the
+// controller rolls the file back.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"trio/internal/core"
+	"trio/internal/nvm"
+
+	trio "trio"
+)
+
+func main() {
+	fmt.Println("== Trio sharing demo ==")
+	sys, err := trio.New(trio.Config{})
+	check(err)
+	defer sys.Close()
+
+	fmt.Println("1. App A (uid 1000) mounts its LibFS and creates /report.txt")
+	fsA, err := sys.MountArckFS(trio.Creds{UID: 1000, GID: 1000})
+	check(err)
+	a := fsA.NewClient(0)
+	f, err := a.Create("/report.txt", 0o666)
+	check(err)
+	_, err = f.WriteAt([]byte("quarterly numbers: 42"), 0)
+	check(err)
+	f.Close()
+
+	fmt.Println("2. App B (uid 2000) mounts its own LibFS and reads the file")
+	fsB, err := sys.MountArckFS(trio.Creds{UID: 2000, GID: 2000})
+	check(err)
+	b := fsB.NewClient(0)
+	g, err := b.Open("/report.txt", false)
+	check(err)
+	buf := make([]byte, 21)
+	g.ReadAt(buf, 0)
+	fmt.Printf("   B reads: %q\n", buf)
+
+	fmt.Println("3. App B takes write access (A's mapping is revoked) and edits")
+	h, err := b.Open("/report.txt", true)
+	check(err)
+	_, err = h.WriteAt([]byte("quarterly numbers: 63"), 0)
+	check(err)
+
+	fmt.Println("4. App A re-reads — its LibFS transparently remaps and rebuilds")
+	g2, err := a.Open("/report.txt", false)
+	check(err)
+	g2.ReadAt(buf, 0)
+	fmt.Printf("   A reads: %q\n", buf)
+
+	fmt.Println("5. App B now behaves maliciously: it corrupts the file's index")
+	sess := fsB.Session()
+	// Find the file and vandalize its index chain through B's own
+	// legitimately mapped pages.
+	var ino core.Ino
+	var loc core.FileLoc
+	mem := core.Direct(sys.Device(), 0)
+	for _, fi := range sys.Controller().Files() {
+		if name, err := core.ReadDirentName(mem, fi.Loc.Page, fi.Loc.Slot); err == nil && name == "report.txt" {
+			ino, loc = fi.Ino, fi.Loc
+		}
+	}
+	info, err := sess.MapFile(ino, loc, true)
+	check(err)
+	check(core.SetIndexEntry(sess.AddressSpace(), info.Inode.Head, 0, nvm.PageID(1<<40)))
+	fmt.Println("   (index entry now points outside the device)")
+
+	fmt.Println("6. B releases write access — the verifier checks the file")
+	before := sys.Controller().Stats().Snapshot()
+	sess.UnmapFile(ino)
+	delta := sys.Controller().Stats().Snapshot().Sub(before)
+	fmt.Printf("   corruption detected: %v, rollbacks: %d\n", delta.Corruptions > 0, delta.Rollbacks)
+
+	fmt.Println("7. App A maps the restored file")
+	g3, err := a.Open("/report.txt", false)
+	check(err)
+	g3.ReadAt(buf, 0)
+	fmt.Printf("   A reads: %q (the pre-corruption state)\n", buf)
+
+	checked, bad, _ := sys.VerifyAll()
+	fmt.Printf("8. Full verification: %d files checked, %d bad\n", checked, bad)
+	if bad != 0 {
+		os.Exit(1)
+	}
+	fmt.Println("== demo complete: corruption confined to the app that caused it ==")
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "demo failed:", err)
+		os.Exit(1)
+	}
+}

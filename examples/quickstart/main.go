@@ -1,0 +1,70 @@
+// Quickstart: mount ArckFS on a simulated NVM device, do ordinary file
+// work through the POSIX-like API, and verify the tree's integrity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	trio "trio"
+)
+
+func main() {
+	// One "machine": simulated NVM + kernel controller + verifier.
+	sys, err := trio.New(trio.Config{Nodes: 2, PagesPerNode: 8192})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// One application's LibFS. Everything below runs in "userspace":
+	// no kernel crossing per operation.
+	fs, err := sys.MountArckFS(trio.Creds{UID: 1000, GID: 1000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := fs.NewClient(0)
+
+	if err := c.Mkdir("/notes", 0o755); err != nil {
+		log.Fatal(err)
+	}
+	f, err := c.Create("/notes/today.md", 0o644)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("# NVM file systems\n- direct access\n- verified sharing\n"), 0); err != nil {
+		log.Fatal(err)
+	}
+	// Appends return the offset they landed at.
+	at, err := f.Append([]byte("- unprivileged customization\n"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("appended at offset %d, file is now %d bytes\n", at, f.Size())
+
+	buf := make([]byte, f.Size())
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("---\n%s---\n", buf)
+
+	names, err := c.ReadDir("/notes")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("listing /notes:", names)
+
+	st, err := c.Stat("/notes/today.md")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stat: name=%s size=%d mode=%o\n", st.Name, st.Size, st.Mode)
+
+	if err := c.Rename("/notes/today.md", "/notes/archive.md"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("renamed to /notes/archive.md")
+
+	checked, bad, first := sys.VerifyAll()
+	fmt.Printf("integrity verifier: %d files checked, %d violations %s\n", checked, bad, first)
+}

@@ -1,0 +1,3 @@
+module trio
+
+go 1.22

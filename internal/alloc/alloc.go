@@ -1,0 +1,348 @@
+// Package alloc implements the DRAM-resident NVM page allocator and
+// inode-number allocator (paper §4.5): free space is kept in red-black
+// trees of extents, sharded per CPU so that allocation scales, exactly
+// as in NOVA/WineFS — with the difference that in Trio the allocator
+// state is auxiliary: it can always be rebuilt by scanning which pages
+// the existing files reference.
+package alloc
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"trio/internal/nvm"
+	"trio/internal/rbtree"
+)
+
+// PageAlloc hands out NVM pages from a fixed range [lo, hi). The range
+// is split into one shard per CPU; a CPU allocates from its home shard
+// and steals from neighbours when empty. Freed pages return to the
+// shard owning their address so extents re-coalesce.
+type PageAlloc struct {
+	lo, hi nvm.PageID
+	shards []allocShard
+	free   atomic.Int64
+}
+
+type allocShard struct {
+	mu sync.Mutex
+	// extents maps extent start -> page count.
+	extents rbtree.Tree[uint64]
+	lo, hi  nvm.PageID
+	_       [32]byte // soften false sharing between shard locks
+}
+
+// NewPageAlloc creates an allocator over [lo, hi) with the given shard
+// (CPU) count.
+func NewPageAlloc(lo, hi nvm.PageID, cpus int) *PageAlloc {
+	if cpus <= 0 {
+		cpus = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	total := int(hi - lo)
+	if total < cpus {
+		cpus = 1
+	}
+	a := &PageAlloc{lo: lo, hi: hi, shards: make([]allocShard, cpus)}
+	per := total / cpus
+	start := lo
+	for i := range a.shards {
+		end := start + nvm.PageID(per)
+		if i == cpus-1 {
+			end = hi
+		}
+		s := &a.shards[i]
+		s.lo, s.hi = start, end
+		if end > start {
+			s.extents.Insert(uint64(start), uint64(end-start))
+		}
+		start = end
+	}
+	a.free.Store(int64(total))
+	return a
+}
+
+// Free reports the number of free pages.
+func (a *PageAlloc) Free() int { return int(a.free.Load()) }
+
+// shardOf routes an address to the shard owning it.
+func (a *PageAlloc) shardOf(p nvm.PageID) *allocShard {
+	for i := range a.shards {
+		if p >= a.shards[i].lo && p < a.shards[i].hi {
+			return &a.shards[i]
+		}
+	}
+	return &a.shards[len(a.shards)-1]
+}
+
+// takeLocked carves up to n pages out of s; s.mu must be held.
+func (s *allocShard) takeLocked(n int, out []nvm.PageID) []nvm.PageID {
+	for n > 0 {
+		start, count, ok := s.extents.Min()
+		if !ok {
+			break
+		}
+		take := n
+		if take > int(count) {
+			take = int(count)
+		}
+		s.extents.Delete(start)
+		if int(count) > take {
+			s.extents.Insert(start+uint64(take), count-uint64(take))
+		}
+		for i := 0; i < take; i++ {
+			out = append(out, nvm.PageID(start)+nvm.PageID(i))
+		}
+		n -= take
+	}
+	return out
+}
+
+// AllocPages allocates n pages, preferring the caller's home shard.
+// The result pages are not necessarily contiguous. On exhaustion it
+// frees nothing and returns an error.
+func (a *PageAlloc) AllocPages(cpu, n int) ([]nvm.PageID, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]nvm.PageID, 0, n)
+	home := cpu % len(a.shards)
+	if home < 0 {
+		home = 0
+	}
+	for i := 0; i < len(a.shards) && len(out) < n; i++ {
+		s := &a.shards[(home+i)%len(a.shards)]
+		s.mu.Lock()
+		out = s.takeLocked(n-len(out), out)
+		s.mu.Unlock()
+	}
+	if len(out) < n {
+		// Return the partial grab; its pages were never debited from
+		// the free counter, so debit first to keep FreePages' credit
+		// net-zero.
+		a.free.Add(-int64(len(out)))
+		a.FreePages(out)
+		return nil, fmt.Errorf("alloc: out of NVM pages (want %d, found %d)", n, len(out))
+	}
+	a.free.Add(-int64(n))
+	return out, nil
+}
+
+// takeRangeLocked carves up to n pages out of s restricted to the page
+// range [lo, hi); s.mu must be held.
+func (s *allocShard) takeRangeLocked(lo, hi uint64, n int, out []nvm.PageID) []nvm.PageID {
+	for n > 0 {
+		start, count, ok := s.extents.Floor(hi - 1)
+		if !ok || start+count <= lo {
+			// Floor may sit wholly below the range; a Ceil from lo can
+			// still land inside.
+			if start2, count2, ok2 := s.extents.Ceil(lo); ok2 && start2 < hi {
+				start, count, ok = start2, count2, true
+			} else {
+				break
+			}
+		}
+		segLo := start
+		if segLo < lo {
+			segLo = lo
+		}
+		segHi := start + count
+		if segHi > hi {
+			segHi = hi
+		}
+		if segLo >= segHi {
+			break
+		}
+		take := n
+		if take > int(segHi-segLo) {
+			take = int(segHi - segLo)
+		}
+		s.extents.Delete(start)
+		if segLo > start {
+			s.extents.Insert(start, segLo-start)
+		}
+		if end := start + count; segLo+uint64(take) < end {
+			s.extents.Insert(segLo+uint64(take), end-segLo-uint64(take))
+		}
+		for i := 0; i < take; i++ {
+			out = append(out, nvm.PageID(segLo)+nvm.PageID(i))
+		}
+		n -= take
+	}
+	return out
+}
+
+// AllocPagesOnNode allocates n pages whose NUMA node (per dev geometry)
+// is node. Used by the striping datapath. Falls back to any node when
+// the preferred node is exhausted.
+func (a *PageAlloc) AllocPagesOnNode(dev *nvm.Device, cpu, n, node int) ([]nvm.PageID, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]nvm.PageID, 0, n)
+	home := cpu % len(a.shards)
+	if home < 0 {
+		home = 0
+	}
+	// The node's page range; only pages inside it are taken in the
+	// node-local pass, even from shards straddling a node boundary.
+	nodePages := uint64(dev.NumPages()) / uint64(dev.Nodes())
+	rangeLo := uint64(node) * nodePages
+	rangeHi := rangeLo + nodePages
+	for i := 0; i < len(a.shards) && len(out) < n; i++ {
+		s := &a.shards[(home+i)%len(a.shards)]
+		if s.hi == s.lo || uint64(s.hi) <= rangeLo || uint64(s.lo) >= rangeHi {
+			continue
+		}
+		s.mu.Lock()
+		out = s.takeRangeLocked(rangeLo, rangeHi, n-len(out), out)
+		s.mu.Unlock()
+	}
+	a.free.Add(-int64(len(out))) // debit the node-local grab
+	if len(out) < n {
+		// Fall back to the general allocator for the remainder.
+		rest, err := a.AllocPages(cpu, n-len(out))
+		if err != nil {
+			a.FreePages(out)
+			return nil, err
+		}
+		out = append(out, rest...)
+	}
+	return out, nil
+}
+
+// FreePages returns pages to the allocator, coalescing extents. The
+// batch is sorted and merged into contiguous runs first, so freeing a
+// large file costs a handful of tree operations rather than one per
+// page.
+func (a *PageAlloc) FreePages(pages []nvm.PageID) {
+	if len(pages) == 0 {
+		return
+	}
+	sorted := make([]nvm.PageID, len(pages))
+	copy(sorted, pages)
+	slices.Sort(sorted)
+	i := 0
+	for i < len(sorted) {
+		start := sorted[i]
+		j := i + 1
+		for j < len(sorted) && sorted[j] == sorted[j-1]+1 {
+			j++
+		}
+		// Split the run at shard boundaries so each piece lands in the
+		// shard owning its addresses.
+		runStart, runEnd := start, sorted[j-1]+1
+		for runStart < runEnd {
+			s := a.shardOf(runStart)
+			end := runEnd
+			if s.hi < end {
+				end = s.hi
+			}
+			s.mu.Lock()
+			s.insertLocked(uint64(runStart), uint64(end-runStart))
+			s.mu.Unlock()
+			runStart = end
+		}
+		i = j
+	}
+	a.free.Add(int64(len(pages)))
+}
+
+// insertLocked adds [start, start+count) to the free set, merging with
+// the neighbouring extents when adjacent.
+func (s *allocShard) insertLocked(start, count uint64) {
+	// Merge with predecessor.
+	if ps, pc, ok := s.extents.Floor(start); ok && ps+pc == start {
+		s.extents.Delete(ps)
+		start, count = ps, pc+count
+	}
+	// Merge with successor.
+	if ns, nc, ok := s.extents.Ceil(start + count); ok && ns == start+count {
+		s.extents.Delete(ns)
+		count += nc
+	}
+	s.extents.Insert(start, count)
+}
+
+// Reserve removes a specific page from the free set, reporting whether
+// it was free. Used when re-mounting a populated device: the scan of
+// the existing file tree reserves every page the core state references.
+func (a *PageAlloc) Reserve(p nvm.PageID) bool {
+	if p < a.lo || p >= a.hi {
+		return false
+	}
+	s := a.shardOf(p)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start, count, ok := s.extents.Floor(uint64(p))
+	if !ok || uint64(p) >= start+count {
+		return false
+	}
+	s.extents.Delete(start)
+	if uint64(p) > start {
+		s.extents.Insert(start, uint64(p)-start)
+	}
+	if end := start + count; uint64(p)+1 < end {
+		s.extents.Insert(uint64(p)+1, end-uint64(p)-1)
+	}
+	a.free.Add(-1)
+	return true
+}
+
+// Extents reports the extent count of every shard (test/stats hook —
+// a well-coalesced allocator has few extents).
+func (a *PageAlloc) Extents() int {
+	n := 0
+	for i := range a.shards {
+		s := &a.shards[i]
+		s.mu.Lock()
+		n += s.extents.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// InoAlloc allocates inode numbers. Each CPU reserves a batch from the
+// shared counter and serves from it locally, so the common path is a
+// single uncontended increment.
+type InoAlloc struct {
+	next    atomic.Uint64
+	batches []inoBatch
+}
+
+type inoBatch struct {
+	mu       sync.Mutex
+	next, hi uint64
+	_        [40]byte
+}
+
+const inoBatchSize = 128
+
+// NewInoAlloc creates an inode-number allocator starting after
+// firstFree-1 with the given CPU count.
+func NewInoAlloc(firstFree uint64, cpus int) *InoAlloc {
+	if cpus <= 0 {
+		cpus = 1
+	}
+	a := &InoAlloc{batches: make([]inoBatch, cpus)}
+	a.next.Store(firstFree)
+	return a
+}
+
+// Alloc returns a fresh, never-before-issued inode number.
+func (a *InoAlloc) Alloc(cpu int) uint64 {
+	b := &a.batches[cpu%len(a.batches)]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.next == b.hi {
+		b.next = a.next.Add(inoBatchSize) - inoBatchSize
+		b.hi = b.next + inoBatchSize
+	}
+	ino := b.next
+	b.next++
+	return ino
+}

@@ -1,0 +1,563 @@
+// Package kernfs implements the in-kernel NVM file system engine behind
+// the paper's baselines: ext4-DAX, PMFS, NOVA, WineFS and OdinFS
+// (§6.1). One parameterized engine captures the mechanisms that
+// actually differentiate their published behaviour:
+//
+//   - journal mode — ext4 and PMFS funnel metadata updates through a
+//     single journal (a global lock plus extra NVM writes); NOVA logs
+//     per inode; WineFS and OdinFS journal per CPU.
+//   - datapath — all variants are DAX (direct copy between user buffer
+//     and NVM from kernel context); OdinFS adds opportunistic
+//     delegation with striping, which is exactly the §4.5 machinery
+//     ArckFS reuses.
+//   - allocation — global bitmap-ish allocator for ext4/PMFS, per-CPU
+//     allocators for NOVA/WineFS/OdinFS.
+//
+// The engine runs in "kernel mode": it has unchecked access to the
+// device through its own address space where it maps every page it
+// allocates. It is a performance-faithful baseline, not a crash-
+// recoverable one — journal writes are issued (and their cost paid)
+// but the baselines are exercised for the paper's performance figures,
+// not for recovery testing.
+//
+// The engine never charges kernel-crossing costs itself; the VFS layer
+// (package vfs) wraps it, adds the dentry cache, the per-op trap and
+// the coarse kernel locks that decide metadata scalability (§6.4).
+package kernfs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"trio/internal/alloc"
+	"trio/internal/core"
+	"trio/internal/delegation"
+	"trio/internal/fsapi"
+	"trio/internal/mmu"
+	"trio/internal/nvm"
+)
+
+// JournalMode selects the metadata journaling scheme.
+type JournalMode int
+
+const (
+	// JournalGlobal is one journal guarded by one lock (ext4 jbd2, PMFS).
+	JournalGlobal JournalMode = iota
+	// JournalPerInode appends to a per-inode log (NOVA).
+	JournalPerInode
+	// JournalPerCPU uses per-CPU journals (WineFS, OdinFS).
+	JournalPerCPU
+)
+
+// Variant describes one baseline file system.
+type Variant struct {
+	Name string
+	// Journal selects the metadata journaling scheme.
+	Journal JournalMode
+	// JournalEntry is the bytes journaled per metadata operation.
+	JournalEntry int
+	// PerCPUAlloc shards the block allocator.
+	PerCPUAlloc bool
+	// Delegate routes bulk data access through the delegation pool.
+	Delegate bool
+	// Stripe spreads a file's pages across NUMA nodes (OdinFS always;
+	// ext4 over RAID0 stripes without delegation).
+	Stripe bool
+}
+
+// The paper's baseline variants.
+func Ext4() Variant {
+	return Variant{Name: "ext4", Journal: JournalGlobal, JournalEntry: 512}
+}
+func Ext4RAID0() Variant {
+	return Variant{Name: "ext4-raid0", Journal: JournalGlobal, JournalEntry: 512, Stripe: true}
+}
+func PMFS() Variant {
+	return Variant{Name: "pmfs", Journal: JournalGlobal, JournalEntry: 128}
+}
+func NOVA() Variant {
+	return Variant{Name: "nova", Journal: JournalPerInode, JournalEntry: 64, PerCPUAlloc: true}
+}
+func WineFS() Variant {
+	return Variant{Name: "winefs", Journal: JournalPerCPU, JournalEntry: 64, PerCPUAlloc: true}
+}
+func OdinFS() Variant {
+	return Variant{
+		Name: "odinfs", Journal: JournalPerCPU, JournalEntry: 64,
+		PerCPUAlloc: true, Delegate: true, Stripe: true,
+	}
+}
+
+// Engine is the kernel file system instance.
+type Engine struct {
+	dev     *nvm.Device
+	as      *mmu.AddressSpace // kernel view: every allocated page mapped RW
+	variant Variant
+	pool    *delegation.Pool
+	cpus    int
+
+	pages   *alloc.PageAlloc
+	views   []*mmu.View // per-NUMA-node accessors (thread placement)
+	nextIno atomic.Uint64
+
+	root *Knode
+
+	// global journal (ext4/pmfs)
+	jmu    sync.Mutex
+	jpage  nvm.PageID
+	joff   int
+	percpu []cpuJournal
+}
+
+type cpuJournal struct {
+	mu   sync.Mutex
+	page nvm.PageID
+	off  int
+	_    [40]byte
+}
+
+// Knode is an in-kernel inode. Exported so the VFS layer can hold
+// references (Linux's icache equivalent).
+type Knode struct {
+	Ino   uint64
+	IsDir bool
+
+	// Mu is the per-inode lock (shared reads, exclusive writes — the
+	// VFS layer takes it the way Linux does).
+	Mu sync.RWMutex
+
+	// Ref models the dentry/inode reference count whose cacheline
+	// bouncing limits shared-file open scalability (§6.4).
+	Ref atomic.Int64
+
+	size   int64
+	blocks []nvm.PageID // block i of the file
+
+	children map[string]*Knode
+
+	// per-inode log page (NOVA)
+	logPage nvm.PageID
+	logOff  int
+}
+
+// New creates an engine over a (formatted or blank) device. The engine
+// claims pages from FirstFilePage on, like every FS in this repo, so
+// baselines and ArckFS size identically.
+func New(dev *nvm.Device, v Variant, cpus int, pool *delegation.Pool) (*Engine, error) {
+	if cpus <= 0 {
+		cpus = 8
+	}
+	shards := 1
+	if v.PerCPUAlloc {
+		shards = cpus
+	}
+	e := &Engine{
+		dev:     dev,
+		as:      mmu.NewAddressSpace(dev, 0),
+		variant: v,
+		cpus:    cpus,
+		pages:   alloc.NewPageAlloc(core.FirstFilePage, dev.NumPages(), shards),
+		percpu:  make([]cpuJournal, cpus),
+	}
+	// Kernel identity-maps the whole device; per-node views model each
+	// CPU's threads issuing accesses from their own NUMA node.
+	e.as.Map(0, int(dev.NumPages()), mmu.PermWrite)
+	e.views = make([]*mmu.View, dev.Nodes())
+	for n := range e.views {
+		e.views[n] = e.as.View(n)
+	}
+	if v.Delegate {
+		if pool == nil {
+			pool = delegation.NewPool(dev, 4)
+		}
+		e.pool = pool
+	}
+	e.nextIno.Store(2)
+	e.root = &Knode{Ino: 1, IsDir: true, children: make(map[string]*Knode)}
+	return e, nil
+}
+
+// Variant reports the engine's configuration.
+func (e *Engine) VariantName() string { return e.variant.Name }
+
+// Root returns the root inode.
+func (e *Engine) Root() *Knode { return e.root }
+
+// Close stops the delegation pool if the engine owns one.
+func (e *Engine) Close() error {
+	if e.pool != nil {
+		e.pool.Close()
+	}
+	return nil
+}
+
+// AllocLogPage hands out one NVM page for an external (userspace) log;
+// Strata's private operation log is carved from the shared device this
+// way.
+func (e *Engine) AllocLogPage(cpu int) (nvm.PageID, error) {
+	pages, err := e.pages.AllocPages(cpu, 1)
+	if err != nil {
+		return 0, err
+	}
+	return pages[0], nil
+}
+
+// nodeOf maps a CPU hint to the NUMA node its thread runs on.
+func (e *Engine) nodeOf(cpu int) int { return cpu % e.dev.Nodes() }
+
+// mem returns the accessor for the calling thread's node.
+func (e *Engine) mem(cpu int) *mmu.View { return e.views[e.nodeOf(cpu)] }
+
+// journal charges one metadata operation's journaling cost: an NVM
+// write of the variant's entry size plus persist+fence, under the lock
+// the variant's scheme implies. kn is the inode for per-inode logs.
+func (e *Engine) journal(cpu int, kn *Knode) error {
+	n := e.variant.JournalEntry
+	if n == 0 {
+		return nil
+	}
+	var entry [512]byte
+	switch e.variant.Journal {
+	case JournalGlobal:
+		e.jmu.Lock()
+		defer e.jmu.Unlock()
+		if e.jpage == nvm.NilPage {
+			pages, err := e.pages.AllocPages(0, 1)
+			if err != nil {
+				return err
+			}
+			e.jpage = pages[0]
+		}
+		if e.joff+n > nvm.PageSize {
+			e.joff = 0
+		}
+		if err := e.as.Write(e.jpage, e.joff, entry[:n]); err != nil {
+			return err
+		}
+		e.as.Persist(e.jpage, e.joff, n)
+		e.as.Fence()
+		e.joff += n
+	case JournalPerInode:
+		// Caller holds the inode lock; the log page hangs off the inode.
+		if kn.logPage == nvm.NilPage {
+			pages, err := e.pages.AllocPages(cpu, 1)
+			if err != nil {
+				return err
+			}
+			kn.logPage = pages[0]
+		}
+		if kn.logOff+n > nvm.PageSize {
+			kn.logOff = 0
+		}
+		if err := e.as.Write(kn.logPage, kn.logOff, entry[:n]); err != nil {
+			return err
+		}
+		e.as.Persist(kn.logPage, kn.logOff, n)
+		e.as.Fence()
+		kn.logOff += n
+	case JournalPerCPU:
+		j := &e.percpu[cpu%e.cpus]
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if j.page == nvm.NilPage {
+			pages, err := e.pages.AllocPages(cpu, 1)
+			if err != nil {
+				return err
+			}
+			j.page = pages[0]
+		}
+		if j.off+n > nvm.PageSize {
+			j.off = 0
+		}
+		if err := e.as.Write(j.page, j.off, entry[:n]); err != nil {
+			return err
+		}
+		e.as.Persist(j.page, j.off, n)
+		e.as.Fence()
+		j.off += n
+	}
+	return nil
+}
+
+// Create inserts a child under dir. Caller holds dir.Mu exclusively.
+func (e *Engine) Create(cpu int, dir *Knode, name string, isDir bool) (*Knode, error) {
+	if !dir.IsDir {
+		return nil, fsapi.ErrNotDir
+	}
+	if _, ok := dir.children[name]; ok {
+		return nil, fsapi.ErrExist
+	}
+	kn := &Knode{Ino: e.nextIno.Add(1)}
+	kn.IsDir = isDir
+	if isDir {
+		kn.children = make(map[string]*Knode)
+	}
+	if err := e.journal(cpu, dir); err != nil {
+		return nil, err
+	}
+	dir.children[name] = kn
+	return kn, nil
+}
+
+// Lookup finds a child. Caller holds dir.Mu shared.
+func (e *Engine) Lookup(dir *Knode, name string) (*Knode, error) {
+	if !dir.IsDir {
+		return nil, fsapi.ErrNotDir
+	}
+	kn, ok := dir.children[name]
+	if !ok {
+		return nil, fsapi.ErrNotExist
+	}
+	return kn, nil
+}
+
+// Remove deletes a child. Caller holds dir.Mu exclusively.
+func (e *Engine) Remove(cpu int, dir *Knode, name string, wantDir bool) error {
+	kn, ok := dir.children[name]
+	if !ok {
+		return fsapi.ErrNotExist
+	}
+	if wantDir && !kn.IsDir {
+		return fsapi.ErrNotDir
+	}
+	if !wantDir && kn.IsDir {
+		return fsapi.ErrIsDir
+	}
+	if kn.IsDir && len(kn.children) > 0 {
+		return fsapi.ErrNotEmpty
+	}
+	if err := e.journal(cpu, dir); err != nil {
+		return err
+	}
+	delete(dir.children, name)
+	kn.Mu.Lock()
+	blocks := kn.blocks
+	kn.blocks = nil
+	kn.size = 0
+	kn.Mu.Unlock()
+	live := blocks[:0]
+	for _, p := range blocks {
+		if p != nvm.NilPage {
+			live = append(live, p)
+		}
+	}
+	e.pages.FreePages(live)
+	return nil
+}
+
+// Move renames src/oldName to dst/newName. Caller holds the VFS rename
+// lock and both directory locks.
+func (e *Engine) Move(cpu int, src *Knode, oldName string, dst *Knode, newName string) error {
+	kn, ok := src.children[oldName]
+	if !ok {
+		return fsapi.ErrNotExist
+	}
+	if tgt, ok := dst.children[newName]; ok {
+		if tgt.IsDir {
+			return fsapi.ErrExist
+		}
+		if err := e.Remove(cpu, dst, newName, false); err != nil {
+			return err
+		}
+	}
+	if err := e.journal(cpu, src); err != nil {
+		return err
+	}
+	if err := e.journal(cpu, dst); err != nil {
+		return err
+	}
+	delete(src.children, oldName)
+	dst.children[newName] = kn
+	return nil
+}
+
+// Names lists dir's children. Caller holds dir.Mu shared.
+func (e *Engine) Names(dir *Knode) []string {
+	out := make([]string, 0, len(dir.children))
+	for n := range dir.children {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Size reports a file's size. Caller holds kn.Mu (either mode).
+func (e *Engine) Size(kn *Knode) int64 { return kn.size }
+
+// allocBlock picks a data page, striping across nodes when configured.
+func (e *Engine) allocBlock(cpu int, block uint64) (nvm.PageID, error) {
+	node := e.nodeOf(cpu)
+	if e.variant.Stripe && e.dev.Nodes() > 1 {
+		// 2 MiB chunk-granular striping (the OdinFS/RAID0 stripe unit):
+		// small files stay on the allocating thread's node, bulk files
+		// spread chunk by chunk.
+		node = (node + int(block/((2<<20)/nvm.PageSize))) % e.dev.Nodes()
+	}
+	if e.dev.Nodes() > 1 {
+		pages, err := e.pages.AllocPagesOnNode(e.dev, cpu, 1, node)
+		if err != nil {
+			return 0, err
+		}
+		return pages[0], nil
+	}
+	pages, err := e.pages.AllocPages(cpu, 1)
+	if err != nil {
+		return 0, err
+	}
+	return pages[0], nil
+}
+
+// Write copies data at off, extending as needed. Caller holds kn.Mu
+// exclusively (Linux inode_lock for writes).
+func (e *Engine) Write(cpu int, kn *Knode, b []byte, off int64) error {
+	if kn.IsDir {
+		return fsapi.ErrIsDir
+	}
+	end := off + int64(len(b))
+	lastBlock := (end - 1) / nvm.PageSize
+	for int64(len(kn.blocks)) <= lastBlock {
+		kn.blocks = append(kn.blocks, nvm.NilPage)
+	}
+	grew := false
+	var zeros [nvm.PageSize]byte
+	for blk := off / nvm.PageSize; blk <= lastBlock; blk++ {
+		if kn.blocks[blk] == nvm.NilPage {
+			p, err := e.allocBlock(cpu, uint64(blk))
+			if err != nil {
+				return err
+			}
+			// Zero the parts of the fresh page this write does not
+			// cover, so holes read as zeros (recycled pages hold stale
+			// bytes).
+			blockStart := blk * nvm.PageSize
+			if off > blockStart {
+				if err := e.as.Write(p, 0, zeros[:off-blockStart]); err != nil {
+					return err
+				}
+			}
+			if blockEnd := blockStart + nvm.PageSize; end < blockEnd {
+				if err := e.as.Write(p, int(end-blockStart), zeros[:blockEnd-end]); err != nil {
+					return err
+				}
+			}
+			kn.blocks[blk] = p
+			grew = true
+		}
+	}
+	batch := e.pool.NewBatch(e.as, len(b), true, true).WithView(e.mem(cpu))
+	pos := off
+	for pos < end {
+		blk := pos / nvm.PageSize
+		pgOff := int(pos % nvm.PageSize)
+		chunk := nvm.PageSize - pgOff
+		if rem := int(end - pos); chunk > rem {
+			chunk = rem
+		}
+		batch.Write(kn.blocks[blk], pgOff, b[pos-off:pos-off+int64(chunk)])
+		pos += int64(chunk)
+	}
+	if err := batch.Wait(); err != nil {
+		return err
+	}
+	e.as.Fence()
+	if grew || end > kn.size {
+		if err := e.journal(cpu, kn); err != nil {
+			return err
+		}
+	}
+	if end > kn.size {
+		kn.size = end
+	}
+	return nil
+}
+
+// Read copies data at off. Caller holds kn.Mu shared.
+func (e *Engine) Read(cpu int, kn *Knode, b []byte, off int64) (int, error) {
+	if kn.IsDir {
+		return 0, fsapi.ErrIsDir
+	}
+	if off >= kn.size {
+		return 0, nil
+	}
+	count := int64(len(b))
+	if off+count > kn.size {
+		count = kn.size - off
+	}
+	batch := e.pool.NewBatch(e.as, int(count), false, false).WithView(e.mem(cpu))
+	pos := off
+	for pos < off+count {
+		blk := pos / nvm.PageSize
+		pgOff := int(pos % nvm.PageSize)
+		chunk := nvm.PageSize - pgOff
+		if rem := int(off + count - pos); chunk > rem {
+			chunk = rem
+		}
+		dst := b[pos-off : pos-off+int64(chunk)]
+		if blk < int64(len(kn.blocks)) && kn.blocks[blk] != nvm.NilPage {
+			batch.Read(kn.blocks[blk], pgOff, dst)
+		} else {
+			for i := range dst {
+				dst[i] = 0
+			}
+		}
+		pos += int64(chunk)
+	}
+	if err := batch.Wait(); err != nil {
+		return 0, err
+	}
+	return int(count), nil
+}
+
+// Truncate sets the size. Caller holds kn.Mu exclusively.
+func (e *Engine) Truncate(cpu int, kn *Knode, size int64) error {
+	if kn.IsDir {
+		return fsapi.ErrIsDir
+	}
+	if err := e.journal(cpu, kn); err != nil {
+		return err
+	}
+	if size < kn.size {
+		firstDead := (size + nvm.PageSize - 1) / nvm.PageSize
+		var dead []nvm.PageID
+		for blk := firstDead; blk < int64(len(kn.blocks)); blk++ {
+			if kn.blocks[blk] != nvm.NilPage {
+				dead = append(dead, kn.blocks[blk])
+				kn.blocks[blk] = nvm.NilPage
+			}
+		}
+		if firstDead < int64(len(kn.blocks)) {
+			kn.blocks = kn.blocks[:firstDead]
+		}
+		e.pages.FreePages(dead)
+		// Zero the tail of the now-partial last block so a later grow
+		// does not resurrect the truncated bytes.
+		if blk := size / nvm.PageSize; blk < int64(len(kn.blocks)) && kn.blocks[blk] != nvm.NilPage {
+			tail := int(size % nvm.PageSize)
+			if tail > 0 {
+				var zeros [nvm.PageSize]byte
+				if err := e.as.Write(kn.blocks[blk], tail, zeros[tail:]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	kn.size = size
+	return nil
+}
+
+// Fsync persists outstanding state for kn — data is written through
+// synchronously, so only a fence is issued (plus a journal commit for
+// the journaling variants, matching ext4's fsync-forces-jbd2 behaviour).
+func (e *Engine) Fsync(cpu int, kn *Knode) error {
+	if e.variant.Journal == JournalGlobal {
+		if err := e.journal(cpu, kn); err != nil {
+			return err
+		}
+	}
+	e.as.Fence()
+	return nil
+}
+
+func (e *Engine) String() string {
+	return fmt.Sprintf("kernfs(%s)", e.variant.Name)
+}

@@ -1,0 +1,185 @@
+package kernfs
+
+import (
+	"bytes"
+	"testing"
+
+	"trio/internal/fsapi"
+	"trio/internal/nvm"
+)
+
+func newEng(t *testing.T, v Variant) *Engine {
+	t.Helper()
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 2, PagesPerNode: 4096})
+	e, err := New(dev, v, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func TestVariantsConstruct(t *testing.T) {
+	for _, v := range []Variant{Ext4(), Ext4RAID0(), PMFS(), NOVA(), WineFS(), OdinFS()} {
+		e := newEng(t, v)
+		if e.VariantName() != v.Name {
+			t.Fatalf("name %q != %q", e.VariantName(), v.Name)
+		}
+	}
+}
+
+func TestCreateLookupRemove(t *testing.T) {
+	e := newEng(t, NOVA())
+	root := e.Root()
+	root.Mu.Lock()
+	kn, err := e.Create(0, root, "file", false)
+	root.Mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kn.IsDir {
+		t.Fatal("file is dir")
+	}
+	root.Mu.RLock()
+	got, err := e.Lookup(root, "file")
+	root.Mu.RUnlock()
+	if err != nil || got != kn {
+		t.Fatalf("lookup: %v", err)
+	}
+	root.Mu.Lock()
+	_, err = e.Create(0, root, "file", false)
+	root.Mu.Unlock()
+	if err != fsapi.ErrExist {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	root.Mu.Lock()
+	err = e.Remove(0, root, "file", false)
+	root.Mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.Mu.RLock()
+	_, err = e.Lookup(root, "file")
+	root.Mu.RUnlock()
+	if err != fsapi.ErrNotExist {
+		t.Fatalf("lookup after remove: %v", err)
+	}
+}
+
+func TestWriteReadTruncate(t *testing.T) {
+	for _, v := range []Variant{Ext4(), NOVA(), OdinFS()} {
+		t.Run(v.Name, func(t *testing.T) {
+			e := newEng(t, v)
+			root := e.Root()
+			root.Mu.Lock()
+			kn, err := e.Create(0, root, "f", false)
+			root.Mu.Unlock()
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := bytes.Repeat([]byte("abc"), 5000) // crosses pages
+			kn.Mu.Lock()
+			if err := e.Write(0, kn, data, 100); err != nil {
+				t.Fatal(err)
+			}
+			kn.Mu.Unlock()
+			buf := make([]byte, len(data))
+			kn.Mu.RLock()
+			n, err := e.Read(0, kn, buf, 100)
+			kn.Mu.RUnlock()
+			if err != nil || n != len(data) || !bytes.Equal(buf, data) {
+				t.Fatalf("read back: n=%d err=%v", n, err)
+			}
+			kn.Mu.Lock()
+			if err := e.Truncate(0, kn, 50); err != nil {
+				t.Fatal(err)
+			}
+			kn.Mu.Unlock()
+			if e.Size(kn) != 50 {
+				t.Fatalf("size %d", e.Size(kn))
+			}
+		})
+	}
+}
+
+func TestRemoveFreesPages(t *testing.T) {
+	e := newEng(t, Ext4())
+	root := e.Root()
+	free0 := e.pages.Free()
+	root.Mu.Lock()
+	kn, _ := e.Create(0, root, "f", false)
+	root.Mu.Unlock()
+	kn.Mu.Lock()
+	e.Write(0, kn, make([]byte, 8*nvm.PageSize), 0)
+	kn.Mu.Unlock()
+	root.Mu.Lock()
+	if err := e.Remove(0, root, "f", false); err != nil {
+		t.Fatal(err)
+	}
+	root.Mu.Unlock()
+	// The journal page stays allocated; everything else returns.
+	if got := e.pages.Free(); free0-got > 1 {
+		t.Fatalf("pages leaked: %d -> %d", free0, got)
+	}
+}
+
+func TestMoveReplacesTarget(t *testing.T) {
+	e := newEng(t, WineFS())
+	root := e.Root()
+	root.Mu.Lock()
+	defer root.Mu.Unlock()
+	src, _ := e.Create(0, root, "src", false)
+	if _, err := e.Create(0, root, "dst", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Move(0, root, "src", root, "dst"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Lookup(root, "dst")
+	if err != nil || got != src {
+		t.Fatalf("move: %v", err)
+	}
+	if _, err := e.Lookup(root, "src"); err != fsapi.ErrNotExist {
+		t.Fatalf("src alive: %v", err)
+	}
+}
+
+func TestStripingSpreadsNodes(t *testing.T) {
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 4, PagesPerNode: 2048})
+	e, err := New(dev, OdinFS(), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	root := e.Root()
+	root.Mu.Lock()
+	kn, _ := e.Create(0, root, "striped", false)
+	root.Mu.Unlock()
+	// Striping is chunk-granular (2 MiB): a small file stays on one
+	// node; a multi-chunk file spreads.
+	kn.Mu.Lock()
+	if err := e.Write(0, kn, make([]byte, 16*nvm.PageSize), 0); err != nil {
+		t.Fatal(err)
+	}
+	small := map[int]bool{}
+	for _, p := range kn.blocks {
+		small[dev.NodeOf(p)] = true
+	}
+	if len(small) != 1 {
+		t.Fatalf("small file spread over %d nodes", len(small))
+	}
+	chunk := make([]byte, 1<<20)
+	for off := int64(0); off < 6<<20; off += int64(len(chunk)) {
+		if err := e.Write(0, kn, chunk, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nodesSeen := map[int]bool{}
+	for _, p := range kn.blocks {
+		nodesSeen[dev.NodeOf(p)] = true
+	}
+	kn.Mu.Unlock()
+	if len(nodesSeen) < 3 {
+		t.Fatalf("blocks only on %d nodes", len(nodesSeen))
+	}
+}

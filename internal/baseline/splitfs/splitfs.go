@@ -1,0 +1,137 @@
+// Package splitfs models SplitFS (SOSP'19): data operations run in
+// userspace against DAX-mapped file extents (no kernel crossing), while
+// every metadata operation — create, open, unlink, rename, extension —
+// is handed to the unmodified ext4 kernel path underneath (trap + VFS
+// + journal). This split is why SplitFS matches ArckFS on overwrite
+// bandwidth in Fig. 5/6 but falls with the kernel pack on the metadata
+// microbenchmarks of Fig. 7.
+package splitfs
+
+import (
+	"trio/internal/baseline/kernfs"
+	"trio/internal/baseline/vfs"
+	"trio/internal/fsapi"
+	"trio/internal/nvm"
+)
+
+// FS is a SplitFS mount: a shared ext4 engine, reached either through
+// the VFS (metadata) or directly (data).
+type FS struct {
+	inner *vfs.FS
+	eng   *kernfs.Engine
+}
+
+// New mounts SplitFS over the device.
+func New(dev *nvm.Device, cpus int) (*FS, error) {
+	eng, err := kernfs.New(dev, kernfs.Ext4(), cpus, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &FS{inner: vfs.NewWithEngine(eng, dev.Cost()), eng: eng}, nil
+}
+
+// Name implements fsapi.FS.
+func (fs *FS) Name() string { return "splitfs" }
+
+// Close implements fsapi.FS.
+func (fs *FS) Close() error { return fs.eng.Close() }
+
+// NewClient implements fsapi.FS.
+func (fs *FS) NewClient(cpu int) fsapi.Client {
+	return &Client{fs: fs, cpu: cpu, inner: fs.inner.NewClient(cpu)}
+}
+
+// Client delegates metadata to the kernel and keeps data in userspace.
+type Client struct {
+	fs    *FS
+	cpu   int
+	inner fsapi.Client
+}
+
+// Metadata operations: straight to the kernel path.
+func (c *Client) Mkdir(path string, mode uint16) error  { return c.inner.Mkdir(path, mode) }
+func (c *Client) Unlink(path string) error              { return c.inner.Unlink(path) }
+func (c *Client) Rmdir(path string) error               { return c.inner.Rmdir(path) }
+func (c *Client) Rename(oldP, newP string) error        { return c.inner.Rename(oldP, newP) }
+func (c *Client) Stat(p string) (fsapi.FileInfo, error) { return c.inner.Stat(p) }
+func (c *Client) ReadDir(p string) ([]string, error)    { return c.inner.ReadDir(p) }
+
+// Create goes through the kernel, then reopens the handle in split
+// (userspace-data) mode.
+func (c *Client) Create(path string, mode uint16) (fsapi.File, error) {
+	f, err := c.inner.Create(path, mode)
+	if err != nil {
+		return nil, err
+	}
+	f.Close()
+	return c.Open(path, true)
+}
+
+// Open traps once (the open itself is a syscall; SplitFS then mmaps the
+// extents) and returns a userspace-data handle.
+func (c *Client) Open(path string, write bool) (fsapi.File, error) {
+	inner, err := c.fs.inner.NewClient(c.cpu).Open(path, write)
+	if err != nil {
+		return nil, err
+	}
+	vf := inner.(*vfs.File)
+	return &File{c: c, vf: vf, kn: vfsKnode(vf), rw: write}, nil
+}
+
+// vfsKnode digs the engine inode out of a VFS handle. SplitFS is in on
+// the kernel's secrets — that is its design.
+func vfsKnode(f *vfs.File) *kernfs.Knode { return f.Knode() }
+
+// File is a SplitFS handle: overwrites and reads bypass the kernel;
+// anything touching metadata (extension, truncate, fsync-relink) traps.
+type File struct {
+	c  *Client
+	vf *vfs.File
+	kn *kernfs.Knode
+	rw bool
+}
+
+// ReadAt reads through the DAX mapping: no trap.
+func (f *File) ReadAt(b []byte, off int64) (int, error) {
+	f.kn.Mu.RLock()
+	defer f.kn.Mu.RUnlock()
+	return f.c.fs.eng.Read(f.c.cpu, f.kn, b, off)
+}
+
+// WriteAt overwrites in place without a trap; writes that extend the
+// file fall back to the kernel path (SplitFS stages appends and relinks
+// — the relink is a syscall).
+func (f *File) WriteAt(b []byte, off int64) (int, error) {
+	if !f.rw {
+		return 0, fsapi.ErrPerm
+	}
+	f.kn.Mu.Lock()
+	defer f.kn.Mu.Unlock()
+	if off+int64(len(b)) > f.c.fs.eng.Size(f.kn) {
+		// Extension: kernel involvement (stage + relink); the VFS
+		// handle charges the trap.
+		f.kn.Mu.Unlock()
+		n, err := f.vf.WriteAt(b, off)
+		f.kn.Mu.Lock()
+		return n, err
+	}
+	if err := f.c.fs.eng.Write(f.c.cpu, f.kn, b, off); err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
+
+// Append stages through the kernel path (relink).
+func (f *File) Append(b []byte) (int64, error) { return f.vf.Append(b) }
+
+// Truncate is metadata: kernel path.
+func (f *File) Truncate(size int64) error { return f.vf.Truncate(size) }
+
+// Size reads the cached size.
+func (f *File) Size() int64 { return f.vf.Size() }
+
+// Sync triggers the relink/journal flush in the kernel.
+func (f *File) Sync() error { return f.vf.Sync() }
+
+// Close releases the handle (trap, like close(2)).
+func (f *File) Close() error { return f.vf.Close() }

@@ -1,0 +1,339 @@
+package strata
+
+import (
+	"trio/internal/fsapi"
+	"trio/internal/nvm"
+)
+
+// pageSize64 avoids int/int64 conversion noise in the overlay math.
+const pageSize64 = int64(nvm.PageSize)
+
+// parentExists verifies the parent directory of p exists. Caller holds
+// fs.mu.
+func (fs *FS) parentExists(p string) error {
+	i := len(p) - 1
+	for i > 0 && p[i] != '/' {
+		i--
+	}
+	if i <= 0 {
+		return nil // parent is the root
+	}
+	_, isDir, exists := fs.statPath(p[:i])
+	if !exists {
+		return fsapi.ErrNotExist
+	}
+	if !isDir {
+		return fsapi.ErrNotDir
+	}
+	return nil
+}
+
+// Create implements fsapi.Client: logged, visible immediately through
+// the private shadow state.
+func (c *Client) Create(path string, mode uint16) (fsapi.File, error) {
+	fs := c.fs
+	p := norm(path)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, isDir, exists := fs.statPath(p); exists && isDir {
+		return nil, fsapi.ErrIsDir
+	}
+	if err := fs.parentExists(p); err != nil {
+		return nil, err
+	}
+	if _, _, err := fs.record(c.cpu, logRec{kind: opCreate, path: p}, nil); err != nil {
+		return nil, err
+	}
+	s := fs.shadowOf(p)
+	s.created, s.deleted, s.isDir, s.size = true, false, false, 0
+	return &File{c: c, path: p, rw: true}, nil
+}
+
+// Open implements fsapi.Client.
+func (c *Client) Open(path string, write bool) (fsapi.File, error) {
+	fs := c.fs
+	p := norm(path)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, isDir, exists := fs.statPath(p)
+	if !exists {
+		return nil, fsapi.ErrNotExist
+	}
+	if isDir {
+		return nil, fsapi.ErrIsDir
+	}
+	return &File{c: c, path: p, rw: write}, nil
+}
+
+// Mkdir implements fsapi.Client.
+func (c *Client) Mkdir(path string, mode uint16) error {
+	fs := c.fs
+	p := norm(path)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, _, exists := fs.statPath(p); exists {
+		return fsapi.ErrExist
+	}
+	if err := fs.parentExists(p); err != nil {
+		return err
+	}
+	if _, _, err := fs.record(c.cpu, logRec{kind: opMkdir, path: p}, nil); err != nil {
+		return err
+	}
+	s := fs.shadowOf(p)
+	s.created, s.isDir = true, true
+	return nil
+}
+
+// Unlink implements fsapi.Client.
+func (c *Client) Unlink(path string) error { return c.remove(path, opUnlink) }
+
+// Rmdir implements fsapi.Client.
+func (c *Client) Rmdir(path string) error { return c.remove(path, opRmdir) }
+
+func (c *Client) remove(path string, kind opKind) error {
+	fs := c.fs
+	p := norm(path)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, isDir, exists := fs.statPath(p)
+	if !exists {
+		return fsapi.ErrNotExist
+	}
+	if kind == opRmdir && !isDir {
+		return fsapi.ErrNotDir
+	}
+	if kind == opUnlink && isDir {
+		return fsapi.ErrIsDir
+	}
+	if kind == opRmdir {
+		// Emptiness is only decidable against digested state.
+		if err := fs.digestLocked(); err != nil {
+			return err
+		}
+		if kn, err := fs.engResolve(p, false, c.cpu); err == nil {
+			if len(fs.eng.Names(kn)) > 0 {
+				return fsapi.ErrNotEmpty
+			}
+		}
+	}
+	if _, _, err := fs.record(c.cpu, logRec{kind: kind, path: p}, nil); err != nil {
+		return err
+	}
+	s := fs.shadowOf(p)
+	s.deleted, s.created = true, false
+	s.pending = nil
+	return nil
+}
+
+// Rename implements fsapi.Client. Strata digests before a rename to
+// keep the log's path-based records unambiguous.
+func (c *Client) Rename(oldPath, newPath string) error {
+	fs := c.fs
+	op, np := norm(oldPath), norm(newPath)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, _, exists := fs.statPath(op); !exists {
+		return fsapi.ErrNotExist
+	}
+	if _, isDir, exists := fs.statPath(np); exists && isDir {
+		return fsapi.ErrExist
+	}
+	if err := fs.digestLocked(); err != nil {
+		return err
+	}
+	if _, _, err := fs.record(c.cpu, logRec{kind: opRename, path: op, dst: np}, nil); err != nil {
+		return err
+	}
+	return fs.digestLocked()
+}
+
+// Stat implements fsapi.Client.
+func (c *Client) Stat(path string) (fsapi.FileInfo, error) {
+	fs := c.fs
+	p := norm(path)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	size, isDir, exists := fs.statPath(p)
+	if !exists {
+		return fsapi.FileInfo{}, fsapi.ErrNotExist
+	}
+	parts := fsapi.SplitPath(p)
+	name := "/"
+	if len(parts) > 0 {
+		name = parts[len(parts)-1]
+	}
+	return fsapi.FileInfo{Name: name, Size: size, IsDir: isDir}, nil
+}
+
+// ReadDir implements fsapi.Client: digest first, then list the shared
+// state (directory enumeration over an undigested log is what makes
+// real Strata's readdir expensive).
+func (c *Client) ReadDir(path string) ([]string, error) {
+	fs := c.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.digestLocked(); err != nil {
+		return nil, err
+	}
+	kn, err := fs.engResolve(norm(path), false, c.cpu)
+	if err != nil {
+		return nil, fsapi.ErrNotExist
+	}
+	if !kn.IsDir {
+		return nil, fsapi.ErrNotDir
+	}
+	return fs.eng.Names(kn), nil
+}
+
+// File is a Strata handle.
+type File struct {
+	c    *Client
+	path string
+	rw   bool
+}
+
+// WriteAt logs the data (first write) and updates the shadow view.
+func (f *File) WriteAt(b []byte, off int64) (int, error) {
+	if !f.rw {
+		return 0, fsapi.ErrPerm
+	}
+	fs := f.c.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	rec := logRec{kind: opWrite, path: f.path, off: off, size: int64(len(b))}
+	rec, digested, err := fs.record(f.c.cpu, rec, b)
+	if err != nil {
+		return 0, err
+	}
+	if digested {
+		// The write already reached the shared engine state; no shadow
+		// overlay needed.
+		return len(b), nil
+	}
+	// The DRAM shadow needs the write's location in the log for
+	// reads-after-write.
+	s := fs.shadowOf(f.path)
+	if cur, _, exists := fs.statPath(f.path); exists && s.size < 0 {
+		s.size = cur
+	}
+	s.pending = append(s.pending, pendingExtent{
+		off: off, n: int64(len(b)), logPages: rec.logPages, headOff: rec.logHeadOff,
+	})
+	if off+int64(len(b)) > s.size {
+		s.size = off + int64(len(b))
+	}
+	return len(b), nil
+}
+
+// Append implements fsapi.File.
+func (f *File) Append(b []byte) (int64, error) {
+	fs := f.c.fs
+	fs.mu.Lock()
+	at, _, _ := fs.statPath(f.path)
+	fs.mu.Unlock()
+	if _, err := f.WriteAt(b, at); err != nil {
+		return 0, err
+	}
+	return at, nil
+}
+
+// ReadAt consults pending log extents first, then the digested state.
+func (f *File) ReadAt(b []byte, off int64) (int, error) {
+	fs := f.c.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	size, _, exists := fs.statPath(f.path)
+	if !exists {
+		return 0, fsapi.ErrNotExist
+	}
+	if off >= size {
+		return 0, nil
+	}
+	count := int64(len(b))
+	if off+count > size {
+		count = size - off
+	}
+	// Base: digested content; anything past the digested size reads as
+	// zeros until the overlay below fills it.
+	n := 0
+	if kn, err := fs.engResolve(f.path, false, f.c.cpu); err == nil {
+		kn.Mu.RLock()
+		n, _ = fs.eng.Read(f.c.cpu, kn, b[:count], off)
+		kn.Mu.RUnlock()
+	}
+	for i := int64(n); i < count; i++ {
+		b[i] = 0
+	}
+	// Overlay: pending extents, oldest to newest.
+	if s, ok := fs.shadow[f.path]; ok {
+		for _, ext := range s.pending {
+			lo, hi := ext.off, ext.off+ext.n
+			if hi <= off || lo >= off+count {
+				continue
+			}
+			if lo < off {
+				lo = off
+			}
+			if hi > off+count {
+				hi = off + count
+			}
+			// Read [lo,hi) of this extent from the log pages.
+			skip := lo - ext.off
+			pageOff := int64(ext.headOff) + skip
+			pi := 0
+			for pageOff >= pageSize64 {
+				pageOff -= pageSize64
+				pi++
+			}
+			read := lo
+			for read < hi && pi < len(ext.logPages) {
+				chunk := pageSize64 - pageOff
+				if rem := hi - read; chunk > rem {
+					chunk = rem
+				}
+				fs.as.Read(ext.logPages[pi], int(pageOff), b[read-off:read-off+chunk])
+				read += chunk
+				pageOff = 0
+				pi++
+			}
+		}
+	}
+	return int(count), nil
+}
+
+// Truncate implements fsapi.File.
+func (f *File) Truncate(size int64) error {
+	fs := f.c.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	// Truncate digests eagerly (like rename): shrink-then-grow must
+	// not resurrect pre-truncate engine content through the base read.
+	if err := fs.digestLocked(); err != nil {
+		return err
+	}
+	if _, _, err := fs.record(f.c.cpu, logRec{kind: opTruncate, path: f.path, size: size}, nil); err != nil {
+		return err
+	}
+	return fs.digestLocked()
+}
+
+// Size implements fsapi.File.
+func (f *File) Size() int64 {
+	fs := f.c.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	size, _, _ := fs.statPath(f.path)
+	return size
+}
+
+// Sync forces digestion — Strata's fsync equivalent.
+func (f *File) Sync() error {
+	fs := f.c.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.digestLocked()
+}
+
+// Close implements fsapi.File.
+func (f *File) Close() error { return nil }

@@ -1,0 +1,346 @@
+// Package strata models Strata (SOSP'17) as the paper evaluates it: a
+// userspace LibFS that appends every update — metadata operations and
+// write data alike — to a private NVM operation log, with a trusted
+// entity digesting the log into the shared file system state in the
+// background. The two costs the paper calls out (§2.3.1, §6.2) are both
+// real here:
+//
+//   - the extra write: data lands in the log first and is copied again
+//     at digestion ("this incurs an extra write to the log"), and
+//   - digestion: applying logged operations to the shared state costs
+//     an IPC round trip per batch plus the engine work ("at least
+//     44.5% of the time in digestion" for create).
+//
+// Like the paper's artifact, this Strata is effectively single-threaded
+// (one big LibFS lock); the evaluation only uses it at one thread.
+package strata
+
+import (
+	"strings"
+	"sync"
+
+	"trio/internal/baseline/kernfs"
+	"trio/internal/fsapi"
+	"trio/internal/mmu"
+	"trio/internal/nvm"
+)
+
+// digestThreshold is how many logged operations accumulate before the
+// LibFS hands the log to the digestion entity.
+const digestThreshold = 64
+
+// opKind tags log records.
+type opKind int
+
+const (
+	opCreate opKind = iota
+	opMkdir
+	opUnlink
+	opRmdir
+	opRename
+	opWrite
+	opTruncate
+)
+
+// logRec is the DRAM mirror of one NVM log record.
+type logRec struct {
+	kind       opKind
+	path, dst  string
+	off        int64
+	size       int64
+	logPages   []nvm.PageID // where the data bytes sit in the log
+	logHeadOff int
+}
+
+// sfile is the LibFS's private view of one file with undigested state.
+type sfile struct {
+	size    int64
+	pending []pendingExtent
+	isDir   bool
+	deleted bool
+	created bool
+}
+
+type pendingExtent struct {
+	off, n   int64
+	logPages []nvm.PageID
+	headOff  int
+}
+
+// FS is a Strata mount.
+type FS struct {
+	dev  *nvm.Device
+	cost *nvm.CostModel
+	eng  *kernfs.Engine // shared, digested state
+	as   *mmu.AddressSpace
+
+	mu      sync.Mutex
+	log     []logRec
+	shadow  map[string]*sfile // private undigested view, by full path
+	logPool []nvm.PageID      // NVM pages backing the private log
+	logIdx  int
+	logOff  int
+}
+
+// New mounts Strata over the device.
+func New(dev *nvm.Device, cpus int) (*FS, error) {
+	eng, err := kernfs.New(dev, kernfs.Ext4(), cpus, nil)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FS{
+		dev: dev, cost: dev.Cost(), eng: eng,
+		as:     mmu.NewAddressSpace(dev, 0),
+		shadow: make(map[string]*sfile),
+	}
+	fs.as.Map(0, int(dev.NumPages()), mmu.PermWrite)
+	return fs, nil
+}
+
+// Name implements fsapi.FS.
+func (fs *FS) Name() string { return "strata" }
+
+// Close digests outstanding state and stops.
+func (fs *FS) Close() error {
+	fs.mu.Lock()
+	fs.digestLocked()
+	fs.mu.Unlock()
+	return fs.eng.Close()
+}
+
+// NewClient implements fsapi.FS.
+func (fs *FS) NewClient(cpu int) fsapi.Client { return &Client{fs: fs, cpu: cpu} }
+
+// Client is a per-thread handle (all threads serialize on the LibFS
+// lock, as in the artifact).
+type Client struct {
+	fs  *FS
+	cpu int
+}
+
+func norm(path string) string {
+	parts := fsapi.SplitPath(path)
+	return "/" + strings.Join(parts, "/")
+}
+
+// logAppend writes n bytes of payload into the private NVM log and
+// returns the pages/offset they landed at. Caller holds fs.mu.
+func (fs *FS) logAppend(cpu int, payload []byte) ([]nvm.PageID, int, error) {
+	n := len(payload)
+	if n == 0 {
+		n = 64 // a bare metadata record still occupies a log entry
+		payload = make([]byte, 64)
+	}
+	var pages []nvm.PageID
+	headOff := -1
+	for written := 0; written < n; {
+		if len(fs.logPool) == 0 || fs.logOff >= nvm.PageSize {
+			fresh, err := fs.eng.AllocLogPage(cpu)
+			if err != nil {
+				return nil, 0, err
+			}
+			fs.logPool = append(fs.logPool, fresh)
+			fs.logIdx = len(fs.logPool) - 1
+			fs.logOff = 0
+		}
+		p := fs.logPool[fs.logIdx]
+		chunk := nvm.PageSize - fs.logOff
+		if rem := n - written; chunk > rem {
+			chunk = rem
+		}
+		if err := fs.as.Write(p, fs.logOff, payload[written:written+chunk]); err != nil {
+			return nil, 0, err
+		}
+		fs.as.Persist(p, fs.logOff, chunk)
+		if headOff < 0 {
+			headOff = fs.logOff
+		}
+		pages = append(pages, p)
+		fs.logOff += chunk
+		written += chunk
+	}
+	fs.as.Fence()
+	return pages, headOff, nil
+}
+
+// shadowOf returns (creating when needed) the private view of path.
+func (fs *FS) shadowOf(path string) *sfile {
+	s, ok := fs.shadow[path]
+	if !ok {
+		s = &sfile{size: -1} // -1: size unknown, consult digested state
+		fs.shadow[path] = s
+	}
+	return s
+}
+
+// record logs one operation (payload carries write data so it rides in
+// the log — the "extra write") and triggers digestion past the
+// threshold. It returns the completed record and whether the log was
+// digested (in which case the record's effects already reached the
+// shared engine state). Caller holds fs.mu.
+func (fs *FS) record(cpu int, r logRec, payload []byte) (logRec, bool, error) {
+	if r.kind == opWrite && payload == nil {
+		payload = make([]byte, r.size)
+	}
+	pages, headOff, err := fs.logAppend(cpu, payload)
+	if err != nil {
+		return r, false, err
+	}
+	r.logPages = pages
+	r.logHeadOff = headOff
+	fs.log = append(fs.log, r)
+	if len(fs.log) >= digestThreshold {
+		return r, true, fs.digestLocked()
+	}
+	return r, false, nil
+}
+
+// digestLocked hands the log to the trusted digestion entity: one IPC
+// round trip, then the engine applies every operation (journal writes,
+// data copies — the second write of each logged byte).
+func (fs *FS) digestLocked() error {
+	if len(fs.log) == 0 {
+		return nil
+	}
+	if fs.cost != nil {
+		fs.cost.IPC()
+	}
+	for _, r := range fs.log {
+		// Best-effort application: a record that no longer applies
+		// (e.g. its target was replaced later in the same batch) is
+		// skipped, never allowed to wedge the log.
+		_ = fs.applyLocked(&r)
+	}
+	fs.log = fs.log[:0]
+	fs.shadow = make(map[string]*sfile)
+	return nil
+}
+
+// engResolve resolves a path in the digested state.
+func (fs *FS) engResolve(path string, createMissing bool, cpu int) (*kernfs.Knode, error) {
+	kn := fs.eng.Root()
+	parts := fsapi.SplitPath(path)
+	for i, name := range parts {
+		next, err := fs.eng.Lookup(kn, name)
+		if err != nil {
+			if !createMissing {
+				return nil, err
+			}
+			next, err = fs.eng.Create(cpu, kn, name, i < len(parts)-1)
+			if err != nil {
+				return nil, err
+			}
+		}
+		kn = next
+	}
+	return kn, nil
+}
+
+func (fs *FS) applyLocked(r *logRec) error {
+	switch r.kind {
+	case opCreate, opMkdir:
+		dir, name, err := fs.splitEng(r.path)
+		if err != nil {
+			return err
+		}
+		if kn, err := fs.eng.Lookup(dir, name); err == nil {
+			// Create over an existing regular file truncates it.
+			if r.kind == opCreate && !kn.IsDir {
+				kn.Mu.Lock()
+				defer kn.Mu.Unlock()
+				return fs.eng.Truncate(0, kn, 0)
+			}
+			return nil
+		}
+		_, err = fs.eng.Create(0, dir, name, r.kind == opMkdir)
+		return err
+	case opUnlink, opRmdir:
+		dir, name, err := fs.splitEng(r.path)
+		if err != nil {
+			return err
+		}
+		return fs.eng.Remove(0, dir, name, r.kind == opRmdir)
+	case opRename:
+		sdir, sname, err := fs.splitEng(r.path)
+		if err != nil {
+			return err
+		}
+		ddir, dname, err := fs.splitEng(r.dst)
+		if err != nil {
+			return err
+		}
+		return fs.eng.Move(0, sdir, sname, ddir, dname)
+	case opWrite:
+		kn, err := fs.engResolve(r.path, true, 0)
+		if err != nil {
+			return err
+		}
+		// Copy the logged bytes into the file: the second write.
+		buf := make([]byte, r.size)
+		off := r.logHeadOff
+		read := int64(0)
+		for _, p := range r.logPages {
+			chunk := int64(nvm.PageSize - off)
+			if chunk > r.size-read {
+				chunk = r.size - read
+			}
+			fs.as.Read(p, off, buf[read:read+chunk])
+			read += chunk
+			off = 0
+			if read >= r.size {
+				break
+			}
+		}
+		return fs.eng.Write(0, kn, buf, r.off)
+	case opTruncate:
+		kn, err := fs.engResolve(r.path, true, 0)
+		if err != nil {
+			return err
+		}
+		return fs.eng.Truncate(0, kn, r.size)
+	}
+	return nil
+}
+
+func (fs *FS) splitEng(path string) (*kernfs.Knode, string, error) {
+	dirParts, name, err := fsapi.SplitDir(path)
+	if err != nil {
+		return nil, "", err
+	}
+	kn := fs.eng.Root()
+	for _, d := range dirParts {
+		next, lerr := fs.eng.Lookup(kn, d)
+		if lerr != nil {
+			// Parent may itself be undigested; create it.
+			next, lerr = fs.eng.Create(0, kn, d, true)
+			if lerr != nil {
+				return nil, "", lerr
+			}
+		}
+		kn = next
+	}
+	return kn, name, nil
+}
+
+// statPath resolves path against shadow-then-digested state. Caller
+// holds fs.mu.
+func (fs *FS) statPath(path string) (size int64, isDir, exists bool) {
+	if s, ok := fs.shadow[path]; ok {
+		if s.deleted {
+			return 0, false, false
+		}
+		if s.created || s.size >= 0 {
+			sz := s.size
+			if sz < 0 {
+				sz = 0
+			}
+			return sz, s.isDir, true
+		}
+	}
+	if kn, err := fs.engResolve(path, false, 0); err == nil {
+		kn.Mu.RLock()
+		defer kn.Mu.RUnlock()
+		return fs.eng.Size(kn), kn.IsDir, true
+	}
+	return 0, false, false
+}

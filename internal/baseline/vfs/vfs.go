@@ -1,0 +1,353 @@
+// Package vfs simulates the Linux VFS layer that every in-kernel
+// baseline runs under. It contributes exactly the costs the paper
+// blames for the baselines' behaviour (§2.3.1, §6.2, §6.4):
+//
+//   - a user/kernel crossing (trap) on every file system call,
+//   - a directory-entry cache whose *mutations* take a global lock
+//     (create/unlink/rename serialize across all CPUs),
+//   - per-dentry reference counts bounced between CPUs when threads
+//     open files in a shared directory (MRPM) or the same file (MRPH),
+//   - per-inode readers-writer locks, and
+//   - the global rename lock.
+//
+// Reads of the dcache scale (RCU-walk-style), which is why kernel file
+// systems do scale MRPL and MRDL in Fig. 7 — and nothing else.
+package vfs
+
+import (
+	"sync"
+
+	"trio/internal/baseline/kernfs"
+	"trio/internal/fsapi"
+	"trio/internal/nvm"
+)
+
+// FS wraps a kernfs engine behind the simulated VFS.
+type FS struct {
+	eng  *kernfs.Engine
+	cost *nvm.CostModel
+
+	// dcacheMu guards dentry-cache mutations globally. Lookups only
+	// take it shared.
+	dcacheMu sync.RWMutex
+	// renameMu is the kernel's global rename lock (s_vfs_rename_mutex).
+	renameMu sync.Mutex
+}
+
+// New mounts a baseline file system: a kernfs variant behind the VFS.
+func New(dev *nvm.Device, v kernfs.Variant, cpus int) (*FS, error) {
+	eng, err := kernfs.New(dev, v, cpus, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &FS{eng: eng, cost: dev.Cost()}, nil
+}
+
+// NewWithEngine wraps an existing engine (used by SplitFS, which shares
+// the ext4 engine between its kernel path and its userspace path).
+func NewWithEngine(eng *kernfs.Engine, cost *nvm.CostModel) *FS {
+	return &FS{eng: eng, cost: cost}
+}
+
+// Engine exposes the wrapped engine.
+func (fs *FS) Engine() *kernfs.Engine { return fs.eng }
+
+// Name implements fsapi.FS.
+func (fs *FS) Name() string { return fs.eng.VariantName() }
+
+// Close implements fsapi.FS.
+func (fs *FS) Close() error { return fs.eng.Close() }
+
+// NewClient implements fsapi.FS.
+func (fs *FS) NewClient(cpu int) fsapi.Client { return &Client{fs: fs, cpu: cpu} }
+
+// Client is a per-thread handle.
+type Client struct {
+	fs  *FS
+	cpu int
+}
+
+func (c *Client) trap() {
+	if c.fs.cost != nil {
+		c.fs.cost.Trap()
+	}
+}
+
+// metaWork charges the VFS's own metadata-mutation overhead (dentry and
+// icache management); it runs inside the dcache critical section, which
+// is also where the real kernel does this work.
+func (c *Client) metaWork() {
+	if c.fs.cost != nil {
+		c.fs.cost.VFSMeta()
+	}
+}
+
+// resolve walks the path under shared dcache access, bumping the
+// reference counts of the final dentry and its parent the way the real
+// path walk does — the atomic that kills shared-directory open
+// scalability.
+func (c *Client) resolve(parts []string) (*kernfs.Knode, error) {
+	c.fs.dcacheMu.RLock()
+	defer c.fs.dcacheMu.RUnlock()
+	return c.resolveLocked(parts)
+}
+
+func (c *Client) resolveLocked(parts []string) (*kernfs.Knode, error) {
+	kn := c.fs.eng.Root()
+	var parent *kernfs.Knode
+	for _, name := range parts {
+		kn.Mu.RLock()
+		next, err := c.fs.eng.Lookup(kn, name)
+		kn.Mu.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		parent = kn
+		kn = next
+	}
+	// dget on the final dentry and its parent.
+	kn.Ref.Add(1)
+	kn.Ref.Add(-1)
+	if parent != nil {
+		parent.Ref.Add(1)
+		parent.Ref.Add(-1)
+	}
+	return kn, nil
+}
+
+func (c *Client) resolveParent(path string) (*kernfs.Knode, string, error) {
+	dir, name, err := fsapi.SplitDir(path)
+	if err != nil {
+		return nil, "", err
+	}
+	parent, rerr := c.resolve(dir)
+	if rerr != nil {
+		return nil, "", rerr
+	}
+	return parent, name, nil
+}
+
+// File is an open kernel file handle.
+type File struct {
+	c  *Client
+	kn *kernfs.Knode
+	rw bool
+}
+
+// Create implements fsapi.Client.
+func (c *Client) Create(path string, mode uint16) (fsapi.File, error) {
+	c.trap()
+	parent, name, err := c.resolveParent(path)
+	if err != nil {
+		return nil, err
+	}
+	// dcache insertion is a global-lock critical section.
+	c.fs.dcacheMu.Lock()
+	c.metaWork()
+	parent.Mu.Lock()
+	kn, cerr := c.fs.eng.Create(c.cpu, parent, name, false)
+	parent.Mu.Unlock()
+	c.fs.dcacheMu.Unlock()
+	if cerr == fsapi.ErrExist {
+		f, oerr := c.Open(path, true)
+		if oerr != nil {
+			return nil, oerr
+		}
+		return f, f.Truncate(0)
+	}
+	if cerr != nil {
+		return nil, cerr
+	}
+	return &File{c: c, kn: kn, rw: true}, nil
+}
+
+// Open implements fsapi.Client.
+func (c *Client) Open(path string, write bool) (fsapi.File, error) {
+	c.trap()
+	kn, err := c.resolve(fsapi.SplitPath(path))
+	if err != nil {
+		return nil, err
+	}
+	if kn.IsDir {
+		return nil, fsapi.ErrIsDir
+	}
+	return &File{c: c, kn: kn, rw: write}, nil
+}
+
+// Mkdir implements fsapi.Client.
+func (c *Client) Mkdir(path string, mode uint16) error {
+	c.trap()
+	parent, name, err := c.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	c.fs.dcacheMu.Lock()
+	c.metaWork()
+	parent.Mu.Lock()
+	_, cerr := c.fs.eng.Create(c.cpu, parent, name, true)
+	parent.Mu.Unlock()
+	c.fs.dcacheMu.Unlock()
+	return cerr
+}
+
+// Unlink implements fsapi.Client.
+func (c *Client) Unlink(path string) error { return c.remove(path, false) }
+
+// Rmdir implements fsapi.Client.
+func (c *Client) Rmdir(path string) error { return c.remove(path, true) }
+
+func (c *Client) remove(path string, wantDir bool) error {
+	c.trap()
+	parent, name, err := c.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	c.fs.dcacheMu.Lock()
+	c.metaWork()
+	parent.Mu.Lock()
+	rerr := c.fs.eng.Remove(c.cpu, parent, name, wantDir)
+	parent.Mu.Unlock()
+	c.fs.dcacheMu.Unlock()
+	return rerr
+}
+
+// Rename implements fsapi.Client — under the global rename lock.
+func (c *Client) Rename(oldPath, newPath string) error {
+	c.trap()
+	src, oldName, err := c.resolveParent(oldPath)
+	if err != nil {
+		return err
+	}
+	dst, newName, err := c.resolveParent(newPath)
+	if err != nil {
+		return err
+	}
+	c.fs.renameMu.Lock()
+	defer c.fs.renameMu.Unlock()
+	c.fs.dcacheMu.Lock()
+	defer c.fs.dcacheMu.Unlock()
+	c.metaWork()
+	if src == dst {
+		src.Mu.Lock()
+		err = c.fs.eng.Move(c.cpu, src, oldName, dst, newName)
+		src.Mu.Unlock()
+		return err
+	}
+	first, second := src, dst
+	if first.Ino > second.Ino {
+		first, second = second, first
+	}
+	first.Mu.Lock()
+	second.Mu.Lock()
+	err = c.fs.eng.Move(c.cpu, src, oldName, dst, newName)
+	second.Mu.Unlock()
+	first.Mu.Unlock()
+	return err
+}
+
+// Stat implements fsapi.Client.
+func (c *Client) Stat(path string) (fsapi.FileInfo, error) {
+	c.trap()
+	parts := fsapi.SplitPath(path)
+	kn, err := c.resolve(parts)
+	if err != nil {
+		return fsapi.FileInfo{}, err
+	}
+	name := "/"
+	if len(parts) > 0 {
+		name = parts[len(parts)-1]
+	}
+	kn.Mu.RLock()
+	defer kn.Mu.RUnlock()
+	return fsapi.FileInfo{
+		Name: name, Ino: kn.Ino, Size: c.fs.eng.Size(kn), IsDir: kn.IsDir,
+	}, nil
+}
+
+// ReadDir implements fsapi.Client.
+func (c *Client) ReadDir(path string) ([]string, error) {
+	c.trap()
+	kn, err := c.resolve(fsapi.SplitPath(path))
+	if err != nil {
+		return nil, err
+	}
+	if !kn.IsDir {
+		return nil, fsapi.ErrNotDir
+	}
+	kn.Mu.RLock()
+	defer kn.Mu.RUnlock()
+	return c.fs.eng.Names(kn), nil
+}
+
+// ReadAt implements fsapi.File.
+func (f *File) ReadAt(b []byte, off int64) (int, error) {
+	f.c.trap()
+	f.kn.Mu.RLock()
+	defer f.kn.Mu.RUnlock()
+	return f.c.fs.eng.Read(f.c.cpu, f.kn, b, off)
+}
+
+// WriteAt implements fsapi.File.
+func (f *File) WriteAt(b []byte, off int64) (int, error) {
+	f.c.trap()
+	if !f.rw {
+		return 0, fsapi.ErrPerm
+	}
+	f.kn.Mu.Lock()
+	defer f.kn.Mu.Unlock()
+	if err := f.c.fs.eng.Write(f.c.cpu, f.kn, b, off); err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
+
+// Append implements fsapi.File.
+func (f *File) Append(b []byte) (int64, error) {
+	f.c.trap()
+	if !f.rw {
+		return 0, fsapi.ErrPerm
+	}
+	f.kn.Mu.Lock()
+	defer f.kn.Mu.Unlock()
+	at := f.c.fs.eng.Size(f.kn)
+	if err := f.c.fs.eng.Write(f.c.cpu, f.kn, b, at); err != nil {
+		return 0, err
+	}
+	return at, nil
+}
+
+// Truncate implements fsapi.File.
+func (f *File) Truncate(size int64) error {
+	f.c.trap()
+	if !f.rw {
+		return fsapi.ErrPerm
+	}
+	f.kn.Mu.Lock()
+	defer f.kn.Mu.Unlock()
+	return f.c.fs.eng.Truncate(f.c.cpu, f.kn, size)
+}
+
+// Size implements fsapi.File.
+func (f *File) Size() int64 {
+	f.kn.Mu.RLock()
+	defer f.kn.Mu.RUnlock()
+	return f.c.fs.eng.Size(f.kn)
+}
+
+// Sync implements fsapi.File.
+func (f *File) Sync() error {
+	f.c.trap()
+	f.kn.Mu.Lock()
+	defer f.kn.Mu.Unlock()
+	return f.c.fs.eng.Fsync(f.c.cpu, f.kn)
+}
+
+// Close implements fsapi.File.
+func (f *File) Close() error {
+	f.c.trap()
+	return nil
+}
+
+// Knode exposes the engine inode behind this handle; SplitFS's
+// userspace data path uses it to bypass the VFS.
+func (f *File) Knode() *kernfs.Knode { return f.kn }

@@ -1,0 +1,417 @@
+// Package controller implements Trio's in-kernel access controller
+// (paper §3.2): the privileged component that decides which shared file
+// system resources — NVM pages and inodes — each LibFS can access. It
+// owns the device, programs the (simulated) MMU, maintains the global
+// file-system information the integrity verifier needs for invariant I2,
+// keeps the shadow inode table for I4, checkpoints files when granting
+// write access, and orchestrates verification and corruption handling
+// when write access to a file transfers between trust domains (§4.3).
+//
+// The controller is deliberately file-system-agnostic beyond the shared
+// core-state definition: it contains no directory hash tables, no radix
+// trees, no journals — those are LibFS auxiliary state. Everything here
+// exists to enforce access control and metadata integrity.
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"trio/internal/alloc"
+	"trio/internal/core"
+	"trio/internal/mmu"
+	"trio/internal/nvm"
+	"trio/internal/verifier"
+)
+
+// LibFSID identifies a registered LibFS instance.
+type LibFSID uint32
+
+// GroupID identifies a trust group (§3.2). Processes in one trust group
+// share files without the map/verify/rebuild sharing cost.
+type GroupID uint32
+
+// Common error conditions surfaced to LibFSes.
+var (
+	ErrPermission  = errors.New("controller: permission denied")
+	ErrBusy        = errors.New("controller: file is exclusively mapped")
+	ErrUnknownFile = errors.New("controller: unknown file")
+	ErrQuarantined = errors.New("controller: file was quarantined after corruption")
+	ErrCorrupt     = errors.New("controller: core state failed integrity verification")
+	ErrNotEmpty    = errors.New("controller: directory not empty")
+	ErrBadRequest  = errors.New("controller: invalid request")
+)
+
+// Options configures a controller.
+type Options struct {
+	// CPUs sizes the per-CPU allocator sharding. Defaults to 8.
+	CPUs int
+	// LeaseTime bounds how long a LibFS may hold exclusive write access
+	// to a file while another trust domain wants it (§4.5: "the kernel
+	// controller uses leases to prevent a LibFS from holding a file
+	// forever"). Defaults to 10ms (the paper uses 100ms; scaled down
+	// with everything else).
+	LeaseTime time.Duration
+	// FixTimeout is how long a LibFS gets to fix corruption it caused
+	// before the controller rolls the file back (§4.3).
+	FixTimeout time.Duration
+}
+
+func (o *Options) fill() {
+	if o.CPUs <= 0 {
+		o.CPUs = 8
+	}
+	if o.LeaseTime <= 0 {
+		o.LeaseTime = 10 * time.Millisecond
+	}
+	if o.FixTimeout <= 0 {
+		o.FixTimeout = 10 * time.Millisecond
+	}
+}
+
+// fileState is the controller's record of one existing, verified file.
+type fileState struct {
+	ino    core.Ino
+	loc    core.FileLoc
+	ftype  core.FileType
+	parent core.Ino
+
+	// pages is the verified core-state page set (index + data pages).
+	pages map[nvm.PageID]bool
+
+	// children is the last verified dirent list (directories only); it
+	// doubles as the I3 baseline when no fresh checkpoint exists.
+	children []verifier.ChildRef
+
+	readers     map[LibFSID]bool
+	writer      LibFSID // 0 = none
+	writerGroup GroupID
+	writerSince time.Time
+
+	checkpoint  *checkpoint
+	quarantined LibFSID // non-zero once corruption made it private
+}
+
+// checkpoint snapshots a file's metadata when write access is granted
+// (§4.3): index pages for regular files, index and data pages for
+// directories, plus the inode and (for dirs) the children list.
+type checkpoint struct {
+	inode    core.Inode
+	pages    map[nvm.PageID][]byte
+	children []verifier.ChildRef
+}
+
+// libfsState is the controller's record of one registered LibFS.
+type libfsState struct {
+	id       LibFSID
+	uid, gid uint32
+	group    GroupID
+	as       *mmu.AddressSpace
+
+	// allocPages are pages handed to the LibFS that are not yet bound
+	// into a verified file. allocInos likewise for inode numbers.
+	allocPages map[nvm.PageID]bool
+	allocInos  map[core.Ino]bool
+
+	// mapped tracks which files this LibFS currently has mapped.
+	mapped map[core.Ino]*mapping
+
+	// pageRefs reference-counts page mappings in the address space:
+	// sibling files share their parent directory's dirent pages, so a
+	// page is unmapped only when its last user unmaps.
+	pageRefs map[nvm.PageID]int
+
+	// fix, if set, is invoked when this LibFS's corruption is detected,
+	// giving it FixTimeout to repair the core state (§4.3).
+	fix func(ino core.Ino) error
+}
+
+type mapping struct {
+	ino   core.Ino
+	write bool
+	pages []nvm.PageID // pages granted for this file (incl. the dirent page)
+}
+
+// Controller is the trusted kernel component.
+type Controller struct {
+	dev  *nvm.Device
+	mem  core.Mem
+	cost *nvm.CostModel
+	opts Options
+
+	verifier *verifier.Verifier
+
+	mu        sync.Mutex
+	files     map[core.Ino]*fileState
+	pageOwner map[nvm.PageID]core.Ino // page -> verified owning file
+	libfses   map[LibFSID]*libfsState
+	allocBy   map[core.Ino]LibFSID // ino -> LibFS it was issued to
+	shadow    map[core.Ino]verifier.ShadowInfo
+
+	pageAlloc *alloc.PageAlloc
+	inoAlloc  *alloc.InoAlloc
+
+	nextLibFS LibFSID
+	nextGroup GroupID
+
+	stats Stats
+}
+
+// New mounts a controller over the device, formatting it when blank and
+// scanning the existing tree when already formatted.
+func New(dev *nvm.Device, opts Options) (*Controller, error) {
+	opts.fill()
+	c := &Controller{
+		dev:       dev,
+		mem:       core.Direct(dev, 0),
+		cost:      dev.Cost(),
+		opts:      opts,
+		verifier:  verifier.New(dev),
+		files:     make(map[core.Ino]*fileState),
+		pageOwner: make(map[nvm.PageID]core.Ino),
+		libfses:   make(map[LibFSID]*libfsState),
+		allocBy:   make(map[core.Ino]LibFSID),
+		shadow:    make(map[core.Ino]verifier.ShadowInfo),
+		nextLibFS: 1,
+		nextGroup: 1 << 16, // private groups; user groups are small ints
+	}
+	if _, err := core.ReadSuperblock(c.mem); err != nil {
+		if ferr := core.Format(dev); ferr != nil {
+			return nil, ferr
+		}
+	}
+	c.pageAlloc = alloc.NewPageAlloc(core.FirstFilePage, dev.NumPages(), opts.CPUs)
+
+	maxIno, err := c.scanTree()
+	if err != nil {
+		return nil, fmt.Errorf("controller: scanning existing tree: %w", err)
+	}
+	c.inoAlloc = alloc.NewInoAlloc(maxIno+1, opts.CPUs)
+	return c, nil
+}
+
+// scanTree walks the populated device from the root (the trusted mount-
+// time equivalent of fsck's reachability pass), building fileStates,
+// the page-owner map and the shadow table, and reserving used pages.
+func (c *Controller) scanTree() (maxIno uint64, err error) {
+	root := &fileState{
+		ino:     core.RootIno,
+		loc:     core.RootLoc(),
+		ftype:   core.TypeDir,
+		parent:  0,
+		pages:   make(map[nvm.PageID]bool),
+		readers: make(map[LibFSID]bool),
+	}
+	c.files[core.RootIno] = root
+	rootInode, err := core.ReadDirentInode(c.mem, root.loc.Page, root.loc.Slot)
+	if err != nil {
+		return 0, err
+	}
+	c.shadow[core.RootIno] = verifier.ShadowInfo{
+		Mode: rootInode.Mode, UID: rootInode.UID, GID: rootInode.GID, Type: core.TypeDir,
+	}
+	maxIno = uint64(core.RootIno)
+
+	type workItem struct{ fs *fileState }
+	queue := []workItem{{root}}
+	visited := map[core.Ino]bool{core.RootIno: true}
+	for len(queue) > 0 {
+		item := queue[0]
+		queue = queue[1:]
+		fs := item.fs
+		in, err := core.ReadDirentInode(c.mem, fs.loc.Page, fs.loc.Slot)
+		if err != nil {
+			return 0, err
+		}
+		blocks := map[uint64]nvm.PageID{}
+		err = core.WalkFile(c.mem, in.Head, int(c.dev.NumPages()),
+			func(p nvm.PageID) bool {
+				fs.pages[p] = true
+				return true
+			},
+			func(b uint64, p nvm.PageID) bool {
+				fs.pages[p] = true
+				blocks[b] = p
+				return true
+			})
+		if err != nil {
+			return 0, fmt.Errorf("file %d: %w", fs.ino, err)
+		}
+		for p := range fs.pages {
+			c.pageOwner[p] = fs.ino
+			c.pageAlloc.Reserve(p)
+		}
+		if fs.ftype != core.TypeDir {
+			continue
+		}
+		for _, p := range blocks {
+			for slot := 0; slot < core.SlotsPerDirPage; slot++ {
+				ino, err := core.DirentIno(c.mem, p, slot)
+				if err != nil || ino == 0 {
+					continue
+				}
+				child, err := core.ReadDirentInode(c.mem, p, slot)
+				if err != nil {
+					return 0, err
+				}
+				name, err := core.ReadDirentName(c.mem, p, slot)
+				if err != nil {
+					return 0, err
+				}
+				if visited[child.Ino] {
+					return 0, fmt.Errorf("inode %d reachable twice (corrupt tree)", child.Ino)
+				}
+				visited[child.Ino] = true
+				if uint64(child.Ino) > maxIno {
+					maxIno = uint64(child.Ino)
+				}
+				loc := core.FileLoc{Page: p, Slot: slot}
+				cfs := &fileState{
+					ino: child.Ino, loc: loc, ftype: child.Type, parent: fs.ino,
+					pages:   make(map[nvm.PageID]bool),
+					readers: make(map[LibFSID]bool),
+				}
+				c.files[child.Ino] = cfs
+				c.shadow[child.Ino] = verifier.ShadowInfo{
+					Mode: child.Mode, UID: child.UID, GID: child.GID, Type: child.Type,
+				}
+				fs.children = append(fs.children, verifier.ChildRef{
+					Ino: child.Ino, Name: name, Loc: loc, Inode: child,
+				})
+				// Both file types are enqueued: directories to scan their
+				// entries, regular files to reserve their index/data pages.
+				queue = append(queue, workItem{cfs})
+			}
+		}
+	}
+	// Reserve the root inode page itself.
+	c.pageAlloc.Reserve(core.RootInodePage)
+	return maxIno, nil
+}
+
+// trap charges one kernel crossing when cost modeling is on.
+func (c *Controller) trap() {
+	if c.cost != nil {
+		c.cost.Trap()
+	}
+}
+
+// Device returns the underlying device (trusted callers/tests).
+func (c *Controller) Device() *nvm.Device { return c.dev }
+
+// FreePages reports the allocator's free page count.
+func (c *Controller) FreePagesCount() int { return c.pageAlloc.Free() }
+
+// Register creates a new LibFS session. group 0 requests a private
+// trust domain; a non-zero group joins that trust group. node is the
+// NUMA node the application's threads run on.
+func (c *Controller) Register(uid, gid uint32, node int, group GroupID) *Session {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextLibFS
+	c.nextLibFS++
+	if group == 0 {
+		group = c.nextGroup
+		c.nextGroup++
+	}
+	ls := &libfsState{
+		id: id, uid: uid, gid: gid, group: group,
+		as:         mmu.NewAddressSpace(c.dev, node),
+		allocPages: make(map[nvm.PageID]bool),
+		allocInos:  make(map[core.Ino]bool),
+		mapped:     make(map[core.Ino]*mapping),
+		pageRefs:   make(map[nvm.PageID]int),
+	}
+	// Every LibFS can read the superblock (§4.1).
+	ls.as.Map(0, 1, mmu.PermRead)
+	c.libfses[id] = ls
+	return &Session{c: c, ls: ls}
+}
+
+// Session is a LibFS's handle to the controller — the "system call"
+// surface. All methods charge the kernel-crossing cost.
+type Session struct {
+	c  *Controller
+	ls *libfsState
+}
+
+// ID returns the LibFS id.
+func (s *Session) ID() LibFSID { return s.ls.id }
+
+// Group returns the session's trust group.
+func (s *Session) Group() GroupID { return s.ls.group }
+
+// AddressSpace returns the MMU view the LibFS must use for all NVM
+// access.
+func (s *Session) AddressSpace() *mmu.AddressSpace { return s.ls.as }
+
+// Cred returns the session's credentials.
+func (s *Session) Cred() (uid, gid uint32) { return s.ls.uid, s.ls.gid }
+
+// SetFixHandler registers the LibFS's corruption-fix program (§4.3).
+func (s *Session) SetFixHandler(fn func(ino core.Ino) error) {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	s.ls.fix = fn
+}
+
+// Close releases every mapping and resource of the session. Writer
+// mappings go through the usual unmap-verify path first.
+func (s *Session) Close() error {
+	// Collect mapped inos first (UnmapFile takes the lock itself).
+	s.c.mu.Lock()
+	inos := make([]core.Ino, 0, len(s.ls.mapped))
+	for ino := range s.ls.mapped {
+		inos = append(inos, ino)
+	}
+	s.c.mu.Unlock()
+	var firstErr error
+	for _, ino := range inos {
+		if err := s.UnmapFile(ino); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	// Return unbound resources.
+	var pages []nvm.PageID
+	for p := range s.ls.allocPages {
+		pages = append(pages, p)
+		delete(s.ls.allocPages, p)
+		s.unrefPageLocked(p)
+	}
+	s.c.pageAlloc.FreePages(pages)
+	for ino := range s.ls.allocInos {
+		delete(s.c.allocBy, ino)
+		delete(s.ls.allocInos, ino)
+	}
+	delete(s.c.libfses, s.ls.id)
+	s.ls.as.UnmapAll()
+	return firstErr
+}
+
+// refPageLocked maps page p (or bumps its refcount) with at least perm.
+func (ls *libfsState) refPageLocked(p nvm.PageID, perm mmu.Perm) {
+	ls.pageRefs[p]++
+	if ls.as.PermOf(p) < perm {
+		ls.as.Map(p, 1, perm)
+	} else if ls.pageRefs[p] == 1 {
+		ls.as.Map(p, 1, perm)
+	}
+}
+
+// unrefPageLocked drops one reference to page p, unmapping at zero.
+func (s *Session) unrefPageLocked(p nvm.PageID) {
+	s.ls.unrefPageLocked(p)
+}
+
+func (ls *libfsState) unrefPageLocked(p nvm.PageID) {
+	if n := ls.pageRefs[p]; n > 1 {
+		ls.pageRefs[p] = n - 1
+		return
+	}
+	delete(ls.pageRefs, p)
+	ls.as.Unmap(p, 1)
+}

@@ -1,0 +1,692 @@
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"trio/internal/core"
+	"trio/internal/mmu"
+	"trio/internal/nvm"
+	"trio/internal/verifier"
+)
+
+// MapInfo is what a LibFS gets back from MapFile: where the inode lives
+// and which pages are now accessible. The LibFS builds its auxiliary
+// state by walking the core state through its address space.
+type MapInfo struct {
+	Ino   core.Ino
+	Loc   core.FileLoc
+	Inode core.Inode
+	Write bool
+}
+
+// MapFile grants this LibFS access to the file whose inode the LibFS
+// discovered at loc (paper Fig. 2, steps 1–2 and 9). For files the
+// controller has not seen yet (created by some LibFS and never shared),
+// the file is first adopted: verified against its creator's resource
+// grants, then recorded.
+//
+// Sharing policy (§3.2): concurrent read mappings are allowed; write
+// mapping is exclusive per trust group. A conflicting request waits for
+// the holder's lease to expire and then revokes it.
+func (s *Session) MapFile(ino core.Ino, loc core.FileLoc, write bool) (*MapInfo, error) {
+	s.c.trap()
+	start := time.Now()
+	defer func() { s.c.stats.addMap(time.Since(start)) }()
+
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	fs, err := c.lookupOrAdoptLocked(ino, loc)
+	if err != nil {
+		return nil, err
+	}
+	if fs.quarantined != 0 && fs.quarantined != s.ls.id {
+		return nil, ErrQuarantined
+	}
+
+	// Idempotent re-map: an existing mapping that already satisfies the
+	// request is returned as-is; an upgrade (read→write) releases the
+	// old grant first.
+	if m := s.ls.mapped[fs.ino]; m != nil {
+		if m.write || !write {
+			in, rerr := core.ReadDirentInode(c.mem, fs.loc.Page, fs.loc.Slot)
+			if rerr != nil {
+				return nil, rerr
+			}
+			return &MapInfo{Ino: fs.ino, Loc: fs.loc, Inode: in, Write: m.write}, nil
+		}
+		if err := c.unmapLocked(s.ls, fs.ino); err != nil {
+			return nil, err
+		}
+	}
+
+	// Permission check against the shadow table (ground truth, I4).
+	if !c.permittedLocked(s.ls, fs.ino, write) {
+		return nil, fmt.Errorf("%w: ino %d write=%v for uid %d", ErrPermission, ino, write, s.ls.uid)
+	}
+
+	// Enforce concurrent-reads-or-exclusive-write across trust groups.
+	if err := c.waitForAccessLocked(s.ls, fs, write); err != nil {
+		return nil, err
+	}
+
+	in, err := core.ReadDirentInode(c.mem, fs.loc.Page, fs.loc.Slot)
+	if err != nil {
+		return nil, err
+	}
+
+	// Collect the page set to map: the dirent page plus the file's
+	// current index/data pages.
+	pages := []nvm.PageID{fs.loc.Page}
+	err = core.WalkFile(c.mem, in.Head, int(c.dev.NumPages()),
+		func(p nvm.PageID) bool { pages = append(pages, p); return true },
+		func(_ uint64, p nvm.PageID) bool { pages = append(pages, p); return true })
+	if err != nil {
+		return nil, fmt.Errorf("controller: walking file %d: %w", ino, err)
+	}
+
+	perm := mmu.PermRead
+	if write {
+		perm = mmu.PermWrite
+	}
+	for _, p := range pages {
+		s.ls.refPageLocked(p, perm)
+	}
+	s.ls.mapped[fs.ino] = &mapping{ino: fs.ino, write: write, pages: pages}
+
+	if write {
+		fs.writer = s.ls.id
+		fs.writerGroup = s.ls.group
+		fs.writerSince = time.Now()
+		c.checkpointLocked(fs, &in)
+	} else {
+		fs.readers[s.ls.id] = true
+	}
+	return &MapInfo{Ino: fs.ino, Loc: fs.loc, Inode: in, Write: write}, nil
+}
+
+// permittedLocked evaluates classic owner/group/other permission bits
+// from the shadow table.
+func (c *Controller) permittedLocked(ls *libfsState, ino core.Ino, write bool) bool {
+	sh, ok := c.shadow[ino]
+	if !ok {
+		// Unknown to the controller: only its creator may touch it.
+		return c.allocBy[ino] == ls.id
+	}
+	if ls.uid == 0 {
+		return true
+	}
+	var shift uint
+	switch {
+	case ls.uid == sh.UID:
+		shift = 6
+	case ls.gid == sh.GID:
+		shift = 3
+	default:
+		shift = 0
+	}
+	bit := uint16(4) // read
+	if write {
+		bit = 2
+	}
+	return sh.Mode&(bit<<shift) != 0
+}
+
+// waitForAccessLocked blocks (releasing the lock while sleeping) until
+// the requested access is compatible, revoking expired leases.
+func (c *Controller) waitForAccessLocked(ls *libfsState, fs *fileState, write bool) error {
+	for {
+		conflict := false
+		if fs.writer != 0 && fs.writerGroup != ls.group {
+			conflict = true
+		}
+		if write && !conflict {
+			for rid := range fs.readers {
+				if r := c.libfses[rid]; r != nil && r.group != ls.group {
+					// Readers are revoked immediately: their next access
+					// faults and they re-map (paper §4.2: "a LibFS can
+					// preserve the auxiliary state of a file until
+					// another application requests to write").
+					c.revokeLocked(r, fs.ino)
+				}
+			}
+		}
+		if !conflict {
+			return nil
+		}
+		holder := c.libfses[fs.writer]
+		if holder == nil {
+			fs.writer = 0
+			continue
+		}
+		remaining := c.opts.LeaseTime - time.Since(fs.writerSince)
+		if remaining <= 0 {
+			// Lease expired: revoke the writer. This runs the full
+			// unmap path including verification.
+			if err := c.unmapLocked(holder, fs.ino); err != nil {
+				return err
+			}
+			continue
+		}
+		c.mu.Unlock()
+		time.Sleep(remaining)
+		c.mu.Lock()
+	}
+}
+
+// revokeLocked force-unmaps a reader mapping (no verification needed).
+func (c *Controller) revokeLocked(ls *libfsState, ino core.Ino) {
+	m := ls.mapped[ino]
+	if m == nil || m.write {
+		return
+	}
+	for _, p := range m.pages {
+		ls.unrefPageLocked(p)
+	}
+	delete(ls.mapped, ino)
+	if fs := c.files[ino]; fs != nil {
+		delete(fs.readers, ls.id)
+	}
+}
+
+// lookupOrAdoptLocked resolves ino to a fileState, adopting files the
+// controller has never verified (fresh creates by some LibFS).
+func (c *Controller) lookupOrAdoptLocked(ino core.Ino, loc core.FileLoc) (*fileState, error) {
+	if fs, ok := c.files[ino]; ok {
+		return fs, nil
+	}
+	creator, ok := c.allocBy[ino]
+	if !ok {
+		return nil, fmt.Errorf("%w: ino %d", ErrUnknownFile, ino)
+	}
+	ls := c.libfses[creator]
+	if ls == nil {
+		return nil, fmt.Errorf("%w: ino %d (creator gone)", ErrUnknownFile, ino)
+	}
+	// Validate the location hint before trusting it: the slot must
+	// actually hold this ino, and its page must be a dirent page of an
+	// existing directory (or the root page).
+	if got, err := core.DirentIno(c.mem, loc.Page, loc.Slot); err != nil || got != ino {
+		return nil, fmt.Errorf("%w: location hint does not hold ino %d", ErrBadRequest, ino)
+	}
+	parentIno, ok := c.direntPageParentLocked(loc.Page, creator)
+	if !ok {
+		return nil, fmt.Errorf("%w: location hint page %d is not a directory page", ErrBadRequest, loc.Page)
+	}
+	fs := &fileState{
+		ino: ino, loc: loc, parent: parentIno,
+		pages:   make(map[nvm.PageID]bool),
+		readers: make(map[LibFSID]bool),
+	}
+	rep, err := c.runVerifierLocked(fs, ls)
+	if err != nil {
+		return nil, err
+	}
+	if !rep.OK() {
+		c.stats.Corruptions.Add(1)
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, rep.Violations)
+	}
+	fs.ftype = rep.Inode.Type
+	c.commitReportLocked(fs, ls, rep)
+	c.files[ino] = fs
+	return fs, nil
+}
+
+// direntPageParentLocked reports which directory owns page p as one of
+// its dirent pages. Pages still in the creator's allocation pool are
+// accepted too (brand-new directories), attributed to parent 0 until a
+// verification discovers the true parent.
+func (c *Controller) direntPageParentLocked(p nvm.PageID, creator LibFSID) (core.Ino, bool) {
+	if p == core.RootInodePage {
+		return 0, true
+	}
+	if ino, ok := c.pageOwner[p]; ok {
+		if fs := c.files[ino]; fs != nil && fs.ftype == core.TypeDir {
+			return ino, true
+		}
+		return 0, false
+	}
+	if ls := c.libfses[creator]; ls != nil && ls.allocPages[p] {
+		return 0, true
+	}
+	return 0, false
+}
+
+// UnmapFile releases this LibFS's mapping of ino (paper Fig. 2, step 5).
+// When the mapping was writable, the integrity verifier checks the
+// file's core state before the pages become shareable again (steps 6–8).
+func (s *Session) UnmapFile(ino core.Ino) error {
+	s.c.trap()
+	start := time.Now()
+	defer func() { s.c.stats.addUnmap(time.Since(start)) }()
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	return s.c.unmapLocked(s.ls, ino)
+}
+
+func (c *Controller) unmapLocked(ls *libfsState, ino core.Ino) error {
+	m := ls.mapped[ino]
+	if m == nil {
+		return fmt.Errorf("%w: ino %d is not mapped", ErrBadRequest, ino)
+	}
+	fs := c.files[ino]
+	if fs == nil {
+		return fmt.Errorf("%w: ino %d", ErrUnknownFile, ino)
+	}
+	unref := func(pages []nvm.PageID) {
+		for _, p := range pages {
+			ls.unrefPageLocked(p)
+		}
+	}
+	if !m.write {
+		unref(m.pages)
+		delete(fs.readers, ls.id)
+		delete(ls.mapped, ino)
+		return nil
+	}
+
+	rep, err := c.runVerifierLocked(fs, ls)
+	if err != nil {
+		return err
+	}
+	if !rep.OK() {
+		rep = c.handleCorruptionLocked(fs, ls, rep)
+	}
+	if rep.OK() {
+		// commitReportLocked transfers the pool references of newly
+		// absorbed pages onto this mapping, so the single unref below
+		// releases everything.
+		c.commitReportLocked(fs, ls, rep)
+	}
+	unref(m.pages)
+	fs.writer = 0
+	fs.checkpoint = nil
+	delete(ls.mapped, ino)
+	return nil
+}
+
+// runVerifierLocked invokes the trusted verifier process on one file.
+// The controller→verifier round trip costs one IPC (§6.5: verification
+// dominated by this for small files).
+// DebugVerifyFailure, when non-nil, receives a description of every
+// failed verification (test instrumentation).
+var DebugVerifyFailure func(msg string)
+
+func (c *Controller) runVerifierLocked(fs *fileState, ls *libfsState) (*verifier.Report, error) {
+	if c.cost != nil {
+		c.cost.IPC()
+	}
+	start := time.Now()
+	defer func() { c.stats.addVerify(time.Since(start)) }()
+	env := &envImpl{c: c, fs: fs, ls: ls}
+	rep, err := c.verifier.VerifyFile(env, fs.ino, fs.loc, fs.ino == core.RootIno)
+	if DebugVerifyFailure != nil && err == nil && !rep.OK() {
+		DebugVerifyFailure(fmt.Sprintf("ino %d (libfs %d): %v", fs.ino, ls.id, rep.Violations))
+	}
+	return rep, err
+}
+
+// commitReportLocked records a clean verification outcome: the file's
+// new page set, ino bindings and shadow adoptions for new children.
+func (c *Controller) commitReportLocked(fs *fileState, ls *libfsState, rep *verifier.Report) {
+	// Page set: consume newly bound pages from the allocation pool;
+	// release pages that left the file back to the allocator. Pool
+	// references of consumed pages either transfer onto the caller's
+	// still-open mapping of this file or are dropped.
+	m := ls.mapped[fs.ino]
+	inMapping := make(map[nvm.PageID]bool)
+	if m != nil {
+		for _, p := range m.pages {
+			inMapping[p] = true
+		}
+	}
+	newSet := make(map[nvm.PageID]bool, len(rep.Pages))
+	for _, p := range rep.Pages {
+		newSet[p] = true
+		if !fs.pages[p] {
+			if ls.allocPages[p] {
+				delete(ls.allocPages, p)
+				if m != nil && !inMapping[p] {
+					m.pages = append(m.pages, p) // transfer the pool ref
+					inMapping[p] = true
+				} else {
+					// No open mapping to transfer to (adopt path), or the
+					// page was double-counted at grant time.
+					ls.unrefPageLocked(p)
+				}
+			}
+			c.pageOwner[p] = fs.ino
+		}
+	}
+	var freed []nvm.PageID
+	for p := range fs.pages {
+		if !newSet[p] {
+			delete(c.pageOwner, p)
+			if inMapping[p] {
+				// Remove from the mapping and release its reference so a
+				// reallocated page is never left mapped in this LibFS.
+				for i, q := range m.pages {
+					if q == p {
+						m.pages = append(m.pages[:i], m.pages[i+1:]...)
+						break
+					}
+				}
+				ls.unrefPageLocked(p)
+			}
+			freed = append(freed, p)
+		}
+	}
+	if len(freed) > 0 {
+		c.pageAlloc.FreePages(freed)
+	}
+	fs.pages = newSet
+
+	// Shadow adoption / refresh.
+	if _, ok := c.shadow[fs.ino]; !ok {
+		c.shadow[fs.ino] = verifier.ShadowInfo{
+			Mode: rep.Inode.Mode, UID: ls.uid, GID: ls.gid, Type: rep.Inode.Type,
+		}
+		delete(ls.allocInos, fs.ino)
+	}
+
+	if rep.Inode.Type != core.TypeDir {
+		return
+	}
+	// Children: refresh locations, adopt new files — recursively, so
+	// that an entire freshly created subtree becomes "existing files"
+	// in the global information the moment its top is verified. Without
+	// this, the next writer's verification of this directory would see
+	// the subtree's inos as unattributed (I2 false positives).
+	fs.children = rep.Children
+	for i := range rep.Children {
+		ch := &rep.Children[i]
+		c.adoptChildLocked(fs, ls, ch)
+	}
+}
+
+// adoptChildLocked records one dirent's file (and, for directories, its
+// whole unverified subtree) into the controller's global information.
+func (c *Controller) adoptChildLocked(parent *fileState, ls *libfsState, ch *verifier.ChildRef) {
+	if cfs, ok := c.files[ch.Ino]; ok {
+		cfs.loc = ch.Loc
+		cfs.parent = parent.ino
+		return
+	}
+	cfs := &fileState{
+		ino: ch.Ino, loc: ch.Loc, ftype: ch.Inode.Type, parent: parent.ino,
+		pages:   make(map[nvm.PageID]bool),
+		readers: make(map[LibFSID]bool),
+	}
+	// Bind the child's own pages by walking it (they are consumed from
+	// the creator's pool).
+	core.WalkFile(c.mem, ch.Inode.Head, int(c.dev.NumPages()),
+		func(p nvm.PageID) bool { cfs.pages[p] = true; return true },
+		func(_ uint64, p nvm.PageID) bool { cfs.pages[p] = true; return true })
+	cm := ls.mapped[ch.Ino]
+	for p := range cfs.pages {
+		if ls.allocPages[p] {
+			delete(ls.allocPages, p)
+			if cm != nil {
+				cm.pages = append(cm.pages, p) // transfer the pool ref
+			} else {
+				// The creator loses its implicit pool mapping; its
+				// next access faults and it re-maps through MapFile.
+				ls.unrefPageLocked(p)
+			}
+		}
+		c.pageOwner[p] = ch.Ino
+	}
+	c.files[ch.Ino] = cfs
+	if _, ok := c.shadow[ch.Ino]; !ok {
+		// Credentials: the LibFS the ino was issued to (it may differ
+		// from the LibFS under verification within a trust group).
+		uid, gid := ls.uid, ls.gid
+		if holder, ok := c.allocBy[ch.Ino]; ok {
+			if hls := c.libfses[holder]; hls != nil {
+				uid, gid = hls.uid, hls.gid
+			}
+		}
+		c.shadow[ch.Ino] = verifier.ShadowInfo{
+			Mode: ch.Inode.Mode, UID: uid, GID: gid, Type: ch.Inode.Type,
+		}
+	}
+	delete(ls.allocInos, ch.Ino)
+
+	if ch.Inode.Type != core.TypeDir {
+		return
+	}
+	// Recurse into a freshly adopted directory: enumerate its dirents
+	// from the core state and adopt the grandchildren.
+	var dirPages []nvm.PageID
+	core.WalkFile(c.mem, ch.Inode.Head, int(c.dev.NumPages()), nil,
+		func(_ uint64, p nvm.PageID) bool { dirPages = append(dirPages, p); return true })
+	for _, p := range dirPages {
+		dpage, err := core.ReadDirPage(c.mem, p)
+		if err != nil {
+			continue
+		}
+		for slot := 0; slot < core.SlotsPerDirPage; slot++ {
+			if dpage.SlotIno(slot) == 0 {
+				continue
+			}
+			gc := dpage.SlotInode(slot)
+			name, err := dpage.SlotName(slot)
+			if err != nil {
+				continue
+			}
+			ref := verifier.ChildRef{
+				Ino: gc.Ino, Name: name,
+				Loc: core.FileLoc{Page: p, Slot: slot}, Inode: gc,
+			}
+			cfs.children = append(cfs.children, ref)
+			c.adoptChildLocked(cfs, ls, &ref)
+		}
+	}
+}
+
+// checkpointLocked snapshots the file's metadata before write access is
+// handed out (§4.3): index pages for regular files, index and data
+// pages for directories.
+func (c *Controller) checkpointLocked(fs *fileState, in *core.Inode) {
+	cp := &checkpoint{inode: *in, pages: make(map[nvm.PageID][]byte)}
+	snap := func(p nvm.PageID) bool {
+		buf := make([]byte, nvm.PageSize)
+		if err := c.mem.Read(p, 0, buf); err == nil {
+			cp.pages[p] = buf
+		}
+		return true
+	}
+	if fs.ftype == core.TypeDir {
+		core.WalkFile(c.mem, in.Head, int(c.dev.NumPages()), snap,
+			func(_ uint64, p nvm.PageID) bool { return snap(p) })
+		cp.children = append([]verifier.ChildRef(nil), fs.children...)
+	} else {
+		core.WalkFile(c.mem, in.Head, int(c.dev.NumPages()), snap, nil)
+	}
+	fs.checkpoint = cp
+	c.stats.Checkpoints.Add(1)
+}
+
+// handleCorruptionLocked implements the §4.3 policy: give the guilty
+// LibFS a bounded chance to fix the state; failing that, preserve the
+// corrupted bytes for the guilty LibFS (as its private data) and roll
+// the shared file back to the checkpoint.
+func (c *Controller) handleCorruptionLocked(fs *fileState, ls *libfsState, rep *verifier.Report) *verifier.Report {
+	c.stats.Corruptions.Add(1)
+
+	if ls.fix != nil {
+		done := make(chan error, 1)
+		go func() { done <- ls.fix(fs.ino) }()
+		select {
+		case err := <-done:
+			if err == nil {
+				if rep2, err2 := c.runVerifierLocked(fs, ls); err2 == nil && rep2.OK() {
+					c.stats.Fixed.Add(1)
+					return rep2
+				}
+			}
+		case <-time.After(c.opts.FixTimeout):
+		}
+	}
+
+	// Preserve the corrupted file content privately for the guilty
+	// LibFS: copy the corrupted metadata pages into fresh pages handed
+	// to its allocation pool, so no data is lost (§4.3).
+	if fs.checkpoint != nil {
+		if copies, err := c.pageAlloc.AllocPages(0, len(fs.checkpoint.pages)); err == nil {
+			i := 0
+			for p := range fs.checkpoint.pages {
+				buf := make([]byte, nvm.PageSize)
+				if c.mem.Read(p, 0, buf) == nil {
+					c.mem.Write(copies[i], 0, buf)
+					c.mem.Persist(copies[i], 0, nvm.PageSize)
+				}
+				ls.allocPages[copies[i]] = true
+				ls.refPageLocked(copies[i], mmu.PermWrite)
+				i++
+			}
+		}
+	}
+
+	// Roll back to the checkpoint.
+	c.restoreCheckpointLocked(fs)
+	c.stats.Rollbacks.Add(1)
+
+	// Re-verify the restored state; it must pass (it did when the
+	// checkpoint was cut).
+	rep2, err := c.runVerifierLocked(fs, ls)
+	if err == nil && rep2.OK() {
+		return rep2
+	}
+	// Last resort: quarantine the file as private to the guilty LibFS.
+	fs.quarantined = ls.id
+	return rep
+}
+
+// restoreCheckpointLocked writes the checkpointed metadata pages and
+// inode back and reconciles the file size (§4.3: "trimming or padding").
+func (c *Controller) restoreCheckpointLocked(fs *fileState) {
+	cp := fs.checkpoint
+	if cp == nil {
+		return
+	}
+	for p, img := range cp.pages {
+		c.mem.Write(p, 0, img)
+		c.mem.Persist(p, 0, nvm.PageSize)
+	}
+	core.WriteInode(c.mem, fs.loc.Page, core.SlotOffset(fs.loc.Slot), &cp.inode)
+	// Restore the name alongside (corruption may have hit it).
+	c.mem.Fence()
+	fs.children = append([]verifier.ChildRef(nil), cp.children...)
+}
+
+// envImpl adapts the controller's global bookkeeping to verifier.Env.
+// sys marks a trusted full-scan (VerifyAll / arckfsck): resources
+// issued to any LibFS count as legitimately allocated, since the scan
+// visits files whose owners have not yet gone through a verification
+// cycle.
+type envImpl struct {
+	c   *Controller
+	fs  *fileState
+	ls  *libfsState
+	sys bool
+}
+
+func (e *envImpl) TotalPages() uint64           { return uint64(e.c.dev.NumPages()) }
+func (e *envImpl) PageInFile(p nvm.PageID) bool { return e.fs.pages[p] }
+func (e *envImpl) PageAllocated(p nvm.PageID) bool {
+	if e.ls.allocPages[p] {
+		return true
+	}
+	if e.sys {
+		for _, ls := range e.c.libfses {
+			if ls.allocPages[p] {
+				return true
+			}
+		}
+	}
+	return false
+}
+func (e *envImpl) PageOwner(p nvm.PageID) (core.Ino, bool) {
+	ino, ok := e.c.pageOwner[p]
+	if ok && ino == e.fs.ino {
+		return 0, false
+	}
+	return ino, ok
+}
+func (e *envImpl) InoKnown(ino core.Ino) bool { _, ok := e.c.files[ino]; return ok }
+func (e *envImpl) InoAllocated(ino core.Ino) bool {
+	if e.sys {
+		_, ok := e.c.allocBy[ino]
+		return ok
+	}
+	// Inos issued to any LibFS in the same trust group count: group
+	// members share a LibFS in practice, but the bookkeeping is per
+	// session.
+	holder, ok := e.c.allocBy[ino]
+	if !ok {
+		return false
+	}
+	if holder == e.ls.id {
+		return true
+	}
+	h := e.c.libfses[holder]
+	return h != nil && h.group == e.ls.group
+}
+func (e *envImpl) Shadow(ino core.Ino) (verifier.ShadowInfo, bool) {
+	s, ok := e.c.shadow[ino]
+	return s, ok
+}
+func (e *envImpl) CredFor(ino core.Ino) (uint32, uint32) {
+	if e.sys {
+		if holder, ok := e.c.allocBy[ino]; ok {
+			if ls := e.c.libfses[holder]; ls != nil {
+				return ls.uid, ls.gid
+			}
+		}
+	}
+	return e.ls.uid, e.ls.gid
+}
+func (e *envImpl) CheckpointChildren() ([]verifier.ChildRef, bool) {
+	if e.fs.checkpoint != nil {
+		return e.fs.checkpoint.children, true
+	}
+	if e.fs.children != nil {
+		return e.fs.children, true
+	}
+	return nil, false
+}
+func (e *envImpl) DirDeletedOK(child core.Ino) bool {
+	cfs, ok := e.c.files[child]
+	if !ok {
+		// Never verified: created and removed by the same LibFS.
+		return true
+	}
+	if cfs.writer != 0 || len(cfs.readers) > 0 {
+		return false
+	}
+	// Deleted directory must have no live entries.
+	in, err := core.ReadDirentInode(e.c.mem, cfs.loc.Page, cfs.loc.Slot)
+	if err != nil {
+		return false
+	}
+	empty := true
+	core.WalkFile(e.c.mem, in.Head, int(e.c.dev.NumPages()), nil,
+		func(_ uint64, p nvm.PageID) bool {
+			dp, err := core.ReadDirPage(e.c.mem, p)
+			if err != nil {
+				empty = false
+				return false
+			}
+			for slot := 0; slot < core.SlotsPerDirPage; slot++ {
+				if dp.SlotIno(slot) != 0 {
+					empty = false
+					return false
+				}
+			}
+			return true
+		})
+	return empty
+}

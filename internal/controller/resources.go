@@ -1,0 +1,431 @@
+package controller
+
+import (
+	"fmt"
+
+	"trio/internal/core"
+	"trio/internal/mmu"
+	"trio/internal/nvm"
+)
+
+// AllocPages hands the LibFS a batch of NVM pages, records them in the
+// global information (for I2) and maps them read-write. LibFSes batch
+// these calls through per-CPU caches, so the kernel crossing amortizes
+// away (§4.5).
+func (s *Session) AllocPages(cpu, n int) ([]nvm.PageID, error) {
+	s.c.trap()
+	pages, err := s.c.pageAlloc.AllocPages(cpu, n)
+	if err != nil {
+		return nil, err
+	}
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	for _, p := range pages {
+		s.ls.allocPages[p] = true
+		s.ls.refPageLocked(p, mmu.PermWrite)
+	}
+	return pages, nil
+}
+
+// AllocPagesOnNode is AllocPages with NUMA placement, used by the
+// striping datapath (§4.5).
+func (s *Session) AllocPagesOnNode(cpu, n, node int) ([]nvm.PageID, error) {
+	s.c.trap()
+	pages, err := s.c.pageAlloc.AllocPagesOnNode(s.c.dev, cpu, n, node)
+	if err != nil {
+		return nil, err
+	}
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	for _, p := range pages {
+		s.ls.allocPages[p] = true
+		s.ls.refPageLocked(p, mmu.PermWrite)
+	}
+	return pages, nil
+}
+
+// FreePages returns pages to the controller. A page is freeable when it
+// sits in this LibFS's allocation pool, or when it belongs to a file
+// this LibFS currently write-maps (truncate). Anything else is rejected
+// — a LibFS cannot free another file's pages out from under it.
+func (s *Session) FreePages(pages []nvm.PageID) error {
+	s.c.trap()
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	freeable := make([]nvm.PageID, 0, len(pages))
+	for _, p := range pages {
+		switch {
+		case s.ls.allocPages[p]:
+			delete(s.ls.allocPages, p)
+			s.ls.unrefPageLocked(p)
+		case func() bool {
+			ino, owned := c.pageOwner[p]
+			if !owned {
+				return false
+			}
+			m := s.ls.mapped[ino]
+			if m == nil || !m.write {
+				return false
+			}
+			fs := c.files[ino]
+			delete(fs.pages, p)
+			delete(c.pageOwner, p)
+			s.ls.unrefPageLocked(p)
+			return true
+		}():
+		default:
+			c.pageAlloc.FreePages(freeable)
+			return fmt.Errorf("%w: page %d is not freeable by this LibFS", ErrPermission, p)
+		}
+		freeable = append(freeable, p)
+	}
+	c.pageAlloc.FreePages(freeable)
+	return nil
+}
+
+// AllocInos issues a batch of fresh inode numbers to the LibFS.
+func (s *Session) AllocInos(cpu, n int) ([]core.Ino, error) {
+	s.c.trap()
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	out := make([]core.Ino, n)
+	for i := range out {
+		ino := core.Ino(s.c.inoAlloc.Alloc(cpu))
+		out[i] = ino
+		s.ls.allocInos[ino] = true
+		s.c.allocBy[ino] = s.ls.id
+	}
+	return out, nil
+}
+
+// Chmod changes a file's permission bits. It goes through the
+// controller because the shadow inode table is the ground truth for
+// permissions (§4.3, I4); the controller updates both the shadow entry
+// and the cached bits in the core-state inode.
+func (s *Session) Chmod(ino core.Ino, mode uint16) error {
+	s.c.trap()
+	return s.changePerm(ino, func(sh *shadowPatch) { sh.mode = &mode })
+}
+
+// Chown changes a file's owner. Only uid 0 may do so.
+func (s *Session) Chown(ino core.Ino, uid, gid uint32) error {
+	s.c.trap()
+	if s.ls.uid != 0 {
+		return fmt.Errorf("%w: chown requires uid 0", ErrPermission)
+	}
+	return s.changePerm(ino, func(sh *shadowPatch) { sh.uid, sh.gid = &uid, &gid })
+}
+
+type shadowPatch struct {
+	mode     *uint16
+	uid, gid *uint32
+}
+
+func (s *Session) changePerm(ino core.Ino, patch func(*shadowPatch)) error {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fs, ok := c.files[ino]
+	if !ok {
+		return fmt.Errorf("%w: ino %d", ErrUnknownFile, ino)
+	}
+	sh, ok := c.shadow[ino]
+	if !ok {
+		return fmt.Errorf("%w: ino %d has no shadow entry", ErrUnknownFile, ino)
+	}
+	if s.ls.uid != 0 && s.ls.uid != sh.UID {
+		return fmt.Errorf("%w: not the owner", ErrPermission)
+	}
+	var p shadowPatch
+	patch(&p)
+	if p.mode != nil {
+		if *p.mode > 0o7777 {
+			return fmt.Errorf("%w: mode %#o", ErrBadRequest, *p.mode)
+		}
+		sh.Mode = *p.mode
+	}
+	if p.uid != nil {
+		sh.UID = *p.uid
+	}
+	if p.gid != nil {
+		sh.GID = *p.gid
+	}
+	c.shadow[ino] = sh
+
+	// Refresh the cached fields in the core-state inode so readers see
+	// the change; the shadow stays authoritative either way.
+	in, err := core.ReadDirentInode(c.mem, fs.loc.Page, fs.loc.Slot)
+	if err != nil {
+		return err
+	}
+	in.Mode, in.UID, in.GID = sh.Mode, sh.UID, sh.GID
+	if err := core.WriteInode(c.mem, fs.loc.Page, core.SlotOffset(fs.loc.Slot), &in); err != nil {
+		return err
+	}
+	c.mem.Fence()
+	// Keep the checkpoint's view coherent if one is outstanding.
+	if fs.checkpoint != nil {
+		fs.checkpoint.inode.Mode, fs.checkpoint.inode.UID, fs.checkpoint.inode.GID = sh.Mode, sh.UID, sh.GID
+		if img, ok := fs.checkpoint.pages[fs.loc.Page]; ok {
+			core.EncodeInode(img[core.SlotOffset(fs.loc.Slot):], &in)
+		}
+	}
+	return nil
+}
+
+// RemoveFile finalizes an unlink/rmdir: after the LibFS has cleared the
+// dirent slot (the atomic commit), the controller releases the file's
+// resources. The caller must hold write access to the parent directory;
+// directories must be empty and the file must not be mapped elsewhere.
+//
+// poolPages names the victim's pages when the file was never verified
+// (it then lives entirely in the caller's allocation pool, invisible to
+// the controller); they are validated against the pool and freed.
+func (s *Session) RemoveFile(ino core.Ino, poolPages []nvm.PageID) error {
+	s.c.trap()
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return s.removeLocked(ino, poolPages)
+}
+
+// Removal is one entry of a batched RemoveFiles call.
+type Removal struct {
+	Ino   core.Ino
+	Pages []nvm.PageID
+}
+
+// RemoveFiles retires a batch of unlinked regular files in one kernel
+// crossing — the unlink-side analogue of the batched page/ino
+// allocations (§4.5). Each entry is validated independently; the first
+// error is returned after the rest of the batch has been processed.
+//
+// Files the controller never verified still live entirely inside the
+// caller's allocation pool; their pages stay allocated to the LibFS and
+// are returned as recyclable, so the LibFS can reuse them directly —
+// no per-page bookkeeping, no remapping. Verified files go through the
+// full release path.
+func (s *Session) RemoveFiles(items []Removal) (recycled []nvm.PageID, err error) {
+	s.c.trap()
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, it := range items {
+		if _, known := c.files[it.Ino]; !known {
+			if c.allocBy[it.Ino] != s.ls.id {
+				if err == nil {
+					err = fmt.Errorf("%w: ino %d", ErrUnknownFile, it.Ino)
+				}
+				continue
+			}
+			delete(c.allocBy, it.Ino)
+			delete(s.ls.allocInos, it.Ino)
+			for _, p := range it.Pages {
+				if s.ls.allocPages[p] {
+					recycled = append(recycled, p)
+				}
+			}
+			continue
+		}
+		if rerr := s.removeLocked(it.Ino, it.Pages); rerr != nil && err == nil {
+			err = rerr
+		}
+	}
+	return recycled, err
+}
+
+func (s *Session) removeLocked(ino core.Ino, poolPages []nvm.PageID) error {
+	c := s.c
+	fs, ok := c.files[ino]
+	if !ok {
+		// Never verified: the file lived entirely inside the creator's
+		// allocation pool.
+		if c.allocBy[ino] != s.ls.id {
+			return fmt.Errorf("%w: ino %d", ErrUnknownFile, ino)
+		}
+		delete(c.allocBy, ino)
+		delete(s.ls.allocInos, ino)
+		var freed []nvm.PageID
+		for _, p := range poolPages {
+			if s.ls.allocPages[p] {
+				delete(s.ls.allocPages, p)
+				s.ls.unrefPageLocked(p)
+				freed = append(freed, p)
+			}
+		}
+		c.pageAlloc.FreePages(freed)
+		return nil
+	}
+	// The caller must have been able to retire the dirent, which needs
+	// write access to the parent directory. A batched (deferred) removal
+	// may arrive after that mapping was dropped; the cleared-dirent
+	// check below is what actually gates the removal, since clearing it
+	// required the MMU-enforced write mapping at the time.
+	if fs.parent != 0 {
+		if pm := s.ls.mapped[fs.parent]; pm != nil && !pm.write {
+			return fmt.Errorf("%w: parent directory %d mapped read-only", ErrPermission, fs.parent)
+		}
+	}
+	if fs.writer != 0 && fs.writer != s.ls.id {
+		return fmt.Errorf("%w: ino %d", ErrBusy, ino)
+	}
+	for rid := range fs.readers {
+		if rid != s.ls.id {
+			return fmt.Errorf("%w: ino %d has readers", ErrBusy, ino)
+		}
+	}
+	// The dirent must already be retired.
+	if got, err := core.DirentIno(c.mem, fs.loc.Page, fs.loc.Slot); err == nil && got == ino {
+		return fmt.Errorf("%w: dirent of ino %d still live", ErrBadRequest, ino)
+	}
+	if fs.ftype == core.TypeDir {
+		for _, ch := range fs.children {
+			if _, live := c.files[ch.Ino]; live {
+				// A recorded child still exists; confirm against the
+				// core state that the directory is really empty.
+			}
+		}
+		env := &envImpl{c: c, fs: fs, ls: s.ls}
+		if !env.DirDeletedOK(ino) {
+			return ErrNotEmpty
+		}
+	}
+	// Release any of our own mappings of the victim.
+	if m := s.ls.mapped[ino]; m != nil {
+		for _, p := range m.pages {
+			s.ls.unrefPageLocked(p)
+		}
+		delete(s.ls.mapped, ino)
+	}
+	var freed []nvm.PageID
+	for p := range fs.pages {
+		delete(c.pageOwner, p)
+		freed = append(freed, p)
+	}
+	c.pageAlloc.FreePages(freed)
+	delete(c.files, ino)
+	delete(c.shadow, ino)
+	delete(c.allocBy, ino)
+	return nil
+}
+
+// Commit re-baselines a write-mapped file: the current state is
+// verified and, if clean, replaces the checkpoint, guaranteeing the
+// controller will never roll back past it (§4.3, "commit call").
+func (s *Session) Commit(ino core.Ino) error {
+	s.c.trap()
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := s.ls.mapped[ino]
+	if m == nil || !m.write {
+		return fmt.Errorf("%w: ino %d is not write-mapped", ErrBadRequest, ino)
+	}
+	fs := c.files[ino]
+	rep, err := c.runVerifierLocked(fs, s.ls)
+	if err != nil {
+		return err
+	}
+	if !rep.OK() {
+		return fmt.Errorf("%w: %v", ErrCorrupt, rep.Violations)
+	}
+	c.commitReportLocked(fs, s.ls, rep)
+	in := rep.Inode
+	c.checkpointLocked(fs, &in)
+	return nil
+}
+
+// Recover is the crash-recovery entry point (§4.4): after a simulated
+// power failure, every file that was write-mapped is re-verified; files
+// failing verification roll back to their checkpoint. LibFS-provided
+// recovery programs run first (they are untrusted, which is exactly why
+// the verifier pass follows).
+func (c *Controller) Recover(recoveryPrograms map[LibFSID]func() error) (checked, rolledBack int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, fn := range recoveryPrograms {
+		if c.libfses[id] != nil && fn != nil {
+			_ = fn()
+		}
+	}
+	for _, fs := range c.files {
+		if fs.writer == 0 {
+			continue
+		}
+		ls := c.libfses[fs.writer]
+		if ls == nil {
+			fs.writer = 0
+			continue
+		}
+		checked++
+		rep, err := c.runVerifierLocked(fs, ls)
+		if err != nil || !rep.OK() {
+			c.restoreCheckpointLocked(fs)
+			c.stats.Rollbacks.Add(1)
+			rolledBack++
+		} else {
+			c.commitReportLocked(fs, ls, rep)
+		}
+		// Drop the mapping: the "process" died with the crash.
+		if m := ls.mapped[fs.ino]; m != nil {
+			for _, p := range m.pages {
+				ls.unrefPageLocked(p)
+			}
+			delete(ls.mapped, fs.ino)
+		}
+		fs.writer = 0
+		fs.checkpoint = nil
+	}
+	return checked, rolledBack
+}
+
+// FileInfo is a trusted snapshot of controller state for one file,
+// used by tools (arckfsck) and tests.
+type FileInfo struct {
+	Ino    core.Ino
+	Loc    core.FileLoc
+	Type   core.FileType
+	Parent core.Ino
+	Pages  int
+	Writer LibFSID
+}
+
+// Files lists the controller's file records.
+func (c *Controller) Files() []FileInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]FileInfo, 0, len(c.files))
+	for _, fs := range c.files {
+		out = append(out, FileInfo{
+			Ino: fs.ino, Loc: fs.loc, Type: fs.ftype, Parent: fs.parent,
+			Pages: len(fs.pages), Writer: fs.writer,
+		})
+	}
+	return out
+}
+
+// VerifyAll runs the verifier over every known file (the arckfsck
+// "full scan" mode); it returns the numbers of files checked and files
+// with violations.
+func (c *Controller) VerifyAll() (checked, bad int, firstProblem string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sys := &libfsState{uid: 0, gid: 0, allocPages: map[nvm.PageID]bool{}, allocInos: map[core.Ino]bool{}}
+	for _, fs := range c.files {
+		env := &envImpl{c: c, fs: fs, ls: sys, sys: true}
+		rep, err := c.verifier.VerifyFile(env, fs.ino, fs.loc, fs.ino == core.RootIno)
+		checked++
+		if err != nil || !rep.OK() {
+			bad++
+			if firstProblem == "" {
+				if err != nil {
+					firstProblem = err.Error()
+				} else {
+					firstProblem = rep.Violations[0].String()
+				}
+			}
+		}
+	}
+	return checked, bad, firstProblem
+}

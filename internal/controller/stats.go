@@ -1,0 +1,98 @@
+package controller
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stats aggregates the sharing-cost instrumentation behind Fig. 8 of
+// the paper: how much time goes into mapping, unmapping and verifying
+// when a file ping-pongs between trust domains, plus corruption-handling
+// counters for §6.5.
+type Stats struct {
+	MapCount  atomic.Int64
+	MapNS     atomic.Int64
+	UnmapCnt  atomic.Int64
+	UnmapNS   atomic.Int64
+	VerifyCnt atomic.Int64
+	VerifyNS  atomic.Int64
+	// RebuildNS is reported by LibFSes (auxiliary-state rebuild time).
+	RebuildCnt atomic.Int64
+	RebuildNS  atomic.Int64
+
+	Checkpoints atomic.Int64
+	Corruptions atomic.Int64
+	Fixed       atomic.Int64
+	Rollbacks   atomic.Int64
+}
+
+func (s *Stats) addMap(d time.Duration) {
+	s.MapCount.Add(1)
+	s.MapNS.Add(int64(d))
+}
+
+func (s *Stats) addUnmap(d time.Duration) {
+	s.UnmapCnt.Add(1)
+	s.UnmapNS.Add(int64(d))
+}
+
+func (s *Stats) addVerify(d time.Duration) {
+	s.VerifyCnt.Add(1)
+	s.VerifyNS.Add(int64(d))
+}
+
+// AddRebuild records one auxiliary-state rebuild performed by a LibFS.
+func (s *Stats) AddRebuild(d time.Duration) {
+	s.RebuildCnt.Add(1)
+	s.RebuildNS.Add(int64(d))
+}
+
+// Stats exposes the controller's counters.
+func (c *Controller) Stats() *Stats { return &c.stats }
+
+// Stats exposes the shared counters through a session (LibFSes report
+// their auxiliary-state rebuild times here).
+func (s *Session) Stats() *Stats { return &s.c.stats }
+
+// Snapshot is a plain-value copy of Stats for reporting.
+type Snapshot struct {
+	MapCount, UnmapCount, VerifyCount, RebuildCount int64
+	MapTime, UnmapTime, VerifyTime, RebuildTime     time.Duration
+	Checkpoints, Corruptions, Fixed, Rollbacks      int64
+}
+
+// Snapshot copies the counters.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		MapCount:     s.MapCount.Load(),
+		UnmapCount:   s.UnmapCnt.Load(),
+		VerifyCount:  s.VerifyCnt.Load(),
+		RebuildCount: s.RebuildCnt.Load(),
+		MapTime:      time.Duration(s.MapNS.Load()),
+		UnmapTime:    time.Duration(s.UnmapNS.Load()),
+		VerifyTime:   time.Duration(s.VerifyNS.Load()),
+		RebuildTime:  time.Duration(s.RebuildNS.Load()),
+		Checkpoints:  s.Checkpoints.Load(),
+		Corruptions:  s.Corruptions.Load(),
+		Fixed:        s.Fixed.Load(),
+		Rollbacks:    s.Rollbacks.Load(),
+	}
+}
+
+// Sub returns the delta s - prev, for measuring one experiment window.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	return Snapshot{
+		MapCount:     s.MapCount - prev.MapCount,
+		UnmapCount:   s.UnmapCount - prev.UnmapCount,
+		VerifyCount:  s.VerifyCount - prev.VerifyCount,
+		RebuildCount: s.RebuildCount - prev.RebuildCount,
+		MapTime:      s.MapTime - prev.MapTime,
+		UnmapTime:    s.UnmapTime - prev.UnmapTime,
+		VerifyTime:   s.VerifyTime - prev.VerifyTime,
+		RebuildTime:  s.RebuildTime - prev.RebuildTime,
+		Checkpoints:  s.Checkpoints - prev.Checkpoints,
+		Corruptions:  s.Corruptions - prev.Corruptions,
+		Fixed:        s.Fixed - prev.Fixed,
+		Rollbacks:    s.Rollbacks - prev.Rollbacks,
+	}
+}

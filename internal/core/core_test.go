@@ -1,0 +1,271 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"trio/internal/nvm"
+)
+
+func testMem(t *testing.T) (Mem, *nvm.Device) {
+	t.Helper()
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 1, PagesPerNode: 256})
+	return Direct(dev, 0), dev
+}
+
+func TestInodeEncodeDecodeRoundTrip(t *testing.T) {
+	in := Inode{
+		Ino: 42, Type: TypeReg, Mode: 0o644, UID: 1000, GID: 100,
+		Size: 123456, Head: 77, Mtime: 1, Ctime: 2, Atime: 3,
+	}
+	var b [InodeSize]byte
+	EncodeInode(b[:], &in)
+	got := DecodeInode(b[:])
+	if got != in {
+		t.Fatalf("round trip:\n got  %+v\n want %+v", got, in)
+	}
+}
+
+func TestPropertyInodeRoundTrip(t *testing.T) {
+	f := func(ino, size, head, mt, ct, at uint64, mode uint16, uid, gid uint32, ty uint8) bool {
+		in := Inode{
+			Ino: Ino(ino), Type: FileType(ty % 3), Mode: mode, UID: uid, GID: gid,
+			Size: size, Head: nvm.PageID(head), Mtime: mt, Ctime: ct, Atime: at,
+		}
+		var b [InodeSize]byte
+		EncodeInode(b[:], &in)
+		return DecodeInode(b[:]) == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateName(t *testing.T) {
+	valid := []string{"a", "file.txt", strings.Repeat("x", MaxNameLen), "with space", "ünïcode"}
+	for _, n := range valid {
+		if err := ValidateName(n); err != nil {
+			t.Errorf("ValidateName(%q) = %v, want nil", n, err)
+		}
+	}
+	invalid := []string{"", ".", "..", "a/b", "a\x00b", strings.Repeat("x", MaxNameLen+1)}
+	for _, n := range invalid {
+		if err := ValidateName(n); err == nil {
+			t.Errorf("ValidateName(%q) = nil, want error", n)
+		}
+	}
+}
+
+func TestDirentNameRoundTrip(t *testing.T) {
+	m, _ := testMem(t)
+	if err := WriteDirentName(m, 5, 3, "hello.txt"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDirentName(m, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "hello.txt" {
+		t.Fatalf("name = %q", got)
+	}
+	// Other slots unaffected.
+	if n, _ := ReadDirentName(m, 5, 2); n != "" {
+		t.Fatalf("neighbour slot polluted: %q", n)
+	}
+}
+
+func TestDirentCommitProtocol(t *testing.T) {
+	m, _ := testMem(t)
+	in := Inode{Ino: 9, Type: TypeReg, Mode: 0o600}
+	// Step 1: body + name, slot still reads as free.
+	if err := WriteInodeBody(m, 5, SlotOffset(1), &in); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDirentName(m, 5, 1, "f"); err != nil {
+		t.Fatal(err)
+	}
+	if ino, _ := DirentIno(m, 5, 1); ino != 0 {
+		t.Fatalf("slot live before commit: ino %d", ino)
+	}
+	// Step 2: atomic commit.
+	if err := CommitDirentIno(m, 5, 1, in.Ino); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDirentInode(m, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ino != 9 || got.Type != TypeReg || got.Mode != 0o600 {
+		t.Fatalf("decoded inode %+v", got)
+	}
+	// Retire.
+	if err := CommitDirentIno(m, 5, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ino, _ := DirentIno(m, 5, 1); ino != 0 {
+		t.Fatal("slot live after retire")
+	}
+}
+
+func TestIndexPageChain(t *testing.T) {
+	m, _ := testMem(t)
+	// Build a 2-page chain: page 10 -> page 11.
+	if err := SetIndexEntry(m, 10, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetIndexEntry(m, 10, 510, 101); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetNextIndexPage(m, 10, 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetIndexEntry(m, 11, 0, 102); err != nil {
+		t.Fatal(err)
+	}
+	got, err := IndexEntry(m, 10, 0)
+	if err != nil || got != 100 {
+		t.Fatalf("IndexEntry(10,0) = %d, %v", got, err)
+	}
+	next, err := NextIndexPage(m, 10)
+	if err != nil || next != 11 {
+		t.Fatalf("NextIndexPage = %d, %v", next, err)
+	}
+	// Out-of-range entries rejected.
+	if _, err := IndexEntry(m, 10, IndexEntriesPerPage); err == nil {
+		t.Error("IndexEntry beyond range should fail")
+	}
+	if err := SetIndexEntry(m, 10, -1, 1); err == nil {
+		t.Error("negative index entry should fail")
+	}
+}
+
+func TestWalkFile(t *testing.T) {
+	m, _ := testMem(t)
+	// 511 entries on page 10, one more on page 11.
+	if err := SetIndexEntry(m, 10, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetIndexEntry(m, 10, 510, 101); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetNextIndexPage(m, 10, 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetIndexEntry(m, 11, 4, 102); err != nil {
+		t.Fatal(err)
+	}
+	var idxPages []nvm.PageID
+	blocks := map[uint64]nvm.PageID{}
+	err := WalkFile(m, 10, 16,
+		func(p nvm.PageID) bool { idxPages = append(idxPages, p); return true },
+		func(b uint64, p nvm.PageID) bool { blocks[b] = p; return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idxPages) != 2 || idxPages[0] != 10 || idxPages[1] != 11 {
+		t.Fatalf("index pages = %v", idxPages)
+	}
+	want := map[uint64]nvm.PageID{0: 100, 510: 101, 515: 102}
+	if len(blocks) != len(want) {
+		t.Fatalf("blocks = %v", blocks)
+	}
+	for b, p := range want {
+		if blocks[b] != p {
+			t.Errorf("block %d = page %d, want %d", b, blocks[b], p)
+		}
+	}
+}
+
+func TestWalkFileDetectsCycle(t *testing.T) {
+	m, _ := testMem(t)
+	if err := SetNextIndexPage(m, 10, 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetNextIndexPage(m, 11, 10); err != nil { // cycle
+		t.Fatal(err)
+	}
+	err := WalkFile(m, 10, 8, nil, nil)
+	if !errors.Is(err, ErrChainTooLong) {
+		t.Fatalf("err = %v, want ErrChainTooLong", err)
+	}
+}
+
+func TestWalkFileEarlyStop(t *testing.T) {
+	m, _ := testMem(t)
+	if err := SetIndexEntry(m, 10, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetIndexEntry(m, 10, 1, 101); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	err := WalkFile(m, 10, 8, nil, func(b uint64, p nvm.PageID) bool {
+		n++
+		return false
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("early stop: n=%d err=%v", n, err)
+	}
+}
+
+func TestFormatAndSuperblock(t *testing.T) {
+	m, dev := testMem(t)
+	if _, err := ReadSuperblock(m); err == nil {
+		t.Fatal("unformatted device should fail superblock check")
+	}
+	if err := Format(dev); err != nil {
+		t.Fatal(err)
+	}
+	sb, err := ReadSuperblock(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.TotalPages != uint64(dev.NumPages()) || sb.Nodes != 1 || sb.Version != Version {
+		t.Fatalf("superblock %+v", sb)
+	}
+	root, err := ReadDirentInode(m, RootInodePage, RootLoc().Slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Ino != RootIno || root.Type != TypeDir || root.Head != nvm.NilPage {
+		t.Fatalf("root inode %+v", root)
+	}
+}
+
+func TestCreateCommitIsCrashAtomic(t *testing.T) {
+	// The two-step commit must leave the slot invisible if the crash
+	// happens before the ino word is persisted.
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 1, PagesPerNode: 64, TrackPersistence: true})
+	m := Direct(dev, 0)
+	in := Inode{Ino: 33, Type: TypeReg}
+	if err := WriteInodeBody(m, 2, SlotOffset(0), &in); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDirentName(m, 2, 0, "victim"); err != nil {
+		t.Fatal(err)
+	}
+	m.Fence()
+	// Write the ino word but crash before persisting it.
+	if err := m.WriteU64(2, 0, uint64(in.Ino)); err != nil {
+		t.Fatal(err)
+	}
+	dev.Tracker().Crash()
+	ino, err := DirentIno(m, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ino != 0 {
+		t.Fatalf("uncommitted create visible after crash: ino=%d", ino)
+	}
+	// And if persisted, it survives.
+	if err := CommitDirentIno(m, 2, 0, in.Ino); err != nil {
+		t.Fatal(err)
+	}
+	dev.Tracker().Crash()
+	ino, _ = DirentIno(m, 2, 0)
+	if ino != 33 {
+		t.Fatalf("committed create lost after crash: ino=%d", ino)
+	}
+}

@@ -1,0 +1,152 @@
+package delegation
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"trio/internal/mmu"
+	"trio/internal/nvm"
+)
+
+func setup(t *testing.T) (*nvm.Device, *mmu.AddressSpace, *Pool) {
+	t.Helper()
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 4, PagesPerNode: 256})
+	as := mmu.NewAddressSpace(dev, 0)
+	p := NewPool(dev, 2)
+	t.Cleanup(p.Close)
+	return dev, as, p
+}
+
+func TestDelegatedWriteReadRoundTrip(t *testing.T) {
+	dev, as, pool := setup(t)
+	// Stripe pages across all four nodes, two per node: pass the
+	// batch's total logical size explicitly to clear the thresholds.
+	pages := []nvm.PageID{2, 3, 258, 259, 514, 515, 770, 771}
+	for _, p := range pages {
+		as.Map(p, 1, mmu.PermWrite)
+		if dev.NodeOf(p) != int(p/256) {
+			t.Fatalf("test geometry wrong for page %d", p)
+		}
+	}
+	data := make([]byte, 8*nvm.PageSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	wb := pool.NewBatch(as, DelegateWriteMin, true, true)
+	if !wb.Delegated() {
+		t.Fatal("large write not delegated")
+	}
+	for i, p := range pages {
+		wb.Write(p, 0, data[i*nvm.PageSize:(i+1)*nvm.PageSize])
+	}
+	if err := wb.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	rb := pool.NewBatch(as, DelegateReadMin, false, false)
+	if !rb.Delegated() {
+		t.Fatal("large read not delegated")
+	}
+	for i, p := range pages {
+		rb.Read(p, 0, got[i*nvm.PageSize:(i+1)*nvm.PageSize])
+	}
+	if err := rb.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch through delegation")
+	}
+}
+
+func TestSmallAccessesGoDirect(t *testing.T) {
+	_, as, pool := setup(t)
+	as.Map(2, 1, mmu.PermWrite)
+	wb := pool.NewBatch(as, DelegateWriteMin-1, true, true)
+	if wb.Delegated() {
+		t.Fatal("sub-threshold write should go direct")
+	}
+	rb := pool.NewBatch(as, DelegateReadMin-1, false, false)
+	if rb.Delegated() {
+		t.Fatal("sub-threshold read should go direct")
+	}
+	big := pool.NewBatch(as, DelegateWriteMin, true, false)
+	if !big.Delegated() {
+		t.Fatal("threshold write should delegate")
+	}
+	if err := big.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilPoolAlwaysDirect(t *testing.T) {
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 1, PagesPerNode: 8})
+	as := mmu.NewAddressSpace(dev, 0)
+	as.Map(2, 1, mmu.PermWrite)
+	var p *Pool
+	b := p.NewBatch(as, 1<<20, true, true)
+	if b.Delegated() {
+		t.Fatal("nil pool delegated")
+	}
+	b.Write(2, 0, []byte("direct"))
+	if err := b.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelegationEnforcesPermissions(t *testing.T) {
+	_, as, pool := setup(t)
+	as.Map(2, 1, mmu.PermRead) // read-only
+	data := make([]byte, nvm.PageSize)
+	wb := pool.NewBatch(as, 1<<20, true, false)
+	wb.Write(2, 0, data)
+	if err := wb.Wait(); !errors.Is(err, mmu.ErrFault) {
+		t.Fatalf("delegated write through RO mapping: %v", err)
+	}
+	// Unmapped page likewise.
+	rb := pool.NewBatch(as, 1<<20, false, false)
+	rb.Read(99, 0, data)
+	if err := rb.Wait(); !errors.Is(err, mmu.ErrFault) {
+		t.Fatalf("delegated read of unmapped page: %v", err)
+	}
+}
+
+func TestConcurrentBatches(t *testing.T) {
+	dev, _, pool := setup(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			as := mmu.NewAddressSpace(dev, g%4)
+			page := nvm.PageID(2 + g)
+			as.Map(page, 1, mmu.PermWrite)
+			src := make([]byte, nvm.PageSize)
+			for i := range src {
+				src[i] = byte(g)
+			}
+			for iter := 0; iter < 20; iter++ {
+				b := pool.NewBatch(as, 1<<20, true, true)
+				b.Write(page, 0, src)
+				if err := b.Wait(); err != nil {
+					t.Errorf("g%d: %v", g, err)
+					return
+				}
+				dst := make([]byte, nvm.PageSize)
+				rb := pool.NewBatch(as, 1<<20, false, false)
+				rb.Read(page, 0, dst)
+				if err := rb.Wait(); err != nil {
+					t.Errorf("g%d: %v", g, err)
+					return
+				}
+				if !bytes.Equal(src, dst) {
+					t.Errorf("g%d: corruption", g)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,270 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§6) over the simulated machine. Each experiment
+// builds fresh file systems with the calibrated cost model enabled,
+// drives the same workloads the paper uses, and prints rows/series in
+// the paper's units. Absolute numbers are meaningless (the substrate is
+// a simulator); the shapes — who wins, by what factor, where crossovers
+// sit — are the reproduction target (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"trio/internal/fsfactory"
+	"trio/internal/workload"
+)
+
+// Params configures a run of the harness.
+type Params struct {
+	// Quick shrinks sweeps and op counts (CI mode).
+	Quick bool
+	// Threads overrides the sweep.
+	Threads []int
+	// Cost can be disabled for functional smoke runs.
+	NoCost bool
+}
+
+func (p *Params) threads() []int {
+	if len(p.Threads) > 0 {
+		return p.Threads
+	}
+	if p.Quick {
+		return []int{1, 2, 4}
+	}
+	return []int{1, 2, 4, 8, 16, 32}
+}
+
+func (p *Params) ops(base int) int {
+	if p.Quick {
+		base /= 8
+		if base < 4 {
+			base = 4
+		}
+	}
+	return base
+}
+
+// machine is the simulated testbed geometry for one experiment.
+type machine struct {
+	nodes   int
+	pages   int
+	workers int
+}
+
+func (p *Params) mount(name string, m machine) (*fsfactory.Instance, error) {
+	return fsfactory.New(name, fsfactory.Config{
+		Nodes:          m.nodes,
+		PagesPerNode:   m.pages,
+		CPUs:           maxInt(8, runtime.GOMAXPROCS(0)),
+		Cost:           !p.NoCost,
+		WorkersPerNode: m.workers,
+	})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// oneNode is the single-NUMA-node testbed, eightNode the full machine
+// (the paper's eight-socket box).
+func oneNode() machine   { return machine{nodes: 1, pages: 131072, workers: 4} }
+func eightNode() machine { return machine{nodes: 8, pages: 16384, workers: 4} }
+
+// header prints an experiment banner.
+func header(w io.Writer, id, title string) {
+	fmt.Fprintf(w, "\n================================================================\n")
+	fmt.Fprintf(w, "%s — %s\n", id, title)
+	fmt.Fprintf(w, "================================================================\n")
+}
+
+// table prints a column-aligned table: rows[i][0] is the row label.
+func table(w io.Writer, cols []string, rows [][]string) {
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		for i, cell := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(w, "%-*s  ", widths[i], cell)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	printRow(cols)
+	for _, r := range rows {
+		printRow(r)
+	}
+}
+
+// Fig5 — single-thread performance (Fig. 5): 4 KiB and 2 MiB read and
+// write bandwidth, plus open / create / delete latency-throughput.
+func Fig5(w io.Writer, p Params) error {
+	header(w, "fig5", "single-thread performance (GiB/s for data, ops/µs for metadata)")
+	fss := []string{"nova", "splitfs", "strata", "odinfs", "arckfs-nd", "arckfs"}
+	dataSpecs := []struct {
+		label string
+		bs    int
+	}{
+		{"4K", 4096},
+		{"2M", 2 << 20},
+	}
+	cols := []string{"fs", "4K-read", "4K-write", "2M-read", "2M-write", "open", "create", "delete"}
+	var rows [][]string
+	for _, name := range fss {
+		row := []string{name}
+		for _, spec := range dataSpecs {
+			for _, write := range []bool{false, true} {
+				inst, err := p.mount(name, eightNode())
+				if err != nil {
+					return err
+				}
+				fileSize := int64(8 << 20)
+				ops := p.ops(768)
+				if spec.bs == 2<<20 {
+					ops = p.ops(64)
+				}
+				r, err := workload.RunFio(inst, workload.FioSpec{
+					BS: spec.bs, FileSize: fileSize, Write: write, Random: true,
+					Threads: 1, OpsPerThread: ops,
+				})
+				inst.Close()
+				if err != nil {
+					return fmt.Errorf("fig5 %s %s: %w", name, spec.label, err)
+				}
+				row = append(row, fmt.Sprintf("%.3f", r.GiBps()))
+			}
+		}
+		// Metadata: open (MRPL), create (MWCL), delete (MWUL), single thread.
+		for _, bench := range []string{"MRPL", "MWCL", "MWUL"} {
+			inst, err := p.mount(name, eightNode())
+			if err != nil {
+				return err
+			}
+			r, err := workload.RunFxmark(inst, bench, 1, p.ops(2048))
+			inst.Close()
+			if err != nil {
+				return fmt.Errorf("fig5 %s %s: %w", name, bench, err)
+			}
+			row = append(row, fmt.Sprintf("%.4f", r.OpsPerUsec()))
+		}
+		rows = append(rows, row)
+	}
+	table(w, cols, rows)
+	return nil
+}
+
+// Fig6 — fio throughput scaling on one and eight NUMA nodes.
+func Fig6(w io.Writer, p Params) error {
+	type panel struct {
+		title string
+		m     machine
+		fss   []string
+	}
+	panels := []panel{
+		{"one NUMA node", oneNode(), []string{"ext4", "pmfs", "nova", "winefs", "splitfs", "arckfs-nd"}},
+		{"eight NUMA nodes", eightNode(), []string{"ext4-raid0", "nova", "odinfs", "arckfs"}},
+	}
+	specs := []struct {
+		label string
+		bs    int
+		write bool
+	}{
+		{"4K-read", 4096, false},
+		{"4K-write", 4096, true},
+		{"2M-read", 2 << 20, false},
+		{"2M-write", 2 << 20, true},
+	}
+	for _, panel := range panels {
+		for _, spec := range specs {
+			header(w, "fig6", fmt.Sprintf("fio %s, %s (GiB/s by thread count)", spec.label, panel.title))
+			cols := []string{"fs"}
+			for _, t := range p.threads() {
+				cols = append(cols, fmt.Sprintf("t=%d", t))
+			}
+			var rows [][]string
+			for _, name := range panel.fss {
+				row := []string{name}
+				for _, threads := range p.threads() {
+					inst, err := p.mount(name, panel.m)
+					if err != nil {
+						return err
+					}
+					ops := p.ops(512)
+					fileSize := int64(4 << 20)
+					if spec.bs == 2<<20 {
+						ops = p.ops(24)
+						fileSize = 8 << 20
+					}
+					r, err := workload.RunFio(inst, workload.FioSpec{
+						BS: spec.bs, FileSize: fileSize, Write: spec.write, Random: true,
+						Threads: threads, OpsPerThread: ops,
+					})
+					inst.Close()
+					if err != nil {
+						return fmt.Errorf("fig6 %s %s t%d: %w", name, spec.label, threads, err)
+					}
+					row = append(row, fmt.Sprintf("%.3f", r.GiBps()))
+				}
+				rows = append(rows, row)
+			}
+			table(w, cols, rows)
+		}
+	}
+	return nil
+}
+
+// Fig7 — FxMark metadata scalability (ops/µs by thread count).
+func Fig7(w io.Writer, p Params) error {
+	return runFxmarkTables(w, p, "fig7", workload.FxmarkNames())
+}
+
+// Fig7Data — the data-operation microbenchmarks §6.4 discusses in text
+// ("except ArckFS and OdinFS, only PMFS and NOVA scale one workload:
+// DRBL"); the paper omits the figure for space, so this table is the
+// closest artifact.
+func Fig7Data(w io.Writer, p Params) error {
+	return runFxmarkTables(w, p, "fig7-data", workload.FxmarkDataNames())
+}
+
+func runFxmarkTables(w io.Writer, p Params, id string, benches []string) error {
+	fss := []string{"ext4", "pmfs", "nova", "winefs", "splitfs", "odinfs", "arckfs"}
+	for _, bench := range benches {
+		header(w, id, fmt.Sprintf("FxMark %s (ops/µs by thread count)", bench))
+		cols := []string{"fs"}
+		for _, t := range p.threads() {
+			cols = append(cols, fmt.Sprintf("t=%d", t))
+		}
+		var rows [][]string
+		for _, name := range fss {
+			row := []string{name}
+			for _, threads := range p.threads() {
+				inst, err := p.mount(name, eightNode())
+				if err != nil {
+					return err
+				}
+				r, err := workload.RunFxmark(inst, bench, threads, p.ops(768))
+				inst.Close()
+				if err != nil {
+					return fmt.Errorf("fig7 %s %s t%d: %w", bench, name, threads, err)
+				}
+				row = append(row, fmt.Sprintf("%.4f", r.OpsPerUsec()))
+			}
+			rows = append(rows, row)
+		}
+		table(w, cols, rows)
+	}
+	return nil
+}

@@ -1,0 +1,399 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"trio/internal/attack"
+	"trio/internal/controller"
+	"trio/internal/core"
+	"trio/internal/libfs"
+	"trio/internal/nvm"
+)
+
+// sharingWorld builds the Table 3 setting: one device, a controller
+// with a short lease, and two ArckFS mounts in distinct (or shared)
+// trust domains.
+type sharingWorld struct {
+	dev *nvm.Device
+	ctl *controller.Controller
+	fsA *libfs.FS
+	fsB *libfs.FS
+}
+
+func newSharingWorld(p Params, sameGroup bool) (*sharingWorld, error) {
+	devCfg := nvm.Config{Nodes: 1, PagesPerNode: 49152}
+	if !p.NoCost {
+		devCfg.Cost = nvm.DefaultCostModel()
+	}
+	dev, err := nvm.NewDevice(devCfg)
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := controller.New(dev, controller.Options{LeaseTime: 2 * time.Millisecond})
+	if err != nil {
+		return nil, err
+	}
+	groupA, groupB := controller.GroupID(1), controller.GroupID(2)
+	if sameGroup {
+		groupB = groupA
+	}
+	fsA, err := libfs.New(ctl.Register(1000, 1000, 0, groupA), libfs.Config{CPUs: 4})
+	if err != nil {
+		return nil, err
+	}
+	fsB, err := libfs.New(ctl.Register(1000, 1000, 0, groupB), libfs.Config{CPUs: 4})
+	if err != nil {
+		return nil, err
+	}
+	return &sharingWorld{dev: dev, ctl: ctl, fsA: fsA, fsB: fsB}, nil
+}
+
+// sharedWrite measures two applications ping-ponging 4 KiB writes on
+// one file of the given size; returns aggregate GiB/s.
+func (sw *sharingWorld) sharedWrite(fileSize int64, opsPerApp int) (float64, error) {
+	f, err := sw.fsA.NewClient(0).Create("/shared.dat", 0o666)
+	if err != nil {
+		return 0, err
+	}
+	chunk := make([]byte, 1<<20)
+	for off := int64(0); off < fileSize; off += int64(len(chunk)) {
+		if _, err := f.WriteAt(chunk, off); err != nil {
+			return 0, err
+		}
+	}
+	f.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	start := time.Now()
+	for i, fs := range []*libfs.FS{sw.fsA, sw.fsB} {
+		i, fs := i, fs
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := fs.NewClient(i)
+			h, err := c.Open("/shared.dat", true)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			buf := make([]byte, 4096)
+			for op := 0; op < opsPerApp; op++ {
+				off := int64(op%int(fileSize/4096)) * 4096
+				if _, err := h.WriteAt(buf, off); err != nil {
+					errs[i] = fmt.Errorf("op %d: %w", op, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	total := float64(2*opsPerApp) * 4096
+	return total / elapsed.Seconds() / (1 << 30), nil
+}
+
+// dirIno locates a directory's ino in the controller records.
+func (sw *sharingWorld) dirIno(name string) (core.Ino, error) {
+	mem := core.Direct(sw.dev, 0)
+	for _, fi := range sw.ctl.Files() {
+		n, err := core.ReadDirentName(mem, fi.Loc.Page, fi.Loc.Slot)
+		if err == nil && n == name {
+			return fi.Ino, nil
+		}
+	}
+	return 0, fmt.Errorf("dir %q not in controller records", name)
+}
+
+// sharedCreate measures two applications alternately creating (and
+// removing) empty files in one shared directory preloaded with nfiles
+// entries, unmapping the directory after every operation to stress the
+// sharing path (§6.5). Returns µs per create.
+func (sw *sharingWorld) sharedCreate(nfiles, opsPerApp int, forceUnmap bool) (float64, error) {
+	c := sw.fsA.NewClient(0)
+	if err := c.Mkdir("/share", 0o777); err != nil {
+		return 0, err
+	}
+	for i := 0; i < nfiles; i++ {
+		f, err := c.Create(fmt.Sprintf("/share/base%04d", i), 0o644)
+		if err != nil {
+			return 0, err
+		}
+		f.Close()
+	}
+	// Register the dir with the controller (verification cycle) so both
+	// domains share through it.
+	sw.fsA.Session().UnmapFile(core.RootIno)
+	ino, err := sw.dirIno("share")
+	if err != nil {
+		return 0, err
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	start := time.Now()
+	for i, fs := range []*libfs.FS{sw.fsA, sw.fsB} {
+		i, fs := i, fs
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := fs.NewClient(i)
+			for op := 0; op < opsPerApp; op++ {
+				path := fmt.Sprintf("/share/app%d-%d", i, op)
+				f, err := cl.Create(path, 0o644)
+				if err != nil {
+					errs[i] = fmt.Errorf("create %d: %w", op, err)
+					return
+				}
+				f.Close()
+				if err := cl.Unlink(path); err != nil {
+					errs[i] = fmt.Errorf("unlink %d: %w", op, err)
+					return
+				}
+				if forceUnmap {
+					fs.Session().UnmapFile(ino)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return float64(elapsed.Microseconds()) / float64(2*opsPerApp), nil
+}
+
+// Tab3 — the sharing-cost table: two untrusted writers vs NOVA vs the
+// trust-group fast path.
+func Tab3(w io.Writer, p Params) error {
+	header(w, "tab3", "sharing cost: two apps updating one file (Table 3)")
+	ops := p.ops(192)
+	smallFile := int64(2 << 20)
+	bigFile := int64(32 << 20) // the paper's 1 GiB class, scaled
+
+	cols := []string{"case", "nova", "arckfs", "arckfs-trust-group"}
+	rows := make([][]string, 4)
+	rows[0] = []string{"4KB-write 2MB (GiB/s)"}
+	rows[1] = []string{fmt.Sprintf("4KB-write %dMB (GiB/s)", bigFile>>20)}
+	rows[2] = []string{"create dir-of-10 (µs/op)"}
+	rows[3] = []string{"create dir-of-100 (µs/op)"}
+
+	// NOVA: both apps go through the kernel; no Trio sharing cost.
+	novaCell := func(fileSize int64) (string, error) {
+		inst, err := p.mount("nova", oneNode())
+		if err != nil {
+			return "", err
+		}
+		defer inst.Close()
+		f, err := inst.NewClient(0).Create("/shared.dat", 0o666)
+		if err != nil {
+			return "", err
+		}
+		chunk := make([]byte, 1<<20)
+		for off := int64(0); off < fileSize; off += int64(len(chunk)) {
+			f.WriteAt(chunk, off)
+		}
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i := 0; i < 2; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				h, _ := inst.NewClient(i).Open("/shared.dat", true)
+				buf := make([]byte, 4096)
+				for op := 0; op < ops; op++ {
+					h.WriteAt(buf, int64(op%int(fileSize/4096))*4096)
+				}
+			}()
+		}
+		wg.Wait()
+		gbps := float64(2*ops) * 4096 / time.Since(start).Seconds() / (1 << 30)
+		return fmt.Sprintf("%.3f", gbps), nil
+	}
+	novaCreate := func(nfiles int) (string, error) {
+		inst, err := p.mount("nova", oneNode())
+		if err != nil {
+			return "", err
+		}
+		defer inst.Close()
+		c := inst.NewClient(0)
+		c.Mkdir("/share", 0o777)
+		for i := 0; i < nfiles; i++ {
+			f, _ := c.Create(fmt.Sprintf("/share/base%04d", i), 0o644)
+			f.Close()
+		}
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i := 0; i < 2; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cl := inst.NewClient(i)
+				for op := 0; op < ops; op++ {
+					path := fmt.Sprintf("/share/app%d-%d", i, op)
+					f, _ := cl.Create(path, 0o644)
+					if f != nil {
+						f.Close()
+					}
+					cl.Unlink(path)
+				}
+			}()
+		}
+		wg.Wait()
+		return fmt.Sprintf("%.1f", float64(time.Since(start).Microseconds())/float64(2*ops)), nil
+	}
+
+	var err error
+	for i := range rows {
+		rows[i] = append(rows[i], "")
+	}
+	if rows[0][1], err = novaCell(smallFile); err != nil {
+		return err
+	}
+	if rows[1][1], err = novaCell(bigFile); err != nil {
+		return err
+	}
+	if rows[2][1], err = novaCreate(10); err != nil {
+		return err
+	}
+	if rows[3][1], err = novaCreate(100); err != nil {
+		return err
+	}
+
+	// ArckFS cross-domain and trust-group.
+	for _, sameGroup := range []bool{false, true} {
+		sw, err := newSharingWorld(p, sameGroup)
+		if err != nil {
+			return err
+		}
+		g, err := sw.sharedWrite(smallFile, ops)
+		if err != nil {
+			return fmt.Errorf("tab3 write small (group=%v): %w", sameGroup, err)
+		}
+		rows[0] = append(rows[0], fmt.Sprintf("%.3f", g))
+
+		sw2, err := newSharingWorld(p, sameGroup)
+		if err != nil {
+			return err
+		}
+		g, err = sw2.sharedWrite(bigFile, ops)
+		if err != nil {
+			return fmt.Errorf("tab3 write big (group=%v): %w", sameGroup, err)
+		}
+		rows[1] = append(rows[1], fmt.Sprintf("%.3f", g))
+
+		for ri, nfiles := range []int{10, 100} {
+			sw3, err := newSharingWorld(p, sameGroup)
+			if err != nil {
+				return err
+			}
+			us, err := sw3.sharedCreate(nfiles, ops, !sameGroup)
+			if err != nil {
+				return fmt.Errorf("tab3 create-%d (group=%v): %w", nfiles, sameGroup, err)
+			}
+			rows[2+ri] = append(rows[2+ri], fmt.Sprintf("%.1f", us))
+		}
+	}
+	table(w, cols, rows)
+	return nil
+}
+
+// Fig8 — breakdown of the sharing cost into map / unmap / verify /
+// auxiliary-state rebuild, for the two stressed Table 3 cases.
+func Fig8(w io.Writer, p Params) error {
+	header(w, "fig8", "breakdown of ArckFS's sharing cost (fraction of sharing time)")
+	ops := p.ops(48)
+
+	measure := func(run func(sw *sharingWorld) error) ([]string, error) {
+		sw, err := newSharingWorld(p, false)
+		if err != nil {
+			return nil, err
+		}
+		before := sw.ctl.Stats().Snapshot()
+		if err := run(sw); err != nil {
+			return nil, err
+		}
+		d := sw.ctl.Stats().Snapshot().Sub(before)
+		total := d.MapTime + d.UnmapTime + d.RebuildTime
+		// Unmap time includes verification; separate it out the way the
+		// paper's breakdown does.
+		unmapOnly := d.UnmapTime - d.VerifyTime
+		if unmapOnly < 0 {
+			unmapOnly = 0
+		}
+		if total <= 0 {
+			return []string{"-", "-", "-", "-"}, nil
+		}
+		frac := func(x time.Duration) string {
+			return fmt.Sprintf("%.2f", float64(x)/float64(total))
+		}
+		return []string{frac(d.MapTime), frac(unmapOnly), frac(d.VerifyTime), frac(d.RebuildTime)}, nil
+	}
+
+	cols := []string{"case", "map", "unmap", "verifier", "aux-rebuild"}
+	var rows [][]string
+	cells, err := measure(func(sw *sharingWorld) error {
+		_, err := sw.sharedWrite(32<<20, ops)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	rows = append(rows, append([]string{"4KB-write 32MB"}, cells...))
+	cells, err = measure(func(sw *sharingWorld) error {
+		_, err := sw.sharedCreate(100, ops, true)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	rows = append(rows, append([]string{"create-100"}, cells...))
+	table(w, cols, rows)
+	return nil
+}
+
+// Integrity — §6.5: run every attack and scripted corruption scenario.
+func Integrity(w io.Writer, p Params) error {
+	header(w, "integrity", "§6.5: malicious and buggy LibFS scenarios")
+	scenarios := attack.All()
+	detected, recovered, failed := 0, 0, 0
+	for _, s := range scenarios {
+		o := s.Run()
+		if o.Err != nil {
+			failed++
+			fmt.Fprintf(w, "  scenario %s: ERROR %v\n", o.Name, o.Err)
+			continue
+		}
+		if o.Detected {
+			detected++
+		} else {
+			fmt.Fprintf(w, "  scenario %s: NOT DETECTED\n", o.Name)
+		}
+		if o.Recovered {
+			recovered++
+		} else {
+			fmt.Fprintf(w, "  scenario %s: NOT RECOVERED\n", o.Name)
+		}
+	}
+	fmt.Fprintf(w, "scenarios: %d (11 handcrafted attacks + %d scripted corruptions)\n",
+		len(scenarios), len(scenarios)-11)
+	fmt.Fprintf(w, "detected:  %d/%d\n", detected, len(scenarios)-failed)
+	fmt.Fprintf(w, "recovered: %d/%d\n", recovered, len(scenarios)-failed)
+	if failed > 0 {
+		return fmt.Errorf("%d scenarios errored", failed)
+	}
+	return nil
+}

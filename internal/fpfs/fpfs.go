@@ -1,0 +1,196 @@
+// Package fpfs is the second customized LibFS of the paper (§5): a
+// full-path-indexing file system for applications living in deep
+// directory hierarchies. One global hash table maps the full path
+// string directly to the file's dirent location in the core state,
+// eliminating the per-component directory walk of a conventional
+// resolve.
+//
+// As the paper notes, the customization is heavily workload-specific:
+// FPFS cannot handle rename efficiently — moving a directory would
+// invalidate the cached paths of its whole subtree — so Rename simply
+// falls back to ArckFS's generic path and flushes the table.
+package fpfs
+
+import (
+	"strings"
+	"sync"
+
+	"trio/internal/fsapi"
+	"trio/internal/index"
+	"trio/internal/libfs"
+)
+
+// FS is an FPFS instance over an ArckFS LibFS. It implements
+// fsapi-style operations keyed by full paths.
+type FS struct {
+	arck  *libfs.FS
+	hooks libfs.Hooks
+
+	// paths is FPFS's private auxiliary state: "/a/b/c" → entry.
+	paths *index.Map[libfs.Entry]
+	// dirs caches directory refs ("/a/b" → DirRef) for create paths.
+	dirs sync.Map
+}
+
+// New mounts FPFS over an ArckFS instance.
+func New(arck *libfs.FS) *FS {
+	return &FS{arck: arck, hooks: arck.Hooks(), paths: index.NewMap[libfs.Entry]()}
+}
+
+// Name identifies the customization.
+func (fs *FS) Name() string { return "fpfs" }
+
+// Arck exposes the generic LibFS for operations FPFS does not optimize.
+func (fs *FS) Arck() *libfs.FS { return fs.arck }
+
+func normalize(path string) string {
+	if isCanonical(path) {
+		return path
+	}
+	parts := fsapi.SplitPath(path)
+	if len(parts) == 0 {
+		return "/"
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+// isCanonical reports whether path is already in the "/a/b/c" form the
+// table is keyed by. The fast path matters: FPFS's whole point is that
+// a lookup costs one hash of the path string, so it cannot afford to
+// re-tokenize every call.
+func isCanonical(path string) bool {
+	if len(path) < 2 || path[0] != '/' || path[len(path)-1] == '/' {
+		return path == "/"
+	}
+	for i := 1; i < len(path); i++ {
+		if path[i] == '/' && (path[i-1] == '/' || path[i+1] == '.') {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup resolves a path through the global table, falling back to the
+// generic component walk on a miss (and caching the result).
+func (fs *FS) lookup(path string) (libfs.Entry, error) {
+	key := normalize(path)
+	if e, ok := fs.paths.Get(key); ok {
+		return e, nil
+	}
+	e, err := fs.hooks.NodeEntry(key)
+	if err != nil {
+		return libfs.Entry{}, err
+	}
+	fs.paths.Put(key, e)
+	return e, nil
+}
+
+func (fs *FS) dirRef(dirPath string) (*libfs.DirRef, error) {
+	key := normalize(dirPath)
+	if d, ok := fs.dirs.Load(key); ok {
+		return d.(*libfs.DirRef), nil
+	}
+	d, err := fs.hooks.ResolveDir(key)
+	if err != nil {
+		return nil, err
+	}
+	fs.dirs.Store(key, d)
+	return d, nil
+}
+
+func splitParent(path string) (string, string) {
+	key := normalize(path)
+	i := strings.LastIndexByte(key, '/')
+	if i <= 0 {
+		return "/", key[1:]
+	}
+	return key[:i], key[i+1:]
+}
+
+// Stat resolves a full path with a single hash lookup.
+func (fs *FS) Stat(path string) (fsapi.FileInfo, error) {
+	e, err := fs.lookup(path)
+	if err != nil {
+		return fsapi.FileInfo{}, err
+	}
+	in, err := fs.hooks.ReadInode(e)
+	if err != nil {
+		return fsapi.FileInfo{}, err
+	}
+	_, name := splitParent(path)
+	return fsapi.FileInfo{
+		Name: name, Ino: uint64(in.Ino), Size: int64(in.Size),
+		Mode: in.Mode, IsDir: e.IsDir,
+	}, nil
+}
+
+// Open opens a file by full path with a single table lookup; the
+// handle's data path is ArckFS's (that customization is KVFS's job).
+func (fs *FS) Open(cpu int, path string, write bool) (fsapi.File, error) {
+	e, err := fs.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := fs.hooks.OpenEntry(cpu, e, write)
+	if err != nil {
+		// The cached entry may be stale (file replaced); retry once
+		// through the generic walk.
+		fs.paths.Delete(normalize(path))
+		e, lerr := fs.lookup(path)
+		if lerr != nil {
+			return nil, lerr
+		}
+		return fs.hooks.OpenEntry(cpu, e, write)
+	}
+	return f, nil
+}
+
+// Create creates a file, updating the path table.
+func (fs *FS) Create(cpu int, path string, mode uint16) (fsapi.File, error) {
+	dirPath, name := splitParent(path)
+	d, err := fs.dirRef(dirPath)
+	if err != nil {
+		return nil, err
+	}
+	e, err := fs.hooks.CreateEntry(cpu, d, name, mode)
+	if err == nil {
+		fs.paths.Put(normalize(path), e)
+		return fs.hooks.OpenCreated(cpu, e)
+	}
+	if err != fsapi.ErrExist {
+		return nil, err
+	}
+	return fs.Open(cpu, path, true)
+}
+
+// Unlink removes a file by full path.
+func (fs *FS) Unlink(cpu int, path string) error {
+	dirPath, name := splitParent(path)
+	d, err := fs.dirRef(dirPath)
+	if err != nil {
+		return err
+	}
+	fs.paths.Delete(normalize(path))
+	return fs.hooks.RemoveEntry(cpu, d, name)
+}
+
+// Mkdir creates a directory and registers its path.
+func (fs *FS) Mkdir(cpu int, path string, mode uint16) error {
+	if err := fs.arck.NewClient(cpu).Mkdir(normalize(path), mode); err != nil {
+		return err
+	}
+	_, err := fs.lookup(path)
+	return err
+}
+
+// Rename is the operation FPFS cannot accelerate (§5): it delegates to
+// ArckFS and conservatively flushes the whole path table, since a moved
+// directory invalidates every cached descendant path.
+func (fs *FS) Rename(cpu int, oldPath, newPath string) error {
+	if err := fs.arck.NewClient(cpu).Rename(normalize(oldPath), normalize(newPath)); err != nil {
+		return err
+	}
+	fs.paths = index.NewMap[libfs.Entry]()
+	fs.dirs = sync.Map{}
+	return nil
+}

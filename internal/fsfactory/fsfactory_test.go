@@ -1,0 +1,60 @@
+package fsfactory
+
+import (
+	"testing"
+)
+
+func TestAllNamesConstruct(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			inst, err := New(name, Config{Nodes: 2, PagesPerNode: 2048})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer inst.Close()
+			if inst.Name() == "" {
+				t.Fatal("empty FS name")
+			}
+			f, err := inst.NewClient(0).Create("/smoke", 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteAt([]byte("ok"), 0); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+		})
+	}
+}
+
+func TestUnknownName(t *testing.T) {
+	if _, err := New("btrfs", Config{}); err == nil {
+		t.Fatal("unknown FS accepted")
+	}
+}
+
+func TestArckInstanceExposesTrioComponents(t *testing.T) {
+	inst, err := New("arckfs", Config{Nodes: 1, PagesPerNode: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	if inst.Ctl == nil || inst.Arck == nil || inst.Dev == nil {
+		t.Fatal("Trio components not exposed")
+	}
+	if checked, bad, _ := inst.Ctl.VerifyAll(); checked == 0 || bad != 0 {
+		t.Fatalf("verify: %d/%d", checked, bad)
+	}
+}
+
+func TestBaselineInstanceHasNoController(t *testing.T) {
+	inst, err := New("ext4", Config{Nodes: 1, PagesPerNode: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	if inst.Ctl != nil || inst.Arck != nil {
+		t.Fatal("baseline should not expose Trio components")
+	}
+}

@@ -1,0 +1,28 @@
+package fstest
+
+import (
+	"testing"
+
+	"trio/internal/fsapi"
+	"trio/internal/fsfactory"
+)
+
+// TestConformance runs the shared suite against every file system in
+// the repository: the paper's comparison only makes sense if all of
+// them implement the same semantics.
+func TestConformance(t *testing.T) {
+	for _, name := range fsfactory.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			Run(t, func(t *testing.T) fsapi.FS {
+				inst, err := fsfactory.New(name, fsfactory.Config{
+					Nodes: 2, PagesPerNode: 8192, CPUs: 4,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return inst
+			})
+		})
+	}
+}

@@ -1,0 +1,413 @@
+// Package fstest is a conformance suite run against every fsapi.FS in
+// the repository: ArckFS and all baselines must agree on POSIX-ish
+// semantics, because the evaluation's workload generators assume them.
+package fstest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"trio/internal/fsapi"
+)
+
+// Factory builds a fresh file system for one subtest.
+type Factory func(t *testing.T) fsapi.FS
+
+// Run exercises the whole conformance suite against the factory.
+func Run(t *testing.T, mk Factory) {
+	cases := []struct {
+		name string
+		fn   func(t *testing.T, fs fsapi.FS)
+	}{
+		{"CreateReadBack", testCreateReadBack},
+		{"OpenMissing", testOpenMissing},
+		{"CreateExistingTruncates", testCreateExistingTruncates},
+		{"MkdirNested", testMkdirNested},
+		{"ReadDir", testReadDir},
+		{"UnlinkSemantics", testUnlinkSemantics},
+		{"RmdirSemantics", testRmdirSemantics},
+		{"RenameBasic", testRenameBasic},
+		{"RenameReplacesFile", testRenameReplacesFile},
+		{"AppendGrows", testAppendGrows},
+		{"SparseHolesReadZero", testSparseHolesReadZero},
+		{"TruncateShrinkGrow", testTruncateShrinkGrow},
+		{"StatFields", testStatFields},
+		{"OverwriteMiddle", testOverwriteMiddle},
+		{"LargeSequentialIO", testLargeSequentialIO},
+		{"ManyFilesInOneDir", testManyFiles},
+		{"ParallelPrivateFiles", testParallelPrivateFiles},
+		{"SyncIsSafe", testSync},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fs := mk(t)
+			defer fs.Close()
+			c.fn(t, fs)
+		})
+	}
+}
+
+func testCreateReadBack(t *testing.T, fs fsapi.FS) {
+	c := fs.NewClient(0)
+	f, err := c.Create("/f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("conformance")
+	if n, err := f.WriteAt(want, 0); err != nil || n != len(want) {
+		t.Fatalf("write: %d %v", n, err)
+	}
+	got := make([]byte, len(want))
+	if n, err := f.ReadAt(got, 0); err != nil || n != len(want) {
+		t.Fatalf("read: %d %v", n, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q", got)
+	}
+	f.Close()
+	g, err := c.Open("/f", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != int64(len(want)) {
+		t.Fatalf("size %d", g.Size())
+	}
+}
+
+func testOpenMissing(t *testing.T, fs fsapi.FS) {
+	c := fs.NewClient(0)
+	if _, err := c.Open("/nope", false); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := c.Stat("/nope"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("stat err = %v", err)
+	}
+}
+
+func testCreateExistingTruncates(t *testing.T, fs fsapi.FS) {
+	c := fs.NewClient(0)
+	f, _ := c.Create("/f", 0o644)
+	f.WriteAt([]byte("long old content"), 0)
+	f.Close()
+	g, err := c.Create("/f", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 0 {
+		t.Fatalf("size after re-create = %d", g.Size())
+	}
+}
+
+func testMkdirNested(t *testing.T, fs fsapi.FS) {
+	c := fs.NewClient(0)
+	for _, d := range []string{"/a", "/a/b", "/a/b/c"} {
+		if err := c.Mkdir(d, 0o755); err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+	}
+	if err := c.Mkdir("/a", 0o755); !errors.Is(err, fsapi.ErrExist) {
+		t.Fatalf("mkdir existing: %v", err)
+	}
+	f, err := c.Create("/a/b/c/leaf", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := c.Create("/a/missing/x", 0o644); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("create under missing dir: %v", err)
+	}
+}
+
+func testReadDir(t *testing.T, fs fsapi.FS) {
+	c := fs.NewClient(0)
+	c.Mkdir("/d", 0o755)
+	want := []string{"w", "x", "y", "z"}
+	for _, n := range want {
+		f, err := c.Create("/d/"+n, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	got, err := c.ReadDir("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(got)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("ReadDir = %v", got)
+	}
+	if _, err := c.ReadDir("/d/w"); !errors.Is(err, fsapi.ErrNotDir) {
+		t.Fatalf("ReadDir on file: %v", err)
+	}
+}
+
+func testUnlinkSemantics(t *testing.T, fs fsapi.FS) {
+	c := fs.NewClient(0)
+	f, _ := c.Create("/u", 0o644)
+	f.Close()
+	if err := c.Unlink("/u"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unlink("/u"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("double unlink: %v", err)
+	}
+	c.Mkdir("/ud", 0o755)
+	if err := c.Unlink("/ud"); !errors.Is(err, fsapi.ErrIsDir) {
+		t.Fatalf("unlink dir: %v", err)
+	}
+}
+
+func testRmdirSemantics(t *testing.T, fs fsapi.FS) {
+	c := fs.NewClient(0)
+	c.Mkdir("/r", 0o755)
+	f, _ := c.Create("/r/f", 0o644)
+	f.Close()
+	if err := c.Rmdir("/r"); !errors.Is(err, fsapi.ErrNotEmpty) {
+		t.Fatalf("rmdir non-empty: %v", err)
+	}
+	c.Unlink("/r/f")
+	if err := c.Rmdir("/r"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("/r"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("stat removed: %v", err)
+	}
+}
+
+func testRenameBasic(t *testing.T, fs fsapi.FS) {
+	c := fs.NewClient(0)
+	c.Mkdir("/d1", 0o755)
+	c.Mkdir("/d2", 0o755)
+	f, _ := c.Create("/d1/file", 0o644)
+	f.WriteAt([]byte("mv"), 0)
+	f.Close()
+	if err := c.Rename("/d1/file", "/d2/file2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("/d1/file"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatal("source alive")
+	}
+	g, err := c.Open("/d2/file2", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 2)
+	g.ReadAt(b, 0)
+	if string(b) != "mv" {
+		t.Fatalf("content %q", b)
+	}
+}
+
+func testRenameReplacesFile(t *testing.T, fs fsapi.FS) {
+	c := fs.NewClient(0)
+	f, _ := c.Create("/src", 0o644)
+	f.WriteAt([]byte("new"), 0)
+	f.Close()
+	g, _ := c.Create("/dst", 0o644)
+	g.WriteAt([]byte("old"), 0)
+	g.Close()
+	if err := c.Rename("/src", "/dst"); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Open("/dst", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 3)
+	h.ReadAt(b, 0)
+	if string(b) != "new" {
+		t.Fatalf("content %q", b)
+	}
+}
+
+func testAppendGrows(t *testing.T, fs fsapi.FS) {
+	c := fs.NewClient(0)
+	f, _ := c.Create("/log", 0o644)
+	for i := 0; i < 10; i++ {
+		at, err := f.Append([]byte(fmt.Sprintf("entry-%d\n", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if at != int64(i*8) {
+			t.Fatalf("append %d landed at %d", i, at)
+		}
+	}
+	if f.Size() != 80 {
+		t.Fatalf("size %d", f.Size())
+	}
+}
+
+func testSparseHolesReadZero(t *testing.T, fs fsapi.FS) {
+	c := fs.NewClient(0)
+	f, _ := c.Create("/sparse", 0o644)
+	if _, err := f.WriteAt([]byte("end"), 20000); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 100)
+	if n, err := f.ReadAt(b, 5000); err != nil || n != 100 {
+		t.Fatalf("read hole: %d %v", n, err)
+	}
+	for _, x := range b {
+		if x != 0 {
+			t.Fatal("hole nonzero")
+		}
+	}
+}
+
+func testTruncateShrinkGrow(t *testing.T, fs fsapi.FS) {
+	c := fs.NewClient(0)
+	f, _ := c.Create("/t", 0o644)
+	f.WriteAt(bytes.Repeat([]byte{0xFF}, 10000), 0)
+	if err := f.Truncate(100); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 100 {
+		t.Fatalf("size %d", f.Size())
+	}
+	if err := f.Truncate(8000); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 10)
+	f.ReadAt(b, 5000)
+	for _, x := range b {
+		if x != 0 {
+			t.Fatal("regrown region leaks old bytes")
+		}
+	}
+}
+
+func testStatFields(t *testing.T, fs fsapi.FS) {
+	c := fs.NewClient(0)
+	c.Mkdir("/sd", 0o755)
+	f, _ := c.Create("/sd/file", 0o644)
+	f.WriteAt(make([]byte, 1234), 0)
+	f.Close()
+	st, err := c.Stat("/sd/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size != 1234 || st.IsDir || st.Name != "file" {
+		t.Fatalf("stat %+v", st)
+	}
+	st, _ = c.Stat("/sd")
+	if !st.IsDir {
+		t.Fatal("dir not dir")
+	}
+}
+
+func testOverwriteMiddle(t *testing.T, fs fsapi.FS) {
+	c := fs.NewClient(0)
+	f, _ := c.Create("/ow", 0o644)
+	f.WriteAt(bytes.Repeat([]byte{'a'}, 9000), 0)
+	f.WriteAt([]byte("BBBB"), 4094) // crosses a page boundary
+	b := make([]byte, 8)
+	f.ReadAt(b, 4092)
+	if string(b) != "aaBBBBaa" {
+		t.Fatalf("boundary overwrite: %q", b)
+	}
+	if f.Size() != 9000 {
+		t.Fatalf("size changed: %d", f.Size())
+	}
+}
+
+func testLargeSequentialIO(t *testing.T, fs fsapi.FS) {
+	c := fs.NewClient(0)
+	f, _ := c.Create("/big", 0o644)
+	const total = 1 << 20 // 1 MiB
+	chunk := make([]byte, 64<<10)
+	for i := range chunk {
+		chunk[i] = byte(i % 251)
+	}
+	for off := int64(0); off < total; off += int64(len(chunk)) {
+		if _, err := f.WriteAt(chunk, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]byte, len(chunk))
+	for off := int64(0); off < total; off += int64(len(chunk)) {
+		if _, err := f.ReadAt(got, off); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, chunk) {
+			t.Fatalf("corruption at %d", off)
+		}
+	}
+}
+
+func testManyFiles(t *testing.T, fs fsapi.FS) {
+	c := fs.NewClient(0)
+	c.Mkdir("/many", 0o755)
+	const n = 200
+	for i := 0; i < n; i++ {
+		f, err := c.Create(fmt.Sprintf("/many/f%03d", i), 0o644)
+		if err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+		f.Close()
+	}
+	names, err := c.ReadDir("/many")
+	if err != nil || len(names) != n {
+		t.Fatalf("ReadDir: %d %v", len(names), err)
+	}
+}
+
+func testParallelPrivateFiles(t *testing.T, fs fsapi.FS) {
+	if fs.Name() == "strata" {
+		t.Skip("strata runs single-threaded (as in the paper)")
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := fs.NewClient(g)
+			path := fmt.Sprintf("/private-%d", g)
+			f, err := c.Create(path, 0o644)
+			if err != nil {
+				errs <- err
+				return
+			}
+			pattern := bytes.Repeat([]byte{byte(g + 1)}, 4096)
+			for i := 0; i < 32; i++ {
+				if _, err := f.WriteAt(pattern, int64(i)*4096); err != nil {
+					errs <- err
+					return
+				}
+			}
+			got := make([]byte, 4096)
+			for i := 0; i < 32; i++ {
+				f.ReadAt(got, int64(i)*4096)
+				if !bytes.Equal(got, pattern) {
+					errs <- fmt.Errorf("g%d corruption at block %d", g, i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func testSync(t *testing.T, fs fsapi.FS) {
+	c := fs.NewClient(0)
+	f, _ := c.Create("/s", 0o644)
+	f.WriteAt([]byte("durable"), 0)
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 7)
+	f.ReadAt(b, 0)
+	if string(b) != "durable" {
+		t.Fatalf("after sync: %q", b)
+	}
+}

@@ -1,0 +1,314 @@
+package fstest
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"trio/internal/fsfactory"
+)
+
+// modelFile is the oracle's view of one regular file.
+type modelFile struct {
+	data []byte
+}
+
+// model is a trivially correct in-memory file system the randomized
+// stress test checks ArckFS (and two baselines) against, operation by
+// operation.
+type model struct {
+	files map[string]*modelFile // path -> content
+	dirs  map[string]bool       // path -> exists
+}
+
+func newModel() *model {
+	return &model{files: map[string]*modelFile{}, dirs: map[string]bool{"/": true}}
+}
+
+func parentOf(p string) string {
+	for i := len(p) - 1; i > 0; i-- {
+		if p[i] == '/' {
+			return p[:i]
+		}
+	}
+	return "/"
+}
+
+func (m *model) create(p string) bool {
+	if !m.dirs[parentOf(p)] || m.dirs[p] {
+		return false
+	}
+	m.files[p] = &modelFile{}
+	return true
+}
+
+func (m *model) mkdir(p string) bool {
+	if !m.dirs[parentOf(p)] || m.dirs[p] {
+		return false
+	}
+	if _, ok := m.files[p]; ok {
+		return false
+	}
+	m.dirs[p] = true
+	return true
+}
+
+func (m *model) write(p string, off int, b []byte) bool {
+	f, ok := m.files[p]
+	if !ok {
+		return false
+	}
+	end := off + len(b)
+	if end > len(f.data) {
+		grown := make([]byte, end)
+		copy(grown, f.data)
+		f.data = grown
+	}
+	copy(f.data[off:], b)
+	return true
+}
+
+func (m *model) truncate(p string, size int) bool {
+	f, ok := m.files[p]
+	if !ok {
+		return false
+	}
+	if size <= len(f.data) {
+		f.data = f.data[:size]
+	} else {
+		grown := make([]byte, size)
+		copy(grown, f.data)
+		f.data = grown
+	}
+	return true
+}
+
+func (m *model) unlink(p string) bool {
+	if _, ok := m.files[p]; !ok {
+		return false
+	}
+	delete(m.files, p)
+	return true
+}
+
+func (m *model) rename(oldP, newP string) bool {
+	f, ok := m.files[oldP]
+	if !ok {
+		return false // dir renames excluded from the op mix
+	}
+	if m.dirs[newP] || !m.dirs[parentOf(newP)] {
+		return false
+	}
+	delete(m.files, oldP)
+	m.files[newP] = f
+	return true
+}
+
+// TestModelEquivalence drives a long random operation sequence against
+// the FS under test and the oracle, comparing results and final state.
+func TestModelEquivalence(t *testing.T) {
+	for _, name := range []string{"arckfs", "nova", "splitfs", "strata", "odinfs"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			inst, err := fsfactory.New(name, fsfactory.Config{Nodes: 1, PagesPerNode: 32768, CPUs: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer inst.Close()
+			c := inst.NewClient(0)
+			m := newModel()
+			rng := rand.New(rand.NewSource(20260704))
+
+			// A small universe of paths keeps collisions (and therefore
+			// interesting error paths) frequent.
+			dirs := []string{"/", "/a", "/b", "/a/x"}
+			for _, d := range dirs[1:] {
+				if err := c.Mkdir(d, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				m.mkdir(d)
+			}
+			paths := make([]string, 0, 24)
+			for _, d := range dirs {
+				for i := 0; i < 6; i++ {
+					base := d
+					if base == "/" {
+						base = ""
+					}
+					paths = append(paths, fmt.Sprintf("%s/f%d", base, i))
+				}
+			}
+			pick := func() string { return paths[rng.Intn(len(paths))] }
+
+			const ops = 4000
+			for i := 0; i < ops; i++ {
+				switch rng.Intn(10) {
+				case 0, 1: // create
+					p := pick()
+					f, err := c.Create(p, 0o644)
+					ok := err == nil
+					if f != nil {
+						f.Close()
+					}
+					want := m.create(p)
+					if !want {
+						// Create-on-existing truncates in both worlds.
+						if _, isFile := m.files[p]; isFile && ok {
+							m.files[p].data = nil
+							continue
+						}
+					}
+					if ok != want {
+						t.Fatalf("op %d create %s: fs=%v model=%v (%v)", i, p, ok, want, err)
+					}
+				case 2, 3, 4: // write
+					p := pick()
+					off := rng.Intn(20000)
+					b := bytes.Repeat([]byte{byte(i)}, rng.Intn(6000)+1)
+					f, err := c.Open(p, true)
+					if err != nil {
+						if _, ok := m.files[p]; ok {
+							t.Fatalf("op %d open %s failed: %v", i, p, err)
+						}
+						continue
+					}
+					if _, err := f.WriteAt(b, int64(off)); err != nil {
+						t.Fatalf("op %d write %s: %v", i, p, err)
+					}
+					f.Close()
+					if !m.write(p, off, b) {
+						t.Fatalf("op %d model write %s rejected", i, p)
+					}
+				case 5: // truncate
+					p := pick()
+					size := rng.Intn(30000)
+					f, err := c.Open(p, true)
+					if err != nil {
+						continue
+					}
+					if err := f.Truncate(int64(size)); err != nil {
+						t.Fatalf("op %d truncate %s: %v", i, p, err)
+					}
+					f.Close()
+					m.truncate(p, size)
+				case 6: // unlink
+					p := pick()
+					err := c.Unlink(p)
+					if (err == nil) != m.unlink(p) {
+						t.Fatalf("op %d unlink %s: fs=%v", i, p, err)
+					}
+				case 7: // rename
+					oldP, newP := pick(), pick()
+					if oldP == newP {
+						continue
+					}
+					// Skip when model can't decide simply (target dirs).
+					if m.dirs[newP] || m.dirs[oldP] {
+						continue
+					}
+					err := c.Rename(oldP, newP)
+					_, srcExists := m.files[oldP]
+					if srcExists {
+						if err != nil {
+							t.Fatalf("op %d rename %s->%s: %v", i, oldP, newP, err)
+						}
+						m.rename(oldP, newP)
+					} else if err == nil {
+						t.Fatalf("op %d rename of missing %s succeeded", i, oldP)
+					}
+				case 8, 9: // read + compare
+					p := pick()
+					mf, ok := m.files[p]
+					f, err := c.Open(p, false)
+					if (err == nil) != ok {
+						t.Fatalf("op %d open %s: fs=%v model=%v", i, p, err, ok)
+					}
+					if !ok {
+						continue
+					}
+					if f.Size() != int64(len(mf.data)) {
+						t.Fatalf("op %d size of %s: fs=%d model=%d", i, p, f.Size(), len(mf.data))
+					}
+					if len(mf.data) > 0 {
+						off := rng.Intn(len(mf.data))
+						n := rng.Intn(len(mf.data)-off) + 1
+						got := make([]byte, n)
+						if _, err := f.ReadAt(got, int64(off)); err != nil {
+							t.Fatalf("op %d read %s: %v", i, p, err)
+						}
+						if !bytes.Equal(got, mf.data[off:off+n]) {
+							t.Fatalf("op %d content of %s diverged at [%d,%d)", i, p, off, off+n)
+						}
+					}
+					f.Close()
+				}
+			}
+
+			// Final sweep: every model file matches, every listing agrees.
+			for p, mf := range m.files {
+				f, err := c.Open(p, false)
+				if err != nil {
+					t.Fatalf("final open %s: %v", i2s(p), err)
+				}
+				got := make([]byte, len(mf.data))
+				if len(got) > 0 {
+					if _, err := f.ReadAt(got, 0); err != nil {
+						t.Fatalf("final read %s: %v", p, err)
+					}
+				}
+				if !bytes.Equal(got, mf.data) {
+					t.Fatalf("final content of %s diverged", p)
+				}
+				f.Close()
+			}
+			for _, d := range dirs {
+				names, err := c.ReadDir(d)
+				if err != nil {
+					t.Fatalf("final readdir %s: %v", d, err)
+				}
+				var want []string
+				for p := range m.files {
+					if parentOf(p) == d {
+						want = append(want, p[len(d):])
+					}
+				}
+				for i := range want {
+					want[i] = trimSlash(want[i])
+				}
+				var gotFiles []string
+				for _, n := range names {
+					full := d + "/" + n
+					if d == "/" {
+						full = "/" + n
+					}
+					if !m.dirs[full] {
+						gotFiles = append(gotFiles, n)
+					}
+				}
+				sort.Strings(want)
+				sort.Strings(gotFiles)
+				if fmt.Sprint(want) != fmt.Sprint(gotFiles) {
+					t.Fatalf("final listing of %s: fs=%v model=%v", d, gotFiles, want)
+				}
+			}
+
+			// For ArckFS, the verifier must bless the end state.
+			if inst.Ctl != nil {
+				if _, bad, first := inst.Ctl.VerifyAll(); bad != 0 {
+					t.Fatalf("verifier rejects final state: %s", first)
+				}
+			}
+		})
+	}
+}
+
+func i2s(s string) string { return s }
+
+func trimSlash(s string) string {
+	if len(s) > 0 && s[0] == '/' {
+		return s[1:]
+	}
+	return s
+}

@@ -1,0 +1,207 @@
+package index
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// stripe count for the per-bucket lock array. Locks are striped rather
+// than literally per-bucket so resizing does not have to reallocate
+// locks; with 64 stripes two operations collide on a lock only when
+// their buckets are congruent mod 64, which matches the paper's
+// "per-bucket readers-writer locks" contention behaviour.
+const hashStripes = 64
+
+// Map is the resizable chained hash table ArckFS keeps per directory
+// (and FPFS keeps globally, keyed by full path). It maps a string name
+// to a value of type V.
+//
+// Reads take one striped RLock; writes take one striped Lock; the table
+// doubles when the load factor exceeds 4 (taking all stripes).
+type Map[V any] struct {
+	locks [hashStripes]sync.RWMutex
+	tab   atomic.Pointer[hashTable[V]]
+	size  atomic.Int64
+}
+
+type hashTable[V any] struct {
+	buckets []*hashEntry[V]
+	mask    uint64
+}
+
+type hashEntry[V any] struct {
+	key  string
+	val  V
+	next *hashEntry[V]
+}
+
+// NewMap returns an empty table with a small initial bucket count.
+func NewMap[V any]() *Map[V] {
+	m := &Map[V]{}
+	m.tab.Store(newHashTable[V](64))
+	return m
+}
+
+func newHashTable[V any](n int) *hashTable[V] {
+	return &hashTable[V]{buckets: make([]*hashEntry[V], n), mask: uint64(n - 1)}
+}
+
+// fnv1a hashes the key; inlined to avoid the hash/fnv allocation.
+func fnv1a(s string) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Len reports the number of entries.
+func (m *Map[V]) Len() int { return int(m.size.Load()) }
+
+// Get returns the value stored under key.
+func (m *Map[V]) Get(key string) (V, bool) {
+	h := fnv1a(key)
+	l := &m.locks[h%hashStripes]
+	l.RLock()
+	defer l.RUnlock()
+	t := m.tab.Load()
+	for e := t.buckets[h&t.mask]; e != nil; e = e.next {
+		if e.key == key {
+			return e.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put stores val under key, replacing any existing value. It reports
+// whether the key was newly inserted.
+func (m *Map[V]) Put(key string, val V) bool {
+	h := fnv1a(key)
+	l := &m.locks[h%hashStripes]
+	l.Lock()
+	t := m.tab.Load()
+	b := h & t.mask
+	for e := t.buckets[b]; e != nil; e = e.next {
+		if e.key == key {
+			e.val = val
+			l.Unlock()
+			return false
+		}
+	}
+	t.buckets[b] = &hashEntry[V]{key: key, val: val, next: t.buckets[b]}
+	n := m.size.Add(1)
+	l.Unlock()
+	if n > int64(len(t.buckets))*4 {
+		m.grow(t)
+	}
+	return true
+}
+
+// PutIfAbsent stores val under key only when absent; it reports whether
+// the store happened. This is the insert path for create(2), where "no
+// file shares the same name under one directory" must hold atomically.
+func (m *Map[V]) PutIfAbsent(key string, val V) bool {
+	h := fnv1a(key)
+	l := &m.locks[h%hashStripes]
+	l.Lock()
+	t := m.tab.Load()
+	b := h & t.mask
+	for e := t.buckets[b]; e != nil; e = e.next {
+		if e.key == key {
+			l.Unlock()
+			return false
+		}
+	}
+	t.buckets[b] = &hashEntry[V]{key: key, val: val, next: t.buckets[b]}
+	n := m.size.Add(1)
+	l.Unlock()
+	if n > int64(len(t.buckets))*4 {
+		m.grow(t)
+	}
+	return true
+}
+
+// Delete removes key and reports whether it was present.
+func (m *Map[V]) Delete(key string) bool {
+	h := fnv1a(key)
+	l := &m.locks[h%hashStripes]
+	l.Lock()
+	defer l.Unlock()
+	t := m.tab.Load()
+	b := h & t.mask
+	var prev *hashEntry[V]
+	for e := t.buckets[b]; e != nil; e = e.next {
+		if e.key == key {
+			if prev == nil {
+				t.buckets[b] = e.next
+			} else {
+				prev.next = e.next
+			}
+			m.size.Add(-1)
+			return true
+		}
+		prev = e
+	}
+	return false
+}
+
+// grow doubles the bucket array. It takes every stripe lock, so it
+// fully excludes concurrent operations; growth is rare (amortized).
+func (m *Map[V]) grow(old *hashTable[V]) {
+	for i := range m.locks {
+		m.locks[i].Lock()
+	}
+	defer func() {
+		for i := len(m.locks) - 1; i >= 0; i-- {
+			m.locks[i].Unlock()
+		}
+	}()
+	t := m.tab.Load()
+	if t != old {
+		return // someone else already grew it
+	}
+	nt := newHashTable[V](len(t.buckets) * 2)
+	for _, head := range t.buckets {
+		for e := head; e != nil; e = e.next {
+			h := fnv1a(e.key)
+			b := h & nt.mask
+			nt.buckets[b] = &hashEntry[V]{key: e.key, val: e.val, next: nt.buckets[b]}
+		}
+	}
+	m.tab.Store(nt)
+}
+
+// Range calls fn for every entry until fn returns false. Each bucket is
+// visited under its stripe read lock; the snapshot is best-effort under
+// concurrent mutation. Entries are visited in unspecified order. fn must
+// not call mutating methods of the same Map (self-deadlock).
+//
+// The stripe of bucket i is i%hashStripes: buckets are indexed by
+// h&mask and stripes by h%hashStripes, and since the bucket count is
+// always a multiple of hashStripes the low bits agree.
+func (m *Map[V]) Range(fn func(key string, val V) bool) {
+	t := m.tab.Load()
+	for i := range t.buckets {
+		l := &m.locks[i%hashStripes]
+		l.RLock()
+		// The table may have been swapped by a concurrent grow; chase
+		// the current one for this bucket's stripe.
+		cur := m.tab.Load()
+		if cur != t {
+			l.RUnlock()
+			m.Range(fn) // restart on the new table
+			return
+		}
+		for e := t.buckets[i]; e != nil; e = e.next {
+			if !fn(e.key, e.val) {
+				l.RUnlock()
+				return
+			}
+		}
+		l.RUnlock()
+	}
+}

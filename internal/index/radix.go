@@ -1,0 +1,174 @@
+// Package index provides the two auxiliary-state index structures of
+// ArckFS's LibFS (paper §4.2): a per-file radix tree mapping file block
+// numbers to NVM pages, and a resizable chained hash table with striped
+// readers-writer locks mapping directory-entry names to their location.
+//
+// Both structures live in DRAM (they are auxiliary state: discarded on
+// unmap, rebuilt from core state on map) and are designed for
+// read-mostly scalability: radix lookups are lock-free, hash lookups
+// take one striped read lock.
+package index
+
+import (
+	"sync/atomic"
+)
+
+// radix parameters: 512-ary, three levels — covers 2^27 blocks
+// (512 GiB of file at 4 KiB blocks), same shape as a hardware page
+// table, which is what NOVA-style DRAM indexes mimic.
+const (
+	radixBits   = 9
+	radixFanout = 1 << radixBits
+	radixMask   = radixFanout - 1
+	radixLevels = 3
+)
+
+// MaxBlocks is the largest block number a Radix can hold.
+const MaxBlocks = 1 << (radixBits * radixLevels)
+
+// Radix maps a file block number to an opaque uint64 (a page ID in
+// ArckFS; zero means "no mapping"). Lookups are wait-free; inserts
+// allocate interior nodes with CAS and may run concurrently with
+// lookups and with each other.
+//
+// The root fan-out array (4 KiB) is allocated on first insert, so
+// empty files — the bulk of metadata-heavy workloads — pay nothing.
+type Radix struct {
+	root   atomic.Pointer[radixInner]
+	count  atomic.Int64
+	maxKey atomic.Uint64
+}
+
+func (r *Radix) rootNode() *radixInner {
+	if n := r.root.Load(); n != nil {
+		return n
+	}
+	fresh := &radixInner{}
+	if r.root.CompareAndSwap(nil, fresh) {
+		return fresh
+	}
+	return r.root.Load()
+}
+
+type radixInner struct {
+	children [radixFanout]atomic.Pointer[radixNode]
+}
+
+// radixNode is either an interior node (inner used) or a leaf (vals used),
+// depending on depth.
+type radixNode struct {
+	inner radixInner
+	vals  [radixFanout]atomic.Uint64
+}
+
+// NewRadix returns an empty radix tree.
+func NewRadix() *Radix { return &Radix{} }
+
+// Len reports the number of non-zero mappings.
+func (r *Radix) Len() int { return int(r.count.Load()) }
+
+// MaxKey reports the largest block number ever inserted (0 if empty —
+// callers that need to distinguish use Len).
+func (r *Radix) MaxKey() uint64 { return r.maxKey.Load() }
+
+func radixIndex(key uint64, level int) int {
+	shift := uint(radixBits * (radixLevels - 1 - level))
+	return int(key>>shift) & radixMask
+}
+
+// Get returns the value at key, or 0 when unmapped.
+func (r *Radix) Get(key uint64) uint64 {
+	if key >= MaxBlocks {
+		return 0
+	}
+	root := r.root.Load()
+	if root == nil {
+		return 0
+	}
+	n := root.children[radixIndex(key, 0)].Load()
+	if n == nil {
+		return 0
+	}
+	n2 := n.inner.children[radixIndex(key, 1)].Load()
+	if n2 == nil {
+		return 0
+	}
+	return n2.vals[radixIndex(key, 2)].Load()
+}
+
+// Put stores val at key. Storing zero is equivalent to Delete.
+func (r *Radix) Put(key, val uint64) {
+	if key >= MaxBlocks {
+		panic("index: radix key out of range")
+	}
+	slot0 := &r.rootNode().children[radixIndex(key, 0)]
+	n := slot0.Load()
+	if n == nil {
+		fresh := &radixNode{}
+		if !slot0.CompareAndSwap(nil, fresh) {
+			n = slot0.Load()
+		} else {
+			n = fresh
+		}
+	}
+	slot1 := &n.inner.children[radixIndex(key, 1)]
+	n2 := slot1.Load()
+	if n2 == nil {
+		fresh := &radixNode{}
+		if !slot1.CompareAndSwap(nil, fresh) {
+			n2 = slot1.Load()
+		} else {
+			n2 = fresh
+		}
+	}
+	old := n2.vals[radixIndex(key, 2)].Swap(val)
+	switch {
+	case old == 0 && val != 0:
+		r.count.Add(1)
+	case old != 0 && val == 0:
+		r.count.Add(-1)
+	}
+	if val != 0 {
+		for {
+			m := r.maxKey.Load()
+			if key <= m || r.maxKey.CompareAndSwap(m, key) {
+				break
+			}
+		}
+	}
+}
+
+// Delete removes the mapping at key.
+func (r *Radix) Delete(key uint64) { r.Put(key, 0) }
+
+// Range calls fn in ascending key order for every non-zero mapping
+// until fn returns false. It observes a best-effort snapshot under
+// concurrent mutation.
+func (r *Radix) Range(fn func(key, val uint64) bool) {
+	root := r.root.Load()
+	if root == nil {
+		return
+	}
+	for i0 := 0; i0 < radixFanout; i0++ {
+		n := root.children[i0].Load()
+		if n == nil {
+			continue
+		}
+		for i1 := 0; i1 < radixFanout; i1++ {
+			n2 := n.inner.children[i1].Load()
+			if n2 == nil {
+				continue
+			}
+			for i2 := 0; i2 < radixFanout; i2++ {
+				v := n2.vals[i2].Load()
+				if v == 0 {
+					continue
+				}
+				key := uint64(i0)<<(2*radixBits) | uint64(i1)<<radixBits | uint64(i2)
+				if !fn(key, v) {
+					return
+				}
+			}
+		}
+	}
+}

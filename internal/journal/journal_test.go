@@ -1,0 +1,181 @@
+package journal
+
+import (
+	"bytes"
+	"testing"
+
+	"trio/internal/core"
+	"trio/internal/nvm"
+)
+
+func setup(t *testing.T) (core.Mem, *nvm.Device, *Journal) {
+	t.Helper()
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 1, PagesPerNode: 64, TrackPersistence: true})
+	m := core.Direct(dev, 0)
+	j, err := New(m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, dev, j
+}
+
+func TestCommittedTransactionKeepsNewState(t *testing.T) {
+	m, _, j := setup(t)
+	if err := m.Write(20, 0, []byte("old-A")); err != nil {
+		t.Fatal(err)
+	}
+	m.Persist(20, 0, 5)
+	m.Fence()
+
+	tx := j.Begin()
+	if err := tx.LogUndo(20, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	m.Write(20, 0, []byte("new-A"))
+	m.Persist(20, 0, 5)
+	m.Fence()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery after a committed tx is a no-op.
+	n, err := j.Recover()
+	if err != nil || n != 0 {
+		t.Fatalf("Recover = %d, %v", n, err)
+	}
+	buf := make([]byte, 5)
+	m.Read(20, 0, buf)
+	if string(buf) != "new-A" {
+		t.Fatalf("committed state lost: %q", buf)
+	}
+}
+
+func TestCrashMidTransactionRollsBack(t *testing.T) {
+	m, dev, j := setup(t)
+	m.Write(20, 0, []byte("AAAA"))
+	m.Write(21, 100, []byte("BBBB"))
+	m.Persist(20, 0, 4)
+	m.Persist(21, 100, 4)
+	m.Fence()
+
+	tx := j.Begin()
+	if err := tx.LogUndo(20, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.LogUndo(21, 100, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate both locations; persist only one — then crash.
+	m.Write(20, 0, []byte("XXXX"))
+	m.Persist(20, 0, 4)
+	m.Fence()
+	m.Write(21, 100, []byte("YYYY")) // never persisted
+	dev.Tracker().Crash()
+
+	// Post-crash: recovery must restore both locations.
+	j2 := Attach(m, 10)
+	n, err := j2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("applied %d undo records, want 2", n)
+	}
+	buf := make([]byte, 4)
+	m.Read(20, 0, buf)
+	if string(buf) != "AAAA" {
+		t.Fatalf("page 20 = %q, want AAAA", buf)
+	}
+	m.Read(21, 100, buf)
+	if string(buf) != "BBBB" {
+		t.Fatalf("page 21 = %q, want BBBB", buf)
+	}
+}
+
+func TestCrashBeforeSealIsInvisible(t *testing.T) {
+	m, dev, j := setup(t)
+	m.Write(20, 0, []byte("keep"))
+	m.Persist(20, 0, 4)
+	m.Fence()
+
+	tx := j.Begin()
+	if err := tx.LogUndo(20, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Crash before Seal: flag was never set, so recovery must not touch
+	// anything even though records were written.
+	dev.Tracker().Crash()
+	n, err := Attach(m, 10).Recover()
+	if err != nil || n != 0 {
+		t.Fatalf("Recover = %d, %v (want 0 records)", n, err)
+	}
+	buf := make([]byte, 4)
+	m.Read(20, 0, buf)
+	if string(buf) != "keep" {
+		t.Fatalf("page 20 = %q", buf)
+	}
+}
+
+func TestTransactionTooLarge(t *testing.T) {
+	m, _, j := setup(t)
+	tx := j.Begin()
+	big := nvm.PageSize // larger than any journal page can undo-log
+	if err := m.Write(20, 0, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.LogUndo(20, 0, big); err == nil {
+		t.Fatal("oversized undo record accepted")
+	}
+}
+
+func TestClosedTransactionRejected(t *testing.T) {
+	m, _, j := setup(t)
+	_ = m
+	tx := j.Begin()
+	if err := tx.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.LogUndo(20, 0, 4); err == nil {
+		t.Fatal("LogUndo after Commit accepted")
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("double Commit accepted")
+	}
+}
+
+func TestMultipleSequentialTransactions(t *testing.T) {
+	m, _, j := setup(t)
+	content := []byte{0}
+	m.Write(20, 0, content)
+	for i := byte(1); i <= 10; i++ {
+		tx := j.Begin()
+		if err := tx.LogUndo(20, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		m.Write(20, 0, []byte{i})
+		m.Persist(20, 0, 1)
+		m.Fence()
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 1)
+	m.Read(20, 0, buf)
+	if buf[0] != 10 {
+		t.Fatalf("final value %d", buf[0])
+	}
+	if !bytes.Equal(buf, []byte{10}) {
+		t.Fatal("unexpected")
+	}
+}

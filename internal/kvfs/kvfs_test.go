@@ -1,0 +1,163 @@
+package kvfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"trio/internal/controller"
+	"trio/internal/fsapi"
+	"trio/internal/libfs"
+	"trio/internal/nvm"
+)
+
+func newKV(t *testing.T) (*FS, *libfs.FS) {
+	t.Helper()
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 1, PagesPerNode: 16384})
+	ctl, err := controller.New(dev, controller.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arck, err := libfs.New(ctl.Register(1000, 1000, 0, 0), libfs.Config{CPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv, err := New(arck, "/kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kv, arck
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	kv, _ := newKV(t)
+	val := []byte("small file payload")
+	if err := kv.Set(0, "alpha", val); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, MaxValueSize)
+	n, err := kv.Get(0, "alpha", buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[:n], val) {
+		t.Fatalf("got %q", buf[:n])
+	}
+}
+
+func TestOverwriteShrinksAndGrows(t *testing.T) {
+	kv, _ := newKV(t)
+	if err := kv.Set(0, "k", bytes.Repeat([]byte{1}, 10000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Set(0, "k", []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, MaxValueSize)
+	n, _ := kv.Get(0, "k", buf)
+	if string(buf[:n]) != "tiny" {
+		t.Fatalf("after shrink: %q", buf[:n])
+	}
+	big := bytes.Repeat([]byte{7}, MaxValueSize)
+	if err := kv.Set(0, "k", big); err != nil {
+		t.Fatal(err)
+	}
+	n, _ = kv.Get(0, "k", buf)
+	if n != MaxValueSize || !bytes.Equal(buf[:n], big) {
+		t.Fatalf("after grow: %d bytes", n)
+	}
+}
+
+func TestValueSizeCap(t *testing.T) {
+	kv, _ := newKV(t)
+	if err := kv.Set(0, "big", make([]byte, MaxValueSize+1)); err == nil {
+		t.Fatal("oversized value accepted")
+	}
+}
+
+func TestMissingKey(t *testing.T) {
+	kv, _ := newKV(t)
+	if _, err := kv.Get(0, "ghost", make([]byte, 8)); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("Get missing: %v", err)
+	}
+}
+
+func TestDeleteAndKeys(t *testing.T) {
+	kv, _ := newKV(t)
+	for i := 0; i < 10; i++ {
+		if err := kv.Set(0, fmt.Sprintf("key-%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := kv.Delete(0, "key-5"); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := kv.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 9 {
+		t.Fatalf("Keys = %v", keys)
+	}
+	if _, err := kv.Get(0, "key-5", make([]byte, 8)); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("deleted key readable: %v", err)
+	}
+}
+
+func TestSharedCoreStateWithArckFS(t *testing.T) {
+	// The customization only changes auxiliary state: files KVFS writes
+	// are ordinary ArckFS files.
+	kv, arck := newKV(t)
+	if err := kv.Set(0, "visible", []byte("through ArckFS too")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := arck.NewClient(0).Open("/kv/visible", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 18)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "through ArckFS too" {
+		t.Fatalf("ArckFS read %q", buf)
+	}
+	// And vice versa.
+	g, _ := arck.NewClient(0).Create("/kv/fromarck", 0o644)
+	g.WriteAt([]byte("posix"), 0)
+	g.Close()
+	out := make([]byte, 8)
+	n, err := kv.Get(0, "fromarck", out)
+	if err != nil || string(out[:n]) != "posix" {
+		t.Fatalf("KVFS read %q %v", out[:n], err)
+	}
+}
+
+func TestConcurrentDistinctKeys(t *testing.T) {
+	kv, _ := newKV(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 64)
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("g%d-%d", g, i)
+				val := []byte(key)
+				if err := kv.Set(g, key, val); err != nil {
+					t.Errorf("set %s: %v", key, err)
+					return
+				}
+				n, err := kv.Get(g, key, buf)
+				if err != nil || string(buf[:n]) != key {
+					t.Errorf("get %s: %q %v", key, buf[:n], err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

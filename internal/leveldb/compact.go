@@ -1,0 +1,166 @@
+package leveldb
+
+import (
+	"bytes"
+	"container/heap"
+	"sort"
+)
+
+// compactLocked merges every L0 table plus all of L1 into a fresh,
+// sorted, disjoint set of L1 tables (a whole-level compaction — simple,
+// and with two levels it preserves the real engine's I/O pattern:
+// large sequential reads and writes of immutable files followed by
+// deletes of the inputs).
+func (db *DB) compactLocked() error {
+	inputs := append(append([]*tableHandle(nil), db.levels[0]...), db.levels[1]...)
+	if len(inputs) == 0 {
+		return nil
+	}
+	// Priority: lower index = newer (L0 slice is newest-first and sits
+	// before L1; among duplicates the newest wins).
+	type cursor struct {
+		entries []mergeEntry
+		pos     int
+		prio    int
+	}
+	var cursors []*cursor
+	for i, t := range inputs {
+		cur := &cursor{prio: i}
+		err := t.reader.scan(func(key, value []byte, del bool) bool {
+			cur.entries = append(cur.entries, mergeEntry{
+				key: append([]byte(nil), key...), value: append([]byte(nil), value...), del: del,
+			})
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if len(cur.entries) > 0 {
+			cursors = append(cursors, cur)
+		}
+	}
+
+	h := &mergeHeap{}
+	for _, cur := range cursors {
+		heap.Push(h, mergeItem{key: cur.entries[0].key, prio: cur.prio, cur: cur})
+	}
+
+	c := db.fs.NewClient(0)
+	var out []*tableHandle
+	var w *sstWriter
+	var wf fileCloser
+	var curFile uint64
+	startTable := func() error {
+		file := db.nextFile
+		db.nextFile++
+		f, err := c.Create(db.dir+"/"+tableName(file), 0o644)
+		if err != nil {
+			return err
+		}
+		w = newSSTWriter(f)
+		wf = f
+		curFile = file
+		return nil
+	}
+	endTable := func() error {
+		if w == nil {
+			return nil
+		}
+		min, max, n, err := w.finish()
+		if err != nil {
+			return err
+		}
+		wf.Close()
+		if n == 0 {
+			c.Unlink(db.dir + "/" + tableName(curFile))
+			w = nil
+			return nil
+		}
+		rf, err := c.Open(db.dir+"/"+tableName(curFile), false)
+		if err != nil {
+			return err
+		}
+		r, err := openSST(rf)
+		if err != nil {
+			return err
+		}
+		out = append(out, &tableHandle{
+			meta:   tableMeta{file: curFile, level: 1, min: min, max: max, entries: n},
+			reader: r,
+		})
+		w = nil
+		return nil
+	}
+
+	var lastKey []byte
+	first := true
+	for h.Len() > 0 {
+		item := heap.Pop(h).(mergeItem)
+		cur := item.cur.(*cursor)
+		e := cur.entries[cur.pos]
+		cur.pos++
+		if cur.pos < len(cur.entries) {
+			heap.Push(h, mergeItem{key: cur.entries[cur.pos].key, prio: cur.prio, cur: cur})
+		}
+		if !first && bytes.Equal(e.key, lastKey) {
+			continue // an older version of a key already emitted
+		}
+		first = false
+		lastKey = append(lastKey[:0], e.key...)
+		if e.del {
+			continue // whole-level compaction drops tombstones
+		}
+		if w == nil {
+			if err := startTable(); err != nil {
+				return err
+			}
+		}
+		w.add(e.key, e.value, false)
+		if w.size() >= db.opts.TableBytes {
+			if err := endTable(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := endTable(); err != nil {
+		return err
+	}
+
+	// Install the new version and delete the inputs.
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i].meta.min, out[j].meta.min) < 0 })
+	db.levels[0] = nil
+	db.levels[1] = out
+	if err := db.writeManifestLocked(); err != nil {
+		return err
+	}
+	for _, t := range inputs {
+		c.Unlink(db.dir + "/" + tableName(t.meta.file))
+	}
+	return nil
+}
+
+type mergeEntry struct {
+	key, value []byte
+	del        bool
+}
+
+type mergeItem struct {
+	key  []byte
+	prio int
+	cur  any
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if c := bytes.Compare(h[i].key, h[j].key); c != 0 {
+		return c < 0
+	}
+	return h[i].prio < h[j].prio // newer (lower prio) first among equals
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+type fileCloser interface{ Close() error }

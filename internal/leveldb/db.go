@@ -1,0 +1,397 @@
+package leveldb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"trio/internal/fsapi"
+)
+
+// ErrNotFound is returned by Get for missing keys.
+var ErrNotFound = errors.New("leveldb: not found")
+
+// Options tunes the database.
+type Options struct {
+	// Sync makes every write wait for the WAL to persist (db_bench's
+	// fillsync sets it; ArckFS makes it free, ext4 pays the journal).
+	Sync bool
+	// MemtableBytes is the flush threshold.
+	MemtableBytes int
+	// L0Compaction is the L0 table count that triggers compaction.
+	L0Compaction int
+	// TableBytes is the compaction output split size.
+	TableBytes int64
+}
+
+func (o *Options) fill() {
+	if o.MemtableBytes <= 0 {
+		o.MemtableBytes = 512 << 10
+	}
+	if o.L0Compaction <= 0 {
+		o.L0Compaction = 4
+	}
+	if o.TableBytes <= 0 {
+		o.TableBytes = 2 << 20
+	}
+}
+
+// DB is one open database.
+type DB struct {
+	fs   fsapi.FS
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	mem      *memtable
+	wal      fsapi.File
+	walName  string
+	seq      uint64
+	nextFile uint64
+	levels   [2][]*tableHandle // L0 (newest first), L1 (sorted, disjoint)
+}
+
+type tableHandle struct {
+	meta   tableMeta
+	reader *sstReader
+}
+
+// Open creates or recovers a database in dir.
+func Open(fs fsapi.FS, dir string, opts Options) (*DB, error) {
+	opts.fill()
+	c := fs.NewClient(0)
+	if err := c.Mkdir(dir, 0o755); err != nil && !errors.Is(err, fsapi.ErrExist) {
+		if _, serr := c.Stat(dir); serr != nil {
+			return nil, err
+		}
+	}
+	db := &DB{fs: fs, dir: dir, opts: opts, mem: newMemtable(), nextFile: 1}
+	if err := db.recover(); err != nil {
+		return nil, err
+	}
+	if err := db.rotateWAL(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Close flushes the memtable and releases the WAL.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.mem.count > 0 {
+		if err := db.flushLocked(); err != nil {
+			return err
+		}
+	}
+	if db.wal != nil {
+		db.wal.Close()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// manifest
+// ---------------------------------------------------------------------
+
+// The manifest lists every live table:
+//
+//	[nextFile u64 | seq u64 | count u32] then per table:
+//	[file u64 | level u8 | entries u32 | minLen u32 | min | maxLen u32 | max]
+func (db *DB) writeManifestLocked() error {
+	var buf bytes.Buffer
+	var hdr [20]byte
+	n := 0
+	for _, lvl := range db.levels {
+		n += len(lvl)
+	}
+	binary.LittleEndian.PutUint64(hdr[0:], db.nextFile)
+	binary.LittleEndian.PutUint64(hdr[8:], db.seq)
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(n))
+	buf.Write(hdr[:])
+	for lvl, tables := range db.levels {
+		for _, t := range tables {
+			var rec [13]byte
+			binary.LittleEndian.PutUint64(rec[0:], t.meta.file)
+			rec[8] = byte(lvl)
+			binary.LittleEndian.PutUint32(rec[9:], uint32(t.meta.entries))
+			buf.Write(rec[:])
+			var l [4]byte
+			binary.LittleEndian.PutUint32(l[:], uint32(len(t.meta.min)))
+			buf.Write(l[:])
+			buf.Write(t.meta.min)
+			binary.LittleEndian.PutUint32(l[:], uint32(len(t.meta.max)))
+			buf.Write(l[:])
+			buf.Write(t.meta.max)
+		}
+	}
+	c := db.fs.NewClient(0)
+	tmp := db.dir + "/MANIFEST.tmp"
+	f, err := c.Create(tmp, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(buf.Bytes(), 0); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	f.Close()
+	return c.Rename(tmp, db.dir+"/MANIFEST")
+}
+
+func (db *DB) recover() error {
+	c := db.fs.NewClient(0)
+	f, err := c.Open(db.dir+"/MANIFEST", false)
+	if err != nil {
+		if errors.Is(err, fsapi.ErrNotExist) {
+			return nil // fresh database
+		}
+		return err
+	}
+	data := make([]byte, f.Size())
+	if _, err := f.ReadAt(data, 0); err != nil {
+		return err
+	}
+	f.Close()
+	if len(data) < 20 {
+		return fmt.Errorf("leveldb: manifest truncated")
+	}
+	db.nextFile = binary.LittleEndian.Uint64(data[0:])
+	db.seq = binary.LittleEndian.Uint64(data[8:])
+	n := int(binary.LittleEndian.Uint32(data[16:]))
+	pos := 20
+	for i := 0; i < n; i++ {
+		file := binary.LittleEndian.Uint64(data[pos:])
+		level := int(data[pos+8])
+		entries := int(binary.LittleEndian.Uint32(data[pos+9:]))
+		pos += 13
+		ml := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		min := append([]byte(nil), data[pos:pos+ml]...)
+		pos += ml
+		xl := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		max := append([]byte(nil), data[pos:pos+xl]...)
+		pos += xl
+		tf, err := c.Open(db.dir+"/"+tableName(file), false)
+		if err != nil {
+			return fmt.Errorf("leveldb: opening table %d: %w", file, err)
+		}
+		r, err := openSST(tf)
+		if err != nil {
+			return err
+		}
+		h := &tableHandle{meta: tableMeta{file: file, level: level, min: min, max: max, entries: entries}, reader: r}
+		db.levels[level] = append(db.levels[level], h)
+	}
+	sort.Slice(db.levels[1], func(i, j int) bool {
+		return bytes.Compare(db.levels[1][i].meta.min, db.levels[1][j].meta.min) < 0
+	})
+	// Replay any WAL left behind.
+	return db.replayWALs()
+}
+
+// ---------------------------------------------------------------------
+// write path
+// ---------------------------------------------------------------------
+
+func (db *DB) rotateWAL() error {
+	c := db.fs.NewClient(0)
+	if db.wal != nil {
+		db.wal.Close()
+		c.Unlink(db.walName)
+	}
+	db.walName = fmt.Sprintf("%s/%06d.log", db.dir, db.nextFile)
+	db.nextFile++
+	f, err := c.Create(db.walName, 0o644)
+	if err != nil {
+		return err
+	}
+	db.wal = f
+	return nil
+}
+
+// walRecord: [klen u32 | flag u8 | vlen u32 | key | value]
+func (db *DB) walAppendLocked(key, value []byte, del bool) error {
+	rec := make([]byte, 9+len(key)+len(value))
+	binary.LittleEndian.PutUint32(rec[0:], uint32(len(key)))
+	if del {
+		rec[4] = 1
+	}
+	binary.LittleEndian.PutUint32(rec[5:], uint32(len(value)))
+	copy(rec[9:], key)
+	copy(rec[9+len(key):], value)
+	if _, err := db.wal.Append(rec); err != nil {
+		return err
+	}
+	if db.opts.Sync {
+		return db.wal.Sync()
+	}
+	return nil
+}
+
+func (db *DB) replayWALs() error {
+	c := db.fs.NewClient(0)
+	names, err := c.ReadDir(db.dir)
+	if err != nil {
+		return err
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if len(name) < 4 || name[len(name)-4:] != ".log" {
+			continue
+		}
+		f, err := c.Open(db.dir+"/"+name, false)
+		if err != nil {
+			continue
+		}
+		data := make([]byte, f.Size())
+		f.ReadAt(data, 0)
+		f.Close()
+		pos := 0
+		for pos+9 <= len(data) {
+			kl := int(binary.LittleEndian.Uint32(data[pos:]))
+			del := data[pos+4] == 1
+			vl := int(binary.LittleEndian.Uint32(data[pos+5:]))
+			pos += 9
+			if pos+kl+vl > len(data) {
+				break // torn tail
+			}
+			key := data[pos : pos+kl]
+			val := data[pos+kl : pos+kl+vl]
+			pos += kl + vl
+			db.seq++
+			db.mem.put(key, val, db.seq, del)
+		}
+		c.Unlink(db.dir + "/" + name)
+	}
+	if db.mem.count > 0 {
+		return db.flushLocked()
+	}
+	return nil
+}
+
+// Put stores a key/value pair.
+func (db *DB) Put(key, value []byte) error { return db.write(key, value, false) }
+
+// Delete removes a key.
+func (db *DB) Delete(key []byte) error { return db.write(key, nil, true) }
+
+func (db *DB) write(key, value []byte, del bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.walAppendLocked(key, value, del); err != nil {
+		return err
+	}
+	db.seq++
+	db.mem.put(key, value, db.seq, del)
+	if db.mem.size() >= db.opts.MemtableBytes {
+		if err := db.flushLocked(); err != nil {
+			return err
+		}
+		return db.rotateWAL()
+	}
+	return nil
+}
+
+// Get fetches the latest value of key.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if v, del, ok := db.mem.get(key); ok {
+		if del {
+			return nil, ErrNotFound
+		}
+		return append([]byte(nil), v...), nil
+	}
+	// L0 newest→oldest (prepend order preserved in the slice).
+	for _, t := range db.levels[0] {
+		if bytes.Compare(key, t.meta.min) < 0 || bytes.Compare(key, t.meta.max) > 0 {
+			continue
+		}
+		v, del, ok, err := t.reader.get(key)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if del {
+				return nil, ErrNotFound
+			}
+			return v, nil
+		}
+	}
+	// L1: at most one candidate.
+	lvl := db.levels[1]
+	i := sort.Search(len(lvl), func(i int) bool {
+		return bytes.Compare(lvl[i].meta.max, key) >= 0
+	})
+	if i < len(lvl) && bytes.Compare(key, lvl[i].meta.min) >= 0 {
+		v, del, ok, err := lvl[i].reader.get(key)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if del {
+				return nil, ErrNotFound
+			}
+			return v, nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// flushLocked writes the memtable to a new L0 table.
+func (db *DB) flushLocked() error {
+	c := db.fs.NewClient(0)
+	file := db.nextFile
+	db.nextFile++
+	f, err := c.Create(db.dir+"/"+tableName(file), 0o644)
+	if err != nil {
+		return err
+	}
+	w := newSSTWriter(f)
+	db.mem.entries(func(key, value []byte, seq uint64, del bool) bool {
+		w.add(key, value, del)
+		return true
+	})
+	min, max, n, err := w.finish()
+	if err != nil {
+		return err
+	}
+	f.Close()
+	if n == 0 {
+		c.Unlink(db.dir + "/" + tableName(file))
+		db.mem = newMemtable()
+		return nil
+	}
+	rf, err := c.Open(db.dir+"/"+tableName(file), false)
+	if err != nil {
+		return err
+	}
+	r, err := openSST(rf)
+	if err != nil {
+		return err
+	}
+	h := &tableHandle{meta: tableMeta{file: file, level: 0, min: min, max: max, entries: n}, reader: r}
+	db.levels[0] = append([]*tableHandle{h}, db.levels[0]...)
+	db.mem = newMemtable()
+	if err := db.writeManifestLocked(); err != nil {
+		return err
+	}
+	if len(db.levels[0]) >= db.opts.L0Compaction {
+		return db.compactLocked()
+	}
+	return nil
+}
+
+// Stats reports table counts per level (tests, tools).
+func (db *DB) Stats() (l0, l1 int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.levels[0]), len(db.levels[1])
+}

@@ -1,0 +1,200 @@
+package leveldb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"trio/internal/fsapi"
+	"trio/internal/fsfactory"
+)
+
+func newDB(t *testing.T, opts Options) (*DB, fsapi.FS) {
+	t.Helper()
+	inst, err := fsfactory.New("arckfs-nd", fsfactory.Config{Nodes: 1, PagesPerNode: 32768, CPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { inst.Close() })
+	db, err := Open(inst, "/db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, inst
+}
+
+func TestPutGetDelete(t *testing.T) {
+	db, _ := newDB(t, Options{})
+	if err := db.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get([]byte("k1"))
+	if err != nil || string(v) != "v1" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if _, err := db.Get([]byte("nope")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+	if err := db.Delete([]byte("k1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("k1")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key: %v", err)
+	}
+}
+
+func TestOverwriteLatestWins(t *testing.T) {
+	db, _ := newDB(t, Options{})
+	key := []byte("k")
+	for i := 0; i < 10; i++ {
+		if err := db.Put(key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := db.Get(key)
+	if err != nil || string(v) != "v9" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+}
+
+func TestFlushAndCompaction(t *testing.T) {
+	// Small memtable forces many flushes; L0Compaction=2 forces
+	// repeated whole-level compactions.
+	db, _ := newDB(t, Options{MemtableBytes: 8 << 10, L0Compaction: 2, TableBytes: 32 << 10})
+	const n = 500
+	val := bytes.Repeat([]byte("x"), 100)
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key%06d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l0, l1 := db.Stats()
+	if l0+l1 == 0 {
+		t.Fatal("no tables created")
+	}
+	// Every key readable after the churn.
+	for i := 0; i < n; i++ {
+		v, err := db.Get([]byte(fmt.Sprintf("key%06d", i)))
+		if err != nil {
+			t.Fatalf("key %d lost: %v (l0=%d l1=%d)", i, err, l0, l1)
+		}
+		if !bytes.Equal(v, val) {
+			t.Fatalf("key %d corrupted", i)
+		}
+	}
+}
+
+func TestTombstonesSurviveCompaction(t *testing.T) {
+	db, _ := newDB(t, Options{MemtableBytes: 4 << 10, L0Compaction: 2})
+	val := bytes.Repeat([]byte("y"), 64)
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), val)
+	}
+	for i := 0; i < 100; i += 2 {
+		if err := db.Delete([]byte(fmt.Sprintf("k%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Force more churn so deletions pass through flush+compaction.
+	for i := 100; i < 200; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), val)
+	}
+	for i := 0; i < 100; i++ {
+		_, err := db.Get([]byte(fmt.Sprintf("k%04d", i)))
+		if i%2 == 0 {
+			if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("deleted k%04d visible: %v", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("kept k%04d lost: %v", i, err)
+		}
+	}
+}
+
+func TestRecoveryFromManifestAndWAL(t *testing.T) {
+	inst, err := fsfactory.New("arckfs-nd", fsfactory.Config{Nodes: 1, PagesPerNode: 32768, CPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	db, err := Open(inst, "/db", Options{MemtableBytes: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte("z"), 100)
+	for i := 0; i < 300; i++ {
+		db.Put([]byte(fmt.Sprintf("r%05d", i)), val)
+	}
+	// A few writes stay only in the WAL (no Close flush — simulate a
+	// process exit by just reopening).
+	for i := 300; i < 310; i++ {
+		db.Put([]byte(fmt.Sprintf("r%05d", i)), val)
+	}
+	// Reopen without Close: recovery must find tables via MANIFEST and
+	// the tail via the WAL.
+	db2, err := Open(inst, "/db", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 310; i++ {
+		if _, err := db2.Get([]byte(fmt.Sprintf("r%05d", i))); err != nil {
+			t.Fatalf("key r%05d lost after recovery: %v", i, err)
+		}
+	}
+}
+
+func TestLargeValues(t *testing.T) {
+	db, _ := newDB(t, Options{})
+	big := make([]byte, 100<<10) // the fill100K value size
+	rand.New(rand.NewSource(3)).Read(big)
+	if err := db.Put([]byte("big"), big); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get([]byte("big"))
+	if err != nil || !bytes.Equal(v, big) {
+		t.Fatalf("big value corrupted (err %v)", err)
+	}
+}
+
+func TestSyncMode(t *testing.T) {
+	db, _ := newDB(t, Options{Sync: true})
+	for i := 0; i < 50; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("s%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Get([]byte("s49")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyModelEquivalence(t *testing.T) {
+	db, _ := newDB(t, Options{MemtableBytes: 4 << 10, L0Compaction: 2})
+	ref := map[string]string{}
+	f := func(ops []uint16) bool {
+		for i, op := range ops {
+			k := fmt.Sprintf("p%03d", op%200)
+			if op%5 == 0 {
+				db.Delete([]byte(k))
+				delete(ref, k)
+			} else {
+				v := fmt.Sprintf("val-%d", i)
+				db.Put([]byte(k), []byte(v))
+				ref[k] = v
+			}
+		}
+		for k, want := range ref {
+			got, err := db.Get([]byte(k))
+			if err != nil || string(got) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

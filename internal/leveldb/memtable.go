@@ -1,0 +1,124 @@
+// Package leveldb is a miniature LevelDB: an LSM-tree key-value store
+// with a write-ahead log, a skiplist memtable, sorted-string tables,
+// leveled compaction and a manifest — enough of the real engine's
+// structure that its db_bench workloads (Table 5 of the paper) exercise
+// a file system the way the real LevelDB does: small synchronous
+// appends to the WAL, sequential multi-megabyte SSTable writes during
+// flush/compaction, point reads of immutable files, and file
+// create/rename/delete churn.
+//
+// It runs over fsapi, so every file system in this repository can host
+// it.
+package leveldb
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+)
+
+const maxHeight = 12
+
+// memtable is a concurrent-read, single-writer skiplist keyed by
+// user key; each key holds the latest (seq, tombstone, value).
+type memtable struct {
+	mu     sync.RWMutex
+	head   *skipNode
+	height int
+	rng    *rand.Rand
+	bytes  int
+	count  int
+}
+
+type skipNode struct {
+	key   []byte
+	value []byte
+	seq   uint64
+	del   bool
+	next  []*skipNode
+}
+
+func newMemtable() *memtable {
+	return &memtable{
+		head:   &skipNode{next: make([]*skipNode, maxHeight)},
+		height: 1,
+		rng:    rand.New(rand.NewSource(42)),
+	}
+}
+
+// put inserts or updates a key.
+func (m *memtable) put(key, value []byte, seq uint64, del bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	update := make([]*skipNode, maxHeight)
+	x := m.head
+	for lvl := m.height - 1; lvl >= 0; lvl-- {
+		for x.next[lvl] != nil && bytes.Compare(x.next[lvl].key, key) < 0 {
+			x = x.next[lvl]
+		}
+		update[lvl] = x
+	}
+	if n := x.next[0]; n != nil && bytes.Equal(n.key, key) {
+		m.bytes += len(value) - len(n.value)
+		n.value = append(n.value[:0], value...)
+		n.seq = seq
+		n.del = del
+		return
+	}
+	h := 1
+	for h < maxHeight && m.rng.Intn(4) == 0 {
+		h++
+	}
+	if h > m.height {
+		for lvl := m.height; lvl < h; lvl++ {
+			update[lvl] = m.head
+		}
+		m.height = h
+	}
+	n := &skipNode{
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+		seq:   seq, del: del,
+		next: make([]*skipNode, h),
+	}
+	for lvl := 0; lvl < h; lvl++ {
+		n.next[lvl] = update[lvl].next[lvl]
+		update[lvl].next[lvl] = n
+	}
+	m.bytes += len(key) + len(value) + 32
+	m.count++
+}
+
+// get looks a key up; ok reports presence (possibly as a tombstone).
+func (m *memtable) get(key []byte) (value []byte, del, ok bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	x := m.head
+	for lvl := m.height - 1; lvl >= 0; lvl-- {
+		for x.next[lvl] != nil && bytes.Compare(x.next[lvl].key, key) < 0 {
+			x = x.next[lvl]
+		}
+	}
+	if n := x.next[0]; n != nil && bytes.Equal(n.key, key) {
+		return n.value, n.del, true
+	}
+	return nil, false, false
+}
+
+// size reports the approximate memory footprint.
+func (m *memtable) size() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.bytes
+}
+
+// entries iterates the table in key order.
+func (m *memtable) entries(fn func(key, value []byte, seq uint64, del bool) bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for n := m.head.next[0]; n != nil; n = n.next[0] {
+		if !fn(n.key, n.value, n.seq, n.del) {
+			return
+		}
+	}
+}

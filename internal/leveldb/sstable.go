@@ -1,0 +1,227 @@
+package leveldb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"trio/internal/fsapi"
+)
+
+// SSTable format:
+//
+//	entries:  repeated [klen u32 | key | flag u8 | vlen u32 | value]
+//	index:    repeated [klen u32 | key | offset u64]   (every indexStride-th entry)
+//	footer:   [indexOff u64 | indexCount u32 | entryCount u32 | magic u64]
+const (
+	sstMagic    = 0x5353544152434b46 // "FKCRATSS"
+	indexStride = 16
+	footerSize  = 24
+)
+
+// tableMeta describes one on-disk table.
+type tableMeta struct {
+	file     uint64 // file number
+	level    int
+	min, max []byte
+	entries  int
+}
+
+func tableName(file uint64) string { return fmt.Sprintf("%06d.sst", file) }
+
+// sstWriter streams sorted entries into a table file.
+type sstWriter struct {
+	f       fsapi.File
+	buf     bytes.Buffer
+	index   bytes.Buffer
+	n       int
+	idxN    int
+	min     []byte
+	max     []byte
+	written int64
+}
+
+func newSSTWriter(f fsapi.File) *sstWriter { return &sstWriter{f: f} }
+
+// add appends one entry; keys must arrive in ascending order.
+func (w *sstWriter) add(key, value []byte, del bool) {
+	off := uint64(w.written) + uint64(w.buf.Len())
+	if w.n%indexStride == 0 {
+		var kl [4]byte
+		binary.LittleEndian.PutUint32(kl[:], uint32(len(key)))
+		w.index.Write(kl[:])
+		w.index.Write(key)
+		var ob [8]byte
+		binary.LittleEndian.PutUint64(ob[:], off)
+		w.index.Write(ob[:])
+		w.idxN++
+	}
+	var kl [4]byte
+	binary.LittleEndian.PutUint32(kl[:], uint32(len(key)))
+	w.buf.Write(kl[:])
+	w.buf.Write(key)
+	flag := byte(0)
+	if del {
+		flag = 1
+	}
+	w.buf.WriteByte(flag)
+	var vl [4]byte
+	binary.LittleEndian.PutUint32(vl[:], uint32(len(value)))
+	w.buf.Write(vl[:])
+	w.buf.Write(value)
+	if w.min == nil {
+		w.min = append([]byte(nil), key...)
+	}
+	w.max = append(w.max[:0], key...)
+	w.n++
+	// Spill the data buffer in table-sized chunks (sequential writes,
+	// the LSM's signature I/O pattern).
+	if w.buf.Len() >= 256<<10 {
+		w.flushBuf()
+	}
+}
+
+func (w *sstWriter) flushBuf() {
+	if w.buf.Len() == 0 {
+		return
+	}
+	w.f.WriteAt(w.buf.Bytes(), w.written)
+	w.written += int64(w.buf.Len())
+	w.buf.Reset()
+}
+
+// size reports bytes staged+written so far.
+func (w *sstWriter) size() int64 { return w.written + int64(w.buf.Len()) }
+
+// finish writes the index and footer and syncs.
+func (w *sstWriter) finish() (min, max []byte, entries int, err error) {
+	w.flushBuf()
+	indexOff := uint64(w.written)
+	if _, err := w.f.WriteAt(w.index.Bytes(), w.written); err != nil {
+		return nil, nil, 0, err
+	}
+	w.written += int64(w.index.Len())
+	var footer [footerSize]byte
+	binary.LittleEndian.PutUint64(footer[0:], indexOff)
+	binary.LittleEndian.PutUint32(footer[8:], uint32(w.idxN))
+	binary.LittleEndian.PutUint32(footer[12:], uint32(w.n))
+	binary.LittleEndian.PutUint64(footer[16:], sstMagic)
+	if _, err := w.f.WriteAt(footer[:], w.written); err != nil {
+		return nil, nil, 0, err
+	}
+	if err := w.f.Sync(); err != nil {
+		return nil, nil, 0, err
+	}
+	return w.min, w.max, w.n, nil
+}
+
+// sstReader serves point lookups and scans from one table file.
+type sstReader struct {
+	f       fsapi.File
+	size    int64
+	idxKeys [][]byte
+	idxOffs []uint64
+	dataEnd uint64
+	entries int
+}
+
+func openSST(f fsapi.File) (*sstReader, error) {
+	size := f.Size()
+	if size < footerSize {
+		return nil, fmt.Errorf("leveldb: sstable too small (%d bytes)", size)
+	}
+	var footer [footerSize]byte
+	if _, err := f.ReadAt(footer[:], size-footerSize); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(footer[16:]) != sstMagic {
+		return nil, fmt.Errorf("leveldb: bad sstable magic")
+	}
+	indexOff := binary.LittleEndian.Uint64(footer[0:])
+	idxN := int(binary.LittleEndian.Uint32(footer[8:]))
+	entries := int(binary.LittleEndian.Uint32(footer[12:]))
+	idxBytes := make([]byte, size-footerSize-int64(indexOff))
+	if _, err := f.ReadAt(idxBytes, int64(indexOff)); err != nil {
+		return nil, err
+	}
+	r := &sstReader{f: f, size: size, dataEnd: indexOff, entries: entries}
+	pos := 0
+	for i := 0; i < idxN; i++ {
+		kl := int(binary.LittleEndian.Uint32(idxBytes[pos:]))
+		pos += 4
+		r.idxKeys = append(r.idxKeys, idxBytes[pos:pos+kl])
+		pos += kl
+		r.idxOffs = append(r.idxOffs, binary.LittleEndian.Uint64(idxBytes[pos:]))
+		pos += 8
+	}
+	return r, nil
+}
+
+// get performs a point lookup.
+func (r *sstReader) get(key []byte) (value []byte, del, ok bool, err error) {
+	if len(r.idxKeys) == 0 {
+		return nil, false, false, nil
+	}
+	// Find the last index key <= key.
+	i := sort.Search(len(r.idxKeys), func(i int) bool {
+		return bytes.Compare(r.idxKeys[i], key) > 0
+	}) - 1
+	if i < 0 {
+		return nil, false, false, nil
+	}
+	start := r.idxOffs[i]
+	end := r.dataEnd
+	if i+1 < len(r.idxOffs) {
+		end = r.idxOffs[i+1]
+	}
+	block := make([]byte, end-start)
+	if _, err := r.f.ReadAt(block, int64(start)); err != nil {
+		return nil, false, false, err
+	}
+	pos := 0
+	for pos < len(block) {
+		kl := int(binary.LittleEndian.Uint32(block[pos:]))
+		pos += 4
+		k := block[pos : pos+kl]
+		pos += kl
+		flag := block[pos]
+		pos++
+		vl := int(binary.LittleEndian.Uint32(block[pos:]))
+		pos += 4
+		v := block[pos : pos+vl]
+		pos += vl
+		switch bytes.Compare(k, key) {
+		case 0:
+			return append([]byte(nil), v...), flag == 1, true, nil
+		case 1:
+			return nil, false, false, nil
+		}
+	}
+	return nil, false, false, nil
+}
+
+// scan iterates every entry in key order.
+func (r *sstReader) scan(fn func(key, value []byte, del bool) bool) error {
+	data := make([]byte, r.dataEnd)
+	if _, err := r.f.ReadAt(data, 0); err != nil {
+		return err
+	}
+	pos := 0
+	for pos < len(data) {
+		kl := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		k := data[pos : pos+kl]
+		pos += kl
+		flag := data[pos]
+		pos++
+		vl := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		v := data[pos : pos+vl]
+		pos += vl
+		if !fn(k, v, flag == 1) {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,382 @@
+package libfs
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"trio/internal/core"
+	"trio/internal/fsapi"
+	"trio/internal/nvm"
+)
+
+// Handle is an open file (fsapi.File). ArckFS keeps a classic file
+// descriptor table per client — exactly the bookkeeping KVFS's get/set
+// customization removes for small-file workloads (paper §5).
+type Handle struct {
+	c     *Client
+	n     *node
+	fd    int
+	write bool
+}
+
+// openHandle allocates an fd slot.
+func (c *Client) openHandle(n *node, write bool) *Handle {
+	c.fdMu.Lock()
+	defer c.fdMu.Unlock()
+	h := &Handle{c: c, n: n, write: write}
+	if len(c.free) > 0 {
+		fd := c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+		c.fds[fd] = h
+		h.fd = fd
+	} else {
+		h.fd = len(c.fds)
+		c.fds = append(c.fds, h)
+	}
+	return h
+}
+
+// Close releases the fd slot. The node's mapping and auxiliary state
+// stay warm (§4.2: preserved until another application wants to write).
+func (h *Handle) Close() error {
+	c := h.c
+	c.fdMu.Lock()
+	defer c.fdMu.Unlock()
+	if h.fd < len(c.fds) && c.fds[h.fd] == h {
+		c.fds[h.fd] = nil
+		c.free = append(c.free, h.fd)
+	}
+	return nil
+}
+
+// Size reports the current file size.
+func (h *Handle) Size() int64 { return atomic.LoadInt64(&h.n.size) }
+
+// Sync is a no-op: ArckFS persists data operations immediately (§4.1).
+func (h *Handle) Sync() error { return nil }
+
+// Open opens an existing file.
+func (c *Client) Open(path string, write bool) (fsapi.File, error) {
+	n, err := c.fs.resolve(fsapi.SplitPath(path))
+	if err != nil {
+		return nil, err
+	}
+	if n.ftype() == core.TypeDir {
+		return nil, fsapi.ErrIsDir
+	}
+	if err := c.fs.ensureMapped(n, write); err != nil {
+		return nil, err
+	}
+	return c.openHandle(n, write), nil
+}
+
+// ReadAt implements fsapi.File.
+func (h *Handle) ReadAt(b []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fsapi.ErrInval
+	}
+	fs := h.c.fs
+	n := h.n
+	total := 0
+	err := fs.withMapped(n, h.write, func() error {
+		total = 0
+		n.ilock.RLock(h.c.cpu)
+		defer n.ilock.RUnlock(h.c.cpu)
+		size := atomic.LoadInt64(&n.size)
+		if off >= size {
+			return nil
+		}
+		count := int64(len(b))
+		if off+count > size {
+			count = size - off
+		}
+		rl := n.rlock()
+		r := rl.RLockRange(off, count)
+		defer rl.RUnlockRange(r)
+
+		batch := fs.pool.NewBatch(fs.as, int(count), false, false).WithView(fs.mem(h.c.cpu))
+		pos := off
+		for pos < off+count {
+			block := uint64(pos / nvm.PageSize)
+			pgOff := int(pos % nvm.PageSize)
+			chunk := nvm.PageSize - pgOff
+			if rem := int(off + count - pos); chunk > rem {
+				chunk = rem
+			}
+			dst := b[pos-off : pos-off+int64(chunk)]
+			if page := n.radix.Get(block); page != 0 {
+				batch.Read(nvm.PageID(page), pgOff, dst)
+			} else {
+				for i := range dst { // hole
+					dst[i] = 0
+				}
+			}
+			pos += int64(chunk)
+		}
+		if err := batch.Wait(); err != nil {
+			return err
+		}
+		total = int(count)
+		return nil
+	})
+	return total, err
+}
+
+// WriteAt implements fsapi.File. Writes within the current size take
+// the inode lock shared plus a write range lock (disjoint writers run
+// in parallel); extending writes take the inode lock exclusive (§4.2).
+func (h *Handle) WriteAt(b []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fsapi.ErrInval
+	}
+	if !h.write {
+		return 0, fsapi.ErrPerm
+	}
+	fs := h.c.fs
+	n := h.n
+	err := fs.withMapped(n, true, func() error {
+		end := off + int64(len(b))
+		if end > atomic.LoadInt64(&n.size) {
+			return fs.writeExtend(h.c.cpu, n, b, off)
+		}
+		n.ilock.RLock(h.c.cpu)
+		defer n.ilock.RUnlock(h.c.cpu)
+		if end > atomic.LoadInt64(&n.size) {
+			// Raced with a truncate; retry via the extend path.
+			return fs.writeExtend(h.c.cpu, n, b, off)
+		}
+		rl := n.rlock()
+		r := rl.LockRange(off, int64(len(b)))
+		defer rl.UnlockRange(r)
+		// Writes into holes of a sparse file allocate pages here; the
+		// range lock serializes same-block writers and linkBlock's
+		// index-tail lock protects chain growth.
+		if err := fs.ensureBlocks(h.c.cpu, n, off, end); err != nil {
+			return err
+		}
+		return fs.copyOut(h.c.cpu, n, b, off, true)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
+
+// Append implements fsapi.File.
+func (h *Handle) Append(b []byte) (int64, error) {
+	if !h.write {
+		return 0, fsapi.ErrPerm
+	}
+	fs := h.c.fs
+	n := h.n
+	var at int64
+	err := fs.withMapped(n, true, func() error {
+		n.ilock.Lock()
+		defer n.ilock.Unlock()
+		at = atomic.LoadInt64(&n.size)
+		return fs.extendLocked(h.c.cpu, n, b, at)
+	})
+	return at, err
+}
+
+// writeExtend handles writes that grow the file: exclusive inode lock.
+func (fs *FS) writeExtend(cpu int, n *node, b []byte, off int64) error {
+	n.ilock.Lock()
+	defer n.ilock.Unlock()
+	return fs.extendLocked(cpu, n, b, off)
+}
+
+// extendLocked performs an (possibly extending) write with the inode
+// lock held exclusively. Ordering for crash consistency (§4.4): new
+// data pages are filled and persisted, then linked into index pages,
+// then the 8-byte size field commits the growth.
+func (fs *FS) extendLocked(cpu int, n *node, b []byte, off int64) error {
+	end := off + int64(len(b))
+	// 1. Make sure every block in [off, end) has a data page.
+	if err := fs.ensureBlocks(cpu, n, off, end); err != nil {
+		return err
+	}
+	// 2. Copy the data (persisted).
+	if err := fs.copyOut(cpu, n, b, off, true); err != nil {
+		return err
+	}
+	// 3. Commit the new size.
+	if end > atomic.LoadInt64(&n.size) {
+		if err := core.UpdateInodeSizeMtime(fs.as, n.loc(), uint64(end), uint64(time.Now().UnixNano())); err != nil {
+			return err
+		}
+		atomic.StoreInt64(&n.size, end)
+	}
+	return nil
+}
+
+// ensureBlocks allocates data pages for every hole in [off, end). The
+// caller must hold either the inode lock exclusively or a write range
+// lock covering the span (so no two threads fill the same block).
+func (fs *FS) ensureBlocks(cpu int, n *node, off, end int64) error {
+	if end <= off {
+		return nil
+	}
+	firstBlock := uint64(off / nvm.PageSize)
+	lastBlock := uint64((end - 1) / nvm.PageSize)
+	for block := firstBlock; block <= lastBlock; block++ {
+		if n.radix.Get(block) != 0 {
+			continue
+		}
+		page, err := fs.allocPageOnNode(cpu, fs.nodeForBlock(cpu, block))
+		if err != nil {
+			return err
+		}
+		// A fresh page may hold stale bytes; zero the regions outside
+		// the part this write will fill, so holes read as zeros.
+		if err := fs.zeroPageEdges(cpu, page, block, off, end); err != nil {
+			return err
+		}
+		if err := fs.linkBlock(cpu, n, block, page); err != nil {
+			return err
+		}
+		n.radix.Put(block, uint64(page))
+	}
+	return nil
+}
+
+// zeroPageEdges zeroes the parts of a fresh data page that this write
+// does not cover.
+func (fs *FS) zeroPageEdges(cpu int, page nvm.PageID, block uint64, off, end int64) error {
+	blockStart := int64(block) * nvm.PageSize
+	blockEnd := blockStart + nvm.PageSize
+	var zeros [nvm.PageSize]byte
+	mem := fs.mem(cpu)
+	if off > blockStart {
+		if err := mem.Write(page, 0, zeros[:off-blockStart]); err != nil {
+			return err
+		}
+	}
+	if end < blockEnd {
+		if err := mem.Write(page, int(end-blockStart), zeros[:blockEnd-end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// linkBlock wires a data page into the index chain at the given block,
+// growing the chain as needed. The index-tail lock (§4.2) protects the
+// chain against concurrent growth by range-locked hole fillers.
+func (fs *FS) linkBlock(cpu int, n *node, block uint64, page nvm.PageID) error {
+	n.idxTail.Lock()
+	defer n.idxTail.Unlock()
+	return fs.linkBlockLocked(cpu, n, block, page)
+}
+
+// linkBlockLocked is linkBlock with the index-tail lock already held
+// (the directory slot-claim path holds it across a larger section).
+func (fs *FS) linkBlockLocked(cpu int, n *node, block uint64, page nvm.PageID) error {
+	chainIdx := int(block / core.IndexEntriesPerPage)
+	entry := int(block % core.IndexEntriesPerPage)
+	for len(n.chain) <= chainIdx {
+		ip, err := fs.allocPage(cpu)
+		if err != nil {
+			return err
+		}
+		var zeros [nvm.PageSize]byte
+		if err := fs.as.Write(ip, 0, zeros[:]); err != nil {
+			return err
+		}
+		if err := fs.as.Persist(ip, 0, nvm.PageSize); err != nil {
+			return err
+		}
+		if len(n.chain) == 0 {
+			if err := core.UpdateInodeHead(fs.as, n.loc(), ip); err != nil {
+				return err
+			}
+		} else {
+			if err := core.SetNextIndexPage(fs.as, n.chain[len(n.chain)-1], ip); err != nil {
+				return err
+			}
+			fs.as.Fence()
+		}
+		n.chain = append(n.chain, ip)
+	}
+	if err := core.SetIndexEntry(fs.as, n.chain[chainIdx], entry, page); err != nil {
+		return err
+	}
+	fs.as.Fence()
+	return nil
+}
+
+// copyOut copies b into the file's data pages at off through the
+// delegation batch (or directly, from the calling thread's node, for
+// small accesses).
+func (fs *FS) copyOut(cpu int, n *node, b []byte, off int64, persist bool) error {
+	batch := fs.pool.NewBatch(fs.as, len(b), true, persist).WithView(fs.mem(cpu))
+	pos := off
+	end := off + int64(len(b))
+	for pos < end {
+		block := uint64(pos / nvm.PageSize)
+		pgOff := int(pos % nvm.PageSize)
+		chunk := nvm.PageSize - pgOff
+		if rem := int(end - pos); chunk > rem {
+			chunk = rem
+		}
+		page := n.radix.Get(block)
+		if page == 0 {
+			return fmt.Errorf("libfs: write into unmapped block %d", block)
+		}
+		batch.Write(nvm.PageID(page), pgOff, b[pos-off:pos-off+int64(chunk)])
+		pos += int64(chunk)
+	}
+	if err := batch.Wait(); err != nil {
+		return err
+	}
+	fs.as.Fence()
+	return nil
+}
+
+// Truncate implements fsapi.File (and DWTL's shrink operation).
+func (h *Handle) Truncate(size int64) error {
+	if size < 0 {
+		return fsapi.ErrInval
+	}
+	if !h.write {
+		return fsapi.ErrPerm
+	}
+	fs := h.c.fs
+	n := h.n
+	return fs.withMapped(n, true, func() error {
+		n.ilock.Lock()
+		defer n.ilock.Unlock()
+		cur := atomic.LoadInt64(&n.size)
+		if size < cur {
+			// Free whole pages beyond the new size; the size store is
+			// the commit point, so free only after it persists.
+			firstDead := uint64((size + nvm.PageSize - 1) / nvm.PageSize)
+			lastLive := uint64(cur-1) / nvm.PageSize
+			var dead []nvm.PageID
+			for block := firstDead; block <= lastLive; block++ {
+				if p := n.radix.Get(block); p != 0 {
+					dead = append(dead, nvm.PageID(p))
+					chainIdx := int(block / core.IndexEntriesPerPage)
+					if chainIdx < len(n.chain) {
+						if err := core.SetIndexEntry(fs.as, n.chain[chainIdx], int(block%core.IndexEntriesPerPage), nvm.NilPage); err != nil {
+							return err
+						}
+					}
+					n.radix.Delete(block)
+				}
+			}
+			fs.as.Fence()
+			if err := core.UpdateInodeSizeMtime(fs.as, n.loc(), uint64(size), uint64(time.Now().UnixNano())); err != nil {
+				return err
+			}
+			atomic.StoreInt64(&n.size, size)
+			return fs.freePages(h.c.cpu, dead)
+		}
+		if err := core.UpdateInodeSizeMtime(fs.as, n.loc(), uint64(size), uint64(time.Now().UnixNano())); err != nil {
+			return err
+		}
+		atomic.StoreInt64(&n.size, size)
+		return nil
+	})
+}

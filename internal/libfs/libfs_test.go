@@ -1,0 +1,589 @@
+package libfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"trio/internal/controller"
+	"trio/internal/core"
+	"trio/internal/fsapi"
+	"trio/internal/nvm"
+)
+
+func newFS(t *testing.T) (*FS, *controller.Controller) {
+	t.Helper()
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 1, PagesPerNode: 8192})
+	ctl, err := controller.New(dev, controller.Options{LeaseTime: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := ctl.Register(1000, 1000, 0, 0)
+	fs, err := New(sess, Config{CPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, ctl
+}
+
+func TestCreateWriteReadRoundTrip(t *testing.T) {
+	fs, _ := newFS(t)
+	c := fs.NewClient(0)
+	f, err := c.Create("/hello.txt", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello, userspace NVM world")
+	if _, err := f.WriteAt(msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != int64(len(msg)) {
+		t.Fatalf("size = %d", f.Size())
+	}
+	got := make([]byte, len(msg))
+	n, err := f.ReadAt(got, 0)
+	if err != nil || n != len(msg) {
+		t.Fatalf("read %d, %v", n, err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read %q", got)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen.
+	f2, err := c.Open("/hello.txt", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err = f2.ReadAt(got, 0)
+	if err != nil || n != len(msg) || !bytes.Equal(got, msg) {
+		t.Fatalf("reopen read: %d %v %q", n, err, got)
+	}
+}
+
+func TestNestedDirectories(t *testing.T) {
+	fs, _ := newFS(t)
+	c := fs.NewClient(0)
+	for _, d := range []string{"/a", "/a/b", "/a/b/c"} {
+		if err := c.Mkdir(d, 0o755); err != nil {
+			t.Fatalf("mkdir %s: %v", d, err)
+		}
+	}
+	f, err := c.Create("/a/b/c/deep.txt", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("deep"), 0); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stat("/a/b/c/deep.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size != 4 || st.IsDir {
+		t.Fatalf("stat %+v", st)
+	}
+	if st, err = c.Stat("/a/b"); err != nil || !st.IsDir {
+		t.Fatalf("stat dir %+v, %v", st, err)
+	}
+	if _, err := c.Stat("/a/missing"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("stat missing: %v", err)
+	}
+	if _, err := c.Open("/a/b", false); !errors.Is(err, fsapi.ErrIsDir) {
+		t.Fatalf("open dir: %v", err)
+	}
+	if err := c.Mkdir("/a", 0o755); !errors.Is(err, fsapi.ErrExist) {
+		t.Fatalf("mkdir existing: %v", err)
+	}
+}
+
+func TestReadDir(t *testing.T) {
+	fs, _ := newFS(t)
+	c := fs.NewClient(0)
+	c.Mkdir("/dir", 0o755)
+	want := []string{"a", "b", "c", "d"}
+	for _, n := range want {
+		if f, err := c.Create("/dir/"+n, 0o644); err != nil {
+			t.Fatal(err)
+		} else {
+			f.Close()
+		}
+	}
+	names, err := c.ReadDir("/dir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(names)
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("ReadDir = %v", names)
+	}
+}
+
+func TestAppendAndHoles(t *testing.T) {
+	fs, _ := newFS(t)
+	c := fs.NewClient(0)
+	f, _ := c.Create("/f", 0o644)
+	off1, err := f.Append([]byte("aaaa"))
+	if err != nil || off1 != 0 {
+		t.Fatalf("append1: %d %v", off1, err)
+	}
+	off2, err := f.Append([]byte("bbbb"))
+	if err != nil || off2 != 4 {
+		t.Fatalf("append2: %d %v", off2, err)
+	}
+	// Sparse write far beyond the end.
+	if _, err := f.WriteAt([]byte("zz"), 3*nvm.PageSize+10); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 3*nvm.PageSize+12 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	// The hole reads zeros.
+	buf := make([]byte, 16)
+	if _, err := f.ReadAt(buf, nvm.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatalf("hole not zero: %v", buf)
+		}
+	}
+	// Head still intact.
+	if _, err := f.ReadAt(buf[:8], 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:8]) != "aaaabbbb" {
+		t.Fatalf("head = %q", buf[:8])
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	fs, ctl := newFS(t)
+	c := fs.NewClient(0)
+	f, _ := c.Create("/t", 0o644)
+	data := make([]byte, 5*nvm.PageSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	free0 := ctl.FreePagesCount()
+	if err := f.Truncate(nvm.PageSize + 100); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != nvm.PageSize+100 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	// Data below the cut survives; reads beyond return 0 bytes.
+	buf := make([]byte, 4)
+	if n, _ := f.ReadAt(buf, nvm.PageSize+98); n != 2 {
+		t.Fatalf("read at edge = %d", n)
+	}
+	if n, _ := f.ReadAt(buf, 2*nvm.PageSize); n != 0 {
+		t.Fatalf("read past end = %d", n)
+	}
+	// Freed pages eventually return (they sit in the per-CPU cache).
+	if got := ctl.FreePagesCount(); got < free0 {
+		t.Fatalf("truncate lost pages: %d < %d", got, free0)
+	}
+	// Grow back: the old bytes must NOT reappear.
+	if err := f.Truncate(3 * nvm.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := f.ReadAt(buf, 2*nvm.PageSize); n != 4 {
+		t.Fatalf("read in grown range = %d", n)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatalf("grown range not zeroed: %v", buf)
+		}
+	}
+}
+
+func TestLargeFileMultipleIndexPages(t *testing.T) {
+	fs, _ := newFS(t)
+	c := fs.NewClient(0)
+	f, _ := c.Create("/big", 0o644)
+	// 600 blocks crosses the 511-entry index page boundary.
+	blocks := 600
+	chunk := make([]byte, nvm.PageSize)
+	for i := 0; i < blocks; i++ {
+		for j := range chunk {
+			chunk[j] = byte(i)
+		}
+		if _, err := f.WriteAt(chunk, int64(i)*nvm.PageSize); err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+	}
+	if f.Size() != int64(blocks)*nvm.PageSize {
+		t.Fatalf("size = %d", f.Size())
+	}
+	// Spot-check across the boundary.
+	for _, i := range []int{0, 510, 511, 512, 599} {
+		got := make([]byte, 8)
+		if _, err := f.ReadAt(got, int64(i)*nvm.PageSize); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("block %d reads %d", i, got[0])
+		}
+	}
+}
+
+func TestUnlinkFreesPages(t *testing.T) {
+	// Small allocation batches so the per-CPU caches cannot mask the
+	// page accounting this test asserts.
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 1, PagesPerNode: 8192})
+	ctl, err := controller.New(dev, controller.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := New(ctl.Register(1000, 1000, 0, 0), Config{CPUs: 2, PageBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fs.NewClient(0)
+	free0 := ctl.FreePagesCount()
+	f, _ := c.Create("/dead", 0o644)
+	if _, err := f.WriteAt(make([]byte, 4*nvm.PageSize), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := c.Unlink("/dead"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Open("/dead", false); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("open unlinked: %v", err)
+	}
+	// All file pages returned (allowing for pages parked in the per-CPU
+	// cache and the lazily created journal page and dir page).
+	if got := ctl.FreePagesCount(); free0-got > 40 {
+		t.Fatalf("pages leaked: before=%d after=%d", free0, got)
+	}
+	if err := c.Unlink("/dead"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("double unlink: %v", err)
+	}
+}
+
+func TestRmdirSemantics(t *testing.T) {
+	fs, _ := newFS(t)
+	c := fs.NewClient(0)
+	c.Mkdir("/d", 0o755)
+	if f, err := c.Create("/d/f", 0o644); err != nil {
+		t.Fatal(err)
+	} else {
+		f.Close()
+	}
+	if err := c.Rmdir("/d"); !errors.Is(err, fsapi.ErrNotEmpty) {
+		t.Fatalf("rmdir non-empty: %v", err)
+	}
+	if err := c.Unlink("/d"); !errors.Is(err, fsapi.ErrIsDir) {
+		t.Fatalf("unlink dir: %v", err)
+	}
+	if err := c.Unlink("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rmdir("/d"); err != nil {
+		t.Fatalf("rmdir empty: %v", err)
+	}
+	if _, err := c.Stat("/d"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("stat removed dir: %v", err)
+	}
+}
+
+func TestRenameSameDir(t *testing.T) {
+	fs, _ := newFS(t)
+	c := fs.NewClient(0)
+	f, _ := c.Create("/old", 0o644)
+	f.WriteAt([]byte("payload"), 0)
+	f.Close()
+	if err := c.Rename("/old", "/new"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("/old"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("old name alive: %v", err)
+	}
+	g, err := c.Open("/new", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 7)
+	if _, err := g.ReadAt(buf, 0); err != nil || string(buf) != "payload" {
+		t.Fatalf("content after rename: %q %v", buf, err)
+	}
+}
+
+func TestRenameCrossDirAndReplace(t *testing.T) {
+	fs, _ := newFS(t)
+	c := fs.NewClient(0)
+	c.Mkdir("/src", 0o755)
+	c.Mkdir("/dst", 0o755)
+	f, _ := c.Create("/src/file", 0o644)
+	f.WriteAt([]byte("MOVED"), 0)
+	f.Close()
+	g, _ := c.Create("/dst/file", 0o644)
+	g.WriteAt([]byte("gone"), 0)
+	g.Close()
+	if err := c.Rename("/src/file", "/dst/file"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("/src/file"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatal("source still present")
+	}
+	h, err := c.Open("/dst/file", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	h.ReadAt(buf, 0)
+	if string(buf) != "MOVED" {
+		t.Fatalf("target content %q", buf)
+	}
+	// Directory targets are not replaced.
+	c.Mkdir("/dst/sub", 0o755)
+	if f, err := c.Create("/x", 0o644); err == nil {
+		f.Close()
+	}
+	if err := c.Rename("/x", "/dst/sub"); !errors.Is(err, fsapi.ErrExist) {
+		t.Fatalf("rename over dir: %v", err)
+	}
+}
+
+func TestManyFilesGrowDirectory(t *testing.T) {
+	fs, _ := newFS(t)
+	c := fs.NewClient(0)
+	c.Mkdir("/many", 0o755)
+	const n = 100 // > 6 dirent pages
+	for i := 0; i < n; i++ {
+		f, err := c.Create(fmt.Sprintf("/many/file-%03d", i), 0o644)
+		if err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+		f.Close()
+	}
+	names, err := c.ReadDir("/many")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != n {
+		t.Fatalf("ReadDir found %d, want %d", len(names), n)
+	}
+	// Delete every third and re-create; slots must recycle.
+	for i := 0; i < n; i += 3 {
+		if err := c.Unlink(fmt.Sprintf("/many/file-%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i += 3 {
+		f, err := c.Create(fmt.Sprintf("/many/file-%03d", i), 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	names, _ = c.ReadDir("/many")
+	if len(names) != n {
+		t.Fatalf("after churn: %d names", len(names))
+	}
+}
+
+func TestConcurrentCreatesOneDirectory(t *testing.T) {
+	fs, _ := newFS(t)
+	c0 := fs.NewClient(0)
+	c0.Mkdir("/shared", 0o755)
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := fs.NewClient(g)
+			for i := 0; i < 50; i++ {
+				f, err := c.Create(fmt.Sprintf("/shared/g%d-%d", g, i), 0o644)
+				if err != nil {
+					errs <- fmt.Errorf("g%d create %d: %w", g, i, err)
+					return
+				}
+				f.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	names, _ := fs.NewClient(0).ReadDir("/shared")
+	if len(names) != 200 {
+		t.Fatalf("found %d entries, want 200", len(names))
+	}
+}
+
+func TestConcurrentDuplicateCreateRace(t *testing.T) {
+	fs, _ := newFS(t)
+	fs.NewClient(0).Mkdir("/race", 0o755)
+	for iter := 0; iter < 20; iter++ {
+		name := fmt.Sprintf("/race/f%d", iter)
+		var wins, losses int
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c := fs.NewClient(g).(*Client)
+				parent, nm, cerr := c.fs.resolveParent(name)
+				if cerr != nil {
+					return
+				}
+				_, err2 := c.fs.createEntry(c.cpu, parent, nm, core.TypeReg, 0o644)
+				mu.Lock()
+				if err2 == nil {
+					wins++
+				} else {
+					losses++
+				}
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		if wins != 1 {
+			t.Fatalf("iter %d: %d concurrent creates of one name succeeded (losses %d)", iter, wins, losses)
+		}
+	}
+}
+
+func TestConcurrentDisjointWriters(t *testing.T) {
+	fs, _ := newFS(t)
+	c := fs.NewClient(0)
+	f, _ := c.Create("/parallel", 0o644)
+	// Pre-size the file so writers stay in the non-extending path.
+	const regions = 4
+	const regionSize = 64 << 10
+	if err := f.Truncate(regions * regionSize); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < regions; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := fs.NewClient(g)
+			h, err := cl.Open("/parallel", true)
+			if err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+			buf := bytes.Repeat([]byte{byte('A' + g)}, 4096)
+			for i := 0; i < regionSize/4096; i++ {
+				off := int64(g*regionSize + i*4096)
+				if _, err := h.WriteAt(buf, off); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Verify all regions.
+	buf := make([]byte, 4096)
+	rng := rand.New(rand.NewSource(7))
+	for try := 0; try < 32; try++ {
+		g := rng.Intn(regions)
+		i := rng.Intn(regionSize / 4096)
+		if _, err := f.ReadAt(buf, int64(g*regionSize+i*4096)); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte('A'+g) || buf[4095] != byte('A'+g) {
+			t.Fatalf("region %d block %d corrupted: %c", g, i, buf[0])
+		}
+	}
+}
+
+func TestSharingAcrossTwoLibFSes(t *testing.T) {
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 1, PagesPerNode: 8192})
+	ctl, err := controller.New(dev, controller.Options{LeaseTime: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsA, _ := New(ctl.Register(1000, 1000, 0, 0), Config{CPUs: 2})
+	fsB, _ := New(ctl.Register(2000, 2000, 0, 0), Config{CPUs: 2})
+
+	a := fsA.NewClient(0)
+	f, err := a.Create("/common.txt", 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt([]byte("from A"), 0)
+	f.Close()
+
+	// B resolves through its own LibFS: different process, different
+	// auxiliary state, same core state.
+	b := fsB.NewClient(0)
+	g, err := b.Open("/common.txt", false)
+	if err != nil {
+		t.Fatalf("B open: %v", err)
+	}
+	buf := make([]byte, 6)
+	if _, err := g.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "from A" {
+		t.Fatalf("B read %q", buf)
+	}
+
+	// B writes (0666 allows it); this revokes A's mapping under the
+	// hood. A's next read must transparently remap and see B's data.
+	h, err := b.Open("/common.txt", true)
+	if err != nil {
+		t.Fatalf("B open write: %v", err)
+	}
+	if _, err := h.WriteAt([]byte("from B"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := a.Open("/common.txt", false)
+	if err != nil {
+		t.Fatalf("A reopen: %v", err)
+	}
+	if _, err := f2.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "from B" {
+		t.Fatalf("A read %q after B's write", buf)
+	}
+	st := ctl.Stats().Snapshot()
+	if st.VerifyCount == 0 {
+		t.Fatal("no verification happened during cross-LibFS sharing")
+	}
+}
+
+func TestChmodThroughLibFS(t *testing.T) {
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 1, PagesPerNode: 8192})
+	ctl, _ := controller.New(dev, controller.Options{})
+	fsA, _ := New(ctl.Register(1000, 1000, 0, 0), Config{CPUs: 2})
+	fsB, _ := New(ctl.Register(2000, 2000, 0, 0), Config{CPUs: 2})
+	a := fsA.NewClient(0)
+	f, _ := a.Create("/locked", 0o600)
+	f.WriteAt([]byte("secret"), 0)
+	f.Close()
+	if _, err := fsB.NewClient(0).Open("/locked", false); !errors.Is(err, fsapi.ErrPerm) {
+		t.Fatalf("B opened 0600 file: %v", err)
+	}
+	ac := a.(*Client)
+	if err := ac.Chmod("/locked", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsB.NewClient(0).Open("/locked", false); err != nil {
+		t.Fatalf("B open after chmod 644: %v", err)
+	}
+}

@@ -1,0 +1,213 @@
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRWLockMutualExclusion(t *testing.T) {
+	var l RWLock
+	var counter int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Lock()
+				counter++ // racy unless the lock works
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8000 {
+		t.Fatalf("counter = %d, want 8000", counter)
+	}
+}
+
+func TestRWLockReadersExcludeWriter(t *testing.T) {
+	var l RWLock
+	var inWrite atomic.Bool
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		cpu := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				l.RLock(cpu)
+				if inWrite.Load() {
+					violations.Add(1)
+				}
+				l.RUnlock(cpu)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			l.Lock()
+			inWrite.Store(true)
+			time.Sleep(10 * time.Microsecond)
+			inWrite.Store(false)
+			l.Unlock()
+		}
+	}()
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d readers observed an active writer", v)
+	}
+}
+
+func TestRWLockConcurrentReaders(t *testing.T) {
+	var l RWLock
+	var active, peak atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		cpu := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.RLock(cpu)
+			n := active.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			active.Add(-1)
+			l.RUnlock(cpu)
+		}()
+	}
+	wg.Wait()
+	if peak.Load() < 2 {
+		t.Fatalf("peak concurrent readers = %d, want >= 2", peak.Load())
+	}
+}
+
+func TestSpinLock(t *testing.T) {
+	var l SpinLock
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	l.Unlock()
+
+	var counter int
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8000 {
+		t.Fatalf("counter = %d, want 8000", counter)
+	}
+}
+
+func TestRangeLockDisjointWritersProceed(t *testing.T) {
+	rl := NewRangeLock(1 << 20)
+	r1 := rl.LockRange(0, 4096)
+	done := make(chan struct{})
+	go func() {
+		// Disjoint segment: must not block.
+		r2 := rl.LockRange(8<<20, 4096)
+		rl.UnlockRange(r2)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("disjoint writer blocked")
+	}
+	rl.UnlockRange(r1)
+}
+
+func TestRangeLockOverlappingWritersExclude(t *testing.T) {
+	rl := NewRangeLock(1 << 20)
+	r1 := rl.LockRange(100, 4096)
+	acquired := make(chan struct{})
+	go func() {
+		r2 := rl.LockRange(0, 8192) // same segment
+		close(acquired)
+		rl.UnlockRange(r2)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("overlapping writer acquired while range held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	rl.UnlockRange(r1)
+	select {
+	case <-acquired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer never acquired after release")
+	}
+}
+
+func TestRangeLockReadersShare(t *testing.T) {
+	rl := NewRangeLock(4096)
+	r1 := rl.RLockRange(0, 4096)
+	done := make(chan struct{})
+	go func() {
+		r2 := rl.RLockRange(0, 4096)
+		rl.RUnlockRange(r2)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("second reader blocked")
+	}
+	rl.RUnlockRange(r1)
+}
+
+func TestRangeLockSpansMultipleSegments(t *testing.T) {
+	rl := NewRangeLock(4096)
+	// Lock a range spanning 3 segments; a writer on the middle one blocks.
+	r1 := rl.LockRange(0, 3*4096)
+	acquired := make(chan struct{})
+	go func() {
+		r2 := rl.LockRange(4096, 1)
+		close(acquired)
+		rl.UnlockRange(r2)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("middle-segment writer acquired")
+	case <-time.After(20 * time.Millisecond):
+	}
+	rl.UnlockRange(r1)
+	<-acquired
+}
+
+func TestRangeLockZeroLength(t *testing.T) {
+	rl := NewRangeLock(4096)
+	r := rl.LockRange(10, 0) // treated as length 1
+	rl.UnlockRange(r)
+}
+
+func TestNewRangeLockValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for non-power-of-two segment size")
+		}
+	}()
+	NewRangeLock(3000)
+}

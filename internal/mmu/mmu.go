@@ -1,0 +1,256 @@
+// Package mmu simulates the hardware memory-management unit that Trio
+// relies on for access control (paper §2.1, §3.2).
+//
+// The kernel controller owns the nvm.Device; untrusted LibFSes only ever
+// hold an AddressSpace. Every load and store goes through the address
+// space, which checks the page's mapped permission and faults (returns
+// ErrFault) on violation — the software analogue of a SIGSEGV.
+//
+// This is the enforcement point of the whole architecture: within a
+// mapped page a LibFS (or a malicious application) can write arbitrary
+// bytes — corrupting metadata at will, exactly as the paper's threat
+// model allows — but it can never touch a page the controller did not
+// map for it, and it can never write through a read-only mapping.
+package mmu
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"trio/internal/nvm"
+)
+
+// Perm is a page permission.
+type Perm uint8
+
+const (
+	// PermNone means unmapped.
+	PermNone Perm = 0
+	// PermRead allows loads.
+	PermRead Perm = 1
+	// PermWrite allows loads and stores.
+	PermWrite Perm = 2
+)
+
+func (p Perm) String() string {
+	switch p {
+	case PermNone:
+		return "none"
+	case PermRead:
+		return "r"
+	case PermWrite:
+		return "rw"
+	}
+	return fmt.Sprintf("Perm(%d)", uint8(p))
+}
+
+// ErrFault is the access violation "signal".
+var ErrFault = errors.New("mmu: access violation")
+
+// AddressSpace is one process's view of the NVM device.
+//
+// Map and Unmap are invoked by the kernel controller only; the
+// controller hands the untrusted LibFS an AddressSpace whose mapping
+// table it alone mutates. (In Go the privilege separation is an API
+// discipline rather than a hardware ring, but the untrusted code paths
+// in this repository never call Map/Unmap themselves — they ask the
+// controller, which validates the request first.)
+type AddressSpace struct {
+	dev *nvm.Device
+
+	// perms maps nvm.PageID -> Perm. It is a sync.Map because the
+	// access pattern is exactly what hardware page tables give real
+	// systems: permission checks on every load/store proceed without
+	// serializing against each other, while map/unmap (the slow,
+	// controller-mediated path) mutates concurrently.
+	perms sync.Map
+	// mapped counts installed pages.
+	mapped atomic.Int64
+
+	// node is the NUMA node of the CPU this address space's process is
+	// running on; it feeds the cost model's remote-access penalty.
+	node int
+}
+
+// NewAddressSpace creates an empty address space for a process whose
+// CPUs live on the given NUMA node.
+func NewAddressSpace(dev *nvm.Device, node int) *AddressSpace {
+	return &AddressSpace{dev: dev, node: node}
+}
+
+// Device exposes the underlying device; used by trusted components that
+// share an address space object (the controller) — untrusted code holds
+// the AddressSpace only through the narrower access methods.
+func (as *AddressSpace) Device() *nvm.Device { return as.dev }
+
+// Node reports the NUMA node of the owning process.
+func (as *AddressSpace) Node() int { return as.node }
+
+// SetNode migrates the process to another NUMA node (test hook).
+func (as *AddressSpace) SetNode(n int) { as.node = n }
+
+// Map installs pages [p, p+count) with permission perm.
+func (as *AddressSpace) Map(p nvm.PageID, count int, perm Perm) {
+	for i := 0; i < count; i++ {
+		if _, loaded := as.perms.Swap(p+nvm.PageID(i), perm); !loaded {
+			as.mapped.Add(1)
+		}
+	}
+}
+
+// MapPages installs each page of the list with permission perm.
+func (as *AddressSpace) MapPages(pages []nvm.PageID, perm Perm) {
+	for _, p := range pages {
+		if _, loaded := as.perms.Swap(p, perm); !loaded {
+			as.mapped.Add(1)
+		}
+	}
+}
+
+// Unmap removes pages [p, p+count).
+func (as *AddressSpace) Unmap(p nvm.PageID, count int) {
+	for i := 0; i < count; i++ {
+		if _, loaded := as.perms.LoadAndDelete(p + nvm.PageID(i)); loaded {
+			as.mapped.Add(-1)
+		}
+	}
+}
+
+// UnmapPages removes each page of the list.
+func (as *AddressSpace) UnmapPages(pages []nvm.PageID) {
+	for _, p := range pages {
+		if _, loaded := as.perms.LoadAndDelete(p); loaded {
+			as.mapped.Add(-1)
+		}
+	}
+}
+
+// UnmapAll clears the whole mapping table.
+func (as *AddressSpace) UnmapAll() {
+	as.perms.Range(func(k, _ any) bool {
+		if _, loaded := as.perms.LoadAndDelete(k); loaded {
+			as.mapped.Add(-1)
+		}
+		return true
+	})
+}
+
+// PermOf reports the installed permission of page p.
+func (as *AddressSpace) PermOf(p nvm.PageID) Perm {
+	if v, ok := as.perms.Load(p); ok {
+		return v.(Perm)
+	}
+	return PermNone
+}
+
+// Mapped reports how many pages are currently mapped.
+func (as *AddressSpace) Mapped() int { return int(as.mapped.Load()) }
+
+func (as *AddressSpace) check(p nvm.PageID, need Perm) error {
+	got := PermNone
+	if v, ok := as.perms.Load(p); ok {
+		got = v.(Perm)
+	}
+	if got < need {
+		return fmt.Errorf("%w: page %d needs %v, mapped %v", ErrFault, p, need, got)
+	}
+	return nil
+}
+
+// Read copies from page p at off into buf.
+func (as *AddressSpace) Read(p nvm.PageID, off int, buf []byte) error {
+	if err := as.check(p, PermRead); err != nil {
+		return err
+	}
+	return as.dev.ReadAt(as.node, p, off, buf)
+}
+
+// Write copies data into page p at off.
+func (as *AddressSpace) Write(p nvm.PageID, off int, data []byte) error {
+	if err := as.check(p, PermWrite); err != nil {
+		return err
+	}
+	return as.dev.WriteAt(as.node, p, off, data)
+}
+
+// ReadU64 loads a little-endian uint64 at (p, off).
+func (as *AddressSpace) ReadU64(p nvm.PageID, off int) (uint64, error) {
+	var b [8]byte
+	if err := as.Read(p, off, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// WriteU64 stores a little-endian uint64 at (p, off). An aligned 8-byte
+// store is atomic on the modeled hardware.
+func (as *AddressSpace) WriteU64(p nvm.PageID, off int, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return as.Write(p, off, b[:])
+}
+
+// WriteU128 stores 16 bytes at (p, off) atomically (the modeled hardware
+// supports 16-byte atomic NVM updates, paper §4.4). off must be 16-byte
+// aligned.
+func (as *AddressSpace) WriteU128(p nvm.PageID, off int, b [16]byte) error {
+	if off%16 != 0 {
+		return fmt.Errorf("mmu: WriteU128 offset %d not 16-byte aligned", off)
+	}
+	return as.Write(p, off, b[:])
+}
+
+// View returns an accessor that enforces this address space's
+// permissions but issues device accesses from a different NUMA node.
+// Delegation workers use it: they act on behalf of the application (so
+// its permissions apply) while running on the node that owns the page —
+// which is the whole point of delegation (§4.5).
+func (as *AddressSpace) View(node int) *View { return &View{as: as, node: node} }
+
+// View is a node-pinned accessor over an AddressSpace.
+type View struct {
+	as   *AddressSpace
+	node int
+}
+
+// Read copies from page p at off into buf, charged from the view's node.
+func (v *View) Read(p nvm.PageID, off int, buf []byte) error {
+	if err := v.as.check(p, PermRead); err != nil {
+		return err
+	}
+	return v.as.dev.ReadAt(v.node, p, off, buf)
+}
+
+// Write copies data into page p at off, charged from the view's node.
+func (v *View) Write(p nvm.PageID, off int, data []byte) error {
+	if err := v.as.check(p, PermWrite); err != nil {
+		return err
+	}
+	return v.as.dev.WriteAt(v.node, p, off, data)
+}
+
+// Persist flushes lines from the view's node.
+func (v *View) Persist(p nvm.PageID, off, n int) error {
+	if err := v.as.check(p, PermRead); err != nil {
+		return err
+	}
+	v.as.dev.Persist(p, off, n)
+	return nil
+}
+
+// Persist flushes the cachelines covering [off, off+n) of page p.
+// Persist itself needs no permission (CLWB works on any mapped line);
+// requiring read keeps the simulation honest about unmapped pages.
+func (as *AddressSpace) Persist(p nvm.PageID, off, n int) error {
+	if err := as.check(p, PermRead); err != nil {
+		return err
+	}
+	as.dev.Persist(p, off, n)
+	return nil
+}
+
+// Fence issues a store fence.
+func (as *AddressSpace) Fence() { as.dev.Fence() }

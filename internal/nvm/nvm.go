@@ -1,0 +1,247 @@
+// Package nvm simulates a byte-addressable non-volatile memory device.
+//
+// The simulated device reproduces the four hardware properties the Trio
+// paper assumes of NVM (§2.1):
+//
+//  1. Software accesses it with unprivileged loads and stores — here,
+//     ordinary reads and writes of a shared byte arena.
+//  2. A privileged entity can restrict which regions a client may touch —
+//     enforced by package mmu, which wraps a Device in per-process
+//     address spaces.
+//  3. Access latency is low — modeled by an optional CostModel that
+//     injects calibrated delays (spin for sub-20µs costs, sleep above).
+//  4. It is byte addressable — all accesses are (page, offset, length).
+//
+// The device is divided into fixed 4 KiB pages, striped contiguously
+// across a configurable number of NUMA nodes. The cost model reproduces
+// the Intel Optane behaviours ArckFS's datapath is designed around
+// (paper §4.5): per-node bandwidth, performance collapse under excessive
+// concurrent access, and a penalty for remote-node access.
+//
+// Persistence follows the usual persistent-memory model: stores land in
+// a (simulated) volatile cache and only become durable after an explicit
+// Persist of the touched cachelines followed by a Fence. Crash
+// simulation (see Tracker) discards writes that were not persisted,
+// which is how the crash-consistency tests exercise recovery.
+package nvm
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrInjectedFailure is returned by WriteAt once an injected write
+// budget (FailAfterWrites) is exhausted — the systematic crash-point
+// sweep in the crash-consistency tests drives it.
+var ErrInjectedFailure = errors.New("nvm: injected write failure")
+
+// PageSize is the size of one NVM page in bytes.
+const PageSize = 4096
+
+// CacheLineSize is the persistence granularity.
+const CacheLineSize = 64
+
+// PageID names one page of the device. Page 0 is reserved by every file
+// system built on the device for its superblock; PageID 0 therefore
+// doubles as the "no page" sentinel in on-NVM index structures.
+type PageID uint64
+
+// NilPage is the sentinel meaning "no page".
+const NilPage PageID = 0
+
+// Config describes the simulated device geometry and behaviour.
+type Config struct {
+	// Nodes is the number of NUMA nodes the device is striped over.
+	Nodes int
+	// PagesPerNode is the per-node capacity in pages.
+	PagesPerNode int
+	// Cost enables cost injection when non-nil.
+	Cost *CostModel
+	// TrackPersistence enables the persistence tracker needed by the
+	// crash-simulation tests. It slows every store down and is off by
+	// default.
+	TrackPersistence bool
+}
+
+// DefaultConfig returns a small single-node device with no cost model,
+// suitable for unit tests.
+func DefaultConfig() Config {
+	return Config{Nodes: 1, PagesPerNode: 16384}
+}
+
+// Device is the simulated NVM DIMM population of one machine.
+//
+// All file systems in this repository live inside a Device. Untrusted
+// code never holds a *Device; it goes through an mmu.AddressSpace which
+// checks permissions on every access. Trusted code (the kernel
+// controller, the integrity verifier, the in-kernel baseline file
+// systems) uses the raw accessors directly.
+type Device struct {
+	arena        []byte
+	nodes        int
+	pagesPerNode int
+	cost         *CostModel
+	inflight     []paddedCounter // per-node concurrent accessor count
+	tracker      *Tracker
+	sealed       atomic.Bool // set while a crash is being simulated
+
+	// failBudget counts remaining allowed stores while injection is
+	// armed; failDisarmed is the sentinel for "no injection".
+	failBudget atomic.Int64
+}
+
+// failDisarmed marks injection off; exhausted armed budgets go negative
+// but stay far above it.
+const failDisarmed = int64(-1) << 62
+
+// FailAfterWrites arms write-failure injection: the next n stores
+// succeed, everything after fails with ErrInjectedFailure. Pass a
+// negative n to disarm.
+func (d *Device) FailAfterWrites(n int64) {
+	if n < 0 {
+		d.failBudget.Store(failDisarmed)
+		return
+	}
+	d.failBudget.Store(n)
+}
+
+// paddedCounter avoids false sharing between per-node counters.
+type paddedCounter struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// NewDevice allocates a simulated device.
+func NewDevice(cfg Config) (*Device, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("nvm: config needs at least one node, got %d", cfg.Nodes)
+	}
+	if cfg.PagesPerNode <= 0 {
+		return nil, fmt.Errorf("nvm: config needs at least one page per node, got %d", cfg.PagesPerNode)
+	}
+	d := &Device{
+		arena:        make([]byte, cfg.Nodes*cfg.PagesPerNode*PageSize),
+		nodes:        cfg.Nodes,
+		pagesPerNode: cfg.PagesPerNode,
+		cost:         cfg.Cost,
+		inflight:     make([]paddedCounter, cfg.Nodes),
+	}
+	d.failBudget.Store(failDisarmed)
+	if cfg.TrackPersistence {
+		d.tracker = newTracker(d)
+	}
+	if cfg.Cost != nil {
+		// Pre-fault the arena: real NVM is physical memory, so host
+		// page faults on first touch must not masquerade as modeled
+		// device cost during benchmarks.
+		for i := 0; i < len(d.arena); i += 4096 {
+			d.arena[i] = 0
+		}
+	}
+	return d, nil
+}
+
+// MustNewDevice is NewDevice for tests and examples with known-good configs.
+func MustNewDevice(cfg Config) *Device {
+	d, err := NewDevice(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// NumPages reports the total page count of the device.
+func (d *Device) NumPages() PageID { return PageID(d.nodes * d.pagesPerNode) }
+
+// Nodes reports the NUMA node count.
+func (d *Device) Nodes() int { return d.nodes }
+
+// NodeOf reports which NUMA node holds page p.
+func (d *Device) NodeOf(p PageID) int { return int(p) / d.pagesPerNode }
+
+// Cost returns the device cost model, or nil when cost injection is off.
+func (d *Device) Cost() *CostModel { return d.cost }
+
+// Tracker returns the persistence tracker, or nil when tracking is off.
+func (d *Device) Tracker() *Tracker { return d.tracker }
+
+func (d *Device) checkRange(p PageID, off, n int) error {
+	if p >= d.NumPages() {
+		return fmt.Errorf("nvm: page %d out of range (device has %d pages)", p, d.NumPages())
+	}
+	if off < 0 || n < 0 || off+n > PageSize {
+		return fmt.Errorf("nvm: access [%d,%d) outside page bounds", off, off+n)
+	}
+	return nil
+}
+
+// Page returns the raw backing bytes of page p. Trusted callers only.
+func (d *Device) Page(p PageID) []byte {
+	base := int(p) * PageSize
+	return d.arena[base : base+PageSize : base+PageSize]
+}
+
+// ReadAt copies from page p at off into buf, charging the cost model.
+// fromNode is the NUMA node of the accessing CPU (used for the remote
+// access penalty); pass 0 when cost modeling is off.
+func (d *Device) ReadAt(fromNode int, p PageID, off int, buf []byte) error {
+	if err := d.checkRange(p, off, len(buf)); err != nil {
+		return err
+	}
+	d.charge(fromNode, p, len(buf), false)
+	base := int(p)*PageSize + off
+	copy(buf, d.arena[base:base+len(buf)])
+	return nil
+}
+
+// WriteAt copies data into page p at off, charging the cost model.
+func (d *Device) WriteAt(fromNode int, p PageID, off int, data []byte) error {
+	if err := d.checkRange(p, off, len(data)); err != nil {
+		return err
+	}
+	if d.sealed.Load() {
+		return fmt.Errorf("nvm: device sealed (crash in progress)")
+	}
+	if d.failBudget.Load() != failDisarmed && d.failBudget.Add(-1) < 0 {
+		return ErrInjectedFailure
+	}
+	d.charge(fromNode, p, len(data), true)
+	base := int(p)*PageSize + off
+	if d.tracker != nil {
+		d.tracker.recordStore(p, off, len(data))
+	}
+	copy(d.arena[base:base+len(data)], data)
+	return nil
+}
+
+// Persist marks the cachelines covering [off, off+n) of page p durable.
+// It models CLWB of each touched line. A following Fence orders it.
+func (d *Device) Persist(p PageID, off, n int) {
+	if d.tracker != nil {
+		d.tracker.persist(p, off, n)
+	}
+	if d.cost != nil {
+		d.cost.delay(d.cost.PersistLatency)
+	}
+}
+
+// Fence models SFENCE: it orders previously issued Persist calls. In the
+// simulator persists apply immediately, so Fence only charges cost.
+func (d *Device) Fence() {
+	if d.cost != nil {
+		d.cost.delay(d.cost.FenceLatency)
+	}
+}
+
+// charge injects the modeled hardware cost of an access.
+func (d *Device) charge(fromNode int, p PageID, n int, write bool) {
+	if d.cost == nil || n == 0 {
+		return
+	}
+	node := d.NodeOf(p)
+	c := &d.inflight[node]
+	cur := c.n.Add(1)
+	d.cost.chargeAccess(fromNode, node, cur, n, write)
+	c.n.Add(-1)
+}

@@ -1,0 +1,221 @@
+package nvm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDeviceGeometry(t *testing.T) {
+	d := MustNewDevice(Config{Nodes: 4, PagesPerNode: 8})
+	if got := d.NumPages(); got != 32 {
+		t.Fatalf("NumPages = %d, want 32", got)
+	}
+	if d.Nodes() != 4 {
+		t.Fatalf("Nodes = %d, want 4", d.Nodes())
+	}
+	cases := []struct {
+		p    PageID
+		node int
+	}{{0, 0}, {7, 0}, {8, 1}, {15, 1}, {16, 2}, {31, 3}}
+	for _, c := range cases {
+		if got := d.NodeOf(c.p); got != c.node {
+			t.Errorf("NodeOf(%d) = %d, want %d", c.p, got, c.node)
+		}
+	}
+}
+
+func TestDeviceConfigValidation(t *testing.T) {
+	if _, err := NewDevice(Config{Nodes: 0, PagesPerNode: 1}); err == nil {
+		t.Error("want error for zero nodes")
+	}
+	if _, err := NewDevice(Config{Nodes: 1, PagesPerNode: 0}); err == nil {
+		t.Error("want error for zero pages")
+	}
+	if _, err := NewDevice(Config{Nodes: -1, PagesPerNode: -1}); err == nil {
+		t.Error("want error for negative geometry")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := MustNewDevice(DefaultConfig())
+	data := []byte("the archduke trio, op. 97")
+	if err := d.WriteAt(0, 5, 100, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	if err := d.ReadAt(0, 5, 100, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatalf("read back %q, want %q", buf, data)
+	}
+}
+
+func TestAccessBounds(t *testing.T) {
+	d := MustNewDevice(Config{Nodes: 1, PagesPerNode: 2})
+	buf := make([]byte, 8)
+	if err := d.ReadAt(0, 2, 0, buf); err == nil {
+		t.Error("want error for out-of-range page")
+	}
+	if err := d.WriteAt(0, 0, PageSize-4, buf); err == nil {
+		t.Error("want error for access crossing page end")
+	}
+	if err := d.ReadAt(0, 0, -1, buf); err == nil {
+		t.Error("want error for negative offset")
+	}
+}
+
+func TestPageSliceAliasesArena(t *testing.T) {
+	d := MustNewDevice(DefaultConfig())
+	pg := d.Page(3)
+	if len(pg) != PageSize {
+		t.Fatalf("page slice length %d, want %d", len(pg), PageSize)
+	}
+	pg[17] = 0xAB
+	buf := make([]byte, 1)
+	if err := d.ReadAt(0, 3, 17, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xAB {
+		t.Fatal("Page slice does not alias device arena")
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	d := MustNewDevice(Config{Nodes: 2, PagesPerNode: 64})
+	f := func(page uint16, off uint16, data []byte) bool {
+		p := PageID(page) % d.NumPages()
+		if len(data) > PageSize {
+			data = data[:PageSize]
+		}
+		o := int(off) % (PageSize - len(data) + 1)
+		if err := d.WriteAt(0, p, o, data); err != nil {
+			return false
+		}
+		buf := make([]byte, len(data))
+		if err := d.ReadAt(1, p, o, buf); err != nil {
+			return false
+		}
+		return bytes.Equal(buf, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashDropsUnpersistedStores(t *testing.T) {
+	d := MustNewDevice(Config{Nodes: 1, PagesPerNode: 16, TrackPersistence: true})
+	persisted := []byte("durable")
+	volatile := []byte("ephemeral")
+	if err := d.WriteAt(0, 1, 0, persisted); err != nil {
+		t.Fatal(err)
+	}
+	d.Persist(1, 0, len(persisted))
+	d.Fence()
+	if err := d.WriteAt(0, 1, 512, volatile); err != nil {
+		t.Fatal(err)
+	}
+	d.Tracker().Crash()
+
+	buf := make([]byte, len(persisted))
+	if err := d.ReadAt(0, 1, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, persisted) {
+		t.Errorf("persisted data lost: %q", buf)
+	}
+	buf = make([]byte, len(volatile))
+	if err := d.ReadAt(0, 1, 512, buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf, volatile) {
+		t.Error("unpersisted store survived the crash")
+	}
+}
+
+func TestCrashPartialLinePersistence(t *testing.T) {
+	// Two stores to the same cacheline; persisting after the first but
+	// writing again before the crash must lose the second store.
+	d := MustNewDevice(Config{Nodes: 1, PagesPerNode: 4, TrackPersistence: true})
+	if err := d.WriteAt(0, 0, 0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	d.Persist(0, 0, 1)
+	d.Fence()
+	if err := d.WriteAt(0, 0, 0, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	d.Tracker().Crash()
+	buf := make([]byte, 1)
+	if err := d.ReadAt(0, 0, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 {
+		t.Fatalf("after crash byte = %d, want pre-image 1", buf[0])
+	}
+}
+
+func TestTrackerDirtyAccounting(t *testing.T) {
+	d := MustNewDevice(Config{Nodes: 1, PagesPerNode: 4, TrackPersistence: true})
+	tr := d.Tracker()
+	if n := tr.DirtyLines(); n != 0 {
+		t.Fatalf("fresh tracker has %d dirty lines", n)
+	}
+	// 130 bytes at offset 0 touches 3 cachelines.
+	if err := d.WriteAt(0, 0, 0, make([]byte, 130)); err != nil {
+		t.Fatal(err)
+	}
+	if n := tr.DirtyLines(); n != 3 {
+		t.Fatalf("dirty lines = %d, want 3", n)
+	}
+	d.Persist(0, 0, 64)
+	if n := tr.DirtyLines(); n != 2 {
+		t.Fatalf("dirty lines after partial persist = %d, want 2", n)
+	}
+	tr.Reset()
+	if n := tr.DirtyLines(); n != 0 {
+		t.Fatalf("dirty lines after reset = %d, want 0", n)
+	}
+}
+
+func TestCostModelDelaysAccess(t *testing.T) {
+	cm := DefaultCostModel()
+	cm.ReadLatency = 2 * time.Microsecond
+	cm.ReadBandwidth = 1e12
+	d := MustNewDevice(Config{Nodes: 1, PagesPerNode: 4, Cost: cm})
+	buf := make([]byte, 64)
+	start := time.Now()
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := d.ReadAt(0, 0, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The calibrated spin targets the duration within ~25% (it trades
+	// per-call precision for not calling the clock on every delay).
+	if el := time.Since(start); el < n*cm.ReadLatency*3/4 {
+		t.Errorf("cost model injected %v for %d reads, want >= %v", el, n, n*cm.ReadLatency*3/4)
+	}
+}
+
+func TestCostModelRemotePenalty(t *testing.T) {
+	cm := &CostModel{ReadLatency: 5 * time.Microsecond, ReadBandwidth: 1e12, RemoteReadPenalty: 3}
+	d := MustNewDevice(Config{Nodes: 2, PagesPerNode: 4, Cost: cm})
+	buf := make([]byte, 8)
+	timeIt := func(fromNode int) time.Duration {
+		start := time.Now()
+		for i := 0; i < 50; i++ {
+			if err := d.ReadAt(fromNode, 0, 0, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	local := timeIt(0)
+	remote := timeIt(1)
+	if remote < local*2 {
+		t.Errorf("remote access %v not sufficiently penalized vs local %v", remote, local)
+	}
+}

@@ -1,0 +1,97 @@
+package nvm
+
+import (
+	"sync"
+)
+
+// Tracker implements the persistence model used by the crash-consistency
+// tests: every store lands "in the cache" and is lost on a crash unless
+// the cachelines it touched were persisted (CLWB'd) before the crash.
+//
+// Implementation: on the first store to a cacheline since it was last
+// persisted, the tracker snapshots the line's pre-image. Persist drops
+// the snapshot (the line is now durable as-written). Crash restores all
+// remaining pre-images — exactly the lines that were dirty in the cache.
+//
+// The tracker is only active when Config.TrackPersistence is set; the
+// benchmark configurations leave it off because the bookkeeping would
+// dominate every store.
+type Tracker struct {
+	dev *Device
+	mu  sync.Mutex
+	// pre maps a global cacheline index to its pre-image.
+	pre map[uint64]*[CacheLineSize]byte
+}
+
+func newTracker(dev *Device) *Tracker {
+	return &Tracker{dev: dev, pre: make(map[uint64]*[CacheLineSize]byte)}
+}
+
+func (t *Tracker) lineRange(p PageID, off, n int) (lo, hi uint64) {
+	base := uint64(p)*(PageSize/CacheLineSize) + uint64(off)/CacheLineSize
+	end := uint64(p)*(PageSize/CacheLineSize) + uint64(off+n-1)/CacheLineSize
+	return base, end
+}
+
+// recordStore snapshots pre-images for a store of n bytes at (p, off).
+func (t *Tracker) recordStore(p PageID, off, n int) {
+	if n <= 0 {
+		return
+	}
+	lo, hi := t.lineRange(p, off, n)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for line := lo; line <= hi; line++ {
+		if _, dirty := t.pre[line]; dirty {
+			continue
+		}
+		var img [CacheLineSize]byte
+		src := t.dev.arena[line*CacheLineSize : (line+1)*CacheLineSize]
+		copy(img[:], src)
+		t.pre[line] = &img
+	}
+}
+
+// persist marks the cachelines covering [off, off+n) durable.
+func (t *Tracker) persist(p PageID, off, n int) {
+	if n <= 0 {
+		return
+	}
+	lo, hi := t.lineRange(p, off, n)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for line := lo; line <= hi; line++ {
+		delete(t.pre, line)
+	}
+}
+
+// DirtyLines reports how many cachelines are currently unpersisted.
+func (t *Tracker) DirtyLines() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.pre)
+}
+
+// Crash simulates a power failure: every store that was not persisted is
+// rolled back to its pre-image. After Crash the device content is what a
+// real NVM DIMM would hold after the outage, and recovery code can run
+// against it.
+func (t *Tracker) Crash() {
+	t.dev.sealed.Store(true)
+	t.mu.Lock()
+	for line, img := range t.pre {
+		dst := t.dev.arena[line*CacheLineSize : (line+1)*CacheLineSize]
+		copy(dst, img[:])
+		delete(t.pre, line)
+	}
+	t.mu.Unlock()
+	t.dev.sealed.Store(false)
+}
+
+// Reset discards all tracking state without touching device content, as
+// if everything outstanding had been persisted. Used between test cases.
+func (t *Tracker) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pre = make(map[uint64]*[CacheLineSize]byte)
+}

@@ -1,0 +1,266 @@
+// Package rbtree implements a left-leaning red-black tree with uint64
+// keys, the data structure NOVA, WineFS and ArckFS use for their DRAM
+// heap and inode allocators (paper §4.5). The extent allocators in
+// package alloc are built on top of it.
+package rbtree
+
+// Tree is an ordered map from uint64 keys to values of type V.
+// The zero value is an empty tree ready to use.
+type Tree[V any] struct {
+	root *node[V]
+	size int
+}
+
+type node[V any] struct {
+	key         uint64
+	val         V
+	left, right *node[V]
+	red         bool
+}
+
+func isRed[V any](n *node[V]) bool { return n != nil && n.red }
+
+// Len reports the number of entries.
+func (t *Tree[V]) Len() int { return t.size }
+
+// Get returns the value stored at key.
+func (t *Tree[V]) Get(key uint64) (V, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Insert stores val at key, replacing any existing value.
+func (t *Tree[V]) Insert(key uint64, val V) {
+	t.root = t.insert(t.root, key, val)
+	t.root.red = false
+}
+
+func (t *Tree[V]) insert(n *node[V], key uint64, val V) *node[V] {
+	if n == nil {
+		t.size++
+		return &node[V]{key: key, val: val, red: true}
+	}
+	switch {
+	case key < n.key:
+		n.left = t.insert(n.left, key, val)
+	case key > n.key:
+		n.right = t.insert(n.right, key, val)
+	default:
+		n.val = val
+	}
+	return fixUp(n)
+}
+
+// Delete removes key if present and reports whether it was found.
+func (t *Tree[V]) Delete(key uint64) bool {
+	if _, ok := t.Get(key); !ok {
+		return false
+	}
+	t.root = t.delete(t.root, key)
+	if t.root != nil {
+		t.root.red = false
+	}
+	t.size--
+	return true
+}
+
+func (t *Tree[V]) delete(n *node[V], key uint64) *node[V] {
+	if key < n.key {
+		if !isRed(n.left) && n.left != nil && !isRed(n.left.left) {
+			n = moveRedLeft(n)
+		}
+		n.left = t.delete(n.left, key)
+	} else {
+		if isRed(n.left) {
+			n = rotateRight(n)
+		}
+		if key == n.key && n.right == nil {
+			return nil
+		}
+		if !isRed(n.right) && n.right != nil && !isRed(n.right.left) {
+			n = moveRedRight(n)
+		}
+		if key == n.key {
+			m := min(n.right)
+			n.key, n.val = m.key, m.val
+			n.right = deleteMin(n.right)
+		} else {
+			n.right = t.delete(n.right, key)
+		}
+	}
+	return fixUp(n)
+}
+
+func min[V any](n *node[V]) *node[V] {
+	for n.left != nil {
+		n = n.left
+	}
+	return n
+}
+
+func deleteMin[V any](n *node[V]) *node[V] {
+	if n.left == nil {
+		return nil
+	}
+	if !isRed(n.left) && !isRed(n.left.left) {
+		n = moveRedLeft(n)
+	}
+	n.left = deleteMin(n.left)
+	return fixUp(n)
+}
+
+func rotateLeft[V any](n *node[V]) *node[V] {
+	x := n.right
+	n.right = x.left
+	x.left = n
+	x.red = n.red
+	n.red = true
+	return x
+}
+
+func rotateRight[V any](n *node[V]) *node[V] {
+	x := n.left
+	n.left = x.right
+	x.right = n
+	x.red = n.red
+	n.red = true
+	return x
+}
+
+func flipColors[V any](n *node[V]) {
+	n.red = !n.red
+	if n.left != nil {
+		n.left.red = !n.left.red
+	}
+	if n.right != nil {
+		n.right.red = !n.right.red
+	}
+}
+
+func fixUp[V any](n *node[V]) *node[V] {
+	if isRed(n.right) && !isRed(n.left) {
+		n = rotateLeft(n)
+	}
+	if isRed(n.left) && isRed(n.left.left) {
+		n = rotateRight(n)
+	}
+	if isRed(n.left) && isRed(n.right) {
+		flipColors(n)
+	}
+	return n
+}
+
+func moveRedLeft[V any](n *node[V]) *node[V] {
+	flipColors(n)
+	if n.right != nil && isRed(n.right.left) {
+		n.right = rotateRight(n.right)
+		n = rotateLeft(n)
+		flipColors(n)
+	}
+	return n
+}
+
+func moveRedRight[V any](n *node[V]) *node[V] {
+	flipColors(n)
+	if n.left != nil && isRed(n.left.left) {
+		n = rotateRight(n)
+		flipColors(n)
+	}
+	return n
+}
+
+// Min returns the smallest key.
+func (t *Tree[V]) Min() (uint64, V, bool) {
+	if t.root == nil {
+		var zero V
+		return 0, zero, false
+	}
+	n := min(t.root)
+	return n.key, n.val, true
+}
+
+// Max returns the largest key.
+func (t *Tree[V]) Max() (uint64, V, bool) {
+	if t.root == nil {
+		var zero V
+		return 0, zero, false
+	}
+	n := t.root
+	for n.right != nil {
+		n = n.right
+	}
+	return n.key, n.val, true
+}
+
+// Floor returns the entry with the greatest key <= key.
+func (t *Tree[V]) Floor(key uint64) (uint64, V, bool) {
+	var best *node[V]
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			best = n
+			n = n.right
+		default:
+			return n.key, n.val, true
+		}
+	}
+	if best == nil {
+		var zero V
+		return 0, zero, false
+	}
+	return best.key, best.val, true
+}
+
+// Ceil returns the entry with the smallest key >= key.
+func (t *Tree[V]) Ceil(key uint64) (uint64, V, bool) {
+	var best *node[V]
+	n := t.root
+	for n != nil {
+		switch {
+		case key > n.key:
+			n = n.right
+		case key < n.key:
+			best = n
+			n = n.left
+		default:
+			return n.key, n.val, true
+		}
+	}
+	if best == nil {
+		var zero V
+		return 0, zero, false
+	}
+	return best.key, best.val, true
+}
+
+// Ascend calls fn for each entry in key order until fn returns false.
+func (t *Tree[V]) Ascend(fn func(key uint64, val V) bool) {
+	ascend(t.root, fn)
+}
+
+func ascend[V any](n *node[V], fn func(uint64, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !ascend(n.left, fn) {
+		return false
+	}
+	if !fn(n.key, n.val) {
+		return false
+	}
+	return ascend(n.right, fn)
+}

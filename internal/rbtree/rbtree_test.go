@@ -1,0 +1,197 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	var tr Tree[int]
+	if tr.Len() != 0 {
+		t.Fatal("empty tree has nonzero length")
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree returned ok")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree returned ok")
+	}
+	if tr.Delete(1) {
+		t.Fatal("Delete on empty tree returned true")
+	}
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	var tr Tree[string]
+	tr.Insert(5, "five")
+	tr.Insert(3, "three")
+	tr.Insert(8, "eight")
+	tr.Insert(5, "FIVE") // replace
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if v, ok := tr.Get(5); !ok || v != "FIVE" {
+		t.Fatalf("Get(5) = %q, %v", v, ok)
+	}
+	if !tr.Delete(3) {
+		t.Fatal("Delete(3) = false")
+	}
+	if _, ok := tr.Get(3); ok {
+		t.Fatal("deleted key still present")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len after delete = %d, want 2", tr.Len())
+	}
+}
+
+func TestOrderedIteration(t *testing.T) {
+	var tr Tree[int]
+	keys := []uint64{9, 1, 7, 3, 5, 0, 8, 2, 6, 4}
+	for _, k := range keys {
+		tr.Insert(k, int(k))
+	}
+	var got []uint64
+	tr.Ascend(func(k uint64, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 10 {
+		t.Fatalf("iterated %d keys, want 10", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("iteration out of order at %d: %v", i, got)
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	var tr Tree[int]
+	for i := uint64(0); i < 10; i++ {
+		tr.Insert(i, 0)
+	}
+	n := 0
+	tr.Ascend(func(k uint64, v int) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("visited %d, want 3", n)
+	}
+}
+
+func TestFloorCeil(t *testing.T) {
+	var tr Tree[int]
+	for _, k := range []uint64{10, 20, 30} {
+		tr.Insert(k, int(k))
+	}
+	cases := []struct {
+		key         uint64
+		floor, ceil uint64
+		fOK, cOK    bool
+	}{
+		{5, 0, 10, false, true},
+		{10, 10, 10, true, true},
+		{15, 10, 20, true, true},
+		{30, 30, 30, true, true},
+		{35, 30, 0, true, false},
+	}
+	for _, c := range cases {
+		fk, _, fok := tr.Floor(c.key)
+		if fok != c.fOK || (fok && fk != c.floor) {
+			t.Errorf("Floor(%d) = %d,%v want %d,%v", c.key, fk, fok, c.floor, c.fOK)
+		}
+		ck, _, cok := tr.Ceil(c.key)
+		if cok != c.cOK || (cok && ck != c.ceil) {
+			t.Errorf("Ceil(%d) = %d,%v want %d,%v", c.key, ck, cok, c.ceil, c.cOK)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	var tr Tree[int]
+	for _, k := range []uint64{42, 7, 99, 13} {
+		tr.Insert(k, 0)
+	}
+	if k, _, _ := tr.Min(); k != 7 {
+		t.Fatalf("Min = %d, want 7", k)
+	}
+	if k, _, _ := tr.Max(); k != 99 {
+		t.Fatalf("Max = %d, want 99", k)
+	}
+}
+
+func TestLargeRandomWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var tr Tree[uint64]
+	ref := map[uint64]uint64{}
+	for i := 0; i < 20000; i++ {
+		k := uint64(rng.Intn(5000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			tr.Insert(k, k*2)
+			ref[k] = k * 2
+		case 2:
+			delete(ref, k)
+			tr.Delete(k)
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(ref))
+	}
+	for k, v := range ref {
+		got, ok := tr.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%d) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	// Iteration order must equal sorted reference keys.
+	want := make([]uint64, 0, len(ref))
+	for k := range ref {
+		want = append(want, k)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	i := 0
+	tr.Ascend(func(k uint64, v uint64) bool {
+		if k != want[i] {
+			t.Fatalf("iteration[%d] = %d, want %d", i, k, want[i])
+		}
+		i++
+		return true
+	})
+}
+
+func TestPropertyModelEquivalence(t *testing.T) {
+	// Any sequence of inserts/deletes leaves the tree equal to a map.
+	f := func(ops []uint16) bool {
+		var tr Tree[int]
+		ref := map[uint64]int{}
+		for i, op := range ops {
+			k := uint64(op % 64)
+			if op%3 == 0 {
+				tr.Delete(k)
+				delete(ref, k)
+			} else {
+				tr.Insert(k, i)
+				ref[k] = i
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			if got, ok := tr.Get(k); !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,338 @@
+// Package verifier implements Trio's integrity verifier (paper §4.3):
+// a trusted, standalone component that checks the core state of a
+// single file online, when its write access transfers from one LibFS to
+// another (and after crash recovery). It enforces the paper's four
+// invariants:
+//
+//	I1 — fields in each inode and directory entry are valid (legal type,
+//	     legal mode, legal names, no duplicate names in a directory).
+//	I2 — a file's inode number, index pages and data pages are valid:
+//	     every referenced page either belonged to the file before the
+//	     LibFS mapped it or was allocated to that LibFS by the kernel
+//	     controller; nothing is doubly referenced; index chains are
+//	     acyclic.
+//	I3 — the directory hierarchy stays a connected tree: a child
+//	     directory that disappeared since the checkpoint must be
+//	     unmapped and empty (no orphaned subtrees).
+//	I4 — access permissions are correctly enforced: the permission
+//	     fields cached in an inode must match the kernel controller's
+//	     shadow inode table, and a newly created file's uid/gid must be
+//	     the creator's credentials.
+//
+// The verifier reads the core state directly (it is trusted) but knows
+// nothing about any LibFS's auxiliary state — by design, since auxiliary
+// state is private and customizable. Everything it needs beyond the
+// bytes is supplied by the Env interface, which the kernel controller
+// implements from its global bookkeeping (paper §4.3, check I2).
+package verifier
+
+import (
+	"fmt"
+
+	"trio/internal/core"
+	"trio/internal/nvm"
+)
+
+// Violation describes one failed integrity check.
+type Violation struct {
+	// Invariant is "I1", "I2", "I3" or "I4".
+	Invariant string
+	// Detail is a human-readable description.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// ShadowInfo is the controller's ground-truth view of a file's identity
+// and permissions (the shadow inode table, §4.1/§4.3-I4).
+type ShadowInfo struct {
+	Mode uint16
+	UID  uint32
+	GID  uint32
+	Type core.FileType
+}
+
+// ChildRef describes one live directory entry found during a directory
+// check. The controller uses the list to refresh its ino→location map
+// and to adopt newly created files into the shadow table.
+type ChildRef struct {
+	Ino   core.Ino
+	Name  string
+	Loc   core.FileLoc
+	Inode core.Inode
+}
+
+// Env is the verifier's window into the kernel controller's global file
+// system information. All methods refer to one verification context:
+// the file under check and the LibFS releasing its write access.
+type Env interface {
+	// TotalPages is the device capacity; any page id at or beyond it is
+	// invalid.
+	TotalPages() uint64
+	// PageInFile reports whether page p was part of this file's core
+	// state when the LibFS mapped it.
+	PageInFile(p nvm.PageID) bool
+	// PageAllocated reports whether page p is currently allocated (but
+	// not yet bound into a verified file) to the LibFS under check.
+	PageAllocated(p nvm.PageID) bool
+	// PageOwner reports which other file (≠ the one under check)
+	// currently owns page p, if any.
+	PageOwner(p nvm.PageID) (core.Ino, bool)
+	// InoKnown reports whether ino names an existing verified file.
+	InoKnown(ino core.Ino) bool
+	// InoAllocated reports whether ino was handed to the LibFS under
+	// check by the controller and is not yet bound to a verified file.
+	InoAllocated(ino core.Ino) bool
+	// Shadow returns the ground-truth permission record for ino.
+	Shadow(ino core.Ino) (ShadowInfo, bool)
+	// CredFor returns the credentials that legitimately own ino when it
+	// is a new file: normally the LibFS under check; in a trusted full
+	// scan, the LibFS the controller issued the ino to.
+	CredFor(ino core.Ino) (uid, gid uint32)
+	// CheckpointChildren returns the directory's children as of the
+	// checkpoint taken when write access was granted, and whether a
+	// checkpoint exists.
+	CheckpointChildren() ([]ChildRef, bool)
+	// DirDeletedOK reports whether deleting child directory ino is
+	// consistent: it is not mapped by any LibFS and has no live entries.
+	DirDeletedOK(ino core.Ino) bool
+}
+
+// Report is the outcome of verifying one file.
+type Report struct {
+	Ino        core.Ino
+	Violations []Violation
+	// Pages is the file's page set (index + data pages) as discovered
+	// by the walk; on a clean report the controller records it as the
+	// file's new core-state extent.
+	Pages []nvm.PageID
+	// Children lists the live entries of a directory (empty for regular
+	// files).
+	Children []ChildRef
+	// Inode is the decoded inode of the checked file.
+	Inode core.Inode
+}
+
+// OK reports whether the file passed every check.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Verifier checks files against the shared core-state definition. It is
+// a standalone trusted component: it holds direct (unchecked) access to
+// the device and is invoked by the kernel controller.
+type Verifier struct {
+	mem core.Mem
+}
+
+// New creates a verifier with trusted access to the device.
+func New(dev *nvm.Device) *Verifier {
+	return &Verifier{mem: core.Direct(dev, 0)}
+}
+
+// NewWithMem creates a verifier over an arbitrary Mem (tests).
+func NewWithMem(m core.Mem) *Verifier { return &Verifier{mem: m} }
+
+func (r *Report) addf(inv, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{Invariant: inv, Detail: fmt.Sprintf(format, args...)})
+}
+
+// VerifyFile checks the file whose inode sits at loc. isRoot relaxes the
+// name check for the root directory (whose dirent has no name).
+func (v *Verifier) VerifyFile(env Env, ino core.Ino, loc core.FileLoc, isRoot bool) (*Report, error) {
+	r := &Report{Ino: ino}
+
+	in, err := core.ReadDirentInode(v.mem, loc.Page, loc.Slot)
+	if err != nil {
+		return nil, fmt.Errorf("verifier: reading inode of %d: %w", ino, err)
+	}
+	r.Inode = in
+
+	// ---- I1: inode field validity -------------------------------------
+	if in.Ino != ino {
+		r.addf("I1", "inode number %d does not match expected %d", in.Ino, ino)
+	}
+	if in.Type != core.TypeReg && in.Type != core.TypeDir {
+		r.addf("I1", "invalid file type %d", in.Type)
+		return r, nil // nothing further can be checked sensibly
+	}
+	if in.Mode > 0o7777 {
+		r.addf("I1", "invalid mode %#o", in.Mode)
+	}
+	name, err := core.ReadDirentName(v.mem, loc.Page, loc.Slot)
+	if err != nil {
+		r.addf("I1", "unreadable name: %v", err)
+	} else if !isRoot {
+		if nerr := core.ValidateName(name); nerr != nil {
+			r.addf("I1", "invalid name: %v", nerr)
+		}
+	}
+	if in.Size > env.TotalPages()*nvm.PageSize {
+		r.addf("I1", "size %d exceeds device capacity", in.Size)
+	}
+
+	// ---- I4: permission fields vs shadow table ------------------------
+	v.checkShadow(env, r, &in, "file")
+
+	// ---- I2: page validity of the index chain -------------------------
+	blocks := v.checkPages(env, r, in.Head)
+
+	// ---- directory content checks (I1 names, I2 inos, I3 tree) --------
+	if in.Type == core.TypeDir {
+		v.checkDirectory(env, r, blocks)
+	}
+	return r, nil
+}
+
+// checkShadow compares an inode's cached permission fields against the
+// controller's ground truth (I4). For files the controller has never
+// seen (fresh creates), the creator's credentials are the ground truth.
+func (v *Verifier) checkShadow(env Env, r *Report, in *core.Inode, what string) {
+	if sh, ok := env.Shadow(in.Ino); ok {
+		if in.Mode != sh.Mode || in.UID != sh.UID || in.GID != sh.GID {
+			r.addf("I4", "%s %d permission fields (mode %#o uid %d gid %d) diverge from shadow inode (mode %#o uid %d gid %d)",
+				what, in.Ino, in.Mode, in.UID, in.GID, sh.Mode, sh.UID, sh.GID)
+		}
+		if sh.Type != 0 && in.Type != sh.Type {
+			r.addf("I1", "%s %d type %v diverges from recorded type %v", what, in.Ino, in.Type, sh.Type)
+		}
+		return
+	}
+	uid, gid := env.CredFor(in.Ino)
+	if in.UID != uid || in.GID != gid {
+		r.addf("I4", "new %s %d claims uid %d gid %d but creator is uid %d gid %d",
+			what, in.Ino, in.UID, in.GID, uid, gid)
+	}
+}
+
+// checkPages walks the index chain, enforcing I2, and returns the live
+// (block → data page) mapping for directory content checks.
+func (v *Verifier) checkPages(env Env, r *Report, head nvm.PageID) map[uint64]nvm.PageID {
+	blocks := make(map[uint64]nvm.PageID)
+	seen := make(map[nvm.PageID]bool)
+	total := env.TotalPages()
+
+	checkPage := func(p nvm.PageID, kind string) bool {
+		if uint64(p) >= total {
+			r.addf("I2", "%s page %d beyond device (%d pages)", kind, p, total)
+			return false
+		}
+		if p < core.FirstFilePage {
+			r.addf("I2", "%s page %d points into reserved pages", kind, p)
+			return false
+		}
+		if seen[p] {
+			r.addf("I2", "page %d referenced twice within the file", p)
+			return false
+		}
+		seen[p] = true
+		if !env.PageInFile(p) && !env.PageAllocated(p) {
+			if owner, ok := env.PageOwner(p); ok {
+				r.addf("I2", "%s page %d belongs to file %d", kind, p, owner)
+			} else {
+				r.addf("I2", "%s page %d was never allocated to this LibFS", kind, p)
+			}
+			return false
+		}
+		r.Pages = append(r.Pages, p)
+		return true
+	}
+
+	maxPages := int(total) // the seen-set already catches cycles; this bounds runaway chains
+	err := core.WalkFile(v.mem, head, maxPages,
+		func(p nvm.PageID) bool { return checkPage(p, "index") },
+		func(block uint64, p nvm.PageID) bool {
+			if checkPage(p, "data") {
+				blocks[block] = p
+			}
+			return true
+		})
+	if err != nil {
+		r.addf("I2", "index chain walk failed: %v", err)
+	}
+	return blocks
+}
+
+// checkDirectory validates every live dirent slot (I1 names, I1/I4 child
+// inode fields, I2 child ino provenance) and the tree invariant (I3).
+func (v *Verifier) checkDirectory(env Env, r *Report, blocks map[uint64]nvm.PageID) {
+	names := make(map[string]bool)
+	children := make(map[core.Ino]bool)
+	for _, p := range sortedPages(blocks) {
+		dp, err := core.ReadDirPage(v.mem, p)
+		if err != nil {
+			r.addf("I1", "unreadable directory page %d: %v", p, err)
+			continue
+		}
+		for slot := 0; slot < core.SlotsPerDirPage; slot++ {
+			if dp.SlotIno(slot) == 0 {
+				continue
+			}
+			child := dp.SlotInode(slot)
+			name, err := dp.SlotName(slot)
+			if err != nil {
+				r.addf("I1", "unreadable dirent name at page %d slot %d: %v", p, slot, err)
+				continue
+			}
+			if nerr := core.ValidateName(name); nerr != nil {
+				r.addf("I1", "dirent %d: %v", child.Ino, nerr)
+			}
+			if names[name] {
+				r.addf("I1", "duplicate name %q in directory", name)
+			}
+			names[name] = true
+			if child.Type != core.TypeReg && child.Type != core.TypeDir {
+				r.addf("I1", "dirent %q has invalid type %d", name, child.Type)
+			}
+			if children[child.Ino] {
+				r.addf("I2", "inode %d referenced by two entries of this directory", child.Ino)
+			}
+			children[child.Ino] = true
+			if child.Ino == r.Ino {
+				r.addf("I2", "directory contains itself (inode %d)", child.Ino)
+			}
+			if !env.InoKnown(child.Ino) && !env.InoAllocated(child.Ino) {
+				r.addf("I2", "inode number %d was never allocated by the controller", child.Ino)
+			}
+			v.checkShadow(env, r, &child, "child")
+			r.Children = append(r.Children, ChildRef{
+				Ino:   child.Ino,
+				Name:  name,
+				Loc:   core.FileLoc{Page: p, Slot: slot},
+				Inode: child,
+			})
+		}
+	}
+
+	// ---- I3: deleted child directories must be unmapped and empty -----
+	if prev, ok := env.CheckpointChildren(); ok {
+		for _, pc := range prev {
+			if pc.Inode.Type != core.TypeDir {
+				continue
+			}
+			if children[pc.Ino] {
+				continue
+			}
+			if !env.DirDeletedOK(pc.Ino) {
+				r.addf("I3", "directory %d (%q) was removed while mapped or non-empty — subtree disconnected",
+					pc.Ino, pc.Name)
+			}
+		}
+	}
+}
+
+// sortedPages returns the directory data pages in block order so the
+// Children list (and duplicate detection) is deterministic.
+func sortedPages(blocks map[uint64]nvm.PageID) []nvm.PageID {
+	maxBlock := uint64(0)
+	for b := range blocks {
+		if b > maxBlock {
+			maxBlock = b
+		}
+	}
+	out := make([]nvm.PageID, 0, len(blocks))
+	for b := uint64(0); b <= maxBlock; b++ {
+		if p, ok := blocks[b]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}

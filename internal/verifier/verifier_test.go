@@ -1,0 +1,336 @@
+package verifier
+
+import (
+	"strings"
+	"testing"
+
+	"trio/internal/core"
+	"trio/internal/nvm"
+)
+
+// fakeEnv is a hand-rolled controller stand-in.
+type fakeEnv struct {
+	total     uint64
+	inFile    map[nvm.PageID]bool
+	allocated map[nvm.PageID]bool
+	owner     map[nvm.PageID]core.Ino
+	knownInos map[core.Ino]bool
+	allocInos map[core.Ino]bool
+	shadows   map[core.Ino]ShadowInfo
+	uid, gid  uint32
+	prev      []ChildRef
+	hasPrev   bool
+	deletedOK map[core.Ino]bool
+}
+
+func newFakeEnv() *fakeEnv {
+	return &fakeEnv{
+		total:     1024,
+		inFile:    map[nvm.PageID]bool{},
+		allocated: map[nvm.PageID]bool{},
+		owner:     map[nvm.PageID]core.Ino{},
+		knownInos: map[core.Ino]bool{},
+		allocInos: map[core.Ino]bool{},
+		shadows:   map[core.Ino]ShadowInfo{},
+		deletedOK: map[core.Ino]bool{},
+		uid:       1000, gid: 1000,
+	}
+}
+
+func (e *fakeEnv) TotalPages() uint64              { return e.total }
+func (e *fakeEnv) PageInFile(p nvm.PageID) bool    { return e.inFile[p] }
+func (e *fakeEnv) PageAllocated(p nvm.PageID) bool { return e.allocated[p] }
+func (e *fakeEnv) PageOwner(p nvm.PageID) (core.Ino, bool) {
+	ino, ok := e.owner[p]
+	return ino, ok
+}
+func (e *fakeEnv) InoKnown(ino core.Ino) bool     { return e.knownInos[ino] }
+func (e *fakeEnv) InoAllocated(ino core.Ino) bool { return e.allocInos[ino] }
+func (e *fakeEnv) Shadow(ino core.Ino) (ShadowInfo, bool) {
+	s, ok := e.shadows[ino]
+	return s, ok
+}
+func (e *fakeEnv) CredFor(core.Ino) (uint32, uint32)      { return e.uid, e.gid }
+func (e *fakeEnv) CheckpointChildren() ([]ChildRef, bool) { return e.prev, e.hasPrev }
+func (e *fakeEnv) DirDeletedOK(ino core.Ino) bool         { return e.deletedOK[ino] }
+
+// buildRegFile assembles a valid regular file: inode at (dirPage, slot),
+// one index page, two data pages. Returns the verifier and env primed to
+// accept it.
+func buildRegFile(t *testing.T) (*Verifier, *fakeEnv, core.Mem, core.FileLoc) {
+	t.Helper()
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 1, PagesPerNode: 1024})
+	if err := core.Format(dev); err != nil {
+		t.Fatal(err)
+	}
+	m := core.Direct(dev, 0)
+	loc := core.FileLoc{Page: 10, Slot: 2}
+	in := core.Inode{Ino: 5, Type: core.TypeReg, Mode: 0o644, UID: 1000, GID: 1000, Size: 5000, Head: 20}
+	if err := core.WriteInode(m, loc.Page, core.SlotOffset(loc.Slot), &in); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.WriteDirentName(m, loc.Page, loc.Slot, "data.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.SetIndexEntry(m, 20, 0, 21); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.SetIndexEntry(m, 20, 1, 22); err != nil {
+		t.Fatal(err)
+	}
+	env := newFakeEnv()
+	for _, p := range []nvm.PageID{20, 21, 22} {
+		env.allocated[p] = true
+	}
+	env.allocInos[5] = true
+	return NewWithMem(m), env, m, loc
+}
+
+func mustHave(t *testing.T, r *Report, inv, substr string) {
+	t.Helper()
+	for _, v := range r.Violations {
+		if v.Invariant == inv && strings.Contains(v.Detail, substr) {
+			return
+		}
+	}
+	t.Fatalf("missing %s violation containing %q; got %v", inv, substr, r.Violations)
+}
+
+func TestVerifyCleanRegularFile(t *testing.T) {
+	v, env, _, loc := buildRegFile(t)
+	r, err := v.VerifyFile(env, 5, loc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() {
+		t.Fatalf("clean file rejected: %v", r.Violations)
+	}
+	if len(r.Pages) != 3 {
+		t.Fatalf("page set %v, want 3 pages", r.Pages)
+	}
+}
+
+func TestI1WrongInoAndType(t *testing.T) {
+	v, env, m, loc := buildRegFile(t)
+	// Wrong expected ino.
+	r, _ := v.VerifyFile(env, 77, loc, false)
+	mustHave(t, r, "I1", "does not match expected")
+
+	// Corrupt the type byte.
+	in, _ := core.ReadDirentInode(m, loc.Page, loc.Slot)
+	in.Type = 9
+	core.WriteInode(m, loc.Page, core.SlotOffset(loc.Slot), &in)
+	r, _ = v.VerifyFile(env, 5, loc, false)
+	mustHave(t, r, "I1", "invalid file type")
+}
+
+func TestI1BadName(t *testing.T) {
+	v, env, m, loc := buildRegFile(t)
+	// A name containing '/' — the "trick another LibFS into the wrong
+	// file" attack from §2.3.2.
+	raw := []byte{7, 0}
+	raw = append(raw, []byte("../etc/x")[:7]...)
+	if err := m.Write(loc.Page, core.SlotOffset(loc.Slot)+core.DirentNameLenOff, raw); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := v.VerifyFile(env, 5, loc, false)
+	mustHave(t, r, "I1", "invalid name")
+}
+
+func TestI2UnallocatedPage(t *testing.T) {
+	v, env, _, loc := buildRegFile(t)
+	delete(env.allocated, 22)
+	r, _ := v.VerifyFile(env, 5, loc, false)
+	mustHave(t, r, "I2", "never allocated")
+}
+
+func TestI2DoubleReferenceAcrossFiles(t *testing.T) {
+	v, env, _, loc := buildRegFile(t)
+	delete(env.allocated, 22)
+	env.owner[22] = 9 // page 22 belongs to file 9
+	r, _ := v.VerifyFile(env, 5, loc, false)
+	mustHave(t, r, "I2", "belongs to file 9")
+}
+
+func TestI2DuplicatePageWithinFile(t *testing.T) {
+	v, env, m, loc := buildRegFile(t)
+	if err := core.SetIndexEntry(m, 20, 3, 21); err != nil { // 21 referenced twice
+		t.Fatal(err)
+	}
+	r, _ := v.VerifyFile(env, 5, loc, false)
+	mustHave(t, r, "I2", "referenced twice")
+}
+
+func TestI2IndexChainCycle(t *testing.T) {
+	v, env, m, loc := buildRegFile(t)
+	// Attack (4) from §6.5: loop within a file's index pages.
+	if err := core.SetNextIndexPage(m, 20, 20); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := v.VerifyFile(env, 5, loc, false)
+	if r.OK() {
+		t.Fatal("cyclic index chain accepted")
+	}
+}
+
+func TestI2PointerOutsideDevice(t *testing.T) {
+	v, env, m, loc := buildRegFile(t)
+	// Attack (1) from §6.5: pointer aimed outside the NVM region (the
+	// simulated analogue of pointing at victim DRAM).
+	if err := core.SetIndexEntry(m, 20, 0, 99999); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := v.VerifyFile(env, 5, loc, false)
+	mustHave(t, r, "I2", "beyond device")
+}
+
+func TestI2ReservedPage(t *testing.T) {
+	v, env, m, loc := buildRegFile(t)
+	if err := core.SetIndexEntry(m, 20, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Entry 0 now nil — fine. Point entry 1 at the superblock instead.
+	if err := core.SetIndexEntry(m, 20, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := v.VerifyFile(env, 5, loc, false)
+	mustHave(t, r, "I2", "reserved")
+}
+
+func TestI4ShadowMismatch(t *testing.T) {
+	v, env, _, loc := buildRegFile(t)
+	env.shadows[5] = ShadowInfo{Mode: 0o600, UID: 1000, GID: 1000, Type: core.TypeReg}
+	// Inode says 0o644 — a LibFS quietly "upgraded" its own permissions.
+	r, _ := v.VerifyFile(env, 5, loc, false)
+	mustHave(t, r, "I4", "diverge from shadow")
+}
+
+func TestI4NewFileSpoofedOwner(t *testing.T) {
+	v, env, m, loc := buildRegFile(t)
+	in, _ := core.ReadDirentInode(m, loc.Page, loc.Slot)
+	in.UID = 0 // claim root ownership
+	core.WriteInode(m, loc.Page, core.SlotOffset(loc.Slot), &in)
+	r, _ := v.VerifyFile(env, 5, loc, false)
+	mustHave(t, r, "I4", "claims uid 0")
+}
+
+// buildDir assembles a directory with two live entries.
+func buildDir(t *testing.T) (*Verifier, *fakeEnv, core.Mem, core.FileLoc) {
+	t.Helper()
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 1, PagesPerNode: 1024})
+	if err := core.Format(dev); err != nil {
+		t.Fatal(err)
+	}
+	m := core.Direct(dev, 0)
+	loc := core.FileLoc{Page: 10, Slot: 0}
+	dir := core.Inode{Ino: 4, Type: core.TypeDir, Mode: 0o755, UID: 1000, GID: 1000, Head: 30}
+	if err := core.WriteInode(m, loc.Page, core.SlotOffset(loc.Slot), &dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.WriteDirentName(m, loc.Page, loc.Slot, "mydir"); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.SetIndexEntry(m, 30, 0, 31); err != nil { // one dir data page
+		t.Fatal(err)
+	}
+	// Child 0: regular file "a".
+	a := core.Inode{Ino: 6, Type: core.TypeReg, Mode: 0o644, UID: 1000, GID: 1000}
+	core.WriteInode(m, 31, core.SlotOffset(0), &a)
+	core.WriteDirentName(m, 31, 0, "a")
+	// Child 1: directory "sub".
+	s := core.Inode{Ino: 7, Type: core.TypeDir, Mode: 0o755, UID: 1000, GID: 1000}
+	core.WriteInode(m, 31, core.SlotOffset(1), &s)
+	core.WriteDirentName(m, 31, 1, "sub")
+
+	env := newFakeEnv()
+	env.allocated[30] = true
+	env.allocated[31] = true
+	env.allocInos[4] = true
+	env.allocInos[6] = true
+	env.allocInos[7] = true
+	return NewWithMem(m), env, m, loc
+}
+
+func TestVerifyCleanDirectory(t *testing.T) {
+	v, env, _, loc := buildDir(t)
+	r, err := v.VerifyFile(env, 4, loc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() {
+		t.Fatalf("clean directory rejected: %v", r.Violations)
+	}
+	if len(r.Children) != 2 {
+		t.Fatalf("children = %v", r.Children)
+	}
+	if r.Children[0].Name != "a" || r.Children[1].Name != "sub" {
+		t.Fatalf("children names wrong: %+v", r.Children)
+	}
+}
+
+func TestI1DuplicateNames(t *testing.T) {
+	v, env, m, loc := buildDir(t)
+	// Attack from §2.3.2: two files with the same name in one directory.
+	core.WriteDirentName(m, 31, 1, "a")
+	r, _ := v.VerifyFile(env, 4, loc, false)
+	mustHave(t, r, "I1", "duplicate name")
+}
+
+func TestI2UnknownChildIno(t *testing.T) {
+	v, env, _, loc := buildDir(t)
+	delete(env.allocInos, 6)
+	r, _ := v.VerifyFile(env, 4, loc, false)
+	mustHave(t, r, "I2", "never allocated by the controller")
+}
+
+func TestI2DirectoryContainsItself(t *testing.T) {
+	v, env, m, loc := buildDir(t)
+	self := core.Inode{Ino: 4, Type: core.TypeDir, Mode: 0o755, UID: 1000, GID: 1000}
+	core.WriteInode(m, 31, core.SlotOffset(2), &self)
+	core.WriteDirentName(m, 31, 2, "loopy")
+	r, _ := v.VerifyFile(env, 4, loc, false)
+	mustHave(t, r, "I2", "contains itself")
+}
+
+func TestI3RemovedNonEmptyDirectory(t *testing.T) {
+	v, env, m, loc := buildDir(t)
+	// Checkpoint said "sub" (ino 7) existed; now it is gone and the
+	// controller says it still has entries → disconnected subtree.
+	env.hasPrev = true
+	env.prev = []ChildRef{{Ino: 7, Name: "sub", Inode: core.Inode{Ino: 7, Type: core.TypeDir}}}
+	env.deletedOK[7] = false
+	core.CommitDirentIno(m, 31, 1, 0) // delete "sub"
+	r, _ := v.VerifyFile(env, 4, loc, false)
+	mustHave(t, r, "I3", "subtree disconnected")
+}
+
+func TestI3RemovedEmptyDirectoryOK(t *testing.T) {
+	v, env, m, loc := buildDir(t)
+	env.hasPrev = true
+	env.prev = []ChildRef{{Ino: 7, Name: "sub", Inode: core.Inode{Ino: 7, Type: core.TypeDir}}}
+	env.deletedOK[7] = true
+	core.CommitDirentIno(m, 31, 1, 0)
+	r, _ := v.VerifyFile(env, 4, loc, false)
+	if !r.OK() {
+		t.Fatalf("legal rmdir rejected: %v", r.Violations)
+	}
+}
+
+func TestVerifyRootRelaxesName(t *testing.T) {
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 1, PagesPerNode: 64})
+	if err := core.Format(dev); err != nil {
+		t.Fatal(err)
+	}
+	env := newFakeEnv()
+	env.total = 64
+	env.uid, env.gid = 0, 0
+	env.allocInos[core.RootIno] = true
+	v := New(dev)
+	r, err := v.VerifyFile(env, core.RootIno, core.RootLoc(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() {
+		t.Fatalf("fresh root rejected: %v", r.Violations)
+	}
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"trio/internal/fsapi"
+	"trio/internal/leveldb"
+)
+
+// DBBenchNames lists the db_bench workloads of Table 5, in paper order.
+func DBBenchNames() []string {
+	return []string{"fill100K", "fillseq", "fillsync", "fillrandom", "readrandom", "deleterandom"}
+}
+
+// DBBenchSpec configures a db_bench run: the paper uses one thread,
+// 100-byte values and one million objects; Entries scales the object
+// count to the simulated device.
+type DBBenchSpec struct {
+	Entries   int
+	ValueSize int
+}
+
+// RunDBBench runs one Table 5 workload over the mini-LevelDB on fs and
+// reports ops/sec (Table 5 prints ops/ms).
+func RunDBBench(fs fsapi.FS, name string, spec DBBenchSpec) (Result, error) {
+	if spec.Entries <= 0 {
+		spec.Entries = 2000
+	}
+	if spec.ValueSize <= 0 {
+		spec.ValueSize = 100
+	}
+	opts := leveldb.Options{}
+	entries := spec.Entries
+	valueSize := spec.ValueSize
+	switch name {
+	case "fillsync":
+		opts.Sync = true
+	case "fill100K":
+		valueSize = 100 << 10
+		entries = spec.Entries / 20
+		if entries < 10 {
+			entries = 10
+		}
+	}
+	db, err := leveldb.Open(fs, "/dbbench", opts)
+	if err != nil {
+		return Result{}, err
+	}
+	defer db.Close()
+
+	key := func(i int) []byte { return []byte(fmt.Sprintf("%016d", i)) }
+	val := make([]byte, valueSize)
+	rng := rand.New(rand.NewSource(99))
+
+	// Read/delete workloads operate on a pre-filled database (db_bench
+	// runs them with --use_existing_db after a fill).
+	needPrefill := name == "readrandom" || name == "deleterandom"
+	if needPrefill {
+		for i := 0; i < entries; i++ {
+			if err := db.Put(key(i), val); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+
+	var ops, bytes int64
+	start := time.Now()
+	switch name {
+	case "fillseq", "fillsync", "fill100K":
+		for i := 0; i < entries; i++ {
+			if err := db.Put(key(i), val); err != nil {
+				return Result{}, err
+			}
+			ops++
+			bytes += int64(valueSize)
+		}
+	case "fillrandom":
+		for i := 0; i < entries; i++ {
+			if err := db.Put(key(rng.Intn(entries)), val); err != nil {
+				return Result{}, err
+			}
+			ops++
+			bytes += int64(valueSize)
+		}
+	case "readrandom":
+		for i := 0; i < entries; i++ {
+			v, err := db.Get(key(rng.Intn(entries)))
+			if err != nil {
+				return Result{}, fmt.Errorf("readrandom: %w", err)
+			}
+			ops++
+			bytes += int64(len(v))
+		}
+	case "deleterandom":
+		perm := rng.Perm(entries)
+		for _, i := range perm {
+			if err := db.Delete(key(i)); err != nil {
+				return Result{}, err
+			}
+			ops++
+		}
+	default:
+		return Result{}, fmt.Errorf("workload: unknown db_bench workload %q", name)
+	}
+	elapsed := time.Since(start)
+	return Result{Workload: "dbbench-" + name, FS: fs.Name(), Threads: 1, Ops: ops, Bytes: bytes, Elapsed: elapsed}, nil
+}

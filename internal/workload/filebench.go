@@ -1,0 +1,432 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"trio/internal/fsapi"
+)
+
+// FilebenchSpec configures one of the Table 4 personalities, scaled to
+// the simulated machine. Each thread works on a private fileset, the
+// same modification the paper applies to bypass Filebench's own
+// scalability bottleneck (§6.6).
+type FilebenchSpec struct {
+	Personality  string
+	Files        int   // fileset size per thread
+	FileSize     int64 // average file size
+	ReadSize     int
+	WriteSize    int
+	Threads      int
+	OpsPerThread int
+}
+
+// DefaultFilebench returns the Table 4 configuration for a personality,
+// scaled down ~1000x in bytes while preserving the ratios that decide
+// the outcome (file count ≫, small vs large I/O, R/W mix).
+func DefaultFilebench(personality string) FilebenchSpec {
+	switch personality {
+	case "fileserver":
+		// Table 4: 2 MB files, 1 MB / 512 KB I/O — scaled 8x down,
+		// preserving "whole-file-sized bulk I/O" (the delegation regime).
+		return FilebenchSpec{Personality: "fileserver", Files: 20, FileSize: 256 << 10, ReadSize: 256 << 10, WriteSize: 256 << 10}
+	case "webserver":
+		return FilebenchSpec{Personality: "webserver", Files: 40, FileSize: 256 << 10, ReadSize: 256 << 10, WriteSize: 64 << 10}
+	case "webproxy":
+		return FilebenchSpec{Personality: "webproxy", Files: 100, FileSize: 16 << 10, ReadSize: 16 << 10, WriteSize: 16 << 10}
+	case "varmail":
+		return FilebenchSpec{Personality: "varmail", Files: 100, FileSize: 16 << 10, ReadSize: 16 << 10, WriteSize: 16 << 10}
+	}
+	return FilebenchSpec{Personality: personality}
+}
+
+// RunFilebench drives one personality.
+func RunFilebench(fs fsapi.FS, spec FilebenchSpec) (Result, error) {
+	if spec.Threads <= 0 {
+		spec.Threads = 1
+	}
+	if spec.OpsPerThread <= 0 {
+		spec.OpsPerThread = 32
+	}
+	// Layout: per-thread fileset directory, prefilled files.
+	fill := make([]byte, 64<<10)
+	for t := 0; t < spec.Threads; t++ {
+		c := fs.NewClient(t)
+		dir := fmt.Sprintf("/fb-%d", t)
+		if err := c.Mkdir(dir, 0o755); err != nil {
+			return Result{}, err
+		}
+		for i := 0; i < spec.Files; i++ {
+			f, err := c.Create(fmt.Sprintf("%s/f%04d", dir, i), 0o644)
+			if err != nil {
+				return Result{}, err
+			}
+			for off := int64(0); off < spec.FileSize; off += int64(len(fill)) {
+				n := int64(len(fill))
+				if off+n > spec.FileSize {
+					n = spec.FileSize - off
+				}
+				if _, err := f.WriteAt(fill[:n], off); err != nil {
+					return Result{}, err
+				}
+			}
+			f.Close()
+		}
+	}
+
+	ops, bytes, elapsed, err := runThreads(spec.Threads, func(tid int) (int64, int64, error) {
+		c := fs.NewClient(tid)
+		dir := fmt.Sprintf("/fb-%d", tid)
+		rng := rand.New(rand.NewSource(int64(tid) * 7))
+		rbuf := make([]byte, spec.ReadSize)
+		wbuf := make([]byte, spec.WriteSize)
+		var ops, bytes int64
+		next := spec.Files
+		pick := func() string { return fmt.Sprintf("%s/f%04d", dir, rng.Intn(spec.Files)) }
+
+		for i := 0; i < spec.OpsPerThread; i++ {
+			switch spec.Personality {
+			case "fileserver":
+				// create, write whole, append, read whole, delete, stat
+				p := fmt.Sprintf("%s/new%06d", dir, next)
+				next++
+				f, err := c.Create(p, 0o644)
+				if err != nil {
+					return ops, bytes, err
+				}
+				for off := int64(0); off < spec.FileSize; off += int64(len(wbuf)) {
+					if _, err := f.WriteAt(wbuf, off); err != nil {
+						return ops, bytes, err
+					}
+					bytes += int64(len(wbuf))
+				}
+				if _, err := f.Append(wbuf); err != nil {
+					return ops, bytes, err
+				}
+				bytes += int64(len(wbuf))
+				g, err := c.Open(pick(), false)
+				if err != nil {
+					return ops, bytes, err
+				}
+				for off := int64(0); off < spec.FileSize; off += int64(len(rbuf)) {
+					n, err := g.ReadAt(rbuf, off)
+					if err != nil {
+						return ops, bytes, err
+					}
+					bytes += int64(n)
+				}
+				g.Close()
+				f.Close()
+				if err := c.Unlink(p); err != nil {
+					return ops, bytes, err
+				}
+				if _, err := c.Stat(pick()); err != nil {
+					return ops, bytes, err
+				}
+				ops += 6
+
+			case "webserver":
+				// read 10 files, append to the thread log
+				for j := 0; j < 10; j++ {
+					f, err := c.Open(pick(), false)
+					if err != nil {
+						return ops, bytes, err
+					}
+					for off := int64(0); off < spec.FileSize; off += int64(len(rbuf)) {
+						n, err := f.ReadAt(rbuf, off)
+						if err != nil {
+							return ops, bytes, err
+						}
+						bytes += int64(n)
+					}
+					f.Close()
+					ops++
+				}
+				logPath := dir + "/weblog"
+				lf, err := c.Open(logPath, true)
+				if err != nil {
+					if lf, err = c.Create(logPath, 0o644); err != nil {
+						return ops, bytes, err
+					}
+				}
+				if _, err := lf.Append(wbuf); err != nil {
+					return ops, bytes, err
+				}
+				lf.Close()
+				bytes += int64(len(wbuf))
+				ops++
+
+			case "webproxy":
+				// create+write, then read 5 files, delete one — small
+				// files, metadata heavy.
+				p := fmt.Sprintf("%s/px%06d", dir, next)
+				next++
+				f, err := c.Create(p, 0o644)
+				if err != nil {
+					return ops, bytes, err
+				}
+				if _, err := f.WriteAt(wbuf, 0); err != nil {
+					return ops, bytes, err
+				}
+				f.Close()
+				bytes += int64(len(wbuf))
+				for j := 0; j < 5; j++ {
+					g, err := c.Open(pick(), false)
+					if err != nil {
+						return ops, bytes, err
+					}
+					n, err := g.ReadAt(rbuf, 0)
+					if err != nil {
+						return ops, bytes, err
+					}
+					g.Close()
+					bytes += int64(n)
+				}
+				if err := c.Unlink(p); err != nil {
+					return ops, bytes, err
+				}
+				ops += 7
+
+			case "varmail":
+				// create+append+fsync, read, delete — the mail server.
+				p := fmt.Sprintf("%s/mail%06d", dir, next)
+				next++
+				f, err := c.Create(p, 0o644)
+				if err != nil {
+					return ops, bytes, err
+				}
+				if _, err := f.Append(wbuf); err != nil {
+					return ops, bytes, err
+				}
+				if err := f.Sync(); err != nil {
+					return ops, bytes, err
+				}
+				bytes += int64(len(wbuf))
+				g, err := c.Open(pick(), false)
+				if err != nil {
+					return ops, bytes, err
+				}
+				n, _ := g.ReadAt(rbuf, 0)
+				bytes += int64(n)
+				g.Close()
+				f.Close()
+				if err := c.Unlink(p); err != nil {
+					return ops, bytes, err
+				}
+				ops += 4
+
+			default:
+				return ops, bytes, fmt.Errorf("workload: unknown personality %q", spec.Personality)
+			}
+		}
+		return ops, bytes, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Workload: spec.Personality, FS: fs.Name(), Threads: spec.Threads, Ops: ops, Bytes: bytes, Elapsed: elapsed}, nil
+}
+
+// ---------------------------------------------------------------------
+// Fig. 10 customized variants
+// ---------------------------------------------------------------------
+
+// SmallFileStore is the key-value file interface the KV-extended
+// Webproxy drives; kvfs.FS implements it natively and FSStore adapts
+// any fsapi.FS for comparison.
+type SmallFileStore interface {
+	Set(cpu int, key string, val []byte) error
+	Get(cpu int, key string, buf []byte) (int, error)
+	Delete(cpu int, key string) error
+}
+
+// FSStore adapts a generic file system to SmallFileStore, paying the
+// open/close and index costs KVFS removes (§5).
+type FSStore struct {
+	FS  fsapi.FS
+	Dir string
+}
+
+// Set implements SmallFileStore via create+write.
+func (s *FSStore) Set(cpu int, key string, val []byte) error {
+	c := s.FS.NewClient(cpu)
+	f, err := c.Create(s.Dir+"/"+key, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteAt(val, 0)
+	return err
+}
+
+// Get implements SmallFileStore via open+read.
+func (s *FSStore) Get(cpu int, key string, buf []byte) (int, error) {
+	c := s.FS.NewClient(cpu)
+	f, err := c.Open(s.Dir+"/"+key, false)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return f.ReadAt(buf, 0)
+}
+
+// Delete implements SmallFileStore via unlink.
+func (s *FSStore) Delete(cpu int, key string) error {
+	return s.FS.NewClient(cpu).Unlink(s.Dir + "/" + key)
+}
+
+// RunWebproxyKV is the Fig. 10 Webproxy with the key-value interface.
+func RunWebproxyKV(store SmallFileStore, name string, threads, opsPerThread, files int) (Result, error) {
+	if threads <= 0 {
+		threads = 1
+	}
+	val := make([]byte, 16<<10)
+	// Layout.
+	for t := 0; t < threads; t++ {
+		for i := 0; i < files; i++ {
+			if err := store.Set(t, fmt.Sprintf("t%d-f%04d", t, i), val); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	ops, bytes, elapsed, err := runThreads(threads, func(tid int) (int64, int64, error) {
+		rng := rand.New(rand.NewSource(int64(tid)*13 + 1))
+		buf := make([]byte, len(val))
+		var ops, bytes int64
+		next := files
+		for i := 0; i < opsPerThread; i++ {
+			key := fmt.Sprintf("t%d-p%06d", tid, next)
+			next++
+			if err := store.Set(tid, key, val); err != nil {
+				return ops, bytes, err
+			}
+			bytes += int64(len(val))
+			for j := 0; j < 5; j++ {
+				k := fmt.Sprintf("t%d-f%04d", tid, rng.Intn(files))
+				n, err := store.Get(tid, k, buf)
+				if err != nil {
+					return ops, bytes, err
+				}
+				bytes += int64(n)
+			}
+			if err := store.Delete(tid, key); err != nil {
+				return ops, bytes, err
+			}
+			ops += 7
+		}
+		return ops, bytes, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Workload: "webproxy-kv", FS: name, Threads: threads, Ops: ops, Bytes: bytes, Elapsed: elapsed}, nil
+}
+
+// PathOps is the full-path interface the deep-directory Varmail drives;
+// fpfs.FS implements it natively and FSPathOps adapts any fsapi.FS.
+type PathOps interface {
+	Create(cpu int, path string, mode uint16) (fsapi.File, error)
+	Open(cpu int, path string, write bool) (fsapi.File, error)
+	Unlink(cpu int, path string) error
+	Stat(path string) (fsapi.FileInfo, error)
+	Mkdir(cpu int, path string, mode uint16) error
+}
+
+// FSPathOps adapts a generic file system to PathOps, paying the
+// component-by-component resolution FPFS eliminates (§5).
+type FSPathOps struct{ FS fsapi.FS }
+
+func (a *FSPathOps) Create(cpu int, path string, mode uint16) (fsapi.File, error) {
+	return a.FS.NewClient(cpu).Create(path, mode)
+}
+func (a *FSPathOps) Open(cpu int, path string, write bool) (fsapi.File, error) {
+	return a.FS.NewClient(cpu).Open(path, write)
+}
+func (a *FSPathOps) Unlink(cpu int, path string) error {
+	return a.FS.NewClient(cpu).Unlink(path)
+}
+func (a *FSPathOps) Stat(path string) (fsapi.FileInfo, error) {
+	return a.FS.NewClient(0).Stat(path)
+}
+func (a *FSPathOps) Mkdir(cpu int, path string, mode uint16) error {
+	return a.FS.NewClient(cpu).Mkdir(path, mode)
+}
+
+// RunVarmailDeep is the Fig. 10 Varmail with a directory depth of 20 to
+// stress path resolution.
+func RunVarmailDeep(p PathOps, name string, threads, opsPerThread, depth int) (Result, error) {
+	if threads <= 0 {
+		threads = 1
+	}
+	if depth <= 0 {
+		depth = 20
+	}
+	wbuf := make([]byte, 16<<10)
+	dirs := make([]string, threads)
+	for t := 0; t < threads; t++ {
+		parts := make([]string, 0, depth+1)
+		parts = append(parts, fmt.Sprintf("vmd-%d", t))
+		for i := 0; i < depth; i++ {
+			parts = append(parts, fmt.Sprintf("d%02d", i))
+		}
+		path := ""
+		for _, part := range parts {
+			path = path + "/" + part
+			if err := p.Mkdir(t, path, 0o755); err != nil && err != fsapi.ErrExist {
+				if _, serr := p.Stat(path); serr != nil {
+					return Result{}, err
+				}
+			}
+		}
+		dirs[t] = path
+		// Base fileset for the read half.
+		for i := 0; i < 20; i++ {
+			f, err := p.Create(t, fmt.Sprintf("%s/base%04d", path, i), 0o644)
+			if err != nil {
+				return Result{}, err
+			}
+			f.WriteAt(wbuf, 0)
+			f.Close()
+		}
+	}
+	ops, bytes, elapsed, err := runThreads(threads, func(tid int) (int64, int64, error) {
+		rng := rand.New(rand.NewSource(int64(tid)*17 + 3))
+		rbuf := make([]byte, len(wbuf))
+		var ops, bytes int64
+		next := 0
+		for i := 0; i < opsPerThread; i++ {
+			path := fmt.Sprintf("%s/mail%06d", dirs[tid], next)
+			next++
+			f, err := p.Create(tid, path, 0o644)
+			if err != nil {
+				return ops, bytes, err
+			}
+			if _, err := f.WriteAt(wbuf, 0); err != nil {
+				return ops, bytes, err
+			}
+			f.Sync()
+			f.Close()
+			bytes += int64(len(wbuf))
+			base := fmt.Sprintf("%s/base%04d", dirs[tid], rng.Intn(20))
+			if _, err := p.Stat(base); err != nil {
+				return ops, bytes, err
+			}
+			g, err := p.Open(tid, base, false)
+			if err != nil {
+				return ops, bytes, err
+			}
+			n, _ := g.ReadAt(rbuf, 0)
+			bytes += int64(n)
+			g.Close()
+			if err := p.Unlink(tid, path); err != nil {
+				return ops, bytes, err
+			}
+			ops += 5
+		}
+		return ops, bytes, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Workload: "varmail-deep", FS: name, Threads: threads, Ops: ops, Bytes: bytes, Elapsed: elapsed}, nil
+}

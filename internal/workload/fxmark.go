@@ -1,0 +1,360 @@
+package workload
+
+import (
+	"fmt"
+
+	"trio/internal/fsapi"
+	"trio/internal/nvm"
+)
+
+// FxmarkNames lists the metadata microbenchmarks of Table 2, in the
+// order Fig. 7 presents them.
+func FxmarkNames() []string {
+	return []string{
+		"DWTL", "MRPL", "MRPM", "MRPH", "MRDL", "MRDM",
+		"MWCL", "MWCM", "MWUL", "MWUM", "MWRL", "MWRM",
+	}
+}
+
+// FxmarkDataNames lists the data-operation microbenchmarks §6.4
+// discusses ("only PMFS and NOVA scale one workload: DRBL"): read,
+// overwrite and append a block of a private file.
+func FxmarkDataNames() []string { return []string{"DRBL", "DWOL", "DWAL"} }
+
+// mkdirDepth builds /prefix/d0/d1/.../d{depth-1} and returns the path.
+func mkdirDepth(c fsapi.Client, prefix string, depth int) (string, error) {
+	path := prefix
+	if err := c.Mkdir(path, 0o755); err != nil && err != fsapi.ErrExist {
+		if _, serr := c.Stat(path); serr != nil {
+			return "", err
+		}
+	}
+	for i := 0; i < depth; i++ {
+		path = fmt.Sprintf("%s/d%d", path, i)
+		if err := c.Mkdir(path, 0o755); err != nil && err != fsapi.ErrExist {
+			if _, serr := c.Stat(path); serr != nil {
+				return "", err
+			}
+		}
+	}
+	return path, nil
+}
+
+// RunFxmark runs one Table 2 microbenchmark. Suffix L benchmarks give
+// each thread a private directory/file; M benchmarks share one
+// directory; H shares one file.
+func RunFxmark(fs fsapi.FS, name string, threads, opsPerThread int) (Result, error) {
+	if threads <= 0 {
+		threads = 1
+	}
+	if opsPerThread <= 0 {
+		opsPerThread = 64
+	}
+	setup := fs.NewClient(0)
+
+	var body func(tid int) (int64, int64, error)
+	switch name {
+	case "DWTL":
+		// Shrink a private file by 4K per op; refill when empty.
+		const fileBlocks = 64
+		for t := 0; t < threads; t++ {
+			f, err := fs.NewClient(t).Create(fmt.Sprintf("/dwtl-%d", t), 0o644)
+			if err != nil {
+				return Result{}, err
+			}
+			if err := f.Truncate(fileBlocks * nvm.PageSize); err != nil {
+				return Result{}, err
+			}
+			f.Close()
+		}
+		body = func(tid int) (int64, int64, error) {
+			c := fs.NewClient(tid)
+			f, err := c.Open(fmt.Sprintf("/dwtl-%d", tid), true)
+			if err != nil {
+				return 0, 0, err
+			}
+			size := int64(fileBlocks * nvm.PageSize)
+			var ops int64
+			for i := 0; i < opsPerThread; i++ {
+				size -= nvm.PageSize
+				if size < 0 {
+					size = fileBlocks * nvm.PageSize
+				}
+				if err := f.Truncate(size); err != nil {
+					return ops, 0, err
+				}
+				ops++
+			}
+			return ops, 0, nil
+		}
+
+	case "MRPL", "MRPM", "MRPH":
+		// Open a file in a five-deep directory: private / random-shared
+		// / same-shared.
+		shared, err := mkdirDepth(setup, "/mrp", 5)
+		if err != nil {
+			return Result{}, err
+		}
+		perThreadPath := make([]string, threads)
+		var sharedFiles []string
+		switch name {
+		case "MRPL":
+			for t := 0; t < threads; t++ {
+				dir, err := mkdirDepth(fs.NewClient(t), fmt.Sprintf("/mrpl-%d", t), 5)
+				if err != nil {
+					return Result{}, err
+				}
+				p := dir + "/file"
+				f, err := fs.NewClient(t).Create(p, 0o644)
+				if err != nil {
+					return Result{}, err
+				}
+				f.Close()
+				perThreadPath[t] = p
+			}
+		case "MRPM":
+			for i := 0; i < threads*4; i++ {
+				p := fmt.Sprintf("%s/file-%d", shared, i)
+				f, err := setup.Create(p, 0o644)
+				if err != nil {
+					return Result{}, err
+				}
+				f.Close()
+				sharedFiles = append(sharedFiles, p)
+			}
+		case "MRPH":
+			p := shared + "/hot"
+			f, err := setup.Create(p, 0o644)
+			if err != nil {
+				return Result{}, err
+			}
+			f.Close()
+			sharedFiles = []string{p}
+		}
+		body = func(tid int) (int64, int64, error) {
+			c := fs.NewClient(tid)
+			var ops int64
+			for i := 0; i < opsPerThread; i++ {
+				var p string
+				switch name {
+				case "MRPL":
+					p = perThreadPath[tid]
+				case "MRPM":
+					p = sharedFiles[(tid*31+i)%len(sharedFiles)]
+				case "MRPH":
+					p = sharedFiles[0]
+				}
+				f, err := c.Open(p, false)
+				if err != nil {
+					return ops, 0, err
+				}
+				f.Close()
+				ops++
+			}
+			return ops, 0, nil
+		}
+
+	case "MRDL", "MRDM":
+		// Enumerate a directory with 32 entries: private / shared.
+		dirs := make([]string, threads)
+		mk := func(path string, c fsapi.Client) error {
+			if err := c.Mkdir(path, 0o755); err != nil {
+				return err
+			}
+			for i := 0; i < 32; i++ {
+				f, err := c.Create(fmt.Sprintf("%s/e%d", path, i), 0o644)
+				if err != nil {
+					return err
+				}
+				f.Close()
+			}
+			return nil
+		}
+		if name == "MRDL" {
+			for t := 0; t < threads; t++ {
+				dirs[t] = fmt.Sprintf("/mrdl-%d", t)
+				if err := mk(dirs[t], fs.NewClient(t)); err != nil {
+					return Result{}, err
+				}
+			}
+		} else {
+			if err := mk("/mrdm", setup); err != nil {
+				return Result{}, err
+			}
+			for t := 0; t < threads; t++ {
+				dirs[t] = "/mrdm"
+			}
+		}
+		body = func(tid int) (int64, int64, error) {
+			c := fs.NewClient(tid)
+			var ops int64
+			for i := 0; i < opsPerThread; i++ {
+				if _, err := c.ReadDir(dirs[tid]); err != nil {
+					return ops, 0, err
+				}
+				ops++
+			}
+			return ops, 0, nil
+		}
+
+	case "MWCL", "MWCM":
+		// Create empty files: private dir / shared dir.
+		dirs := make([]string, threads)
+		if name == "MWCL" {
+			for t := 0; t < threads; t++ {
+				dirs[t] = fmt.Sprintf("/mwcl-%d", t)
+				if err := fs.NewClient(t).Mkdir(dirs[t], 0o755); err != nil {
+					return Result{}, err
+				}
+			}
+		} else {
+			if err := setup.Mkdir("/mwcm", 0o755); err != nil {
+				return Result{}, err
+			}
+			for t := 0; t < threads; t++ {
+				dirs[t] = "/mwcm"
+			}
+		}
+		body = func(tid int) (int64, int64, error) {
+			c := fs.NewClient(tid)
+			var ops int64
+			for i := 0; i < opsPerThread; i++ {
+				f, err := c.Create(fmt.Sprintf("%s/t%d-f%d", dirs[tid], tid, i), 0o644)
+				if err != nil {
+					return ops, 0, err
+				}
+				f.Close()
+				ops++
+			}
+			return ops, 0, nil
+		}
+
+	case "MWUL", "MWUM":
+		// Unlink empty files: private dir / shared dir. Files are laid
+		// out beforehand; each op unlinks one.
+		dirs := make([]string, threads)
+		if name == "MWUL" {
+			for t := 0; t < threads; t++ {
+				dirs[t] = fmt.Sprintf("/mwul-%d", t)
+				if err := fs.NewClient(t).Mkdir(dirs[t], 0o755); err != nil {
+					return Result{}, err
+				}
+			}
+		} else {
+			if err := setup.Mkdir("/mwum", 0o755); err != nil {
+				return Result{}, err
+			}
+			for t := 0; t < threads; t++ {
+				dirs[t] = "/mwum"
+			}
+		}
+		for t := 0; t < threads; t++ {
+			c := fs.NewClient(t)
+			for i := 0; i < opsPerThread; i++ {
+				f, err := c.Create(fmt.Sprintf("%s/t%d-f%d", dirs[t], t, i), 0o644)
+				if err != nil {
+					return Result{}, err
+				}
+				f.Close()
+			}
+		}
+		body = func(tid int) (int64, int64, error) {
+			c := fs.NewClient(tid)
+			var ops int64
+			for i := 0; i < opsPerThread; i++ {
+				if err := c.Unlink(fmt.Sprintf("%s/t%d-f%d", dirs[tid], tid, i)); err != nil {
+					return ops, 0, err
+				}
+				ops++
+			}
+			return ops, 0, nil
+		}
+
+	case "MWRL", "MWRM":
+		// Rename: private→private / private→shared.
+		if err := setup.Mkdir("/mwr-shared", 0o755); err != nil {
+			return Result{}, err
+		}
+		for t := 0; t < threads; t++ {
+			c := fs.NewClient(t)
+			if err := c.Mkdir(fmt.Sprintf("/mwr-%d", t), 0o755); err != nil {
+				return Result{}, err
+			}
+			f, err := c.Create(fmt.Sprintf("/mwr-%d/f", t), 0o644)
+			if err != nil {
+				return Result{}, err
+			}
+			f.Close()
+		}
+		body = func(tid int) (int64, int64, error) {
+			c := fs.NewClient(tid)
+			cur := fmt.Sprintf("/mwr-%d/f", tid)
+			var ops int64
+			for i := 0; i < opsPerThread; i++ {
+				var next string
+				if name == "MWRL" {
+					next = fmt.Sprintf("/mwr-%d/f%d", tid, i%2)
+				} else if i%2 == 0 {
+					next = fmt.Sprintf("/mwr-shared/t%d", tid)
+				} else {
+					next = fmt.Sprintf("/mwr-%d/f", tid)
+				}
+				if err := c.Rename(cur, next); err != nil {
+					return ops, 0, err
+				}
+				cur = next
+				ops++
+			}
+			return ops, 0, nil
+		}
+
+	case "DRBL", "DWOL", "DWAL":
+		// Data ops on a private file: read a block / overwrite a block /
+		// append a block.
+		files := make([]fsapi.File, threads)
+		for t := 0; t < threads; t++ {
+			f, err := fs.NewClient(t).Create(fmt.Sprintf("/fx-data-%d", t), 0o644)
+			if err != nil {
+				return Result{}, err
+			}
+			if name != "DWAL" {
+				if _, err := f.WriteAt(make([]byte, 64*nvm.PageSize), 0); err != nil {
+					return Result{}, err
+				}
+			}
+			files[t] = f
+		}
+		body = func(tid int) (int64, int64, error) {
+			buf := make([]byte, nvm.PageSize)
+			f := files[tid]
+			var ops, bytes int64
+			for i := 0; i < opsPerThread; i++ {
+				off := int64(i%64) * nvm.PageSize
+				var err error
+				switch name {
+				case "DRBL":
+					_, err = f.ReadAt(buf, off)
+				case "DWOL":
+					_, err = f.WriteAt(buf, off)
+				case "DWAL":
+					_, err = f.Append(buf)
+				}
+				if err != nil {
+					return ops, bytes, err
+				}
+				ops++
+				bytes += nvm.PageSize
+			}
+			return ops, bytes, nil
+		}
+
+	default:
+		return Result{}, fmt.Errorf("workload: unknown FxMark benchmark %q", name)
+	}
+
+	ops, bytes, elapsed, err := runThreads(threads, body)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Workload: "fxmark-" + name, FS: fs.Name(), Threads: threads, Ops: ops, Bytes: bytes, Elapsed: elapsed}, nil
+}

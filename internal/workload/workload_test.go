@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"testing"
+
+	"trio/internal/fpfs"
+	"trio/internal/fsapi"
+	"trio/internal/fsfactory"
+	"trio/internal/kvfs"
+)
+
+func mkFS(t *testing.T, name string) fsapi.FS {
+	t.Helper()
+	inst, err := fsfactory.New(name, fsfactory.Config{Nodes: 2, PagesPerNode: 16384, CPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { inst.Close() })
+	return inst
+}
+
+func TestFioRunsOnArckFSAndNova(t *testing.T) {
+	for _, name := range []string{"arckfs", "nova"} {
+		fs := mkFS(t, name)
+		r, err := RunFio(fs, FioSpec{BS: 4096, FileSize: 1 << 20, Write: true, Random: true, Threads: 2, OpsPerThread: 32})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Ops != 64 || r.Bytes != 64*4096 {
+			t.Fatalf("%s: result %+v", name, r)
+		}
+		if r.GiBps() <= 0 || r.KOpsPerSec() <= 0 {
+			t.Fatalf("%s: zero throughput %+v", name, r)
+		}
+	}
+}
+
+func TestFioSequentialLargeBlocks(t *testing.T) {
+	fs := mkFS(t, "arckfs")
+	r, err := RunFio(fs, FioSpec{BS: 2 << 20, FileSize: 8 << 20, Write: false, Threads: 1, OpsPerThread: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bytes != 8*(2<<20) {
+		t.Fatalf("bytes = %d", r.Bytes)
+	}
+}
+
+func TestAllFxmarkBenchmarksRun(t *testing.T) {
+	for _, bench := range FxmarkNames() {
+		bench := bench
+		t.Run(bench, func(t *testing.T) {
+			fs := mkFS(t, "arckfs")
+			r, err := RunFxmark(fs, bench, 2, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Ops != 32 {
+				t.Fatalf("ops = %d, want 32", r.Ops)
+			}
+		})
+	}
+}
+
+func TestFxmarkOnBaseline(t *testing.T) {
+	fs := mkFS(t, "ext4")
+	for _, bench := range []string{"MRPL", "MWCM", "MWRM"} {
+		if _, err := RunFxmark(fs, bench, 2, 8); err != nil {
+			t.Fatalf("%s: %v", bench, err)
+		}
+	}
+}
+
+func TestFilebenchPersonalities(t *testing.T) {
+	for _, p := range []string{"fileserver", "webserver", "webproxy", "varmail"} {
+		p := p
+		t.Run(p, func(t *testing.T) {
+			fs := mkFS(t, "arckfs")
+			spec := DefaultFilebench(p)
+			spec.Threads = 2
+			spec.OpsPerThread = 4
+			spec.Files = 10
+			spec.FileSize = 32 << 10
+			r, err := RunFilebench(fs, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Ops == 0 || r.Bytes == 0 {
+				t.Fatalf("empty result %+v", r)
+			}
+		})
+	}
+}
+
+func TestFilebenchOnEveryFS(t *testing.T) {
+	for _, name := range fsfactory.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			fs := mkFS(t, name)
+			spec := DefaultFilebench("varmail")
+			spec.Threads = 1
+			spec.OpsPerThread = 4
+			spec.Files = 8
+			if _, err := RunFilebench(fs, spec); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestWebproxyKVOnKVFSAndAdapter(t *testing.T) {
+	inst, err := fsfactory.New("arckfs", fsfactory.Config{Nodes: 1, PagesPerNode: 16384, CPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	kv, err := kvfs.New(inst.Arck, "/kvstore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunWebproxyKV(kv, "kvfs", 2, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops == 0 {
+		t.Fatal("no ops")
+	}
+
+	// Adapter path (what ArckFS pays without the customization).
+	inst2, err := fsfactory.New("arckfs", fsfactory.Config{Nodes: 1, PagesPerNode: 16384, CPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst2.Close()
+	if err := inst2.NewClient(0).Mkdir("/plain", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	store := &FSStore{FS: inst2, Dir: "/plain"}
+	if _, err := RunWebproxyKV(store, "arckfs", 2, 8, 16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarmailDeepOnFPFSAndAdapter(t *testing.T) {
+	inst, err := fsfactory.New("arckfs", fsfactory.Config{Nodes: 1, PagesPerNode: 32768, CPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	fp := fpfs.New(inst.Arck)
+	r, err := RunVarmailDeep(fp, "fpfs", 2, 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops == 0 {
+		t.Fatal("no ops")
+	}
+	inst2, err := fsfactory.New("nova", fsfactory.Config{Nodes: 1, PagesPerNode: 32768, CPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst2.Close()
+	if _, err := RunVarmailDeep(&FSPathOps{FS: inst2}, "nova", 2, 4, 20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDBBenchAllWorkloads(t *testing.T) {
+	for _, name := range DBBenchNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			fs := mkFS(t, "arckfs-nd")
+			r, err := RunDBBench(fs, name, DBBenchSpec{Entries: 300})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Ops == 0 {
+				t.Fatal("no ops")
+			}
+		})
+	}
+}
+
+func TestDBBenchOnExt4(t *testing.T) {
+	fs := mkFS(t, "ext4")
+	if _, err := RunDBBench(fs, "fillseq", DBBenchSpec{Entries: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFxmarkDataBenchmarks(t *testing.T) {
+	for _, bench := range FxmarkDataNames() {
+		bench := bench
+		t.Run(bench, func(t *testing.T) {
+			fs := mkFS(t, "arckfs")
+			r, err := RunFxmark(fs, bench, 2, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Ops != 32 || r.Bytes == 0 {
+				t.Fatalf("result %+v", r)
+			}
+		})
+	}
+}

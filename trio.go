@@ -1,0 +1,227 @@
+// Package trio is the public entry point of this repository: a from-
+// scratch Go implementation of the Trio userspace NVM file system
+// architecture (SOSP'23) and of ArckFS, its POSIX-like file system,
+// together with the two customized LibFSes the paper presents (KVFS
+// and FPFS), the kernel access controller, the integrity verifier, a
+// simulated NVM device, and every baseline file system used in the
+// paper's evaluation.
+//
+// A System models one machine: an NVM device plus the trusted
+// components (kernel controller, shared delegation pool). Applications
+// mount per-process LibFSes on it:
+//
+//	sys, _ := trio.New(trio.Config{})
+//	defer sys.Close()
+//	fs, _ := sys.MountArckFS(trio.Creds{UID: 1000, GID: 1000})
+//	c := fs.NewClient(0)
+//	f, _ := c.Create("/hello.txt", 0o644)
+//	f.WriteAt([]byte("direct access, verified sharing"), 0)
+//
+// Different mounts are different trust domains: the controller enforces
+// concurrent-read/exclusive-write sharing between them, and the
+// integrity verifier checks a file's core state whenever write access
+// moves across domains. Mounts created with the same non-zero
+// Creds.Group form a trust group and share without that cost (§3.2).
+//
+// The type aliases below re-export the internal packages that make up
+// the public surface; in a standalone release these packages would be
+// promoted out of internal/, with identical APIs.
+package trio
+
+import (
+	"fmt"
+	"time"
+
+	"trio/internal/controller"
+	"trio/internal/delegation"
+	"trio/internal/fpfs"
+	"trio/internal/fsapi"
+	"trio/internal/fsfactory"
+	"trio/internal/kvfs"
+	"trio/internal/libfs"
+	"trio/internal/nvm"
+)
+
+// Re-exported types forming the public API.
+type (
+	// FileSystem is the interface every mounted file system implements.
+	FileSystem = fsapi.FS
+	// Client is a per-thread handle to a file system.
+	Client = fsapi.Client
+	// File is an open file.
+	File = fsapi.File
+	// FileInfo is a stat result.
+	FileInfo = fsapi.FileInfo
+	// ArckFS is the generic POSIX-like LibFS (paper §4).
+	ArckFS = libfs.FS
+	// KVFS is the small-file get/set LibFS (paper §5).
+	KVFS = kvfs.FS
+	// FPFS is the full-path-indexing LibFS (paper §5).
+	FPFS = fpfs.FS
+	// Device is the simulated NVM device.
+	Device = nvm.Device
+	// Controller is the in-kernel access controller.
+	Controller = controller.Controller
+)
+
+// Errors re-exported for callers matching with errors.Is.
+var (
+	ErrNotExist = fsapi.ErrNotExist
+	ErrExist    = fsapi.ErrExist
+	ErrIsDir    = fsapi.ErrIsDir
+	ErrNotDir   = fsapi.ErrNotDir
+	ErrNotEmpty = fsapi.ErrNotEmpty
+	ErrPerm     = fsapi.ErrPerm
+)
+
+// Config sizes a System.
+type Config struct {
+	// Nodes is the NUMA node count of the simulated NVM (default 1).
+	Nodes int
+	// PagesPerNode is the per-node capacity in 4 KiB pages (default 16384 = 64 MiB).
+	PagesPerNode int
+	// CPUs sizes per-CPU resources (default 8).
+	CPUs int
+	// DelegationWorkers is the per-node delegation thread count
+	// (default 4; 0 keeps the default).
+	DelegationWorkers int
+	// EnableCostModel turns on the calibrated NVM/kernel cost
+	// injection used by the benchmarks.
+	EnableCostModel bool
+	// LeaseTime bounds exclusive write tenancy under contention.
+	LeaseTime time.Duration
+}
+
+// Creds identifies the principal mounting a LibFS.
+type Creds struct {
+	UID, GID uint32
+	// Group, when non-zero, joins a trust group: mounts sharing a group
+	// share one LibFS state and skip the sharing cost (§3.2).
+	Group uint32
+	// Node is the NUMA node the application's threads run on.
+	Node int
+}
+
+// System is one simulated machine: device + trusted components.
+type System struct {
+	dev  *nvm.Device
+	ctl  *controller.Controller
+	pool *delegation.Pool
+	cpus int
+
+	groups map[uint32]*libfs.FS
+}
+
+// New builds a System.
+func New(cfg Config) (*System, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.PagesPerNode <= 0 {
+		cfg.PagesPerNode = 16384
+	}
+	if cfg.CPUs <= 0 {
+		cfg.CPUs = 8
+	}
+	devCfg := nvm.Config{Nodes: cfg.Nodes, PagesPerNode: cfg.PagesPerNode}
+	if cfg.EnableCostModel {
+		devCfg.Cost = nvm.DefaultCostModel()
+	}
+	dev, err := nvm.NewDevice(devCfg)
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := controller.New(dev, controller.Options{CPUs: cfg.CPUs, LeaseTime: cfg.LeaseTime})
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		dev:    dev,
+		ctl:    ctl,
+		pool:   delegation.NewPool(dev, cfg.DelegationWorkers),
+		cpus:   cfg.CPUs,
+		groups: make(map[uint32]*libfs.FS),
+	}, nil
+}
+
+// Close stops the System's background components.
+func (s *System) Close() error {
+	s.pool.Close()
+	return nil
+}
+
+// Device exposes the simulated NVM (tools, tests).
+func (s *System) Device() *Device { return s.dev }
+
+// Controller exposes the kernel controller (tools, stats).
+func (s *System) Controller() *Controller { return s.ctl }
+
+// MountArckFS registers a new LibFS for the given principal. Mounts
+// with the same non-zero Creds.Group share one ArckFS instance — the
+// trust-group fast path.
+func (s *System) MountArckFS(cr Creds) (*ArckFS, error) {
+	if cr.Group != 0 {
+		if fs, ok := s.groups[cr.Group]; ok {
+			return fs, nil
+		}
+	}
+	sess := s.ctl.Register(cr.UID, cr.GID, cr.Node, controller.GroupID(cr.Group))
+	fs, err := libfs.New(sess, libfs.Config{
+		CPUs:   s.cpus,
+		Pool:   s.pool,
+		Stripe: s.dev.Nodes() > 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cr.Group != 0 {
+		s.groups[cr.Group] = fs
+	}
+	return fs, nil
+}
+
+// MountKVFS mounts the small-file customized LibFS rooted at dir.
+func (s *System) MountKVFS(cr Creds, dir string) (*KVFS, error) {
+	arck, err := s.MountArckFS(cr)
+	if err != nil {
+		return nil, err
+	}
+	return kvfs.New(arck, dir)
+}
+
+// MountFPFS mounts the full-path-indexing customized LibFS.
+func (s *System) MountFPFS(cr Creds) (*FPFS, error) {
+	arck, err := s.MountArckFS(cr)
+	if err != nil {
+		return nil, err
+	}
+	return fpfs.New(arck), nil
+}
+
+// VerifyAll runs the integrity verifier over every known file and
+// reports (files checked, files with violations, first problem).
+func (s *System) VerifyAll() (checked, bad int, firstProblem string) {
+	return s.ctl.VerifyAll()
+}
+
+// Baselines lists the comparison file systems available via NewBaseline.
+func Baselines() []string { return fsfactory.Names() }
+
+// NewBaseline mounts one of the paper's baseline file systems (ext4,
+// pmfs, nova, winefs, odinfs, splitfs, strata, …) on its own fresh
+// device, for side-by-side comparison runs.
+func NewBaseline(name string, cfg Config) (FileSystem, error) {
+	if name == "" {
+		return nil, fmt.Errorf("trio: empty baseline name (known: %v)", Baselines())
+	}
+	inst, err := fsfactory.New(name, fsfactory.Config{
+		Nodes:        cfg.Nodes,
+		PagesPerNode: cfg.PagesPerNode,
+		CPUs:         cfg.CPUs,
+		Cost:         cfg.EnableCostModel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return inst, nil
+}

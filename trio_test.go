@@ -1,0 +1,128 @@
+package trio
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	sys, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	fs, err := sys.MountArckFS(Creds{UID: 1000, GID: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fs.NewClient(0)
+	f, err := c.Create("/hello.txt", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("direct access, verified sharing")
+	if _, err := f.WriteAt(msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read %q", got)
+	}
+	if _, bad, first := sys.VerifyAll(); bad != 0 {
+		t.Fatalf("verifier: %s", first)
+	}
+}
+
+func TestTwoTrustDomainsShare(t *testing.T) {
+	sys, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	a, _ := sys.MountArckFS(Creds{UID: 1000, GID: 1000})
+	b, _ := sys.MountArckFS(Creds{UID: 2000, GID: 2000})
+	f, err := a.NewClient(0).Create("/shared", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt([]byte("hi"), 0)
+	f.Close()
+	g, err := b.NewClient(0).Open("/shared", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	g.ReadAt(buf, 0)
+	if string(buf) != "hi" {
+		t.Fatalf("B read %q", buf)
+	}
+	// 0644: B cannot write.
+	if _, err := b.NewClient(0).Open("/shared", true); !errors.Is(err, ErrPerm) {
+		t.Fatalf("B write open: %v", err)
+	}
+}
+
+func TestTrustGroupSharesInstance(t *testing.T) {
+	sys, _ := New(Config{})
+	defer sys.Close()
+	a, _ := sys.MountArckFS(Creds{UID: 1000, GID: 1000, Group: 42})
+	b, _ := sys.MountArckFS(Creds{UID: 1000, GID: 1000, Group: 42})
+	if a != b {
+		t.Fatal("same trust group should share one LibFS instance")
+	}
+	c, _ := sys.MountArckFS(Creds{UID: 1000, GID: 1000, Group: 43})
+	if a == c {
+		t.Fatal("different groups must not share")
+	}
+}
+
+func TestCustomizedMounts(t *testing.T) {
+	sys, _ := New(Config{})
+	defer sys.Close()
+	kv, err := sys.MountKVFS(Creds{UID: 1000, GID: 1000}, "/kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Set(0, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	n, err := kv.Get(0, "k", buf)
+	if err != nil || string(buf[:n]) != "v" {
+		t.Fatalf("kv get: %q %v", buf[:n], err)
+	}
+
+	fp, err := sys.MountFPFS(Creds{UID: 1000, GID: 1000, Group: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fp.Mkdir(0, "/deep", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fp.Stat("/deep"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselineConstructor(t *testing.T) {
+	for _, name := range []string{"nova", "splitfs"} {
+		fs, err := NewBaseline(name, Config{PagesPerNode: 8192})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := fs.NewClient(0).Create("/x", 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteAt([]byte("baseline"), 0)
+		f.Close()
+		fs.Close()
+	}
+	if _, err := NewBaseline("zofs", Config{}); err == nil {
+		t.Fatal("unknown baseline accepted")
+	}
+}
