@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check build test race vet bench
+
+# The full gate: vet + build + tests + race detector. CI runs this.
+check:
+	sh scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the packages that exercise real concurrency: the
+# conformance suite's parallel cases and the LibFS they drive.
+race:
+	$(GO) test -race ./internal/fstest/... ./internal/libfs/...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

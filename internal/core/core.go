@@ -222,8 +222,7 @@ func (d *direct) WriteU64(p nvm.PageID, off int, v uint64) error {
 	return d.dev.WriteAt(d.node, p, off, b[:])
 }
 func (d *direct) Persist(p nvm.PageID, off, n int) error {
-	d.dev.Persist(p, off, n)
-	return nil
+	return d.dev.Persist(p, off, n)
 }
 func (d *direct) Fence() { d.dev.Fence() }
 

@@ -126,7 +126,9 @@ func (p *Pool) worker(node int) {
 			if req.write {
 				err = req.view.Write(sg.page, sg.off, sg.buf)
 				if err == nil && req.persist {
-					err = req.view.Persist(sg.page, sg.off, len(sg.buf))
+					err = nvm.RetryTransient(func() error {
+						return req.view.Persist(sg.page, sg.off, len(sg.buf))
+					})
 				}
 			} else {
 				err = req.view.Read(sg.page, sg.off, sg.buf)
@@ -206,7 +208,9 @@ func (b *Batch) Write(p nvm.PageID, off int, data []byte) {
 				return
 			}
 			if b.persist {
-				b.err.set(b.inline.Persist(p, off, len(data)))
+				b.err.set(nvm.RetryTransient(func() error {
+					return b.inline.Persist(p, off, len(data))
+				}))
 			}
 			return
 		}
@@ -215,7 +219,9 @@ func (b *Batch) Write(p nvm.PageID, off int, data []byte) {
 			return
 		}
 		if b.persist {
-			b.err.set(b.as.Persist(p, off, len(data)))
+			b.err.set(nvm.RetryTransient(func() error {
+				return b.as.Persist(p, off, len(data))
+			}))
 		}
 		return
 	}

@@ -115,7 +115,11 @@ func (fs *FS) Stat(path string) (fsapi.FileInfo, error) {
 	}
 	in, err := fs.hooks.ReadInode(e)
 	if err != nil {
-		return fsapi.FileInfo{}, err
+		// The cached entry may be stale, or the mapping it relied on
+		// was dropped by a post-crash recovery pass: fall back to the
+		// generic walk, which (re)maps pages as it descends.
+		fs.paths.Delete(normalize(path))
+		return fs.arck.NewClient(0).Stat(path)
 	}
 	_, name := splitParent(path)
 	return fsapi.FileInfo{

@@ -1,0 +1,74 @@
+package fpfs
+
+import (
+	"trio/internal/fsapi"
+)
+
+// Posix adapts an FPFS instance to fsapi.FS so the generic conformance
+// and crash/recovery suites can drive it. The operations FPFS's
+// full-path index accelerates (stat, open, create, unlink) go through
+// the table; the ones it does not provide (readdir, rmdir) fall back to
+// the generic ArckFS client, the same way Rename already does.
+type Posix struct {
+	fs *FS
+}
+
+// Posix returns the fsapi.FS view of this FPFS instance.
+func (fs *FS) Posix() *Posix { return &Posix{fs: fs} }
+
+// Name identifies the implementation.
+func (p *Posix) Name() string { return p.fs.Name() }
+
+// Close unmounts the underlying ArckFS.
+func (p *Posix) Close() error { return p.fs.arck.Close() }
+
+// NewClient returns a per-thread handle bound to the CPU hint.
+func (p *Posix) NewClient(cpu int) fsapi.Client {
+	return &posixClient{fs: p.fs, cpu: cpu, arck: p.fs.arck.NewClient(cpu)}
+}
+
+type posixClient struct {
+	fs   *FS
+	cpu  int
+	arck fsapi.Client
+}
+
+func (c *posixClient) Create(path string, mode uint16) (fsapi.File, error) {
+	return c.fs.Create(c.cpu, path, mode)
+}
+
+func (c *posixClient) Open(path string, write bool) (fsapi.File, error) {
+	return c.fs.Open(c.cpu, path, write)
+}
+
+func (c *posixClient) Mkdir(path string, mode uint16) error {
+	return c.fs.Mkdir(c.cpu, path, mode)
+}
+
+func (c *posixClient) Unlink(path string) error {
+	return c.fs.Unlink(c.cpu, path)
+}
+
+// Rmdir delegates to the generic walk and drops the removed directory
+// from both path caches.
+func (c *posixClient) Rmdir(path string) error {
+	if err := c.arck.Rmdir(normalize(path)); err != nil {
+		return err
+	}
+	key := normalize(path)
+	c.fs.paths.Delete(key)
+	c.fs.dirs.Delete(key)
+	return nil
+}
+
+func (c *posixClient) Rename(oldPath, newPath string) error {
+	return c.fs.Rename(c.cpu, oldPath, newPath)
+}
+
+func (c *posixClient) Stat(path string) (fsapi.FileInfo, error) {
+	return c.fs.Stat(path)
+}
+
+func (c *posixClient) ReadDir(path string) ([]string, error) {
+	return c.arck.ReadDir(path)
+}

@@ -21,6 +21,10 @@ var (
 	ErrPerm     = errors.New("fsapi: permission denied")
 	ErrInval    = errors.New("fsapi: invalid argument")
 	ErrNoSpace  = errors.New("fsapi: no space left on device")
+	// ErrIO is how device-level faults (media errors, exhausted
+	// transient-busy retries, a frozen crashed device) surface through
+	// the file-system API: as an error, never a panic.
+	ErrIO = errors.New("fsapi: input/output error")
 )
 
 // FileInfo is the stat(2) result.

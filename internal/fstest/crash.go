@@ -1,0 +1,554 @@
+package fstest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"trio/internal/fsapi"
+	"trio/internal/kvfs"
+	"trio/internal/nvm"
+)
+
+// CrashEnv is one crash-recovery-capable file system under test,
+// mounted on a persistence-tracking device. A factory builds a fresh
+// env per crash point, since every replay needs a pristine device.
+type CrashEnv struct {
+	// SkipReason, when non-empty, marks an FS with no crash-recovery
+	// path (the performance-faithful baselines); RunCrash skips with it.
+	SkipReason string
+	FS         fsapi.FS
+	Dev        *nvm.Device
+	// Recover runs the post-crash recovery sequence (LibFS recovery
+	// program, then the controller's verify pass) and returns the
+	// recovered — possibly freshly remounted — file system.
+	Recover func() (fsapi.FS, error)
+	// Verify runs a full integrity scan; bad must come back 0. Optional.
+	Verify func() (bad int, first string)
+	// Remount cold-mounts the device the way a reboot would, after the
+	// warm recovery above. Optional.
+	Remount func() error
+}
+
+// CrashFactory builds a fresh CrashEnv for one replay.
+type CrashFactory func(t *testing.T) *CrashEnv
+
+// crashOp is one scripted operation: how to run it, how it changes the
+// oracle model, and (optionally) an extra invariant that must hold when
+// the crash caught exactly this op in flight.
+type crashOp struct {
+	name  string
+	do    func(c fsapi.Client) error
+	apply func(o *crashOracle)
+	// dataPath marks an op whose in-flight state may leave partial
+	// content at that file (data writes are not atomic); the oracle
+	// comparison skips the content check for it.
+	dataPath string
+	// inflight, when non-nil, is checked after recovery if this op was
+	// the one interrupted by the crash.
+	inflight func(c fsapi.Client) error
+}
+
+// crashOracle is the in-memory model of what the file system should
+// hold.
+type crashOracle struct {
+	dirs  map[string]bool
+	files map[string][]byte
+}
+
+func newCrashOracle() *crashOracle {
+	return &crashOracle{dirs: map[string]bool{"/": true}, files: map[string][]byte{}}
+}
+
+func (o *crashOracle) clone() *crashOracle {
+	c := newCrashOracle()
+	for d := range o.dirs {
+		c.dirs[d] = true
+	}
+	for f, b := range o.files {
+		c.files[f] = b
+	}
+	return c
+}
+
+func opMkdir(path string) crashOp {
+	return crashOp{
+		name:  "mkdir " + path,
+		do:    func(c fsapi.Client) error { return c.Mkdir(path, 0o755) },
+		apply: func(o *crashOracle) { o.dirs[path] = true },
+	}
+}
+
+func opCreate(path string) crashOp {
+	return crashOp{
+		name: "create " + path,
+		do: func(c fsapi.Client) error {
+			f, err := c.Create(path, 0o644)
+			if err != nil {
+				return err
+			}
+			return f.Close()
+		},
+		apply: func(o *crashOracle) { o.files[path] = nil },
+	}
+}
+
+func opWrite(path string, data []byte) crashOp {
+	return crashOp{
+		name: fmt.Sprintf("write %s (%dB)", path, len(data)),
+		do: func(c fsapi.Client) error {
+			f, err := c.Open(path, true)
+			if err != nil {
+				return err
+			}
+			if _, err := f.WriteAt(data, 0); err != nil {
+				return err
+			}
+			return f.Close()
+		},
+		apply:    func(o *crashOracle) { o.files[path] = data },
+		dataPath: path,
+	}
+}
+
+func opRename(from, to string) crashOp {
+	return crashOp{
+		name: fmt.Sprintf("rename %s -> %s", from, to),
+		do:   func(c fsapi.Client) error { return c.Rename(from, to) },
+		apply: func(o *crashOracle) {
+			o.files[to] = o.files[from]
+			delete(o.files, from)
+		},
+		// Rename rides the undo journal: after recovery it must be
+		// atomic — the file at exactly one of the two paths.
+		inflight: func(c fsapi.Client) error {
+			n := 0
+			for _, p := range []string{from, to} {
+				if _, err := c.Stat(p); err == nil {
+					n++
+				} else if !errors.Is(err, fsapi.ErrNotExist) {
+					return fmt.Errorf("stat %s: %v", p, err)
+				}
+			}
+			if n != 1 {
+				return fmt.Errorf("interrupted rename left %d of {%s, %s} visible, want exactly 1", n, from, to)
+			}
+			return nil
+		},
+	}
+}
+
+func opUnlink(path string) crashOp {
+	return crashOp{
+		name:  "unlink " + path,
+		do:    func(c fsapi.Client) error { return c.Unlink(path) },
+		apply: func(o *crashOracle) { delete(o.files, path) },
+	}
+}
+
+// crashScript is the deterministic ≥10-op workload the crash-point
+// sweep replays: a mix of the metadata commit protocols (create,
+// mkdir, journaled rename, unlink) and data writes, including one that
+// crosses a page boundary.
+func crashScript() []crashOp {
+	alpha := bytes.Repeat([]byte("alpha "), 20)   // 120 B
+	beta := bytes.Repeat([]byte("beta "), 40)     // 200 B
+	gamma := bytes.Repeat([]byte("gamma "), 1000) // 6 KB, crosses a page
+	return []crashOp{
+		opMkdir("/dir"),
+		opCreate("/dir/a"),
+		opWrite("/dir/a", alpha),
+		opCreate("/dir/b"),
+		opWrite("/dir/b", beta),
+		opMkdir("/dir/sub"),
+		opCreate("/dir/sub/c"),
+		opWrite("/dir/sub/c", gamma),
+		opRename("/dir/b", "/dir/sub/moved"),
+		opUnlink("/dir/a"),
+		opCreate("/top"),
+		opRename("/top", "/renamed"),
+	}
+}
+
+// RunCrash exhaustively enumerates every crash point of the scripted
+// workload against the factory's file system: a dry run counts the N
+// persist points (Persist + Fence calls), then the workload is replayed
+// N times with the deterministic crash scheduler armed at k = 1..N. At
+// every point the recovered file system must be consistent with the
+// oracle: completed operations fully visible, the interrupted operation
+// either absent or complete, nothing else. When the env provides them,
+// a full verifier scan and a cold remount must also succeed.
+func RunCrash(t *testing.T, mk CrashFactory) {
+	probe := mk(t)
+	if probe.SkipReason != "" {
+		t.Skip(probe.SkipReason)
+	}
+	if probe.Recover == nil {
+		t.Skip("no crash-recovery path")
+	}
+	script := crashScript()
+
+	// Dry run: count the workload's persist points.
+	fp := nvm.NewFaultPlan()
+	probe.Dev.SetFaultPlan(fp)
+	c := probe.FS.NewClient(0)
+	for _, op := range script {
+		if err := op.do(c); err != nil {
+			t.Fatalf("dry run: %s: %v", op.name, err)
+		}
+	}
+	n := fp.PersistPoints()
+	probe.Dev.SetFaultPlan(nil)
+	if n < int64(len(script)) {
+		t.Fatalf("workload yields only %d persist points for %d ops", n, len(script))
+	}
+	t.Logf("workload: %d ops, %d persist points to sweep", len(script), n)
+
+	for k := int64(1); k <= n; k++ {
+		env := mk(t)
+		fp := nvm.NewFaultPlan()
+		fp.ArmCrashPoint(k)
+		env.Dev.SetFaultPlan(fp)
+		c := env.FS.NewClient(0)
+
+		completed := 0
+		inflightName := "(script completed)"
+		var inflight *crashOp
+		for i := range script {
+			if err := script[i].do(c); err != nil {
+				inflight = &script[i]
+				inflightName = script[i].name
+				break
+			}
+			completed++
+		}
+		if !fp.Fired() {
+			t.Fatalf("k=%d: crash point never fired (%d/%d ops ran)", k, completed, len(script))
+		}
+
+		env.Dev.Tracker().Crash()
+		env.Dev.SetFaultPlan(nil)
+		fs2, err := env.Recover()
+		if err != nil {
+			t.Fatalf("k=%d (in %s): recover: %v", k, inflightName, err)
+		}
+		c2 := fs2.NewClient(0)
+
+		pre := newCrashOracle()
+		for i := 0; i < completed; i++ {
+			script[i].apply(pre)
+		}
+		post := pre.clone()
+		ambiguous := ""
+		if inflight != nil {
+			inflight.apply(post)
+			ambiguous = inflight.dataPath
+		}
+		if err := checkOracle(c2, pre, post, ambiguous); err != nil {
+			t.Fatalf("k=%d (crashed in %s after %d complete ops): %v", k, inflightName, completed, err)
+		}
+		if inflight != nil && inflight.inflight != nil {
+			if err := inflight.inflight(c2); err != nil {
+				t.Fatalf("k=%d (crashed in %s): %v", k, inflightName, err)
+			}
+		}
+		if env.Verify != nil {
+			if bad, first := env.Verify(); bad != 0 {
+				t.Fatalf("k=%d (crashed in %s): %d files failed verification: %s", k, inflightName, bad, first)
+			}
+		}
+		if env.Remount != nil {
+			if err := env.Remount(); err != nil {
+				t.Fatalf("k=%d (crashed in %s): cold remount: %v", k, inflightName, err)
+			}
+		}
+	}
+}
+
+// checkOracle compares the recovered file system against the two legal
+// models: pre (the interrupted op never happened) and post (it
+// completed). Paths on which the models agree must match exactly;
+// paths on which they differ accept either outcome. ambiguous names a
+// file whose content an interrupted data write may have left partial.
+func checkOracle(c fsapi.Client, pre, post *crashOracle, ambiguous string) error {
+	for _, p := range unionKeys(boolKeys(pre.dirs), boolKeys(post.dirs)) {
+		inPre, inPost := pre.dirs[p], post.dirs[p]
+		st, err := c.Stat(p)
+		exists := err == nil
+		if err != nil && !errors.Is(err, fsapi.ErrNotExist) {
+			return fmt.Errorf("stat %s: %v", p, err)
+		}
+		if exists && !st.IsDir {
+			return fmt.Errorf("%s is a file, want directory", p)
+		}
+		if inPre && inPost && !exists {
+			return fmt.Errorf("completed directory %s lost", p)
+		}
+		if !inPre && !inPost && exists {
+			return fmt.Errorf("directory %s should not exist", p)
+		}
+	}
+
+	for _, p := range unionKeys(byteKeys(pre.files), byteKeys(post.files)) {
+		preC, inPre := pre.files[p]
+		postC, inPost := post.files[p]
+		st, err := c.Stat(p)
+		exists := err == nil
+		if err != nil && !errors.Is(err, fsapi.ErrNotExist) {
+			return fmt.Errorf("stat %s: %v", p, err)
+		}
+		if exists && st.IsDir {
+			return fmt.Errorf("%s is a directory, want file", p)
+		}
+		switch {
+		case inPre && inPost:
+			if !exists {
+				return fmt.Errorf("completed file %s lost", p)
+			}
+			if p != ambiguous && bytes.Equal(preC, postC) {
+				if err := checkContent(c, p, preC); err != nil {
+					return err
+				}
+			}
+		case !inPre && !inPost:
+			if exists {
+				return fmt.Errorf("file %s should not exist", p)
+			}
+		default:
+			// The interrupted op created, moved or removed p: either
+			// outcome is legal. Content stays unchecked — an in-flight
+			// creation has no pinned content yet.
+		}
+	}
+
+	// Nothing unexplained: every entry the FS lists must appear in at
+	// least one model.
+	for _, d := range unionKeys(boolKeys(pre.dirs), boolKeys(post.dirs)) {
+		names, err := c.ReadDir(d)
+		if err != nil {
+			if errors.Is(err, fsapi.ErrNotExist) {
+				continue
+			}
+			return fmt.Errorf("readdir %s: %v", d, err)
+		}
+		for _, name := range names {
+			full := joinPath(d, name)
+			_, fPre := pre.files[full]
+			_, fPost := post.files[full]
+			if !fPre && !fPost && !pre.dirs[full] && !post.dirs[full] {
+				return fmt.Errorf("unexplained entry %s", full)
+			}
+		}
+	}
+	return nil
+}
+
+func checkContent(c fsapi.Client, path string, want []byte) error {
+	f, err := c.Open(path, false)
+	if err != nil {
+		return fmt.Errorf("open %s: %v", path, err)
+	}
+	defer f.Close()
+	if f.Size() != int64(len(want)) {
+		return fmt.Errorf("%s: size %d, want %d", path, f.Size(), len(want))
+	}
+	if len(want) == 0 {
+		return nil
+	}
+	got := make([]byte, len(want))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		return fmt.Errorf("read %s: %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("%s: content mismatch", path)
+	}
+	return nil
+}
+
+func joinPath(dir, name string) string {
+	if dir == "/" {
+		return "/" + name
+	}
+	return dir + "/" + name
+}
+
+func boolKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func byteKeys(m map[string][]byte) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func unionKeys(a, b []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range append(a, b...) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------
+// KVFS variant: same crash-point enumeration over the get/set/delete
+// interface of the customized LibFS.
+
+// KVCrashEnv is a crash-capable KVFS under test.
+type KVCrashEnv struct {
+	KV  *kvfs.FS
+	Dev *nvm.Device
+	// Recover recovers the underlying ArckFS and remounts KVFS over it
+	// (the fixed-array aux state is soft and rebuilds from core state).
+	Recover func() (*kvfs.FS, error)
+	Verify  func() (bad int, first string)
+}
+
+// KVCrashFactory builds a fresh KVCrashEnv for one replay.
+type KVCrashFactory func(t *testing.T) *KVCrashEnv
+
+type kvOp struct {
+	name string
+	do   func(kv *kvfs.FS) error
+	// key/val describe the op's effect on the oracle; del marks
+	// deletion.
+	key string
+	val []byte
+	del bool
+}
+
+func kvScript() []kvOp {
+	big := bytes.Repeat([]byte("value-"), 300) // 1.8 KB
+	return []kvOp{
+		{name: "set k1", key: "k1", val: []byte("v1")},
+		{name: "set k2", key: "k2", val: big},
+		{name: "set k1 again", key: "k1", val: []byte("v1-rewritten")},
+		{name: "set k3", key: "k3", val: []byte("v3")},
+		{name: "delete k2", key: "k2", del: true},
+		{name: "set k4", key: "k4", val: bytes.Repeat([]byte{0xEE}, 512)},
+	}
+}
+
+func (op *kvOp) run(kv *kvfs.FS) error {
+	if op.del {
+		return kv.Delete(0, op.key)
+	}
+	return kv.Set(0, op.key, op.val)
+}
+
+func (op *kvOp) apply(m map[string][]byte) {
+	if op.del {
+		delete(m, op.key)
+	} else {
+		m[op.key] = op.val
+	}
+}
+
+// RunCrashKV is RunCrash for the KVFS interface: enumerate every
+// persist point of a set/delete workload, crash, recover, and compare
+// the store against the map oracle. Keys on which the pre- and post-
+// models agree must match exactly; the interrupted op's key accepts
+// either presence, with content unchecked (an in-place overwrite is
+// not atomic).
+func RunCrashKV(t *testing.T, mk KVCrashFactory) {
+	script := kvScript()
+
+	probe := mk(t)
+	fp := nvm.NewFaultPlan()
+	probe.Dev.SetFaultPlan(fp)
+	for _, op := range script {
+		if err := op.run(probe.KV); err != nil {
+			t.Fatalf("dry run: %s: %v", op.name, err)
+		}
+	}
+	n := fp.PersistPoints()
+	probe.Dev.SetFaultPlan(nil)
+	t.Logf("workload: %d ops, %d persist points to sweep", len(script), n)
+
+	for k := int64(1); k <= n; k++ {
+		env := mk(t)
+		fp := nvm.NewFaultPlan()
+		fp.ArmCrashPoint(k)
+		env.Dev.SetFaultPlan(fp)
+
+		completed := 0
+		inflightName := "(script completed)"
+		var inflight *kvOp
+		for i := range script {
+			if err := script[i].run(env.KV); err != nil {
+				inflight = &script[i]
+				inflightName = script[i].name
+				break
+			}
+			completed++
+		}
+		if !fp.Fired() {
+			t.Fatalf("k=%d: crash point never fired (%d/%d ops ran)", k, completed, len(script))
+		}
+
+		env.Dev.Tracker().Crash()
+		env.Dev.SetFaultPlan(nil)
+		kv2, err := env.Recover()
+		if err != nil {
+			t.Fatalf("k=%d (in %s): recover: %v", k, inflightName, err)
+		}
+
+		pre := map[string][]byte{}
+		for i := 0; i < completed; i++ {
+			script[i].apply(pre)
+		}
+		post := map[string][]byte{}
+		for key, v := range pre {
+			post[key] = v
+		}
+		ambiguous := ""
+		if inflight != nil {
+			inflight.apply(post)
+			ambiguous = inflight.key
+		}
+
+		for _, key := range unionKeys(byteKeys(pre), byteKeys(post)) {
+			preV, inPre := pre[key]
+			_, inPost := post[key]
+			buf := make([]byte, kvfs.MaxValueSize)
+			got, gerr := kv2.Get(0, key, buf)
+			exists := gerr == nil
+			if gerr != nil && !errors.Is(gerr, fsapi.ErrNotExist) {
+				t.Fatalf("k=%d (in %s): get %s: %v", k, inflightName, key, gerr)
+			}
+			switch {
+			case inPre && inPost:
+				if !exists {
+					t.Fatalf("k=%d (in %s): completed key %s lost", k, inflightName, key)
+				}
+				if key != ambiguous && !bytes.Equal(buf[:got], preV) {
+					t.Fatalf("k=%d (in %s): key %s = %d bytes, want %d", k, inflightName, key, got, len(preV))
+				}
+			case !inPre && !inPost:
+				if exists {
+					t.Fatalf("k=%d (in %s): key %s should not exist", k, inflightName, key)
+				}
+			default:
+				// Interrupted set/delete of this key: either outcome.
+			}
+		}
+		if env.Verify != nil {
+			if bad, first := env.Verify(); bad != 0 {
+				t.Fatalf("k=%d (in %s): %d files failed verification: %s", k, inflightName, bad, first)
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package fstest
+
+import (
+	"testing"
+
+	"trio/internal/controller"
+	"trio/internal/fpfs"
+	"trio/internal/fsapi"
+	"trio/internal/kvfs"
+	"trio/internal/libfs"
+	"trio/internal/nvm"
+)
+
+// arckRig is a Trio stack on a persistence-tracking device, without a
+// delegation pool: delegation hands large writes to worker goroutines,
+// which would make the persist-point sequence nondeterministic, and the
+// crash-point sweep depends on every replay issuing the identical point
+// sequence.
+type arckRig struct {
+	dev  *nvm.Device
+	ctl  *controller.Controller
+	sess *controller.Session
+	fs   *libfs.FS
+}
+
+func newArckRig(t *testing.T) *arckRig {
+	t.Helper()
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 1, PagesPerNode: 2048, TrackPersistence: true})
+	ctl, err := controller.New(dev, controller.Options{CPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := ctl.Register(1000, 1000, 0, 0)
+	fs, err := libfs.New(sess, libfs.Config{CPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &arckRig{dev: dev, ctl: ctl, sess: sess, fs: fs}
+}
+
+// recover runs the standard warm-recovery sequence: the LibFS recovery
+// program (undo-journal replay, aux-state drop), then the controller's
+// verify-everything-write-mapped pass.
+func (r *arckRig) recover() error {
+	if err := r.fs.Recover(); err != nil {
+		return err
+	}
+	r.ctl.Recover(map[controller.LibFSID]func() error{r.sess.ID(): r.fs.Recover})
+	return nil
+}
+
+func (r *arckRig) crashEnv() *CrashEnv {
+	return &CrashEnv{
+		FS:  r.fs,
+		Dev: r.dev,
+		Recover: func() (fsapi.FS, error) {
+			if err := r.recover(); err != nil {
+				return nil, err
+			}
+			return r.fs, nil
+		},
+		Verify: func() (int, string) {
+			_, bad, first := r.ctl.VerifyAll()
+			return bad, first
+		},
+		Remount: func() error {
+			// A reboot: a fresh controller scans and adopts the on-NVM
+			// state with no memory of the pre-crash processes.
+			_, err := controller.New(r.dev, controller.Options{CPUs: 2})
+			return err
+		},
+	}
+}
+
+// TestCrashRecoveryConformance enumerates every crash point of the
+// scripted workload on each file system that has a recovery story, and
+// documents why the rest are skipped. This is the repo's §6.5-style
+// integrity matrix: the Trio-based FSes must recover to an
+// oracle-consistent, verifier-clean state at every single persist
+// point.
+func TestCrashRecoveryConformance(t *testing.T) {
+	t.Run("arckfs", func(t *testing.T) {
+		RunCrash(t, func(t *testing.T) *CrashEnv { return newArckRig(t).crashEnv() })
+	})
+
+	t.Run("fpfs", func(t *testing.T) {
+		RunCrash(t, func(t *testing.T) *CrashEnv {
+			r := newArckRig(t)
+			env := r.crashEnv()
+			env.FS = fpfs.New(r.fs).Posix()
+			env.Recover = func() (fsapi.FS, error) {
+				if err := r.recover(); err != nil {
+					return nil, err
+				}
+				// FPFS's full-path table is soft state: remounting
+				// rebuilds it lazily from the recovered core state.
+				return fpfs.New(r.fs).Posix(), nil
+			}
+			return env
+		})
+	})
+
+	// The baselines are performance-faithful models, not
+	// crash-recoverable file systems (see the package comment in
+	// internal/baseline/kernfs): they model the costs of the real
+	// systems' persistence machinery without implementing their
+	// recovery protocols.
+	for _, name := range []string{
+		"ext4", "ext4-raid0", "pmfs", "nova", "winefs", "odinfs", "splitfs", "strata",
+	} {
+		t.Run(name, func(t *testing.T) {
+			RunCrash(t, func(t *testing.T) *CrashEnv {
+				return &CrashEnv{SkipReason: name + " is a performance-faithful baseline without a crash-recovery path"}
+			})
+		})
+	}
+}
+
+// TestCrashRecoveryKVFS sweeps the KVFS set/delete workload over every
+// persist point.
+func TestCrashRecoveryKVFS(t *testing.T) {
+	RunCrashKV(t, func(t *testing.T) *KVCrashEnv {
+		r := newArckRig(t)
+		kv, err := kvfs.New(r.fs, "/kv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &KVCrashEnv{
+			KV:  kv,
+			Dev: r.dev,
+			Recover: func() (*kvfs.FS, error) {
+				if err := r.recover(); err != nil {
+					return nil, err
+				}
+				return kvfs.New(r.fs, "/kv")
+			},
+			Verify: func() (int, string) {
+				_, bad, first := r.ctl.VerifyAll()
+				return bad, first
+			},
+		}
+	})
+}

@@ -40,6 +40,9 @@ func Run(t *testing.T, mk Factory) {
 		{"LargeSequentialIO", testLargeSequentialIO},
 		{"ManyFilesInOneDir", testManyFiles},
 		{"ParallelPrivateFiles", testParallelPrivateFiles},
+		{"ParallelCreatesOneDir", testParallelCreatesOneDir},
+		{"ConcurrentReadWriteOneFile", testConcurrentReadWriteOneFile},
+		{"RenameRacingReadDir", testRenameRacingReadDir},
 		{"SyncIsSafe", testSync},
 	}
 	for _, c := range cases {
@@ -391,6 +394,190 @@ func testParallelPrivateFiles(t *testing.T, fs fsapi.FS) {
 			}
 		}()
 	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// testParallelCreatesOneDir has several clients hammer creates into a
+// single shared directory — the dirent slot allocation and hash-table
+// insert paths under contention. Run under -race this doubles as a data
+// race detector for the directory aux structures.
+func testParallelCreatesOneDir(t *testing.T, fs fsapi.FS) {
+	if fs.Name() == "strata" {
+		t.Skip("strata runs single-threaded (as in the paper)")
+	}
+	c0 := fs.NewClient(0)
+	if err := c0.Mkdir("/shared", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	const workers, each = 4, 32
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := fs.NewClient(g)
+			for i := 0; i < each; i++ {
+				f, err := c.Create(fmt.Sprintf("/shared/w%d-f%02d", g, i), 0o644)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d create %d: %v", g, i, err)
+					return
+				}
+				if err := f.Close(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	names, err := c0.ReadDir("/shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != workers*each {
+		t.Fatalf("ReadDir after parallel creates: %d entries, want %d", len(names), workers*each)
+	}
+}
+
+// testConcurrentReadWriteOneFile races writers and readers on one open
+// file. Writers store whole 64-byte blocks of 0xAA or 0xBB; every byte
+// a reader observes must be 0x00 (never written), 0xAA or 0xBB — any
+// other value means a torn or out-of-thin-air read.
+func testConcurrentReadWriteOneFile(t *testing.T, fs fsapi.FS) {
+	if fs.Name() == "strata" {
+		t.Skip("strata runs single-threaded (as in the paper)")
+	}
+	c0 := fs.NewClient(0)
+	f, err := c0.Create("/rw", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 16 << 10
+	if _, err := f.WriteAt(make([]byte, size), 0); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	for w, fill := range []byte{0xAA, 0xBB} {
+		w, fill := w, fill
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, err := fs.NewClient(w + 1).Open("/rw", true)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer h.Close()
+			block := bytes.Repeat([]byte{fill}, 64)
+			for i := 0; i < 200; i++ {
+				off := int64(((i * 7919) + w*64) % (size - 64))
+				off -= off % 64
+				if _, err := h.WriteAt(block, off); err != nil {
+					errs <- fmt.Errorf("writer %x: %v", fill, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h, err := fs.NewClient(3).Open("/rw", false)
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer h.Close()
+		buf := make([]byte, 64)
+		for i := 0; i < 400; i++ {
+			off := int64((i * 4099) % (size - 64))
+			off -= off % 64
+			if _, err := h.ReadAt(buf, off); err != nil {
+				errs <- fmt.Errorf("reader: %v", err)
+				return
+			}
+			for j, b := range buf {
+				if b != 0x00 && b != 0xAA && b != 0xBB {
+					errs <- fmt.Errorf("reader saw %#x at %d+%d", b, off, j)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// testRenameRacingReadDir races renames in a directory against
+// concurrent listings of it: the static entries must show up in every
+// listing, and readdir must never error no matter where the rename is.
+func testRenameRacingReadDir(t *testing.T, fs fsapi.FS) {
+	if fs.Name() == "strata" {
+		t.Skip("strata runs single-threaded (as in the paper)")
+	}
+	c0 := fs.NewClient(0)
+	if err := c0.Mkdir("/race", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	static := []string{"s1", "s2", "s3"}
+	for _, n := range append([]string{"mover-a"}, static...) {
+		f, err := c0.Create("/race/"+n, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := fs.NewClient(1)
+		from, to := "/race/mover-a", "/race/mover-b"
+		for i := 0; i < 100; i++ {
+			if err := c.Rename(from, to); err != nil {
+				errs <- fmt.Errorf("rename %d: %v", i, err)
+				return
+			}
+			from, to = to, from
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := fs.NewClient(2)
+		for i := 0; i < 100; i++ {
+			names, err := c.ReadDir("/race")
+			if err != nil {
+				errs <- fmt.Errorf("readdir %d: %v", i, err)
+				return
+			}
+			seen := make(map[string]bool, len(names))
+			for _, n := range names {
+				seen[n] = true
+			}
+			for _, s := range static {
+				if !seen[s] {
+					errs <- fmt.Errorf("readdir %d: static entry %s missing from %v", i, s, names)
+					return
+				}
+			}
+		}
+	}()
 	wg.Wait()
 	close(errs)
 	for err := range errs {

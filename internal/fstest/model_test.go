@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
+	"strconv"
 	"testing"
 
 	"trio/internal/fsfactory"
@@ -106,8 +108,25 @@ func (m *model) rename(oldP, newP string) bool {
 	return true
 }
 
+// modelSeed returns the run's RNG seed: the fixed default, or an
+// FSTEST_SEED override for reproducing (and widening) a failure.
+func modelSeed(t *testing.T) int64 {
+	seed := int64(20260704)
+	if s := os.Getenv("FSTEST_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("FSTEST_SEED=%q: %v", s, err)
+		}
+		seed = v
+	}
+	return seed
+}
+
 // TestModelEquivalence drives a long random operation sequence against
 // the FS under test and the oracle, comparing results and final state.
+// The seed is logged (and overridable via FSTEST_SEED) and the tail of
+// the operation trace is dumped on failure, so any divergence is
+// reproducible from the test log alone.
 func TestModelEquivalence(t *testing.T) {
 	for _, name := range []string{"arckfs", "nova", "splitfs", "strata", "odinfs"} {
 		name := name
@@ -119,7 +138,27 @@ func TestModelEquivalence(t *testing.T) {
 			defer inst.Close()
 			c := inst.NewClient(0)
 			m := newModel()
-			rng := rand.New(rand.NewSource(20260704))
+			seed := modelSeed(t)
+			t.Logf("seed=%d (reproduce / vary with FSTEST_SEED)", seed)
+			rng := rand.New(rand.NewSource(seed))
+
+			var trace []string
+			note := func(format string, args ...interface{}) {
+				trace = append(trace, fmt.Sprintf(format, args...))
+			}
+			defer func() {
+				if !t.Failed() {
+					return
+				}
+				start := len(trace) - 25
+				if start < 0 {
+					start = 0
+				}
+				t.Logf("seed %d, last %d ops before failure:", seed, len(trace)-start)
+				for _, s := range trace[start:] {
+					t.Log("  " + s)
+				}
+			}()
 
 			// A small universe of paths keeps collisions (and therefore
 			// interesting error paths) frequent.
@@ -147,6 +186,7 @@ func TestModelEquivalence(t *testing.T) {
 				switch rng.Intn(10) {
 				case 0, 1: // create
 					p := pick()
+					note("op %d: create %s", i, p)
 					f, err := c.Create(p, 0o644)
 					ok := err == nil
 					if f != nil {
@@ -167,6 +207,7 @@ func TestModelEquivalence(t *testing.T) {
 					p := pick()
 					off := rng.Intn(20000)
 					b := bytes.Repeat([]byte{byte(i)}, rng.Intn(6000)+1)
+					note("op %d: write %s off=%d len=%d", i, p, off, len(b))
 					f, err := c.Open(p, true)
 					if err != nil {
 						if _, ok := m.files[p]; ok {
@@ -184,6 +225,7 @@ func TestModelEquivalence(t *testing.T) {
 				case 5: // truncate
 					p := pick()
 					size := rng.Intn(30000)
+					note("op %d: truncate %s size=%d", i, p, size)
 					f, err := c.Open(p, true)
 					if err != nil {
 						continue
@@ -195,6 +237,7 @@ func TestModelEquivalence(t *testing.T) {
 					m.truncate(p, size)
 				case 6: // unlink
 					p := pick()
+					note("op %d: unlink %s", i, p)
 					err := c.Unlink(p)
 					if (err == nil) != m.unlink(p) {
 						t.Fatalf("op %d unlink %s: fs=%v", i, p, err)
@@ -208,6 +251,7 @@ func TestModelEquivalence(t *testing.T) {
 					if m.dirs[newP] || m.dirs[oldP] {
 						continue
 					}
+					note("op %d: rename %s -> %s", i, oldP, newP)
 					err := c.Rename(oldP, newP)
 					_, srcExists := m.files[oldP]
 					if srcExists {
@@ -220,6 +264,7 @@ func TestModelEquivalence(t *testing.T) {
 					}
 				case 8, 9: // read + compare
 					p := pick()
+					note("op %d: read %s", i, p)
 					mf, ok := m.files[p]
 					f, err := c.Open(p, false)
 					if (err == nil) != ok {

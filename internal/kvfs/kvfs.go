@@ -118,6 +118,13 @@ func (fs *FS) node(cpu int, key string, create bool) (*kvnode, error) {
 	if in.Size > MaxValueSize {
 		return nil, fmt.Errorf("kvfs: %q is %d bytes, beyond the small-file cap", key, in.Size)
 	}
+	// Map the file before reading its pages: after a crash the
+	// controller's recovery pass revoked every mapping, so the rebuild
+	// cannot rely on leftover creator permissions. Write access up
+	// front, since Set mutates values in place.
+	if err := fs.hooks.MapEntry(e, true); err != nil {
+		return nil, err
+	}
 	n := &kvnode{entry: e, idx: in.Head, size: int(in.Size)}
 	if in.Head != nvm.NilPage {
 		as := fs.hooks.AddressSpace()
@@ -140,14 +147,26 @@ func (fs *FS) Set(cpu int, key string, val []byte) error {
 	if len(val) > MaxValueSize {
 		return fmt.Errorf("kvfs: value of %q is %d bytes (max %d)", key, len(val), MaxValueSize)
 	}
+	// The inode lives in the directory's dirent page; make sure this
+	// LibFS holds a writable mapping of it (a post-crash remount starts
+	// with none).
+	if err := fs.hooks.EnsureWritable(fs.dir); err != nil {
+		return libfs.IOErr(err)
+	}
 	n, err := fs.node(cpu, key, true)
 	if err != nil {
-		return err
+		return libfs.IOErr(err)
 	}
-	as := fs.hooks.AddressSpace()
-	mem := fs.hooks.Mem(cpu)
 	n.lock.Lock()
 	defer n.lock.Unlock()
+	return libfs.IOErr(fs.setLocked(cpu, n, val))
+}
+
+// setLocked is Set's body with n.lock held; device faults propagate
+// raw and are mapped to fsapi.ErrIO at the API boundary above.
+func (fs *FS) setLocked(cpu int, n *kvnode, val []byte) error {
+	as := fs.hooks.AddressSpace()
+	mem := fs.hooks.Mem(cpu)
 	need := (len(val) + nvm.PageSize - 1) / nvm.PageSize
 	if need > 0 && n.idx == nvm.NilPage {
 		ip, err := fs.hooks.AllocPage(cpu)
@@ -158,7 +177,9 @@ func (fs *FS) Set(cpu int, key string, val []byte) error {
 		if err := as.Write(ip, 0, zeros[:]); err != nil {
 			return err
 		}
-		if err := as.Persist(ip, 0, nvm.PageSize); err != nil {
+		if err := nvm.RetryTransient(func() error {
+			return as.Persist(ip, 0, nvm.PageSize)
+		}); err != nil {
 			return err
 		}
 		if err := fs.hooks.SetInodeHead(n.entry, ip); err != nil {
@@ -174,7 +195,7 @@ func (fs *FS) Set(cpu int, key string, val []byte) error {
 		if err != nil {
 			return err
 		}
-		if err := core.SetIndexEntry(as, n.idx, i, p); err != nil {
+		if err := core.SetIndexEntry(fs.hooks.CoreMem(), n.idx, i, p); err != nil {
 			return err
 		}
 		n.pages[i] = p
@@ -188,7 +209,9 @@ func (fs *FS) Set(cpu int, key string, val []byte) error {
 		if err := mem.Write(n.pages[i], 0, val[lo:hi]); err != nil {
 			return err
 		}
-		if err := mem.Persist(n.pages[i], 0, hi-lo); err != nil {
+		if err := nvm.RetryTransient(func() error {
+			return mem.Persist(n.pages[i], 0, hi-lo)
+		}); err != nil {
 			return err
 		}
 	}
@@ -204,7 +227,7 @@ func (fs *FS) Set(cpu int, key string, val []byte) error {
 func (fs *FS) Get(cpu int, key string, buf []byte) (int, error) {
 	n, err := fs.node(cpu, key, false)
 	if err != nil {
-		return 0, err
+		return 0, libfs.IOErr(err)
 	}
 	mem := fs.hooks.Mem(cpu)
 	n.lock.Lock()
@@ -226,7 +249,7 @@ func (fs *FS) Get(cpu int, key string, buf []byte) (int, error) {
 			continue
 		}
 		if err := mem.Read(p, 0, buf[off:hi]); err != nil {
-			return 0, err
+			return 0, libfs.IOErr(err)
 		}
 	}
 	return size, nil
@@ -235,7 +258,7 @@ func (fs *FS) Get(cpu int, key string, buf []byte) (int, error) {
 // Delete removes key's file.
 func (fs *FS) Delete(cpu int, key string) error {
 	fs.vals.Delete(key)
-	return fs.hooks.RemoveEntry(cpu, fs.dir, key)
+	return libfs.IOErr(fs.hooks.RemoveEntry(cpu, fs.dir, key))
 }
 
 // Keys lists the store's keys (directory enumeration).

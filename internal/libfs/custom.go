@@ -40,6 +40,17 @@ type DirRef struct {
 // AddressSpace exposes the MMU-checked view of NVM.
 func (h Hooks) AddressSpace() *mmu.AddressSpace { return h.fs.as }
 
+// CoreMem exposes the MMU-checked accessor with the LibFS's bounded
+// transient-retry persist policy; customized LibFSes should route their
+// core-state metadata persists through it so delayed-persistence faults
+// degrade the same way ArckFS's own paths do.
+func (h Hooks) CoreMem() core.Mem { return h.fs.cmem }
+
+// IOErr translates device-level faults into fsapi.ErrIO the same way
+// ArckFS's client boundary does; customized LibFSes apply it at their
+// own API boundaries.
+func IOErr(err error) error { return ioErr(err) }
+
 // Mem returns the MMU-checked accessor for the calling thread's NUMA
 // node; customized LibFSes use it for their data paths.
 func (h Hooks) Mem(cpu int) *mmu.View { return h.fs.mem(cpu) }
@@ -118,7 +129,7 @@ func (h Hooks) RemoveEntry(cpu int, d *DirRef, name string) error {
 		if !d.n.ht.Delete(name) {
 			return fsapi.ErrNotExist
 		}
-		if err := core.CommitDirentIno(h.fs.as, e.loc.Page, e.loc.Slot, 0); err != nil {
+		if err := core.CommitDirentIno(h.fs.cmem, e.loc.Page, e.loc.Slot, 0); err != nil {
 			d.n.ht.Put(name, e)
 			return err
 		}
@@ -154,12 +165,12 @@ func (h Hooks) ReadInode(e Entry) (core.Inode, error) {
 
 // SetInodeSize commits a new size for the file at e.
 func (h Hooks) SetInodeSize(e Entry, size, mtime uint64) error {
-	return core.UpdateInodeSizeMtime(h.fs.as, e.Loc, size, mtime)
+	return core.UpdateInodeSizeMtime(h.fs.cmem, e.Loc, size, mtime)
 }
 
 // SetInodeHead commits a new head index page for the file at e.
 func (h Hooks) SetInodeHead(e Entry, head nvm.PageID) error {
-	return core.UpdateInodeHead(h.fs.as, e.Loc, head)
+	return core.UpdateInodeHead(h.fs.cmem, e.Loc, head)
 }
 
 // OpenCreated opens a handle on a file this LibFS just created through
@@ -179,6 +190,20 @@ func (h Hooks) OpenCreated(cpu int, e Entry) (fsapi.File, error) {
 	n.mapMu.Unlock()
 	c := &Client{fs: h.fs, cpu: cpu % h.fs.cfg.CPUs}
 	return c.openHandle(n, true), nil
+}
+
+// MapEntry maps the regular file at e into this LibFS through the
+// controller, granting the MMU permissions a customized LibFS needs to
+// rebuild its own index from the raw core state. Customized LibFSes
+// must use it before touching a file's pages directly: after a crash,
+// the controller's recovery pass drops every pre-crash mapping, so the
+// creator's implicit pool-page permissions are gone.
+func (h Hooks) MapEntry(e Entry, write bool) error {
+	if e.IsDir {
+		return fsapi.ErrIsDir
+	}
+	n := h.fs.nodeFor(dirEntry{ino: e.Ino, loc: e.Loc, ftype: core.TypeReg})
+	return h.fs.ensureMapped(n, write)
 }
 
 // OpenEntry opens a file handle directly from an Entry, skipping the

@@ -78,7 +78,7 @@ func (fs *FS) claimSlot(cpu int, dir *node) (nvm.PageID, int, error) {
 	if err := fs.as.Write(page, 0, zeros[:]); err != nil {
 		return 0, 0, err
 	}
-	if err := fs.as.Persist(page, 0, nvm.PageSize); err != nil {
+	if err := fs.persist(page, 0, nvm.PageSize); err != nil {
 		return 0, 0, err
 	}
 	block := uint64(len(dir.dirPages))
@@ -86,7 +86,7 @@ func (fs *FS) claimSlot(cpu int, dir *node) (nvm.PageID, int, error) {
 		return 0, 0, err
 	}
 	dir.dirPages = append(dir.dirPages, page)
-	if err := core.UpdateInodeSizeMtime(fs.as, dir.loc(),
+	if err := core.UpdateInodeSizeMtime(fs.cmem, dir.loc(),
 		uint64(len(dir.dirPages))*nvm.PageSize, uint64(time.Now().UnixNano())); err != nil {
 		return 0, 0, err
 	}
@@ -143,11 +143,11 @@ func (fs *FS) createEntry(cpu int, parent *node, name string, ftype core.FileTyp
 			Mtime: now, Ctime: now, Atime: now,
 		}
 		off := core.SlotOffset(slot)
-		if err := core.WriteInodeBody(fs.as, page, off, &in); err != nil {
+		if err := core.WriteInodeBody(fs.cmem, page, off, &in); err != nil {
 			parent.releaseSlot(page, slot)
 			return err
 		}
-		if err := core.WriteDirentName(fs.as, page, slot, name); err != nil {
+		if err := core.WriteDirentName(fs.cmem, page, slot, name); err != nil {
 			parent.releaseSlot(page, slot)
 			return err
 		}
@@ -160,7 +160,7 @@ func (fs *FS) createEntry(cpu int, parent *node, name string, ftype core.FileTyp
 			parent.releaseSlot(page, slot)
 			return fsapi.ErrExist
 		}
-		if err := core.CommitDirentIno(fs.as, page, slot, ino); err != nil {
+		if err := core.CommitDirentIno(fs.cmem, page, slot, ino); err != nil {
 			parent.ht.Delete(name)
 			parent.releaseSlot(page, slot)
 			return err
@@ -174,7 +174,7 @@ func (fs *FS) createEntry(cpu int, parent *node, name string, ftype core.FileTyp
 func (c *Client) Create(path string, mode uint16) (fsapi.File, error) {
 	parent, name, err := c.fs.resolveParent(path)
 	if err != nil {
-		return nil, err
+		return nil, ioErr(err)
 	}
 	entry, err := c.fs.createEntry(c.cpu, parent, name, core.TypeReg, mode)
 	if err == nil {
@@ -191,7 +191,7 @@ func (c *Client) Create(path string, mode uint16) (fsapi.File, error) {
 		return c.openHandle(n, true), nil
 	}
 	if !errors.Is(err, fsapi.ErrExist) {
-		return nil, err
+		return nil, ioErr(err)
 	}
 	// Exists: open and truncate.
 	f, oerr := c.Open(path, true)
@@ -209,11 +209,11 @@ func (c *Client) Create(path string, mode uint16) (fsapi.File, error) {
 func (c *Client) Mkdir(path string, mode uint16) error {
 	parent, name, err := c.fs.resolveParent(path)
 	if err != nil {
-		return err
+		return ioErr(err)
 	}
 	entry, err := c.fs.createEntry(c.cpu, parent, name, core.TypeDir, mode)
 	if err != nil {
-		return err
+		return ioErr(err)
 	}
 	n := c.fs.nodeFor(entry)
 	n.mapMu.Lock()
@@ -246,9 +246,9 @@ func (c *Client) unlinkCommon(path string, wantDir bool) error {
 	fs := c.fs
 	parent, name, err := fs.resolveParent(path)
 	if err != nil {
-		return err
+		return ioErr(err)
 	}
-	return fs.withMapped(parent, true, func() error {
+	return ioErr(fs.withMapped(parent, true, func() error {
 		e, ok := parent.ht.Get(name)
 		if !ok {
 			return fsapi.ErrNotExist
@@ -295,7 +295,7 @@ func (c *Client) unlinkCommon(path string, wantDir bool) error {
 		if !parent.ht.Delete(name) {
 			return fsapi.ErrNotExist
 		}
-		if err := core.CommitDirentIno(fs.as, e.loc.Page, e.loc.Slot, 0); err != nil {
+		if err := core.CommitDirentIno(fs.cmem, e.loc.Page, e.loc.Slot, 0); err != nil {
 			parent.ht.Put(name, e)
 			return err
 		}
@@ -311,7 +311,7 @@ func (c *Client) unlinkCommon(path string, wantDir bool) error {
 		}
 		fs.dropNode(e.ino)
 		return nil
-	})
+	}))
 }
 
 func (fs *FS) dirHasLiveEntry(dir *node, pages []nvm.PageID) (bool, error) {
@@ -351,11 +351,11 @@ func (c *Client) Rename(oldPath, newPath string) error {
 	fs := c.fs
 	srcParent, oldName, err := fs.resolveParent(oldPath)
 	if err != nil {
-		return err
+		return ioErr(err)
 	}
 	dstParent, newName, err := fs.resolveParent(newPath)
 	if err != nil {
-		return err
+		return ioErr(err)
 	}
 	if err := core.ValidateName(newName); err != nil {
 		return fsapi.ErrInval
@@ -373,7 +373,7 @@ func (c *Client) Rename(oldPath, newPath string) error {
 		defer second.ilock.Unlock()
 	}
 
-	return fs.withMapped(srcParent, true, func() error {
+	return ioErr(fs.withMapped(srcParent, true, func() error {
 		return fs.withMapped(dstParent, true, func() error {
 			oldE, ok := srcParent.ht.Get(oldName)
 			if !ok {
@@ -432,25 +432,25 @@ func (c *Client) Rename(oldPath, newPath string) error {
 			if err := fs.as.Write(dstPage, core.SlotOffset(dstSlot)+8, slotImg[8:]); err != nil {
 				return err
 			}
-			if err := fs.as.Persist(dstPage, core.SlotOffset(dstSlot)+8, core.DirentSize-8); err != nil {
+			if err := fs.persist(dstPage, core.SlotOffset(dstSlot)+8, core.DirentSize-8); err != nil {
 				return err
 			}
 			// New name overwrites the copied one.
-			if err := core.WriteDirentName(fs.as, dstPage, dstSlot, newName); err != nil {
+			if err := core.WriteDirentName(fs.cmem, dstPage, dstSlot, newName); err != nil {
 				return err
 			}
 			fs.as.Fence()
-			if err := core.CommitDirentIno(fs.as, dstPage, dstSlot, oldE.ino); err != nil {
+			if err := core.CommitDirentIno(fs.cmem, dstPage, dstSlot, oldE.ino); err != nil {
 				return err
 			}
-			if err := core.CommitDirentIno(fs.as, oldE.loc.Page, oldE.loc.Slot, 0); err != nil {
+			if err := core.CommitDirentIno(fs.cmem, oldE.loc.Page, oldE.loc.Slot, 0); err != nil {
 				return err
 			}
 			var targetPages []nvm.PageID
 			if target != nil {
 				tn := fs.nodeFor(*target)
 				targetPages, _ = fs.filePages(tn)
-				if err := core.CommitDirentIno(fs.as, target.loc.Page, target.loc.Slot, 0); err != nil {
+				if err := core.CommitDirentIno(fs.cmem, target.loc.Page, target.loc.Slot, 0); err != nil {
 					return err
 				}
 			}
@@ -473,7 +473,7 @@ func (c *Client) Rename(oldPath, newPath string) error {
 			}
 			return nil
 		})
-	})
+	}))
 }
 
 // Stat implements fsapi.Client. As the paper notes (§4.1), stat needs
@@ -493,11 +493,11 @@ func (c *Client) Stat(path string) (fsapi.FileInfo, error) {
 			info = fsapi.FileInfo{Name: "/", Ino: uint64(in.Ino), Size: int64(in.Size), Mode: in.Mode, IsDir: true}
 			return nil
 		})
-		return info, err
+		return info, ioErr(err)
 	}
 	parent, err := fs.resolve(parts[:len(parts)-1])
 	if err != nil {
-		return fsapi.FileInfo{}, err
+		return fsapi.FileInfo{}, ioErr(err)
 	}
 	name := parts[len(parts)-1]
 	var info fsapi.FileInfo
@@ -516,7 +516,7 @@ func (c *Client) Stat(path string) (fsapi.FileInfo, error) {
 		}
 		return nil
 	})
-	return info, err
+	return info, ioErr(err)
 }
 
 // ReadDir implements fsapi.Client: enumerate through the private hash
@@ -526,7 +526,7 @@ func (c *Client) ReadDir(path string) ([]string, error) {
 	fs := c.fs
 	dir, err := fs.resolve(fsapi.SplitPath(path))
 	if err != nil {
-		return nil, err
+		return nil, ioErr(err)
 	}
 	if dir.ftype() != core.TypeDir {
 		return nil, fsapi.ErrNotDir
@@ -540,7 +540,7 @@ func (c *Client) ReadDir(path string) ([]string, error) {
 		})
 		return nil
 	})
-	return names, err
+	return names, ioErr(err)
 }
 
 // Chmod changes permission bits through the controller (I4: the shadow
@@ -548,9 +548,9 @@ func (c *Client) ReadDir(path string) ([]string, error) {
 func (c *Client) Chmod(path string, mode uint16) error {
 	n, err := c.fs.resolve(fsapi.SplitPath(path))
 	if err != nil {
-		return err
+		return ioErr(err)
 	}
-	return mapControllerErr(c.fs.sess.Chmod(n.ino, mode))
+	return ioErr(mapControllerErr(c.fs.sess.Chmod(n.ino, mode)))
 }
 
 func isFault(err error) bool { return errors.Is(err, mmu.ErrFault) }

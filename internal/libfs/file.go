@@ -60,13 +60,13 @@ func (h *Handle) Sync() error { return nil }
 func (c *Client) Open(path string, write bool) (fsapi.File, error) {
 	n, err := c.fs.resolve(fsapi.SplitPath(path))
 	if err != nil {
-		return nil, err
+		return nil, ioErr(err)
 	}
 	if n.ftype() == core.TypeDir {
 		return nil, fsapi.ErrIsDir
 	}
 	if err := c.fs.ensureMapped(n, write); err != nil {
-		return nil, err
+		return nil, ioErr(err)
 	}
 	return c.openHandle(n, write), nil
 }
@@ -120,7 +120,7 @@ func (h *Handle) ReadAt(b []byte, off int64) (int, error) {
 		total = int(count)
 		return nil
 	})
-	return total, err
+	return total, ioErr(err)
 }
 
 // WriteAt implements fsapi.File. Writes within the current size take
@@ -158,7 +158,7 @@ func (h *Handle) WriteAt(b []byte, off int64) (int, error) {
 		return fs.copyOut(h.c.cpu, n, b, off, true)
 	})
 	if err != nil {
-		return 0, err
+		return 0, ioErr(err)
 	}
 	return len(b), nil
 }
@@ -177,7 +177,7 @@ func (h *Handle) Append(b []byte) (int64, error) {
 		at = atomic.LoadInt64(&n.size)
 		return fs.extendLocked(h.c.cpu, n, b, at)
 	})
-	return at, err
+	return at, ioErr(err)
 }
 
 // writeExtend handles writes that grow the file: exclusive inode lock.
@@ -203,7 +203,7 @@ func (fs *FS) extendLocked(cpu int, n *node, b []byte, off int64) error {
 	}
 	// 3. Commit the new size.
 	if end > atomic.LoadInt64(&n.size) {
-		if err := core.UpdateInodeSizeMtime(fs.as, n.loc(), uint64(end), uint64(time.Now().UnixNano())); err != nil {
+		if err := core.UpdateInodeSizeMtime(fs.cmem, n.loc(), uint64(end), uint64(time.Now().UnixNano())); err != nil {
 			return err
 		}
 		atomic.StoreInt64(&n.size, end)
@@ -284,22 +284,22 @@ func (fs *FS) linkBlockLocked(cpu int, n *node, block uint64, page nvm.PageID) e
 		if err := fs.as.Write(ip, 0, zeros[:]); err != nil {
 			return err
 		}
-		if err := fs.as.Persist(ip, 0, nvm.PageSize); err != nil {
+		if err := fs.persist(ip, 0, nvm.PageSize); err != nil {
 			return err
 		}
 		if len(n.chain) == 0 {
-			if err := core.UpdateInodeHead(fs.as, n.loc(), ip); err != nil {
+			if err := core.UpdateInodeHead(fs.cmem, n.loc(), ip); err != nil {
 				return err
 			}
 		} else {
-			if err := core.SetNextIndexPage(fs.as, n.chain[len(n.chain)-1], ip); err != nil {
+			if err := core.SetNextIndexPage(fs.cmem, n.chain[len(n.chain)-1], ip); err != nil {
 				return err
 			}
 			fs.as.Fence()
 		}
 		n.chain = append(n.chain, ip)
 	}
-	if err := core.SetIndexEntry(fs.as, n.chain[chainIdx], entry, page); err != nil {
+	if err := core.SetIndexEntry(fs.cmem, n.chain[chainIdx], entry, page); err != nil {
 		return err
 	}
 	fs.as.Fence()
@@ -344,7 +344,7 @@ func (h *Handle) Truncate(size int64) error {
 	}
 	fs := h.c.fs
 	n := h.n
-	return fs.withMapped(n, true, func() error {
+	return ioErr(fs.withMapped(n, true, func() error {
 		n.ilock.Lock()
 		defer n.ilock.Unlock()
 		cur := atomic.LoadInt64(&n.size)
@@ -359,7 +359,7 @@ func (h *Handle) Truncate(size int64) error {
 					dead = append(dead, nvm.PageID(p))
 					chainIdx := int(block / core.IndexEntriesPerPage)
 					if chainIdx < len(n.chain) {
-						if err := core.SetIndexEntry(fs.as, n.chain[chainIdx], int(block%core.IndexEntriesPerPage), nvm.NilPage); err != nil {
+						if err := core.SetIndexEntry(fs.cmem, n.chain[chainIdx], int(block%core.IndexEntriesPerPage), nvm.NilPage); err != nil {
 							return err
 						}
 					}
@@ -367,16 +367,16 @@ func (h *Handle) Truncate(size int64) error {
 				}
 			}
 			fs.as.Fence()
-			if err := core.UpdateInodeSizeMtime(fs.as, n.loc(), uint64(size), uint64(time.Now().UnixNano())); err != nil {
+			if err := core.UpdateInodeSizeMtime(fs.cmem, n.loc(), uint64(size), uint64(time.Now().UnixNano())); err != nil {
 				return err
 			}
 			atomic.StoreInt64(&n.size, size)
 			return fs.freePages(h.c.cpu, dead)
 		}
-		if err := core.UpdateInodeSizeMtime(fs.as, n.loc(), uint64(size), uint64(time.Now().UnixNano())); err != nil {
+		if err := core.UpdateInodeSizeMtime(fs.cmem, n.loc(), uint64(size), uint64(time.Now().UnixNano())); err != nil {
 			return err
 		}
 		atomic.StoreInt64(&n.size, size)
 		return nil
-	})
+	}))
 }

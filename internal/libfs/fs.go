@@ -69,6 +69,9 @@ func (c *Config) fill() {
 type FS struct {
 	sess *controller.Session
 	as   *mmu.AddressSpace
+	// cmem is the address space behind the transient-fault retry policy;
+	// every core-state metadata persist goes through it.
+	cmem core.Mem
 	pool *delegation.Pool
 	cfg  Config
 
@@ -227,6 +230,7 @@ func New(sess *controller.Session, cfg Config) (*FS, error) {
 		percpu: make([]cpuLocal, cfg.CPUs),
 		dev:    sess.AddressSpace().Device(),
 	}
+	fs.cmem = retryMem{fs.as}
 	fs.views = make([]*mmu.View, fs.dev.Nodes())
 	for n := range fs.views {
 		fs.views[n] = fs.as.View(n)
@@ -464,6 +468,37 @@ func (fs *FS) resolveParent(path string) (*node, string, error) {
 		return nil, "", fsapi.ErrNotDir
 	}
 	return parent, name, nil
+}
+
+// retryMem wraps the address space so core-state persists ride the
+// bounded transient-retry policy: a delayed-persistence window on the
+// device (nvm.ErrDeviceBusy) is retried with exponential backoff and
+// only surfaces once the budget is exhausted. Hard faults pass through.
+type retryMem struct {
+	*mmu.AddressSpace
+}
+
+func (m retryMem) Persist(p nvm.PageID, off, n int) error {
+	return nvm.RetryTransient(func() error { return m.AddressSpace.Persist(p, off, n) })
+}
+
+// persist is the retrying counterpart of fs.as.Persist for the few
+// sites that flush raw page ranges rather than going through a core
+// helper.
+func (fs *FS) persist(p nvm.PageID, off, n int) error {
+	return fs.cmem.Persist(p, off, n)
+}
+
+// ioErr translates device-level faults — injected media errors, a busy
+// window that outlived the retry budget, a frozen crashed device — into
+// fsapi.ErrIO at the client API boundary, so harness code above the FS
+// sees a POSIX-shaped error instead of a device internals leak. All
+// other errors pass through unchanged.
+func ioErr(err error) error {
+	if err == nil || !nvm.IsInjected(err) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", fsapi.ErrIO, err)
 }
 
 // mapControllerErr translates controller errors into fsapi errors.

@@ -237,8 +237,7 @@ func (v *View) Persist(p nvm.PageID, off, n int) error {
 	if err := v.as.check(p, PermRead); err != nil {
 		return err
 	}
-	v.as.dev.Persist(p, off, n)
-	return nil
+	return v.as.dev.Persist(p, off, n)
 }
 
 // Persist flushes the cachelines covering [off, off+n) of page p.
@@ -248,8 +247,7 @@ func (as *AddressSpace) Persist(p nvm.PageID, off, n int) error {
 	if err := as.check(p, PermRead); err != nil {
 		return err
 	}
-	as.dev.Persist(p, off, n)
-	return nil
+	return as.dev.Persist(p, off, n)
 }
 
 // Fence issues a store fence.

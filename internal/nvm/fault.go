@@ -1,0 +1,287 @@
+package nvm
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault-injection errors. ErrDeviceBusy is the only transient one:
+// consumers are expected to retry it with bounded backoff (see
+// RetryTransient); everything else is a hard fault that must surface to
+// the caller as an I/O error.
+var (
+	// ErrMediaRead models an uncorrectable media error on a load.
+	ErrMediaRead = errors.New("nvm: injected media read error")
+	// ErrMediaWrite models a media error on a store.
+	ErrMediaWrite = errors.New("nvm: injected media write error")
+	// ErrDeviceBusy models a delayed-persistence window: the CLWB did
+	// not complete and the line is still volatile. Transient.
+	ErrDeviceBusy = errors.New("nvm: persist delayed (device busy, transient)")
+	// ErrCrashPoint is returned once an armed crash point has fired:
+	// the device is frozen and no further stores or persists land.
+	ErrCrashPoint = errors.New("nvm: crash point reached (device frozen)")
+)
+
+// AllPages is the wildcard page for fault rules that should apply to
+// every page of the device.
+const AllPages PageID = ^PageID(0)
+
+// IsInjected reports whether err originates from fault injection
+// (including the legacy FailAfterWrites budget). Consumers use it to
+// translate device faults into their own I/O error space.
+func IsInjected(err error) bool {
+	return errors.Is(err, ErrMediaRead) ||
+		errors.Is(err, ErrMediaWrite) ||
+		errors.Is(err, ErrDeviceBusy) ||
+		errors.Is(err, ErrCrashPoint) ||
+		errors.Is(err, ErrInjectedFailure)
+}
+
+// retryAttempts bounds RetryTransient: 8 attempts with exponential
+// backoff starting at 1µs (≤ 255µs of total sleep).
+const retryAttempts = 8
+
+// RetryTransient runs op, retrying with bounded exponential backoff as
+// long as it fails with the transient ErrDeviceBusy. Any other result
+// (success or a hard fault) is returned immediately; if the budget is
+// exhausted the last ErrDeviceBusy is returned so the caller surfaces
+// it as an I/O error instead of spinning forever.
+func RetryTransient(op func() error) error {
+	var err error
+	delay := time.Microsecond
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		if err = op(); !errors.Is(err, ErrDeviceBusy) {
+			return err
+		}
+		time.Sleep(delay)
+		delay *= 2
+	}
+	return err
+}
+
+// faultRule is one read- or write-error injection: the next `skip`
+// matching accesses pass, the following `count` fail (count < 0: every
+// one after the skip window fails).
+type faultRule struct {
+	skip  int64
+	count int64
+}
+
+// take decides whether the current access fails under the rule.
+func (r *faultRule) take() bool {
+	if r.skip > 0 {
+		r.skip--
+		return false
+	}
+	if r.count == 0 {
+		return false
+	}
+	if r.count > 0 {
+		r.count--
+	}
+	return true
+}
+
+// FaultPlan is the fault-injection hook point of a Device (installed
+// with Device.SetFaultPlan). A plan can inject media read/write errors
+// on chosen pages, delay persistence (transient busy windows), tear a
+// cacheline at its next persist, and — the piece the crash-enumeration
+// tests are built on — fire a deterministic crash at the k-th persist
+// point of a workload.
+//
+// A persist point is one Persist or Fence call on the device. A
+// single-threaded workload issues an identical point sequence on every
+// run, so a test can dry-run once to count N points and then replay the
+// workload N times, arming the crash at k = 1..N to enumerate every
+// crash state the hardware model allows.
+//
+// When the armed point is reached the device freezes: that persist (if
+// the point was a Persist) is lost, and every later store or persist
+// fails with ErrCrashPoint. Loads still work — the workload may limp
+// along read-only until the driver calls Tracker.Crash and recovers.
+type FaultPlan struct {
+	mu         sync.Mutex
+	readRules  map[PageID]*faultRule
+	writeRules map[PageID]*faultRule
+	delays     map[PageID]int64 // remaining busy persists per page
+	tears      map[uint64]int   // global cacheline index -> durable prefix bytes
+	points     int64
+	armAt      int64
+	fired      bool
+	faults     atomic.Int64
+}
+
+// NewFaultPlan returns an empty plan (no faults armed).
+func NewFaultPlan() *FaultPlan {
+	return &FaultPlan{
+		readRules:  make(map[PageID]*faultRule),
+		writeRules: make(map[PageID]*faultRule),
+		delays:     make(map[PageID]int64),
+		tears:      make(map[uint64]int),
+	}
+}
+
+// InjectReadFault arms a media read error on page p (or AllPages): the
+// next skip reads pass, the following count fail with ErrMediaRead
+// (count < 0: forever).
+func (fp *FaultPlan) InjectReadFault(p PageID, skip, count int64) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.readRules[p] = &faultRule{skip: skip, count: count}
+}
+
+// InjectWriteFault arms a media write error on page p (or AllPages),
+// with the same skip/count semantics as InjectReadFault.
+func (fp *FaultPlan) InjectWriteFault(p PageID, skip, count int64) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.writeRules[p] = &faultRule{skip: skip, count: count}
+}
+
+// DelayPersists opens a delayed-persistence window on page p (or
+// AllPages): the next count Persist calls touching p fail with the
+// transient ErrDeviceBusy and do not persist anything. Busy persists do
+// not count as persist points — the CLWB never completed.
+func (fp *FaultPlan) DelayPersists(p PageID, count int64) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.delays[p] = count
+}
+
+// TearLine arms a one-shot torn persist of the cacheline holding byte
+// `off` of page p: at that line's next persist while dirty, only its
+// first keep bytes become durable — the rest of the line stays at its
+// pre-image and rolls back at the next Crash. keep should respect the
+// 8-byte store-atomicity of the modeled hardware (multiples of 8) so
+// the tear never splits an atomic word; tearing is how multi-line core
+// state updates end up half-applied after a power failure.
+func (fp *FaultPlan) TearLine(p PageID, off, keep int) {
+	if keep < 0 {
+		keep = 0
+	}
+	if keep > CacheLineSize {
+		keep = CacheLineSize
+	}
+	line := uint64(p)*(PageSize/CacheLineSize) + uint64(off)/CacheLineSize
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.tears[line] = keep
+}
+
+// ArmCrashPoint arms the deterministic crash scheduler: the device
+// freezes when the k-th persist point (counted from plan installation)
+// is reached. k ≤ 0 disarms.
+func (fp *FaultPlan) ArmCrashPoint(k int64) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.armAt = k
+}
+
+// PersistPoints reports how many persist points (Persist + Fence calls)
+// the device has executed under this plan. A dry run of a workload with
+// an unarmed plan yields the N to sweep.
+func (fp *FaultPlan) PersistPoints() int64 {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	return fp.points
+}
+
+// Fired reports whether the armed crash point has been reached.
+func (fp *FaultPlan) Fired() bool {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	return fp.fired
+}
+
+// Faults reports how many faults the plan has injected so far (media
+// errors, busy persists, and the crash-point freeze itself).
+func (fp *FaultPlan) Faults() int64 { return fp.faults.Load() }
+
+// readFault consults the plan for a load of page p.
+func (fp *FaultPlan) readFault(p PageID) error {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	for _, key := range [2]PageID{p, AllPages} {
+		if r, ok := fp.readRules[key]; ok && r.take() {
+			fp.faults.Add(1)
+			return ErrMediaRead
+		}
+	}
+	return nil
+}
+
+// writeFault consults the plan for a store to page p.
+func (fp *FaultPlan) writeFault(p PageID) error {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if fp.fired {
+		return ErrCrashPoint
+	}
+	for _, key := range [2]PageID{p, AllPages} {
+		if r, ok := fp.writeRules[key]; ok && r.take() {
+			fp.faults.Add(1)
+			return ErrMediaWrite
+		}
+	}
+	return nil
+}
+
+// persistFault consults the plan for a Persist of page p: busy windows
+// reject the CLWB without counting a point; otherwise the point counter
+// advances and may fire the armed crash, in which case this persist is
+// lost (the device freezes before the tracker marks anything durable).
+func (fp *FaultPlan) persistFault(p PageID) error {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if fp.fired {
+		return ErrCrashPoint
+	}
+	for _, key := range [2]PageID{p, AllPages} {
+		if rem, ok := fp.delays[key]; ok && rem > 0 {
+			fp.delays[key] = rem - 1
+			fp.faults.Add(1)
+			return ErrDeviceBusy
+		}
+	}
+	fp.points++
+	if fp.armAt > 0 && fp.points >= fp.armAt {
+		fp.fired = true
+		fp.faults.Add(1)
+		return ErrCrashPoint
+	}
+	return nil
+}
+
+// fencePoint counts a Fence as a persist point. Fences cannot fail on
+// the modeled hardware, so a crash firing here surfaces only through
+// the subsequent stores and persists failing with ErrCrashPoint.
+func (fp *FaultPlan) fencePoint() {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if fp.fired {
+		return
+	}
+	fp.points++
+	if fp.armAt > 0 && fp.points >= fp.armAt {
+		fp.fired = true
+		fp.faults.Add(1)
+	}
+}
+
+// tearFor peeks the armed tear of a global cacheline.
+func (fp *FaultPlan) tearFor(line uint64) (keep int, ok bool) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	keep, ok = fp.tears[line]
+	return keep, ok
+}
+
+// dropTear consumes a one-shot tear registration.
+func (fp *FaultPlan) dropTear(line uint64) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	delete(fp.tears, line)
+	fp.faults.Add(1)
+}

@@ -1,0 +1,272 @@
+package nvm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func faultDevice(t *testing.T, track bool) *Device {
+	t.Helper()
+	return MustNewDevice(Config{Nodes: 1, PagesPerNode: 64, TrackPersistence: track})
+}
+
+func TestMediaReadFault(t *testing.T) {
+	d := faultDevice(t, false)
+	fp := NewFaultPlan()
+	fp.InjectReadFault(3, 1, 2) // one read passes, the next two fail
+	d.SetFaultPlan(fp)
+
+	buf := make([]byte, 8)
+	if err := d.ReadAt(0, 3, 0, buf); err != nil {
+		t.Fatalf("read within skip window: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := d.ReadAt(0, 3, 0, buf); !errors.Is(err, ErrMediaRead) {
+			t.Fatalf("read %d: got %v, want ErrMediaRead", i, err)
+		}
+	}
+	if err := d.ReadAt(0, 3, 0, buf); err != nil {
+		t.Fatalf("read after count exhausted: %v", err)
+	}
+	if err := d.ReadAt(0, 4, 0, buf); err != nil {
+		t.Fatalf("read of unrelated page: %v", err)
+	}
+	if got := fp.Faults(); got != 2 {
+		t.Fatalf("Faults() = %d, want 2", got)
+	}
+}
+
+func TestMediaWriteFaultWildcard(t *testing.T) {
+	d := faultDevice(t, false)
+	fp := NewFaultPlan()
+	fp.InjectWriteFault(AllPages, 2, -1) // two stores pass, then all fail
+	d.SetFaultPlan(fp)
+
+	data := []byte("x")
+	for i := 0; i < 2; i++ {
+		if err := d.WriteAt(0, PageID(5+i), 0, data); err != nil {
+			t.Fatalf("write %d within skip window: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := d.WriteAt(0, 9, 0, data); !errors.Is(err, ErrMediaWrite) {
+			t.Fatalf("write %d: got %v, want ErrMediaWrite", i, err)
+		}
+	}
+	if !IsInjected(d.WriteAt(0, 9, 0, data)) {
+		t.Fatal("IsInjected should recognize ErrMediaWrite")
+	}
+	d.SetFaultPlan(nil)
+	if err := d.WriteAt(0, 9, 0, data); err != nil {
+		t.Fatalf("write after plan removed: %v", err)
+	}
+}
+
+func TestDelayedPersistWindow(t *testing.T) {
+	d := faultDevice(t, true)
+	fp := NewFaultPlan()
+	fp.DelayPersists(7, 2)
+	d.SetFaultPlan(fp)
+
+	if err := d.WriteAt(0, 7, 0, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := d.Persist(7, 0, 5); !errors.Is(err, ErrDeviceBusy) {
+			t.Fatalf("persist %d: got %v, want ErrDeviceBusy", i, err)
+		}
+	}
+	if got := d.Tracker().DirtyLines(); got != 1 {
+		t.Fatalf("busy persists must not persist: %d dirty lines, want 1", got)
+	}
+	// Busy persists are not persist points: the CLWB never completed.
+	if got := fp.PersistPoints(); got != 0 {
+		t.Fatalf("PersistPoints() = %d, want 0", got)
+	}
+	if err := d.Persist(7, 0, 5); err != nil {
+		t.Fatalf("persist after window closed: %v", err)
+	}
+	if got := d.Tracker().DirtyLines(); got != 0 {
+		t.Fatalf("line still dirty after successful persist: %d", got)
+	}
+}
+
+func TestRetryTransientAbsorbsBoundedBusy(t *testing.T) {
+	d := faultDevice(t, true)
+	fp := NewFaultPlan()
+	fp.DelayPersists(AllPages, 3)
+	d.SetFaultPlan(fp)
+	if err := d.WriteAt(0, 2, 0, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := RetryTransient(func() error { return d.Persist(2, 0, 1) }); err != nil {
+		t.Fatalf("RetryTransient should absorb a short busy window: %v", err)
+	}
+
+	// A window longer than the retry budget surfaces ErrDeviceBusy.
+	fp.DelayPersists(AllPages, 1000)
+	attempts := 0
+	err := RetryTransient(func() error {
+		attempts++
+		return d.Persist(2, 0, 1)
+	})
+	if !errors.Is(err, ErrDeviceBusy) {
+		t.Fatalf("got %v, want ErrDeviceBusy", err)
+	}
+	if attempts != retryAttempts {
+		t.Fatalf("attempts = %d, want %d (bounded)", attempts, retryAttempts)
+	}
+}
+
+func TestTornLinePersist(t *testing.T) {
+	d := faultDevice(t, true)
+	old0 := bytes.Repeat([]byte{0xAA}, CacheLineSize)
+	old1 := bytes.Repeat([]byte{0xBB}, CacheLineSize)
+	if err := d.WriteAt(0, 6, 0, old0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt(0, 6, CacheLineSize, old1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Persist(6, 0, 2*CacheLineSize); err != nil {
+		t.Fatal(err)
+	}
+	d.Fence()
+
+	fp := NewFaultPlan()
+	fp.TearLine(6, CacheLineSize, 16) // second line: only 16 bytes land
+	d.SetFaultPlan(fp)
+
+	new0 := bytes.Repeat([]byte{0x11}, CacheLineSize)
+	new1 := bytes.Repeat([]byte{0x22}, CacheLineSize)
+	if err := d.WriteAt(0, 6, 0, new0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt(0, 6, CacheLineSize, new1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Persist(6, 0, 2*CacheLineSize); err != nil {
+		t.Fatal(err)
+	}
+	d.Fence()
+
+	d.Tracker().Crash()
+
+	got := make([]byte, 2*CacheLineSize)
+	if err := d.ReadAt(0, 6, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:CacheLineSize], new0) {
+		t.Fatal("untorn line must persist fully")
+	}
+	want1 := append(bytes.Repeat([]byte{0x22}, 16), bytes.Repeat([]byte{0xBB}, CacheLineSize-16)...)
+	if !bytes.Equal(got[CacheLineSize:], want1) {
+		t.Fatalf("torn line: got %x, want %x", got[CacheLineSize:], want1)
+	}
+
+	// The tear is one-shot: a re-write and re-persist lands fully.
+	if err := d.WriteAt(0, 6, CacheLineSize, new1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Persist(6, CacheLineSize, CacheLineSize); err != nil {
+		t.Fatal(err)
+	}
+	d.Tracker().Crash()
+	if err := d.ReadAt(0, 6, CacheLineSize, got[:CacheLineSize]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:CacheLineSize], new1) {
+		t.Fatal("line torn again after one-shot tear was consumed")
+	}
+}
+
+// workload issues a fixed, deterministic sequence of stores, persists
+// and fences; it returns the first error. Used to exercise the
+// crash-point sweep below.
+func crashWorkload(d *Device) error {
+	for i := 0; i < 5; i++ {
+		p := PageID(10 + i)
+		if err := d.WriteAt(0, p, 0, []byte{byte(i + 1)}); err != nil {
+			return err
+		}
+		if err := d.Persist(p, 0, 1); err != nil {
+			return err
+		}
+		d.Fence()
+	}
+	return nil
+}
+
+func TestCrashPointScheduler(t *testing.T) {
+	// Dry run: count the persist points of the workload.
+	d := faultDevice(t, true)
+	fp := NewFaultPlan()
+	d.SetFaultPlan(fp)
+	if err := crashWorkload(d); err != nil {
+		t.Fatalf("dry run: %v", err)
+	}
+	n := fp.PersistPoints()
+	if n != 10 { // 5 persists + 5 fences
+		t.Fatalf("dry run counted %d points, want 10", n)
+	}
+
+	for k := int64(1); k <= n; k++ {
+		d := faultDevice(t, true)
+		fp := NewFaultPlan()
+		fp.ArmCrashPoint(k)
+		d.SetFaultPlan(fp)
+		err := crashWorkload(d)
+		if !fp.Fired() {
+			t.Fatalf("k=%d: crash point did not fire", k)
+		}
+		// A crash at a Persist surfaces immediately; one at a Fence
+		// surfaces at the next store. Either way the workload cannot
+		// complete without an ErrCrashPoint (except when the very last
+		// fence is the crash point — then every durable op finished).
+		if err == nil && k != n {
+			t.Fatalf("k=%d: workload completed despite crash", k)
+		}
+		if err != nil && !errors.Is(err, ErrCrashPoint) {
+			t.Fatalf("k=%d: got %v, want ErrCrashPoint", k, err)
+		}
+		// Frozen device: stores and persists fail, loads still work.
+		if err := d.WriteAt(0, 20, 0, []byte("z")); !errors.Is(err, ErrCrashPoint) {
+			t.Fatalf("k=%d: store on frozen device: %v", k, err)
+		}
+		if err := d.Persist(20, 0, 1); !errors.Is(err, ErrCrashPoint) {
+			t.Fatalf("k=%d: persist on frozen device: %v", k, err)
+		}
+		if err := d.ReadAt(0, 10, 0, make([]byte, 1)); err != nil {
+			t.Fatalf("k=%d: load on frozen device: %v", k, err)
+		}
+
+		// Exactly the ops whose persist+fence both predate k are durable.
+		d.Tracker().Crash()
+		d.SetFaultPlan(nil)
+		for i := 0; i < 5; i++ {
+			var b [1]byte
+			if err := d.ReadAt(0, PageID(10+i), 0, b[:]); err != nil {
+				t.Fatal(err)
+			}
+			// Op i's persist is point 2i+1 (1-based); it is durable iff
+			// that persist completed, i.e. 2i+1 < k.
+			wantDurable := int64(2*i+1) < k
+			if durable := b[0] == byte(i+1); durable != wantDurable {
+				t.Fatalf("k=%d op %d: durable=%v want %v", k, i, durable, wantDurable)
+			}
+		}
+	}
+
+	// Arming past the end: the workload completes, nothing fires.
+	d2 := faultDevice(t, true)
+	fp2 := NewFaultPlan()
+	fp2.ArmCrashPoint(n + 1)
+	d2.SetFaultPlan(fp2)
+	if err := crashWorkload(d2); err != nil {
+		t.Fatalf("k=N+1 run: %v", err)
+	}
+	if fp2.Fired() {
+		t.Fatal("crash fired past the last point")
+	}
+}

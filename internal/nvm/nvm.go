@@ -89,7 +89,17 @@ type Device struct {
 	// failBudget counts remaining allowed stores while injection is
 	// armed; failDisarmed is the sentinel for "no injection".
 	failBudget atomic.Int64
+
+	// plan is the installed fault-injection plan, nil when none.
+	plan atomic.Pointer[FaultPlan]
 }
+
+// SetFaultPlan installs (or, with nil, removes) a fault-injection plan.
+// The plan hooks every ReadAt/WriteAt/Persist/Fence; see FaultPlan.
+func (d *Device) SetFaultPlan(fp *FaultPlan) { d.plan.Store(fp) }
+
+// FaultPlan returns the installed plan, or nil.
+func (d *Device) FaultPlan() *FaultPlan { return d.plan.Load() }
 
 // failDisarmed marks injection off; exhausted armed budgets go negative
 // but stay far above it.
@@ -189,6 +199,11 @@ func (d *Device) ReadAt(fromNode int, p PageID, off int, buf []byte) error {
 	if err := d.checkRange(p, off, len(buf)); err != nil {
 		return err
 	}
+	if fp := d.plan.Load(); fp != nil {
+		if err := fp.readFault(p); err != nil {
+			return err
+		}
+	}
 	d.charge(fromNode, p, len(buf), false)
 	base := int(p)*PageSize + off
 	copy(buf, d.arena[base:base+len(buf)])
@@ -206,6 +221,11 @@ func (d *Device) WriteAt(fromNode int, p PageID, off int, data []byte) error {
 	if d.failBudget.Load() != failDisarmed && d.failBudget.Add(-1) < 0 {
 		return ErrInjectedFailure
 	}
+	if fp := d.plan.Load(); fp != nil {
+		if err := fp.writeFault(p); err != nil {
+			return err
+		}
+	}
 	d.charge(fromNode, p, len(data), true)
 	base := int(p)*PageSize + off
 	if d.tracker != nil {
@@ -217,18 +237,35 @@ func (d *Device) WriteAt(fromNode int, p PageID, off int, data []byte) error {
 
 // Persist marks the cachelines covering [off, off+n) of page p durable.
 // It models CLWB of each touched line. A following Fence orders it.
-func (d *Device) Persist(p PageID, off, n int) {
+//
+// With a fault plan installed a Persist can fail: transiently with
+// ErrDeviceBusy (a delayed-persistence window — callers retry with
+// bounded backoff, see RetryTransient) or terminally with ErrCrashPoint
+// once the armed crash point fires; either way nothing was persisted.
+func (d *Device) Persist(p PageID, off, n int) error {
+	fp := d.plan.Load()
+	if fp != nil {
+		if err := fp.persistFault(p); err != nil {
+			return err
+		}
+	}
 	if d.tracker != nil {
-		d.tracker.persist(p, off, n)
+		d.tracker.persist(p, off, n, fp)
 	}
 	if d.cost != nil {
 		d.cost.delay(d.cost.PersistLatency)
 	}
+	return nil
 }
 
 // Fence models SFENCE: it orders previously issued Persist calls. In the
-// simulator persists apply immediately, so Fence only charges cost.
+// simulator persists apply immediately, so Fence only charges cost (and
+// counts as a persist point for an installed fault plan's crash-point
+// scheduler).
 func (d *Device) Fence() {
+	if fp := d.plan.Load(); fp != nil {
+		fp.fencePoint()
+	}
 	if d.cost != nil {
 		d.cost.delay(d.cost.FenceLatency)
 	}

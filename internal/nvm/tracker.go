@@ -52,8 +52,12 @@ func (t *Tracker) recordStore(p PageID, off, n int) {
 	}
 }
 
-// persist marks the cachelines covering [off, off+n) durable.
-func (t *Tracker) persist(p PageID, off, n int) {
+// persist marks the cachelines covering [off, off+n) durable. A fault
+// plan may have armed a torn persist on one of the lines: then only the
+// line's first keep bytes become durable — implemented by merging that
+// prefix of the cached (current) value into the pre-image and keeping
+// the line dirty, so a later Crash realizes exactly the torn state.
+func (t *Tracker) persist(p PageID, off, n int, fp *FaultPlan) {
 	if n <= 0 {
 		return
 	}
@@ -61,6 +65,15 @@ func (t *Tracker) persist(p PageID, off, n int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for line := lo; line <= hi; line++ {
+		if fp != nil {
+			if keep, ok := fp.tearFor(line); ok {
+				if img, dirty := t.pre[line]; dirty {
+					fp.dropTear(line)
+					copy(img[:keep], t.dev.arena[line*CacheLineSize:line*CacheLineSize+uint64(keep)])
+					continue
+				}
+			}
+		}
 		delete(t.pre, line)
 	}
 }

@@ -1,0 +1,28 @@
+#!/bin/sh
+# check.sh — the repo's one-command CI gate.
+#
+# Runs, in order:
+#   1. go vet  over every package
+#   2. go build over every package
+#   3. the full test suite (includes the crash-point conformance sweeps)
+#   4. the race detector over the packages with real concurrency:
+#      the cross-FS conformance suite and the LibFS itself.
+#
+# Any failure stops the run with a non-zero exit.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (concurrency-bearing packages)"
+go test -race ./internal/fstest/... ./internal/libfs/...
+
+echo "== all checks passed"
