@@ -1,8 +1,9 @@
 GO ?= go
 
-.PHONY: check build test race vet bench
+.PHONY: check build test race vet bench fuzz
 
-# The full gate: vet + build + tests + race detector. CI runs this.
+# The full gate: vet + build + tests + race detector + fuzz smoke.
+# CI runs this.
 check:
 	sh scripts/check.sh
 
@@ -19,6 +20,12 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Adversarial fuzzing of the trusted verifier: random core-state
+# corruption must always terminate in a Report, never a panic/hang.
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzVerifyRegular$$' -fuzztime=10s ./internal/verifier/
+	$(GO) test -run='^$$' -fuzz='^FuzzVerifyDirectory$$' -fuzztime=10s ./internal/verifier/
 
 bench:
 	$(GO) test -bench=. -benchmem

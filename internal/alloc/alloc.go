@@ -255,6 +255,12 @@ func (a *PageAlloc) FreePages(pages []nvm.PageID) {
 // insertLocked adds [start, start+count) to the free set, merging with
 // the neighbouring extents when adjacent.
 func (s *allocShard) insertLocked(start, count uint64) {
+	if ps, pc, ok := s.extents.Floor(start); ok && start < ps+pc {
+		panic(fmt.Sprintf("alloc: double free of pages [%d,%d): overlaps free extent [%d,%d)", start, start+count, ps, ps+pc))
+	}
+	if ns, nc, ok := s.extents.Ceil(start); ok && ns < start+count {
+		panic(fmt.Sprintf("alloc: double free of pages [%d,%d): overlaps free extent [%d,%d)", start, start+count, ns, ns+nc))
+	}
 	// Merge with predecessor.
 	if ps, pc, ok := s.extents.Floor(start); ok && ps+pc == start {
 		s.extents.Delete(ps)

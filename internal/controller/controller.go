@@ -42,6 +42,12 @@ var (
 	ErrCorrupt     = errors.New("controller: core state failed integrity verification")
 	ErrNotEmpty    = errors.New("controller: directory not empty")
 	ErrBadRequest  = errors.New("controller: invalid request")
+	// ErrSessionDead is returned for any call on a session that was
+	// abandoned (its process died) and reaped by the controller.
+	ErrSessionDead = errors.New("controller: session is dead")
+	// ErrRevoked is returned when a LibFS acts on a mapping the
+	// controller forcibly revoked (lease expiry or reap).
+	ErrRevoked = errors.New("controller: mapping was forcibly revoked")
 )
 
 // Options configures a controller.
@@ -57,6 +63,15 @@ type Options struct {
 	// FixTimeout is how long a LibFS gets to fix corruption it caused
 	// before the controller rolls the file back (§4.3).
 	FixTimeout time.Duration
+	// RecallTimeout is how long a LibFS holding an expired lease gets to
+	// honour a cooperative recall request before the controller forcibly
+	// revokes the file (lease escalation, §4.5). Defaults to 10ms.
+	RecallTimeout time.Duration
+	// LeaseSweep, when positive, starts a background sweeper that reaps
+	// abandoned sessions and escalates expired leases at this period
+	// even when no Map call is contending. Zero (the default) keeps
+	// enforcement purely on-demand; Controller.Close stops the sweeper.
+	LeaseSweep time.Duration
 }
 
 func (o *Options) fill() {
@@ -68,6 +83,9 @@ func (o *Options) fill() {
 	}
 	if o.FixTimeout <= 0 {
 		o.FixTimeout = 10 * time.Millisecond
+	}
+	if o.RecallTimeout <= 0 {
+		o.RecallTimeout = 10 * time.Millisecond
 	}
 }
 
@@ -89,6 +107,14 @@ type fileState struct {
 	writer      LibFSID // 0 = none
 	writerGroup GroupID
 	writerSince time.Time
+
+	// recallAt is when a cooperative lease-recall request was sent to
+	// the writer (zero = none outstanding); after RecallTimeout the
+	// escalation proceeds to forcible revocation.
+	recallAt time.Time
+	// waiters counts sessions sleeping in waitForAccessLocked for this
+	// file; the lease sweeper only escalates contended files.
+	waiters int
 
 	checkpoint  *checkpoint
 	quarantined LibFSID // non-zero once corruption made it private
@@ -115,6 +141,17 @@ type libfsState struct {
 	allocPages map[nvm.PageID]bool
 	allocInos  map[core.Ino]bool
 
+	// parked holds pages that left a file of this LibFS (a verification
+	// saw them depart, or the file was removed) but cannot safely be
+	// freed yet: the walk that decided they departed may have raced the
+	// LibFS's own in-flight userspace stores, so some other file of this
+	// LibFS may still reference them. Parked pages stay attributed to
+	// the LibFS for verification purposes and are settled at session
+	// teardown — rebound if the quiescent core state references them
+	// (bindStrayPoolPagesLocked), freed otherwise. They are never handed
+	// out by the allocator in between, so nothing can alias them.
+	parked map[nvm.PageID]bool
+
 	// mapped tracks which files this LibFS currently has mapped.
 	mapped map[core.Ino]*mapping
 
@@ -126,6 +163,20 @@ type libfsState struct {
 	// fix, if set, is invoked when this LibFS's corruption is detected,
 	// giving it FixTimeout to repair the core state (§4.3).
 	fix func(ino core.Ino) error
+
+	// recall, if set, is invoked (on its own goroutine) when the
+	// controller asks this LibFS to give up an expired lease
+	// cooperatively before forcing revocation.
+	recall func(ino core.Ino)
+
+	// dead marks a session whose process died (Abandon) or that the
+	// controller reaped; every further syscall returns ErrSessionDead.
+	dead bool
+
+	// revoked records inos whose write mapping the controller forcibly
+	// revoked from this session, so its next Unmap/Commit gets
+	// ErrRevoked instead of a generic bad-request error.
+	revoked map[core.Ino]bool
 }
 
 type mapping struct {
@@ -149,6 +200,11 @@ type Controller struct {
 	libfses   map[LibFSID]*libfsState
 	allocBy   map[core.Ino]LibFSID // ino -> LibFS it was issued to
 	shadow    map[core.Ino]verifier.ShadowInfo
+	// reaped records inos the reaper retired on behalf of a dead
+	// session (orphan GC, pool release), so that a surviving LibFS
+	// whose batched RemoveFile for one of them arrives late gets an
+	// idempotent success instead of ErrUnknownFile.
+	reaped map[core.Ino]bool
 
 	pageAlloc *alloc.PageAlloc
 	inoAlloc  *alloc.InoAlloc
@@ -157,6 +213,14 @@ type Controller struct {
 	nextGroup GroupID
 
 	stats Stats
+
+	// pageTrace, when DebugPageTracing was set before New, records every
+	// accounting transition of every page (debug instrumentation).
+	pageTrace map[nvm.PageID][]string
+
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+	stopOnce  sync.Once
 }
 
 // New mounts a controller over the device, formatting it when blank and
@@ -174,8 +238,12 @@ func New(dev *nvm.Device, opts Options) (*Controller, error) {
 		libfses:   make(map[LibFSID]*libfsState),
 		allocBy:   make(map[core.Ino]LibFSID),
 		shadow:    make(map[core.Ino]verifier.ShadowInfo),
+		reaped:    make(map[core.Ino]bool),
 		nextLibFS: 1,
 		nextGroup: 1 << 16, // private groups; user groups are small ints
+	}
+	if DebugPageTracing {
+		c.pageTrace = make(map[nvm.PageID][]string)
 	}
 	if _, err := core.ReadSuperblock(c.mem); err != nil {
 		if ferr := core.Format(dev); ferr != nil {
@@ -189,7 +257,23 @@ func New(dev *nvm.Device, opts Options) (*Controller, error) {
 		return nil, fmt.Errorf("controller: scanning existing tree: %w", err)
 	}
 	c.inoAlloc = alloc.NewInoAlloc(maxIno+1, opts.CPUs)
+	if opts.LeaseSweep > 0 {
+		c.sweepStop = make(chan struct{})
+		c.sweepDone = make(chan struct{})
+		go c.sweeper()
+	}
 	return c, nil
+}
+
+// Close stops the controller's background work (the lease sweeper).
+// Idempotent; a controller without a sweeper needs no Close.
+func (c *Controller) Close() {
+	c.stopOnce.Do(func() {
+		if c.sweepStop != nil {
+			close(c.sweepStop)
+			<-c.sweepDone
+		}
+	})
 }
 
 // scanTree walks the populated device from the root (the trusted mount-
@@ -291,6 +375,15 @@ func (c *Controller) scanTree() (maxIno uint64, err error) {
 	return maxIno, nil
 }
 
+// tracePage appends one event to a page's debug log (no-op unless
+// DebugPageTracing was set before New). Callers hold c.mu.
+func (c *Controller) tracePage(p nvm.PageID, format string, args ...any) {
+	if c.pageTrace == nil {
+		return
+	}
+	c.pageTrace[p] = append(c.pageTrace[p], fmt.Sprintf(format, args...))
+}
+
 // trap charges one kernel crossing when cost modeling is on.
 func (c *Controller) trap() {
 	if c.cost != nil {
@@ -321,8 +414,10 @@ func (c *Controller) Register(uid, gid uint32, node int, group GroupID) *Session
 		as:         mmu.NewAddressSpace(c.dev, node),
 		allocPages: make(map[nvm.PageID]bool),
 		allocInos:  make(map[core.Ino]bool),
+		parked:     make(map[nvm.PageID]bool),
 		mapped:     make(map[core.Ino]*mapping),
 		pageRefs:   make(map[nvm.PageID]int),
+		revoked:    make(map[core.Ino]bool),
 	}
 	// Every LibFS can read the superblock (§4.1).
 	ls.as.Map(0, 1, mmu.PermRead)
@@ -357,11 +452,24 @@ func (s *Session) SetFixHandler(fn func(ino core.Ino) error) {
 	s.ls.fix = fn
 }
 
+// aliveLocked rejects syscalls from a session whose process the
+// controller has declared dead. Callers hold c.mu.
+func (s *Session) aliveLocked() error {
+	if s.ls.dead {
+		return ErrSessionDead
+	}
+	return nil
+}
+
 // Close releases every mapping and resource of the session. Writer
 // mappings go through the usual unmap-verify path first.
 func (s *Session) Close() error {
 	// Collect mapped inos first (UnmapFile takes the lock itself).
 	s.c.mu.Lock()
+	if err := s.aliveLocked(); err != nil {
+		s.c.mu.Unlock()
+		return err
+	}
 	inos := make([]core.Ino, 0, len(s.ls.mapped))
 	for ino := range s.ls.mapped {
 		inos = append(inos, ino)
@@ -375,12 +483,21 @@ func (s *Session) Close() error {
 	}
 	s.c.mu.Lock()
 	defer s.c.mu.Unlock()
-	// Return unbound resources.
+	// Bind pool pages a binding walk missed mid-append (see
+	// bindStrayPoolPagesLocked), then return unbound resources.
+	s.c.bindStrayPoolPagesLocked(s.ls)
 	var pages []nvm.PageID
 	for p := range s.ls.allocPages {
 		pages = append(pages, p)
 		delete(s.ls.allocPages, p)
 		s.unrefPageLocked(p)
+		s.c.tracePage(p, "free-close-pool ls=%d", s.ls.id)
+	}
+	for p := range s.ls.parked {
+		pages = append(pages, p)
+		delete(s.ls.parked, p)
+		s.unrefPageLocked(p)
+		s.c.tracePage(p, "free-close-parked ls=%d", s.ls.id)
 	}
 	s.c.pageAlloc.FreePages(pages)
 	for ino := range s.ls.allocInos {
@@ -388,7 +505,11 @@ func (s *Session) Close() error {
 		delete(s.ls.allocInos, ino)
 	}
 	delete(s.c.libfses, s.ls.id)
-	s.ls.as.UnmapAll()
+	s.ls.dead = true
+	// Revoke rather than merely unmap: a delegation batch still in
+	// flight over this address space must fail deterministically
+	// (ErrRevoked, wrapping the MMU fault), not race the teardown.
+	s.ls.as.Revoke()
 	return firstErr
 }
 

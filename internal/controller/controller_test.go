@@ -354,7 +354,6 @@ func TestRemoveFileReleasesResources(t *testing.T) {
 	if err := a.UnmapFile(ino); err != nil {
 		t.Fatal(err)
 	}
-	freeBefore := c.FreePagesCount()
 	// Unlink: write-map parent, clear dirent, call RemoveFile.
 	if _, err := a.MapFile(core.RootIno, core.RootLoc(), true); err != nil {
 		t.Fatal(err)
@@ -365,12 +364,19 @@ func TestRemoveFileReleasesResources(t *testing.T) {
 	if err := a.RemoveFile(ino, nil); err != nil {
 		t.Fatal(err)
 	}
-	if got := c.FreePagesCount(); got != freeBefore+4 { // 1 index + 3 data
-		t.Fatalf("free pages %d, want %d", got, freeBefore+4)
-	}
-	// Mapping it again must fail.
+	// The file is gone immediately.
 	if _, err := a.MapFile(ino, loc, false); !errors.Is(err, ErrUnknownFile) {
 		t.Fatalf("map removed file: %v", err)
+	}
+	// Its pages (1 index + 3 data) are parked on the remover — a
+	// binding walk could have raced this LibFS's stores — and become
+	// free when the session's teardown settles them.
+	freeParked := c.FreePagesCount()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.FreePagesCount(); got < freeParked+4 {
+		t.Fatalf("free pages after close: %d, want at least %d", got, freeParked+4)
 	}
 }
 

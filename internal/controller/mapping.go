@@ -37,6 +37,9 @@ func (s *Session) MapFile(ino core.Ino, loc core.FileLoc, write bool) (*MapInfo,
 	c := s.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := s.aliveLocked(); err != nil {
+		return nil, err
+	}
 
 	fs, err := c.lookupOrAdoptLocked(ino, loc)
 	if err != nil {
@@ -95,6 +98,7 @@ func (s *Session) MapFile(ino core.Ino, loc core.FileLoc, write bool) (*MapInfo,
 		s.ls.refPageLocked(p, perm)
 	}
 	s.ls.mapped[fs.ino] = &mapping{ino: fs.ino, write: write, pages: pages}
+	delete(s.ls.revoked, fs.ino) // a successful re-map clears the revocation
 
 	if write {
 		fs.writer = s.ls.id
@@ -134,10 +138,22 @@ func (c *Controller) permittedLocked(ls *libfsState, ino core.Ino, write bool) b
 	return sh.Mode&(bit<<shift) != 0
 }
 
+// accessPoll caps one sleep inside waitForAccessLocked, so a waiter
+// re-checks for cooperative releases well before any escalation deadline.
+const accessPoll = time.Millisecond
+
 // waitForAccessLocked blocks (releasing the lock while sleeping) until
-// the requested access is compatible, revoking expired leases.
+// the requested access is compatible, driving the lease-escalation
+// state machine against a conflicting writer: lease remainder →
+// cooperative recall → recall deadline → forcible revocation
+// (escalateLeaseLocked). The wait is therefore bounded by
+// LeaseTime + RecallTimeout plus scheduling noise.
 func (c *Controller) waitForAccessLocked(ls *libfsState, fs *fileState, write bool) error {
 	for {
+		if ls.dead {
+			// The waiter itself was reaped while sleeping.
+			return ErrSessionDead
+		}
 		conflict := false
 		if fs.writer != 0 && fs.writerGroup != ls.group {
 			conflict = true
@@ -156,23 +172,21 @@ func (c *Controller) waitForAccessLocked(ls *libfsState, fs *fileState, write bo
 		if !conflict {
 			return nil
 		}
-		holder := c.libfses[fs.writer]
-		if holder == nil {
-			fs.writer = 0
+		wait := c.escalateLeaseLocked(fs)
+		if wait <= 0 {
 			continue
 		}
-		remaining := c.opts.LeaseTime - time.Since(fs.writerSince)
-		if remaining <= 0 {
-			// Lease expired: revoke the writer. This runs the full
-			// unmap path including verification.
-			if err := c.unmapLocked(holder, fs.ino); err != nil {
-				return err
-			}
-			continue
+		// Poll rather than sleeping out the whole deadline: a holder that
+		// honours a recall (or closes) frees the file long before its
+		// escalation deadline, and the waiter should notice promptly.
+		if wait > accessPoll {
+			wait = accessPoll
 		}
+		fs.waiters++
 		c.mu.Unlock()
-		time.Sleep(remaining)
+		time.Sleep(wait)
 		c.mu.Lock()
+		fs.waiters--
 	}
 }
 
@@ -263,12 +277,18 @@ func (s *Session) UnmapFile(ino core.Ino) error {
 	defer func() { s.c.stats.addUnmap(time.Since(start)) }()
 	s.c.mu.Lock()
 	defer s.c.mu.Unlock()
+	if err := s.aliveLocked(); err != nil {
+		return err
+	}
 	return s.c.unmapLocked(s.ls, ino)
 }
 
 func (c *Controller) unmapLocked(ls *libfsState, ino core.Ino) error {
 	m := ls.mapped[ino]
 	if m == nil {
+		if ls.revoked[ino] {
+			return fmt.Errorf("%w: ino %d", ErrRevoked, ino)
+		}
 		return fmt.Errorf("%w: ino %d is not mapped", ErrBadRequest, ino)
 	}
 	fs := c.files[ino]
@@ -303,6 +323,7 @@ func (c *Controller) unmapLocked(ls *libfsState, ino core.Ino) error {
 	unref(m.pages)
 	fs.writer = 0
 	fs.checkpoint = nil
+	fs.recallAt = time.Time{} // the holder complied; recall resolved
 	delete(ls.mapped, ino)
 	return nil
 }
@@ -313,6 +334,10 @@ func (c *Controller) unmapLocked(ls *libfsState, ino core.Ino) error {
 // DebugVerifyFailure, when non-nil, receives a description of every
 // failed verification (test instrumentation).
 var DebugVerifyFailure func(msg string)
+
+// DebugPageTracing enables a per-page event log used while debugging
+// page-accounting failures; see Controller.tracePage.
+var DebugPageTracing bool
 
 func (c *Controller) runVerifierLocked(fs *fileState, ls *libfsState) (*verifier.Report, error) {
 	if c.cost != nil {
@@ -346,8 +371,10 @@ func (c *Controller) commitReportLocked(fs *fileState, ls *libfsState, rep *veri
 	for _, p := range rep.Pages {
 		newSet[p] = true
 		if !fs.pages[p] {
-			if ls.allocPages[p] {
+			c.tracePage(p, "bind-commit ino=%d ls=%d pool=%v parked=%v", fs.ino, ls.id, ls.allocPages[p], ls.parked[p])
+			if ls.allocPages[p] || ls.parked[p] {
 				delete(ls.allocPages, p)
+				delete(ls.parked, p)
 				if m != nil && !inMapping[p] {
 					m.pages = append(m.pages, p) // transfer the pool ref
 					inMapping[p] = true
@@ -360,26 +387,34 @@ func (c *Controller) commitReportLocked(fs *fileState, ls *libfsState, rep *veri
 			c.pageOwner[p] = fs.ino
 		}
 	}
-	var freed []nvm.PageID
+	// Pages that left the file are parked on the verified LibFS rather
+	// than freed. The walk behind this report can race the holder's
+	// last in-flight append when the verification was forced on it
+	// (lease revocation, reap of a dying process): a page the walk did
+	// not reach may still be referenced by an index entry whose store
+	// landed an instant later. Parked it stays attributed — later
+	// verifications accept it (PageAllocated) and rebind it if it is
+	// referenced — and the session-teardown stray sweep settles it for
+	// good; only then does a truly departed page become free.
 	for p := range fs.pages {
 		if !newSet[p] {
 			delete(c.pageOwner, p)
 			if inMapping[p] {
-				// Remove from the mapping and release its reference so a
-				// reallocated page is never left mapped in this LibFS.
+				// Move from the file mapping to the parked set; its
+				// reference becomes the parked reference, so an alive
+				// holder mid-append keeps its MMU access.
 				for i, q := range m.pages {
 					if q == p {
 						m.pages = append(m.pages[:i], m.pages[i+1:]...)
 						break
 					}
 				}
-				ls.unrefPageLocked(p)
+			} else {
+				ls.refPageLocked(p, mmu.PermWrite)
 			}
-			freed = append(freed, p)
+			ls.parked[p] = true
+			c.tracePage(p, "park-depart ino=%d ls=%d", fs.ino, ls.id)
 		}
-	}
-	if len(freed) > 0 {
-		c.pageAlloc.FreePages(freed)
 	}
 	fs.pages = newSet
 
@@ -426,6 +461,7 @@ func (c *Controller) adoptChildLocked(parent *fileState, ls *libfsState, ch *ver
 		func(_ uint64, p nvm.PageID) bool { cfs.pages[p] = true; return true })
 	cm := ls.mapped[ch.Ino]
 	for p := range cfs.pages {
+		c.tracePage(p, "bind-adopt ino=%d ls=%d pool=%v", ch.Ino, ls.id, ls.allocPages[p])
 		if ls.allocPages[p] {
 			delete(ls.allocPages, p)
 			if cm != nil {
@@ -545,6 +581,7 @@ func (c *Controller) handleCorruptionLocked(fs *fileState, ls *libfsState, rep *
 				}
 				ls.allocPages[copies[i]] = true
 				ls.refPageLocked(copies[i], mmu.PermWrite)
+				c.tracePage(copies[i], "grant-preserve ls=%d", ls.id)
 				i++
 			}
 		}
@@ -575,6 +612,7 @@ func (c *Controller) restoreCheckpointLocked(fs *fileState) {
 	for p, img := range cp.pages {
 		c.mem.Write(p, 0, img)
 		c.mem.Persist(p, 0, nvm.PageSize)
+		c.tracePage(p, "restore ino=%d", fs.ino)
 	}
 	core.WriteInode(c.mem, fs.loc.Page, core.SlotOffset(fs.loc.Slot), &cp.inode)
 	// Restore the name alongside (corruption may have hit it).
@@ -597,12 +635,12 @@ type envImpl struct {
 func (e *envImpl) TotalPages() uint64           { return uint64(e.c.dev.NumPages()) }
 func (e *envImpl) PageInFile(p nvm.PageID) bool { return e.fs.pages[p] }
 func (e *envImpl) PageAllocated(p nvm.PageID) bool {
-	if e.ls.allocPages[p] {
+	if e.ls.allocPages[p] || e.ls.parked[p] {
 		return true
 	}
 	if e.sys {
 		for _, ls := range e.c.libfses {
-			if ls.allocPages[p] {
+			if ls.allocPages[p] || ls.parked[p] {
 				return true
 			}
 		}

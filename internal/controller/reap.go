@@ -1,0 +1,471 @@
+package controller
+
+import (
+	"time"
+
+	"trio/internal/core"
+	"trio/internal/nvm"
+	"trio/internal/verifier"
+)
+
+// This file is the controller's answer to a LibFS that stops
+// cooperating (paper §3.2, §4.3): a process that died mid-syscall, hung
+// on an expired lease, or is actively malicious. The cooperative
+// teardown path is Session.Close; everything here handles the
+// ungraceful one — the half of the trust story where the kernel side
+// must be able to reclaim, verify and re-share state without any help
+// from the untrusted side.
+
+// Abandon simulates the LibFS process dying without any teardown:
+// mappings stay installed, allocated resources stay charged, and the
+// file's core state may be half-written. From this point every syscall
+// on the session returns ErrSessionDead; the state is reclaimed only
+// when the controller reaps the session (explicitly via Reap, or by the
+// lease sweeper).
+func (s *Session) Abandon() {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	s.ls.dead = true
+}
+
+// SetRecallHandler registers the LibFS's cooperative lease-recall
+// program: invoked (asynchronously) when the controller wants a file
+// whose lease this session let expire. The handler should release the
+// file (UnmapFile) before RecallTimeout, or the controller revokes it
+// forcibly.
+func (s *Session) SetRecallHandler(fn func(ino core.Ino)) {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	s.ls.recall = fn
+}
+
+// Reap forcibly tears down a session: revokes its whole address space,
+// verifies (and repairs or quarantines) every file it had write-mapped,
+// releases its page and inode allocations, and unregisters it. Files it
+// held become immediately mappable by other trust domains. Reaping an
+// unknown (already reaped or closed) session is a no-op, so explicit
+// reaps and the background sweeper can race benignly.
+func (c *Controller) Reap(id LibFSID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ls := c.libfses[id]
+	if ls == nil {
+		return nil
+	}
+	c.reapLocked(ls)
+	return nil
+}
+
+func (c *Controller) reapLocked(ls *libfsState) {
+	ls.dead = true
+	c.stats.Reaps.Add(1)
+
+	// Revoke the MMU first: from this instant the dead process — and
+	// any delegation worker still acting on its behalf — faults on
+	// every access, so the verifier below examines a frozen state.
+	ls.as.Revoke()
+
+	// Directories the session had write-mapped are remembered for the
+	// orphan sweep below: the session may have died between clearing a
+	// dirent and the (batched, deferred) RemoveFile call.
+	var deadDirs []*fileState
+	for ino, m := range ls.mapped {
+		if m.write {
+			if fs := c.files[ino]; fs != nil && fs.ftype == core.TypeDir {
+				deadDirs = append(deadDirs, fs)
+			}
+		}
+	}
+
+	// Readers detach without verification (they could not have written);
+	// writers go through the verify/repair path. Directories settle
+	// first: once they are verified (or rolled back, or quarantined)
+	// their dirent bytes are trustworthy, and reapFileLocked uses them
+	// to tell a file the dead session had unlinked from one it merely
+	// corrupted.
+	for pass := 0; pass < 2; pass++ {
+		for ino, m := range ls.mapped {
+			fs := c.files[ino]
+			if fs == nil {
+				delete(ls.mapped, ino)
+				continue
+			}
+			if !m.write {
+				if pass == 0 {
+					for _, p := range m.pages {
+						ls.unrefPageLocked(p)
+					}
+					delete(fs.readers, ls.id)
+					delete(ls.mapped, ino)
+				}
+				continue
+			}
+			if (fs.ftype == core.TypeDir) == (pass == 0) {
+				c.reapFileLocked(ls, fs)
+			}
+		}
+	}
+
+	c.reapOrphansLocked(ls, deadDirs)
+
+	c.bindStrayPoolPagesLocked(ls)
+
+	// Only now release the allocation pool: verification above needed
+	// it intact to attribute the dead session's freshly bound pages
+	// (envImpl.PageAllocated). Whatever commitReportLocked absorbed
+	// into files is gone from the pool; the rest returns to the
+	// allocator.
+	var pages []nvm.PageID
+	for p := range ls.allocPages {
+		pages = append(pages, p)
+		delete(ls.allocPages, p)
+		c.tracePage(p, "free-reap-pool ls=%d", ls.id)
+	}
+	for p := range ls.parked {
+		pages = append(pages, p)
+		delete(ls.parked, p)
+		ls.unrefPageLocked(p)
+		c.tracePage(p, "free-reap-parked ls=%d", ls.id)
+	}
+	c.pageAlloc.FreePages(pages)
+	for ino := range ls.allocInos {
+		delete(c.allocBy, ino)
+		delete(ls.allocInos, ino)
+		// A surviving LibFS may hold a batched removal for a pool file
+		// of the dead session (shared directory); make it idempotent.
+		if _, known := c.files[ino]; !known {
+			c.reaped[ino] = true
+		}
+	}
+	delete(c.libfses, ls.id)
+}
+
+// reapOrphansLocked garbage-collects files a dead session unlinked but
+// never retired: LibFSes batch RemoveFile calls (§4.5), so a process
+// that died mid-unlink leaves a cleared dirent with the controller's
+// file record — and its pages — still live. A record is a candidate
+// when nobody currently maps it and its dirent slot no longer names it,
+// and it is attributable to the dead session: either its dirent sits on
+// a page of a directory the session had write-mapped at death (clearing
+// the slot required that MMU-enforced mapping), or its ino was issued
+// to the session in the first place (covering directories whose write
+// mapping a lease recall bounced away before the process died).
+// Directories a rollback restored read a live dirent again and are
+// skipped naturally; quarantined directories are skipped because their
+// bytes cannot be trusted. A surviving LibFS that was itself mid-unlink
+// on one of these files finds the removal already done (c.reaped).
+func (c *Controller) reapOrphansLocked(ls *libfsState, deadDirs []*fileState) {
+	direntPages := make(map[nvm.PageID]bool)
+	for _, dir := range deadDirs {
+		if dir.quarantined != 0 {
+			continue
+		}
+		for p := range dir.pages {
+			direntPages[p] = true
+		}
+	}
+	var orphans []*fileState
+	for ino, fs := range c.files {
+		if ino == core.RootIno {
+			continue
+		}
+		if !direntPages[fs.loc.Page] && c.allocBy[ino] != ls.id {
+			continue
+		}
+		if fs.writer != 0 || len(fs.readers) > 0 {
+			continue
+		}
+		if !c.direntGoneLocked(fs) {
+			continue
+		}
+		orphans = append(orphans, fs)
+	}
+	for _, fs := range orphans {
+		// Parked, not freed: the walk that bound these pages may have
+		// raced the dead session's last stores, so a surviving file of
+		// this session may reference one of them. The stray sweep that
+		// follows rebinds such pages; the pool release frees the rest.
+		for p := range fs.pages {
+			delete(c.pageOwner, p)
+			ls.parked[p] = true
+			c.tracePage(p, "park-orphan ino=%d ls=%d", fs.ino, ls.id)
+		}
+		delete(c.files, fs.ino)
+		delete(c.shadow, fs.ino)
+		delete(c.allocBy, fs.ino)
+		c.reaped[fs.ino] = true
+	}
+}
+
+// direntGoneLocked reports whether the dirent recorded for fs no longer
+// names it: the ino word was cleared or reused (a committed unlink), or
+// the page holding the slot is no longer part of the parent directory —
+// a rollback can restore a directory state from before that page was
+// appended, after which any bytes still sitting on the departed (and
+// possibly freed and reallocated) page are not a live dirent no matter
+// what they spell. The parent's page set is only consulted when the
+// parent has a trusted, non-empty one.
+func (c *Controller) direntGoneLocked(fs *fileState) bool {
+	if pfs := c.files[fs.parent]; pfs != nil && pfs.quarantined == 0 &&
+		len(pfs.pages) > 0 && !pfs.pages[fs.loc.Page] {
+		return true
+	}
+	got, err := core.DirentIno(c.mem, fs.loc.Page, fs.loc.Slot)
+	return err == nil && got != fs.ino
+}
+
+// reapFileLocked forcibly revokes one write mapping: verify the file's
+// core state and, when the dead or unresponsive holder left it corrupt,
+// roll back to the checkpoint — there is no fix-handler grace here, the
+// process is gone (or out of grace). A file that cannot be restored to
+// a verified state is quarantined.
+func (c *Controller) reapFileLocked(ls *libfsState, fs *fileState) {
+	// A gone dirent means the holder had committed an unlink of this
+	// file (the atomic dirent clear IS the unlink's commit point) and
+	// the batched RemoveFile never arrived — or a rollback of the
+	// parent restored a state from before the file existed. The file
+	// is not corrupt — it is deleted. Retire it; "repairing" it would
+	// resurrect the dead inode over whatever owns the slot now. The
+	// dirent is only trusted when the parent directory is not
+	// quarantined.
+	if c.direntGoneLocked(fs) {
+		if pfs := c.files[fs.parent]; pfs == nil || pfs.quarantined == 0 {
+			c.retireFileLocked(ls, fs)
+			return
+		}
+	}
+	c.stats.ReapVerifies.Add(1)
+	rep, err := c.runVerifierLocked(fs, ls)
+	if err == nil && rep.OK() {
+		c.commitReportLocked(fs, ls, rep)
+	} else {
+		c.stats.Corruptions.Add(1)
+		c.restoreCheckpointLocked(fs)
+		c.stats.Rollbacks.Add(1)
+		rep2, err2 := c.runVerifierLocked(fs, ls)
+		if err2 == nil && rep2.OK() {
+			c.commitReportLocked(fs, ls, rep2)
+		} else {
+			fs.quarantined = ls.id
+			c.stats.ReapQuarantines.Add(1)
+		}
+	}
+	if m := ls.mapped[fs.ino]; m != nil {
+		for _, p := range m.pages {
+			ls.unrefPageLocked(p)
+		}
+		delete(ls.mapped, fs.ino)
+	}
+	ls.revoked[fs.ino] = true
+	fs.writer = 0
+	fs.checkpoint = nil
+	fs.recallAt = time.Time{}
+}
+
+// retireFileLocked finishes an unlink the (dead or revoked) holder
+// committed but never reported: release the holder's mapping, free the
+// file's bound pages and drop the record. The tombstone makes the
+// holder's own batched RemoveFile — or a surviving trust-group
+// sibling's — an idempotent no-op.
+func (c *Controller) retireFileLocked(ls *libfsState, fs *fileState) {
+	if m := ls.mapped[fs.ino]; m != nil {
+		for _, p := range m.pages {
+			ls.unrefPageLocked(p)
+		}
+		delete(ls.mapped, fs.ino)
+	}
+	// Parked, not freed — a racy binding walk may have attributed a
+	// page here that one of the holder's surviving files references
+	// (see libfsState.parked). Teardown settles it.
+	for p := range fs.pages {
+		delete(c.pageOwner, p)
+		ls.parked[p] = true
+		c.tracePage(p, "park-retire ino=%d ls=%d", fs.ino, ls.id)
+	}
+	delete(c.files, fs.ino)
+	delete(c.shadow, fs.ino)
+	delete(c.allocBy, fs.ino)
+	c.reaped[fs.ino] = true
+}
+
+// bindStrayPoolPagesLocked transfers resources of ls's allocation pool
+// that the live core state already references into the controller's
+// global information: pages a file's index reaches, and inos live
+// dirents name. Such strays exist because binding walks (adoption
+// during a parent's verification, or a forcible recall) read the core
+// state while the pool's owner may be mid-operation in userspace: the
+// walk can miss an index entry or a dirent whose store lands an instant
+// later, leaving the page or ino referenced by the file system but
+// still charged to the pool. While the session lives that is benign —
+// the pool resource is legitimately allocated — but teardown is about
+// to return the pool to the free lists, which would leave live files
+// pointing at free pages or unattributed inos. The session is
+// quiescent at teardown (closed or revoked), so this sweep sees its
+// final stores. Resources referenced only by files whose dirent no
+// longer names them (committed unlinks) are left in the pool and freed
+// with it.
+func (c *Controller) bindStrayPoolPagesLocked(ls *libfsState) {
+	if len(ls.allocPages) == 0 && len(ls.parked) == 0 && len(ls.allocInos) == 0 {
+		return
+	}
+	// Snapshot: adoptChildLocked below inserts into c.files.
+	known := make([]*fileState, 0, len(c.files))
+	for _, fs := range c.files {
+		known = append(known, fs)
+	}
+	for _, fs := range known {
+		if fs.quarantined != 0 {
+			continue
+		}
+		if c.direntGoneLocked(fs) {
+			continue
+		}
+		in, err := core.ReadDirentInode(c.mem, fs.loc.Page, fs.loc.Slot)
+		if err != nil {
+			continue
+		}
+		fsRef := fs
+		bind := func(p nvm.PageID) bool {
+			if ls.allocPages[p] || ls.parked[p] {
+				delete(ls.allocPages, p)
+				delete(ls.parked, p)
+				ls.unrefPageLocked(p)
+				fsRef.pages[p] = true
+				c.pageOwner[p] = fsRef.ino
+				c.tracePage(p, "bind-stray ino=%d ls=%d", fsRef.ino, ls.id)
+			}
+			return true
+		}
+		var dirPages []nvm.PageID
+		core.WalkFile(c.mem, in.Head, int(c.dev.NumPages()), bind,
+			func(_ uint64, p nvm.PageID) bool {
+				if in.Type == core.TypeDir {
+					dirPages = append(dirPages, p)
+				}
+				return bind(p)
+			})
+		if len(ls.allocInos) == 0 {
+			continue
+		}
+		// Dirents naming still-pooled inos: the create's verification
+		// walk was outrun the same way. Adopt them like any other
+		// freshly discovered child.
+		for _, p := range dirPages {
+			dp, derr := core.ReadDirPage(c.mem, p)
+			if derr != nil {
+				continue
+			}
+			for slot := 0; slot < core.SlotsPerDirPage; slot++ {
+				child := dp.SlotInode(slot)
+				if child.Ino == 0 || !ls.allocInos[child.Ino] {
+					continue
+				}
+				name, nerr := dp.SlotName(slot)
+				if nerr != nil {
+					continue
+				}
+				ref := verifier.ChildRef{
+					Ino: child.Ino, Name: name,
+					Loc: core.FileLoc{Page: p, Slot: slot}, Inode: child,
+				}
+				fs.children = append(fs.children, ref)
+				c.adoptChildLocked(fs, ls, &ref)
+			}
+		}
+	}
+}
+
+// escalateLeaseLocked advances the lease-enforcement state machine for
+// a file whose writer conflicts with a waiter, and returns how long the
+// caller should wait before re-checking (0 = state changed, re-check
+// now). Escalation order (§4.5): wait out the lease → cooperative
+// recall request → recall deadline → forcible revocation of the file.
+func (c *Controller) escalateLeaseLocked(fs *fileState) time.Duration {
+	holder := c.libfses[fs.writer]
+	if holder == nil {
+		// Holder vanished (closed or reaped concurrently).
+		fs.writer = 0
+		fs.recallAt = time.Time{}
+		return 0
+	}
+	if holder.dead {
+		// The holder's process is gone: reap the whole session — it can
+		// never unmap anything again.
+		c.reapLocked(holder)
+		return 0
+	}
+	if remaining := c.opts.LeaseTime - time.Since(fs.writerSince); remaining > 0 {
+		return remaining
+	}
+	if fs.recallAt.IsZero() {
+		if fn := holder.recall; fn != nil {
+			// Step 1: ask nicely, once, off the lock.
+			c.stats.LeaseRecalls.Add(1)
+			fs.recallAt = time.Now()
+			ino := fs.ino
+			go fn(ino)
+			return c.opts.RecallTimeout
+		}
+	} else if left := c.opts.RecallTimeout - time.Since(fs.recallAt); left > 0 {
+		// Step 2: recall outstanding; give it the rest of its deadline.
+		return left
+	}
+	// Step 3: no recall handler, or the deadline passed — revoke.
+	c.stats.LeaseExpiries.Add(1)
+	c.reapFileLocked(holder, fs)
+	return 0
+}
+
+// sweeper is the background enforcement loop (Options.LeaseSweep):
+// abandoned sessions are reaped and contended expired leases escalate
+// even when no Map call is in flight to drive the state machine.
+func (c *Controller) sweeper() {
+	defer close(c.sweepDone)
+	t := time.NewTicker(c.opts.LeaseSweep)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.sweepStop:
+			return
+		case <-t.C:
+			c.sweepOnce()
+		}
+	}
+}
+
+func (c *Controller) sweepOnce() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var dead []*libfsState
+	for _, ls := range c.libfses {
+		if ls.dead {
+			dead = append(dead, ls)
+		}
+	}
+	for _, ls := range dead {
+		c.reapLocked(ls)
+	}
+	for _, fs := range c.files {
+		if fs.writer != 0 && fs.waiters > 0 {
+			c.escalateLeaseLocked(fs)
+		}
+	}
+}
+
+// ReapAbandoned reaps every abandoned-but-unreaped session right now
+// (the on-demand form of the sweeper's first half). It returns how many
+// sessions were reaped.
+func (c *Controller) ReapAbandoned() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var dead []*libfsState
+	for _, ls := range c.libfses {
+		if ls.dead {
+			dead = append(dead, ls)
+		}
+	}
+	for _, ls := range dead {
+		c.reapLocked(ls)
+	}
+	return len(dead)
+}

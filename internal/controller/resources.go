@@ -14,15 +14,19 @@ import (
 // away (§4.5).
 func (s *Session) AllocPages(cpu, n int) ([]nvm.PageID, error) {
 	s.c.trap()
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	if err := s.aliveLocked(); err != nil {
+		return nil, err
+	}
 	pages, err := s.c.pageAlloc.AllocPages(cpu, n)
 	if err != nil {
 		return nil, err
 	}
-	s.c.mu.Lock()
-	defer s.c.mu.Unlock()
 	for _, p := range pages {
 		s.ls.allocPages[p] = true
 		s.ls.refPageLocked(p, mmu.PermWrite)
+		s.c.tracePage(p, "grant ls=%d", s.ls.id)
 	}
 	return pages, nil
 }
@@ -31,15 +35,19 @@ func (s *Session) AllocPages(cpu, n int) ([]nvm.PageID, error) {
 // striping datapath (§4.5).
 func (s *Session) AllocPagesOnNode(cpu, n, node int) ([]nvm.PageID, error) {
 	s.c.trap()
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	if err := s.aliveLocked(); err != nil {
+		return nil, err
+	}
 	pages, err := s.c.pageAlloc.AllocPagesOnNode(s.c.dev, cpu, n, node)
 	if err != nil {
 		return nil, err
 	}
-	s.c.mu.Lock()
-	defer s.c.mu.Unlock()
 	for _, p := range pages {
 		s.ls.allocPages[p] = true
 		s.ls.refPageLocked(p, mmu.PermWrite)
+		s.c.tracePage(p, "grant-node ls=%d", s.ls.id)
 	}
 	return pages, nil
 }
@@ -53,12 +61,23 @@ func (s *Session) FreePages(pages []nvm.PageID) error {
 	c := s.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := s.aliveLocked(); err != nil {
+		return err
+	}
 	freeable := make([]nvm.PageID, 0, len(pages))
 	for _, p := range pages {
 		switch {
+		case s.ls.parked[p]:
+			// Already in post-departure limbo (see libfsState.parked);
+			// it settles at teardown. Accept the free as a no-op rather
+			// than risk releasing a page a racy walk unbound while the
+			// LibFS still references it.
+			c.tracePage(p, "free-noop-parked ls=%d", s.ls.id)
+			continue
 		case s.ls.allocPages[p]:
 			delete(s.ls.allocPages, p)
 			s.ls.unrefPageLocked(p)
+			c.tracePage(p, "free-pool ls=%d", s.ls.id)
 		case func() bool {
 			ino, owned := c.pageOwner[p]
 			if !owned {
@@ -72,6 +91,7 @@ func (s *Session) FreePages(pages []nvm.PageID) error {
 			delete(fs.pages, p)
 			delete(c.pageOwner, p)
 			s.ls.unrefPageLocked(p)
+			c.tracePage(p, "free-bound ino=%d ls=%d", ino, s.ls.id)
 			return true
 		}():
 		default:
@@ -89,6 +109,9 @@ func (s *Session) AllocInos(cpu, n int) ([]core.Ino, error) {
 	s.c.trap()
 	s.c.mu.Lock()
 	defer s.c.mu.Unlock()
+	if err := s.aliveLocked(); err != nil {
+		return nil, err
+	}
 	out := make([]core.Ino, n)
 	for i := range out {
 		ino := core.Ino(s.c.inoAlloc.Alloc(cpu))
@@ -126,6 +149,9 @@ func (s *Session) changePerm(ino core.Ino, patch func(*shadowPatch)) error {
 	c := s.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := s.aliveLocked(); err != nil {
+		return err
+	}
 	fs, ok := c.files[ino]
 	if !ok {
 		return fmt.Errorf("%w: ino %d", ErrUnknownFile, ino)
@@ -187,6 +213,9 @@ func (s *Session) RemoveFile(ino core.Ino, poolPages []nvm.PageID) error {
 	c := s.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := s.aliveLocked(); err != nil {
+		return err
+	}
 	return s.removeLocked(ino, poolPages)
 }
 
@@ -211,8 +240,23 @@ func (s *Session) RemoveFiles(items []Removal) (recycled []nvm.PageID, err error
 	c := s.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := s.aliveLocked(); err != nil {
+		return nil, err
+	}
 	for _, it := range items {
 		if _, known := c.files[it.Ino]; !known {
+			if c.reaped[it.Ino] {
+				// The reaper already retired this file on behalf of a
+				// dead session; the batched removal is a no-op, but the
+				// caller's own pool pages are still recyclable.
+				for _, p := range it.Pages {
+					if s.ls.allocPages[p] {
+						recycled = append(recycled, p)
+						c.tracePage(p, "recycle-reaped ino=%d ls=%d", it.Ino, s.ls.id)
+					}
+				}
+				continue
+			}
 			if c.allocBy[it.Ino] != s.ls.id {
 				if err == nil {
 					err = fmt.Errorf("%w: ino %d", ErrUnknownFile, it.Ino)
@@ -224,6 +268,7 @@ func (s *Session) RemoveFiles(items []Removal) (recycled []nvm.PageID, err error
 			for _, p := range it.Pages {
 				if s.ls.allocPages[p] {
 					recycled = append(recycled, p)
+					c.tracePage(p, "recycle-pool ino=%d ls=%d", it.Ino, s.ls.id)
 				}
 			}
 			continue
@@ -239,6 +284,21 @@ func (s *Session) removeLocked(ino core.Ino, poolPages []nvm.PageID) error {
 	c := s.c
 	fs, ok := c.files[ino]
 	if !ok {
+		if c.reaped[ino] {
+			// Already retired by the reaper (dead-session orphan GC);
+			// removal is idempotent. Free the caller's own pool pages.
+			var freed []nvm.PageID
+			for _, p := range poolPages {
+				if s.ls.allocPages[p] {
+					delete(s.ls.allocPages, p)
+					s.ls.unrefPageLocked(p)
+					freed = append(freed, p)
+					c.tracePage(p, "free-rm-reaped ino=%d ls=%d", ino, s.ls.id)
+				}
+			}
+			c.pageAlloc.FreePages(freed)
+			return nil
+		}
 		// Never verified: the file lived entirely inside the creator's
 		// allocation pool.
 		if c.allocBy[ino] != s.ls.id {
@@ -252,21 +312,18 @@ func (s *Session) removeLocked(ino core.Ino, poolPages []nvm.PageID) error {
 				delete(s.ls.allocPages, p)
 				s.ls.unrefPageLocked(p)
 				freed = append(freed, p)
+				c.tracePage(p, "free-rm-pool ino=%d ls=%d", ino, s.ls.id)
 			}
 		}
 		c.pageAlloc.FreePages(freed)
 		return nil
 	}
-	// The caller must have been able to retire the dirent, which needs
-	// write access to the parent directory. A batched (deferred) removal
-	// may arrive after that mapping was dropped; the cleared-dirent
-	// check below is what actually gates the removal, since clearing it
-	// required the MMU-enforced write mapping at the time.
-	if fs.parent != 0 {
-		if pm := s.ls.mapped[fs.parent]; pm != nil && !pm.write {
-			return fmt.Errorf("%w: parent directory %d mapped read-only", ErrPermission, fs.parent)
-		}
-	}
+	// Retiring the dirent needed write access to the parent directory at
+	// the time it was cleared — the MMU enforced that. A batched
+	// (deferred) removal may arrive after that mapping was dropped, or
+	// even after a recall bounced it and a later lookup re-mapped the
+	// parent read-only, so the caller's current parent permission proves
+	// nothing either way: the cleared-dirent check below is the gate.
 	if fs.writer != 0 && fs.writer != s.ls.id {
 		return fmt.Errorf("%w: ino %d", ErrBusy, ino)
 	}
@@ -275,8 +332,9 @@ func (s *Session) removeLocked(ino core.Ino, poolPages []nvm.PageID) error {
 			return fmt.Errorf("%w: ino %d has readers", ErrBusy, ino)
 		}
 	}
-	// The dirent must already be retired.
-	if got, err := core.DirentIno(c.mem, fs.loc.Page, fs.loc.Slot); err == nil && got == ino {
+	// The dirent must already be retired (cleared, reused, or on a page
+	// a rollback removed from the parent directory).
+	if !c.direntGoneLocked(fs) {
 		return fmt.Errorf("%w: dirent of ino %d still live", ErrBadRequest, ino)
 	}
 	if fs.ftype == core.TypeDir {
@@ -298,12 +356,15 @@ func (s *Session) removeLocked(ino core.Ino, poolPages []nvm.PageID) error {
 		}
 		delete(s.ls.mapped, ino)
 	}
-	var freed []nvm.PageID
+	// Park the victim's pages on the remover instead of freeing them:
+	// the binding walk that attributed them may have raced this LibFS's
+	// concurrent stores (see libfsState.parked), so another of its
+	// files may reference one of them. Teardown settles the set.
 	for p := range fs.pages {
 		delete(c.pageOwner, p)
-		freed = append(freed, p)
+		s.ls.parked[p] = true
+		c.tracePage(p, "park-rm ino=%d ls=%d", ino, s.ls.id)
 	}
-	c.pageAlloc.FreePages(freed)
 	delete(c.files, ino)
 	delete(c.shadow, ino)
 	delete(c.allocBy, ino)
@@ -318,8 +379,14 @@ func (s *Session) Commit(ino core.Ino) error {
 	c := s.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := s.aliveLocked(); err != nil {
+		return err
+	}
 	m := s.ls.mapped[ino]
 	if m == nil || !m.write {
+		if s.ls.revoked[ino] {
+			return fmt.Errorf("%w: ino %d", ErrRevoked, ino)
+		}
 		return fmt.Errorf("%w: ino %d is not write-mapped", ErrBadRequest, ino)
 	}
 	fs := c.files[ino]
@@ -405,6 +472,24 @@ func (c *Controller) Files() []FileInfo {
 	return out
 }
 
+// pageNumIn extracts the digits following the first "page " in a
+// violation string (debug instrumentation; "" when absent).
+func pageNumIn(s string) string {
+	for i := 0; i+5 < len(s); i++ {
+		if s[i:i+5] == "page " {
+			j := i + 5
+			k := j
+			for k < len(s) && s[k] >= '0' && s[k] <= '9' {
+				k++
+			}
+			if k > j {
+				return s[j:k]
+			}
+		}
+	}
+	return ""
+}
+
 // VerifyAll runs the verifier over every known file (the arckfsck
 // "full scan" mode); it returns the numbers of files checked and files
 // with violations.
@@ -417,6 +502,22 @@ func (c *Controller) VerifyAll() (checked, bad int, firstProblem string) {
 		rep, err := c.verifier.VerifyFile(env, fs.ino, fs.loc, fs.ino == core.RootIno)
 		checked++
 		if err != nil || !rep.OK() {
+			if DebugVerifyFailure != nil {
+				got, _ := core.DirentIno(c.mem, fs.loc.Page, fs.loc.Slot)
+				msg := fmt.Sprintf(
+					"VerifyAll ino=%d loc=%v type=%v parent=%d writer=%d readers=%d reaped=%v allocBy=%d quarantined=%d direntNow=%d err=%v viol=%v",
+					fs.ino, fs.loc, fs.ftype, fs.parent, fs.writer, len(fs.readers),
+					c.reaped[fs.ino], c.allocBy[fs.ino], fs.quarantined, got, err, rep.Violations)
+				if c.pageTrace != nil {
+					for _, v := range rep.Violations {
+						var pg uint64
+						if _, serr := fmt.Sscanf(pageNumIn(v.String()), "%d", &pg); serr == nil {
+							msg += fmt.Sprintf("\n  page %d trace: %v", pg, c.pageTrace[nvm.PageID(pg)])
+						}
+					}
+				}
+				DebugVerifyFailure(msg)
+			}
 			bad++
 			if firstProblem == "" {
 				if err != nil {

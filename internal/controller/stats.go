@@ -24,6 +24,13 @@ type Stats struct {
 	Corruptions atomic.Int64
 	Fixed       atomic.Int64
 	Rollbacks   atomic.Int64
+
+	// Process-failure enforcement (ungraceful teardown and leases).
+	Reaps           atomic.Int64 // sessions forcibly torn down
+	ReapVerifies    atomic.Int64 // write mappings verified during forcible revocation
+	ReapQuarantines atomic.Int64 // files quarantined because rollback could not restore them
+	LeaseRecalls    atomic.Int64 // cooperative recall requests sent to lease holders
+	LeaseExpiries   atomic.Int64 // per-file forcible revocations after lease+recall deadlines
 }
 
 func (s *Stats) addMap(d time.Duration) {
@@ -59,6 +66,8 @@ type Snapshot struct {
 	MapCount, UnmapCount, VerifyCount, RebuildCount int64
 	MapTime, UnmapTime, VerifyTime, RebuildTime     time.Duration
 	Checkpoints, Corruptions, Fixed, Rollbacks      int64
+	Reaps, ReapVerifies, ReapQuarantines            int64
+	LeaseRecalls, LeaseExpiries                     int64
 }
 
 // Snapshot copies the counters.
@@ -76,6 +85,12 @@ func (s *Stats) Snapshot() Snapshot {
 		Corruptions:  s.Corruptions.Load(),
 		Fixed:        s.Fixed.Load(),
 		Rollbacks:    s.Rollbacks.Load(),
+
+		Reaps:           s.Reaps.Load(),
+		ReapVerifies:    s.ReapVerifies.Load(),
+		ReapQuarantines: s.ReapQuarantines.Load(),
+		LeaseRecalls:    s.LeaseRecalls.Load(),
+		LeaseExpiries:   s.LeaseExpiries.Load(),
 	}
 }
 
@@ -94,5 +109,11 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		Corruptions:  s.Corruptions - prev.Corruptions,
 		Fixed:        s.Fixed - prev.Fixed,
 		Rollbacks:    s.Rollbacks - prev.Rollbacks,
+
+		Reaps:           s.Reaps - prev.Reaps,
+		ReapVerifies:    s.ReapVerifies - prev.ReapVerifies,
+		ReapQuarantines: s.ReapQuarantines - prev.ReapQuarantines,
+		LeaseRecalls:    s.LeaseRecalls - prev.LeaseRecalls,
+		LeaseExpiries:   s.LeaseExpiries - prev.LeaseExpiries,
 	}
 }

@@ -19,8 +19,12 @@
 package delegation
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"trio/internal/fsapi"
 	"trio/internal/mmu"
 	"trio/internal/nvm"
 )
@@ -51,14 +55,30 @@ type seg struct {
 // executed by one worker. Requests describe ranges, not single pages —
 // the hand-off cost amortizes over the whole node-local run, as with
 // OdinFS's range-based delegation requests.
+//
+// A request is executed by exactly one party: the worker that dequeues
+// it, or — when the node's workers have died — the waiting application
+// thread itself (fail-over to direct access). Execution rights are
+// handed out by the claimed CAS; done closes once the claimant finished.
 type request struct {
+	node    int
 	view    *mmu.View
 	segs    []seg
 	write   bool
 	persist bool
-	wg      *sync.WaitGroup
 	err     *errSlot
+
+	claimed atomic.Bool
+	done    chan struct{}
+
+	// poison marks a worker-kill order (test hook, simulating a crashed
+	// delegation thread): the dequeuing worker exits without serving
+	// anything behind it in the ring.
+	poison bool
 }
+
+// claim acquires the exclusive right to execute the request.
+func (r *request) claim() bool { return r.claimed.CompareAndSwap(false, true) }
 
 // errSlot records the first error of a batch.
 type errSlot struct {
@@ -82,7 +102,9 @@ func (e *errSlot) set(err error) {
 // all LibFSes").
 type Pool struct {
 	dev     *nvm.Device
-	queues  []chan request // one ring buffer per NUMA node
+	queues  []chan *request // one ring buffer per NUMA node
+	alive   []atomic.Int32  // live workers per node
+	closed  atomic.Bool
 	wg      sync.WaitGroup
 	workers int
 }
@@ -94,12 +116,18 @@ func NewPool(dev *nvm.Device, workersPerNode int) *Pool {
 	if workersPerNode <= 0 {
 		workersPerNode = 4
 	}
-	p := &Pool{dev: dev, queues: make([]chan request, dev.Nodes()), workers: workersPerNode}
+	p := &Pool{
+		dev:     dev,
+		queues:  make([]chan *request, dev.Nodes()),
+		alive:   make([]atomic.Int32, dev.Nodes()),
+		workers: workersPerNode,
+	}
 	for node := 0; node < dev.Nodes(); node++ {
 		// The ring buffer: bounded, so a flood of requests applies
 		// backpressure instead of spawning unbounded concurrency.
-		p.queues[node] = make(chan request, 1024)
+		p.queues[node] = make(chan *request, 1024)
 		for w := 0; w < workersPerNode; w++ {
+			p.alive[node].Add(1)
 			p.wg.Add(1)
 			go p.worker(node)
 		}
@@ -109,6 +137,9 @@ func NewPool(dev *nvm.Device, workersPerNode int) *Pool {
 
 // Close drains and stops all workers.
 func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
 	for _, q := range p.queues {
 		close(q)
 	}
@@ -118,26 +149,65 @@ func (p *Pool) Close() {
 // WorkersPerNode reports the per-node worker count.
 func (p *Pool) WorkersPerNode() int { return p.workers }
 
+// AliveWorkers reports how many workers still serve the node's ring.
+func (p *Pool) AliveWorkers(node int) int { return int(p.alive[node].Load()) }
+
+// KillWorkers simulates n delegation-worker crashes on a node (test
+// hook): each poison request makes the worker that dequeues it exit
+// immediately, abandoning everything queued behind it. Batches already
+// queued or submitted later must fail over to direct access — the
+// liveness property the chaos tests assert.
+func (p *Pool) KillWorkers(node, n int) {
+	for i := 0; i < n; i++ {
+		select {
+		case p.queues[node] <- &request{poison: true}:
+		default:
+			return // ring full of real work; no room to deliver the kill
+		}
+	}
+}
+
 func (p *Pool) worker(node int) {
 	defer p.wg.Done()
 	for req := range p.queues[node] {
-		for _, sg := range req.segs {
-			var err error
-			if req.write {
-				err = req.view.Write(sg.page, sg.off, sg.buf)
-				if err == nil && req.persist {
-					err = nvm.RetryTransient(func() error {
-						return req.view.Persist(sg.page, sg.off, len(sg.buf))
-					})
-				}
-			} else {
-				err = req.view.Read(sg.page, sg.off, sg.buf)
-			}
-			if err != nil {
-				req.err.set(err)
-			}
+		if req.poison {
+			p.alive[node].Add(-1)
+			return
 		}
-		req.wg.Done()
+		if !req.claim() {
+			continue // the waiter failed over and executed it directly
+		}
+		req.exec()
+	}
+	p.alive[node].Add(-1)
+}
+
+// exec runs the request's segments through its view, with bounded
+// retry-with-backoff on transient device faults, and signals completion.
+// Workers never die mid-request: once claimed, a request always
+// completes (possibly with an error), so done is a reliable signal.
+func (r *request) exec() {
+	defer close(r.done)
+	for _, sg := range r.segs {
+		sg := sg
+		var err error
+		if r.write {
+			err = nvm.RetryTransient(func() error {
+				return r.view.Write(sg.page, sg.off, sg.buf)
+			})
+			if err == nil && r.persist {
+				err = nvm.RetryTransient(func() error {
+					return r.view.Persist(sg.page, sg.off, len(sg.buf))
+				})
+			}
+		} else {
+			err = nvm.RetryTransient(func() error {
+				return r.view.Read(sg.page, sg.off, sg.buf)
+			})
+		}
+		if err != nil {
+			r.err.set(err)
+		}
 	}
 }
 
@@ -152,7 +222,6 @@ type Batch struct {
 	write    bool
 	delegate bool
 	persist  bool
-	wg       sync.WaitGroup
 	err      errSlot
 }
 
@@ -236,28 +305,84 @@ func (b *Batch) view(node int) *mmu.View {
 	return b.views[node]
 }
 
-// Wait dispatches one range request per touched node, blocks until all
-// workers completed, and returns the first error. Inline batches return
+// failoverPoll is how often a waiter re-checks worker liveness while
+// blocked on a dispatched request. Wall-clock bound on a dead node:
+// one poll interval before the waiter claims the request and executes
+// it directly.
+const failoverPoll = 200 * time.Microsecond
+
+// Wait dispatches one range request per touched node, blocks until each
+// completes, and returns the first error. Inline batches return
 // instantly.
+//
+// Wait is bounded even when delegation workers have died (degraded
+// mode, §4.5 robustness): a request whose node has no live workers is
+// claimed back by the waiter and executed directly — the batch degrades
+// to direct access instead of hanging. Raw injected media errors are
+// wrapped as fsapi.ErrIO so the LibFS error-surface policy holds on the
+// delegated path too.
 func (b *Batch) Wait() error {
 	if b.delegate {
+		outstanding := make([]*request, 0, len(b.pending))
 		for node, segs := range b.pending {
 			if len(segs) == 0 {
 				continue
 			}
-			b.wg.Add(1)
-			b.pool.queues[node] <- request{
-				view: b.view(node), segs: segs,
+			req := &request{
+				node: node, view: b.view(node), segs: segs,
 				write: b.write, persist: b.persist,
-				wg: &b.wg, err: &b.err,
+				err: &b.err, done: make(chan struct{}),
 			}
 			b.pending[node] = nil
+			if b.pool.closed.Load() || b.pool.AliveWorkers(node) == 0 {
+				// Degraded: no one will ever serve the ring. Run direct.
+				req.claimed.Store(true)
+				req.exec()
+				continue
+			}
+			select {
+			case b.pool.queues[node] <- req:
+				outstanding = append(outstanding, req)
+			default:
+				// Ring full (backpressure with dying workers): run direct.
+				req.claimed.Store(true)
+				req.exec()
+			}
 		}
-		b.wg.Wait()
+		for _, req := range outstanding {
+			b.await(req)
+		}
 	}
 	b.err.mu.Lock()
 	defer b.err.mu.Unlock()
-	return b.err.err
+	err := b.err.err
+	if err != nil && nvm.IsInjected(err) {
+		// Error-surface policy: device/media faults escaping the datapath
+		// surface as I/O errors, not raw injection internals.
+		err = fmt.Errorf("%w: %v", fsapi.ErrIO, err)
+	}
+	return err
+}
+
+// await blocks until req completes, failing over to direct execution
+// when the node's workers died with the request still queued.
+func (b *Batch) await(req *request) {
+	timer := time.NewTimer(failoverPoll)
+	defer timer.Stop()
+	for {
+		select {
+		case <-req.done:
+			return
+		case <-timer.C:
+			if b.pool.AliveWorkers(req.node) == 0 && req.claim() {
+				// The workers died before dequeuing it; the claim makes
+				// any late dequeue skip it, so direct execution is safe.
+				req.exec()
+				return
+			}
+			timer.Reset(failoverPoll)
+		}
+	}
 }
 
 // Delegated reports whether this batch went through the workers.

@@ -1,0 +1,214 @@
+package delegation
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"trio/internal/fsapi"
+	"trio/internal/mmu"
+	"trio/internal/nvm"
+)
+
+// boundedWait runs b.Wait with a liveness deadline: the degraded-mode
+// guarantee is that Wait returns even when delegation workers died.
+func boundedWait(t *testing.T, b *Batch) error {
+	t.Helper()
+	errCh := make(chan error, 1)
+	go func() { errCh <- b.Wait() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-time.After(30 * time.Second):
+		t.Fatal("Batch.Wait hung")
+		return nil
+	}
+}
+
+func killNode(t *testing.T, p *Pool, node int) {
+	t.Helper()
+	p.KillWorkers(node, p.WorkersPerNode())
+	deadline := time.Now().Add(5 * time.Second)
+	for p.AliveWorkers(node) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("node %d workers never died", node)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestWorkerDeathFailover: with every worker on one node dead, a
+// delegated batch spanning dead and live nodes still completes — the
+// dead node's segments degrade to direct access.
+func TestWorkerDeathFailover(t *testing.T) {
+	dev, as, pool := setup(t)
+	killNode(t, pool, 0)
+
+	pages := []nvm.PageID{2, 3, 258} // two on the dead node, one live
+	for _, p := range pages {
+		as.Map(p, 1, mmu.PermWrite)
+	}
+	data := make([]byte, 3*nvm.PageSize)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	wb := pool.NewBatch(as, DelegateWriteMin, true, true)
+	if !wb.Delegated() {
+		t.Fatal("batch not delegated")
+	}
+	for i, p := range pages {
+		wb.Write(p, 0, data[i*nvm.PageSize:(i+1)*nvm.PageSize])
+	}
+	if err := boundedWait(t, wb); err != nil {
+		t.Fatalf("degraded write: %v", err)
+	}
+	got := make([]byte, len(data))
+	for i, p := range pages {
+		if err := dev.ReadAt(0, p, 0, got[i*nvm.PageSize:(i+1)*nvm.PageSize]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded-mode write lost data")
+	}
+	// Reads degrade the same way.
+	rb := pool.NewBatch(as, DelegateReadMin, false, false)
+	back := make([]byte, len(data))
+	for i, p := range pages {
+		rb.Read(p, 0, back[i*nvm.PageSize:(i+1)*nvm.PageSize])
+	}
+	if err := boundedWait(t, rb); err != nil {
+		t.Fatalf("degraded read: %v", err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("degraded-mode read mismatch")
+	}
+}
+
+// TestWorkerDeathRacesQueuedBatch: the kill lands concurrently with the
+// dispatch, so the poison may sit ahead of the request in the ring (the
+// await-side fail-over) or behind it. Either way Wait is bounded and the
+// data lands.
+func TestWorkerDeathRacesQueuedBatch(t *testing.T) {
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 1, PagesPerNode: 64})
+	as := mmu.NewAddressSpace(dev, 0)
+	pages := []nvm.PageID{2, 3, 4, 5}
+	for _, p := range pages {
+		as.Map(p, 1, mmu.PermWrite)
+	}
+	want := make([]byte, nvm.PageSize)
+	for i := range want {
+		want[i] = byte(i)
+	}
+	for round := 0; round < 10; round++ {
+		pool := NewPool(dev, 1)
+		kill := make(chan struct{})
+		go func() {
+			pool.KillWorkers(0, 1)
+			close(kill)
+		}()
+		b := pool.NewBatch(as, DelegateWriteMin, true, true)
+		for _, p := range pages {
+			b.Write(p, 0, want)
+		}
+		if err := boundedWait(t, b); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		<-kill
+		for _, p := range pages {
+			got := make([]byte, nvm.PageSize)
+			if err := dev.ReadAt(0, p, 0, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("round %d: page %d corrupt", round, p)
+			}
+		}
+		pool.Close()
+	}
+}
+
+// TestClosedPoolRunsInline: a batch built before (or racing) pool
+// shutdown executes inline rather than deadlocking on closed rings.
+func TestClosedPoolRunsInline(t *testing.T) {
+	dev, as, pool := setup(t)
+	pool.Close()
+	as.Map(2, 1, mmu.PermWrite)
+	as.Map(258, 1, mmu.PermWrite)
+	b := pool.NewBatch(as, DelegateWriteMin, true, true)
+	if !b.Delegated() {
+		t.Fatal("batch not delegated")
+	}
+	payload := []byte("after close")
+	b.Write(2, 0, payload)
+	b.Write(258, 0, payload)
+	if err := boundedWait(t, b); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if err := dev.ReadAt(0, 258, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("inline fallback lost data")
+	}
+}
+
+// TestInjectedFaultsSurfaceAsErrIO (error-surface policy): raw media
+// errors never escape Batch.Wait — delegated or inline, they come out
+// wrapped as fsapi.ErrIO.
+func TestInjectedFaultsSurfaceAsErrIO(t *testing.T) {
+	dev, as, pool := setup(t)
+	fp := nvm.NewFaultPlan()
+	fp.InjectWriteFault(2, 0, -1)
+	dev.SetFaultPlan(fp)
+	t.Cleanup(func() { dev.SetFaultPlan(nil) })
+	as.Map(2, 1, mmu.PermWrite)
+
+	// Delegated path.
+	wb := pool.NewBatch(as, DelegateWriteMin, true, false)
+	wb.Write(2, 0, make([]byte, nvm.PageSize))
+	err := boundedWait(t, wb)
+	if !errors.Is(err, fsapi.ErrIO) {
+		t.Fatalf("delegated media fault surfaced as %v, want fsapi.ErrIO", err)
+	}
+	if errors.Is(err, nvm.ErrMediaWrite) {
+		t.Fatalf("raw injection error leaked through the API: %v", err)
+	}
+
+	// Inline (sub-threshold) path.
+	sb := pool.NewBatch(as, 64, true, false)
+	sb.Write(2, 0, make([]byte, 64))
+	if err := boundedWait(t, sb); !errors.Is(err, fsapi.ErrIO) {
+		t.Fatalf("inline media fault surfaced as %v, want fsapi.ErrIO", err)
+	}
+}
+
+// TestTransientBusyRetried: bounded retry-with-backoff absorbs short
+// delayed-persistence windows; an endless window exhausts the budget and
+// surfaces as an I/O error instead of spinning forever.
+func TestTransientBusyRetried(t *testing.T) {
+	dev, as, pool := setup(t)
+	fp := nvm.NewFaultPlan()
+	fp.DelayPersists(2, 3) // transient: three busy persists, then fine
+	dev.SetFaultPlan(fp)
+	t.Cleanup(func() { dev.SetFaultPlan(nil) })
+	as.Map(2, 1, mmu.PermWrite)
+	as.Map(3, 1, mmu.PermWrite)
+
+	wb := pool.NewBatch(as, DelegateWriteMin, true, true)
+	wb.Write(2, 0, []byte("retried"))
+	if err := boundedWait(t, wb); err != nil {
+		t.Fatalf("transient window not absorbed: %v", err)
+	}
+
+	fp2 := nvm.NewFaultPlan()
+	fp2.DelayPersists(3, 1<<30) // effectively forever
+	dev.SetFaultPlan(fp2)
+	eb := pool.NewBatch(as, DelegateWriteMin, true, true)
+	eb.Write(3, 0, []byte("stuck"))
+	if err := boundedWait(t, eb); !errors.Is(err, fsapi.ErrIO) {
+		t.Fatalf("exhausted retry budget surfaced as %v, want fsapi.ErrIO", err)
+	}
+}

@@ -1,0 +1,287 @@
+package fstest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"trio/internal/controller"
+	"trio/internal/delegation"
+	"trio/internal/fsapi"
+	"trio/internal/libfs"
+	"trio/internal/mmu"
+	"trio/internal/nvm"
+)
+
+// TestChaosTenantDeath is the process-failure liveness test (ISSUE 2):
+// several single-tenant LibFSes hammer their own directories while a
+// killer abandons half of them at random syscall points — no teardown,
+// mappings left installed, removals half-batched — and also kills
+// delegation workers. The system must stay live (no hung Batch.Wait, no
+// stuck Map), the sweeper/explicit reaps must reclaim exactly the dead
+// sessions, and afterwards every surviving file must verify clean and be
+// write-mappable by a fresh trust domain.
+func TestChaosTenantDeath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test is not short")
+	}
+	baseline := runtime.NumGoroutine()
+
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 2, PagesPerNode: 8192})
+	ctl, err := controller.New(dev, controller.Options{
+		LeaseTime:     2 * time.Millisecond,
+		RecallTimeout: 50 * time.Millisecond,
+		LeaseSweep:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := delegation.NewPool(dev, 2)
+
+	const nTenant = 6
+	const nKill = 3
+
+	// Root lays out one world-writable directory per tenant.
+	setup, err := libfs.New(ctl.Register(0, 0, 0, 0), libfs.Config{CPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := setup.NewClient(0)
+	for i := 0; i < nTenant; i++ {
+		if err := rc.Mkdir(fmt.Sprintf("/t%d", i), 0o777); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := setup.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		errMu   sync.Mutex
+		tErrs   []error
+		tenants [nTenant]*libfs.FS
+		killed  [nTenant]atomic.Bool
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		tErrs = append(tErrs, err)
+		errMu.Unlock()
+		stop.Store(true)
+	}
+	// Errors a live tenant may legitimately see mid-chaos: MMU faults
+	// from racing revocations (withMapped re-maps, but a dead worker or
+	// an exhausted retry can still surface one) and the controller's
+	// forcible lease revocation backstop. Both are recoverable on the
+	// next operation; anything else is a real bug.
+	transient := func(err error) bool {
+		return errors.Is(err, mmu.ErrFault) ||
+			errors.Is(err, controller.ErrRevoked) ||
+			errors.Is(err, fsapi.ErrNotExist)
+	}
+
+	for i := 0; i < nTenant; i++ {
+		fs, err := libfs.New(
+			ctl.Register(uint32(1000+i), uint32(1000+i), i%2, 0),
+			libfs.Config{CPUs: 2, Pool: pool, Stripe: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tenants[i] = fs
+		wg.Add(1)
+		go func(i int, fs *libfs.FS) {
+			defer wg.Done()
+			cl := fs.NewClient(i % 2)
+			rng := rand.New(rand.NewSource(int64(i) * 7919))
+			big := make([]byte, delegation.DelegateWriteMin)
+			for j := 0; !stop.Load(); j++ {
+				path := fmt.Sprintf("/t%d/f%d", i, j%3)
+				payload := []byte(fmt.Sprintf("tenant %d iter %d", i, j))
+				if j%8 == 7 {
+					copy(big, payload)
+					payload = big // delegation-sized, exercises fail-over
+				}
+				err := func() error {
+					f, err := cl.Create(path, 0o644)
+					if err != nil {
+						return err
+					}
+					defer f.Close()
+					if _, err := f.WriteAt(payload, 0); err != nil {
+						return err
+					}
+					back := make([]byte, len(payload))
+					if _, err := f.ReadAt(back, 0); err != nil {
+						return err
+					}
+					if !bytes.Equal(back, payload) {
+						return fmt.Errorf("tenant %d: read-back mismatch on %s", i, path)
+					}
+					return nil
+				}()
+				if err == nil && rng.Intn(4) == 0 {
+					err = cl.Unlink(path)
+				}
+				if err != nil {
+					if killed[i].Load() || stop.Load() || transient(err) {
+						if killed[i].Load() {
+							return // died mid-syscall; the reaper cleans up
+						}
+						continue
+					}
+					fail(fmt.Errorf("tenant %d: %w", i, err))
+					return
+				}
+			}
+		}(i, fs)
+	}
+
+	// Scanners are a second trust domain reading the tenants' metadata:
+	// they keep lease contention (recall → revoke escalation) flowing
+	// the whole run. They tolerate transient errors but must complete at
+	// least one full clean sweep to prove cross-domain reads stay live.
+	var cleanSweeps atomic.Int64
+	for s := 0; s < 2; s++ {
+		fs, err := libfs.New(
+			ctl.Register(uint32(3000+s), uint32(3000+s), s%2, 0),
+			libfs.Config{CPUs: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tenantIdx := nTenant + s
+		_ = tenantIdx
+		wg.Add(1)
+		go func(s int, fs *libfs.FS) {
+			defer wg.Done()
+			defer func() {
+				if err := fs.Close(); err != nil {
+					fail(fmt.Errorf("scanner %d close: %w", s, err))
+				}
+			}()
+			cl := fs.NewClient(s)
+			consec := 0
+			for !stop.Load() {
+				clean := true
+				for i := 0; i < nTenant; i++ {
+					if _, err := cl.ReadDir(fmt.Sprintf("/t%d", i)); err != nil {
+						clean = false
+					}
+					for j := 0; j < 3; j++ {
+						_, err := cl.Stat(fmt.Sprintf("/t%d/f%d", i, j))
+						if err != nil && !errors.Is(err, fsapi.ErrNotExist) {
+							clean = false
+						}
+					}
+				}
+				if clean {
+					cleanSweeps.Add(1)
+					consec = 0
+				} else if consec++; consec > 1000 {
+					fail(fmt.Errorf("scanner %d: wedged (1000 consecutive dirty sweeps)", s))
+					return
+				}
+			}
+		}(s, fs)
+	}
+
+	// The killer: abandon nKill tenants at whatever syscall they happen
+	// to be inside, alternating explicit Reap with leaving the corpse
+	// for the lease sweeper; mid-spree, kill half the delegation workers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(50 * time.Millisecond)
+		for k := 0; k < nKill; k++ {
+			killed[k].Store(true)
+			tenants[k].Session().Abandon()
+			if k%2 == 0 {
+				if err := ctl.Reap(tenants[k].Session().ID()); err != nil {
+					fail(fmt.Errorf("reap tenant %d: %w", k, err))
+				}
+			} // odd corpses are the sweeper's problem
+			if k == 1 {
+				pool.KillWorkers(0, 2)
+			}
+			time.Sleep(30 * time.Millisecond)
+		}
+		time.Sleep(100 * time.Millisecond)
+		stop.Store(true)
+	}()
+
+	// Global liveness: everything joins, bounded.
+	doneCh := make(chan struct{})
+	go func() { wg.Wait(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(60 * time.Second):
+		t.Fatal("liveness violation: chaos goroutines did not join")
+	}
+	errMu.Lock()
+	for _, e := range tErrs {
+		t.Error(e)
+	}
+	errMu.Unlock()
+	if cleanSweeps.Load() == 0 {
+		t.Error("scanners never completed a clean sweep")
+	}
+
+	// Exactly the killed sessions get reaped — never a live one.
+	deadline := time.Now().Add(5 * time.Second)
+	for ctl.Stats().Reaps.Load() < nKill && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	st := ctl.Stats()
+	if got := st.Reaps.Load(); got != nKill {
+		t.Fatalf("Reaps = %d, want exactly %d", got, nKill)
+	}
+	if q := st.ReapQuarantines.Load(); q != 0 {
+		t.Fatalf("ReapQuarantines = %d: reaper could not repair some file", q)
+	}
+
+	// Survivors tear down cooperatively.
+	for i := nKill; i < nTenant; i++ {
+		if err := tenants[i].Close(); err != nil {
+			t.Errorf("surviving tenant %d close: %v", i, err)
+		}
+	}
+
+	// Every surviving file verifies clean and is write-mappable by a
+	// brand-new trust domain — i.e. the dead sessions' leases, pages and
+	// half-done removals are fully reclaimed.
+	if checked, bad, first := ctl.VerifyAll(); bad != 0 {
+		t.Fatalf("VerifyAll: %d/%d bad, first: %s", bad, checked, first)
+	}
+	sweep := ctl.Register(0, 0, 0, 0)
+	for _, fi := range ctl.Files() {
+		if _, err := sweep.MapFile(fi.Ino, fi.Loc, true); err != nil {
+			t.Fatalf("post-chaos write map of ino %d: %v", fi.Ino, err)
+		}
+		if err := sweep.UnmapFile(fi.Ino); err != nil {
+			t.Fatalf("post-chaos unmap of ino %d: %v", fi.Ino, err)
+		}
+	}
+	if err := sweep.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctl.Close()
+	pool.Close()
+
+	// No goroutine leaks: sweeper, workers and tenants are all gone.
+	deadline = time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+3 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+3 {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutine leak: %d > baseline %d\n%s",
+			n, baseline, buf[:runtime.Stack(buf, true)])
+	}
+}

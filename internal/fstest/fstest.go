@@ -473,7 +473,7 @@ func testConcurrentReadWriteOneFile(t *testing.T, fs fsapi.FS) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			h, err := fs.NewClient(w + 1).Open("/rw", true)
+			h, err := fs.NewClient(w+1).Open("/rw", true)
 			if err != nil {
 				errs <- err
 				return

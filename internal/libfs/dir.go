@@ -282,7 +282,10 @@ func (c *Client) unlinkCommon(path string, wantDir bool) error {
 		if wantDir {
 			// Reject non-empty directories in userspace first; the
 			// controller re-checks (I3) when it releases resources.
-			if victim.ht != nil && victim.ht.Len() > 0 {
+			victim.auxMu.RLock()
+			nonEmpty := victim.ht != nil && victim.ht.Len() > 0
+			victim.auxMu.RUnlock()
+			if nonEmpty {
 				return fsapi.ErrNotEmpty
 			}
 			if live, lerr := fs.dirHasLiveEntry(victim, pages); lerr != nil {
@@ -373,106 +376,112 @@ func (c *Client) Rename(oldPath, newPath string) error {
 		defer second.ilock.Unlock()
 	}
 
+	body := func() error {
+		oldE, ok := srcParent.ht.Get(oldName)
+		if !ok {
+			return fsapi.ErrNotExist
+		}
+		var target *dirEntry
+		if te, exists := dstParent.ht.Get(newName); exists {
+			if te.ino == oldE.ino {
+				return nil // rename to itself
+			}
+			if te.ftype == core.TypeDir {
+				return fsapi.ErrExist
+			}
+			target = &te
+		}
+		// Claim the destination slot before journaling (growth is
+		// independently crash-safe).
+		dstPage, dstSlot, err := fs.claimSlot(c.cpu, dstParent)
+		if err != nil {
+			return err
+		}
+
+		jr, err := fs.journalFor(c.cpu)
+		if err != nil {
+			return err
+		}
+		// Only the three 8-byte commit words need undo records: a
+		// slot's body is dead bytes until its ino word is set
+		// (§4.4). Their pre-images are known, so no journal reads.
+		var inoWord [8]byte
+		tx := jr.Begin()
+		binary.LittleEndian.PutUint64(inoWord[:], uint64(oldE.ino))
+		if err := tx.LogUndoValue(oldE.loc.Page, core.SlotOffset(oldE.loc.Slot), inoWord[:]); err != nil {
+			return err
+		}
+		var zeroWord [8]byte
+		if err := tx.LogUndoValue(dstPage, core.SlotOffset(dstSlot), zeroWord[:]); err != nil {
+			return err
+		}
+		if target != nil {
+			binary.LittleEndian.PutUint64(inoWord[:], uint64(target.ino))
+			if err := tx.LogUndoValue(target.loc.Page, core.SlotOffset(target.loc.Slot), inoWord[:]); err != nil {
+				return err
+			}
+		}
+		if err := tx.Seal(); err != nil {
+			return err
+		}
+
+		// Copy the dirent (inode + name) into the new slot, commit
+		// its ino, then retire the old slot (and the target's).
+		var slotImg [core.DirentSize]byte
+		if err := fs.as.Read(oldE.loc.Page, core.SlotOffset(oldE.loc.Slot), slotImg[:]); err != nil {
+			return err
+		}
+		if err := fs.as.Write(dstPage, core.SlotOffset(dstSlot)+8, slotImg[8:]); err != nil {
+			return err
+		}
+		if err := fs.persist(dstPage, core.SlotOffset(dstSlot)+8, core.DirentSize-8); err != nil {
+			return err
+		}
+		// New name overwrites the copied one.
+		if err := core.WriteDirentName(fs.cmem, dstPage, dstSlot, newName); err != nil {
+			return err
+		}
+		fs.as.Fence()
+		if err := core.CommitDirentIno(fs.cmem, dstPage, dstSlot, oldE.ino); err != nil {
+			return err
+		}
+		if err := core.CommitDirentIno(fs.cmem, oldE.loc.Page, oldE.loc.Slot, 0); err != nil {
+			return err
+		}
+		var targetPages []nvm.PageID
+		if target != nil {
+			tn := fs.nodeFor(*target)
+			targetPages, _ = fs.filePages(tn)
+			if err := core.CommitDirentIno(fs.cmem, target.loc.Page, target.loc.Slot, 0); err != nil {
+				return err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+
+		// Auxiliary-state updates.
+		newE := dirEntry{ino: oldE.ino, loc: core.FileLoc{Page: dstPage, Slot: dstSlot}, ftype: oldE.ftype}
+		dstParent.ht.Put(newName, newE)
+		srcParent.ht.Delete(oldName)
+		srcParent.releaseSlot(oldE.loc.Page, oldE.loc.Slot)
+		fs.nodeFor(newE) // refresh the moved node's location
+		if target != nil {
+			dstParent.releaseSlot(target.loc.Page, target.loc.Slot)
+			if err := fs.deferRemove(c.cpu, target.ino, targetPages); err != nil {
+				return mapControllerErr(err)
+			}
+			fs.dropNode(target.ino)
+		}
+		return nil
+	}
+	// Same-directory renames must not nest withMapped on one node (the
+	// aux read lock is not re-entrant).
+	if srcParent == dstParent {
+		return ioErr(fs.withMapped(srcParent, true, body))
+	}
 	return ioErr(fs.withMapped(srcParent, true, func() error {
-		return fs.withMapped(dstParent, true, func() error {
-			oldE, ok := srcParent.ht.Get(oldName)
-			if !ok {
-				return fsapi.ErrNotExist
-			}
-			var target *dirEntry
-			if te, exists := dstParent.ht.Get(newName); exists {
-				if te.ino == oldE.ino {
-					return nil // rename to itself
-				}
-				if te.ftype == core.TypeDir {
-					return fsapi.ErrExist
-				}
-				target = &te
-			}
-			// Claim the destination slot before journaling (growth is
-			// independently crash-safe).
-			dstPage, dstSlot, err := fs.claimSlot(c.cpu, dstParent)
-			if err != nil {
-				return err
-			}
-
-			jr, err := fs.journalFor(c.cpu)
-			if err != nil {
-				return err
-			}
-			// Only the three 8-byte commit words need undo records: a
-			// slot's body is dead bytes until its ino word is set
-			// (§4.4). Their pre-images are known, so no journal reads.
-			var inoWord [8]byte
-			tx := jr.Begin()
-			binary.LittleEndian.PutUint64(inoWord[:], uint64(oldE.ino))
-			if err := tx.LogUndoValue(oldE.loc.Page, core.SlotOffset(oldE.loc.Slot), inoWord[:]); err != nil {
-				return err
-			}
-			var zeroWord [8]byte
-			if err := tx.LogUndoValue(dstPage, core.SlotOffset(dstSlot), zeroWord[:]); err != nil {
-				return err
-			}
-			if target != nil {
-				binary.LittleEndian.PutUint64(inoWord[:], uint64(target.ino))
-				if err := tx.LogUndoValue(target.loc.Page, core.SlotOffset(target.loc.Slot), inoWord[:]); err != nil {
-					return err
-				}
-			}
-			if err := tx.Seal(); err != nil {
-				return err
-			}
-
-			// Copy the dirent (inode + name) into the new slot, commit
-			// its ino, then retire the old slot (and the target's).
-			var slotImg [core.DirentSize]byte
-			if err := fs.as.Read(oldE.loc.Page, core.SlotOffset(oldE.loc.Slot), slotImg[:]); err != nil {
-				return err
-			}
-			if err := fs.as.Write(dstPage, core.SlotOffset(dstSlot)+8, slotImg[8:]); err != nil {
-				return err
-			}
-			if err := fs.persist(dstPage, core.SlotOffset(dstSlot)+8, core.DirentSize-8); err != nil {
-				return err
-			}
-			// New name overwrites the copied one.
-			if err := core.WriteDirentName(fs.cmem, dstPage, dstSlot, newName); err != nil {
-				return err
-			}
-			fs.as.Fence()
-			if err := core.CommitDirentIno(fs.cmem, dstPage, dstSlot, oldE.ino); err != nil {
-				return err
-			}
-			if err := core.CommitDirentIno(fs.cmem, oldE.loc.Page, oldE.loc.Slot, 0); err != nil {
-				return err
-			}
-			var targetPages []nvm.PageID
-			if target != nil {
-				tn := fs.nodeFor(*target)
-				targetPages, _ = fs.filePages(tn)
-				if err := core.CommitDirentIno(fs.cmem, target.loc.Page, target.loc.Slot, 0); err != nil {
-					return err
-				}
-			}
-			if err := tx.Commit(); err != nil {
-				return err
-			}
-
-			// Auxiliary-state updates.
-			newE := dirEntry{ino: oldE.ino, loc: core.FileLoc{Page: dstPage, Slot: dstSlot}, ftype: oldE.ftype}
-			dstParent.ht.Put(newName, newE)
-			srcParent.ht.Delete(oldName)
-			srcParent.releaseSlot(oldE.loc.Page, oldE.loc.Slot)
-			fs.nodeFor(newE) // refresh the moved node's location
-			if target != nil {
-				dstParent.releaseSlot(target.loc.Page, target.loc.Slot)
-				if err := fs.deferRemove(c.cpu, target.ino, targetPages); err != nil {
-					return mapControllerErr(err)
-				}
-				fs.dropNode(target.ino)
-			}
-			return nil
-		})
+		return fs.withMapped(dstParent, true, body)
 	}))
 }
 

@@ -371,7 +371,16 @@ func (h *Handle) Truncate(size int64) error {
 				return err
 			}
 			atomic.StoreInt64(&n.size, size)
-			return fs.freePages(h.c.cpu, dead)
+			// Truncated pages can already be bound to the controller's
+			// file record (the file was verified mid-life, e.g. by a
+			// lease recall of the parent directory), so they must not
+			// re-enter the local pool cache as if freshly allocated —
+			// the controller is the only side that can retire a bound
+			// page from its owner's record.
+			if err := fs.sess.FreePages(dead); err != nil {
+				return mapControllerErr(err)
+			}
+			return nil
 		}
 		if err := core.UpdateInodeSizeMtime(fs.cmem, n.loc(), uint64(size), uint64(time.Now().UnixNano())); err != nil {
 			return err

@@ -166,6 +166,13 @@ type node struct {
 	// reads of the fast path are lock-free, transitions hold mapMu.
 	mapMu    sync.Mutex
 	mapState atomic.Uint32
+	// auxMu orders aux rebuilds against in-flight operations: buildAux
+	// swaps the aux pointers below under the write lock, ops run under
+	// the read lock (withMapped). Invalidation never clears the
+	// pointers — a stale op keeps a coherent (if outdated) view, faults
+	// on its next NVM access because the mapping is gone, and retries
+	// against the freshly built aux.
+	auxMu sync.RWMutex
 
 	// regular file auxiliary state
 	radix *index.Radix
@@ -239,7 +246,35 @@ func New(sess *controller.Session, cfg Config) (*FS, error) {
 	fs.root.setFtype(core.TypeDir)
 	fs.root.setLoc(core.RootLoc())
 	fs.nodes[core.RootIno] = fs.root
+	// Cooperative lease recall (§4.5): when another trust domain wants a
+	// file whose lease this LibFS let expire, give the mapping back
+	// instead of waiting for the controller's forcible revocation.
+	sess.SetRecallHandler(fs.onRecall)
 	return fs, nil
+}
+
+// onRecall is the controller's lease-recall upcall: release the named
+// file's mapping so the waiter gets it without a forced revocation. Any
+// failure is deliberately ignored — the controller's escalation deadline
+// is the backstop, not this untrusted handler.
+func (fs *FS) onRecall(ino core.Ino) {
+	fs.nodeMu.Lock()
+	n := fs.nodes[ino]
+	fs.nodeMu.Unlock()
+	if n == nil {
+		return
+	}
+	n.mapMu.Lock()
+	defer n.mapMu.Unlock()
+	if n.mapState.Load() == 0 {
+		return
+	}
+	err := fs.sess.UnmapFile(ino)
+	if err != nil && !errors.Is(err, controller.ErrRevoked) && !errors.Is(err, controller.ErrSessionDead) {
+		return // mapping still stands; the controller will escalate
+	}
+	// Aux stays for in-flight operations (they fault and rebuild).
+	n.mapState.Store(0)
 }
 
 // Name implements fsapi.FS.
@@ -323,7 +358,10 @@ func (fs *FS) ensureMapped(n *node, write bool) error {
 		return mapControllerErr(err)
 	}
 	start := time.Now()
-	if err := fs.buildAux(n, &info.Inode); err != nil {
+	n.auxMu.Lock()
+	err = fs.buildAux(n, &info.Inode)
+	n.auxMu.Unlock()
+	if err != nil {
 		return err
 	}
 	fs.statsRebuild(time.Since(start))
@@ -338,15 +376,12 @@ func (fs *FS) statsRebuild(d time.Duration) {
 }
 
 // invalidate drops a node's mapping state after a fault (revocation by
-// the controller: lease expiry or a writer elsewhere).
+// the controller: lease expiry or a writer elsewhere). The aux pointers
+// stay in place — concurrent operations may still be walking them; they
+// fault on their next NVM access and rebuild (see node.auxMu).
 func (fs *FS) invalidate(n *node) {
 	n.mapMu.Lock()
 	n.mapState.Store(0)
-	n.radix = nil
-	n.chain = nil
-	n.ht = nil
-	n.tails = nil
-	n.dirPages = nil
 	n.mapMu.Unlock()
 }
 
@@ -358,7 +393,9 @@ func (fs *FS) withMapped(n *node, write bool, fn func() error) error {
 		if err := fs.ensureMapped(n, write); err != nil {
 			return err
 		}
+		n.auxMu.RLock()
 		err := fn()
+		n.auxMu.RUnlock()
 		if err == nil || !errors.Is(err, mmu.ErrFault) || attempt >= 3 {
 			return err
 		}
@@ -512,6 +549,10 @@ func mapControllerErr(err error) error {
 		return fmt.Errorf("%w: %v", fsapi.ErrNotExist, err)
 	case errors.Is(err, controller.ErrNotEmpty):
 		return fsapi.ErrNotEmpty
+	case errors.Is(err, controller.ErrSessionDead):
+		// The process behind this session is gone as far as the kernel
+		// is concerned; every syscall is an I/O error from here on.
+		return fmt.Errorf("%w: %v", fsapi.ErrIO, err)
 	default:
 		return err
 	}

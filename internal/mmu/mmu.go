@@ -50,6 +50,12 @@ func (p Perm) String() string {
 // ErrFault is the access violation "signal".
 var ErrFault = errors.New("mmu: access violation")
 
+// ErrRevoked is the fault raised on any access through an address space
+// whose process the controller has reaped. It wraps ErrFault — to the
+// untrusted side it is just a segfault — but carries the distinction so
+// trusted code (and tests) can tell a revocation from a stale mapping.
+var ErrRevoked = fmt.Errorf("%w: address space revoked", ErrFault)
+
 // AddressSpace is one process's view of the NVM device.
 //
 // Map and Unmap are invoked by the kernel controller only; the
@@ -69,6 +75,20 @@ type AddressSpace struct {
 	perms sync.Map
 	// mapped counts installed pages.
 	mapped atomic.Int64
+
+	// revoked is set by the controller when it reaps the owning process
+	// (Reap): every subsequent access faults with ErrRevoked, including
+	// accesses already in flight on delegation workers.
+	revoked atomic.Bool
+
+	// shoot is the TLB-shootdown barrier. Every access holds it shared
+	// across the permission check AND the device operation; Revoke takes
+	// it exclusively, so when Revoke returns no access that passed a
+	// pre-revocation check is still landing. Without this the reaper's
+	// verification walks would race the dying process's (or its
+	// delegation workers') last in-flight stores — a real kernel gets the
+	// same guarantee from the shootdown IPIs.
+	shoot sync.RWMutex
 
 	// node is the NUMA node of the CPU this address space's process is
 	// running on; it feeds the cost model's remote-access penalty.
@@ -149,7 +169,26 @@ func (as *AddressSpace) PermOf(p nvm.PageID) Perm {
 // Mapped reports how many pages are currently mapped.
 func (as *AddressSpace) Mapped() int { return int(as.mapped.Load()) }
 
+// Revoke tears down the whole address space: every page is unmapped and
+// any access — current or future, from the process or from a delegation
+// worker acting on its behalf — faults with ErrRevoked. Controller-only,
+// like Map/Unmap. Revoke returns only after every in-flight access has
+// either completed or will observe the revocation (the shootdown
+// barrier), so the caller sees a frozen state.
+func (as *AddressSpace) Revoke() {
+	as.shoot.Lock()
+	as.revoked.Store(true)
+	as.UnmapAll()
+	as.shoot.Unlock()
+}
+
+// Revoked reports whether the address space has been torn down.
+func (as *AddressSpace) Revoked() bool { return as.revoked.Load() }
+
 func (as *AddressSpace) check(p nvm.PageID, need Perm) error {
+	if as.revoked.Load() {
+		return fmt.Errorf("%w (page %d)", ErrRevoked, p)
+	}
 	got := PermNone
 	if v, ok := as.perms.Load(p); ok {
 		got = v.(Perm)
@@ -162,6 +201,8 @@ func (as *AddressSpace) check(p nvm.PageID, need Perm) error {
 
 // Read copies from page p at off into buf.
 func (as *AddressSpace) Read(p nvm.PageID, off int, buf []byte) error {
+	as.shoot.RLock()
+	defer as.shoot.RUnlock()
 	if err := as.check(p, PermRead); err != nil {
 		return err
 	}
@@ -170,6 +211,8 @@ func (as *AddressSpace) Read(p nvm.PageID, off int, buf []byte) error {
 
 // Write copies data into page p at off.
 func (as *AddressSpace) Write(p nvm.PageID, off int, data []byte) error {
+	as.shoot.RLock()
+	defer as.shoot.RUnlock()
 	if err := as.check(p, PermWrite); err != nil {
 		return err
 	}
@@ -218,6 +261,8 @@ type View struct {
 
 // Read copies from page p at off into buf, charged from the view's node.
 func (v *View) Read(p nvm.PageID, off int, buf []byte) error {
+	v.as.shoot.RLock()
+	defer v.as.shoot.RUnlock()
 	if err := v.as.check(p, PermRead); err != nil {
 		return err
 	}
@@ -226,6 +271,8 @@ func (v *View) Read(p nvm.PageID, off int, buf []byte) error {
 
 // Write copies data into page p at off, charged from the view's node.
 func (v *View) Write(p nvm.PageID, off int, data []byte) error {
+	v.as.shoot.RLock()
+	defer v.as.shoot.RUnlock()
 	if err := v.as.check(p, PermWrite); err != nil {
 		return err
 	}
@@ -234,6 +281,8 @@ func (v *View) Write(p nvm.PageID, off int, data []byte) error {
 
 // Persist flushes lines from the view's node.
 func (v *View) Persist(p nvm.PageID, off, n int) error {
+	v.as.shoot.RLock()
+	defer v.as.shoot.RUnlock()
 	if err := v.as.check(p, PermRead); err != nil {
 		return err
 	}
@@ -244,6 +293,8 @@ func (v *View) Persist(p nvm.PageID, off, n int) error {
 // Persist itself needs no permission (CLWB works on any mapped line);
 // requiring read keeps the simulation honest about unmapped pages.
 func (as *AddressSpace) Persist(p nvm.PageID, off, n int) error {
+	as.shoot.RLock()
+	defer as.shoot.RUnlock()
 	if err := as.check(p, PermRead); err != nil {
 		return err
 	}

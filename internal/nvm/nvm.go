@@ -79,6 +79,7 @@ func DefaultConfig() Config {
 // systems) uses the raw accessors directly.
 type Device struct {
 	arena        []byte
+	arenaMu      arenaLocks // race-build-only striped page locks
 	nodes        int
 	pagesPerNode int
 	cost         *CostModel
@@ -206,7 +207,9 @@ func (d *Device) ReadAt(fromNode int, p PageID, off int, buf []byte) error {
 	}
 	d.charge(fromNode, p, len(buf), false)
 	base := int(p)*PageSize + off
+	d.lockPage(p)
 	copy(buf, d.arena[base:base+len(buf)])
+	d.unlockPage(p)
 	return nil
 }
 
@@ -228,10 +231,12 @@ func (d *Device) WriteAt(fromNode int, p PageID, off int, data []byte) error {
 	}
 	d.charge(fromNode, p, len(data), true)
 	base := int(p)*PageSize + off
+	d.lockPage(p)
 	if d.tracker != nil {
 		d.tracker.recordStore(p, off, len(data))
 	}
 	copy(d.arena[base:base+len(data)], data)
+	d.unlockPage(p)
 	return nil
 }
 

@@ -1,0 +1,11 @@
+//go:build !race
+
+package nvm
+
+// See racesync_race.go: arena accesses are synchronized only under the
+// race detector; normal builds model NVM's native unsynchronized
+// semantics at full speed.
+type arenaLocks struct{}
+
+func (d *Device) lockPage(PageID)   {}
+func (d *Device) unlockPage(PageID) {}

@@ -1,0 +1,21 @@
+//go:build race
+
+package nvm
+
+import "sync"
+
+// Real NVM gives concurrent conflicting accesses to the same line
+// defined some-value-wins semantics — the Trio threat model even relies
+// on the verifier reading pages an untrusted process may be writing at
+// that instant (the MMU revocation, not mutual exclusion, is what
+// freezes state). The Go memory model calls the equivalent accesses to
+// the simulated []byte arena a data race, so race-enabled builds give
+// every arena copy a happens-before edge through striped page locks.
+// Regular builds compile the no-op variant in racesync_norace.go and
+// pay nothing on the datapath.
+type arenaLocks struct {
+	mu [64]sync.Mutex
+}
+
+func (d *Device) lockPage(p PageID)   { d.arenaMu.mu[int(p)%len(d.arenaMu.mu)].Lock() }
+func (d *Device) unlockPage(p PageID) { d.arenaMu.mu[int(p)%len(d.arenaMu.mu)].Unlock() }

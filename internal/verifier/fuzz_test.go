@@ -1,0 +1,201 @@
+package verifier
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"trio/internal/core"
+	"trio/internal/nvm"
+)
+
+// Adversarial fuzzing of the verifier (paper §4.3 threat model, §6.5
+// attacks): a malicious LibFS can write arbitrary bytes into any page it
+// has mapped, so the verifier must terminate with a Report — never
+// panic, loop, or read out of bounds — on *any* core-state bytes.
+//
+// The fuzz input is a list of fixed-size mutation records applied to
+// the pages a hostile LibFS would have write-mapped:
+//
+//	[0]    page selector (index into the target page list, mod len)
+//	[1:3]  big-endian byte offset within the page (mod PageSize-8)
+//	[3:11] 8 bytes stored verbatim at that offset
+//
+// Multi-byte records matter: NilPage is all-FF, so single-byte flips
+// can never aim an index pointer at another page — cycles and
+// cross-page references need whole 8-byte pointer stores.
+
+const mutRecSize = 11
+
+// applyMutations plays the fuzz input's mutation records onto the
+// target pages through trusted memory (the simulation of the hostile
+// LibFS's MMU-sanctioned stores).
+func applyMutations(m core.Mem, targets []nvm.PageID, data []byte) {
+	for len(data) >= mutRecSize {
+		rec := data[:mutRecSize]
+		data = data[mutRecSize:]
+		p := targets[int(rec[0])%len(targets)]
+		off := int(binary.BigEndian.Uint16(rec[1:3])) % (nvm.PageSize - 8)
+		m.Write(p, off, rec[3:11])
+	}
+}
+
+// mutation builds one seed record.
+func mutation(pageSel byte, off int, val uint64) []byte {
+	rec := make([]byte, mutRecSize)
+	rec[0] = pageSel
+	binary.BigEndian.PutUint16(rec[1:3], uint16(off))
+	binary.LittleEndian.PutUint64(rec[3:11], val)
+	return rec
+}
+
+func cat(recs ...[]byte) []byte {
+	var out []byte
+	for _, r := range recs {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// fuzzPages keeps the per-exec device small (a fuzz run builds one
+// device per input; 1024-page devices thrash the collector).
+const fuzzPages = 64
+
+// fuzzRegFile is buildRegFile on a fuzz-sized device.
+func fuzzRegFile(t *testing.T) (*Verifier, *fakeEnv, core.Mem, core.FileLoc) {
+	t.Helper()
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 1, PagesPerNode: fuzzPages})
+	if err := core.Format(dev); err != nil {
+		t.Fatal(err)
+	}
+	m := core.Direct(dev, 0)
+	loc := core.FileLoc{Page: 10, Slot: 2}
+	in := core.Inode{Ino: 5, Type: core.TypeReg, Mode: 0o644, UID: 1000, GID: 1000, Size: 5000, Head: 20}
+	if err := core.WriteInode(m, loc.Page, core.SlotOffset(loc.Slot), &in); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.WriteDirentName(m, loc.Page, loc.Slot, "data.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.SetIndexEntry(m, 20, 0, 21); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.SetIndexEntry(m, 20, 1, 22); err != nil {
+		t.Fatal(err)
+	}
+	env := newFakeEnv()
+	env.total = fuzzPages
+	for _, p := range []nvm.PageID{20, 21, 22} {
+		env.allocated[p] = true
+	}
+	env.allocInos[5] = true
+	return NewWithMem(m), env, m, loc
+}
+
+// fuzzDir is buildDir on a fuzz-sized device.
+func fuzzDir(t *testing.T) (*Verifier, *fakeEnv, core.Mem, core.FileLoc) {
+	t.Helper()
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 1, PagesPerNode: fuzzPages})
+	if err := core.Format(dev); err != nil {
+		t.Fatal(err)
+	}
+	m := core.Direct(dev, 0)
+	loc := core.FileLoc{Page: 10, Slot: 0}
+	dir := core.Inode{Ino: 4, Type: core.TypeDir, Mode: 0o755, UID: 1000, GID: 1000, Head: 30}
+	if err := core.WriteInode(m, loc.Page, core.SlotOffset(loc.Slot), &dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.WriteDirentName(m, loc.Page, loc.Slot, "mydir"); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.SetIndexEntry(m, 30, 0, 31); err != nil {
+		t.Fatal(err)
+	}
+	a := core.Inode{Ino: 6, Type: core.TypeReg, Mode: 0o644, UID: 1000, GID: 1000}
+	core.WriteInode(m, 31, core.SlotOffset(0), &a)
+	core.WriteDirentName(m, 31, 0, "a")
+	s := core.Inode{Ino: 7, Type: core.TypeDir, Mode: 0o755, UID: 1000, GID: 1000}
+	core.WriteInode(m, 31, core.SlotOffset(1), &s)
+	core.WriteDirentName(m, 31, 1, "sub")
+
+	env := newFakeEnv()
+	env.total = fuzzPages
+	env.allocated[30] = true
+	env.allocated[31] = true
+	env.allocInos[4] = true
+	env.allocInos[6] = true
+	env.allocInos[7] = true
+	return NewWithMem(m), env, m, loc
+}
+
+// checkReport asserts the fuzz invariant: VerifyFile returned a usable
+// Report (the controller can always act on the outcome), whatever the
+// bytes said.
+func checkReport(t *testing.T, r *Report, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("VerifyFile returned an error instead of a report: %v", err)
+	}
+	if r == nil {
+		t.Fatal("VerifyFile returned a nil report")
+	}
+	if len(r.Violations) > maxViolations {
+		t.Fatalf("violation list unbounded: %d entries", len(r.Violations))
+	}
+}
+
+// FuzzVerifyRegular corrupts a regular file's dirent page and
+// index/data pages arbitrarily.
+func FuzzVerifyRegular(f *testing.F) {
+	nextOff := core.IndexEntriesPerPage * 8 // the chain pointer's slot
+
+	// Seed corpus: the §6.5 attack classes.
+	f.Add([]byte{})                                            // clean file
+	f.Add(mutation(1, nextOff, 20))                            // index-chain cycle onto itself
+	f.Add(mutation(1, 0, 99999))                               // extent beyond the device
+	f.Add(mutation(1, 0, 1))                                   // extent into reserved pages
+	f.Add(mutation(1, 3*8, 21))                                // same data page referenced twice
+	f.Add(mutation(1, nextOff, 21))                            // index chain through a data page
+	f.Add(mutation(0, core.SlotOffset(2), 0xFFFFFFFFFFFFFFFF)) // trashed ino field
+	f.Add(cat(                                                 // cycle via a second index page
+		mutation(1, nextOff, 22),
+		mutation(2, nextOff, 20),
+	))
+	f.Add(mutation(0, core.SlotOffset(2)+32, 10)) // head points at the dirent page itself
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, env, m, loc := fuzzRegFile(t)
+		// Everything the hostile LibFS write-mapped: its dirent page and
+		// its index/data pages.
+		targets := []nvm.PageID{loc.Page, 20, 21, 22}
+		applyMutations(m, targets, data)
+		r, err := v.VerifyFile(env, 5, loc, false)
+		checkReport(t, r, err)
+	})
+}
+
+// FuzzVerifyDirectory corrupts a directory's dirent page, index page
+// and dirent data page arbitrarily — self-referential dirents,
+// colliding inode numbers, broken names, the lot.
+func FuzzVerifyDirectory(f *testing.F) {
+	nextOff := core.IndexEntriesPerPage * 8
+
+	f.Add([]byte{})                                                             // clean directory
+	f.Add(mutation(2, 0, 4))                                                    // child slot 0's ino = the directory itself
+	f.Add(mutation(2, core.SlotOffset(1), 6))                                   // two entries share ino 6
+	f.Add(mutation(2, core.SlotOffset(1)+core.DirentNameLenOff, 0x2f61+0x0002)) // name "a/" (len 2)
+	f.Add(mutation(1, nextOff, 30))                                             // index cycle on a directory
+	f.Add(mutation(1, 1*8, 31))                                                 // dirent page doubly referenced
+	f.Add(mutation(2, core.SlotOffset(1)+8, 0xFF))                              // invalid child type
+	f.Add(cat(                                                                  // collide child ino with the parent's and break its name
+		mutation(2, core.SlotOffset(0), 4),
+		mutation(2, core.SlotOffset(0)+core.DirentNameLenOff, 0),
+	))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, env, m, loc := fuzzDir(t)
+		targets := []nvm.PageID{loc.Page, 30, 31}
+		applyMutations(m, targets, data)
+		r, err := v.VerifyFile(env, 4, loc, false)
+		checkReport(t, r, err)
+	})
+}

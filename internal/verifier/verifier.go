@@ -28,6 +28,7 @@ package verifier
 
 import (
 	"fmt"
+	"sort"
 
 	"trio/internal/core"
 	"trio/internal/nvm"
@@ -111,7 +112,18 @@ type Report struct {
 	Children []ChildRef
 	// Inode is the decoded inode of the checked file.
 	Inode core.Inode
+	// Truncated reports that the violation list hit its cap
+	// (maxViolations): adversarially corrupted state can manufacture a
+	// violation per dirent slot, and the report must stay bounded no
+	// matter what the bytes say.
+	Truncated bool
 }
+
+// maxViolations bounds a report's violation list. One corrupt page can
+// produce at most a few violations per slot; anything past the cap adds
+// no diagnostic value and only lets an adversary inflate the trusted
+// side's memory use.
+const maxViolations = 256
 
 // OK reports whether the file passed every check.
 func (r *Report) OK() bool { return len(r.Violations) == 0 }
@@ -132,6 +144,10 @@ func New(dev *nvm.Device) *Verifier {
 func NewWithMem(m core.Mem) *Verifier { return &Verifier{mem: m} }
 
 func (r *Report) addf(inv, format string, args ...any) {
+	if len(r.Violations) >= maxViolations {
+		r.Truncated = true
+		return
+	}
 	r.Violations = append(r.Violations, Violation{Invariant: inv, Detail: fmt.Sprintf(format, args...)})
 }
 
@@ -142,7 +158,11 @@ func (v *Verifier) VerifyFile(env Env, ino core.Ino, loc core.FileLoc, isRoot bo
 
 	in, err := core.ReadDirentInode(v.mem, loc.Page, loc.Slot)
 	if err != nil {
-		return nil, fmt.Errorf("verifier: reading inode of %d: %w", ino, err)
+		// Unreadable inode bytes are a verification failure, not a
+		// verifier failure: the caller must see a Report (and roll the
+		// file back), whatever is in the slot.
+		r.addf("I1", "unreadable inode at page %d slot %d: %v", loc.Page, loc.Slot, err)
+		return r, nil
 	}
 	r.Inode = in
 
@@ -320,19 +340,19 @@ func (v *Verifier) checkDirectory(env Env, r *Report, blocks map[uint64]nvm.Page
 }
 
 // sortedPages returns the directory data pages in block order so the
-// Children list (and duplicate detection) is deterministic.
+// Children list (and duplicate detection) is deterministic. Sparse sort,
+// not a dense 0..max scan: block numbers come from the walk and are
+// bounded today, but the verifier must not let any input-derived number
+// choose its iteration count.
 func sortedPages(blocks map[uint64]nvm.PageID) []nvm.PageID {
-	maxBlock := uint64(0)
+	bs := make([]uint64, 0, len(blocks))
 	for b := range blocks {
-		if b > maxBlock {
-			maxBlock = b
-		}
+		bs = append(bs, b)
 	}
-	out := make([]nvm.PageID, 0, len(blocks))
-	for b := uint64(0); b <= maxBlock; b++ {
-		if p, ok := blocks[b]; ok {
-			out = append(out, p)
-		}
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	out := make([]nvm.PageID, 0, len(bs))
+	for _, b := range bs {
+		out = append(out, blocks[b])
 	}
 	return out
 }

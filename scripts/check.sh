@@ -7,6 +7,9 @@
 #   3. the full test suite (includes the crash-point conformance sweeps)
 #   4. the race detector over the packages with real concurrency:
 #      the cross-FS conformance suite and the LibFS itself.
+#   5. a fuzz smoke pass over the verifier's adversarial targets —
+#      ten seconds per target of randomly corrupted core state, which
+#      must always terminate in a Report, never a panic or a hang.
 #
 # Any failure stops the run with a non-zero exit.
 set -eu
@@ -24,5 +27,9 @@ go test ./...
 
 echo "== go test -race (concurrency-bearing packages)"
 go test -race ./internal/fstest/... ./internal/libfs/...
+
+echo "== fuzz smoke (verifier adversarial targets, 10s each)"
+go test -run='^$' -fuzz='^FuzzVerifyRegular$' -fuzztime=10s ./internal/verifier/
+go test -run='^$' -fuzz='^FuzzVerifyDirectory$' -fuzztime=10s ./internal/verifier/
 
 echo "== all checks passed"
