@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench fuzz
+.PHONY: check build test race vet bench bench-go fuzz
 
 # The full gate: vet + build + tests + race detector + fuzz smoke.
 # CI runs this.
@@ -27,5 +27,14 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzVerifyRegular$$' -fuzztime=10s ./internal/verifier/
 	$(GO) test -run='^$$' -fuzz='^FuzzVerifyDirectory$$' -fuzztime=10s ./internal/verifier/
 
+# Data-path regression harness: per-op software overhead (cost model
+# off) across workloads × FS, rewritten into BENCH_trio.json so PRs
+# carry a diffable perf trajectory. See EXPERIMENTS.md "Data-path
+# performance" for how to read it.
 bench:
+	$(GO) run ./cmd/trio-bench -experiment datapath -json BENCH_trio.json
+
+# The full Go benchmark suite: paper figures, ablations, and the
+# datapath families (testing.B form of the harness above).
+bench-go:
 	$(GO) test -bench=. -benchmem

@@ -13,10 +13,12 @@ package trio
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
 	"trio/internal/alloc"
+	"trio/internal/fpfs"
 	"trio/internal/fsapi"
 	"trio/internal/fsfactory"
 	"trio/internal/index"
@@ -465,6 +467,198 @@ func BenchmarkAblationAllocator(b *testing.B) {
 					a.FreePages(pages)
 				}
 			})
+		})
+	}
+}
+
+// --- Data-path regression benches -----------------------------------
+//
+// BenchmarkDataPath mirrors the `make bench` / BENCH_trio.json suite as
+// testing.B targets: seq/rand read+write at 4 KiB / 64 KiB / 1 MiB,
+// append, and small-file create/stat, for each userspace personality
+// (ArckFS POSIX, FPFS path-indexed, KVFS get/set). The cost model is
+// OFF here — modeled device time is a constant the software cannot
+// change, so these isolate per-op software overhead, the quantity the
+// extent/magazine/persist-coalescing work optimizes.
+
+const dpBenchFile = 8 << 20
+
+func dpBenchMount(b *testing.B) *fsfactory.Instance {
+	b.Helper()
+	inst, err := fsfactory.New("arckfs", fsfactory.Config{
+		Nodes: 2, PagesPerNode: 16384, CPUs: 8, WorkersPerNode: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { inst.Close() })
+	return inst
+}
+
+// dpBenchClient is the POSIX-shaped subset both ArckFS and FPFS serve.
+type dpBenchClient interface {
+	Create(path string, mode uint16) (fsapi.File, error)
+	Stat(path string) (fsapi.FileInfo, error)
+	Unlink(path string) error
+	Mkdir(path string, mode uint16) error
+}
+
+type dpBenchFPFS struct{ fs *fpfs.FS }
+
+func (a dpBenchFPFS) Create(p string, m uint16) (fsapi.File, error) { return a.fs.Create(0, p, m) }
+func (a dpBenchFPFS) Stat(p string) (fsapi.FileInfo, error)         { return a.fs.Stat(p) }
+func (a dpBenchFPFS) Unlink(p string) error                         { return a.fs.Unlink(0, p) }
+func (a dpBenchFPFS) Mkdir(p string, m uint16) error                { return a.fs.Mkdir(0, p, m) }
+
+func dpBenchFileWorkloads(b *testing.B, name string, c dpBenchClient) {
+	dir := "/" + name + "-bench"
+	if err := c.Mkdir(dir, 0o755); err != nil {
+		b.Fatal(err)
+	}
+	f, err := c.Create(dir+"/data", 0o644)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunk := make([]byte, 1<<20)
+	for off := int64(0); off < dpBenchFile; off += int64(len(chunk)) {
+		if _, err := f.WriteAt(chunk, off); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, bs := range []int{4 << 10, 64 << 10, 1 << 20} {
+		buf := make([]byte, bs)
+		blocks := int64(dpBenchFile / bs)
+		label := fmt.Sprintf("%dK", bs>>10)
+		if bs >= 1<<20 {
+			label = fmt.Sprintf("%dM", bs>>20)
+		}
+		seq := func(i int64) int64 { return (i % blocks) * int64(bs) }
+		rnd := func(int64) int64 { return rng.Int63n(blocks) * int64(bs) }
+		for _, w := range []struct {
+			name  string
+			off   func(int64) int64
+			write bool
+		}{
+			{"seqread-" + label, seq, false},
+			{"randread-" + label, rnd, false},
+			{"seqwrite-" + label, seq, true},
+			{"randwrite-" + label, rnd, true},
+		} {
+			b.Run(w.name, func(b *testing.B) {
+				b.SetBytes(int64(bs))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var err error
+					if w.write {
+						_, err = f.WriteAt(buf, w.off(int64(i)))
+					} else {
+						_, err = f.ReadAt(buf, w.off(int64(i)))
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	b.Run("append-4K", func(b *testing.B) {
+		af, err := c.Create(dir+"/log", 0o644)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ab := make([]byte, 4<<10)
+		b.SetBytes(int64(len(ab)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if af.Size() >= dpBenchFile {
+				if err := af.Truncate(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := af.Append(ab); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("create-unlink", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g, err := c.Create(dir+"/tmp", 0o644)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g.Close()
+			if err := c.Unlink(dir + "/tmp"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Stat(dir + "/data"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkDataPathArckFS(b *testing.B) {
+	inst := dpBenchMount(b)
+	c := inst.NewClient(0)
+	dpBenchFileWorkloads(b, "arckfs", struct {
+		fsapi.Client
+	}{c})
+}
+
+func BenchmarkDataPathFPFS(b *testing.B) {
+	inst := dpBenchMount(b)
+	dpBenchFileWorkloads(b, "fpfs", dpBenchFPFS{fpfs.New(inst.Arck)})
+}
+
+func BenchmarkDataPathKVFS(b *testing.B) {
+	inst := dpBenchMount(b)
+	kv, err := kvfs.New(inst.Arck, "/kv")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const keys = 64
+	val4 := make([]byte, 4<<10)
+	val32 := make([]byte, kvfs.MaxValueSize)
+	buf := make([]byte, kvfs.MaxValueSize)
+	for _, w := range []struct {
+		name string
+		val  []byte
+		get  bool
+	}{
+		{"set-4K", val4, false},
+		{"get-4K", val4, true},
+		{"set-32K", val32, false},
+		{"get-32K", val32, true},
+	} {
+		b.Run(w.name, func(b *testing.B) {
+			// Reshape the working set so gets of this size hit.
+			for i := 0; i < keys; i++ {
+				if err := kv.Set(0, fmt.Sprintf("k%03d", i), w.val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(w.val)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				key := fmt.Sprintf("k%03d", i%keys)
+				if w.get {
+					if _, err := kv.Get(0, key, buf); err != nil {
+						b.Fatal(err)
+					}
+				} else if err := kv.Set(0, key, w.val); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -1,22 +1,33 @@
 // Command trio-bench regenerates the tables and figures of the Trio
-// paper's evaluation (§6) over the simulated NVM machine.
+// paper's evaluation (§6) over the simulated NVM machine, and hosts the
+// data-path regression harness behind `make bench`.
 //
 // Usage:
 //
 //	trio-bench -experiment fig5            # one experiment
 //	trio-bench -experiment all             # the whole evaluation
 //	trio-bench -experiment fig7 -quick     # shrunken sweeps (CI)
+//	trio-bench -experiment datapath -json BENCH_trio.json
 //	trio-bench -list                       # available experiments
 //
-// The output units match the paper (GiB/s, ops/µs, kops/s, µs/op);
-// EXPERIMENTS.md records a reference run side by side with the paper's
-// numbers and discusses which shapes reproduce.
+// The figure experiments print the paper's units (GiB/s, ops/µs,
+// kops/s, µs/op); EXPERIMENTS.md records a reference run side by side
+// with the paper's numbers and discusses which shapes reproduce.
+//
+// The datapath experiment measures per-op software overhead (op/s,
+// ns/op, allocs/op per workload × FS) and, with -json, emits the
+// machine-readable BENCH_trio.json that future PRs diff against. It
+// runs with the hardware cost model OFF unless -cost is given: modeled
+// device time is a constant the software cannot change, so excluding it
+// isolates the regression signal. -cpuprofile captures a pprof profile
+// of the measured region.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -25,9 +36,12 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "experiment id (fig5..fig10, tab3, tab5, integrity, all)")
+		experiment = flag.String("experiment", "", "experiment id (fig5..fig10, tab3, tab5, integrity, datapath, all)")
 		quick      = flag.Bool("quick", false, "shrink sweeps and op counts")
 		nocost     = flag.Bool("nocost", false, "disable the hardware cost model (functional smoke run)")
+		cost       = flag.Bool("cost", false, "datapath only: enable the hardware cost model (off by default there)")
+		jsonPath   = flag.String("json", "", "datapath only: write results to this JSON file")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run")
 		list       = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -49,13 +63,46 @@ func main() {
 		}
 		return
 	}
-	fn, ok := reg[*experiment]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *experiment)
-		os.Exit(2)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
+
 	start := time.Now()
-	err := fn(os.Stdout, experiments.Params{Quick: *quick, NoCost: *nocost})
+	var err error
+	if *experiment == "datapath" {
+		// The regression harness: cost off unless explicitly requested,
+		// results optionally serialized for BENCH_trio.json.
+		p := experiments.Params{Quick: *quick, NoCost: !*cost}
+		var results []experiments.DataPathResult
+		results, err = experiments.RunDataPath(os.Stdout, p)
+		if err == nil && *jsonPath != "" {
+			if werr := experiments.WriteDataPathJSON(*jsonPath, p, results); werr != nil {
+				err = werr
+			} else {
+				fmt.Printf("\nwrote %d results to %s\n", len(results), *jsonPath)
+			}
+		}
+	} else {
+		fn, ok := reg[*experiment]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *experiment)
+			os.Exit(2)
+		}
+		err = fn(os.Stdout, experiments.Params{Quick: *quick, NoCost: *nocost})
+	}
 	fmt.Printf("\n[%s finished in %v]\n", *experiment, time.Since(start).Round(time.Millisecond))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiment failed: %v\n", err)

@@ -20,9 +20,18 @@ import (
 // is split into one shard per CPU; a CPU allocates from its home shard
 // and steals from neighbours when empty. Freed pages return to the
 // shard owning their address so extents re-coalesce.
+//
+// In front of each shard sits a small per-CPU magazine — a bounded
+// stack of ready pages refilled in bulk from the shard's extent tree —
+// so the common small allocation is a mutex-protected pop instead of a
+// tree carve. Magazine pages still count as free (Free() is exact);
+// the slow path raids other CPUs' magazines before declaring
+// exhaustion, so magazines never strand the last pages.
 type PageAlloc struct {
 	lo, hi nvm.PageID
+	per    int // shard width in pages; last shard takes the remainder
 	shards []allocShard
+	mags   []magazine
 	free   atomic.Int64
 }
 
@@ -32,6 +41,23 @@ type allocShard struct {
 	extents rbtree.Tree[uint64]
 	lo, hi  nvm.PageID
 	_       [32]byte // soften false sharing between shard locks
+}
+
+// Magazine geometry: capacity bounds how many pages a CPU can hoard;
+// the refill size amortizes one tree carve over that many fast pops.
+const (
+	magCap    = 64
+	magRefill = 32
+)
+
+// magazine holds single free pages in DESCENDING page order, so tail
+// pops hand out ascending — physically contiguous when the refill came
+// from one extent — page runs, which the datapath coalesces into range
+// operations.
+type magazine struct {
+	mu    sync.Mutex
+	pages []nvm.PageID
+	_     [32]byte
 }
 
 // NewPageAlloc creates an allocator over [lo, hi) with the given shard
@@ -47,8 +73,9 @@ func NewPageAlloc(lo, hi nvm.PageID, cpus int) *PageAlloc {
 	if total < cpus {
 		cpus = 1
 	}
-	a := &PageAlloc{lo: lo, hi: hi, shards: make([]allocShard, cpus)}
+	a := &PageAlloc{lo: lo, hi: hi, shards: make([]allocShard, cpus), mags: make([]magazine, cpus)}
 	per := total / cpus
+	a.per = per
 	start := lo
 	for i := range a.shards {
 		end := start + nvm.PageID(per)
@@ -69,14 +96,20 @@ func NewPageAlloc(lo, hi nvm.PageID, cpus int) *PageAlloc {
 // Free reports the number of free pages.
 func (a *PageAlloc) Free() int { return int(a.free.Load()) }
 
-// shardOf routes an address to the shard owning it.
+// shardOf routes an address to the shard owning it in O(1): shards are
+// fixed-width (the last takes the remainder), so the index is a
+// division. Out-of-range addresses fall to the last shard, matching the
+// old linear scan's fallback.
 func (a *PageAlloc) shardOf(p nvm.PageID) *allocShard {
-	for i := range a.shards {
-		if p >= a.shards[i].lo && p < a.shards[i].hi {
-			return &a.shards[i]
-		}
+	last := len(a.shards) - 1
+	if a.per == 0 || p < a.lo {
+		return &a.shards[last]
 	}
-	return &a.shards[len(a.shards)-1]
+	i := int(p-a.lo) / a.per
+	if i > last {
+		i = last
+	}
+	return &a.shards[i]
 }
 
 // takeLocked carves up to n pages out of s; s.mu must be held.
@@ -102,9 +135,70 @@ func (s *allocShard) takeLocked(n int, out []nvm.PageID) []nvm.PageID {
 	return out
 }
 
+// pop moves up to n pages from the magazine to out. Tail pops of the
+// descending store yield ascending page IDs.
+func (m *magazine) pop(n int, out []nvm.PageID) []nvm.PageID {
+	m.mu.Lock()
+	take := n
+	if k := len(m.pages); take > k {
+		take = k
+	}
+	for i := 0; i < take; i++ {
+		out = append(out, m.pages[len(m.pages)-1-i])
+	}
+	m.pages = m.pages[:len(m.pages)-take]
+	m.mu.Unlock()
+	return out
+}
+
+// refill tops the magazine up from the home shard's extent tree. The
+// pages stay counted as free — they just move closer to the CPU.
+func (a *PageAlloc) refill(home int) {
+	m := &a.mags[home]
+	m.mu.Lock()
+	want := magRefill - len(m.pages)
+	m.mu.Unlock()
+	if want <= 0 {
+		return
+	}
+	s := &a.shards[home]
+	grab := make([]nvm.PageID, 0, want)
+	s.mu.Lock()
+	grab = s.takeLocked(want, grab)
+	s.mu.Unlock()
+	if len(grab) == 0 {
+		return
+	}
+	m.mu.Lock()
+	// grab is ascending; push reversed to keep the descending invariant.
+	for i := len(grab) - 1; i >= 0; i-- {
+		if len(m.pages) >= magCap {
+			grab = grab[:i+1]
+			break
+		}
+		m.pages = append(m.pages, grab[i])
+		grab = grab[:i]
+	}
+	m.mu.Unlock()
+	if len(grab) > 0 {
+		// Didn't fit (racing refills); hand the rest back to the tree.
+		s.mu.Lock()
+		for _, p := range grab {
+			s.insertLocked(uint64(p), 1)
+		}
+		s.mu.Unlock()
+	}
+}
+
 // AllocPages allocates n pages, preferring the caller's home shard.
 // The result pages are not necessarily contiguous. On exhaustion it
 // frees nothing and returns an error.
+//
+// The fast path for small n is a pop from the per-CPU magazine; the
+// slow path carves from the shard trees (home first, then stealing),
+// refills the magazine while it holds the home shard anyway, and as a
+// last resort raids other CPUs' magazines so hoarded pages never cause
+// a spurious out-of-space error.
 func (a *PageAlloc) AllocPages(cpu, n int) ([]nvm.PageID, error) {
 	if n <= 0 {
 		return nil, nil
@@ -114,11 +208,22 @@ func (a *PageAlloc) AllocPages(cpu, n int) ([]nvm.PageID, error) {
 	if home < 0 {
 		home = 0
 	}
+	if n <= magCap {
+		out = a.mags[home].pop(n, out)
+		if len(out) == n {
+			a.free.Add(-int64(n))
+			return out, nil
+		}
+	}
 	for i := 0; i < len(a.shards) && len(out) < n; i++ {
 		s := &a.shards[(home+i)%len(a.shards)]
 		s.mu.Lock()
 		out = s.takeLocked(n-len(out), out)
 		s.mu.Unlock()
+	}
+	for i := 0; i < len(a.mags) && len(out) < n; i++ {
+		// Raid magazines (home last — it was already popped above).
+		out = a.mags[(home+1+i)%len(a.mags)].pop(n-len(out), out)
 	}
 	if len(out) < n {
 		// Return the partial grab; its pages were never debited from
@@ -129,6 +234,11 @@ func (a *PageAlloc) AllocPages(cpu, n int) ([]nvm.PageID, error) {
 		return nil, fmt.Errorf("alloc: out of NVM pages (want %d, found %d)", n, len(out))
 	}
 	a.free.Add(-int64(n))
+	if n <= magCap {
+		// The fast path missed; top the magazine up so the next small
+		// allocations pop instead of carving the tree.
+		a.refill(home)
+	}
 	return out, nil
 }
 
@@ -226,6 +336,20 @@ func (a *PageAlloc) FreePages(pages []nvm.PageID) {
 	sorted := make([]nvm.PageID, len(pages))
 	copy(sorted, pages)
 	slices.Sort(sorted)
+	// The extent trees panic on overlapping frees (insertLocked); extend
+	// the same double-free guard to magazine-held pages, which are free
+	// but absent from the trees.
+	for i := range a.mags {
+		m := &a.mags[i]
+		m.mu.Lock()
+		for _, p := range m.pages {
+			if _, ok := slices.BinarySearch(sorted, p); ok {
+				m.mu.Unlock()
+				panic(fmt.Sprintf("alloc: double free of page %d: still in magazine %d", p, i))
+			}
+		}
+		m.mu.Unlock()
+	}
 	i := 0
 	for i < len(sorted) {
 		start := sorted[i]
@@ -283,20 +407,35 @@ func (a *PageAlloc) Reserve(p nvm.PageID) bool {
 	}
 	s := a.shardOf(p)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	start, count, ok := s.extents.Floor(uint64(p))
-	if !ok || uint64(p) >= start+count {
-		return false
+	if ok && uint64(p) < start+count {
+		s.extents.Delete(start)
+		if uint64(p) > start {
+			s.extents.Insert(start, uint64(p)-start)
+		}
+		if end := start + count; uint64(p)+1 < end {
+			s.extents.Insert(uint64(p)+1, end-uint64(p)-1)
+		}
+		s.mu.Unlock()
+		a.free.Add(-1)
+		return true
 	}
-	s.extents.Delete(start)
-	if uint64(p) > start {
-		s.extents.Insert(start, uint64(p)-start)
+	s.mu.Unlock()
+	// Not in the tree — it may sit in a magazine.
+	for i := range a.mags {
+		m := &a.mags[i]
+		m.mu.Lock()
+		for j, q := range m.pages {
+			if q == p {
+				m.pages = append(m.pages[:j], m.pages[j+1:]...)
+				m.mu.Unlock()
+				a.free.Add(-1)
+				return true
+			}
+		}
+		m.mu.Unlock()
 	}
-	if end := start + count; uint64(p)+1 < end {
-		s.extents.Insert(uint64(p)+1, end-uint64(p)-1)
-	}
-	a.free.Add(-1)
-	return true
+	return false
 }
 
 // Extents reports the extent count of every shard (test/stats hook —

@@ -1,0 +1,162 @@
+package alloc
+
+import (
+	"testing"
+
+	"trio/internal/nvm"
+)
+
+// TestMagazineServesAscendingRuns checks the contiguity property the
+// datapath depends on: consecutive single-page allocations served by one
+// magazine refill come out in ascending, physically contiguous order.
+func TestMagazineServesAscendingRuns(t *testing.T) {
+	a := NewPageAlloc(0, 1024, 1)
+	// First alloc misses the magazine and triggers a refill.
+	first, err := a.AllocPages(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := first[0]
+	for i := 0; i < magRefill-1; i++ {
+		p, err := a.AllocPages(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p[0] != prev+1 {
+			t.Fatalf("alloc %d: page %d after %d, want contiguous ascending", i, p[0], prev)
+		}
+		prev = p[0]
+	}
+}
+
+// TestMagazineExactFreeAccounting checks Free() counts magazine-held
+// pages: refills must not change the free count.
+func TestMagazineExactFreeAccounting(t *testing.T) {
+	a := NewPageAlloc(0, 256, 2)
+	pages, err := a.AllocPages(0, 4) // triggers a refill of the home magazine
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Free(); got != 252 {
+		t.Fatalf("Free = %d after alloc 4 (magazine refilled), want 252", got)
+	}
+	a.FreePages(pages)
+	if got := a.Free(); got != 256 {
+		t.Fatalf("Free = %d after free, want 256", got)
+	}
+}
+
+// TestMagazineRaidPreventsStranding: pages hoarded in one CPU's
+// magazine must still be allocatable from another CPU once the trees
+// run dry.
+func TestMagazineRaidPreventsStranding(t *testing.T) {
+	a := NewPageAlloc(0, 64, 2)
+	// CPU 0 allocates almost everything, leaving pages only in its
+	// magazine (the refill after the slow path stashes up to magRefill).
+	held, err := a.AllocPages(0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whatever is left — tree or magazine — CPU 1 must be able to get.
+	rest, err := a.AllocPages(1, 64-30)
+	if err != nil {
+		t.Fatalf("raid failed: %v (Free=%d)", err, a.Free())
+	}
+	if a.Free() != 0 {
+		t.Fatalf("Free = %d after allocating everything", a.Free())
+	}
+	if _, err := a.AllocPages(1, 1); err == nil {
+		t.Fatal("exhausted allocator still served a page")
+	}
+	seen := map[nvm.PageID]bool{}
+	for _, p := range append(held, rest...) {
+		if seen[p] {
+			t.Fatalf("page %d allocated twice", p)
+		}
+		seen[p] = true
+	}
+}
+
+// TestReserveFindsMagazinePages: Reserve must see pages that sit in a
+// magazine, not just the extent trees.
+func TestReserveFindsMagazinePages(t *testing.T) {
+	a := NewPageAlloc(0, 256, 1)
+	if _, err := a.AllocPages(0, 1); err != nil { // populate the magazine
+		t.Fatal(err)
+	}
+	a.mags[0].mu.Lock()
+	if len(a.mags[0].pages) == 0 {
+		a.mags[0].mu.Unlock()
+		t.Skip("refill left magazine empty")
+	}
+	target := a.mags[0].pages[0]
+	a.mags[0].mu.Unlock()
+	if !a.Reserve(target) {
+		t.Fatalf("Reserve(%d) failed on magazine-held page", target)
+	}
+	if a.Reserve(target) {
+		t.Fatal("double Reserve of magazine page succeeded")
+	}
+	// The reserved page must never be handed out again.
+	pages, err := a.AllocPages(0, 254)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pages {
+		if p == target {
+			t.Fatal("reserved page allocated")
+		}
+	}
+}
+
+func TestShardOfMatchesLinearScan(t *testing.T) {
+	for _, tc := range []struct {
+		lo, hi nvm.PageID
+		cpus   int
+	}{
+		{8, 108, 4}, {0, 64, 1}, {1, 1024, 8}, {0, 7, 16}, {5, 5, 3},
+	} {
+		a := NewPageAlloc(tc.lo, tc.hi, tc.cpus)
+		linear := func(p nvm.PageID) *allocShard {
+			for i := range a.shards {
+				if p >= a.shards[i].lo && p < a.shards[i].hi {
+					return &a.shards[i]
+				}
+			}
+			return &a.shards[len(a.shards)-1]
+		}
+		for p := nvm.PageID(0); p < tc.hi+3; p++ {
+			if got, want := a.shardOf(p), linear(p); got != want {
+				t.Fatalf("range [%d,%d) cpus=%d: shardOf(%d) disagrees with linear scan",
+					tc.lo, tc.hi, tc.cpus, p)
+			}
+		}
+	}
+}
+
+// BenchmarkMagazine measures the small-allocation hot path against the
+// tree-only slow path (forced by batch sizes above magCap).
+func BenchmarkMagazine(b *testing.B) {
+	b.Run("single-page", func(b *testing.B) {
+		a := NewPageAlloc(0, 1<<20, 4)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pages, err := a.AllocPages(0, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a.FreePages(pages)
+		}
+	})
+	b.Run("tree-batch", func(b *testing.B) {
+		a := NewPageAlloc(0, 1<<20, 4)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pages, err := a.AllocPages(0, magCap+1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a.FreePages(pages)
+		}
+	})
+}

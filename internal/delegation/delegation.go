@@ -44,7 +44,9 @@ const (
 	DelegateWriteMin = 128 << 10
 )
 
-// seg is one page-granular piece of a delegated access.
+// seg is one node-local piece of a delegated access: a contiguous page
+// span (possibly many pages) that a single worker serves with one range
+// operation.
 type seg struct {
 	page nvm.PageID
 	off  int
@@ -186,6 +188,10 @@ func (p *Pool) worker(node int) {
 // retry-with-backoff on transient device faults, and signals completion.
 // Workers never die mid-request: once claimed, a request always
 // completes (possibly with an error), so done is a reliable signal.
+//
+// Each segment is a contiguous span served by one range operation —
+// one permission check, one cost-model charge, one coalesced persist —
+// instead of a per-4KiB-page loop.
 func (r *request) exec() {
 	defer close(r.done)
 	for _, sg := range r.segs {
@@ -193,16 +199,16 @@ func (r *request) exec() {
 		var err error
 		if r.write {
 			err = nvm.RetryTransient(func() error {
-				return r.view.Write(sg.page, sg.off, sg.buf)
+				return r.view.WriteRange(sg.page, sg.off, sg.buf)
 			})
 			if err == nil && r.persist {
 				err = nvm.RetryTransient(func() error {
-					return r.view.Persist(sg.page, sg.off, len(sg.buf))
+					return r.view.PersistRange(sg.page, sg.off, len(sg.buf))
 				})
 			}
 		} else {
 			err = nvm.RetryTransient(func() error {
-				return r.view.Read(sg.page, sg.off, sg.buf)
+				return r.view.ReadRange(sg.page, sg.off, sg.buf)
 			})
 		}
 		if err != nil {
@@ -222,6 +228,7 @@ type Batch struct {
 	write    bool
 	delegate bool
 	persist  bool
+	released bool
 	err      errSlot
 }
 
@@ -233,11 +240,29 @@ func (b *Batch) WithView(v *mmu.View) *Batch {
 	return b
 }
 
+// batchPool recycles Batch objects (and their per-node seg arrays)
+// across logical accesses: the datapath creates one batch per ReadAt /
+// WriteAt, so without reuse every I/O allocates.
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// maxRecycledSegs bounds the seg-array capacity a released batch may
+// carry back into the pool, so one huge scatter access doesn't pin its
+// footprint forever.
+const maxRecycledSegs = 1024
+
 // NewBatch prepares a batch for one logical access of total size n.
 // When pool is nil, or the size is under the opportunistic threshold,
 // every segment executes inline on the calling thread (direct access).
+//
+// The batch comes from a recycling pool; callers on the hot path should
+// call Release after Wait to return it.
 func (p *Pool) NewBatch(as *mmu.AddressSpace, n int, write, persist bool) *Batch {
-	b := &Batch{pool: p, as: as, write: write, persist: persist}
+	b := batchPool.Get().(*Batch)
+	b.pool, b.as, b.write, b.persist = p, as, write, persist
+	b.inline = nil
+	b.delegate = false
+	b.released = false
+	b.err.err = nil
 	if p == nil {
 		return b
 	}
@@ -247,10 +272,48 @@ func (p *Pool) NewBatch(as *mmu.AddressSpace, n int, write, persist bool) *Batch
 		b.delegate = n >= DelegateReadMin
 	}
 	if b.delegate {
-		b.views = make([]*mmu.View, p.dev.Nodes())
-		b.pending = make([][]seg, p.dev.Nodes())
+		nodes := p.dev.Nodes()
+		if cap(b.views) < nodes {
+			b.views = make([]*mmu.View, nodes)
+			b.pending = make([][]seg, nodes)
+		}
+		b.views = b.views[:nodes]
+		b.pending = b.pending[:nodes]
+		for i := 0; i < nodes; i++ {
+			b.views[i] = nil
+			b.pending[i] = b.pending[i][:0]
+		}
 	}
 	return b
+}
+
+// Release returns the batch to the recycling pool. Call it only after
+// Wait, and do not touch the batch afterwards. Releasing twice panics —
+// it would hand the same batch to two concurrent accesses.
+func (b *Batch) Release() {
+	if b == nil {
+		return
+	}
+	if b.released {
+		panic("delegation: Batch released twice")
+	}
+	b.released = true
+	for i := range b.pending {
+		if cap(b.pending[i]) > maxRecycledSegs {
+			b.pending[i] = nil
+			continue
+		}
+		clear(b.pending[i][:cap(b.pending[i])]) // drop buf references
+		b.pending[i] = b.pending[i][:0]
+	}
+	for i := range b.views {
+		b.views[i] = nil
+	}
+	b.inline = nil
+	b.as = nil
+	b.pool = nil
+	b.err.err = nil
+	batchPool.Put(b)
 }
 
 // Read queues a read of page p at off into buf.
@@ -298,6 +361,84 @@ func (b *Batch) Write(p nvm.PageID, off int, data []byte) {
 	b.pending[node] = append(b.pending[node], seg{page: p, off: off, buf: data})
 }
 
+// ReadRange queues a read of a contiguous page span starting at page p,
+// byte offset off, into buf (which may span many pages). Inline batches
+// execute it immediately as one range operation; delegated batches split
+// the span at NUMA-node boundaries so each worker only touches its own
+// node, exactly as OdinFS's range requests do.
+func (b *Batch) ReadRange(p nvm.PageID, off int, buf []byte) {
+	if len(buf) == 0 {
+		return
+	}
+	if !b.delegate {
+		if b.inline != nil {
+			b.err.set(b.inline.ReadRange(p, off, buf))
+			return
+		}
+		b.err.set(b.as.ReadRange(p, off, buf))
+		return
+	}
+	b.queueSpan(p, off, buf)
+}
+
+// WriteRange queues a write of a contiguous page span (persisted with
+// one coalesced flush when the batch was created with persist=true).
+func (b *Batch) WriteRange(p nvm.PageID, off int, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	if !b.delegate {
+		if err := b.writeRangeInline(p, off, data); err != nil {
+			b.err.set(err)
+		}
+		return
+	}
+	b.queueSpan(p, off, data)
+}
+
+func (b *Batch) writeRangeInline(p nvm.PageID, off int, data []byte) error {
+	if b.inline != nil {
+		if err := b.inline.WriteRange(p, off, data); err != nil {
+			return err
+		}
+		if b.persist {
+			return nvm.RetryTransient(func() error {
+				return b.inline.PersistRange(p, off, len(data))
+			})
+		}
+		return nil
+	}
+	if err := b.as.WriteRange(p, off, data); err != nil {
+		return err
+	}
+	if b.persist {
+		return nvm.RetryTransient(func() error {
+			return b.as.PersistRange(p, off, len(data))
+		})
+	}
+	return nil
+}
+
+// queueSpan splits a contiguous page span at NUMA-node boundaries and
+// appends one seg per node-local run.
+func (b *Batch) queueSpan(p nvm.PageID, off int, buf []byte) {
+	dev := b.pool.dev
+	per := dev.PagesPerNode()
+	for len(buf) > 0 {
+		node := dev.NodeOf(p)
+		nodeEnd := nvm.PageID((node + 1) * per)
+		max := int(nodeEnd-p)*nvm.PageSize - off
+		n := len(buf)
+		if n > max {
+			n = max
+		}
+		b.pending[node] = append(b.pending[node], seg{page: p, off: off, buf: buf[:n]})
+		buf = buf[n:]
+		p += nvm.PageID((off + n) / nvm.PageSize)
+		off = (off + n) % nvm.PageSize
+	}
+}
+
 func (b *Batch) view(node int) *mmu.View {
 	if b.views[node] == nil {
 		b.views[node] = b.as.View(node)
@@ -333,7 +474,9 @@ func (b *Batch) Wait() error {
 				write: b.write, persist: b.persist,
 				err: &b.err, done: make(chan struct{}),
 			}
-			b.pending[node] = nil
+			// Keep the backing array for reuse via Release; truncating
+			// (not nil-ing) also makes a second Wait a no-op.
+			b.pending[node] = segs[:0]
 			if b.pool.closed.Load() || b.pool.AliveWorkers(node) == 0 {
 				// Degraded: no one will ever serve the ring. Run direct.
 				req.claimed.Store(true)

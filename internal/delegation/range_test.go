@@ -1,0 +1,166 @@
+package delegation
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"trio/internal/mmu"
+	"trio/internal/nvm"
+)
+
+// TestRangeSpansNodeBoundary delegates one contiguous span that crosses
+// a NUMA-node boundary and checks it splits into node-local segments,
+// round-tripping the data intact.
+func TestRangeSpansNodeBoundary(t *testing.T) {
+	dev, as, pool := setup(t)
+	// Pages 254..257 straddle the node-0/node-1 boundary at 256.
+	start := nvm.PageID(254)
+	const pages = 4
+	as.Map(start, pages, mmu.PermWrite)
+
+	data := make([]byte, pages*nvm.PageSize)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	wb := pool.NewBatch(as, DelegateWriteMin, true, true)
+	wb.WriteRange(start, 0, data)
+	// The span must be split at the node boundary: two pending segs.
+	if n0, n1 := len(wb.pending[0]), len(wb.pending[1]); n0 != 1 || n1 != 1 {
+		t.Fatalf("span not split at node boundary: %d/%d segs", n0, n1)
+	}
+	if got := wb.pending[1][0].page; got != 256 {
+		t.Fatalf("node-1 seg starts at page %d, want 256", got)
+	}
+	if err := wb.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	wb.Release()
+
+	got := make([]byte, len(data))
+	rb := pool.NewBatch(as, DelegateReadMin, false, false)
+	rb.ReadRange(start, 0, got)
+	if err := rb.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	rb.Release()
+	if !bytes.Equal(got, data) {
+		t.Fatal("delegated range round-trip mismatch")
+	}
+	_ = dev
+}
+
+// TestRangeUnalignedOffsets round-trips spans that start and end at
+// unaligned byte offsets inside their first and last pages.
+func TestRangeUnalignedOffsets(t *testing.T) {
+	_, as, pool := setup(t)
+	as.Map(10, 3, mmu.PermWrite)
+
+	data := make([]byte, 2*nvm.PageSize+100)
+	rng := rand.New(rand.NewSource(42))
+	rng.Read(data)
+
+	wb := pool.NewBatch(as, 0, true, true) // inline
+	wb.WriteRange(10, 1000, data)
+	if err := wb.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	wb.Release()
+
+	got := make([]byte, len(data))
+	rb := pool.NewBatch(as, 0, false, false)
+	rb.ReadRange(10, 1000, got)
+	if err := rb.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	rb.Release()
+	if !bytes.Equal(got, data) {
+		t.Fatal("unaligned range round-trip mismatch")
+	}
+}
+
+// TestBatchReuse cycles batches through the pool and checks recycled
+// batches carry no state over from their previous life.
+func TestBatchReuse(t *testing.T) {
+	_, as, pool := setup(t)
+	as.Map(1, 2, mmu.PermWrite)
+
+	data := make([]byte, nvm.PageSize)
+	for i := 0; i < 50; i++ {
+		wb := pool.NewBatch(as, DelegateWriteMin, true, true)
+		if !wb.Delegated() {
+			t.Fatal("not delegated")
+		}
+		data[0] = byte(i)
+		wb.WriteRange(1, 0, data)
+		if err := wb.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		wb.Release()
+
+		// A small batch recycled from the same pool must come out inline
+		// with a clean error slot and no pending segments.
+		sb := pool.NewBatch(as, 1, false, false)
+		if sb.Delegated() {
+			t.Fatal("recycled small batch still delegated")
+		}
+		got := make([]byte, 1)
+		sb.Read(1, 0, got)
+		if err := sb.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("round %d: read %d", i, got[0])
+		}
+		sb.Release()
+	}
+}
+
+// TestBatchDoubleReleasePanics guards the use-after-release hazard.
+func TestBatchDoubleReleasePanics(t *testing.T) {
+	_, as, pool := setup(t)
+	b := pool.NewBatch(as, 1, false, false)
+	if err := b.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	b.Release()
+}
+
+// TestRangeFailover checks the range path still degrades to direct
+// execution when a node's workers are all dead.
+func TestRangeFailover(t *testing.T) {
+	dev, as, pool := setup(t)
+	as.Map(0, 4, mmu.PermWrite)
+	pool.KillWorkers(0, pool.WorkersPerNode())
+	for i := 0; i < 100 && pool.AliveWorkers(0) > 0; i++ {
+		// Poison pills are consumed asynchronously.
+		pool.NewBatch(as, 0, false, false).Release()
+	}
+	data := make([]byte, 4*nvm.PageSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	wb := pool.NewBatch(as, DelegateWriteMin, true, true)
+	wb.WriteRange(0, 0, data)
+	if err := wb.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	wb.Release()
+	got := make([]byte, len(data))
+	rb := pool.NewBatch(as, DelegateReadMin, false, false)
+	rb.ReadRange(0, 0, got)
+	if err := rb.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	rb.Release()
+	if !bytes.Equal(got, data) {
+		t.Fatal("failover range round-trip mismatch")
+	}
+	_ = dev
+}

@@ -198,6 +198,7 @@ func Registry() map[string]func(io.Writer, Params) error {
 		"fig9":      Fig9,
 		"tab5":      Tab5,
 		"fig10":     Fig10,
+		"datapath":  DataPath,
 		"all":       All,
 	}
 }

@@ -151,11 +151,14 @@ func opUnlink(path string) crashOp {
 // crashScript is the deterministic ≥10-op workload the crash-point
 // sweep replays: a mix of the metadata commit protocols (create,
 // mkdir, journaled rename, unlink) and data writes, including one that
-// crosses a page boundary.
+// crosses a page boundary and one large enough to travel as a
+// multi-page coalesced run (so range persists keep per-page crash
+// points — the sweep lands inside the run, not just around it).
 func crashScript() []crashOp {
 	alpha := bytes.Repeat([]byte("alpha "), 20)   // 120 B
 	beta := bytes.Repeat([]byte("beta "), 40)     // 200 B
 	gamma := bytes.Repeat([]byte("gamma "), 1000) // 6 KB, crosses a page
+	delta := bytes.Repeat([]byte("delta "), 3200) // ~19 KB, a 5-page run
 	return []crashOp{
 		opMkdir("/dir"),
 		opCreate("/dir/a"),
@@ -165,6 +168,8 @@ func crashScript() []crashOp {
 		opMkdir("/dir/sub"),
 		opCreate("/dir/sub/c"),
 		opWrite("/dir/sub/c", gamma),
+		opCreate("/dir/big"),
+		opWrite("/dir/big", delta),
 		opRename("/dir/b", "/dir/sub/moved"),
 		opUnlink("/dir/a"),
 		opCreate("/top"),

@@ -141,6 +141,145 @@ func (r *Radix) Put(key, val uint64) {
 // Delete removes the mapping at key.
 func (r *Radix) Delete(key uint64) { r.Put(key, 0) }
 
+// Extent is one coalesced run of the block→value mapping: Count blocks
+// starting at Block whose values are consecutive starting at Page.
+// Page==0 means a hole of Count unmapped blocks. Extent coalescing is
+// what lets the datapath issue one device access per physically
+// contiguous page run instead of one per 4 KiB block.
+type Extent struct {
+	Block uint64
+	Page  uint64
+	Count int
+}
+
+// ExtentIter walks the extents covering [start, start+count) in block
+// order. It is a value type — declare it as a local and call Next in a
+// loop — so the per-read hot path allocates nothing:
+//
+//	for it := r.Extents(first, count); it.Next(); {
+//	    use(it.Ext)
+//	}
+//
+// Like Get, iteration is lock-free and observes a best-effort snapshot
+// under concurrent inserts. The iterator caches the current leaf, so a
+// run within one leaf costs one atomic load per block, not a descent.
+type ExtentIter struct {
+	r    *Radix
+	next uint64
+	end  uint64
+
+	leaf     *radixNode
+	leafBase uint64
+	// holeEnd is the exclusive end of a known-zero region when the
+	// descent found a missing interior node; skipping to it makes holes
+	// over absent subtrees O(1) instead of O(blocks).
+	holeEnd uint64
+
+	// Ext is the current extent, valid after Next returns true.
+	Ext Extent
+}
+
+// Extents returns an iterator over the extents covering count blocks
+// starting at start. Blocks at or beyond MaxBlocks read as holes.
+func (r *Radix) Extents(start uint64, count int) ExtentIter {
+	end := start + uint64(count)
+	if count <= 0 {
+		end = start
+	}
+	return ExtentIter{r: r, next: start, end: end}
+}
+
+// load returns the value at key, refreshing the cached leaf. A zero
+// return with it.holeEnd > key means the whole region [key, holeEnd) is
+// unmapped.
+func (it *ExtentIter) load(key uint64) uint64 {
+	if key >= MaxBlocks {
+		it.leaf = nil
+		it.holeEnd = ^uint64(0)
+		return 0
+	}
+	base := key &^ uint64(radixMask)
+	if it.leaf == nil || it.leafBase != base {
+		it.leafBase = base
+		it.leaf, it.holeEnd = it.r.leafFor(key)
+	}
+	if it.leaf == nil {
+		return 0
+	}
+	return it.leaf.vals[int(key)&radixMask].Load()
+}
+
+// leafFor descends to the leaf holding key. When an interior node is
+// missing it returns nil and the exclusive end of the zero region the
+// absence proves.
+func (r *Radix) leafFor(key uint64) (*radixNode, uint64) {
+	root := r.root.Load()
+	if root == nil {
+		return nil, MaxBlocks
+	}
+	n := root.children[radixIndex(key, 0)].Load()
+	if n == nil {
+		return nil, (key>>(2*radixBits) + 1) << (2 * radixBits)
+	}
+	leaf := n.inner.children[radixIndex(key, 1)].Load()
+	if leaf == nil {
+		return nil, (key>>radixBits + 1) << radixBits
+	}
+	return leaf, 0
+}
+
+// Next advances to the next extent, returning false when the range is
+// exhausted.
+func (it *ExtentIter) Next() bool {
+	if it.next >= it.end {
+		return false
+	}
+	start := it.next
+	v0 := it.load(start)
+	pos := start + 1
+	if v0 == 0 {
+		if it.leaf == nil && it.holeEnd > pos {
+			pos = it.holeEnd
+			if pos > it.end {
+				pos = it.end
+			}
+		}
+		for pos < it.end {
+			if it.load(pos) != 0 {
+				break
+			}
+			if it.leaf == nil && it.holeEnd > pos+1 {
+				pos = it.holeEnd
+				if pos > it.end {
+					pos = it.end
+				}
+				continue
+			}
+			pos++
+		}
+	} else {
+		for pos < it.end {
+			if it.load(pos) != v0+(pos-start) {
+				break
+			}
+			pos++
+		}
+	}
+	it.Ext = Extent{Block: start, Page: v0, Count: int(pos - start)}
+	it.next = pos
+	return true
+}
+
+// GetRange appends the extents covering count blocks from start to ext
+// and returns it. The hot path uses Extents directly (no append); this
+// is the convenient form for tests and cold callers.
+func (r *Radix) GetRange(start uint64, count int, ext []Extent) []Extent {
+	for it := r.Extents(start, count); it.Next(); {
+		ext = append(ext, it.Ext)
+	}
+	return ext
+}
+
 // Range calls fn in ascending key order for every non-zero mapping
 // until fn returns false. It observes a best-effort snapshot under
 // concurrent mutation.

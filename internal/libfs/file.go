@@ -7,6 +7,7 @@ import (
 
 	"trio/internal/core"
 	"trio/internal/fsapi"
+	"trio/internal/index"
 	"trio/internal/nvm"
 )
 
@@ -95,26 +96,34 @@ func (h *Handle) ReadAt(b []byte, off int64) (int, error) {
 		r := rl.RLockRange(off, count)
 		defer rl.RUnlockRange(r)
 
+		// Walk the radix by extents rather than blocks: each physically
+		// contiguous page run becomes one range operation (one permission
+		// check, one cost charge), and each hole is one clear().
 		batch := fs.pool.NewBatch(fs.as, int(count), false, false).WithView(fs.mem(h.c.cpu))
-		pos := off
-		for pos < off+count {
-			block := uint64(pos / nvm.PageSize)
-			pgOff := int(pos % nvm.PageSize)
-			chunk := nvm.PageSize - pgOff
-			if rem := int(off + count - pos); chunk > rem {
-				chunk = rem
+		firstBlock := uint64(off / nvm.PageSize)
+		nBlocks := int(uint64((off+count-1)/nvm.PageSize)-firstBlock) + 1
+		for it := n.radix.Extents(firstBlock, nBlocks); it.Next(); {
+			e := it.Ext
+			extStart := int64(e.Block) * nvm.PageSize
+			lo, hi := off, off+count
+			if extStart > lo {
+				lo = extStart
 			}
-			dst := b[pos-off : pos-off+int64(chunk)]
-			if page := n.radix.Get(block); page != 0 {
-				batch.Read(nvm.PageID(page), pgOff, dst)
-			} else {
-				for i := range dst { // hole
-					dst[i] = 0
-				}
+			if extEnd := extStart + int64(e.Count)*nvm.PageSize; extEnd < hi {
+				hi = extEnd
 			}
-			pos += int64(chunk)
+			dst := b[lo-off : hi-off]
+			if e.Page == 0 {
+				clear(dst) // hole
+				continue
+			}
+			skip := lo - extStart
+			page := nvm.PageID(e.Page) + nvm.PageID(skip/nvm.PageSize)
+			batch.ReadRange(page, int(skip%nvm.PageSize), dst)
 		}
-		if err := batch.Wait(); err != nil {
+		err := batch.Wait()
+		batch.Release()
+		if err != nil {
 			return err
 		}
 		total = int(count)
@@ -214,29 +223,65 @@ func (fs *FS) extendLocked(cpu int, n *node, b []byte, off int64) error {
 // ensureBlocks allocates data pages for every hole in [off, end). The
 // caller must hold either the inode lock exclusively or a write range
 // lock covering the span (so no two threads fill the same block).
+//
+// Holes are discovered as extents and filled as runs: one bulk grab
+// from the page cache, one index-tail lock and fence per run instead of
+// one of each per block.
 func (fs *FS) ensureBlocks(cpu int, n *node, off, end int64) error {
 	if end <= off {
 		return nil
 	}
 	firstBlock := uint64(off / nvm.PageSize)
 	lastBlock := uint64((end - 1) / nvm.PageSize)
-	for block := firstBlock; block <= lastBlock; block++ {
-		if n.radix.Get(block) != 0 {
+	var extbuf [16]index.Extent
+	exts := n.radix.GetRange(firstBlock, int(lastBlock-firstBlock)+1, extbuf[:0])
+	for _, e := range exts {
+		if e.Page != 0 {
 			continue
 		}
-		page, err := fs.allocPageOnNode(cpu, fs.nodeForBlock(cpu, block))
+		if err := fs.fillHole(cpu, n, e.Block, e.Count, off, end); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fillHole allocates, zeroes, links and indexes data pages for the hole
+// run [block, block+count), splitting at stripe-chunk boundaries so
+// each piece lands on its striping node.
+func (fs *FS) fillHole(cpu int, n *node, block uint64, count int, off, end int64) error {
+	for count > 0 {
+		node := fs.nodeForBlock(cpu, block)
+		k := count
+		if fs.cfg.Stripe && fs.dev.Nodes() > 1 {
+			if chunkEnd := (block/stripeChunkBlocks + 1) * stripeChunkBlocks; block+uint64(k) > chunkEnd {
+				k = int(chunkEnd - block)
+			}
+		}
+		pages, err := fs.allocRunOnNode(cpu, node, k)
 		if err != nil {
 			return err
 		}
-		// A fresh page may hold stale bytes; zero the regions outside
-		// the part this write will fill, so holes read as zeros.
-		if err := fs.zeroPageEdges(cpu, page, block, off, end); err != nil {
+		for i, page := range pages {
+			blk := block + uint64(i)
+			blockStart := int64(blk) * nvm.PageSize
+			// A fresh page may hold stale bytes; zero the regions outside
+			// the part this write will fill, so holes read as zeros. Only
+			// the run's edge blocks can have such regions.
+			if off > blockStart || end < blockStart+nvm.PageSize {
+				if err := fs.zeroPageEdges(cpu, page, blk, off, end); err != nil {
+					return err
+				}
+			}
+		}
+		if err := fs.linkRun(cpu, n, block, pages); err != nil {
 			return err
 		}
-		if err := fs.linkBlock(cpu, n, block, page); err != nil {
-			return err
+		for i, page := range pages {
+			n.radix.Put(block+uint64(i), uint64(page))
 		}
-		n.radix.Put(block, uint64(page))
+		block += uint64(k)
+		count -= k
 	}
 	return nil
 }
@@ -275,6 +320,43 @@ func (fs *FS) linkBlock(cpu int, n *node, block uint64, page nvm.PageID) error {
 func (fs *FS) linkBlockLocked(cpu int, n *node, block uint64, page nvm.PageID) error {
 	chainIdx := int(block / core.IndexEntriesPerPage)
 	entry := int(block % core.IndexEntriesPerPage)
+	if err := fs.growChain(cpu, n, chainIdx); err != nil {
+		return err
+	}
+	if err := core.SetIndexEntry(fs.cmem, n.chain[chainIdx], entry, page); err != nil {
+		return err
+	}
+	fs.as.Fence()
+	return nil
+}
+
+// linkRun wires a run of data pages into the index chain starting at
+// block, under one index-tail lock with one trailing fence. Each index
+// entry still persists individually (SetIndexEntry), so the crash
+// surface keeps every per-entry persist point; only the fence — an
+// ordering barrier, not a durability point for the entries themselves —
+// is coalesced. Entries are still durable before the size field commits
+// the growth, because the size update carries its own persist+fence.
+func (fs *FS) linkRun(cpu int, n *node, block uint64, pages []nvm.PageID) error {
+	n.idxTail.Lock()
+	defer n.idxTail.Unlock()
+	for i, page := range pages {
+		blk := block + uint64(i)
+		chainIdx := int(blk / core.IndexEntriesPerPage)
+		if err := fs.growChain(cpu, n, chainIdx); err != nil {
+			return err
+		}
+		if err := core.SetIndexEntry(fs.cmem, n.chain[chainIdx], int(blk%core.IndexEntriesPerPage), page); err != nil {
+			return err
+		}
+	}
+	fs.as.Fence()
+	return nil
+}
+
+// growChain extends the index-page chain to cover chainIdx; the
+// index-tail lock must be held.
+func (fs *FS) growChain(cpu int, n *node, chainIdx int) error {
 	for len(n.chain) <= chainIdx {
 		ip, err := fs.allocPage(cpu)
 		if err != nil {
@@ -299,35 +381,45 @@ func (fs *FS) linkBlockLocked(cpu int, n *node, block uint64, page nvm.PageID) e
 		}
 		n.chain = append(n.chain, ip)
 	}
-	if err := core.SetIndexEntry(fs.cmem, n.chain[chainIdx], entry, page); err != nil {
-		return err
-	}
-	fs.as.Fence()
 	return nil
 }
 
 // copyOut copies b into the file's data pages at off through the
 // delegation batch (or directly, from the calling thread's node, for
-// small accesses).
+// small accesses), one range operation per physically contiguous page
+// run.
 func (fs *FS) copyOut(cpu int, n *node, b []byte, off int64, persist bool) error {
-	batch := fs.pool.NewBatch(fs.as, len(b), true, persist).WithView(fs.mem(cpu))
-	pos := off
-	end := off + int64(len(b))
-	for pos < end {
-		block := uint64(pos / nvm.PageSize)
-		pgOff := int(pos % nvm.PageSize)
-		chunk := nvm.PageSize - pgOff
-		if rem := int(end - pos); chunk > rem {
-			chunk = rem
-		}
-		page := n.radix.Get(block)
-		if page == 0 {
-			return fmt.Errorf("libfs: write into unmapped block %d", block)
-		}
-		batch.Write(nvm.PageID(page), pgOff, b[pos-off:pos-off+int64(chunk)])
-		pos += int64(chunk)
+	if len(b) == 0 {
+		return nil
 	}
-	if err := batch.Wait(); err != nil {
+	batch := fs.pool.NewBatch(fs.as, len(b), true, persist).WithView(fs.mem(cpu))
+	end := off + int64(len(b))
+	firstBlock := uint64(off / nvm.PageSize)
+	nBlocks := int(uint64((end-1)/nvm.PageSize)-firstBlock) + 1
+	var err error
+	for it := n.radix.Extents(firstBlock, nBlocks); it.Next(); {
+		e := it.Ext
+		if e.Page == 0 {
+			err = fmt.Errorf("libfs: write into unmapped block %d", e.Block)
+			break
+		}
+		extStart := int64(e.Block) * nvm.PageSize
+		lo, hi := off, end
+		if extStart > lo {
+			lo = extStart
+		}
+		if extEnd := extStart + int64(e.Count)*nvm.PageSize; extEnd < hi {
+			hi = extEnd
+		}
+		skip := lo - extStart
+		page := nvm.PageID(e.Page) + nvm.PageID(skip/nvm.PageSize)
+		batch.WriteRange(page, int(skip%nvm.PageSize), b[lo-off:hi-off])
+	}
+	if werr := batch.Wait(); err == nil {
+		err = werr
+	}
+	batch.Release()
+	if err != nil {
 		return err
 	}
 	fs.as.Fence()

@@ -607,9 +607,57 @@ func (fs *FS) allocPageOnNode(cpu, node int) (nvm.PageID, error) {
 			return 0, fmt.Errorf("%w: %v", fsapi.ErrNoSpace, err)
 		}
 	}
-	p := pool[len(pool)-1]
-	cl.pagesByNode[node] = pool[:len(pool)-1]
+	// Serve from the front: refill batches arrive in ascending page
+	// order, so consecutive single-page allocations hand out physically
+	// contiguous runs that the extent datapath coalesces.
+	p := pool[0]
+	cl.pagesByNode[node] = pool[1:]
 	return p, nil
+}
+
+// allocRunOnNode takes k pages from the CPU's cache for the given node,
+// refilling in bulk as needed. Pages come out in cache order — ascending
+// and usually contiguous within a refill batch — so hole-fill runs
+// produce coalescible extents.
+func (fs *FS) allocRunOnNode(cpu, node, k int) ([]nvm.PageID, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	cl := &fs.percpu[cpu]
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.pagesByNode == nil {
+		cl.pagesByNode = make(map[int][]nvm.PageID)
+	}
+	out := make([]nvm.PageID, 0, k)
+	pool := cl.pagesByNode[node]
+	for len(out) < k {
+		if len(pool) == 0 {
+			want := fs.cfg.PageBatch
+			if need := k - len(out); want < need {
+				want = need
+			}
+			var err error
+			if fs.dev.Nodes() > 1 {
+				pool, err = fs.sess.AllocPagesOnNode(cpu, want, node)
+			} else {
+				pool, err = fs.sess.AllocPages(cpu, want)
+			}
+			if err != nil && len(pool) == 0 {
+				// Hand the partial grab back to the cache — nothing leaks.
+				cl.pagesByNode[node] = out
+				return nil, fmt.Errorf("%w: %v", fsapi.ErrNoSpace, err)
+			}
+		}
+		take := k - len(out)
+		if take > len(pool) {
+			take = len(pool)
+		}
+		out = append(out, pool[:take]...)
+		pool = pool[take:]
+	}
+	cl.pagesByNode[node] = pool
+	return out, nil
 }
 
 // allocPage allocates metadata and small-file pages: always node-local

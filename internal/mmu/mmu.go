@@ -67,12 +67,13 @@ var ErrRevoked = fmt.Errorf("%w: address space revoked", ErrFault)
 type AddressSpace struct {
 	dev *nvm.Device
 
-	// perms maps nvm.PageID -> Perm. It is a sync.Map because the
-	// access pattern is exactly what hardware page tables give real
-	// systems: permission checks on every load/store proceed without
-	// serializing against each other, while map/unmap (the slow,
-	// controller-mediated path) mutates concurrently.
-	perms sync.Map
+	// perms is a flat page table: one permission word per device page,
+	// indexed by nvm.PageID — the same shape hardware gives real
+	// systems. Permission checks on every load/store are single atomic
+	// loads that proceed without serializing against each other, while
+	// map/unmap (the slow, controller-mediated path) swaps entries
+	// concurrently.
+	perms []atomic.Uint32
 	// mapped counts installed pages.
 	mapped atomic.Int64
 
@@ -98,7 +99,11 @@ type AddressSpace struct {
 // NewAddressSpace creates an empty address space for a process whose
 // CPUs live on the given NUMA node.
 func NewAddressSpace(dev *nvm.Device, node int) *AddressSpace {
-	return &AddressSpace{dev: dev, node: node}
+	return &AddressSpace{
+		dev:   dev,
+		node:  node,
+		perms: make([]atomic.Uint32, dev.NumPages()),
+	}
 }
 
 // Device exposes the underlying device; used by trusted components that
@@ -112,58 +117,62 @@ func (as *AddressSpace) Node() int { return as.node }
 // SetNode migrates the process to another NUMA node (test hook).
 func (as *AddressSpace) SetNode(n int) { as.node = n }
 
+// set installs perm for page p, maintaining the mapped count. Pages
+// beyond the device are ignored (they can never check as mapped).
+func (as *AddressSpace) set(p nvm.PageID, perm Perm) {
+	if uint64(p) >= uint64(len(as.perms)) {
+		return
+	}
+	old := Perm(as.perms[p].Swap(uint32(perm)))
+	switch {
+	case old == PermNone && perm != PermNone:
+		as.mapped.Add(1)
+	case old != PermNone && perm == PermNone:
+		as.mapped.Add(-1)
+	}
+}
+
 // Map installs pages [p, p+count) with permission perm.
 func (as *AddressSpace) Map(p nvm.PageID, count int, perm Perm) {
 	for i := 0; i < count; i++ {
-		if _, loaded := as.perms.Swap(p+nvm.PageID(i), perm); !loaded {
-			as.mapped.Add(1)
-		}
+		as.set(p+nvm.PageID(i), perm)
 	}
 }
 
 // MapPages installs each page of the list with permission perm.
 func (as *AddressSpace) MapPages(pages []nvm.PageID, perm Perm) {
 	for _, p := range pages {
-		if _, loaded := as.perms.Swap(p, perm); !loaded {
-			as.mapped.Add(1)
-		}
+		as.set(p, perm)
 	}
 }
 
 // Unmap removes pages [p, p+count).
 func (as *AddressSpace) Unmap(p nvm.PageID, count int) {
 	for i := 0; i < count; i++ {
-		if _, loaded := as.perms.LoadAndDelete(p + nvm.PageID(i)); loaded {
-			as.mapped.Add(-1)
-		}
+		as.set(p+nvm.PageID(i), PermNone)
 	}
 }
 
 // UnmapPages removes each page of the list.
 func (as *AddressSpace) UnmapPages(pages []nvm.PageID) {
 	for _, p := range pages {
-		if _, loaded := as.perms.LoadAndDelete(p); loaded {
-			as.mapped.Add(-1)
-		}
+		as.set(p, PermNone)
 	}
 }
 
 // UnmapAll clears the whole mapping table.
 func (as *AddressSpace) UnmapAll() {
-	as.perms.Range(func(k, _ any) bool {
-		if _, loaded := as.perms.LoadAndDelete(k); loaded {
-			as.mapped.Add(-1)
-		}
-		return true
-	})
+	for p := range as.perms {
+		as.set(nvm.PageID(p), PermNone)
+	}
 }
 
 // PermOf reports the installed permission of page p.
 func (as *AddressSpace) PermOf(p nvm.PageID) Perm {
-	if v, ok := as.perms.Load(p); ok {
-		return v.(Perm)
+	if uint64(p) >= uint64(len(as.perms)) {
+		return PermNone
 	}
-	return PermNone
+	return Perm(as.perms[p].Load())
 }
 
 // Mapped reports how many pages are currently mapped.
@@ -189,11 +198,7 @@ func (as *AddressSpace) check(p nvm.PageID, need Perm) error {
 	if as.revoked.Load() {
 		return fmt.Errorf("%w (page %d)", ErrRevoked, p)
 	}
-	got := PermNone
-	if v, ok := as.perms.Load(p); ok {
-		got = v.(Perm)
-	}
-	if got < need {
+	if got := as.PermOf(p); got < need {
 		return fmt.Errorf("%w: page %d needs %v, mapped %v", ErrFault, p, need, got)
 	}
 	return nil
@@ -217,6 +222,62 @@ func (as *AddressSpace) Write(p nvm.PageID, off int, data []byte) error {
 		return err
 	}
 	return as.dev.WriteAt(as.node, p, off, data)
+}
+
+// checkSpan verifies permission `need` on every page a range access
+// starting at (p, off) with n bytes touches. Callers hold the shootdown
+// barrier shared across the check and the device operation.
+func (as *AddressSpace) checkSpan(p nvm.PageID, off, n int, need Perm) error {
+	if as.revoked.Load() {
+		return fmt.Errorf("%w (page %d)", ErrRevoked, p)
+	}
+	last := p
+	if n > 0 {
+		last = p + nvm.PageID(uint64(off+n-1)/nvm.PageSize)
+	}
+	if uint64(last) >= uint64(len(as.perms)) {
+		return fmt.Errorf("%w: page %d beyond device", ErrFault, last)
+	}
+	for q := p; q <= last; q++ {
+		if Perm(as.perms[q].Load()) < need {
+			return fmt.Errorf("%w: page %d needs %v, mapped %v", ErrFault, q, need, Perm(as.perms[q].Load()))
+		}
+	}
+	return nil
+}
+
+// ReadRange copies a span of physically contiguous pages starting at
+// (p, off) into buf. Permissions are checked on every page of the span;
+// the device charges the run as one streamed access.
+func (as *AddressSpace) ReadRange(p nvm.PageID, off int, buf []byte) error {
+	as.shoot.RLock()
+	defer as.shoot.RUnlock()
+	if err := as.checkSpan(p, off, len(buf), PermRead); err != nil {
+		return err
+	}
+	return as.dev.ReadRange(as.node, p, off, buf)
+}
+
+// WriteRange copies data into a span of physically contiguous pages
+// starting at (p, off).
+func (as *AddressSpace) WriteRange(p nvm.PageID, off int, data []byte) error {
+	as.shoot.RLock()
+	defer as.shoot.RUnlock()
+	if err := as.checkSpan(p, off, len(data), PermWrite); err != nil {
+		return err
+	}
+	return as.dev.WriteRange(as.node, p, off, data)
+}
+
+// PersistRange flushes the cachelines of a contiguous multi-page span,
+// coalescing the flush into one cost-model charge.
+func (as *AddressSpace) PersistRange(p nvm.PageID, off, n int) error {
+	as.shoot.RLock()
+	defer as.shoot.RUnlock()
+	if err := as.checkSpan(p, off, n, PermRead); err != nil {
+		return err
+	}
+	return as.dev.PersistRange(p, off, n)
 }
 
 // ReadU64 loads a little-endian uint64 at (p, off).
@@ -277,6 +338,39 @@ func (v *View) Write(p nvm.PageID, off int, data []byte) error {
 		return err
 	}
 	return v.as.dev.WriteAt(v.node, p, off, data)
+}
+
+// ReadRange copies a contiguous multi-page span, charged from the
+// view's node.
+func (v *View) ReadRange(p nvm.PageID, off int, buf []byte) error {
+	v.as.shoot.RLock()
+	defer v.as.shoot.RUnlock()
+	if err := v.as.checkSpan(p, off, len(buf), PermRead); err != nil {
+		return err
+	}
+	return v.as.dev.ReadRange(v.node, p, off, buf)
+}
+
+// WriteRange copies data into a contiguous multi-page span, charged from
+// the view's node.
+func (v *View) WriteRange(p nvm.PageID, off int, data []byte) error {
+	v.as.shoot.RLock()
+	defer v.as.shoot.RUnlock()
+	if err := v.as.checkSpan(p, off, len(data), PermWrite); err != nil {
+		return err
+	}
+	return v.as.dev.WriteRange(v.node, p, off, data)
+}
+
+// PersistRange flushes the cachelines of a contiguous multi-page span as
+// one coalesced CLWB batch.
+func (v *View) PersistRange(p nvm.PageID, off, n int) error {
+	v.as.shoot.RLock()
+	defer v.as.shoot.RUnlock()
+	if err := v.as.checkSpan(p, off, n, PermRead); err != nil {
+		return err
+	}
+	return v.as.dev.PersistRange(p, off, n)
 }
 
 // Persist flushes lines from the view's node.

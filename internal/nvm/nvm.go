@@ -171,6 +171,9 @@ func (d *Device) Nodes() int { return d.nodes }
 // NodeOf reports which NUMA node holds page p.
 func (d *Device) NodeOf(p PageID) int { return int(p) / d.pagesPerNode }
 
+// PagesPerNode reports the per-node capacity in pages.
+func (d *Device) PagesPerNode() int { return d.pagesPerNode }
+
 // Cost returns the device cost model, or nil when cost injection is off.
 func (d *Device) Cost() *CostModel { return d.cost }
 
@@ -238,6 +241,171 @@ func (d *Device) WriteAt(fromNode int, p PageID, off int, data []byte) error {
 	copy(d.arena[base:base+len(data)], data)
 	d.unlockPage(p)
 	return nil
+}
+
+// checkSpan validates a multi-page range access starting at (p, off)
+// covering n bytes of physically contiguous pages.
+func (d *Device) checkSpan(p PageID, off, n int) error {
+	if off < 0 || off >= PageSize || n < 0 {
+		return fmt.Errorf("nvm: range access offset %d (len %d) outside page bounds", off, n)
+	}
+	if n == 0 {
+		return d.checkRange(p, off, 0)
+	}
+	last := uint64(p) + uint64(off+n-1)/PageSize
+	if last >= uint64(d.NumPages()) {
+		return fmt.Errorf("nvm: range access [%d+%d, +%d) beyond device (last page %d, device has %d pages)",
+			p, off, n, last, d.NumPages())
+	}
+	return nil
+}
+
+// spanLastPage reports the last page a range access touches.
+func spanLastPage(p PageID, off, n int) PageID {
+	if n <= 0 {
+		return p
+	}
+	return p + PageID(uint64(off+n-1)/PageSize)
+}
+
+// ReadRange copies n bytes starting at (p, off) into buf, spanning
+// physically contiguous pages. It is the extent-coalesced counterpart of
+// ReadAt: the cost model is charged once per touched NUMA node — the run
+// streams as a single access instead of paying per-page latency — while
+// fault injection still consults every page, so an armed media error on
+// any page of the run surfaces exactly as it would block by block.
+func (d *Device) ReadRange(fromNode int, p PageID, off int, buf []byte) error {
+	if err := d.checkSpan(p, off, len(buf)); err != nil {
+		return err
+	}
+	if len(buf) == 0 {
+		return nil
+	}
+	if fp := d.plan.Load(); fp != nil {
+		for q, last := p, spanLastPage(p, off, len(buf)); q <= last; q++ {
+			if err := fp.readFault(q); err != nil {
+				return err
+			}
+		}
+	}
+	d.chargeSpan(fromNode, p, off, len(buf), false)
+	pos, q, pgOff := 0, p, off
+	for pos < len(buf) {
+		chunk := PageSize - pgOff
+		if rem := len(buf) - pos; chunk > rem {
+			chunk = rem
+		}
+		base := int(q)*PageSize + pgOff
+		d.lockPage(q)
+		copy(buf[pos:pos+chunk], d.arena[base:base+chunk])
+		d.unlockPage(q)
+		pos += chunk
+		q++
+		pgOff = 0
+	}
+	return nil
+}
+
+// WriteRange copies data into the contiguous pages starting at (p, off).
+// Cost is charged once per touched NUMA node; the write-failure budget,
+// fault plan and persistence tracker are still consulted page by page,
+// in address order, so a fault mid-run leaves exactly the prefix written
+// — the same crash surface as the per-block path it replaces.
+func (d *Device) WriteRange(fromNode int, p PageID, off int, data []byte) error {
+	if err := d.checkSpan(p, off, len(data)); err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	if d.sealed.Load() {
+		return fmt.Errorf("nvm: device sealed (crash in progress)")
+	}
+	d.chargeSpan(fromNode, p, off, len(data), true)
+	fp := d.plan.Load()
+	pos, q, pgOff := 0, p, off
+	for pos < len(data) {
+		chunk := PageSize - pgOff
+		if rem := len(data) - pos; chunk > rem {
+			chunk = rem
+		}
+		if d.failBudget.Load() != failDisarmed && d.failBudget.Add(-1) < 0 {
+			return ErrInjectedFailure
+		}
+		if fp != nil {
+			if err := fp.writeFault(q); err != nil {
+				return err
+			}
+		}
+		base := int(q)*PageSize + pgOff
+		d.lockPage(q)
+		if d.tracker != nil {
+			d.tracker.recordStore(q, pgOff, chunk)
+		}
+		copy(d.arena[base:base+chunk], data[pos:pos+chunk])
+		d.unlockPage(q)
+		pos += chunk
+		q++
+		pgOff = 0
+	}
+	return nil
+}
+
+// PersistRange marks the cachelines covering the n-byte span at (p, off)
+// durable across contiguous pages. The fault plan and tracker see each
+// page individually — every per-page persist point of the uncoalesced
+// path still exists for the crash-point scheduler — but the cost model
+// charges a single CLWB batch: adjacent dirty-line flushes merge into
+// one charge (persist coalescing).
+func (d *Device) PersistRange(p PageID, off, n int) error {
+	if err := d.checkSpan(p, off, n); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return nil
+	}
+	fp := d.plan.Load()
+	pos, q, pgOff := 0, p, off
+	for pos < n {
+		chunk := PageSize - pgOff
+		if rem := n - pos; chunk > rem {
+			chunk = rem
+		}
+		if fp != nil {
+			if err := fp.persistFault(q); err != nil {
+				return err
+			}
+		}
+		if d.tracker != nil {
+			d.tracker.persist(q, pgOff, chunk, fp)
+		}
+		pos += chunk
+		q++
+		pgOff = 0
+	}
+	if d.cost != nil {
+		d.cost.delay(d.cost.PersistLatency)
+	}
+	return nil
+}
+
+// chargeSpan charges a range access: one cost-model charge per touched
+// NUMA node (a run crossing a node boundary streams from both nodes).
+func (d *Device) chargeSpan(fromNode int, p PageID, off, n int, write bool) {
+	if d.cost == nil || n == 0 {
+		return
+	}
+	nodeBytes := uint64(d.pagesPerNode) * PageSize
+	start := uint64(p)*PageSize + uint64(off)
+	end := start + uint64(n)
+	for start < end {
+		segEnd := (start/nodeBytes + 1) * nodeBytes
+		if segEnd > end {
+			segEnd = end
+		}
+		d.charge(fromNode, PageID(start/PageSize), int(segEnd-start), write)
+		start = segEnd
+	}
 }
 
 // Persist marks the cachelines covering [off, off+n) of page p durable.

@@ -10,6 +10,11 @@
 #   5. a fuzz smoke pass over the verifier's adversarial targets —
 #      ten seconds per target of randomly corrupted core state, which
 #      must always terminate in a Report, never a panic or a hang.
+#   6. a bench smoke: every Benchmark* target compiles and the
+#      data-path families run once, and the trio-bench regression
+#      harness completes a -quick pass. A bench that fails to build or
+#      errors at runtime fails the gate — perf coverage must not rot
+#      silently.
 #
 # Any failure stops the run with a non-zero exit.
 set -eu
@@ -31,5 +36,14 @@ go test -race ./internal/fstest/... ./internal/libfs/...
 echo "== fuzz smoke (verifier adversarial targets, 10s each)"
 go test -run='^$' -fuzz='^FuzzVerifyRegular$' -fuzztime=10s ./internal/verifier/
 go test -run='^$' -fuzz='^FuzzVerifyDirectory$' -fuzztime=10s ./internal/verifier/
+
+echo "== bench smoke (benchmarks must build and run, never silently skip)"
+# Compile every benchmark in the module; a bench that no longer builds
+# is a test failure, not a skip.
+go test -run='^$' -bench='^$' ./... > /dev/null
+# One-shot run of the data-path families that back BENCH_trio.json.
+go test -run='^$' -bench='^BenchmarkDataPath' -benchtime=1x . > /dev/null
+# And the regression harness itself, end to end in quick mode.
+go run ./cmd/trio-bench -experiment datapath -quick -json /dev/null > /dev/null
 
 echo "== all checks passed"
