@@ -14,9 +14,10 @@ test:
 	$(GO) test ./...
 
 # Race-detect the packages that exercise real concurrency: the
-# conformance suite's parallel cases and the LibFS they drive.
+# conformance suite's parallel cases, the LibFS they drive, and the
+# telemetry registry/ring everything records into.
 race:
-	$(GO) test -race ./internal/fstest/... ./internal/libfs/...
+	$(GO) test -race ./internal/fstest/... ./internal/libfs/... ./internal/telemetry/... ./internal/controller/...
 
 vet:
 	$(GO) vet ./...

@@ -8,9 +8,11 @@
 //
 //	arckfsck            # build a clean tree, verify it
 //	arckfsck -corrupt   # inject index-chain corruption first
+//	arckfsck -json      # machine-readable report + telemetry counters
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,11 +21,28 @@ import (
 	"trio/internal/core"
 	"trio/internal/libfs"
 	"trio/internal/nvm"
+	"trio/internal/telemetry"
 )
+
+// jsonReport is the -json output shape: the verifier verdict plus a
+// snapshot of every telemetry counter the run moved (verifier reports,
+// nvm traffic, mmu checks, ...).
+type jsonReport struct {
+	Checked        int            `json:"checked"`
+	Bad            int            `json:"bad"`
+	FirstViolation string         `json:"first_violation,omitempty"`
+	Consistent     bool           `json:"consistent"`
+	Telemetry      telemetry.Snap `json:"telemetry"`
+}
 
 func main() {
 	corrupt := flag.Bool("corrupt", false, "inject metadata corruption before checking")
+	asJSON := flag.Bool("json", false, "emit a JSON report (verdict + telemetry counters) on stdout")
 	flag.Parse()
+
+	if *asJSON {
+		telemetry.Default().Enable()
+	}
 
 	dev := nvm.MustNewDevice(nvm.Config{Nodes: 1, PagesPerNode: 8192})
 	ctl, err := controller.New(dev, controller.Options{})
@@ -81,13 +100,31 @@ func main() {
 			if err != nil || in.Head == nvm.NilPage {
 				continue
 			}
-			fmt.Printf("injecting corruption into ino %d (index page %d)\n", fi.Ino, in.Head)
+			fmt.Fprintf(os.Stderr, "injecting corruption into ino %d (index page %d)\n", fi.Ino, in.Head)
 			core.SetIndexEntry(mem, in.Head, 3, nvm.PageID(1<<40))
 			break
 		}
 	}
 
 	checked, bad, first := ctl.VerifyAll()
+	if *asJSON {
+		rep := jsonReport{
+			Checked:        checked,
+			Bad:            bad,
+			FirstViolation: first,
+			Consistent:     bad == 0,
+			Telemetry:      telemetry.Default().Snapshot(),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		if bad > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Printf("arckfsck: %d files checked, %d with violations\n", checked, bad)
 	if bad > 0 {
 		fmt.Printf("first violation: %s\n", first)

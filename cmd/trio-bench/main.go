@@ -8,6 +8,8 @@
 //	trio-bench -experiment all             # the whole evaluation
 //	trio-bench -experiment fig7 -quick     # shrunken sweeps (CI)
 //	trio-bench -experiment datapath -json BENCH_trio.json
+//	trio-bench -experiment datapath -quick -baseline BENCH_trio.json
+//	trio-bench -experiment fig5 -telemetry -trace trace.json
 //	trio-bench -list                       # available experiments
 //
 // The figure experiments print the paper's units (GiB/s, ops/µs,
@@ -20,7 +22,13 @@
 // runs with the hardware cost model OFF unless -cost is given: modeled
 // device time is a constant the software cannot change, so excluding it
 // isolates the regression signal. -cpuprofile captures a pprof profile
-// of the measured region.
+// of the measured region. -baseline gates the run's allocs/op against a
+// previously written BENCH JSON and exits 1 on regression.
+//
+// -telemetry enables the cross-layer metrics registry and prints the
+// counter table after the run; -trace additionally records spans and
+// writes a Chrome trace_event file (load it in chrome://tracing or
+// Perfetto).
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"time"
 
 	"trio/internal/experiments"
+	"trio/internal/telemetry"
 )
 
 func main() {
@@ -41,10 +50,20 @@ func main() {
 		nocost     = flag.Bool("nocost", false, "disable the hardware cost model (functional smoke run)")
 		cost       = flag.Bool("cost", false, "datapath only: enable the hardware cost model (off by default there)")
 		jsonPath   = flag.String("json", "", "datapath only: write results to this JSON file")
+		baseline   = flag.String("baseline", "", "datapath only: BENCH JSON to gate allocs/op against (exit 1 on regression)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run")
+		useTelem   = flag.Bool("telemetry", false, "enable the metrics registry; print a counter table after the run")
+		tracePath  = flag.String("trace", "", "enable tracing; write a Chrome trace_event JSONL file here")
 		list       = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
+
+	if *useTelem {
+		telemetry.Default().Enable()
+	}
+	if *tracePath != "" {
+		telemetry.EnableTracing(0)
+	}
 
 	reg := experiments.Registry()
 	if *list || *experiment == "" {
@@ -95,6 +114,20 @@ func main() {
 				fmt.Printf("\nwrote %d results to %s\n", len(results), *jsonPath)
 			}
 		}
+		if err == nil && *baseline != "" {
+			rep, lerr := experiments.LoadDataPathJSON(*baseline)
+			if lerr != nil {
+				err = lerr
+			} else if regs := experiments.CheckAllocRegression(rep, results); len(regs) > 0 {
+				fmt.Fprintf(os.Stderr, "\nALLOC REGRESSIONS vs %s:\n", *baseline)
+				for _, r := range regs {
+					fmt.Fprintf(os.Stderr, "  %s\n", r)
+				}
+				os.Exit(1)
+			} else {
+				fmt.Printf("\nallocs/op within baseline %s\n", *baseline)
+			}
+		}
 	} else {
 		fn, ok := reg[*experiment]
 		if !ok {
@@ -107,5 +140,24 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiment failed: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *useTelem {
+		fmt.Println("\ntelemetry counters:")
+		telemetry.Default().Snapshot().WriteTable(os.Stdout)
+	}
+	if *tracePath != "" {
+		f, ferr := os.Create(*tracePath)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", ferr)
+			os.Exit(1)
+		}
+		recs := telemetry.TraceSnapshot()
+		if werr := telemetry.WriteChromeTrace(f, recs); werr != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", werr)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %d trace events to %s\n", len(recs), *tracePath)
 	}
 }

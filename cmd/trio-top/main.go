@@ -1,0 +1,170 @@
+// Command trio-top is the live observability console for the Trio
+// stack: it drives a mixed ArckFS workload over the simulated NVM
+// machine and renders a per-interval table of cross-layer telemetry —
+// LibFS op rates and latency quantiles, NVM traffic, allocator and
+// delegation activity, MMU checks — from registry snapshot deltas.
+//
+// Usage:
+//
+//	trio-top                          # 10 one-second refreshes
+//	trio-top -interval 500ms -n 0     # run until interrupted
+//	trio-top -http :6060              # also serve /metrics, /trace, /debug/pprof
+//	trio-top -trace top.trace.json    # record spans, write a Chrome trace
+//
+// The HTTP endpoints expose the same registry the table reads, so a
+// browser or curl can watch the run from outside while pprof profiles
+// it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trio/internal/controller"
+	"trio/internal/delegation"
+	"trio/internal/libfs"
+	"trio/internal/nvm"
+	"trio/internal/telemetry"
+)
+
+func main() {
+	var (
+		interval  = flag.Duration("interval", time.Second, "refresh interval")
+		count     = flag.Int("n", 10, "number of refreshes (0 = run until interrupted)")
+		workers   = flag.Int("workers", 4, "workload goroutines")
+		httpAddr  = flag.String("http", "", "serve /metrics, /trace and /debug/pprof on this address")
+		tracePath = flag.String("trace", "", "record spans; write a Chrome trace_event file on exit")
+	)
+	flag.Parse()
+
+	telemetry.Default().Enable()
+	if *tracePath != "" {
+		telemetry.EnableTracing(0)
+	}
+	if *httpAddr != "" {
+		// telemetry.Handler routes /metrics and /trace; net/http/pprof
+		// registered itself on the default mux at import.
+		mux := http.NewServeMux()
+		h := telemetry.Handler(telemetry.Default())
+		mux.Handle("/metrics", h)
+		mux.Handle("/trace", h)
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "trio-top: http: %v\n", err)
+			}
+		}()
+		fmt.Printf("serving /metrics, /trace, /debug/pprof on %s\n", *httpAddr)
+	}
+
+	if *workers < 1 {
+		*workers = 1
+	}
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 2, PagesPerNode: 1 << 15})
+	ctl, err := controller.New(dev, controller.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	pool := delegation.NewPool(dev, 2)
+	fs, err := libfs.New(ctl.Register(1000, 1000, 0, 0),
+		libfs.Config{CPUs: *workers, Pool: pool, Stripe: true})
+	if err != nil {
+		fatal(err)
+	}
+
+	var (
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < *workers; w++ {
+		dir := fmt.Sprintf("/w%d", w)
+		if err := fs.NewClient(w).Mkdir(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := fs.NewClient(w)
+			rng := rand.New(rand.NewSource(int64(w)*6364136223846793005 + 1))
+			buf := make([]byte, 4096)
+			for i := 0; !stop.Load(); i++ {
+				path := fmt.Sprintf("/w%d/f%d", w, i%8)
+				f, err := cl.Create(path, 0o644)
+				if err != nil {
+					continue
+				}
+				for j := 0; j < 16; j++ {
+					off := int64(rng.Intn(64)) * 4096
+					if _, err := f.WriteAt(buf, off); err != nil {
+						break
+					}
+					if _, err := f.ReadAt(buf, off); err != nil {
+						break
+					}
+				}
+				f.Close()
+				if rng.Intn(8) == 0 {
+					cl.Unlink(path)
+				}
+			}
+		}(w)
+	}
+
+	prev := telemetry.Default().Snapshot()
+	for tick := 0; *count == 0 || tick < *count; tick++ {
+		time.Sleep(*interval)
+		cur := telemetry.Default().Snapshot()
+		d := cur.Sub(prev)
+		prev = cur
+		secs := *interval / time.Millisecond
+		rate := func(name string) float64 {
+			return float64(d.Get(name)) * 1000 / float64(secs)
+		}
+		if tick%20 == 0 {
+			fmt.Printf("%10s %10s %9s %9s %10s %10s %10s %9s %10s\n",
+				"read/s", "write/s", "rd p99ns", "wr p99ns",
+				"nvm wr/s", "persist/s", "alloc pg/s", "deleg/s", "mmu chk/s")
+		}
+		fmt.Printf("%10.0f %10.0f %9d %9d %10.0f %10.0f %10.0f %9.0f %10.0f\n",
+			rate("libfs.read_ops"), rate("libfs.write_ops"),
+			d.Hist("libfs.read_ns").Quantile(0.99),
+			d.Hist("libfs.write_ns").Quantile(0.99),
+			rate("nvm.writes"), rate("nvm.persists"),
+			rate("alloc.pages_out"),
+			rate("delegation.batches_delegated")+rate("delegation.batches_inline"),
+			rate("mmu.checks"))
+	}
+
+	stop.Store(true)
+	wg.Wait()
+	if err := fs.Close(); err != nil {
+		fatal(err)
+	}
+	ctl.Close()
+	pool.Close()
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		recs := telemetry.TraceSnapshot()
+		if err := telemetry.WriteChromeTrace(f, recs); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %d trace events to %s\n", len(recs), *tracePath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trio-top:", err)
+	os.Exit(1)
+}

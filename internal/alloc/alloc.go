@@ -14,6 +14,7 @@ import (
 
 	"trio/internal/nvm"
 	"trio/internal/rbtree"
+	"trio/internal/telemetry"
 )
 
 // PageAlloc hands out NVM pages from a fixed range [lo, hi). The range
@@ -169,6 +170,7 @@ func (a *PageAlloc) refill(home int) {
 	if len(grab) == 0 {
 		return
 	}
+	mMagRefills.IncOn(home)
 	m.mu.Lock()
 	// grab is ascending; push reversed to keep the descending invariant.
 	for i := len(grab) - 1; i >= 0; i-- {
@@ -212,18 +214,30 @@ func (a *PageAlloc) AllocPages(cpu, n int) ([]nvm.PageID, error) {
 		out = a.mags[home].pop(n, out)
 		if len(out) == n {
 			a.free.Add(-int64(n))
+			if telemetry.On() {
+				mMagHits.IncOn(cpu)
+				mAllocPages.AddOn(cpu, int64(n))
+			}
 			return out, nil
 		}
 	}
 	for i := 0; i < len(a.shards) && len(out) < n; i++ {
 		s := &a.shards[(home+i)%len(a.shards)]
 		s.mu.Lock()
+		before := len(out)
 		out = s.takeLocked(n-len(out), out)
+		if len(out) > before {
+			mTreeCarves.IncOn(cpu)
+		}
 		s.mu.Unlock()
 	}
 	for i := 0; i < len(a.mags) && len(out) < n; i++ {
 		// Raid magazines (home last — it was already popped above).
+		before := len(out)
 		out = a.mags[(home+1+i)%len(a.mags)].pop(n-len(out), out)
+		if len(out) > before {
+			mMagRaids.IncOn(cpu)
+		}
 	}
 	if len(out) < n {
 		// Return the partial grab; its pages were never debited from
@@ -234,6 +248,7 @@ func (a *PageAlloc) AllocPages(cpu, n int) ([]nvm.PageID, error) {
 		return nil, fmt.Errorf("alloc: out of NVM pages (want %d, found %d)", n, len(out))
 	}
 	a.free.Add(-int64(n))
+	mAllocPages.AddOn(cpu, int64(n))
 	if n <= magCap {
 		// The fast path missed; top the magazine up so the next small
 		// allocations pop instead of carving the tree.
@@ -313,6 +328,10 @@ func (a *PageAlloc) AllocPagesOnNode(dev *nvm.Device, cpu, n, node int) ([]nvm.P
 		s.mu.Unlock()
 	}
 	a.free.Add(-int64(len(out))) // debit the node-local grab
+	if len(out) > 0 && telemetry.On() {
+		mTreeCarves.IncOn(cpu)
+		mAllocPages.AddOn(cpu, int64(len(out)))
+	}
 	if len(out) < n {
 		// Fall back to the general allocator for the remainder.
 		rest, err := a.AllocPages(cpu, n-len(out))
@@ -374,6 +393,7 @@ func (a *PageAlloc) FreePages(pages []nvm.PageID) {
 		i = j
 	}
 	a.free.Add(int64(len(pages)))
+	mFreePages.AddOn(int(pages[0]), int64(len(pages)))
 }
 
 // insertLocked adds [start, start+count) to the free set, merging with

@@ -1,0 +1,16 @@
+// Telemetry instruments of the page allocator, sharded by the caller's
+// CPU: the magazine hit/refill/raid breakdown shows whether the fast
+// path is absorbing allocations or the shard trees are being carved
+// (and stolen from) under contention.
+package alloc
+
+import "trio/internal/telemetry"
+
+var (
+	mMagHits    = telemetry.Default().NewCounter("alloc.mag_hits")
+	mMagRefills = telemetry.Default().NewCounter("alloc.mag_refills")
+	mMagRaids   = telemetry.Default().NewCounter("alloc.mag_raids")
+	mTreeCarves = telemetry.Default().NewCounter("alloc.tree_carves")
+	mAllocPages = telemetry.Default().NewCounter("alloc.pages_out")
+	mFreePages  = telemetry.Default().NewCounter("alloc.pages_in")
+)

@@ -23,6 +23,7 @@ import (
 	"trio/internal/core"
 	"trio/internal/mmu"
 	"trio/internal/nvm"
+	"trio/internal/telemetry"
 	"trio/internal/verifier"
 )
 
@@ -212,11 +213,7 @@ type Controller struct {
 	nextLibFS LibFSID
 	nextGroup GroupID
 
-	stats Stats
-
-	// pageTrace, when DebugPageTracing was set before New, records every
-	// accounting transition of every page (debug instrumentation).
-	pageTrace map[nvm.PageID][]string
+	stats *Stats
 
 	sweepStop chan struct{}
 	sweepDone chan struct{}
@@ -241,9 +238,10 @@ func New(dev *nvm.Device, opts Options) (*Controller, error) {
 		reaped:    make(map[core.Ino]bool),
 		nextLibFS: 1,
 		nextGroup: 1 << 16, // private groups; user groups are small ints
+		stats:     newStats(),
 	}
-	if DebugPageTracing {
-		c.pageTrace = make(map[nvm.PageID][]string)
+	if DebugPageTracing && !telemetry.TracingOn() {
+		telemetry.EnableTracing(0)
 	}
 	if _, err := core.ReadSuperblock(c.mem); err != nil {
 		if ferr := core.Format(dev); ferr != nil {
@@ -375,13 +373,27 @@ func (c *Controller) scanTree() (maxIno uint64, err error) {
 	return maxIno, nil
 }
 
-// tracePage appends one event to a page's debug log (no-op unless
-// DebugPageTracing was set before New). Callers hold c.mu.
+// tracePage records one page-accounting transition as a telemetry
+// instant event (Arg = page number, so a trace can be filtered down to
+// one page's life). No-op — not even the message is formatted — unless
+// tracing is armed, via DebugPageTracing or telemetry.EnableTracing.
 func (c *Controller) tracePage(p nvm.PageID, format string, args ...any) {
-	if c.pageTrace == nil {
+	if !telemetry.TracingOn() {
 		return
 	}
-	c.pageTrace[p] = append(c.pageTrace[p], fmt.Sprintf(format, args...))
+	telemetry.Emit(0, "page", "controller", int64(p), fmt.Sprintf(format, args...))
+}
+
+// pageTraceOf collects the recorded transitions of page p from the
+// trace ring (the VerifyAll failure dump reads it).
+func pageTraceOf(p nvm.PageID) []string {
+	var out []string
+	for _, rec := range telemetry.TraceSnapshot() {
+		if rec.Name == "page" && rec.Layer == "controller" && rec.Arg == int64(p) {
+			out = append(out, rec.Msg)
+		}
+	}
+	return out
 }
 
 // trap charges one kernel crossing when cost modeling is on.

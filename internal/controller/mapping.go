@@ -7,6 +7,7 @@ import (
 	"trio/internal/core"
 	"trio/internal/mmu"
 	"trio/internal/nvm"
+	"trio/internal/telemetry"
 	"trio/internal/verifier"
 )
 
@@ -332,11 +333,16 @@ func (c *Controller) unmapLocked(ls *libfsState, ino core.Ino) error {
 // The controller→verifier round trip costs one IPC (§6.5: verification
 // dominated by this for small files).
 // DebugVerifyFailure, when non-nil, receives a description of every
-// failed verification (test instrumentation).
+// failed verification. It is an alias over the telemetry fold: every
+// failed verification is also emitted as a "verify.failure" trace event
+// (Arg = ino) whenever tracing is armed.
 var DebugVerifyFailure func(msg string)
 
-// DebugPageTracing enables a per-page event log used while debugging
-// page-accounting failures; see Controller.tracePage.
+// DebugPageTracing, when set before New, arms telemetry tracing so the
+// per-page accounting transitions land in the trace ring as "page"
+// events (Arg = page number); see Controller.tracePage. It is an alias
+// kept for the bespoke page-log switch it replaced — calling
+// telemetry.EnableTracing directly is equivalent.
 var DebugPageTracing bool
 
 func (c *Controller) runVerifierLocked(fs *fileState, ls *libfsState) (*verifier.Report, error) {
@@ -347,8 +353,14 @@ func (c *Controller) runVerifierLocked(fs *fileState, ls *libfsState) (*verifier
 	defer func() { c.stats.addVerify(time.Since(start)) }()
 	env := &envImpl{c: c, fs: fs, ls: ls}
 	rep, err := c.verifier.VerifyFile(env, fs.ino, fs.loc, fs.ino == core.RootIno)
-	if DebugVerifyFailure != nil && err == nil && !rep.OK() {
-		DebugVerifyFailure(fmt.Sprintf("ino %d (libfs %d): %v", fs.ino, ls.id, rep.Violations))
+	if err == nil && !rep.OK() {
+		if telemetry.TracingOn() {
+			telemetry.Emit(0, "verify.failure", "controller", int64(fs.ino),
+				fmt.Sprintf("libfs %d: %v", ls.id, rep.Violations))
+		}
+		if DebugVerifyFailure != nil {
+			DebugVerifyFailure(fmt.Sprintf("ino %d (libfs %d): %v", fs.ino, ls.id, rep.Violations))
+		}
 	}
 	return rep, err
 }

@@ -1,37 +1,79 @@
 package controller
 
 import (
-	"sync/atomic"
 	"time"
+
+	"trio/internal/telemetry"
 )
 
 // Stats aggregates the sharing-cost instrumentation behind Fig. 8 of
 // the paper: how much time goes into mapping, unmapping and verifying
 // when a file ping-pongs between trust domains, plus corruption-handling
 // counters for §6.5.
+//
+// The counters are telemetry instruments on a per-controller registry
+// that is always enabled — they are trusted-side bookkeeping that tests
+// assert absolute values of, and a sharded counter add costs the same as
+// the plain atomics they replaced. Snapshot reads go through the
+// registry, so a concurrent reporter sees a stable point-in-time view
+// instead of a field-by-field racy copy.
 type Stats struct {
-	MapCount  atomic.Int64
-	MapNS     atomic.Int64
-	UnmapCnt  atomic.Int64
-	UnmapNS   atomic.Int64
-	VerifyCnt atomic.Int64
-	VerifyNS  atomic.Int64
-	// RebuildNS is reported by LibFSes (auxiliary-state rebuild time).
-	RebuildCnt atomic.Int64
-	RebuildNS  atomic.Int64
+	reg *telemetry.Registry
 
-	Checkpoints atomic.Int64
-	Corruptions atomic.Int64
-	Fixed       atomic.Int64
-	Rollbacks   atomic.Int64
+	MapCount  *telemetry.Counter
+	MapNS     *telemetry.Counter
+	UnmapCnt  *telemetry.Counter
+	UnmapNS   *telemetry.Counter
+	VerifyCnt *telemetry.Counter
+	VerifyNS  *telemetry.Counter
+	// RebuildNS is reported by LibFSes (auxiliary-state rebuild time).
+	RebuildCnt *telemetry.Counter
+	RebuildNS  *telemetry.Counter
+
+	Checkpoints *telemetry.Counter
+	Corruptions *telemetry.Counter
+	Fixed       *telemetry.Counter
+	Rollbacks   *telemetry.Counter
 
 	// Process-failure enforcement (ungraceful teardown and leases).
-	Reaps           atomic.Int64 // sessions forcibly torn down
-	ReapVerifies    atomic.Int64 // write mappings verified during forcible revocation
-	ReapQuarantines atomic.Int64 // files quarantined because rollback could not restore them
-	LeaseRecalls    atomic.Int64 // cooperative recall requests sent to lease holders
-	LeaseExpiries   atomic.Int64 // per-file forcible revocations after lease+recall deadlines
+	Reaps           *telemetry.Counter // sessions forcibly torn down
+	ReapVerifies    *telemetry.Counter // write mappings verified during forcible revocation
+	ReapQuarantines *telemetry.Counter // files quarantined because rollback could not restore them
+	LeaseRecalls    *telemetry.Counter // cooperative recall requests sent to lease holders
+	LeaseExpiries   *telemetry.Counter // per-file forcible revocations after lease+recall deadlines
 }
+
+func newStats() *Stats {
+	reg := telemetry.NewRegistry()
+	reg.Enable()
+	return &Stats{
+		reg:       reg,
+		MapCount:  reg.NewCounter("controller.map_count"),
+		MapNS:     reg.NewCounter("controller.map_ns"),
+		UnmapCnt:  reg.NewCounter("controller.unmap_count"),
+		UnmapNS:   reg.NewCounter("controller.unmap_ns"),
+		VerifyCnt: reg.NewCounter("controller.verify_count"),
+		VerifyNS:  reg.NewCounter("controller.verify_ns"),
+
+		RebuildCnt: reg.NewCounter("controller.rebuild_count"),
+		RebuildNS:  reg.NewCounter("controller.rebuild_ns"),
+
+		Checkpoints: reg.NewCounter("controller.checkpoints"),
+		Corruptions: reg.NewCounter("controller.corruptions"),
+		Fixed:       reg.NewCounter("controller.fixed"),
+		Rollbacks:   reg.NewCounter("controller.rollbacks"),
+
+		Reaps:           reg.NewCounter("controller.reaps"),
+		ReapVerifies:    reg.NewCounter("controller.reap_verifies"),
+		ReapQuarantines: reg.NewCounter("controller.reap_quarantines"),
+		LeaseRecalls:    reg.NewCounter("controller.lease_recalls"),
+		LeaseExpiries:   reg.NewCounter("controller.lease_expiries"),
+	}
+}
+
+// Registry exposes the controller's telemetry registry (arckfsck -json
+// and trio-top read it alongside the process-wide default registry).
+func (s *Stats) Registry() *telemetry.Registry { return s.reg }
 
 func (s *Stats) addMap(d time.Duration) {
 	s.MapCount.Add(1)
@@ -55,11 +97,11 @@ func (s *Stats) AddRebuild(d time.Duration) {
 }
 
 // Stats exposes the controller's counters.
-func (c *Controller) Stats() *Stats { return &c.stats }
+func (c *Controller) Stats() *Stats { return c.stats }
 
 // Stats exposes the shared counters through a session (LibFSes report
 // their auxiliary-state rebuild times here).
-func (s *Session) Stats() *Stats { return &s.c.stats }
+func (s *Session) Stats() *Stats { return s.c.stats }
 
 // Snapshot is a plain-value copy of Stats for reporting.
 type Snapshot struct {
@@ -70,27 +112,29 @@ type Snapshot struct {
 	LeaseRecalls, LeaseExpiries                     int64
 }
 
-// Snapshot copies the counters.
+// Snapshot copies the counters through one registry snapshot: every
+// value is an atomic read taken in a single pass, never a torn copy.
 func (s *Stats) Snapshot() Snapshot {
+	snap := s.reg.Snapshot()
 	return Snapshot{
-		MapCount:     s.MapCount.Load(),
-		UnmapCount:   s.UnmapCnt.Load(),
-		VerifyCount:  s.VerifyCnt.Load(),
-		RebuildCount: s.RebuildCnt.Load(),
-		MapTime:      time.Duration(s.MapNS.Load()),
-		UnmapTime:    time.Duration(s.UnmapNS.Load()),
-		VerifyTime:   time.Duration(s.VerifyNS.Load()),
-		RebuildTime:  time.Duration(s.RebuildNS.Load()),
-		Checkpoints:  s.Checkpoints.Load(),
-		Corruptions:  s.Corruptions.Load(),
-		Fixed:        s.Fixed.Load(),
-		Rollbacks:    s.Rollbacks.Load(),
+		MapCount:     snap.Get("controller.map_count"),
+		UnmapCount:   snap.Get("controller.unmap_count"),
+		VerifyCount:  snap.Get("controller.verify_count"),
+		RebuildCount: snap.Get("controller.rebuild_count"),
+		MapTime:      time.Duration(snap.Get("controller.map_ns")),
+		UnmapTime:    time.Duration(snap.Get("controller.unmap_ns")),
+		VerifyTime:   time.Duration(snap.Get("controller.verify_ns")),
+		RebuildTime:  time.Duration(snap.Get("controller.rebuild_ns")),
+		Checkpoints:  snap.Get("controller.checkpoints"),
+		Corruptions:  snap.Get("controller.corruptions"),
+		Fixed:        snap.Get("controller.fixed"),
+		Rollbacks:    snap.Get("controller.rollbacks"),
 
-		Reaps:           s.Reaps.Load(),
-		ReapVerifies:    s.ReapVerifies.Load(),
-		ReapQuarantines: s.ReapQuarantines.Load(),
-		LeaseRecalls:    s.LeaseRecalls.Load(),
-		LeaseExpiries:   s.LeaseExpiries.Load(),
+		Reaps:           snap.Get("controller.reaps"),
+		ReapVerifies:    snap.Get("controller.reap_verifies"),
+		ReapQuarantines: snap.Get("controller.reap_quarantines"),
+		LeaseRecalls:    snap.Get("controller.lease_recalls"),
+		LeaseExpiries:   snap.Get("controller.lease_expiries"),
 	}
 }
 

@@ -1,0 +1,69 @@
+package controller
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStatsSnapshotConcurrent hammers the stats counters from many
+// goroutines while snapshotting concurrently: under -race this asserts
+// the registry-backed Snapshot path is a clean atomic read, replacing
+// the old field-by-field copy of plain atomics.
+func TestStatsSnapshotConcurrent(t *testing.T) {
+	s := newStats()
+	const goroutines = 8
+	const per = 5000
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.addMap(time.Nanosecond)
+				s.addUnmap(time.Nanosecond)
+				s.addVerify(time.Nanosecond)
+				s.Corruptions.Add(1)
+				s.Reaps.Add(1)
+				if i%128 == 0 {
+					snap := s.Snapshot()
+					// A snapshot is internally consistent per counter:
+					// counts never exceed what has been added in total.
+					if snap.MapCount > goroutines*per {
+						t.Errorf("MapCount %d exceeds possible total", snap.MapCount)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := s.Snapshot()
+	if snap.MapCount != goroutines*per {
+		t.Fatalf("MapCount = %d, want %d", snap.MapCount, goroutines*per)
+	}
+	if snap.MapTime != time.Duration(goroutines*per) {
+		t.Fatalf("MapTime = %d, want %d", snap.MapTime, goroutines*per)
+	}
+	if snap.Corruptions != goroutines*per || snap.Reaps != goroutines*per {
+		t.Fatalf("Corruptions/Reaps = %d/%d, want %d", snap.Corruptions, snap.Reaps, goroutines*per)
+	}
+	d := snap.Sub(snap)
+	if d.MapCount != 0 || d.VerifyTime != 0 {
+		t.Fatalf("self-delta not zero: %+v", d)
+	}
+}
+
+// TestPageTracingFoldsIntoTelemetry: the DebugPageTracing switch is an
+// alias over telemetry tracing — page accounting transitions become
+// filterable "page" trace events instead of a bespoke in-controller log.
+func TestPageTracingFoldsIntoTelemetry(t *testing.T) {
+	c := &Controller{stats: newStats()}
+	// Without tracing armed, tracePage is a no-op.
+	c.tracePage(7, "grant ls=%d", 1)
+	if got := pageTraceOf(7); len(got) != 0 {
+		t.Fatalf("trace recorded while disarmed: %v", got)
+	}
+}

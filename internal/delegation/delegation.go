@@ -27,6 +27,7 @@ import (
 	"trio/internal/fsapi"
 	"trio/internal/mmu"
 	"trio/internal/nvm"
+	"trio/internal/telemetry"
 )
 
 // Opportunistic-delegation thresholds. The paper uses 32 KiB reads /
@@ -464,6 +465,9 @@ const failoverPoll = 200 * time.Microsecond
 // delegated path too.
 func (b *Batch) Wait() error {
 	if b.delegate {
+		if telemetry.On() {
+			mDelegated.Inc()
+		}
 		outstanding := make([]*request, 0, len(b.pending))
 		for node, segs := range b.pending {
 			if len(segs) == 0 {
@@ -479,15 +483,18 @@ func (b *Batch) Wait() error {
 			b.pending[node] = segs[:0]
 			if b.pool.closed.Load() || b.pool.AliveWorkers(node) == 0 {
 				// Degraded: no one will ever serve the ring. Run direct.
+				mDirect.IncOn(node)
 				req.claimed.Store(true)
 				req.exec()
 				continue
 			}
 			select {
 			case b.pool.queues[node] <- req:
+				mDispatch.IncOn(node)
 				outstanding = append(outstanding, req)
 			default:
 				// Ring full (backpressure with dying workers): run direct.
+				mDirect.IncOn(node)
 				req.claimed.Store(true)
 				req.exec()
 			}
@@ -495,6 +502,8 @@ func (b *Batch) Wait() error {
 		for _, req := range outstanding {
 			b.await(req)
 		}
+	} else if telemetry.On() {
+		mInline.Inc()
 	}
 	b.err.mu.Lock()
 	defer b.err.mu.Unlock()
@@ -520,6 +529,7 @@ func (b *Batch) await(req *request) {
 			if b.pool.AliveWorkers(req.node) == 0 && req.claim() {
 				// The workers died before dequeuing it; the claim makes
 				// any late dequeue skip it, so direct execution is safe.
+				mFailovers.IncOn(req.node)
 				req.exec()
 				return
 			}

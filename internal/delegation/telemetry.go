@@ -1,0 +1,15 @@
+// Telemetry instruments of the delegation datapath, sharded by NUMA
+// node: how many batches went through the workers vs. inline, and how
+// often the degraded paths fired (failover claims after worker death,
+// direct execution on a dead or saturated ring).
+package delegation
+
+import "trio/internal/telemetry"
+
+var (
+	mDelegated = telemetry.Default().NewCounter("delegation.batches_delegated")
+	mInline    = telemetry.Default().NewCounter("delegation.batches_inline")
+	mDispatch  = telemetry.Default().NewCounter("delegation.requests_dispatched")
+	mFailovers = telemetry.Default().NewCounter("delegation.failovers")
+	mDirect    = telemetry.Default().NewCounter("delegation.direct_fallbacks")
+)

@@ -237,12 +237,12 @@ func TestChaosTenantDeath(t *testing.T) {
 	for ctl.Stats().Reaps.Load() < nKill && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	st := ctl.Stats()
-	if got := st.Reaps.Load(); got != nKill {
-		t.Fatalf("Reaps = %d, want exactly %d", got, nKill)
+	st := ctl.Stats().Snapshot()
+	if st.Reaps != nKill {
+		t.Fatalf("Reaps = %d, want exactly %d", st.Reaps, nKill)
 	}
-	if q := st.ReapQuarantines.Load(); q != 0 {
-		t.Fatalf("ReapQuarantines = %d: reaper could not repair some file", q)
+	if st.ReapQuarantines != 0 {
+		t.Fatalf("ReapQuarantines = %d: reaper could not repair some file", st.ReapQuarantines)
 	}
 
 	// Survivors tear down cooperatively.

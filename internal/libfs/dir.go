@@ -10,6 +10,7 @@ import (
 	"trio/internal/fsapi"
 	"trio/internal/mmu"
 	"trio/internal/nvm"
+	"trio/internal/telemetry"
 )
 
 // claimSlot takes a free dirent slot in the directory, growing the
@@ -172,6 +173,9 @@ func (fs *FS) createEntry(cpu int, parent *node, name string, ftype core.FileTyp
 
 // Create implements fsapi.Client: O_CREAT|O_TRUNC semantics.
 func (c *Client) Create(path string, mode uint16) (fsapi.File, error) {
+	sp := telemetry.StartSpan(c.cpu, "libfs.Create", "libfs")
+	defer sp.End()
+	mNamespace.IncOn(c.cpu)
 	parent, name, err := c.fs.resolveParent(path)
 	if err != nil {
 		return nil, ioErr(err)
@@ -207,6 +211,9 @@ func (c *Client) Create(path string, mode uint16) (fsapi.File, error) {
 
 // Mkdir implements fsapi.Client.
 func (c *Client) Mkdir(path string, mode uint16) error {
+	sp := telemetry.StartSpan(c.cpu, "libfs.Mkdir", "libfs")
+	defer sp.End()
+	mNamespace.IncOn(c.cpu)
 	parent, name, err := c.fs.resolveParent(path)
 	if err != nil {
 		return ioErr(err)
@@ -243,6 +250,9 @@ func (fs *FS) filePages(n *node) ([]nvm.PageID, error) {
 
 // unlinkCommon removes a dirent after type checking.
 func (c *Client) unlinkCommon(path string, wantDir bool) error {
+	sp := telemetry.StartSpan(c.cpu, "libfs.Unlink", "libfs")
+	defer sp.End()
+	mNamespace.IncOn(c.cpu)
 	fs := c.fs
 	parent, name, err := fs.resolveParent(path)
 	if err != nil {

@@ -274,20 +274,20 @@ func TestTornDirentNameDetectedAndRolledBack(t *testing.T) {
 	r := newFaultRig(t, 2048)
 	dirIno, _ := tornVictim(t, r)
 
-	st := r.sess.Stats()
-	corr, rb, fixed := st.Corruptions.Load(), st.Rollbacks.Load(), st.Fixed.Load()
+	st0 := r.sess.Stats().Snapshot()
 
 	if err := r.sess.UnmapFile(dirIno); err != nil {
 		t.Fatalf("unmap: %v", err)
 	}
-	if got := st.Corruptions.Load(); got != corr+1 {
-		t.Fatalf("Corruptions = %d, want %d", got, corr+1)
+	d := r.sess.Stats().Snapshot().Sub(st0)
+	if d.Corruptions != 1 {
+		t.Fatalf("Corruptions delta = %d, want 1", d.Corruptions)
 	}
-	if got := st.Rollbacks.Load(); got != rb+1 {
-		t.Fatalf("Rollbacks = %d, want %d", got, rb+1)
+	if d.Rollbacks != 1 {
+		t.Fatalf("Rollbacks delta = %d, want 1", d.Rollbacks)
 	}
-	if got := st.Fixed.Load(); got != fixed {
-		t.Fatalf("Fixed = %d, want %d (no fix handler registered)", got, fixed)
+	if d.Fixed != 0 {
+		t.Fatalf("Fixed delta = %d, want 0 (no fix handler registered)", d.Fixed)
 	}
 	if _, bad, first := r.ctl.VerifyAll(); bad != 0 {
 		t.Fatalf("%d files still bad after rollback: %s", bad, first)
@@ -321,20 +321,20 @@ func TestTornDirentNameFixedByHandler(t *testing.T) {
 		return core.WriteDirentName(as, victim.Loc.Page, victim.Loc.Slot, "victim")
 	})
 
-	st := r.sess.Stats()
-	corr, rb, fixed := st.Corruptions.Load(), st.Rollbacks.Load(), st.Fixed.Load()
+	st0 := r.sess.Stats().Snapshot()
 
 	if err := r.sess.UnmapFile(dirIno); err != nil {
 		t.Fatalf("unmap: %v", err)
 	}
-	if got := st.Corruptions.Load(); got != corr+1 {
-		t.Fatalf("Corruptions = %d, want %d", got, corr+1)
+	d := r.sess.Stats().Snapshot().Sub(st0)
+	if d.Corruptions != 1 {
+		t.Fatalf("Corruptions delta = %d, want 1", d.Corruptions)
 	}
-	if got := st.Fixed.Load(); got != fixed+1 {
-		t.Fatalf("Fixed = %d, want %d", got, fixed+1)
+	if d.Fixed != 1 {
+		t.Fatalf("Fixed delta = %d, want 1", d.Fixed)
 	}
-	if got := st.Rollbacks.Load(); got != rb {
-		t.Fatalf("Rollbacks = %d, want %d (fix succeeded, no rollback)", got, rb)
+	if d.Rollbacks != 0 {
+		t.Fatalf("Rollbacks delta = %d, want 0 (fix succeeded, no rollback)", d.Rollbacks)
 	}
 	if _, bad, first := r.ctl.VerifyAll(); bad != 0 {
 		t.Fatalf("%d files bad after fix: %s", bad, first)

@@ -9,6 +9,7 @@ import (
 	"trio/internal/fsapi"
 	"trio/internal/index"
 	"trio/internal/nvm"
+	"trio/internal/telemetry"
 )
 
 // Handle is an open file (fsapi.File). ArckFS keeps a classic file
@@ -77,6 +78,16 @@ func (h *Handle) ReadAt(b []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fsapi.ErrInval
 	}
+	sp := telemetry.StartSpan(h.c.cpu, "libfs.ReadAt", "libfs")
+	defer sp.End()
+	if telemetry.On() {
+		mReadOps.IncOn(h.c.cpu)
+		start := time.Now()
+		defer func() {
+			hReadNS.ObserveSince(start)
+			hReadSize.Observe(int64(len(b)))
+		}()
+	}
 	fs := h.c.fs
 	n := h.n
 	total := 0
@@ -99,6 +110,7 @@ func (h *Handle) ReadAt(b []byte, off int64) (int, error) {
 		// Walk the radix by extents rather than blocks: each physically
 		// contiguous page run becomes one range operation (one permission
 		// check, one cost charge), and each hole is one clear().
+		lk := sp.Child("index.lookup", "index")
 		batch := fs.pool.NewBatch(fs.as, int(count), false, false).WithView(fs.mem(h.c.cpu))
 		firstBlock := uint64(off / nvm.PageSize)
 		nBlocks := int(uint64((off+count-1)/nvm.PageSize)-firstBlock) + 1
@@ -121,7 +133,10 @@ func (h *Handle) ReadAt(b []byte, off int64) (int, error) {
 			page := nvm.PageID(e.Page) + nvm.PageID(skip/nvm.PageSize)
 			batch.ReadRange(page, int(skip%nvm.PageSize), dst)
 		}
+		lk.End()
+		dw := sp.Child("delegation.wait", "delegation")
 		err := batch.Wait()
+		dw.End()
 		batch.Release()
 		if err != nil {
 			return err
@@ -142,18 +157,28 @@ func (h *Handle) WriteAt(b []byte, off int64) (int, error) {
 	if !h.write {
 		return 0, fsapi.ErrPerm
 	}
+	sp := telemetry.StartSpan(h.c.cpu, "libfs.WriteAt", "libfs")
+	defer sp.End()
+	if telemetry.On() {
+		mWriteOps.IncOn(h.c.cpu)
+		start := time.Now()
+		defer func() {
+			hWriteNS.ObserveSince(start)
+			hWriteSize.Observe(int64(len(b)))
+		}()
+	}
 	fs := h.c.fs
 	n := h.n
 	err := fs.withMapped(n, true, func() error {
 		end := off + int64(len(b))
 		if end > atomic.LoadInt64(&n.size) {
-			return fs.writeExtend(h.c.cpu, n, b, off)
+			return fs.writeExtend(h.c.cpu, n, b, off, sp)
 		}
 		n.ilock.RLock(h.c.cpu)
 		defer n.ilock.RUnlock(h.c.cpu)
 		if end > atomic.LoadInt64(&n.size) {
 			// Raced with a truncate; retry via the extend path.
-			return fs.writeExtend(h.c.cpu, n, b, off)
+			return fs.writeExtend(h.c.cpu, n, b, off, sp)
 		}
 		rl := n.rlock()
 		r := rl.LockRange(off, int64(len(b)))
@@ -161,10 +186,10 @@ func (h *Handle) WriteAt(b []byte, off int64) (int, error) {
 		// Writes into holes of a sparse file allocate pages here; the
 		// range lock serializes same-block writers and linkBlock's
 		// index-tail lock protects chain growth.
-		if err := fs.ensureBlocks(h.c.cpu, n, off, end); err != nil {
+		if err := fs.ensureBlocks(h.c.cpu, n, off, end, sp); err != nil {
 			return err
 		}
-		return fs.copyOut(h.c.cpu, n, b, off, true)
+		return fs.copyOut(h.c.cpu, n, b, off, true, sp)
 	})
 	if err != nil {
 		return 0, ioErr(err)
@@ -177,6 +202,16 @@ func (h *Handle) Append(b []byte) (int64, error) {
 	if !h.write {
 		return 0, fsapi.ErrPerm
 	}
+	sp := telemetry.StartSpan(h.c.cpu, "libfs.Append", "libfs")
+	defer sp.End()
+	if telemetry.On() {
+		mWriteOps.IncOn(h.c.cpu)
+		start := time.Now()
+		defer func() {
+			hWriteNS.ObserveSince(start)
+			hWriteSize.Observe(int64(len(b)))
+		}()
+	}
 	fs := h.c.fs
 	n := h.n
 	var at int64
@@ -184,30 +219,30 @@ func (h *Handle) Append(b []byte) (int64, error) {
 		n.ilock.Lock()
 		defer n.ilock.Unlock()
 		at = atomic.LoadInt64(&n.size)
-		return fs.extendLocked(h.c.cpu, n, b, at)
+		return fs.extendLocked(h.c.cpu, n, b, at, sp)
 	})
 	return at, ioErr(err)
 }
 
 // writeExtend handles writes that grow the file: exclusive inode lock.
-func (fs *FS) writeExtend(cpu int, n *node, b []byte, off int64) error {
+func (fs *FS) writeExtend(cpu int, n *node, b []byte, off int64, sp telemetry.Span) error {
 	n.ilock.Lock()
 	defer n.ilock.Unlock()
-	return fs.extendLocked(cpu, n, b, off)
+	return fs.extendLocked(cpu, n, b, off, sp)
 }
 
 // extendLocked performs an (possibly extending) write with the inode
 // lock held exclusively. Ordering for crash consistency (§4.4): new
 // data pages are filled and persisted, then linked into index pages,
 // then the 8-byte size field commits the growth.
-func (fs *FS) extendLocked(cpu int, n *node, b []byte, off int64) error {
+func (fs *FS) extendLocked(cpu int, n *node, b []byte, off int64, sp telemetry.Span) error {
 	end := off + int64(len(b))
 	// 1. Make sure every block in [off, end) has a data page.
-	if err := fs.ensureBlocks(cpu, n, off, end); err != nil {
+	if err := fs.ensureBlocks(cpu, n, off, end, sp); err != nil {
 		return err
 	}
 	// 2. Copy the data (persisted).
-	if err := fs.copyOut(cpu, n, b, off, true); err != nil {
+	if err := fs.copyOut(cpu, n, b, off, true, sp); err != nil {
 		return err
 	}
 	// 3. Commit the new size.
@@ -227,19 +262,21 @@ func (fs *FS) extendLocked(cpu int, n *node, b []byte, off int64) error {
 // Holes are discovered as extents and filled as runs: one bulk grab
 // from the page cache, one index-tail lock and fence per run instead of
 // one of each per block.
-func (fs *FS) ensureBlocks(cpu int, n *node, off, end int64) error {
+func (fs *FS) ensureBlocks(cpu int, n *node, off, end int64, sp telemetry.Span) error {
 	if end <= off {
 		return nil
 	}
 	firstBlock := uint64(off / nvm.PageSize)
 	lastBlock := uint64((end - 1) / nvm.PageSize)
+	lk := sp.Child("index.lookup", "index")
 	var extbuf [16]index.Extent
 	exts := n.radix.GetRange(firstBlock, int(lastBlock-firstBlock)+1, extbuf[:0])
+	lk.End()
 	for _, e := range exts {
 		if e.Page != 0 {
 			continue
 		}
-		if err := fs.fillHole(cpu, n, e.Block, e.Count, off, end); err != nil {
+		if err := fs.fillHole(cpu, n, e.Block, e.Count, off, end, sp); err != nil {
 			return err
 		}
 	}
@@ -249,7 +286,7 @@ func (fs *FS) ensureBlocks(cpu int, n *node, off, end int64) error {
 // fillHole allocates, zeroes, links and indexes data pages for the hole
 // run [block, block+count), splitting at stripe-chunk boundaries so
 // each piece lands on its striping node.
-func (fs *FS) fillHole(cpu int, n *node, block uint64, count int, off, end int64) error {
+func (fs *FS) fillHole(cpu int, n *node, block uint64, count int, off, end int64, sp telemetry.Span) error {
 	for count > 0 {
 		node := fs.nodeForBlock(cpu, block)
 		k := count
@@ -258,7 +295,9 @@ func (fs *FS) fillHole(cpu int, n *node, block uint64, count int, off, end int64
 				k = int(chunkEnd - block)
 			}
 		}
+		ac := sp.Child("alloc.pages", "alloc")
 		pages, err := fs.allocRunOnNode(cpu, node, k)
+		ac.End()
 		if err != nil {
 			return err
 		}
@@ -274,12 +313,15 @@ func (fs *FS) fillHole(cpu int, n *node, block uint64, count int, off, end int64
 				}
 			}
 		}
+		lnk := sp.Child("index.link", "index")
 		if err := fs.linkRun(cpu, n, block, pages); err != nil {
+			lnk.End()
 			return err
 		}
 		for i, page := range pages {
 			n.radix.Put(block+uint64(i), uint64(page))
 		}
+		lnk.End()
 		block += uint64(k)
 		count -= k
 	}
@@ -388,10 +430,11 @@ func (fs *FS) growChain(cpu int, n *node, chainIdx int) error {
 // delegation batch (or directly, from the calling thread's node, for
 // small accesses), one range operation per physically contiguous page
 // run.
-func (fs *FS) copyOut(cpu int, n *node, b []byte, off int64, persist bool) error {
+func (fs *FS) copyOut(cpu int, n *node, b []byte, off int64, persist bool, sp telemetry.Span) error {
 	if len(b) == 0 {
 		return nil
 	}
+	dc := sp.Child("delegation.copyout", "delegation")
 	batch := fs.pool.NewBatch(fs.as, len(b), true, persist).WithView(fs.mem(cpu))
 	end := off + int64(len(b))
 	firstBlock := uint64(off / nvm.PageSize)
@@ -419,10 +462,13 @@ func (fs *FS) copyOut(cpu int, n *node, b []byte, off int64, persist bool) error
 		err = werr
 	}
 	batch.Release()
+	dc.End()
 	if err != nil {
 		return err
 	}
+	pc := sp.Child("nvm.persist", "nvm")
 	fs.as.Fence()
+	pc.End()
 	return nil
 }
 

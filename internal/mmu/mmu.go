@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"trio/internal/nvm"
+	"trio/internal/telemetry"
 )
 
 // Perm is a page permission.
@@ -185,6 +186,7 @@ func (as *AddressSpace) Mapped() int { return int(as.mapped.Load()) }
 // either completed or will observe the revocation (the shootdown
 // barrier), so the caller sees a frozen state.
 func (as *AddressSpace) Revoke() {
+	mShootdowns.Inc()
 	as.shoot.Lock()
 	as.revoked.Store(true)
 	as.UnmapAll()
@@ -195,10 +197,15 @@ func (as *AddressSpace) Revoke() {
 func (as *AddressSpace) Revoked() bool { return as.revoked.Load() }
 
 func (as *AddressSpace) check(p nvm.PageID, need Perm) error {
+	if telemetry.On() {
+		mChecks.IncOn(int(p))
+	}
 	if as.revoked.Load() {
+		mFaults.IncOn(int(p))
 		return fmt.Errorf("%w (page %d)", ErrRevoked, p)
 	}
 	if got := as.PermOf(p); got < need {
+		mFaults.IncOn(int(p))
 		return fmt.Errorf("%w: page %d needs %v, mapped %v", ErrFault, p, need, got)
 	}
 	return nil
@@ -228,7 +235,11 @@ func (as *AddressSpace) Write(p nvm.PageID, off int, data []byte) error {
 // starting at (p, off) with n bytes touches. Callers hold the shootdown
 // barrier shared across the check and the device operation.
 func (as *AddressSpace) checkSpan(p nvm.PageID, off, n int, need Perm) error {
+	if telemetry.On() {
+		mChecks.IncOn(int(p))
+	}
 	if as.revoked.Load() {
+		mFaults.IncOn(int(p))
 		return fmt.Errorf("%w (page %d)", ErrRevoked, p)
 	}
 	last := p
@@ -236,10 +247,12 @@ func (as *AddressSpace) checkSpan(p nvm.PageID, off, n int, need Perm) error {
 		last = p + nvm.PageID(uint64(off+n-1)/nvm.PageSize)
 	}
 	if uint64(last) >= uint64(len(as.perms)) {
+		mFaults.IncOn(int(p))
 		return fmt.Errorf("%w: page %d beyond device", ErrFault, last)
 	}
 	for q := p; q <= last; q++ {
 		if Perm(as.perms[q].Load()) < need {
+			mFaults.IncOn(int(q))
 			return fmt.Errorf("%w: page %d needs %v, mapped %v", ErrFault, q, need, Perm(as.perms[q].Load()))
 		}
 	}

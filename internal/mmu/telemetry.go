@@ -1,0 +1,13 @@
+// Telemetry instruments of the simulated MMU: permission checks (every
+// load/store pays one), faults raised (violations and revoked-space
+// accesses), and shootdowns (Revoke barriers). Checks shard by page
+// number so concurrent processes don't contend on one cacheline.
+package mmu
+
+import "trio/internal/telemetry"
+
+var (
+	mChecks     = telemetry.Default().NewCounter("mmu.checks")
+	mFaults     = telemetry.Default().NewCounter("mmu.faults")
+	mShootdowns = telemetry.Default().NewCounter("mmu.shootdowns")
+)

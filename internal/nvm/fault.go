@@ -55,6 +55,7 @@ func RetryTransient(op func() error) error {
 		if err = op(); !errors.Is(err, ErrDeviceBusy) {
 			return err
 		}
+		mRetries.Inc()
 		time.Sleep(delay)
 		delay *= 2
 	}
@@ -199,13 +200,19 @@ func (fp *FaultPlan) Fired() bool {
 // errors, busy persists, and the crash-point freeze itself).
 func (fp *FaultPlan) Faults() int64 { return fp.faults.Load() }
 
+// injected counts one injected fault, on the plan and in telemetry.
+func (fp *FaultPlan) injected() {
+	fp.faults.Add(1)
+	mFaults.Inc()
+}
+
 // readFault consults the plan for a load of page p.
 func (fp *FaultPlan) readFault(p PageID) error {
 	fp.mu.Lock()
 	defer fp.mu.Unlock()
 	for _, key := range [2]PageID{p, AllPages} {
 		if r, ok := fp.readRules[key]; ok && r.take() {
-			fp.faults.Add(1)
+			fp.injected()
 			return ErrMediaRead
 		}
 	}
@@ -221,7 +228,7 @@ func (fp *FaultPlan) writeFault(p PageID) error {
 	}
 	for _, key := range [2]PageID{p, AllPages} {
 		if r, ok := fp.writeRules[key]; ok && r.take() {
-			fp.faults.Add(1)
+			fp.injected()
 			return ErrMediaWrite
 		}
 	}
@@ -241,14 +248,14 @@ func (fp *FaultPlan) persistFault(p PageID) error {
 	for _, key := range [2]PageID{p, AllPages} {
 		if rem, ok := fp.delays[key]; ok && rem > 0 {
 			fp.delays[key] = rem - 1
-			fp.faults.Add(1)
+			fp.injected()
 			return ErrDeviceBusy
 		}
 	}
 	fp.points++
 	if fp.armAt > 0 && fp.points >= fp.armAt {
 		fp.fired = true
-		fp.faults.Add(1)
+		fp.injected()
 		return ErrCrashPoint
 	}
 	return nil
@@ -266,7 +273,7 @@ func (fp *FaultPlan) fencePoint() {
 	fp.points++
 	if fp.armAt > 0 && fp.points >= fp.armAt {
 		fp.fired = true
-		fp.faults.Add(1)
+		fp.injected()
 	}
 }
 
@@ -283,5 +290,5 @@ func (fp *FaultPlan) dropTear(line uint64) {
 	fp.mu.Lock()
 	defer fp.mu.Unlock()
 	delete(fp.tears, line)
-	fp.faults.Add(1)
+	fp.injected()
 }

@@ -29,6 +29,8 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+
+	"trio/internal/telemetry"
 )
 
 // ErrInjectedFailure is returned by WriteAt once an injected write
@@ -209,6 +211,10 @@ func (d *Device) ReadAt(fromNode int, p PageID, off int, buf []byte) error {
 		}
 	}
 	d.charge(fromNode, p, len(buf), false)
+	if telemetry.On() {
+		mReads.IncOn(fromNode)
+		mReadBytes.AddOn(fromNode, int64(len(buf)))
+	}
 	base := int(p)*PageSize + off
 	d.lockPage(p)
 	copy(buf, d.arena[base:base+len(buf)])
@@ -233,6 +239,10 @@ func (d *Device) WriteAt(fromNode int, p PageID, off int, data []byte) error {
 		}
 	}
 	d.charge(fromNode, p, len(data), true)
+	if telemetry.On() {
+		mWrites.IncOn(fromNode)
+		mWriteBytes.AddOn(fromNode, int64(len(data)))
+	}
 	base := int(p)*PageSize + off
 	d.lockPage(p)
 	if d.tracker != nil {
@@ -289,6 +299,10 @@ func (d *Device) ReadRange(fromNode int, p PageID, off int, buf []byte) error {
 		}
 	}
 	d.chargeSpan(fromNode, p, off, len(buf), false)
+	if telemetry.On() {
+		mReads.IncOn(fromNode)
+		mReadBytes.AddOn(fromNode, int64(len(buf)))
+	}
 	pos, q, pgOff := 0, p, off
 	for pos < len(buf) {
 		chunk := PageSize - pgOff
@@ -322,6 +336,10 @@ func (d *Device) WriteRange(fromNode int, p PageID, off int, data []byte) error 
 		return fmt.Errorf("nvm: device sealed (crash in progress)")
 	}
 	d.chargeSpan(fromNode, p, off, len(data), true)
+	if telemetry.On() {
+		mWrites.IncOn(fromNode)
+		mWriteBytes.AddOn(fromNode, int64(len(data)))
+	}
 	fp := d.plan.Load()
 	pos, q, pgOff := 0, p, off
 	for pos < len(data) {
@@ -363,6 +381,9 @@ func (d *Device) PersistRange(p PageID, off, n int) error {
 	}
 	if n <= 0 {
 		return nil
+	}
+	if telemetry.On() {
+		mPersists.IncOn(d.NodeOf(p))
 	}
 	fp := d.plan.Load()
 	pos, q, pgOff := 0, p, off
@@ -416,6 +437,9 @@ func (d *Device) chargeSpan(fromNode int, p PageID, off, n int, write bool) {
 // bounded backoff, see RetryTransient) or terminally with ErrCrashPoint
 // once the armed crash point fires; either way nothing was persisted.
 func (d *Device) Persist(p PageID, off, n int) error {
+	if telemetry.On() {
+		mPersists.IncOn(d.NodeOf(p))
+	}
 	fp := d.plan.Load()
 	if fp != nil {
 		if err := fp.persistFault(p); err != nil {
@@ -436,6 +460,9 @@ func (d *Device) Persist(p PageID, off, n int) error {
 // counts as a persist point for an installed fault plan's crash-point
 // scheduler).
 func (d *Device) Fence() {
+	if telemetry.On() {
+		mFences.Inc()
+	}
 	if fp := d.plan.Load(); fp != nil {
 		fp.fencePoint()
 	}
@@ -450,6 +477,7 @@ func (d *Device) charge(fromNode int, p PageID, n int, write bool) {
 		return
 	}
 	node := d.NodeOf(p)
+	mCharges.IncOn(node)
 	c := &d.inflight[node]
 	cur := c.n.Add(1)
 	d.cost.chargeAccess(fromNode, node, cur, n, write)

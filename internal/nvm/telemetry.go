@@ -1,0 +1,21 @@
+// Telemetry instruments of the simulated device, registered against the
+// process-wide default registry (disabled unless an operator turns it
+// on). Shard hints: accesses shard by the caller's NUMA node, cost
+// charges are per-shard keyed by the *target* node so the snapshot shows
+// the per-node charge distribution the cost model's contention and
+// remote-access penalties act on.
+package nvm
+
+import "trio/internal/telemetry"
+
+var (
+	mReads      = telemetry.Default().NewCounter("nvm.reads")
+	mReadBytes  = telemetry.Default().NewCounter("nvm.read_bytes")
+	mWrites     = telemetry.Default().NewCounter("nvm.writes")
+	mWriteBytes = telemetry.Default().NewCounter("nvm.write_bytes")
+	mPersists   = telemetry.Default().NewCounter("nvm.persists")
+	mFences     = telemetry.Default().NewCounter("nvm.fences")
+	mFaults     = telemetry.Default().NewCounter("nvm.faults_injected")
+	mRetries    = telemetry.Default().NewCounter("nvm.retries")
+	mCharges    = telemetry.Default().NewCounterPerShard("nvm.cost_charges")
+)

@@ -1,0 +1,29 @@
+package telemetry
+
+import (
+	"net/http"
+)
+
+// Handler exposes a registry over HTTP:
+//
+//	GET /metrics — the registry snapshot as JSON
+//	GET /trace   — the current trace ring as a Chrome trace_event file
+//
+// Callers mount it on their own mux (trio-top adds net/http/pprof next
+// to it behind its -http flag).
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.Snapshot().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteChromeTrace(w, TraceSnapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}

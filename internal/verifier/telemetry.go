@@ -1,0 +1,12 @@
+// Telemetry instruments of the integrity verifier: how many per-file
+// reports were produced, how many came back dirty, and the total
+// violation count across them. Sharded by inode number.
+package verifier
+
+import "trio/internal/telemetry"
+
+var (
+	mReports    = telemetry.Default().NewCounter("verifier.reports")
+	mBadReports = telemetry.Default().NewCounter("verifier.reports_bad")
+	mViolations = telemetry.Default().NewCounter("verifier.violations")
+)

@@ -32,6 +32,7 @@ import (
 
 	"trio/internal/core"
 	"trio/internal/nvm"
+	"trio/internal/telemetry"
 )
 
 // Violation describes one failed integrity check.
@@ -155,6 +156,15 @@ func (r *Report) addf(inv, format string, args ...any) {
 // name check for the root directory (whose dirent has no name).
 func (v *Verifier) VerifyFile(env Env, ino core.Ino, loc core.FileLoc, isRoot bool) (*Report, error) {
 	r := &Report{Ino: ino}
+	defer func() {
+		if telemetry.On() {
+			mReports.IncOn(int(ino))
+			if n := len(r.Violations); n > 0 {
+				mBadReports.IncOn(int(ino))
+				mViolations.AddOn(int(ino), int64(n))
+			}
+		}
+	}()
 
 	in, err := core.ReadDirentInode(v.mem, loc.Page, loc.Slot)
 	if err != nil {

@@ -15,6 +15,10 @@
 #      harness completes a -quick pass. A bench that fails to build or
 #      errors at runtime fails the gate — perf coverage must not rot
 #      silently.
+#   7. a telemetry-overhead smoke: the disabled-path micro-benchmarks
+#      must report 0 allocs/op (instrumentation on the hot paths must
+#      stay near-free when off), and a -quick datapath run is gated
+#      against BENCH_trio.json allocs/op — a regression fails loudly.
 #
 # Any failure stops the run with a non-zero exit.
 set -eu
@@ -31,7 +35,7 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrency-bearing packages)"
-go test -race ./internal/fstest/... ./internal/libfs/...
+go test -race ./internal/fstest/... ./internal/libfs/... ./internal/telemetry/... ./internal/controller/...
 
 echo "== fuzz smoke (verifier adversarial targets, 10s each)"
 go test -run='^$' -fuzz='^FuzzVerifyRegular$' -fuzztime=10s ./internal/verifier/
@@ -45,5 +49,18 @@ go test -run='^$' -bench='^$' ./... > /dev/null
 go test -run='^$' -bench='^BenchmarkDataPath' -benchtime=1x . > /dev/null
 # And the regression harness itself, end to end in quick mode.
 go run ./cmd/trio-bench -experiment datapath -quick -json /dev/null > /dev/null
+
+echo "== telemetry overhead smoke (disabled instruments must not allocate)"
+# The disabled-path micro-benchmarks report allocs/op with -benchmem;
+# any allocation on the disabled path is a regression.
+disabled_allocs=$(go test -run='^$' -bench='^BenchmarkTelemetryDisabled' -benchtime=100x -benchmem ./internal/telemetry/ \
+	| awk '/^BenchmarkTelemetryDisabled/ { n++; if ($(NF-1) + 0 != 0) bad = 1 } END { if (n == 0) bad = 1; print bad + 0 }')
+if [ "$disabled_allocs" != "0" ]; then
+	echo "FAIL: disabled telemetry path allocates (see benchmarks above)" >&2
+	exit 1
+fi
+# Gate the quick datapath run's allocs/op against the checked-in
+# baseline: new allocations on the hot paths fail here, loudly.
+go run ./cmd/trio-bench -experiment datapath -quick -baseline BENCH_trio.json > /dev/null
 
 echo "== all checks passed"
