@@ -23,10 +23,13 @@ vet:
 	$(GO) vet ./...
 
 # Adversarial fuzzing of the trusted verifier: random core-state
-# corruption must always terminate in a Report, never a panic/hang.
+# corruption must always terminate in a Report, never a panic/hang —
+# and of the scrubber: any nonzero bit flip in a sealed page must be
+# detected, and sealing must round-trip.
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzVerifyRegular$$' -fuzztime=10s ./internal/verifier/
 	$(GO) test -run='^$$' -fuzz='^FuzzVerifyDirectory$$' -fuzztime=10s ./internal/verifier/
+	$(GO) test -run='^$$' -fuzz='^FuzzScrubPage$$' -fuzztime=10s ./internal/verifier/
 
 # Data-path regression harness: per-op software overhead (cost model
 # off) across workloads × FS, rewritten into BENCH_trio.json so PRs

@@ -8,6 +8,8 @@
 //
 //	arckfsck            # build a clean tree, verify it
 //	arckfsck -corrupt   # inject index-chain corruption first
+//	arckfsck -scrub     # also run a full checksum scrub pass (ISSUE 5)
+//	arckfsck -rot       # flip a bit in a cold data page first (media rot)
 //	arckfsck -json      # machine-readable report + telemetry counters
 package main
 
@@ -32,11 +34,26 @@ type jsonReport struct {
 	Bad            int            `json:"bad"`
 	FirstViolation string         `json:"first_violation,omitempty"`
 	Consistent     bool           `json:"consistent"`
+	Scrub          *jsonScrub     `json:"scrub,omitempty"`
 	Telemetry      telemetry.Snap `json:"telemetry"`
+}
+
+// jsonScrub is the -scrub section of the JSON report: the pass verdict
+// plus CRC coverage of the live page set.
+type jsonScrub struct {
+	Pages       int     `json:"pages"`
+	Mismatches  int     `json:"mismatches"`
+	Repaired    int     `json:"repaired"`
+	Quarantined int     `json:"quarantined"`
+	Candidates  int     `json:"candidates"`
+	Covered     int     `json:"covered"`
+	Coverage    float64 `json:"coverage"`
 }
 
 func main() {
 	corrupt := flag.Bool("corrupt", false, "inject metadata corruption before checking")
+	scrub := flag.Bool("scrub", false, "run a full checksum scrub pass after the verifier")
+	rot := flag.Bool("rot", false, "flip one bit in a cold data page before checking (implies -scrub)")
 	asJSON := flag.Bool("json", false, "emit a JSON report (verdict + telemetry counters) on stdout")
 	flag.Parse()
 
@@ -106,13 +123,54 @@ func main() {
 		}
 	}
 
+	if *rot {
+		*scrub = true
+		fp := nvm.NewFaultPlan()
+		dev.SetFaultPlan(fp)
+		mem := core.Direct(dev, 0)
+		for _, fi := range ctl.Files() {
+			if fi.Type != core.TypeReg {
+				continue
+			}
+			in, err := core.ReadDirentInode(mem, fi.Loc.Page, fi.Loc.Slot)
+			if err != nil || in.Head == nvm.NilPage {
+				continue
+			}
+			var data nvm.PageID = nvm.NilPage
+			core.WalkFile(mem, in.Head, int(dev.NumPages()), nil,
+				func(_ uint64, p nvm.PageID) bool { data = p; return false })
+			if data == nvm.NilPage {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "injecting bit rot into ino %d (data page %d)\n", fi.Ino, data)
+			if err := fp.FlipBits(data, 42, 0x04); err != nil {
+				fatal(err)
+			}
+			break
+		}
+	}
+
 	checked, bad, first := ctl.VerifyAll()
+	var scrubRep *jsonScrub
+	if *scrub {
+		r := ctl.ScrubAll()
+		cov := 0.0
+		if r.Candidates > 0 {
+			cov = float64(r.Covered) / float64(r.Candidates)
+		}
+		scrubRep = &jsonScrub{
+			Pages: r.Checked, Mismatches: r.Mismatches,
+			Repaired: r.Repaired, Quarantined: r.Quarantined,
+			Candidates: r.Candidates, Covered: r.Covered, Coverage: cov,
+		}
+	}
 	if *asJSON {
 		rep := jsonReport{
 			Checked:        checked,
 			Bad:            bad,
 			FirstViolation: first,
 			Consistent:     bad == 0,
+			Scrub:          scrubRep,
 			Telemetry:      telemetry.Default().Snapshot(),
 		}
 		enc := json.NewEncoder(os.Stdout)
@@ -120,14 +178,23 @@ func main() {
 		if err := enc.Encode(rep); err != nil {
 			fatal(err)
 		}
-		if bad > 0 {
+		if bad > 0 || (scrubRep != nil && scrubRep.Quarantined > 0) {
 			os.Exit(1)
 		}
 		return
 	}
 	fmt.Printf("arckfsck: %d files checked, %d with violations\n", checked, bad)
+	if scrubRep != nil {
+		fmt.Printf("scrub: %d pages audited, %d mismatches (%d repaired, %d quarantined), CRC coverage %d/%d (%.0f%%)\n",
+			scrubRep.Pages, scrubRep.Mismatches, scrubRep.Repaired, scrubRep.Quarantined,
+			scrubRep.Covered, scrubRep.Candidates, 100*scrubRep.Coverage)
+	}
 	if bad > 0 {
 		fmt.Printf("first violation: %s\n", first)
+		os.Exit(1)
+	}
+	if scrubRep != nil && scrubRep.Quarantined > 0 {
+		fmt.Println("media corruption quarantined; file system metadata is consistent")
 		os.Exit(1)
 	}
 	fmt.Println("file system is consistent")

@@ -8,6 +8,7 @@
 //
 //	trio-top                          # 10 one-second refreshes
 //	trio-top -interval 500ms -n 0     # run until interrupted
+//	trio-top -rot 20                  # inject bit rot; watch the scrubber react
 //	trio-top -http :6060              # also serve /metrics, /trace, /debug/pprof
 //	trio-top -trace top.trace.json    # record spans, write a Chrome trace
 //
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"trio/internal/controller"
+	"trio/internal/core"
 	"trio/internal/delegation"
 	"trio/internal/libfs"
 	"trio/internal/nvm"
@@ -39,6 +41,7 @@ func main() {
 		interval  = flag.Duration("interval", time.Second, "refresh interval")
 		count     = flag.Int("n", 10, "number of refreshes (0 = run until interrupted)")
 		workers   = flag.Int("workers", 4, "workload goroutines")
+		rotMax    = flag.Int("rot", 0, "flip one bit in a random cold page per interval, up to this many (shows scrub detection live)")
 		httpAddr  = flag.String("http", "", "serve /metrics, /trace and /debug/pprof on this address")
 		tracePath = flag.String("trace", "", "record spans; write a Chrome trace_event file on exit")
 	)
@@ -68,10 +71,17 @@ func main() {
 		*workers = 1
 	}
 	dev := nvm.MustNewDevice(nvm.Config{Nodes: 2, PagesPerNode: 1 << 15})
-	ctl, err := controller.New(dev, controller.Options{})
+	// The background sweeper doubles as the scrub scheduler: one
+	// rate-limited checksum audit slice runs per sweep period.
+	ctl, err := controller.New(dev, controller.Options{
+		LeaseSweep:    50 * time.Millisecond,
+		RecallTimeout: 25 * time.Millisecond,
+	})
 	if err != nil {
 		fatal(err)
 	}
+	fp := nvm.NewFaultPlan()
+	dev.SetFaultPlan(fp)
 	pool := delegation.NewPool(dev, 2)
 	fs, err := libfs.New(ctl.Register(1000, 1000, 0, 0),
 		libfs.Config{CPUs: *workers, Pool: pool, Stripe: true})
@@ -117,29 +127,90 @@ func main() {
 		}(w)
 	}
 
+	// A second trust domain scans the workers' trees: the resulting
+	// recalls force unmaps, so files keep crossing the verify-adopt-seal
+	// boundary and the scrubber always has cold, sealed pages to vouch
+	// for (and the -rot injector something to corrupt).
+	scanner, err := libfs.New(ctl.Register(2000, 2000, 1, 1), libfs.Config{CPUs: 1})
+	if err != nil {
+		fatal(err)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer scanner.Close()
+		cl := scanner.NewClient(0)
+		for !stop.Load() {
+			for w := 0; w < *workers; w++ {
+				cl.ReadDir(fmt.Sprintf("/w%d", w))
+				for i := 0; i < 8; i++ {
+					cl.Stat(fmt.Sprintf("/w%d/f%d", w, i))
+				}
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	// The rot injector: a deliberately silent FlipBits into a random
+	// sealed (cold) page per refresh, so the scrub columns demonstrate
+	// detection, repair and quarantine in real time.
+	rotRNG := rand.New(rand.NewSource(42))
+	rotLeft := *rotMax
+	injectRot := func() {
+		if rotLeft <= 0 {
+			return
+		}
+		mem := core.Direct(dev, 0)
+		total := dev.NumPages()
+		var sealed []nvm.PageID
+		for p := nvm.PageID(core.FirstFilePage); p < core.ChecksumBase(total); p++ {
+			if rec, err := core.LoadChecksum(mem, total, p); err == nil && core.ChecksumSealed(rec) {
+				sealed = append(sealed, p)
+			}
+		}
+		if len(sealed) == 0 {
+			return
+		}
+		p := sealed[rotRNG.Intn(len(sealed))]
+		if fp.FlipBits(p, rotRNG.Intn(nvm.PageSize), 1<<rotRNG.Intn(8)) == nil {
+			rotLeft--
+		}
+	}
+
 	prev := telemetry.Default().Snapshot()
+	prevCS := ctl.Stats().Snapshot()
 	for tick := 0; *count == 0 || tick < *count; tick++ {
+		injectRot()
 		time.Sleep(*interval)
 		cur := telemetry.Default().Snapshot()
 		d := cur.Sub(prev)
 		prev = cur
+		cs := ctl.Stats().Snapshot()
+		dcs := cs.Sub(prevCS)
+		prevCS = cs
 		secs := *interval / time.Millisecond
 		rate := func(name string) float64 {
 			return float64(d.Get(name)) * 1000 / float64(secs)
 		}
-		if tick%20 == 0 {
-			fmt.Printf("%10s %10s %9s %9s %10s %10s %10s %9s %10s\n",
-				"read/s", "write/s", "rd p99ns", "wr p99ns",
-				"nvm wr/s", "persist/s", "alloc pg/s", "deleg/s", "mmu chk/s")
+		csRate := func(v int64) float64 {
+			return float64(v) * 1000 / float64(secs)
 		}
-		fmt.Printf("%10.0f %10.0f %9d %9d %10.0f %10.0f %10.0f %9.0f %10.0f\n",
+		if tick%20 == 0 {
+			fmt.Printf("%10s %10s %9s %9s %10s %10s %10s %9s %10s %9s %7s %7s %7s\n",
+				"read/s", "write/s", "rd p99ns", "wr p99ns",
+				"nvm wr/s", "persist/s", "alloc pg/s", "deleg/s", "mmu chk/s",
+				"scrub/s", "detect", "repair", "quar")
+		}
+		fmt.Printf("%10.0f %10.0f %9d %9d %10.0f %10.0f %10.0f %9.0f %10.0f %9.0f %7d %7d %7d\n",
 			rate("libfs.read_ops"), rate("libfs.write_ops"),
 			d.Hist("libfs.read_ns").Quantile(0.99),
 			d.Hist("libfs.write_ns").Quantile(0.99),
 			rate("nvm.writes"), rate("nvm.persists"),
 			rate("alloc.pages_out"),
 			rate("delegation.batches_delegated")+rate("delegation.batches_inline"),
-			rate("mmu.checks"))
+			rate("mmu.checks"),
+			csRate(dcs.ScrubPages),
+			cs.ScrubDetected, cs.ScrubRepaired, cs.ScrubQuarantined)
 	}
 
 	stop.Store(true)

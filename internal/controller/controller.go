@@ -73,6 +73,15 @@ type Options struct {
 	// even when no Map call is contending. Zero (the default) keeps
 	// enforcement purely on-demand; Controller.Close stops the sweeper.
 	LeaseSweep time.Duration
+	// ScrubPagesPerSweep rate-limits the online integrity scrubber: how
+	// many pages each background sweep audits against the checksum
+	// table. 0 derives a budget from the NVM cost model (a few percent
+	// of one sweep period's read bandwidth, so scrubbing never collapses
+	// tenant throughput); negative disables background scrubbing
+	// entirely (crash-sweep rigs need this — scrub seals persist records
+	// at nondeterministic points). ScrubAll remains available either
+	// way. Scrubbing only runs when LeaseSweep starts the sweeper.
+	ScrubPagesPerSweep int
 }
 
 func (o *Options) fill() {
@@ -119,6 +128,13 @@ type fileState struct {
 
 	checkpoint  *checkpoint
 	quarantined LibFSID // non-zero once corruption made it private
+
+	// corrupt marks a file the scrubber found latently damaged (a sealed
+	// CRC disagreed with the media) and could not repair. Every MapFile
+	// fails with ErrCorrupt — garbage is never served — until a remount
+	// rebuilds the state (and the next scrub pass re-quarantines it if
+	// the damage persists).
+	corrupt bool
 }
 
 // checkpoint snapshots a file's metadata when write access is granted
@@ -210,6 +226,11 @@ type Controller struct {
 	pageAlloc *alloc.PageAlloc
 	inoAlloc  *alloc.InoAlloc
 
+	// scrubber audits pages against the checksum table; scrubCursor is
+	// where the next background sweep resumes its incremental walk.
+	scrubber    *verifier.Scrubber
+	scrubCursor nvm.PageID
+
 	nextLibFS LibFSID
 	nextGroup GroupID
 
@@ -248,7 +269,10 @@ func New(dev *nvm.Device, opts Options) (*Controller, error) {
 			return nil, ferr
 		}
 	}
-	c.pageAlloc = alloc.NewPageAlloc(core.FirstFilePage, dev.NumPages(), opts.CPUs)
+	// The checksum table occupies the device's last pages; the allocator
+	// must never hand them out as file pages.
+	c.pageAlloc = alloc.NewPageAlloc(core.FirstFilePage, core.ChecksumBase(dev.NumPages()), opts.CPUs)
+	c.scrubber = verifier.NewScrubber(dev)
 
 	maxIno, err := c.scanTree()
 	if err != nil {
@@ -431,8 +455,13 @@ func (c *Controller) Register(uid, gid uint32, node int, group GroupID) *Session
 		pageRefs:   make(map[nvm.PageID]int),
 		revoked:    make(map[core.Ino]bool),
 	}
-	// Every LibFS can read the superblock (§4.1).
+	// Every LibFS can read the superblock (§4.1) and the checksum table
+	// (read-only: records are maintained by the controller and the
+	// scrubber; a LibFS only consults them for optional read-path
+	// verification, so no tenant can stomp another tenant's CRCs).
 	ls.as.Map(0, 1, mmu.PermRead)
+	tb := core.ChecksumBase(c.dev.NumPages())
+	ls.as.Map(tb, int(c.dev.NumPages()-tb), mmu.PermRead)
 	c.libfses[id] = ls
 	return &Session{c: c, ls: ls}
 }

@@ -49,6 +49,11 @@ func (s *Session) MapFile(ino core.Ino, loc core.FileLoc, write bool) (*MapInfo,
 	if fs.quarantined != 0 && fs.quarantined != s.ls.id {
 		return nil, ErrQuarantined
 	}
+	if fs.corrupt {
+		// The scrubber found latent media corruption it could not repair
+		// (ISSUE 5): the file is poisoned, never silently served.
+		return nil, fmt.Errorf("%w: ino %d has unrepairable media corruption", ErrCorrupt, fs.ino)
+	}
 
 	// Idempotent re-map: an existing mapping that already satisfies the
 	// request is returned as-is; an upgrade (read→write) releases the
@@ -106,6 +111,10 @@ func (s *Session) MapFile(ino core.Ino, loc core.FileLoc, write bool) (*MapInfo,
 		fs.writerGroup = s.ls.group
 		fs.writerSince = time.Now()
 		c.checkpointLocked(fs, &in)
+		// Checksum-behind: every granted page's record opens (durably)
+		// before the LibFS can issue its first store, so no sealed CRC
+		// can be invalidated by a write the scrubber doesn't know about.
+		c.openGrantedLocked(pages)
 	} else {
 		fs.readers[s.ls.id] = true
 	}
@@ -326,6 +335,16 @@ func (c *Controller) unmapLocked(ls *libfsState, ino core.Ino) error {
 	fs.checkpoint = nil
 	fs.recallAt = time.Time{} // the holder complied; recall resolved
 	delete(ls.mapped, ino)
+	// The writer is gone and its stores are durable (every LibFS write
+	// persists before returning); seal the file's pages so the scrubber
+	// can vouch for them from here on. Pages another session still
+	// write-maps stay open.
+	sealSet := make([]nvm.PageID, 0, len(fs.pages)+len(m.pages))
+	for p := range fs.pages {
+		sealSet = append(sealSet, p)
+	}
+	sealSet = append(sealSet, m.pages...)
+	c.sealQuiescentLocked(sealSet)
 	return nil
 }
 
@@ -486,6 +505,15 @@ func (c *Controller) adoptChildLocked(parent *fileState, ls *libfsState, ch *ver
 		}
 		c.pageOwner[p] = ch.Ino
 	}
+	// Adoption is the moment the creator's implicit pool write access
+	// ends: seal the child's now-quiescent pages so the scrubber (and
+	// VerifyReads readers) can vouch for them. Pages a session still
+	// write-maps are skipped inside sealQuiescentLocked.
+	sealSet := make([]nvm.PageID, 0, len(cfs.pages))
+	for p := range cfs.pages {
+		sealSet = append(sealSet, p)
+	}
+	c.sealQuiescentLocked(sealSet)
 	c.files[ch.Ino] = cfs
 	if _, ok := c.shadow[ch.Ino]; !ok {
 		// Credentials: the LibFS the ino was issued to (it may differ

@@ -429,6 +429,10 @@ func (c *Controller) sweeper() {
 			return
 		case <-t.C:
 			c.sweepOnce()
+			// One rate-limited scrub slice per sweep period (ISSUE 5):
+			// the budget bounds how much tenant read bandwidth the
+			// integrity audit may consume.
+			c.scrubNow()
 		}
 	}
 }

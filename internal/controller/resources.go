@@ -24,6 +24,7 @@ func (s *Session) AllocPages(cpu, n int) ([]nvm.PageID, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.c.openGrantedLocked(pages)
 	for _, p := range pages {
 		s.ls.allocPages[p] = true
 		s.ls.refPageLocked(p, mmu.PermWrite)
@@ -45,6 +46,7 @@ func (s *Session) AllocPagesOnNode(cpu, n, node int) ([]nvm.PageID, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.c.openGrantedLocked(pages)
 	for _, p := range pages {
 		s.ls.allocPages[p] = true
 		s.ls.refPageLocked(p, mmu.PermWrite)

@@ -41,6 +41,15 @@ type Stats struct {
 	ReapQuarantines *telemetry.Counter // files quarantined because rollback could not restore them
 	LeaseRecalls    *telemetry.Counter // cooperative recall requests sent to lease holders
 	LeaseExpiries   *telemetry.Counter // per-file forcible revocations after lease+recall deadlines
+
+	// Online integrity scrubbing (ISSUE 5).
+	ScrubPasses      *telemetry.Counter // background scrub slices run
+	ScrubPages       *telemetry.Counter // pages audited (CRC computed)
+	ScrubSealed      *telemetry.Counter // records sealed (coverage growth)
+	ScrubDetected    *telemetry.Counter // sealed-CRC mismatches found
+	ScrubRepaired    *telemetry.Counter // mismatches healed from redundancy
+	ScrubQuarantined *telemetry.Counter // mismatches that poisoned a file
+	ScrubNS          *telemetry.Counter // time spent in background slices
 }
 
 func newStats() *Stats {
@@ -68,6 +77,14 @@ func newStats() *Stats {
 		ReapQuarantines: reg.NewCounter("controller.reap_quarantines"),
 		LeaseRecalls:    reg.NewCounter("controller.lease_recalls"),
 		LeaseExpiries:   reg.NewCounter("controller.lease_expiries"),
+
+		ScrubPasses:      reg.NewCounter("controller.scrub_passes"),
+		ScrubPages:       reg.NewCounter("controller.scrub_pages"),
+		ScrubSealed:      reg.NewCounter("controller.scrub_sealed"),
+		ScrubDetected:    reg.NewCounter("controller.scrub_detected"),
+		ScrubRepaired:    reg.NewCounter("controller.scrub_repaired"),
+		ScrubQuarantined: reg.NewCounter("controller.scrub_quarantined"),
+		ScrubNS:          reg.NewCounter("controller.scrub_ns"),
 	}
 }
 
@@ -110,6 +127,9 @@ type Snapshot struct {
 	Checkpoints, Corruptions, Fixed, Rollbacks      int64
 	Reaps, ReapVerifies, ReapQuarantines            int64
 	LeaseRecalls, LeaseExpiries                     int64
+	ScrubPasses, ScrubPages, ScrubSealed            int64
+	ScrubDetected, ScrubRepaired, ScrubQuarantined  int64
+	ScrubTime                                       time.Duration
 }
 
 // Snapshot copies the counters through one registry snapshot: every
@@ -135,6 +155,14 @@ func (s *Stats) Snapshot() Snapshot {
 		ReapQuarantines: snap.Get("controller.reap_quarantines"),
 		LeaseRecalls:    snap.Get("controller.lease_recalls"),
 		LeaseExpiries:   snap.Get("controller.lease_expiries"),
+
+		ScrubPasses:      snap.Get("controller.scrub_passes"),
+		ScrubPages:       snap.Get("controller.scrub_pages"),
+		ScrubSealed:      snap.Get("controller.scrub_sealed"),
+		ScrubDetected:    snap.Get("controller.scrub_detected"),
+		ScrubRepaired:    snap.Get("controller.scrub_repaired"),
+		ScrubQuarantined: snap.Get("controller.scrub_quarantined"),
+		ScrubTime:        time.Duration(snap.Get("controller.scrub_ns")),
 	}
 }
 
@@ -159,5 +187,13 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		ReapQuarantines: s.ReapQuarantines - prev.ReapQuarantines,
 		LeaseRecalls:    s.LeaseRecalls - prev.LeaseRecalls,
 		LeaseExpiries:   s.LeaseExpiries - prev.LeaseExpiries,
+
+		ScrubPasses:      s.ScrubPasses - prev.ScrubPasses,
+		ScrubPages:       s.ScrubPages - prev.ScrubPages,
+		ScrubSealed:      s.ScrubSealed - prev.ScrubSealed,
+		ScrubDetected:    s.ScrubDetected - prev.ScrubDetected,
+		ScrubRepaired:    s.ScrubRepaired - prev.ScrubRepaired,
+		ScrubQuarantined: s.ScrubQuarantined - prev.ScrubQuarantined,
+		ScrubTime:        s.ScrubTime - prev.ScrubTime,
 	}
 }

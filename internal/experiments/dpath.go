@@ -21,10 +21,12 @@ import (
 	"sort"
 	"time"
 
+	"trio/internal/core"
 	"trio/internal/fpfs"
 	"trio/internal/fsapi"
 	"trio/internal/fsfactory"
 	"trio/internal/kvfs"
+	"trio/internal/nvm"
 )
 
 // DataPathResult is one workload × FS measurement.
@@ -242,6 +244,142 @@ func (a fpfsClientAdapter) Mkdir(path string, mode uint16) error {
 	return a.fs.Mkdir(a.cpu, path, mode)
 }
 
+// runVerifiedReads measures the read-path CRC verification overhead
+// (Config.VerifyReads, ISSUE 5). The same sealed working set is read
+// twice — verification off ("arckfs-ro") and on ("arckfs-verify") — so
+// BENCH_trio.json carries the delta directly. The file must be sealed
+// (unmap → verify → adopt → seal) and opened read-only: a write grant
+// reopens the checksum records and the verifier would skip the compare,
+// measuring nothing but the record load.
+func runVerifiedReads(p Params) ([]DataPathResult, error) {
+	var out []DataPathResult
+	for _, v := range []struct {
+		fs     string
+		verify bool
+	}{{"arckfs-ro", false}, {"arckfs-verify", true}} {
+		inst, err := fsfactory.New("arckfs", fsfactory.Config{
+			Nodes: 2, PagesPerNode: 16384, CPUs: 8, Cost: !p.NoCost,
+			WorkersPerNode: 2, VerifyReads: v.verify,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := verifiedReadPass(p, v.fs, inst)
+		inst.Close()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res...)
+	}
+	return out, nil
+}
+
+// verifiedReadPass builds, seals and measures one read-only instance.
+func verifiedReadPass(p Params, fs string, inst *fsfactory.Instance) ([]DataPathResult, error) {
+	c := inst.NewClient(0)
+	const dir = "/sealed-bench"
+	if err := c.Mkdir(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := c.Create(dir+"/data", 0o644)
+	if err != nil {
+		return nil, err
+	}
+	chunk := make([]byte, 1<<20)
+	for off := int64(0); off < dpathFile; off += int64(len(chunk)) {
+		if _, err := f.WriteAt(chunk, off); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	f.Close()
+
+	// Hand the tree to the controller so the data pages seal: unmapping
+	// a directory verifies it and adopts (and seals) its children.
+	sess := inst.Arck.Session()
+	if err := sess.UnmapFile(core.RootIno); err != nil {
+		return nil, err
+	}
+	for prev := -1; ; {
+		files := inst.Ctl.Files()
+		if len(files) == prev {
+			break
+		}
+		prev = len(files)
+		for _, fi := range files {
+			if fi.Type != core.TypeDir || fi.Ino == core.RootIno {
+				continue
+			}
+			if _, err := sess.MapFile(fi.Ino, fi.Loc, true); err == nil {
+				sess.UnmapFile(fi.Ino)
+			}
+		}
+	}
+	// The measurement is only honest if the pages really sealed: an
+	// open record short-circuits the verifier and the two variants
+	// would measure the same thing.
+	mem := core.Direct(inst.Dev, 0)
+	total := inst.Dev.NumPages()
+	sealed, data := 0, 0
+	for _, fi := range inst.Ctl.Files() {
+		if fi.Type != core.TypeReg {
+			continue
+		}
+		in, err := core.ReadDirentInode(mem, fi.Loc.Page, fi.Loc.Slot)
+		if err != nil {
+			return nil, err
+		}
+		err = core.WalkFile(mem, in.Head, int(total), nil,
+			func(_ uint64, pg nvm.PageID) bool {
+				data++
+				if rec, err := core.LoadChecksum(mem, total, pg); err == nil && core.ChecksumSealed(rec) {
+					sealed++
+				}
+				return true
+			})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if data == 0 || sealed != data {
+		return nil, fmt.Errorf("%s: working set not sealed (%d/%d pages)", fs, sealed, data)
+	}
+
+	rf, err := c.Open(dir+"/data", false)
+	if err != nil {
+		return nil, err
+	}
+	defer rf.Close()
+	var out []DataPathResult
+	rng := rand.New(rand.NewSource(42))
+	for _, bs := range []int{4 << 10, 64 << 10, 1 << 20} {
+		bs := bs
+		buf := make([]byte, bs)
+		blocks := int64(dpathFile / bs)
+		label := sizeLabel(bs)
+		seq := func(i int64) int64 { return (i % blocks) * int64(bs) }
+		rnd := func(int64) int64 { return rng.Int63n(blocks) * int64(bs) }
+		for _, w := range []struct {
+			name string
+			off  func(int64) int64
+		}{
+			{"seqread-" + label, seq},
+			{"randread-" + label, rnd},
+		} {
+			w := w
+			r, err := measure(p, fs, w.name, bs, func(i int64) error {
+				_, err := rf.ReadAt(buf, w.off(i))
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
 // runKVWorkloads measures KVFS's customized get/set interface.
 func runKVWorkloads(p Params, kv *kvfs.FS) ([]DataPathResult, error) {
 	var out []DataPathResult
@@ -334,6 +472,13 @@ func RunDataPath(w io.Writer, p Params) ([]DataPathResult, error) {
 	if err := inst.Close(); err != nil {
 		return nil, err
 	}
+
+	// The sealed read-only pair: VerifyReads off vs on (ISSUE 5).
+	res, err = runVerifiedReads(p)
+	if err != nil {
+		return nil, err
+	}
+	all = append(all, res...)
 
 	rows := make([][]string, 0, len(all))
 	for _, r := range all {

@@ -25,6 +25,11 @@ var (
 	// transient-busy retries, a frozen crashed device) surface through
 	// the file-system API: as an error, never a panic.
 	ErrIO = errors.New("fsapi: input/output error")
+	// ErrCorrupt is returned instead of data whose end-to-end checksum
+	// disagrees with the media: the scrubber quarantined the file, or a
+	// read-path CRC verification failed. Corrupt bytes are never
+	// silently served.
+	ErrCorrupt = errors.New("fsapi: data failed integrity check")
 )
 
 // FileInfo is the stat(2) result.

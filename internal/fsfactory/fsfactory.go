@@ -30,6 +30,9 @@ type Config struct {
 	Cost bool
 	// WorkersPerNode sizes delegation pools (ArckFS, OdinFS).
 	WorkersPerNode int
+	// VerifyReads enables read-path CRC verification in the ArckFS
+	// LibFS (ISSUE 5); ignored by every other FS.
+	VerifyReads bool
 }
 
 func (c *Config) fill() {
@@ -130,7 +133,7 @@ func NewOnDevice(name string, dev *nvm.Device, cfg Config) (*Instance, error) {
 		if err != nil {
 			return nil, err
 		}
-		lcfg := libfs.Config{CPUs: cfg.CPUs}
+		lcfg := libfs.Config{CPUs: cfg.CPUs, VerifyReads: cfg.VerifyReads}
 		var pool *delegation.Pool
 		if name == "arckfs" {
 			pool = delegation.NewPool(dev, cfg.WorkersPerNode)

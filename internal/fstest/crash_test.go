@@ -1,6 +1,7 @@
 package fstest
 
 import (
+	"fmt"
 	"testing"
 
 	"trio/internal/controller"
@@ -49,6 +50,22 @@ func (r *arckRig) recover() error {
 	return nil
 }
 
+// verifyAll is the post-recovery integrity gate: the verifier must pass
+// every file, and then a full scrub pass must find zero sealed-checksum
+// mismatches — a mismatch here means the checksum-behind protocol lost
+// crash consistency (a sealed record vouching for content that never
+// became durable, i.e. false corruption).
+func (r *arckRig) verifyAll() (int, string) {
+	_, bad, first := r.ctl.VerifyAll()
+	if bad != 0 {
+		return bad, first
+	}
+	if rep := r.ctl.ScrubAll(); rep.Mismatches != 0 {
+		return rep.Mismatches, fmt.Sprintf("%d sealed checksum mismatches after crash recovery", rep.Mismatches)
+	}
+	return 0, ""
+}
+
 func (r *arckRig) crashEnv() *CrashEnv {
 	return &CrashEnv{
 		FS:  r.fs,
@@ -59,10 +76,7 @@ func (r *arckRig) crashEnv() *CrashEnv {
 			}
 			return r.fs, nil
 		},
-		Verify: func() (int, string) {
-			_, bad, first := r.ctl.VerifyAll()
-			return bad, first
-		},
+		Verify: r.verifyAll,
 		Remount: func() error {
 			// A reboot: a fresh controller scans and adopts the on-NVM
 			// state with no memory of the pre-crash processes.
@@ -134,10 +148,7 @@ func TestCrashRecoveryKVFS(t *testing.T) {
 				}
 				return kvfs.New(r.fs, "/kv")
 			},
-			Verify: func() (int, string) {
-				_, bad, first := r.ctl.VerifyAll()
-				return bad, first
-			},
+			Verify: r.verifyAll,
 		}
 	})
 }

@@ -2,6 +2,8 @@ package journal
 
 import (
 	"bytes"
+	"encoding/binary"
+	"strings"
 	"testing"
 
 	"trio/internal/core"
@@ -177,5 +179,119 @@ func TestMultipleSequentialTransactions(t *testing.T) {
 	}
 	if !bytes.Equal(buf, []byte{10}) {
 		t.Fatal("unexpected")
+	}
+}
+
+// TestTornTailRecordRecoversBounded crashes with the tail undo record's
+// cacheline torn mid-persist (keep=0: the line reverts to its old, zero
+// bytes). Recovery must stay bounded: the intact prefix record rolls
+// back, the torn tail decodes as an empty record, and Recover neither
+// panics nor scribbles outside the logged locations.
+func TestTornTailRecordRecoversBounded(t *testing.T) {
+	m, dev, j := setup(t)
+	oldA := bytes.Repeat([]byte{0xAA}, 32)
+	oldB := bytes.Repeat([]byte{0xBB}, 16)
+	m.Write(20, 0, oldA)
+	m.Write(21, 100, oldB)
+	m.Persist(20, 0, len(oldA))
+	m.Persist(21, 100, len(oldB))
+	m.Fence()
+
+	// Record A fills [16, 64); record B starts exactly on the second
+	// cacheline of the journal page, which the tear wipes at crash.
+	fp := nvm.NewFaultPlan()
+	fp.TearLine(j.Page(), nvm.CacheLineSize, 0)
+	dev.SetFaultPlan(fp)
+
+	tx := j.Begin()
+	if err := tx.LogUndoValue(20, 0, oldA); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.LogUndoValue(21, 100, oldB); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	newA := bytes.Repeat([]byte{0x11}, 32)
+	newB := bytes.Repeat([]byte{0x22}, 16)
+	m.Write(20, 0, newA)
+	m.Write(21, 100, newB)
+	m.Persist(20, 0, len(newA))
+	m.Persist(21, 100, len(newB))
+	m.Fence()
+
+	dev.Tracker().Crash()
+	dev.SetFaultPlan(nil)
+	if fp.Faults() == 0 {
+		t.Fatal("tear never fired: record B's line was never persisted?")
+	}
+
+	applied, err := Attach(m, j.Page()).Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if applied != 2 {
+		t.Fatalf("applied %d records, want 2 (intact A + empty torn tail)", applied)
+	}
+	got := make([]byte, 32)
+	m.Read(20, 0, got)
+	if !bytes.Equal(got, oldA) {
+		t.Fatalf("location A not rolled back: %x", got[:8])
+	}
+	// The torn tail lost B's undo image: location B keeps the new bytes
+	// — the documented ambiguity; the op-level protocols above tolerate
+	// it because the arm word and the mutations it guards are ordered.
+	m.Read(21, 100, got[:16])
+	if !bytes.Equal(got[:16], newB) {
+		t.Fatalf("location B unexpectedly changed: %x", got[:8])
+	}
+}
+
+// TestCorruptTailRecordLengthRejected hands Recover an armed journal
+// whose tail record claims an absurd length (bit rot or an adversarial
+// LibFS scribbling its own journal page). Replay must apply the intact
+// prefix, then fail with the typed bounded error instead of reading
+// past the page.
+func TestCorruptTailRecordLengthRejected(t *testing.T) {
+	m, _, j := setup(t)
+	oldA := []byte("AAAA")
+	m.Write(20, 0, oldA)
+	m.Persist(20, 0, len(oldA))
+	m.Fence()
+
+	tx := j.Begin()
+	if err := tx.LogUndoValue(20, 0, oldA); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.LogUndoValue(21, 100, []byte("BBBB")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	m.Write(20, 0, []byte("1111"))
+	m.Persist(20, 0, 4)
+	m.Fence()
+
+	// Rot the tail record's length field: record A spans [16, 36), so
+	// record B's header starts at 36 with its u32 length at +12.
+	var huge [4]byte
+	binary.LittleEndian.PutUint32(huge[:], 0x7fffff00)
+	m.Write(j.Page(), 36+12, huge[:])
+	m.Persist(j.Page(), 36+12, 4)
+	m.Fence()
+
+	applied, err := Attach(m, j.Page()).Recover()
+	if err == nil || !strings.Contains(err.Error(), "journal: corrupt record") {
+		t.Fatalf("recover: %v, want the bounded corrupt-record error", err)
+	}
+	if applied != 1 {
+		t.Fatalf("applied %d records before the corrupt tail, want 1", applied)
+	}
+	got := make([]byte, 4)
+	m.Read(20, 0, got)
+	if !bytes.Equal(got, oldA) {
+		t.Fatalf("intact prefix record not applied: %q", got)
 	}
 }

@@ -112,6 +112,7 @@ func (h *Handle) ReadAt(b []byte, off int64) (int, error) {
 		// check, one cost charge), and each hole is one clear().
 		lk := sp.Child("index.lookup", "index")
 		batch := fs.pool.NewBatch(fs.as, int(count), false, false).WithView(fs.mem(h.c.cpu))
+		var checks []crcCheck // read-path CRC audits (Config.VerifyReads)
 		firstBlock := uint64(off / nvm.PageSize)
 		nBlocks := int(uint64((off+count-1)/nvm.PageSize)-firstBlock) + 1
 		for it := n.radix.Extents(firstBlock, nBlocks); it.Next(); {
@@ -131,6 +132,10 @@ func (h *Handle) ReadAt(b []byte, off int64) (int, error) {
 			}
 			skip := lo - extStart
 			page := nvm.PageID(e.Page) + nvm.PageID(skip/nvm.PageSize)
+			if fs.cfg.VerifyReads {
+				// Record loads must precede the data reads (see verify.go).
+				checks = fs.collectCRCChecks(checks, b, off, lo, hi, extStart, nvm.PageID(e.Page))
+			}
 			batch.ReadRange(page, int(skip%nvm.PageSize), dst)
 		}
 		lk.End()
@@ -140,6 +145,11 @@ func (h *Handle) ReadAt(b []byte, off int64) (int, error) {
 		batch.Release()
 		if err != nil {
 			return err
+		}
+		if len(checks) > 0 {
+			if err := fs.verifyCRCChecks(h.c.cpu, checks); err != nil {
+				return err
+			}
 		}
 		total = int(count)
 		return nil

@@ -50,6 +50,11 @@ type Config struct {
 	// PageBatch / InoBatch size the per-CPU allocation caches.
 	PageBatch int
 	InoBatch  int
+	// VerifyReads cross-checks every fully-covered page of a ReadAt
+	// against its sealed per-page CRC record before returning the bytes
+	// (fsapi.ErrCorrupt on mismatch). Off by default, gated like
+	// telemetry; the measured overhead lives in EXPERIMENTS.md.
+	VerifyReads bool
 }
 
 func (c *Config) fill() {
@@ -549,6 +554,10 @@ func mapControllerErr(err error) error {
 		return fmt.Errorf("%w: %v", fsapi.ErrNotExist, err)
 	case errors.Is(err, controller.ErrNotEmpty):
 		return fsapi.ErrNotEmpty
+	case errors.Is(err, controller.ErrCorrupt), errors.Is(err, controller.ErrQuarantined):
+		// The scrubber (or a sharing-time verification) condemned the
+		// file; surface the typed corruption error, never the bytes.
+		return fmt.Errorf("%w: %v", fsapi.ErrCorrupt, err)
 	case errors.Is(err, controller.ErrSessionDead):
 		// The process behind this session is gone as far as the kernel
 		// is concerned; every syscall is an I/O error from here on.

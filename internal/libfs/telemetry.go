@@ -15,4 +15,8 @@ var (
 	hReadSize  = telemetry.Default().NewHistogram("libfs.read_bytes")
 	hWriteSize = telemetry.Default().NewHistogram("libfs.write_bytes")
 	mNamespace = telemetry.Default().NewCounter("libfs.namespace_ops")
+
+	// Read-path CRC verification (Config.VerifyReads).
+	mReadVerified   = telemetry.Default().NewCounter("libfs.read_verified_pages")
+	mReadVerifyFail = telemetry.Default().NewCounter("libfs.read_verify_failures")
 )

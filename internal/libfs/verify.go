@@ -1,0 +1,75 @@
+// Optional read-path CRC verification (ISSUE 5): when Config.VerifyReads
+// is set, every page a ReadAt covers in full is cross-checked against
+// its sealed checksum record before the bytes are returned, so latent
+// corruption the background scrubber has not reached yet still cannot
+// be silently served. Off by default — the overhead is measured in
+// EXPERIMENTS.md ("Integrity scrubbing").
+//
+// Race discipline: the record is loaded before the data read is issued
+// (rec1) and again after a CRC mismatch (rec2). A condemnation requires
+// rec1 == rec2 and sealed: any legitimate concurrent writer first has
+// its records opened at grant time (odd epoch), so an unchanged sealed
+// record across the whole read window proves the content was quiescent
+// — the mismatch is media rot, not a racing store.
+package libfs
+
+import (
+	"fmt"
+
+	"trio/internal/core"
+	"trio/internal/fsapi"
+	"trio/internal/nvm"
+)
+
+// crcCheck is one fully-covered page of an in-flight ReadAt.
+type crcCheck struct {
+	page nvm.PageID
+	rec  uint64 // record loaded before the data read
+	buf  []byte // the page's bytes in the caller's buffer
+}
+
+// collectCRCChecks records the fully-covered pages of one extent
+// segment [lo, hi) of a ReadAt, loading each page's checksum record
+// ahead of the data read. b is the caller's buffer for file offset off.
+func (fs *FS) collectCRCChecks(checks []crcCheck, b []byte, off, lo, hi, extStart int64, ePage nvm.PageID) []crcCheck {
+	total := fs.dev.NumPages()
+	ps := lo
+	if rem := ps % nvm.PageSize; rem != 0 {
+		ps += nvm.PageSize - rem
+	}
+	for ; ps+nvm.PageSize <= hi; ps += nvm.PageSize {
+		page := ePage + nvm.PageID((ps-extStart)/nvm.PageSize)
+		tp, tOff := core.ChecksumLoc(total, page)
+		rec, err := fs.as.ReadU64(tp, tOff)
+		if err != nil {
+			continue // table unreadable: skip, never fail the read
+		}
+		checks = append(checks, crcCheck{page: page, rec: rec, buf: b[ps-off : ps-off+nvm.PageSize]})
+	}
+	return checks
+}
+
+// verifyCRCChecks audits the collected pages after the data landed in
+// the caller's buffer. Returns fsapi.ErrCorrupt on a proven mismatch.
+func (fs *FS) verifyCRCChecks(cpu int, checks []crcCheck) error {
+	total := fs.dev.NumPages()
+	for i := range checks {
+		ck := &checks[i]
+		if !core.ChecksumSealed(ck.rec) {
+			continue // open or unknown: a writer holds it, nothing to check
+		}
+		mReadVerified.IncOn(cpu)
+		if core.PageCRC(ck.buf) == core.ChecksumCRC(ck.rec) {
+			continue
+		}
+		tp, tOff := core.ChecksumLoc(total, ck.page)
+		rec2, err := fs.as.ReadU64(tp, tOff)
+		if err == nil && rec2 != ck.rec {
+			continue // record moved mid-read: a writer or the scrubber raced us
+		}
+		mReadVerifyFail.IncOn(cpu)
+		return fmt.Errorf("%w: page %d content crc %08x != sealed record %08x",
+			fsapi.ErrCorrupt, ck.page, core.PageCRC(ck.buf), core.ChecksumCRC(ck.rec))
+	}
+	return nil
+}

@@ -196,6 +196,19 @@ func (as *AddressSpace) Revoke() {
 // Revoked reports whether the address space has been torn down.
 func (as *AddressSpace) Revoked() bool { return as.revoked.Load() }
 
+// WithShootdownBarrier runs fn while holding the shootdown barrier
+// exclusively: every in-flight access through this address space has
+// completed before fn starts, and none can begin until it returns. The
+// scrubber uses this to audit or repair a page knowing no store that
+// passed an earlier permission check is still landing. fn must not
+// touch the address space (deadlock).
+func (as *AddressSpace) WithShootdownBarrier(fn func()) {
+	mShootdowns.Inc()
+	as.shoot.Lock()
+	defer as.shoot.Unlock()
+	fn()
+}
+
 func (as *AddressSpace) check(p nvm.PageID, need Perm) error {
 	if telemetry.On() {
 		mChecks.IncOn(int(p))

@@ -39,25 +39,68 @@ func IsInjected(err error) bool {
 		errors.Is(err, ErrInjectedFailure)
 }
 
-// retryAttempts bounds RetryTransient: 8 attempts with exponential
-// backoff starting at 1µs (≤ 255µs of total sleep).
+// retryAttempts bounds RetryTransient: 8 attempts with capped
+// exponential backoff starting at 1µs.
 const retryAttempts = 8
 
-// RetryTransient runs op, retrying with bounded exponential backoff as
-// long as it fails with the transient ErrDeviceBusy. Any other result
-// (success or a hard fault) is returned immediately; if the budget is
-// exhausted the last ErrDeviceBusy is returned so the caller surfaces
-// it as an I/O error instead of spinning forever.
+// maxRetryDelay caps the exponential backoff so a long busy window
+// never balloons a single op's latency past a few hundred µs.
+const maxRetryDelay = 64 * time.Microsecond
+
+// retryRNG is the deterministic jitter source shared by every
+// RetryTransient call: a splitmix64 stream whose state advances one
+// step per jittered sleep. Seeding it (SetRetrySeed) makes fail-over
+// schedules reproducible across runs — two executions of the same
+// single-threaded workload draw the identical jitter sequence.
+var retryRNG atomic.Uint64
+
+// SetRetrySeed reseeds the backoff jitter stream. Tests seed it so
+// delegation fail-over timing is reproducible; production code never
+// needs to call it (the zero seed is as good as any).
+func SetRetrySeed(seed uint64) { retryRNG.Store(seed) }
+
+// nextRetryJitter draws the next value of the splitmix64 stream.
+func nextRetryJitter() uint64 {
+	z := retryRNG.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// retryDelay computes the sleep before retry `attempt` (0-based): the
+// capped exponential term, halved, plus deterministic jitter drawn
+// from j over the other half — full jitter keeps concurrent retriers
+// from thundering in lockstep while the seedable stream keeps tests
+// reproducible.
+func retryDelay(attempt int, j uint64) time.Duration {
+	d := time.Microsecond << attempt
+	if d > maxRetryDelay || d <= 0 {
+		d = maxRetryDelay
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(j%uint64(half+1))
+}
+
+// retrySleep is swapped out by tests that assert on the delay schedule.
+var retrySleep = time.Sleep
+
+// RetryTransient runs op, retrying with capped exponential backoff and
+// deterministic (seedable) jitter as long as it fails with the
+// transient ErrDeviceBusy. Any other result (success or a hard fault)
+// is returned immediately; if the budget is exhausted the last
+// ErrDeviceBusy is returned so the caller surfaces it as an I/O error
+// instead of spinning forever.
 func RetryTransient(op func() error) error {
 	var err error
-	delay := time.Microsecond
 	for attempt := 0; attempt < retryAttempts; attempt++ {
 		if err = op(); !errors.Is(err, ErrDeviceBusy) {
 			return err
 		}
 		mRetries.Inc()
-		time.Sleep(delay)
-		delay *= 2
+		retrySleep(retryDelay(attempt, nextRetryJitter()))
 	}
 	return err
 }
@@ -112,6 +155,10 @@ type FaultPlan struct {
 	armAt      int64
 	fired      bool
 	faults     atomic.Int64
+
+	// dev is the device the plan is installed on (set by SetFaultPlan);
+	// FlipBits needs it to reach the arena behind the device's back.
+	dev atomic.Pointer[Device]
 }
 
 // NewFaultPlan returns an empty plan (no faults armed).
@@ -169,6 +216,35 @@ func (fp *FaultPlan) TearLine(p PageID, off, keep int) {
 	fp.mu.Lock()
 	defer fp.mu.Unlock()
 	fp.tears[line] = keep
+}
+
+// FlipBits silently XORs mask into the byte at (p, off) — bit rot: the
+// corruption bypasses WriteAt, so neither the persistence tracker, the
+// cost model nor telemetry's write counters see it, exactly like a
+// cosmic-ray flip or failing media cell. Only a checksum audit can
+// find it. The plan must be installed on a device (SetFaultPlan)
+// first. A mask of 0 is rejected — it would flip nothing and a
+// "corruption" the scrubber can never detect makes convergence tests
+// hang. Note the tracker interplay: if the flipped byte's cacheline is
+// dirty (stored but unpersisted) when Tracker.Crash later runs, the
+// rollback to the pre-image undoes the flip — rot injected into cold,
+// durable pages (the scrubber's quarry) is unaffected.
+func (fp *FaultPlan) FlipBits(p PageID, off int, mask byte) error {
+	dev := fp.dev.Load()
+	if dev == nil {
+		return errors.New("nvm: FlipBits: plan not installed on a device")
+	}
+	if mask == 0 {
+		return errors.New("nvm: FlipBits: zero mask flips nothing")
+	}
+	if err := dev.checkRange(p, off, 1); err != nil {
+		return err
+	}
+	dev.lockPage(p)
+	dev.arena[int(p)*PageSize+off] ^= mask
+	dev.unlockPage(p)
+	fp.injected()
+	return nil
 }
 
 // ArmCrashPoint arms the deterministic crash scheduler: the device

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"testing"
+	"time"
 )
 
 func faultDevice(t *testing.T, track bool) *Device {
@@ -268,5 +269,108 @@ func TestCrashPointScheduler(t *testing.T) {
 	}
 	if fp2.Fired() {
 		t.Fatal("crash fired past the last point")
+	}
+}
+
+func TestFlipBitsSilentCorruption(t *testing.T) {
+	d := faultDevice(t, false)
+	fp := NewFaultPlan()
+
+	// Not installed yet: the plan has no arena to corrupt.
+	if err := fp.FlipBits(5, 100, 0x01); err == nil {
+		t.Fatal("FlipBits before SetFaultPlan must fail")
+	}
+	d.SetFaultPlan(fp)
+
+	if err := d.WriteAt(0, 5, 0, []byte{0xAA, 0xBB}); err != nil {
+		t.Fatal(err)
+	}
+	wrotesBefore := mWrites.Load()
+	if err := fp.FlipBits(5, 1, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if err := d.ReadAt(0, 5, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xAA || buf[1] != ^byte(0xBB) {
+		t.Fatalf("flip result % x, want aa %02x", buf, ^byte(0xBB))
+	}
+	// Silent: the corruption never shows up as a device write.
+	if mWrites.Load() != wrotesBefore {
+		t.Fatal("FlipBits was counted as a device write — not silent")
+	}
+	if fp.Faults() == 0 {
+		t.Fatal("FlipBits must count as an injected fault")
+	}
+	// A second flip with the same mask restores the byte (XOR involution).
+	if err := fp.FlipBits(5, 1, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	d.ReadAt(0, 5, 0, buf)
+	if buf[1] != 0xBB {
+		t.Fatalf("double flip did not restore: %02x", buf[1])
+	}
+
+	if err := fp.FlipBits(5, 0, 0); err == nil {
+		t.Fatal("zero mask accepted")
+	}
+	if err := fp.FlipBits(1<<40, 0, 1); err == nil {
+		t.Fatal("out-of-range page accepted")
+	}
+}
+
+func TestRetryBackoffDeterministicJitter(t *testing.T) {
+	collect := func(seed uint64) []time.Duration {
+		SetRetrySeed(seed)
+		var delays []time.Duration
+		old := retrySleep
+		retrySleep = func(d time.Duration) { delays = append(delays, d) }
+		defer func() { retrySleep = old }()
+		err := RetryTransient(func() error { return ErrDeviceBusy })
+		if !errors.Is(err, ErrDeviceBusy) {
+			t.Fatalf("exhausted retry returned %v", err)
+		}
+		return delays
+	}
+
+	a := collect(42)
+	b := collect(42)
+	if len(a) != retryAttempts {
+		t.Fatalf("%d delays, want %d", len(a), retryAttempts)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at attempt %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := collect(7)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical jitter schedule")
+	}
+
+	// Every delay respects the cap and stays positive; the exponential
+	// floor (half the capped term) keeps later attempts from collapsing.
+	for i, d := range a {
+		if d <= 0 || d > maxRetryDelay {
+			t.Fatalf("attempt %d: delay %v outside (0, %v]", i, d, maxRetryDelay)
+		}
+	}
+	for _, seed := range []uint64{0, 1, 99} {
+		for i, d := range collect(seed) {
+			exp := time.Microsecond << i
+			if exp > maxRetryDelay {
+				exp = maxRetryDelay
+			}
+			if d < exp/2 || d > exp {
+				t.Fatalf("seed %d attempt %d: delay %v outside [%v, %v]", seed, i, d, exp/2, exp)
+			}
+		}
 	}
 }

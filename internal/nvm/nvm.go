@@ -99,7 +99,12 @@ type Device struct {
 
 // SetFaultPlan installs (or, with nil, removes) a fault-injection plan.
 // The plan hooks every ReadAt/WriteAt/Persist/Fence; see FaultPlan.
-func (d *Device) SetFaultPlan(fp *FaultPlan) { d.plan.Store(fp) }
+func (d *Device) SetFaultPlan(fp *FaultPlan) {
+	if fp != nil {
+		fp.dev.Store(d) // back-pointer for FlipBits' arena access
+	}
+	d.plan.Store(fp)
+}
 
 // FaultPlan returns the installed plan, or nil.
 func (d *Device) FaultPlan() *FaultPlan { return d.plan.Load() }

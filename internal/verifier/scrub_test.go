@@ -1,0 +1,144 @@
+package verifier
+
+import (
+	"testing"
+
+	"trio/internal/core"
+	"trio/internal/nvm"
+)
+
+func scrubRig(t testing.TB) (*nvm.Device, *Scrubber, core.Mem) {
+	t.Helper()
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 1, PagesPerNode: 256})
+	return dev, NewScrubber(dev), core.Direct(dev, 0)
+}
+
+func TestScrubPageLifecycle(t *testing.T) {
+	dev, s, m := scrubRig(t)
+	total := dev.NumPages()
+	const p = nvm.PageID(17)
+
+	// Unknown record, no sealing allowed: skipped.
+	v, _, _, err := s.ScrubPage(p, false)
+	if err != nil || v != ScrubSkipped {
+		t.Fatalf("unknown page: %v, %v", v, err)
+	}
+
+	// Unknown record, sealing allowed: sealed with the content's CRC.
+	v, want, got, err := s.ScrubPage(p, true)
+	if err != nil || v != ScrubSealed || want != got {
+		t.Fatalf("seal pass: %v, %#x/%#x, %v", v, want, got, err)
+	}
+	rec, _ := core.LoadChecksum(m, total, p)
+	if !core.ChecksumSealed(rec) {
+		t.Fatal("record not sealed after ScrubSealed")
+	}
+
+	// Sealed and clean: OK.
+	if v, _, _, _ = s.ScrubPage(p, false); v != ScrubOK {
+		t.Fatalf("clean sealed page: %v", v)
+	}
+
+	// Open records are never checked or resealed by the scrubber when
+	// seal=false (a writer may hold the page).
+	if _, err := core.OpenChecksum(m, total, p); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _, _ = s.ScrubPage(p, false); v != ScrubSkipped {
+		t.Fatalf("open page with seal=false: %v", v)
+	}
+
+	// Out of range.
+	if _, _, _, err := s.ScrubPage(total, false); err != ErrScrubRange {
+		t.Fatalf("out-of-range err = %v", err)
+	}
+}
+
+func TestScrubDetectsEveryFlip(t *testing.T) {
+	dev, s, m := scrubRig(t)
+	total := dev.NumPages()
+	const p = nvm.PageID(33)
+
+	data := make([]byte, nvm.PageSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if err := m.Write(p, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	m.Fence()
+	if err := core.SealChecksum(m, total, p, core.PageCRC(data)); err != nil {
+		t.Fatal(err)
+	}
+
+	fp := nvm.NewFaultPlan()
+	dev.SetFaultPlan(fp)
+	// CRC32 is linear: any single nonzero XOR perturbs the checksum, so
+	// every flip — first bit, last bit, multi-bit — must be caught.
+	for _, f := range []struct {
+		off  int
+		mask byte
+	}{{0, 0x01}, {nvm.PageSize - 1, 0x80}, {2048, 0xFF}} {
+		if err := fp.FlipBits(p, f.off, f.mask); err != nil {
+			t.Fatal(err)
+		}
+		v, want, got, err := s.ScrubPage(p, false)
+		if err != nil || v != ScrubMismatch {
+			t.Fatalf("flip @%d mask %#x: verdict %v, %v", f.off, f.mask, v, err)
+		}
+		if want == got {
+			t.Fatal("mismatch verdict with equal CRCs")
+		}
+		// Undo (XOR involution) and confirm the page scrubs clean again.
+		if err := fp.FlipBits(p, f.off, f.mask); err != nil {
+			t.Fatal(err)
+		}
+		if v, _, _, _ := s.ScrubPage(p, false); v != ScrubOK {
+			t.Fatalf("after undo @%d: %v", f.off, v)
+		}
+	}
+}
+
+// FuzzScrubPage hammers one page with arbitrary content, record states
+// and bit flips. Invariants: ScrubPage never panics or errors in
+// range; a seal=true pass followed by an unmodified rescrub is always
+// ScrubOK; and a sealed page whose content was silently flipped is
+// always ScrubMismatch.
+func FuzzScrubPage(f *testing.F) {
+	f.Add([]byte{}, uint16(0), byte(0))
+	f.Add([]byte("hello"), uint16(4095), byte(0xFF))
+	f.Add(make([]byte, 64), uint16(100), byte(0x01))
+
+	f.Fuzz(func(t *testing.T, content []byte, off uint16, mask byte) {
+		dev, s, m := scrubRig(t)
+		const p = nvm.PageID(9)
+		if len(content) > nvm.PageSize {
+			content = content[:nvm.PageSize]
+		}
+		if len(content) > 0 {
+			if err := m.Write(p, 0, content); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Seal whatever is there, then rescrub: must be clean.
+		if v, _, _, err := s.ScrubPage(p, true); err != nil || v != ScrubSealed {
+			t.Fatalf("seal pass: %v, %v", v, err)
+		}
+		if v, _, _, err := s.ScrubPage(p, false); err != nil || v != ScrubOK {
+			t.Fatalf("rescrub: %v, %v", v, err)
+		}
+
+		// Any nonzero flip must be detected.
+		if mask != 0 {
+			fp := nvm.NewFaultPlan()
+			dev.SetFaultPlan(fp)
+			if err := fp.FlipBits(p, int(off)%nvm.PageSize, mask); err != nil {
+				t.Fatal(err)
+			}
+			if v, _, _, err := s.ScrubPage(p, false); err != nil || v != ScrubMismatch {
+				t.Fatalf("flipped page: %v, %v", v, err)
+			}
+		}
+	})
+}

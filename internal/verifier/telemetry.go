@@ -9,4 +9,8 @@ var (
 	mReports    = telemetry.Default().NewCounter("verifier.reports")
 	mBadReports = telemetry.Default().NewCounter("verifier.reports_bad")
 	mViolations = telemetry.Default().NewCounter("verifier.violations")
+
+	mScrubPages      = telemetry.Default().NewCounter("verifier.scrub_pages")
+	mScrubSealed     = telemetry.Default().NewCounter("verifier.scrub_sealed")
+	mScrubMismatches = telemetry.Default().NewCounter("verifier.scrub_mismatches")
 )

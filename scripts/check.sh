@@ -9,7 +9,11 @@
 #      the cross-FS conformance suite and the LibFS itself.
 #   5. a fuzz smoke pass over the verifier's adversarial targets —
 #      ten seconds per target of randomly corrupted core state, which
-#      must always terminate in a Report, never a panic or a hang.
+#      must always terminate in a Report, never a panic or a hang —
+#      plus the scrub-page target (a sealed page with any nonzero bit
+#      flip must scrub as a mismatch), and a race-enabled end-to-end
+#      scrub smoke: one injected flip in a cold file must be detected
+#      by a single pass and quarantined with a typed read error.
 #   6. a bench smoke: every Benchmark* target compiles and the
 #      data-path families run once, and the trio-bench regression
 #      harness completes a -quick pass. A bench that fails to build or
@@ -40,6 +44,10 @@ go test -race ./internal/fstest/... ./internal/libfs/... ./internal/telemetry/..
 echo "== fuzz smoke (verifier adversarial targets, 10s each)"
 go test -run='^$' -fuzz='^FuzzVerifyRegular$' -fuzztime=10s ./internal/verifier/
 go test -run='^$' -fuzz='^FuzzVerifyDirectory$' -fuzztime=10s ./internal/verifier/
+go test -run='^$' -fuzz='^FuzzScrubPage$' -fuzztime=10s ./internal/verifier/
+
+echo "== scrub smoke (one injected bit flip: detected, quarantined, typed error)"
+go test -race -run='^TestScrubSmoke$' -count=1 ./internal/fstest/
 
 echo "== bench smoke (benchmarks must build and run, never silently skip)"
 # Compile every benchmark in the module; a bench that no longer builds
