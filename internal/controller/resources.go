@@ -189,10 +189,20 @@ func (s *Session) changePerm(ino core.Ino, patch func(*shadowPatch)) error {
 		return err
 	}
 	in.Mode, in.UID, in.GID = sh.Mode, sh.UID, sh.GID
+	// The dirent page may be quiescent with a sealed checksum record;
+	// storing into it would leave the sealed CRC stale and the next scrub
+	// pass would mis-repair or quarantine the parent. Follow the checksum
+	// protocol: open the record (durably, ahead of the store), reseal
+	// once the store is persisted. A write-mapped page is already open
+	// and stays open — sealQuiescentLocked skips it.
+	if wrote, oerr := core.OpenChecksum(c.mem, c.dev.NumPages(), fs.loc.Page); oerr == nil && wrote {
+		c.mem.Fence()
+	}
 	if err := core.WriteInode(c.mem, fs.loc.Page, core.SlotOffset(fs.loc.Slot), &in); err != nil {
 		return err
 	}
 	c.mem.Fence()
+	c.sealQuiescentLocked([]nvm.PageID{fs.loc.Page})
 	// Keep the checkpoint's view coherent if one is outstanding.
 	if fs.checkpoint != nil {
 		fs.checkpoint.inode.Mode, fs.checkpoint.inode.UID, fs.checkpoint.inode.GID = sh.Mode, sh.UID, sh.GID

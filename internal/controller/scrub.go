@@ -219,8 +219,16 @@ func (c *Controller) pageWriteMappedLocked(p nvm.PageID) bool {
 // store is persisted, so the content is exactly what a scrub should
 // vouch for from here on.
 func (c *Controller) sealQuiescentLocked(pages []nvm.PageID) {
+	total := c.dev.NumPages()
+	base := core.ChecksumBase(total)
 	for _, p := range pages {
-		if p >= core.ChecksumBase(c.dev.NumPages()) || c.pageWriteMappedLocked(p) {
+		if p >= base || c.pageWriteMappedLocked(p) {
+			continue
+		}
+		// Only open/unknown records need sealing; checking the 8-byte
+		// record first keeps closing a large file from costing a full
+		// CRC pass over pages that were never opened.
+		if rec, err := core.LoadChecksum(c.mem, total, p); err != nil || core.ChecksumSealed(rec) {
 			continue
 		}
 		if v, _, _, err := c.scrubber.ScrubPage(p, true); err == nil && v == verifier.ScrubSealed {
@@ -286,19 +294,26 @@ func (c *Controller) repairPageLocked(p nvm.PageID, want uint32) bool {
 		c.mem.Persist(p, 0, nvm.PageSize)
 		c.mem.Fence()
 	}
-	// Install under the barrier of every session that maps the page, so
-	// no reader observes a half-repaired page mid-range-read.
-	done := false
+	// Install under the barriers of every session that maps the page —
+	// all held at once, so no reader in any session observes a
+	// half-repaired page mid-range-read. Nesting distinct sessions'
+	// barriers is deadlock-free: c.mu serializes every multi-barrier
+	// holder, and mmu accessors only ever hold their own session's.
+	var holders []*libfsState
 	for _, ls := range c.libfses {
 		if !ls.dead && ls.as.PermOf(p) != mmu.PermNone {
-			ls.as.WithShootdownBarrier(write)
-			done = true
-			break
+			holders = append(holders, ls)
 		}
 	}
-	if !done {
-		write()
+	var install func(i int)
+	install = func(i int) {
+		if i == len(holders) {
+			write()
+			return
+		}
+		holders[i].as.WithShootdownBarrier(func() { install(i + 1) })
 	}
+	install(0)
 	c.tracePage(p, "scrub-repair ino=%d", ino)
 
 	// The repair must scrub clean; anything else is a logic error that

@@ -169,6 +169,42 @@ func TestScrubQuarantinesUnrepairablePage(t *testing.T) {
 	}
 }
 
+// TestScrubCleanAfterChmod: changing permission bits stores into the
+// parent's dirent page, which is sealed once the file is quiescent. The
+// attr refresh must go through the checksum protocol (open → store →
+// reseal), or the next scrub pass sees a stale sealed CRC and either
+// "repairs" the page back to its pre-chmod image or quarantines the
+// parent.
+func TestScrubCleanAfterChmod(t *testing.T) {
+	c, _ := newCtl(t, smallCfg())
+	s := c.Register(1000, 1000, 0, 0)
+	ino, loc := mkFile(t, s, "attrs", []byte("chmod fodder"))
+	if err := s.UnmapFile(core.RootIno); err != nil {
+		t.Fatal(err)
+	}
+	c.ScrubAll() // seal everything, including the dirent page
+
+	if err := s.Chmod(ino, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	rep := c.ScrubAll()
+	if rep.Mismatches != 0 || rep.Quarantined != 0 {
+		t.Fatalf("scrub after chmod: %+v", rep)
+	}
+	// The refreshed attrs survived the pass (no stale-image "repair").
+	in, err := core.ReadDirentInode(c.mem, loc.Page, loc.Slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Mode != 0o600 {
+		t.Fatalf("mode %#o after scrub, want 0o600", in.Mode)
+	}
+	// The parent was not quarantined: mapping under it still works.
+	if _, err := s.MapFile(ino, loc, false); err != nil {
+		t.Fatalf("map after chmod+scrub: %v", err)
+	}
+}
+
 func TestScrubSkipsWriteMappedPages(t *testing.T) {
 	c, dev := newCtl(t, smallCfg())
 	s := c.Register(1000, 1000, 0, 0)

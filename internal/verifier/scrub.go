@@ -104,6 +104,14 @@ func (s *Scrubber) ScrubPage(p nvm.PageID, seal bool) (ScrubVerdict, uint32, uin
 	if !seal {
 		return ScrubSkipped, want, got, nil
 	}
+	// SealChecksum requires the covered content be durable. A page left
+	// open by a writer that died between its stores and its Persist may
+	// still hold unpersisted lines; flush them first so a crash can never
+	// roll the data back out from under the durable seal.
+	if err := s.mem.Persist(p, 0, nvm.PageSize); err != nil {
+		return ScrubSkipped, want, got, err
+	}
+	s.mem.Fence()
 	if err := core.SealChecksum(s.mem, s.total, p, got); err != nil {
 		return ScrubSkipped, want, got, err
 	}
