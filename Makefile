@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-go fuzz
+.PHONY: check build test race vet bench bench-go fuzz tenancy
 
 # The full gate: vet + build + tests + race detector + fuzz smoke.
 # CI runs this.
@@ -37,6 +37,15 @@ fuzz:
 # performance" for how to read it.
 bench:
 	$(GO) run ./cmd/trio-bench -experiment datapath -json BENCH_trio.json
+
+# Massive-tenancy shard-scaling sweep (ISSUE 6): 2k concurrent
+# sessions against 1/2/4/8 controller shards with the cost model on,
+# merged into the "tenancy" section of BENCH_trio.json and gated on
+# shard scaling, p99 lease-recall latency, and throughput. See
+# EXPERIMENTS.md "Massive tenancy". Run on an otherwise-idle machine —
+# the points are wall-clock measurements.
+tenancy:
+	$(GO) run ./cmd/trio-bench -experiment tenancy -json BENCH_trio.json
 
 # The full Go benchmark suite: paper figures, ablations, and the
 # datapath families (testing.B form of the harness above).

@@ -9,6 +9,7 @@
 //	trio-bench -experiment fig7 -quick     # shrunken sweeps (CI)
 //	trio-bench -experiment datapath -json BENCH_trio.json
 //	trio-bench -experiment datapath -quick -baseline BENCH_trio.json
+//	trio-bench -experiment tenancy -json BENCH_trio.json
 //	trio-bench -experiment fig5 -telemetry -trace trace.json
 //	trio-bench -list                       # available experiments
 //
@@ -45,7 +46,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "experiment id (fig5..fig10, tab3, tab5, integrity, datapath, all)")
+		experiment = flag.String("experiment", "", "experiment id (fig5..fig10, tab3, tab5, integrity, datapath, tenancy, all)")
 		quick      = flag.Bool("quick", false, "shrink sweeps and op counts")
 		nocost     = flag.Bool("nocost", false, "disable the hardware cost model (functional smoke run)")
 		cost       = flag.Bool("cost", false, "datapath only: enable the hardware cost model (off by default there)")
@@ -127,6 +128,30 @@ func main() {
 			} else {
 				fmt.Printf("\nallocs/op within baseline %s\n", *baseline)
 			}
+		}
+	} else if *experiment == "tenancy" {
+		// The massive-tenancy scaling sweep (ISSUE 6): shard-count curve
+		// with the acceptance gates evaluated in-process, results merged
+		// into the BENCH JSON next to the datapath section.
+		p := experiments.Params{Quick: *quick, NoCost: *nocost}
+		var rep *experiments.TenancyReport
+		rep, err = experiments.RunTenancySweep(os.Stdout, p)
+		if err == nil && *jsonPath != "" {
+			if werr := experiments.MergeTenancyJSON(*jsonPath, rep); werr != nil {
+				err = werr
+			} else {
+				fmt.Printf("\nmerged tenancy sweep into %s\n", *jsonPath)
+			}
+		}
+		if err == nil {
+			if fails := experiments.CheckTenancyGate(rep); len(fails) > 0 {
+				fmt.Fprintln(os.Stderr, "\nTENANCY GATE FAILURES:")
+				for _, f := range fails {
+					fmt.Fprintf(os.Stderr, "  %s\n", f)
+				}
+				os.Exit(1)
+			}
+			fmt.Println("\ntenancy gates passed")
 		}
 	} else {
 		fn, ok := reg[*experiment]

@@ -1,0 +1,299 @@
+// Extent-coalesced checksum-record maintenance (ISSUE 6). The map/unmap
+// hot path opens and seals the checksum records of every granted page;
+// doing that record by record (and, for seals, re-reading the content
+// page by page) charges the cost model per 8-byte or 4 KiB access, which
+// understates what the hardware does — a contiguous grant streams as one
+// access — and, under the sharded lock, turns the whole grant into CPU
+// spin that no amount of sharding can overlap on a small host.
+//
+// The helpers here work on maximal runs of consecutive page ids:
+//
+//   - openRun RMWs the run's record span (the records of consecutive
+//     pages are themselves consecutive in the table) with one ReadRange
+//     and one WriteRange instead of 2 accesses per page;
+//   - sealRun streams the run's content with a single ReadRange — for a
+//     typical file grant that is a bandwidth-dominated access long
+//     enough to sleep rather than spin, so concurrent unmaps on
+//     different shards overlap their seal time — computes the per-page
+//     CRCs from the buffer, and publishes the records with one span RMW.
+//
+// Correctness is unchanged from the per-page path: every record RMW on a
+// page still happens under the home shard of the page's owning file (or
+// the parent, for dirent pages), which is exactly the serialization the
+// per-page ScrubPage/OpenChecksum calls relied on, and a run never
+// includes a page outside the caller's set (runs split at gaps), so the
+// span write-back touches no foreign record. Any device error drops the
+// run back to the per-page path, which preserves the original
+// error-tolerant semantics.
+package controller
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+
+	"trio/internal/core"
+	"trio/internal/nvm"
+	"trio/internal/verifier"
+)
+
+// pageRun is a maximal run of consecutive page ids.
+type pageRun struct {
+	start nvm.PageID
+	n     int
+}
+
+// pageRuns sorts (a copy of) pages, drops duplicates, and splits the
+// result into maximal consecutive runs.
+func pageRuns(pages []nvm.PageID) []pageRun {
+	if len(pages) == 0 {
+		return nil
+	}
+	ps := make([]nvm.PageID, len(pages))
+	copy(ps, pages)
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	var runs []pageRun
+	cur := pageRun{start: ps[0], n: 1}
+	for _, p := range ps[1:] {
+		switch {
+		case p == cur.start+nvm.PageID(cur.n)-1:
+			// duplicate
+		case p == cur.start+nvm.PageID(cur.n):
+			cur.n++
+		default:
+			runs = append(runs, cur)
+			cur = pageRun{start: p, n: 1}
+		}
+	}
+	return append(runs, cur)
+}
+
+// recordSegments invokes fn for each slice of the run whose checksum
+// records live on a single table page (a run crossing a table-page
+// boundary splits; within a table page the records are contiguous).
+func recordSegments(total nvm.PageID, r pageRun, fn func(seg pageRun) bool) {
+	for seg := r; seg.n > 0; {
+		n := int(core.ChecksumRecordsPerPage - seg.start%core.ChecksumRecordsPerPage)
+		if n > seg.n {
+			n = seg.n
+		}
+		if !fn(pageRun{start: seg.start, n: n}) {
+			return
+		}
+		seg.start += nvm.PageID(n)
+		seg.n -= n
+	}
+}
+
+// sealBufPool recycles the content buffers of bulk seals; runs are
+// chunked to maxSealRun pages so the pool never holds giant buffers.
+var sealBufPool = sync.Pool{
+	New: func() any { b := make([]byte, maxSealRun*nvm.PageSize); return &b },
+}
+
+// maxSealRun chunks very long seal runs (1 MiB of content per read).
+const maxSealRun = 256
+
+// openGrantedLocked marks every granted page's checksum record open
+// before the grantee can store to it, then fences once so the marks are
+// durably ordered ahead of any of the grantee's data stores. Errors are
+// deliberately not fatal to the grant: a failed open leaves the record
+// in its previous state, which is at worst a sealed record the LibFS's
+// first store invalidates — the scrub pass then reports it, repairs it
+// from the still-correct candidate, or the unmap-time reseal fixes it.
+func (c *Controller) openGrantedLocked(pages []nvm.PageID) {
+	total := c.dev.NumPages()
+	base := core.ChecksumBase(total)
+	eligible := pages[:0:0]
+	for _, p := range pages {
+		if p < base {
+			eligible = append(eligible, p)
+		}
+	}
+	fence := false
+	for _, r := range pageRuns(eligible) {
+		recordSegments(total, r, func(seg pageRun) bool {
+			if c.openSegment(total, seg) {
+				fence = true
+			}
+			return true
+		})
+	}
+	if fence {
+		c.mem.Fence()
+	}
+}
+
+// openSegment opens the records of one single-table-page segment with a
+// span RMW; it reports whether any record was written. On a device error
+// it falls back to per-page opens.
+func (c *Controller) openSegment(total nvm.PageID, seg pageRun) bool {
+	tp, off := core.ChecksumLoc(total, seg.start)
+	var buf [core.ChecksumRecordsPerPage * core.ChecksumRecordSize]byte
+	span := buf[:seg.n*core.ChecksumRecordSize]
+	if err := c.dev.ReadRange(0, tp, off, span); err != nil {
+		return c.openSegmentSlow(total, seg)
+	}
+	wrote := false
+	for i := 0; i < seg.n; i++ {
+		rec := binary.LittleEndian.Uint64(span[i*core.ChecksumRecordSize:])
+		if core.ChecksumIsOpen(rec) {
+			continue
+		}
+		open := core.PackChecksum(core.ChecksumSeq(rec)+1, core.ChecksumCRC(rec))
+		binary.LittleEndian.PutUint64(span[i*core.ChecksumRecordSize:], open)
+		wrote = true
+	}
+	if !wrote {
+		return false
+	}
+	if err := c.dev.WriteRange(0, tp, off, span); err != nil {
+		return c.openSegmentSlow(total, seg)
+	}
+	if err := c.dev.PersistRange(tp, off, len(span)); err != nil {
+		return true // record writes may have landed; caller fences
+	}
+	return true
+}
+
+// openSegmentSlow is the per-record fallback of openSegment.
+func (c *Controller) openSegmentSlow(total nvm.PageID, seg pageRun) bool {
+	wrote := false
+	for i := 0; i < seg.n; i++ {
+		if w, err := core.OpenChecksum(c.mem, total, seg.start+nvm.PageID(i)); err == nil && w {
+			wrote = true
+		}
+	}
+	return wrote
+}
+
+// sealQuiescentLocked seals the records of the given pages with their
+// current (durable) content, skipping any page some session still
+// write-maps. Used when a writer unmaps: verification just ran, every
+// store is persisted, so the content is exactly what a scrub should
+// vouch for from here on.
+func (c *Controller) sealQuiescentLocked(pages []nvm.PageID) {
+	total := c.dev.NumPages()
+	base := core.ChecksumBase(total)
+	eligible := pages[:0:0]
+	for _, p := range pages {
+		if p < base && !c.pageWriteMappedLocked(p) {
+			eligible = append(eligible, p)
+		}
+	}
+	for _, r := range pageRuns(eligible) {
+		recordSegments(total, r, func(seg pageRun) bool {
+			c.sealSegment(total, seg)
+			return true
+		})
+	}
+}
+
+// sealSegment seals the unsealed records of one single-table-page
+// segment: it loads the record span once to find the pages that still
+// need a seal (open or unknown records), then seals each maximal
+// consecutive sub-run with a streaming content read.
+func (c *Controller) sealSegment(total nvm.PageID, seg pageRun) {
+	tp, off := core.ChecksumLoc(total, seg.start)
+	var rbuf [core.ChecksumRecordsPerPage * core.ChecksumRecordSize]byte
+	span := rbuf[:seg.n*core.ChecksumRecordSize]
+	if err := c.dev.ReadRange(0, tp, off, span); err != nil {
+		c.sealSegmentSlow(seg)
+		return
+	}
+	// Collect the sub-runs of pages whose record is open/unknown; pages
+	// already sealed cost nothing beyond the span read above.
+	var need []pageRun
+	for i := 0; i < seg.n; i++ {
+		rec := binary.LittleEndian.Uint64(span[i*core.ChecksumRecordSize:])
+		if core.ChecksumSealed(rec) {
+			continue
+		}
+		p := seg.start + nvm.PageID(i)
+		if len(need) > 0 && need[len(need)-1].start+nvm.PageID(need[len(need)-1].n) == p {
+			need[len(need)-1].n++
+		} else {
+			need = append(need, pageRun{start: p, n: 1})
+		}
+	}
+	for _, sub := range need {
+		for sub.n > 0 {
+			chunk := sub
+			if chunk.n > maxSealRun {
+				chunk.n = maxSealRun
+			}
+			c.sealRun(total, chunk, span, seg.start)
+			sub.start += nvm.PageID(chunk.n)
+			sub.n -= chunk.n
+		}
+	}
+}
+
+// sealRun streams one consecutive run's content, persists it, and
+// publishes the sealed records with a span RMW. span/segStart give the
+// already-loaded record bytes of the enclosing segment (the run's
+// records are span[(run.start-segStart)*8:]).
+func (c *Controller) sealRun(total nvm.PageID, run pageRun, span []byte, segStart nvm.PageID) {
+	bp := sealBufPool.Get().(*[]byte)
+	defer sealBufPool.Put(bp)
+	content := (*bp)[:run.n*nvm.PageSize]
+	if err := c.dev.ReadRange(0, run.start, 0, content); err != nil {
+		c.sealSegmentSlow(run)
+		return
+	}
+	// SealChecksum requires the covered content be durable. A page left
+	// open by a writer that died between its stores and its Persist may
+	// still hold unpersisted lines; flush the whole run before sealing.
+	if err := c.dev.PersistRange(run.start, 0, len(content)); err != nil {
+		return
+	}
+	c.mem.Fence()
+	rspan := span[int(run.start-segStart)*core.ChecksumRecordSize : (int(run.start-segStart)+run.n)*core.ChecksumRecordSize]
+	for i := 0; i < run.n; i++ {
+		rec := binary.LittleEndian.Uint64(rspan[i*core.ChecksumRecordSize:])
+		seq := core.ChecksumSeq(rec)
+		if seq%2 == 1 {
+			seq++ // close the open window
+		} else {
+			seq += 2 // first seal of an unknown record
+		}
+		if seq == 0 { // wrapped into "unknown": skip ahead to a sealed epoch
+			seq = 2
+		}
+		crc := core.PageCRC(content[i*nvm.PageSize : (i+1)*nvm.PageSize])
+		binary.LittleEndian.PutUint64(rspan[i*core.ChecksumRecordSize:], core.PackChecksum(seq, crc))
+	}
+	tp, off := core.ChecksumLoc(total, run.start)
+	if err := c.dev.WriteRange(0, tp, off, rspan); err != nil {
+		c.sealSegmentSlow(run)
+		return
+	}
+	if err := c.dev.PersistRange(tp, off, len(rspan)); err != nil {
+		return
+	}
+	verifier.NoteSealedRun(run.n)
+	c.stats.ScrubSealed.Add(int64(run.n))
+	for i := 0; i < run.n; i++ {
+		c.tracePage(run.start+nvm.PageID(i), "seal-unmap")
+	}
+}
+
+// sealSegmentSlow is the per-page fallback: the original
+// LoadChecksum+ScrubPage loop, audit semantics identical to the bulk
+// path one page at a time. It builds its own scrubber — seals may run
+// concurrently under disjoint shard locks, and the controller-wide
+// scrubber's scratch buffer is only safe under lockAll.
+func (c *Controller) sealSegmentSlow(seg pageRun) {
+	total := c.dev.NumPages()
+	sc := verifier.NewScrubber(c.dev)
+	for i := 0; i < seg.n; i++ {
+		p := seg.start + nvm.PageID(i)
+		if rec, err := core.LoadChecksum(c.mem, total, p); err != nil || core.ChecksumSealed(rec) {
+			continue
+		}
+		if v, _, _, err := sc.ScrubPage(p, true); err == nil && v == verifier.ScrubSealed {
+			c.stats.ScrubSealed.Add(1)
+			c.tracePage(p, "seal-unmap")
+		}
+	}
+}

@@ -82,6 +82,20 @@ type Options struct {
 	// at nondeterministic points). ScrubAll remains available either
 	// way. Scrubbing only runs when LeaseSweep starts the sweeper.
 	ScrubPagesPerSweep int
+	// Shards is the number of controller lock shards (ISSUE 6): state
+	// is partitioned by inode/session hash so independent tenants do
+	// not serialize on one mutex. Defaults to 8; 1 restores the single
+	// global-lock behavior.
+	Shards int
+	// AdmitPerShard bounds how many calls from one shard's sessions may
+	// run inside the controller concurrently (admission control with an
+	// under-share priority, so a churning tenant cannot starve lease
+	// recalls). 0 defaults to a 32-call global budget divided evenly
+	// (minimum 2 per shard): the NVM's concurrency sweetspot does not
+	// grow with shard count, so neither should total admitted
+	// concurrency — each shard instead gets a guaranteed fair share no
+	// other shard's tenants can consume. Negative disables admission.
+	AdmitPerShard int
 }
 
 func (o *Options) fill() {
@@ -96,6 +110,17 @@ func (o *Options) fill() {
 	}
 	if o.RecallTimeout <= 0 {
 		o.RecallTimeout = 10 * time.Millisecond
+	}
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.Shards > maxShards {
+		o.Shards = maxShards
+	}
+	if o.AdmitPerShard == 0 {
+		if o.AdmitPerShard = 32 / o.Shards; o.AdmitPerShard < 2 {
+			o.AdmitPerShard = 2
+		}
 	}
 }
 
@@ -152,6 +177,7 @@ type libfsState struct {
 	uid, gid uint32
 	group    GroupID
 	as       *mmu.AddressSpace
+	c        *Controller
 
 	// allocPages are pages handed to the LibFS that are not yet bound
 	// into a verified file. allocInos likewise for inode numbers.
@@ -176,6 +202,12 @@ type libfsState struct {
 	// sibling files share their parent directory's dirent pages, so a
 	// page is unmapped only when its last user unmaps.
 	pageRefs map[nvm.PageID]int
+
+	// wmapped tracks which pages this session's counted write mapping
+	// covers (the writeRefs table holds the cross-session sums). Kept
+	// separately from the MMU perms so Revoke — which clears perms
+	// wholesale — can settle the counts exactly once (dropWriteRefs).
+	wmapped map[nvm.PageID]bool
 
 	// fix, if set, is invoked when this LibFS's corruption is detected,
 	// giving it FixTimeout to repair the core state (§4.3).
@@ -211,17 +243,29 @@ type Controller struct {
 
 	verifier *verifier.Verifier
 
-	mu        sync.Mutex
-	files     map[core.Ino]*fileState
+	// shards carry the controller's lock space (ISSUE 6): an entry of
+	// files/libfses is guarded by its home shard's mutex, the maps
+	// themselves mutate only under lockAll. See shard.go.
+	shards []ctlShard
+
+	files   map[core.Ino]*fileState
+	libfses map[LibFSID]*libfsState
+
+	// tabMu (leaf lock, ordered after every shard mutex) guards the
+	// global tables below for the fast paths; lockAll sections may
+	// access them directly.
+	tabMu     sync.Mutex
 	pageOwner map[nvm.PageID]core.Ino // page -> verified owning file
-	libfses   map[LibFSID]*libfsState
-	allocBy   map[core.Ino]LibFSID // ino -> LibFS it was issued to
+	allocBy   map[core.Ino]LibFSID    // ino -> LibFS it was issued to
 	shadow    map[core.Ino]verifier.ShadowInfo
 	// reaped records inos the reaper retired on behalf of a dead
 	// session (orphan GC, pool release), so that a surviving LibFS
 	// whose batched RemoveFile for one of them arrives late gets an
 	// idempotent success instead of ErrUnknownFile.
 	reaped map[core.Ino]bool
+	// writeRefs counts, per page, the sessions holding write permission
+	// (see Controller.writeMapped).
+	writeRefs map[nvm.PageID]int
 
 	pageAlloc *alloc.PageAlloc
 	inoAlloc  *alloc.InoAlloc
@@ -237,7 +281,7 @@ type Controller struct {
 	stats *Stats
 
 	sweepStop chan struct{}
-	sweepDone chan struct{}
+	sweepWG   sync.WaitGroup
 	stopOnce  sync.Once
 }
 
@@ -251,15 +295,24 @@ func New(dev *nvm.Device, opts Options) (*Controller, error) {
 		cost:      dev.Cost(),
 		opts:      opts,
 		verifier:  verifier.New(dev),
+		shards:    make([]ctlShard, opts.Shards),
 		files:     make(map[core.Ino]*fileState),
 		pageOwner: make(map[nvm.PageID]core.Ino),
 		libfses:   make(map[LibFSID]*libfsState),
 		allocBy:   make(map[core.Ino]LibFSID),
 		shadow:    make(map[core.Ino]verifier.ShadowInfo),
 		reaped:    make(map[core.Ino]bool),
+		writeRefs: make(map[nvm.PageID]int),
 		nextLibFS: 1,
 		nextGroup: 1 << 16, // private groups; user groups are small ints
-		stats:     newStats(),
+		stats:     newStats(opts.Shards),
+	}
+	for i := range c.shards {
+		c.shards[i].files = make(map[core.Ino]*fileState)
+		c.shards[i].sessions = make(map[LibFSID]*libfsState)
+		c.shards[i].scrubber = verifier.NewScrubber(dev)
+		c.shards[i].admit.init(opts.AdmitPerShard)
+		c.shards[i].admit.waitCtr = c.stats.shard(i).AdmitWaits
 	}
 	if DebugPageTracing && !telemetry.TracingOn() {
 		telemetry.EnableTracing(0)
@@ -280,20 +333,25 @@ func New(dev *nvm.Device, opts Options) (*Controller, error) {
 	}
 	c.inoAlloc = alloc.NewInoAlloc(maxIno+1, opts.CPUs)
 	if opts.LeaseSweep > 0 {
+		// One sweeper per shard (ISSUE 6): each reaps its own dead
+		// sessions, escalates its own contended leases and runs its own
+		// scrub slice on an independent budget.
 		c.sweepStop = make(chan struct{})
-		c.sweepDone = make(chan struct{})
-		go c.sweeper()
+		c.sweepWG.Add(len(c.shards))
+		for i := range c.shards {
+			go c.shardSweeper(i)
+		}
 	}
 	return c, nil
 }
 
-// Close stops the controller's background work (the lease sweeper).
-// Idempotent; a controller without a sweeper needs no Close.
+// Close stops the controller's background work (the per-shard
+// sweepers). Idempotent; a controller without sweepers needs no Close.
 func (c *Controller) Close() {
 	c.stopOnce.Do(func() {
 		if c.sweepStop != nil {
 			close(c.sweepStop)
-			<-c.sweepDone
+			c.sweepWG.Wait()
 		}
 	})
 }
@@ -310,7 +368,7 @@ func (c *Controller) scanTree() (maxIno uint64, err error) {
 		pages:   make(map[nvm.PageID]bool),
 		readers: make(map[LibFSID]bool),
 	}
-	c.files[core.RootIno] = root
+	c.registerFileLocked(root)
 	rootInode, err := core.ReadDirentInode(c.mem, root.loc.Page, root.loc.Slot)
 	if err != nil {
 		return 0, err
@@ -379,7 +437,7 @@ func (c *Controller) scanTree() (maxIno uint64, err error) {
 					pages:   make(map[nvm.PageID]bool),
 					readers: make(map[LibFSID]bool),
 				}
-				c.files[child.Ino] = cfs
+				c.registerFileLocked(cfs)
 				c.shadow[child.Ino] = verifier.ShadowInfo{
 					Mode: child.Mode, UID: child.UID, GID: child.GID, Type: child.Type,
 				}
@@ -437,8 +495,11 @@ func (c *Controller) FreePagesCount() int { return c.pageAlloc.Free() }
 // trust domain; a non-zero group joins that trust group. node is the
 // NUMA node the application's threads run on.
 func (c *Controller) Register(uid, gid uint32, node int, group GroupID) *Session {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	// Build the address space before taking the locks: a huge device's
+	// permission array is the expensive part and needs no shard state.
+	as := mmu.NewAddressSpace(c.dev, node)
+	c.lockAll()
+	defer c.unlockAll()
 	id := c.nextLibFS
 	c.nextLibFS++
 	if group == 0 {
@@ -447,12 +508,13 @@ func (c *Controller) Register(uid, gid uint32, node int, group GroupID) *Session
 	}
 	ls := &libfsState{
 		id: id, uid: uid, gid: gid, group: group,
-		as:         mmu.NewAddressSpace(c.dev, node),
+		as: as, c: c,
 		allocPages: make(map[nvm.PageID]bool),
 		allocInos:  make(map[core.Ino]bool),
 		parked:     make(map[nvm.PageID]bool),
 		mapped:     make(map[core.Ino]*mapping),
 		pageRefs:   make(map[nvm.PageID]int),
+		wmapped:    make(map[nvm.PageID]bool),
 		revoked:    make(map[core.Ino]bool),
 	}
 	// Every LibFS can read the superblock (§4.1) and the checksum table
@@ -462,7 +524,7 @@ func (c *Controller) Register(uid, gid uint32, node int, group GroupID) *Session
 	ls.as.Map(0, 1, mmu.PermRead)
 	tb := core.ChecksumBase(c.dev.NumPages())
 	ls.as.Map(tb, int(c.dev.NumPages()-tb), mmu.PermRead)
-	c.libfses[id] = ls
+	c.registerSessionLocked(ls)
 	return &Session{c: c, ls: ls}
 }
 
@@ -488,13 +550,14 @@ func (s *Session) Cred() (uid, gid uint32) { return s.ls.uid, s.ls.gid }
 
 // SetFixHandler registers the LibFS's corruption-fix program (§4.3).
 func (s *Session) SetFixHandler(fn func(ino core.Ino) error) {
-	s.c.mu.Lock()
-	defer s.c.mu.Unlock()
+	s.c.lockAll()
+	defer s.c.unlockAll()
 	s.ls.fix = fn
 }
 
 // aliveLocked rejects syscalls from a session whose process the
-// controller has declared dead. Callers hold c.mu.
+// controller has declared dead. Callers hold the session's shard lock
+// (dead is written only under all shard locks).
 func (s *Session) aliveLocked() error {
 	if s.ls.dead {
 		return ErrSessionDead
@@ -506,24 +569,24 @@ func (s *Session) aliveLocked() error {
 // mappings go through the usual unmap-verify path first.
 func (s *Session) Close() error {
 	// Collect mapped inos first (UnmapFile takes the lock itself).
-	s.c.mu.Lock()
+	s.c.lockAll()
 	if err := s.aliveLocked(); err != nil {
-		s.c.mu.Unlock()
+		s.c.unlockAll()
 		return err
 	}
 	inos := make([]core.Ino, 0, len(s.ls.mapped))
 	for ino := range s.ls.mapped {
 		inos = append(inos, ino)
 	}
-	s.c.mu.Unlock()
+	s.c.unlockAll()
 	var firstErr error
 	for _, ino := range inos {
 		if err := s.UnmapFile(ino); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
-	s.c.mu.Lock()
-	defer s.c.mu.Unlock()
+	s.c.lockAll()
+	defer s.c.unlockAll()
 	// Bind pool pages a binding walk missed mid-append (see
 	// bindStrayPoolPagesLocked), then return unbound resources.
 	s.c.bindStrayPoolPagesLocked(s.ls)
@@ -545,8 +608,16 @@ func (s *Session) Close() error {
 		delete(s.c.allocBy, ino)
 		delete(s.ls.allocInos, ino)
 	}
-	delete(s.c.libfses, s.ls.id)
+	// Global and home-shard membership move together (see shard.go) —
+	// a bare delete from c.libfses would leave a dead tombstone in the
+	// home shard's session map, and its sweeper would re-Reap the
+	// no-op corpse (through lockAll) on every tick from then on.
+	s.c.unregisterSessionLocked(s.ls.id)
 	s.ls.dead = true
+	// Settle the global write-mapped table before Revoke clears the
+	// permission array (after Revoke the per-page perms are gone and the
+	// accounting could not be reconstructed).
+	s.c.dropWriteRefs(s.ls)
 	// Revoke rather than merely unmap: a delegation batch still in
 	// flight over this address space must fail deterministically
 	// (ErrRevoked, wrapping the MMU fault), not race the teardown.
@@ -562,6 +633,10 @@ func (ls *libfsState) refPageLocked(p nvm.PageID, perm mmu.Perm) {
 	} else if ls.pageRefs[p] == 1 {
 		ls.as.Map(p, 1, perm)
 	}
+	if perm == mmu.PermWrite && ls.c != nil && !ls.wmapped[p] {
+		ls.wmapped[p] = true
+		ls.c.addWriteRef(p, 1)
+	}
 }
 
 // unrefPageLocked drops one reference to page p, unmapping at zero.
@@ -575,5 +650,9 @@ func (ls *libfsState) unrefPageLocked(p nvm.PageID) {
 		return
 	}
 	delete(ls.pageRefs, p)
+	if ls.c != nil && ls.wmapped[p] {
+		delete(ls.wmapped, p)
+		ls.c.addWriteRef(p, -1)
+	}
 	ls.as.Unmap(p, 1)
 }

@@ -36,8 +36,21 @@ func (s *Session) MapFile(ino core.Ino, loc core.FileLoc, write bool) (*MapInfo,
 	defer func() { s.c.stats.addMap(time.Since(start)) }()
 
 	c := s.c
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.stats.shard(c.shardIdxIno(ino)).Maps.Add(1)
+	gate := c.admit(s.ls.id)
+	defer gate.exit(s.ls.id)
+
+	// Common case: the file is known and self-contained — only the
+	// involved shards' locks are taken, and even lease contention is
+	// waited out under them. Everything wider (adoption, upgrades,
+	// forcible revocation, corruption) escalates.
+	info, err := s.mapFileFast(ino, loc, write, gate)
+	if err != errEscalate {
+		return info, err
+	}
+
+	c.lockAll()
+	defer c.unlockAll()
 	if err := s.aliveLocked(); err != nil {
 		return nil, err
 	}
@@ -72,12 +85,12 @@ func (s *Session) MapFile(ino core.Ino, loc core.FileLoc, write bool) (*MapInfo,
 	}
 
 	// Permission check against the shadow table (ground truth, I4).
-	if !c.permittedLocked(s.ls, fs.ino, write) {
+	if !c.permitted(s.ls, fs.ino, write) {
 		return nil, fmt.Errorf("%w: ino %d write=%v for uid %d", ErrPermission, ino, write, s.ls.uid)
 	}
 
 	// Enforce concurrent-reads-or-exclusive-write across trust groups.
-	if err := c.waitForAccessLocked(s.ls, fs, write); err != nil {
+	if err := c.waitForAccessLocked(s.ls, fs, write, gate); err != nil {
 		return nil, err
 	}
 
@@ -121,13 +134,182 @@ func (s *Session) MapFile(ino core.Ino, loc core.FileLoc, write bool) (*MapInfo,
 	return &MapInfo{Ino: fs.ino, Loc: fs.loc, Inode: in, Write: write}, nil
 }
 
-// permittedLocked evaluates classic owner/group/other permission bits
-// from the shadow table.
-func (c *Controller) permittedLocked(ls *libfsState, ino core.Ino, write bool) bool {
-	sh, ok := c.shadow[ino]
+// mapFileFast is MapFile's common case under only the involved shards'
+// locks: the session's, the file's and (for writes, which open dirent
+// checksum records) the parent's. Lease contention against a
+// foreign-group writer is handled here too — the lease clock and the
+// cooperative recall run under the file's home shard, and the waiter
+// sleeps with no locks held, so a convoy of hot-file waiters never
+// touches the other shards (the old escalate-to-lockAll wait glued
+// every shard to the contended one). Only the transitions that mutate
+// foreign-shard state return errEscalate for the lockAll path.
+func (s *Session) mapFileFast(ino core.Ino, loc core.FileLoc, write bool, gate *admitGate) (*MapInfo, error) {
+	c := s.c
+	var waited *fileState
+	for {
+		set, fs := c.lockForFile(c.shardIdxSession(s.ls.id), ino, write)
+		if waited != nil {
+			// Drop the waiter mark from the previous iteration; the
+			// pointer comparison guards against the file having been
+			// retired (and the ino reused) while nothing was held.
+			if c.files[ino] == waited {
+				waited.waiters--
+			}
+			waited = nil
+		}
+		info, wait, err := s.mapFileOnceLocked(fs, write)
+		if wait <= 0 {
+			c.unlockShards(&set)
+			return info, err
+		}
+		// Contended: poll like waitForAccessLocked, but under the
+		// narrow set. The admission slot is released across the sleep
+		// so a sleeping waiter cannot occupy the slot its lease holder
+		// needs to comply with the recall.
+		if wait > accessPoll {
+			wait = accessPoll
+		}
+		fs.waiters++
+		waited = fs
+		gate.pause(s.ls.id)
+		c.unlockShards(&set)
+		time.Sleep(wait)
+		gate.resume(s.ls.id)
+	}
+}
+
+// mapFileOnceLocked runs one attempt at the fast map under the held
+// set. A non-zero wait means the caller should release the locks,
+// sleep, and retry; otherwise (info, err) is the result, with
+// errEscalate sending the request to the lockAll path. It mutates
+// nothing before deciding.
+func (s *Session) mapFileOnceLocked(fs *fileState, write bool) (*MapInfo, time.Duration, error) {
+	c := s.c
+	if fs == nil {
+		return nil, 0, errEscalate // adoption inserts into the registry
+	}
+	if err := s.aliveLocked(); err != nil {
+		return nil, 0, err
+	}
+	if fs.quarantined != 0 && fs.quarantined != s.ls.id {
+		return nil, 0, ErrQuarantined
+	}
+	if fs.corrupt {
+		return nil, 0, fmt.Errorf("%w: ino %d has unrepairable media corruption", ErrCorrupt, fs.ino)
+	}
+	if m := s.ls.mapped[fs.ino]; m != nil {
+		if m.write || !write {
+			in, rerr := core.ReadDirentInode(c.mem, fs.loc.Page, fs.loc.Slot)
+			if rerr != nil {
+				return nil, 0, rerr
+			}
+			return &MapInfo{Ino: fs.ino, Loc: fs.loc, Inode: in, Write: m.write}, 0, nil
+		}
+		return nil, 0, errEscalate // read→write upgrade releases the old grant
+	}
+	if !c.permitted(s.ls, fs.ino, write) {
+		return nil, 0, fmt.Errorf("%w: ino %d write=%v for uid %d", ErrPermission, fs.ino, write, s.ls.uid)
+	}
+	// A conflicting writer drives the lease state machine right here:
+	// the clock, the cooperative recall, and the holder-vanished reset
+	// only touch state readable under this shard's lock. A same-group
+	// writer is not a conflict — shared write mappings go through the
+	// lockAll grant path, which knows how to stack them.
+	for fs.writer != 0 {
+		if fs.writer == s.ls.id || fs.writerGroup == s.ls.group {
+			return nil, 0, errEscalate
+		}
+		wait, err := c.escalateLeaseFastLocked(fs)
+		if err != nil {
+			return nil, 0, err // forcible revocation or holder reap
+		}
+		if wait > 0 {
+			return nil, wait, nil
+		}
+		// wait == 0: the holder vanished under our lock; re-check.
+	}
+	if write {
+		for rid := range fs.readers {
+			r := c.libfses[rid] // registry reads are safe under any shard lock
+			if r == nil || r.group != s.ls.group {
+				return nil, 0, errEscalate // revocation touches foreign shards
+			}
+		}
+	}
+
+	in, err := core.ReadDirentInode(c.mem, fs.loc.Page, fs.loc.Slot)
+	if err != nil {
+		return nil, 0, err
+	}
+	pages := []nvm.PageID{fs.loc.Page}
+	err = core.WalkFile(c.mem, in.Head, int(c.dev.NumPages()),
+		func(p nvm.PageID) bool { pages = append(pages, p); return true },
+		func(_ uint64, p nvm.PageID) bool { pages = append(pages, p); return true })
+	if err != nil {
+		return nil, 0, fmt.Errorf("controller: walking file %d: %w", fs.ino, err)
+	}
+	if write {
+		// The grant opens checksum records: every page must be owned by
+		// the file or its parent (whose shards are held), so no other
+		// shard's grant or scrub can race the record read-modify-writes.
+		if !c.writeGrantPagesOK(pages, fs) {
+			return nil, 0, errEscalate
+		}
+	} else if !c.pagesOwnedWithin(pages, fs.ino, fs.parent) {
+		return nil, 0, errEscalate
+	}
+
+	perm := mmu.PermRead
+	if write {
+		perm = mmu.PermWrite
+	}
+	for _, p := range pages {
+		s.ls.refPageLocked(p, perm)
+	}
+	s.ls.mapped[fs.ino] = &mapping{ino: fs.ino, write: write, pages: pages}
+	delete(s.ls.revoked, fs.ino)
+	if write {
+		fs.writer = s.ls.id
+		fs.writerGroup = s.ls.group
+		fs.writerSince = time.Now()
+		c.checkpointLocked(fs, &in)
+		c.openGrantedLocked(pages)
+	} else {
+		fs.readers[s.ls.id] = true
+	}
+	return &MapInfo{Ino: fs.ino, Loc: fs.loc, Inode: in, Write: write}, 0, nil
+}
+
+// writeGrantPagesOK requires every page of a write grant to be owned by
+// the file (or, for the dirent page, its parent) — ownership is what
+// ties the checksum-record RMWs to the shard locks the caller holds.
+func (c *Controller) writeGrantPagesOK(pages []nvm.PageID, fs *fileState) bool {
+	c.tabMu.Lock()
+	defer c.tabMu.Unlock()
+	for i, p := range pages {
+		own, ok := c.pageOwner[p]
+		if i == 0 { // the dirent page, owned by the parent directory
+			if (ok && own != fs.parent) || (!ok && p != core.RootInodePage) {
+				return false
+			}
+			continue
+		}
+		if !ok || own != fs.ino {
+			return false
+		}
+	}
+	return true
+}
+
+// permitted evaluates classic owner/group/other permission bits from
+// the shadow table (tabMu accessors: both fast paths and lockAll
+// sections call it).
+func (c *Controller) permitted(ls *libfsState, ino core.Ino, write bool) bool {
+	sh, ok := c.shadowOf(ino)
 	if !ok {
 		// Unknown to the controller: only its creator may touch it.
-		return c.allocBy[ino] == ls.id
+		holder, _ := c.allocHolderOf(ino)
+		return holder == ls.id
 	}
 	if ls.uid == 0 {
 		return true
@@ -152,13 +334,16 @@ func (c *Controller) permittedLocked(ls *libfsState, ino core.Ino, write bool) b
 // re-checks for cooperative releases well before any escalation deadline.
 const accessPoll = time.Millisecond
 
-// waitForAccessLocked blocks (releasing the lock while sleeping) until
+// waitForAccessLocked blocks (releasing the locks while sleeping) until
 // the requested access is compatible, driving the lease-escalation
 // state machine against a conflicting writer: lease remainder →
 // cooperative recall → recall deadline → forcible revocation
 // (escalateLeaseLocked). The wait is therefore bounded by
-// LeaseTime + RecallTimeout plus scheduling noise.
-func (c *Controller) waitForAccessLocked(ls *libfsState, fs *fileState, write bool) error {
+// LeaseTime + RecallTimeout plus scheduling noise. The caller's
+// admission slot (gate may be nil) is released across each sleep so a
+// sleeping waiter cannot occupy the slot its lease holder needs to
+// comply with the recall.
+func (c *Controller) waitForAccessLocked(ls *libfsState, fs *fileState, write bool, gate *admitGate) error {
 	for {
 		if ls.dead {
 			// The waiter itself was reaped while sleeping.
@@ -193,9 +378,13 @@ func (c *Controller) waitForAccessLocked(ls *libfsState, fs *fileState, write bo
 			wait = accessPoll
 		}
 		fs.waiters++
-		c.mu.Unlock()
+		gate.pause(ls.id)
+		c.unlockAll()
 		time.Sleep(wait)
-		c.mu.Lock()
+		// Re-enter the gate before the locks: resume can block on a free
+		// slot, and slot holders may themselves be waiting on the locks.
+		gate.resume(ls.id)
+		c.lockAll()
 		fs.waiters--
 	}
 }
@@ -254,7 +443,7 @@ func (c *Controller) lookupOrAdoptLocked(ino core.Ino, loc core.FileLoc) (*fileS
 	}
 	fs.ftype = rep.Inode.Type
 	c.commitReportLocked(fs, ls, rep)
-	c.files[ino] = fs
+	c.registerFileLocked(fs)
 	return fs, nil
 }
 
@@ -285,12 +474,89 @@ func (s *Session) UnmapFile(ino core.Ino) error {
 	s.c.trap()
 	start := time.Now()
 	defer func() { s.c.stats.addUnmap(time.Since(start)) }()
-	s.c.mu.Lock()
-	defer s.c.mu.Unlock()
+
+	c := s.c
+	c.stats.shard(c.shardIdxIno(ino)).Unmaps.Add(1)
+	gate := c.admit(s.ls.id)
+	defer gate.exit(s.ls.id)
+
+	err := s.unmapFast(ino)
+	if err != errEscalate {
+		return err
+	}
+	c.lockAll()
+	defer c.unlockAll()
 	if err := s.aliveLocked(); err != nil {
 		return err
 	}
-	return s.c.unmapLocked(s.ls, ino)
+	return c.unmapLocked(s.ls, ino)
+}
+
+// unmapFast is UnmapFile under only the involved shards' locks. Reader
+// detaches always qualify; writer detaches qualify when the file is a
+// clean regular file whose pages are owned within the file and its
+// parent — corruption handling and directory child adoption escalate.
+func (s *Session) unmapFast(ino core.Ino) error {
+	c := s.c
+	set, fs := c.lockForFile(c.shardIdxSession(s.ls.id), ino, true)
+	defer c.unlockShards(&set)
+	if err := s.aliveLocked(); err != nil {
+		return err
+	}
+	m := s.ls.mapped[ino]
+	if m == nil {
+		if s.ls.revoked[ino] {
+			return fmt.Errorf("%w: ino %d", ErrRevoked, ino)
+		}
+		return fmt.Errorf("%w: ino %d is not mapped", ErrBadRequest, ino)
+	}
+	if fs == nil {
+		return fmt.Errorf("%w: ino %d", ErrUnknownFile, ino)
+	}
+	if !m.write {
+		for _, p := range m.pages {
+			s.ls.unrefPageLocked(p)
+		}
+		delete(fs.readers, s.ls.id)
+		delete(s.ls.mapped, ino)
+		return nil
+	}
+	if fs.ftype != core.TypeReg || fs.quarantined != 0 || fs.corrupt {
+		return errEscalate
+	}
+	rep, err := c.runVerifierLocked(fs, s.ls)
+	if err != nil {
+		return err
+	}
+	if !rep.OK() {
+		return errEscalate // the fix/rollback machinery needs everything
+	}
+	if !c.pagesOwnedWithin(rep.Pages, fs.ino, fs.parent) ||
+		!c.pagesOwnedWithin(m.pages, fs.ino, fs.parent) {
+		return errEscalate
+	}
+	c.commitReportLocked(fs, s.ls, rep)
+	sealSet := c.finishWriteUnmapLocked(s.ls, fs, m)
+	// Seal under the narrowest lock that still serializes the record
+	// RMWs: pages owned by the file need only its home shard, so the
+	// session's and parent's shards are released first — the seal is the
+	// one streaming (sleeping) access of the unmap, and holding three
+	// shards through it would let two random unmaps conflict most of the
+	// time, flattening the shard scaling this path exists for. The few
+	// pages owned elsewhere (the dirent page, owned by the parent) seal
+	// now, while the full set is still held.
+	var own, foreign []nvm.PageID
+	for _, p := range sealSet {
+		if o, ok := c.ownerOf(p); ok && o == fs.ino {
+			own = append(own, p)
+		} else {
+			foreign = append(foreign, p)
+		}
+	}
+	c.sealQuiescentLocked(foreign)
+	c.downgradeToShard(&set, c.shardIdxIno(fs.ino))
+	c.sealQuiescentLocked(own)
+	return nil
 }
 
 func (c *Controller) unmapLocked(ls *libfsState, ino core.Ino) error {
@@ -305,13 +571,10 @@ func (c *Controller) unmapLocked(ls *libfsState, ino core.Ino) error {
 	if fs == nil {
 		return fmt.Errorf("%w: ino %d", ErrUnknownFile, ino)
 	}
-	unref := func(pages []nvm.PageID) {
-		for _, p := range pages {
+	if !m.write {
+		for _, p := range m.pages {
 			ls.unrefPageLocked(p)
 		}
-	}
-	if !m.write {
-		unref(m.pages)
 		delete(fs.readers, ls.id)
 		delete(ls.mapped, ino)
 		return nil
@@ -330,22 +593,31 @@ func (c *Controller) unmapLocked(ls *libfsState, ino core.Ino) error {
 		// releases everything.
 		c.commitReportLocked(fs, ls, rep)
 	}
-	unref(m.pages)
+	c.sealQuiescentLocked(c.finishWriteUnmapLocked(ls, fs, m))
+	return nil
+}
+
+// finishWriteUnmapLocked is the tail both writer-unmap paths share:
+// release the mapping's references and resolve any outstanding recall.
+// It returns the now-quiescent pages for the caller to seal — the
+// writer is gone and its stores are durable (every LibFS write persists
+// before returning), so the content is exactly what a scrub should
+// vouch for. The seal is the caller's because the fast path seals under
+// a narrower lock set than it unmaps under (see unmapFast).
+func (c *Controller) finishWriteUnmapLocked(ls *libfsState, fs *fileState, m *mapping) []nvm.PageID {
+	for _, p := range m.pages {
+		ls.unrefPageLocked(p)
+	}
 	fs.writer = 0
 	fs.checkpoint = nil
+	c.stats.observeRecall(fs.recallAt)
 	fs.recallAt = time.Time{} // the holder complied; recall resolved
-	delete(ls.mapped, ino)
-	// The writer is gone and its stores are durable (every LibFS write
-	// persists before returning); seal the file's pages so the scrubber
-	// can vouch for them from here on. Pages another session still
-	// write-maps stay open.
+	delete(ls.mapped, fs.ino)
 	sealSet := make([]nvm.PageID, 0, len(fs.pages)+len(m.pages))
 	for p := range fs.pages {
 		sealSet = append(sealSet, p)
 	}
-	sealSet = append(sealSet, m.pages...)
-	c.sealQuiescentLocked(sealSet)
-	return nil
+	return append(sealSet, m.pages...)
 }
 
 // runVerifierLocked invokes the trusted verifier process on one file.
@@ -415,7 +687,7 @@ func (c *Controller) commitReportLocked(fs *fileState, ls *libfsState, rep *veri
 					ls.unrefPageLocked(p)
 				}
 			}
-			c.pageOwner[p] = fs.ino
+			c.setPageOwner(p, fs.ino)
 		}
 	}
 	// Pages that left the file are parked on the verified LibFS rather
@@ -429,7 +701,7 @@ func (c *Controller) commitReportLocked(fs *fileState, ls *libfsState, rep *veri
 	// good; only then does a truly departed page become free.
 	for p := range fs.pages {
 		if !newSet[p] {
-			delete(c.pageOwner, p)
+			c.clearPageOwner(p)
 			if inMapping[p] {
 				// Move from the file mapping to the parked set; its
 				// reference becomes the parked reference, so an alive
@@ -450,10 +722,10 @@ func (c *Controller) commitReportLocked(fs *fileState, ls *libfsState, rep *veri
 	fs.pages = newSet
 
 	// Shadow adoption / refresh.
-	if _, ok := c.shadow[fs.ino]; !ok {
-		c.shadow[fs.ino] = verifier.ShadowInfo{
+	if _, ok := c.shadowOf(fs.ino); !ok {
+		c.setShadow(fs.ino, verifier.ShadowInfo{
 			Mode: rep.Inode.Mode, UID: ls.uid, GID: ls.gid, Type: rep.Inode.Type,
-		}
+		})
 		delete(ls.allocInos, fs.ino)
 	}
 
@@ -514,7 +786,7 @@ func (c *Controller) adoptChildLocked(parent *fileState, ls *libfsState, ch *ver
 		sealSet = append(sealSet, p)
 	}
 	c.sealQuiescentLocked(sealSet)
-	c.files[ch.Ino] = cfs
+	c.registerFileLocked(cfs)
 	if _, ok := c.shadow[ch.Ino]; !ok {
 		// Credentials: the LibFS the ino was issued to (it may differ
 		// from the LibFS under verification within a trust group).
@@ -688,7 +960,7 @@ func (e *envImpl) PageAllocated(p nvm.PageID) bool {
 	return false
 }
 func (e *envImpl) PageOwner(p nvm.PageID) (core.Ino, bool) {
-	ino, ok := e.c.pageOwner[p]
+	ino, ok := e.c.ownerOf(p)
 	if ok && ino == e.fs.ino {
 		return 0, false
 	}
@@ -703,7 +975,7 @@ func (e *envImpl) InoAllocated(ino core.Ino) bool {
 	// Inos issued to any LibFS in the same trust group count: group
 	// members share a LibFS in practice, but the bookkeeping is per
 	// session.
-	holder, ok := e.c.allocBy[ino]
+	holder, ok := e.c.allocHolderOf(ino)
 	if !ok {
 		return false
 	}
@@ -714,8 +986,7 @@ func (e *envImpl) InoAllocated(ino core.Ino) bool {
 	return h != nil && h.group == e.ls.group
 }
 func (e *envImpl) Shadow(ino core.Ino) (verifier.ShadowInfo, bool) {
-	s, ok := e.c.shadow[ino]
-	return s, ok
+	return e.c.shadowOf(ino)
 }
 func (e *envImpl) CredFor(ino core.Ino) (uint32, uint32) {
 	if e.sys {

@@ -1,0 +1,7 @@
+//go:build race
+
+package controller
+
+// raceEnabled lets timing-sensitive tests scale their load expectations
+// when the race detector is multiplying every operation's cost.
+const raceEnabled = true

@@ -23,8 +23,8 @@ import (
 // when the controller reaps the session (explicitly via Reap, or by the
 // lease sweeper).
 func (s *Session) Abandon() {
-	s.c.mu.Lock()
-	defer s.c.mu.Unlock()
+	s.c.lockAll()
+	defer s.c.unlockAll()
 	s.ls.dead = true
 }
 
@@ -34,8 +34,8 @@ func (s *Session) Abandon() {
 // file (UnmapFile) before RecallTimeout, or the controller revokes it
 // forcibly.
 func (s *Session) SetRecallHandler(fn func(ino core.Ino)) {
-	s.c.mu.Lock()
-	defer s.c.mu.Unlock()
+	s.c.lockAll()
+	defer s.c.unlockAll()
 	s.ls.recall = fn
 }
 
@@ -46,8 +46,8 @@ func (s *Session) SetRecallHandler(fn func(ino core.Ino)) {
 // unknown (already reaped or closed) session is a no-op, so explicit
 // reaps and the background sweeper can race benignly.
 func (c *Controller) Reap(id LibFSID) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
 	ls := c.libfses[id]
 	if ls == nil {
 		return nil
@@ -59,7 +59,11 @@ func (c *Controller) Reap(id LibFSID) error {
 func (c *Controller) reapLocked(ls *libfsState) {
 	ls.dead = true
 	c.stats.Reaps.Add(1)
+	c.stats.shard(c.shardIdxSession(ls.id)).Reaps.Add(1)
 
+	// Settle the write-mapped accounting before the permission array is
+	// cleared; the unrefs below then find nothing left to double-count.
+	c.dropWriteRefs(ls)
 	// Revoke the MMU first: from this instant the dead process — and
 	// any delegation worker still acting on its behalf — faults on
 	// every access, so the verifier below examines a frozen state.
@@ -137,7 +141,7 @@ func (c *Controller) reapLocked(ls *libfsState) {
 			c.reaped[ino] = true
 		}
 	}
-	delete(c.libfses, ls.id)
+	c.unregisterSessionLocked(ls.id)
 }
 
 // reapOrphansLocked garbage-collects files a dead session unlinked but
@@ -190,7 +194,7 @@ func (c *Controller) reapOrphansLocked(ls *libfsState, deadDirs []*fileState) {
 			ls.parked[p] = true
 			c.tracePage(p, "park-orphan ino=%d ls=%d", fs.ino, ls.id)
 		}
-		delete(c.files, fs.ino)
+		c.unregisterFileLocked(fs.ino)
 		delete(c.shadow, fs.ino)
 		delete(c.allocBy, fs.ino)
 		c.reaped[fs.ino] = true
@@ -259,6 +263,7 @@ func (c *Controller) reapFileLocked(ls *libfsState, fs *fileState) {
 	ls.revoked[fs.ino] = true
 	fs.writer = 0
 	fs.checkpoint = nil
+	c.stats.observeRecall(fs.recallAt)
 	fs.recallAt = time.Time{}
 }
 
@@ -282,7 +287,7 @@ func (c *Controller) retireFileLocked(ls *libfsState, fs *fileState) {
 		ls.parked[p] = true
 		c.tracePage(p, "park-retire ino=%d ls=%d", fs.ino, ls.id)
 	}
-	delete(c.files, fs.ino)
+	c.unregisterFileLocked(fs.ino)
 	delete(c.shadow, fs.ino)
 	delete(c.allocBy, fs.ino)
 	c.reaped[fs.ino] = true
@@ -375,93 +380,89 @@ func (c *Controller) bindStrayPoolPagesLocked(ls *libfsState) {
 	}
 }
 
-// escalateLeaseLocked advances the lease-enforcement state machine for
-// a file whose writer conflicts with a waiter, and returns how long the
-// caller should wait before re-checking (0 = state changed, re-check
-// now). Escalation order (§4.5): wait out the lease → cooperative
-// recall request → recall deadline → forcible revocation of the file.
-func (c *Controller) escalateLeaseLocked(fs *fileState) time.Duration {
+// escalateLeaseFastLocked advances the lease-enforcement state machine
+// for a contended file under only the file's home shard lock, and
+// returns how long the caller should wait before re-checking (0 =
+// state changed, re-check now). It is safe under the narrow lock set
+// because everything it touches is either guarded by the file's home
+// shard (fs.writer, fs.writerSince, fs.recallAt), written only under
+// lockAll and therefore stable under any shard lock (ls.dead,
+// ls.recall, the registries), or internally synchronized (stats).
+// The two transitions that mutate foreign-shard state — reaping a dead
+// holder and forcibly revoking past the recall deadline — return
+// errEscalate so the caller reruns under lockAll.
+func (c *Controller) escalateLeaseFastLocked(fs *fileState) (time.Duration, error) {
 	holder := c.libfses[fs.writer]
 	if holder == nil {
 		// Holder vanished (closed or reaped concurrently).
 		fs.writer = 0
+		c.stats.observeRecall(fs.recallAt)
 		fs.recallAt = time.Time{}
-		return 0
+		return 0, nil
 	}
+	if holder.dead {
+		// The holder's process is gone: the whole session must be
+		// reaped, which tears down mappings homed on other shards.
+		return 0, errEscalate
+	}
+	if remaining := c.opts.LeaseTime - time.Since(fs.writerSince); remaining > 0 {
+		return remaining, nil
+	}
+	if fs.recallAt.IsZero() {
+		if fn := holder.recall; fn != nil {
+			// Step 1: ask nicely, once, off the lock.
+			c.stats.LeaseRecalls.Add(1)
+			c.stats.shard(c.shardIdxIno(fs.ino)).Recalls.Add(1)
+			fs.recallAt = time.Now()
+			ino := fs.ino
+			go fn(ino)
+			return c.opts.RecallTimeout, nil
+		}
+		// No recall handler: straight to forcible revocation.
+		return 0, errEscalate
+	}
+	if left := c.opts.RecallTimeout - time.Since(fs.recallAt); left > 0 {
+		// Step 2: recall outstanding; give it the rest of its deadline.
+		return left, nil
+	}
+	// Step 3: the deadline passed — revoke.
+	return 0, errEscalate
+}
+
+// escalateLeaseLocked is the lockAll form: identical escalation order
+// (§4.5: wait out the lease → cooperative recall → recall deadline →
+// forcible revocation), but able to complete the revocation and
+// holder-reap transitions the fast form bails out of.
+func (c *Controller) escalateLeaseLocked(fs *fileState) time.Duration {
+	wait, err := c.escalateLeaseFastLocked(fs)
+	if err == nil {
+		return wait
+	}
+	holder := c.libfses[fs.writer]
 	if holder.dead {
 		// The holder's process is gone: reap the whole session — it can
 		// never unmap anything again.
 		c.reapLocked(holder)
 		return 0
 	}
-	if remaining := c.opts.LeaseTime - time.Since(fs.writerSince); remaining > 0 {
-		return remaining
-	}
-	if fs.recallAt.IsZero() {
-		if fn := holder.recall; fn != nil {
-			// Step 1: ask nicely, once, off the lock.
-			c.stats.LeaseRecalls.Add(1)
-			fs.recallAt = time.Now()
-			ino := fs.ino
-			go fn(ino)
-			return c.opts.RecallTimeout
-		}
-	} else if left := c.opts.RecallTimeout - time.Since(fs.recallAt); left > 0 {
-		// Step 2: recall outstanding; give it the rest of its deadline.
-		return left
-	}
-	// Step 3: no recall handler, or the deadline passed — revoke.
+	// No recall handler, or the deadline passed — revoke.
 	c.stats.LeaseExpiries.Add(1)
 	c.reapFileLocked(holder, fs)
 	return 0
 }
 
-// sweeper is the background enforcement loop (Options.LeaseSweep):
-// abandoned sessions are reaped and contended expired leases escalate
-// even when no Map call is in flight to drive the state machine.
-func (c *Controller) sweeper() {
-	defer close(c.sweepDone)
-	t := time.NewTicker(c.opts.LeaseSweep)
-	defer t.Stop()
-	for {
-		select {
-		case <-c.sweepStop:
-			return
-		case <-t.C:
-			c.sweepOnce()
-			// One rate-limited scrub slice per sweep period (ISSUE 5):
-			// the budget bounds how much tenant read bandwidth the
-			// integrity audit may consume.
-			c.scrubNow()
-		}
-	}
-}
-
-func (c *Controller) sweepOnce() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var dead []*libfsState
-	for _, ls := range c.libfses {
-		if ls.dead {
-			dead = append(dead, ls)
-		}
-	}
-	for _, ls := range dead {
-		c.reapLocked(ls)
-	}
-	for _, fs := range c.files {
-		if fs.writer != 0 && fs.waiters > 0 {
-			c.escalateLeaseLocked(fs)
-		}
-	}
-}
+// The background enforcement loop is per-shard since ISSUE 6: see
+// Controller.shardSweeper in shard.go. Each shard reaps the abandoned
+// sessions homed on it, escalates its own contended leases, and runs
+// its slice of the scrub budget, so one tenant's churn cannot consume
+// another shard's sweeper period.
 
 // ReapAbandoned reaps every abandoned-but-unreaped session right now
-// (the on-demand form of the sweeper's first half). It returns how many
+// (the on-demand form of the sweepers' first half). It returns how many
 // sessions were reaped.
 func (c *Controller) ReapAbandoned() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
 	var dead []*libfsState
 	for _, ls := range c.libfses {
 		if ls.dead {

@@ -13,22 +13,32 @@ import (
 // global information (for I2) and maps them read-write. LibFSes batch
 // these calls through per-CPU caches, so the kernel crossing amortizes
 // away (§4.5).
+// Allocation runs under the session's home shard alone: the page and
+// ino allocators are internally synchronized, the granted pages are
+// exclusively the caller's (fresh and unowned, so no scrub or seal can
+// race their checksum-record opens), and the accounting touched is the
+// session's own plus the tabMu tables.
 func (s *Session) AllocPages(cpu, n int) ([]nvm.PageID, error) {
 	s.c.trap()
-	s.c.mu.Lock()
-	defer s.c.mu.Unlock()
+	c := s.c
+	gate := c.admit(s.ls.id)
+	defer gate.exit(s.ls.id)
+	sIdx := c.shardIdxSession(s.ls.id)
+	c.stats.shard(sIdx).Allocs.Add(1)
+	c.shards[sIdx].mu.Lock()
+	defer c.shards[sIdx].mu.Unlock()
 	if err := s.aliveLocked(); err != nil {
 		return nil, err
 	}
-	pages, err := s.c.pageAlloc.AllocPages(cpu, n)
+	pages, err := c.pageAlloc.AllocPages(cpu, n)
 	if err != nil {
 		return nil, err
 	}
-	s.c.openGrantedLocked(pages)
+	c.openGrantedLocked(pages)
 	for _, p := range pages {
 		s.ls.allocPages[p] = true
 		s.ls.refPageLocked(p, mmu.PermWrite)
-		s.c.tracePage(p, "grant ls=%d", s.ls.id)
+		c.tracePage(p, "grant ls=%d", s.ls.id)
 	}
 	return pages, nil
 }
@@ -37,20 +47,25 @@ func (s *Session) AllocPages(cpu, n int) ([]nvm.PageID, error) {
 // striping datapath (§4.5).
 func (s *Session) AllocPagesOnNode(cpu, n, node int) ([]nvm.PageID, error) {
 	s.c.trap()
-	s.c.mu.Lock()
-	defer s.c.mu.Unlock()
+	c := s.c
+	gate := c.admit(s.ls.id)
+	defer gate.exit(s.ls.id)
+	sIdx := c.shardIdxSession(s.ls.id)
+	c.stats.shard(sIdx).Allocs.Add(1)
+	c.shards[sIdx].mu.Lock()
+	defer c.shards[sIdx].mu.Unlock()
 	if err := s.aliveLocked(); err != nil {
 		return nil, err
 	}
-	pages, err := s.c.pageAlloc.AllocPagesOnNode(s.c.dev, cpu, n, node)
+	pages, err := c.pageAlloc.AllocPagesOnNode(c.dev, cpu, n, node)
 	if err != nil {
 		return nil, err
 	}
-	s.c.openGrantedLocked(pages)
+	c.openGrantedLocked(pages)
 	for _, p := range pages {
 		s.ls.allocPages[p] = true
 		s.ls.refPageLocked(p, mmu.PermWrite)
-		s.c.tracePage(p, "grant-node ls=%d", s.ls.id)
+		c.tracePage(p, "grant-node ls=%d", s.ls.id)
 	}
 	return pages, nil
 }
@@ -62,8 +77,13 @@ func (s *Session) AllocPagesOnNode(cpu, n, node int) ([]nvm.PageID, error) {
 func (s *Session) FreePages(pages []nvm.PageID) error {
 	s.c.trap()
 	c := s.c
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	gate := c.admit(s.ls.id)
+	defer gate.exit(s.ls.id)
+	if err := s.freePagesFast(pages); err != errEscalate {
+		return err
+	}
+	c.lockAll()
+	defer c.unlockAll()
 	if err := s.aliveLocked(); err != nil {
 		return err
 	}
@@ -107,21 +127,61 @@ func (s *Session) FreePages(pages []nvm.PageID) error {
 	return nil
 }
 
+// freePagesFast handles frees that stay inside the caller's own pool
+// and parked sets, under the session's home shard alone. A page bound
+// into a file (truncate) involves the file's state, so it escalates.
+func (s *Session) freePagesFast(pages []nvm.PageID) error {
+	c := s.c
+	sIdx := c.shardIdxSession(s.ls.id)
+	c.shards[sIdx].mu.Lock()
+	defer c.shards[sIdx].mu.Unlock()
+	if err := s.aliveLocked(); err != nil {
+		return err
+	}
+	for _, p := range pages {
+		if !s.ls.parked[p] && !s.ls.allocPages[p] {
+			return errEscalate
+		}
+	}
+	freeable := make([]nvm.PageID, 0, len(pages))
+	for _, p := range pages {
+		if s.ls.parked[p] {
+			c.tracePage(p, "free-noop-parked ls=%d", s.ls.id)
+			continue
+		}
+		delete(s.ls.allocPages, p)
+		s.ls.unrefPageLocked(p)
+		c.tracePage(p, "free-pool ls=%d", s.ls.id)
+		freeable = append(freeable, p)
+	}
+	c.pageAlloc.FreePages(freeable)
+	return nil
+}
+
 // AllocInos issues a batch of fresh inode numbers to the LibFS.
 func (s *Session) AllocInos(cpu, n int) ([]core.Ino, error) {
 	s.c.trap()
-	s.c.mu.Lock()
-	defer s.c.mu.Unlock()
+	c := s.c
+	gate := c.admit(s.ls.id)
+	defer gate.exit(s.ls.id)
+	sIdx := c.shardIdxSession(s.ls.id)
+	c.stats.shard(sIdx).Allocs.Add(1)
+	c.shards[sIdx].mu.Lock()
+	defer c.shards[sIdx].mu.Unlock()
 	if err := s.aliveLocked(); err != nil {
 		return nil, err
 	}
 	out := make([]core.Ino, n)
 	for i := range out {
-		ino := core.Ino(s.c.inoAlloc.Alloc(cpu))
+		ino := core.Ino(c.inoAlloc.Alloc(cpu))
 		out[i] = ino
 		s.ls.allocInos[ino] = true
-		s.c.allocBy[ino] = s.ls.id
 	}
+	c.tabMu.Lock()
+	for _, ino := range out {
+		c.allocBy[ino] = s.ls.id
+	}
+	c.tabMu.Unlock()
 	return out, nil
 }
 
@@ -150,8 +210,8 @@ type shadowPatch struct {
 
 func (s *Session) changePerm(ino core.Ino, patch func(*shadowPatch)) error {
 	c := s.c
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
 	if err := s.aliveLocked(); err != nil {
 		return err
 	}
@@ -224,8 +284,8 @@ func (s *Session) changePerm(ino core.Ino, patch func(*shadowPatch)) error {
 func (s *Session) RemoveFile(ino core.Ino, poolPages []nvm.PageID) error {
 	s.c.trap()
 	c := s.c
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
 	if err := s.aliveLocked(); err != nil {
 		return err
 	}
@@ -251,8 +311,8 @@ type Removal struct {
 func (s *Session) RemoveFiles(items []Removal) (recycled []nvm.PageID, err error) {
 	s.c.trap()
 	c := s.c
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
 	if err := s.aliveLocked(); err != nil {
 		return nil, err
 	}
@@ -378,7 +438,7 @@ func (s *Session) removeLocked(ino core.Ino, poolPages []nvm.PageID) error {
 		s.ls.parked[p] = true
 		c.tracePage(p, "park-rm ino=%d ls=%d", ino, s.ls.id)
 	}
-	delete(c.files, ino)
+	c.unregisterFileLocked(ino)
 	delete(c.shadow, ino)
 	delete(c.allocBy, ino)
 	return nil
@@ -390,8 +450,8 @@ func (s *Session) removeLocked(ino core.Ino, poolPages []nvm.PageID) error {
 func (s *Session) Commit(ino core.Ino) error {
 	s.c.trap()
 	c := s.c
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
 	if err := s.aliveLocked(); err != nil {
 		return err
 	}
@@ -422,8 +482,8 @@ func (s *Session) Commit(ino core.Ino) error {
 // recovery programs run first (they are untrusted, which is exactly why
 // the verifier pass follows).
 func (c *Controller) Recover(recoveryPrograms map[LibFSID]func() error) (checked, rolledBack int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
 	for id, fn := range recoveryPrograms {
 		if c.libfses[id] != nil && fn != nil {
 			_ = fn()
@@ -473,8 +533,8 @@ type FileInfo struct {
 
 // Files lists the controller's file records.
 func (c *Controller) Files() []FileInfo {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
 	out := make([]FileInfo, 0, len(c.files))
 	for _, fs := range c.files {
 		out = append(out, FileInfo{
@@ -507,8 +567,8 @@ func pageNumIn(s string) string {
 // "full scan" mode); it returns the numbers of files checked and files
 // with violations.
 func (c *Controller) VerifyAll() (checked, bad int, firstProblem string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
 	sys := &libfsState{uid: 0, gid: 0, allocPages: map[nvm.PageID]bool{}, allocInos: map[core.Ino]bool{}}
 	for _, fs := range c.files {
 		env := &envImpl{c: c, fs: fs, ls: sys, sys: true}

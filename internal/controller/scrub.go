@@ -81,8 +81,8 @@ type ScrubReport struct {
 // or quarantining mismatches. It is the on-demand form of the
 // background scrub (arckfsck -scrub, recovery checks, tests).
 func (c *Controller) ScrubAll() ScrubReport {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
 	pass := c.scrubPassLocked(0, core.ChecksumBase(c.dev.NumPages()), -1)
 	rep := pass.ScrubReport
 	// Coverage: re-read the records of every candidate.
@@ -137,9 +137,9 @@ type scrubPassReport struct {
 }
 
 // scrubPassLocked audits candidate pages in [from, to), stopping after
-// budget audited pages (budget < 0 = unlimited). Callers hold c.mu,
-// which serializes the pass against every grant, unmap and verification
-// — no page can change hands mid-audit.
+// budget audited pages (budget < 0 = unlimited). Callers hold every
+// shard lock (lockAll), which serializes the pass against every grant,
+// unmap and verification — no page can change hands mid-audit.
 func (c *Controller) scrubPassLocked(from, to nvm.PageID, budget int) scrubPassReport {
 	rep := scrubPassReport{cursor: to}
 
@@ -202,64 +202,19 @@ func (c *Controller) scrubPassLocked(from, to nvm.PageID, budget int) scrubPassR
 	return rep
 }
 
-// pageWriteMappedLocked reports whether any live session can store to
-// page p right now.
+// pageWriteMappedLocked reports whether any session can store to page p
+// right now — O(1) against the global write-mapped refcounts instead of
+// a scan over every registered session (ISSUE 6: 10k sessions made the
+// scan the scrubber's bottleneck). Dead-but-unreaped sessions still
+// count, which is conservative: their pages stay unsealed until the
+// reaper settles the accounting.
 func (c *Controller) pageWriteMappedLocked(p nvm.PageID) bool {
-	for _, ls := range c.libfses {
-		if !ls.dead && ls.as.PermOf(p) == mmu.PermWrite {
-			return true
-		}
-	}
-	return false
+	return c.writeMapped(p)
 }
 
-// sealQuiescentLocked seals the records of the given pages with their
-// current (durable) content, skipping any page some session still
-// write-maps. Used when a writer unmaps: verification just ran, every
-// store is persisted, so the content is exactly what a scrub should
-// vouch for from here on.
-func (c *Controller) sealQuiescentLocked(pages []nvm.PageID) {
-	total := c.dev.NumPages()
-	base := core.ChecksumBase(total)
-	for _, p := range pages {
-		if p >= base || c.pageWriteMappedLocked(p) {
-			continue
-		}
-		// Only open/unknown records need sealing; checking the 8-byte
-		// record first keeps closing a large file from costing a full
-		// CRC pass over pages that were never opened.
-		if rec, err := core.LoadChecksum(c.mem, total, p); err != nil || core.ChecksumSealed(rec) {
-			continue
-		}
-		if v, _, _, err := c.scrubber.ScrubPage(p, true); err == nil && v == verifier.ScrubSealed {
-			c.stats.ScrubSealed.Add(1)
-			c.tracePage(p, "seal-unmap")
-		}
-	}
-}
-
-// openGrantedLocked marks every granted page's checksum record open
-// before the grantee can store to it, then fences once so the marks are
-// durably ordered ahead of any of the grantee's data stores. Errors are
-// deliberately not fatal to the grant: a failed open leaves the record
-// in its previous state, which is at worst a sealed record the LibFS's
-// first store invalidates — the scrub pass then reports it, repairs it
-// from the still-correct candidate, or the unmap-time reseal fixes it.
-func (c *Controller) openGrantedLocked(pages []nvm.PageID) {
-	total := c.dev.NumPages()
-	fence := false
-	for _, p := range pages {
-		if p >= core.ChecksumBase(total) {
-			continue
-		}
-		if wrote, err := core.OpenChecksum(c.mem, total, p); err == nil && wrote {
-			fence = true
-		}
-	}
-	if fence {
-		c.mem.Fence()
-	}
-}
+// sealQuiescentLocked and openGrantedLocked live in bulkio.go: the
+// unmap-time seal and grant-time record opens are extent-coalesced
+// (ISSUE 6) so a file's worth of records costs one span access.
 
 // repairPageLocked tries to heal a mismatched page from redundant
 // metadata. Every candidate is validated against the sealed record's
@@ -297,7 +252,7 @@ func (c *Controller) repairPageLocked(p nvm.PageID, want uint32) bool {
 	// Install under the barriers of every session that maps the page —
 	// all held at once, so no reader in any session observes a
 	// half-repaired page mid-range-read. Nesting distinct sessions'
-	// barriers is deadlock-free: c.mu serializes every multi-barrier
+	// barriers is deadlock-free: lockAll serializes every multi-barrier
 	// holder, and mmu accessors only ever hold their own session's.
 	var holders []*libfsState
 	for _, ls := range c.libfses {
@@ -436,14 +391,15 @@ func (c *Controller) quarantinePageLocked(p nvm.PageID) {
 	}
 }
 
-// scrubNow runs one budgeted background slice (the sweeper's hook).
+// scrubNow runs one budgeted on-demand slice over the global cursor
+// (tests and tools; the background sweepers run scrubShard instead).
 func (c *Controller) scrubNow() {
 	budget := c.scrubBudget()
 	if budget <= 0 {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
 	start := time.Now()
 	c.scrubSweepLocked(budget)
 	c.stats.ScrubNS.Add(int64(time.Since(start)))

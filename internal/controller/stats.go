@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"fmt"
 	"time"
 
 	"trio/internal/telemetry"
@@ -50,12 +51,48 @@ type Stats struct {
 	ScrubRepaired    *telemetry.Counter // mismatches healed from redundancy
 	ScrubQuarantined *telemetry.Counter // mismatches that poisoned a file
 	ScrubNS          *telemetry.Counter // time spent in background slices
+
+	// RecallLat is the lease-recall latency distribution (ISSUE 6): the
+	// time from a cooperative recall request to the file becoming free —
+	// the holder complying, being forcibly revoked, or vanishing.
+	RecallLat *telemetry.Histogram
+
+	// perShard are the ISSUE 6 lock-shard counters: which shard's lock
+	// the work ran under. Snapshot merges them race-cleanly alongside
+	// the global counters.
+	perShard []ShardCounters
 }
 
-func newStats() *Stats {
+// ShardCounters are the per-lock-shard activity counters. They are
+// plain telemetry counters (atomic adds), so concurrent shards never
+// contend on them.
+type ShardCounters struct {
+	Maps       *telemetry.Counter // MapFile calls routed to files of this shard
+	Unmaps     *telemetry.Counter // UnmapFile calls likewise
+	Allocs     *telemetry.Counter // page/ino allocation calls by sessions homed here
+	Reaps      *telemetry.Counter // sessions homed here forcibly torn down
+	Recalls    *telemetry.Counter // lease recalls for files homed here
+	ScrubPages *telemetry.Counter // pages audited by this shard's scrub slice
+	Admitted   *telemetry.Counter // calls admitted through this shard's gate
+	AdmitWaits *telemetry.Counter // admissions that had to queue
+}
+
+// shard returns shard i's counters (modulo, so synthetic contexts with
+// an out-of-range hint stay safe).
+func (s *Stats) shard(i int) *ShardCounters {
+	return &s.perShard[i%len(s.perShard)]
+}
+
+// ShardCount reports how many lock shards the stats were built for.
+func (s *Stats) ShardCount() int { return len(s.perShard) }
+
+func newStats(shards int) *Stats {
+	if shards <= 0 {
+		shards = 1
+	}
 	reg := telemetry.NewRegistry()
 	reg.Enable()
-	return &Stats{
+	s := &Stats{
 		reg:       reg,
 		MapCount:  reg.NewCounter("controller.map_count"),
 		MapNS:     reg.NewCounter("controller.map_ns"),
@@ -85,7 +122,38 @@ func newStats() *Stats {
 		ScrubRepaired:    reg.NewCounter("controller.scrub_repaired"),
 		ScrubQuarantined: reg.NewCounter("controller.scrub_quarantined"),
 		ScrubNS:          reg.NewCounter("controller.scrub_ns"),
+
+		RecallLat: reg.NewHistogram("controller.recall_ns"),
 	}
+	s.perShard = make([]ShardCounters, shards)
+	for i := range s.perShard {
+		pfx := fmt.Sprintf("controller.shard%d.", i)
+		s.perShard[i] = ShardCounters{
+			Maps:       reg.NewCounter(pfx + "maps"),
+			Unmaps:     reg.NewCounter(pfx + "unmaps"),
+			Allocs:     reg.NewCounter(pfx + "allocs"),
+			Reaps:      reg.NewCounter(pfx + "reaps"),
+			Recalls:    reg.NewCounter(pfx + "recalls"),
+			ScrubPages: reg.NewCounter(pfx + "scrub_pages"),
+			Admitted:   reg.NewCounter(pfx + "admitted"),
+			AdmitWaits: reg.NewCounter(pfx + "admit_waits"),
+		}
+	}
+	return s
+}
+
+// observeRecall records one resolved lease recall (requested at t).
+func (s *Stats) observeRecall(requestedAt time.Time) {
+	if requestedAt.IsZero() {
+		return
+	}
+	s.RecallLat.ObserveSince(requestedAt)
+}
+
+// RecallP99 reports the p99 lease-recall latency (power-of-two bucket
+// resolution; 0 when no recall resolved yet).
+func (s *Stats) RecallP99() time.Duration {
+	return time.Duration(s.reg.Snapshot().Hist("controller.recall_ns").Quantile(0.99))
 }
 
 // Registry exposes the controller's telemetry registry (arckfsck -json
@@ -130,13 +198,52 @@ type Snapshot struct {
 	ScrubPasses, ScrubPages, ScrubSealed            int64
 	ScrubDetected, ScrubRepaired, ScrubQuarantined  int64
 	ScrubTime                                       time.Duration
+
+	// PerShard mirrors the lock-shard counters (ISSUE 6), one entry per
+	// shard, taken in the same registry pass as the global counters.
+	PerShard []ShardSnapshot
+}
+
+// ShardSnapshot is the plain-value form of one shard's counters.
+type ShardSnapshot struct {
+	Maps, Unmaps, Allocs, Reaps, Recalls int64
+	ScrubPages, Admitted, AdmitWaits     int64
+}
+
+// Sub returns the delta s - prev.
+func (s ShardSnapshot) Sub(prev ShardSnapshot) ShardSnapshot {
+	return ShardSnapshot{
+		Maps:       s.Maps - prev.Maps,
+		Unmaps:     s.Unmaps - prev.Unmaps,
+		Allocs:     s.Allocs - prev.Allocs,
+		Reaps:      s.Reaps - prev.Reaps,
+		Recalls:    s.Recalls - prev.Recalls,
+		ScrubPages: s.ScrubPages - prev.ScrubPages,
+		Admitted:   s.Admitted - prev.Admitted,
+		AdmitWaits: s.AdmitWaits - prev.AdmitWaits,
+	}
 }
 
 // Snapshot copies the counters through one registry snapshot: every
 // value is an atomic read taken in a single pass, never a torn copy.
 func (s *Stats) Snapshot() Snapshot {
 	snap := s.reg.Snapshot()
+	shards := make([]ShardSnapshot, len(s.perShard))
+	for i := range shards {
+		pfx := fmt.Sprintf("controller.shard%d.", i)
+		shards[i] = ShardSnapshot{
+			Maps:       snap.Get(pfx + "maps"),
+			Unmaps:     snap.Get(pfx + "unmaps"),
+			Allocs:     snap.Get(pfx + "allocs"),
+			Reaps:      snap.Get(pfx + "reaps"),
+			Recalls:    snap.Get(pfx + "recalls"),
+			ScrubPages: snap.Get(pfx + "scrub_pages"),
+			Admitted:   snap.Get(pfx + "admitted"),
+			AdmitWaits: snap.Get(pfx + "admit_waits"),
+		}
+	}
 	return Snapshot{
+		PerShard:     shards,
 		MapCount:     snap.Get("controller.map_count"),
 		UnmapCount:   snap.Get("controller.unmap_count"),
 		VerifyCount:  snap.Get("controller.verify_count"),
@@ -167,8 +274,20 @@ func (s *Stats) Snapshot() Snapshot {
 }
 
 // Sub returns the delta s - prev, for measuring one experiment window.
+// Per-shard counters subtract when both snapshots carry the same shard
+// count (they always do for snapshots of one controller).
 func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	var shards []ShardSnapshot
+	if len(s.PerShard) == len(prev.PerShard) {
+		shards = make([]ShardSnapshot, len(s.PerShard))
+		for i := range shards {
+			shards[i] = s.PerShard[i].Sub(prev.PerShard[i])
+		}
+	} else {
+		shards = append(shards, s.PerShard...)
+	}
 	return Snapshot{
+		PerShard:     shards,
 		MapCount:     s.MapCount - prev.MapCount,
 		UnmapCount:   s.UnmapCount - prev.UnmapCount,
 		VerifyCount:  s.VerifyCount - prev.VerifyCount,

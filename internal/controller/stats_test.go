@@ -11,7 +11,7 @@ import (
 // the registry-backed Snapshot path is a clean atomic read, replacing
 // the old field-by-field copy of plain atomics.
 func TestStatsSnapshotConcurrent(t *testing.T) {
-	s := newStats()
+	s := newStats(4)
 	const goroutines = 8
 	const per = 5000
 
@@ -56,11 +56,156 @@ func TestStatsSnapshotConcurrent(t *testing.T) {
 	}
 }
 
+// TestStatsPerShardAggregation hammers the per-shard counters from
+// concurrent goroutines — each shard's counters bumped from several
+// goroutines, plus one goroutine snapshotting throughout — and then
+// asserts Snapshot merged them exactly: every shard's entry matches
+// what was added to it, and the per-shard entries sum to the total.
+// Under -race this is the proof that Stats.Snapshot merges shard
+// counters without tearing.
+func TestStatsPerShardAggregation(t *testing.T) {
+	const shards = 8
+	const goroutines = 2 // per shard
+	const per = 2000
+	s := newStats(shards)
+
+	var wg sync.WaitGroup
+	for sh := 0; sh < shards; sh++ {
+		weight := int64(sh + 1) // distinct per-shard totals, so a routing mixup fails loudly
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(sh int, weight int64) {
+				defer wg.Done()
+				sc := s.shard(sh)
+				for i := 0; i < per; i++ {
+					sc.Maps.Add(weight)
+					sc.Unmaps.Add(1)
+					sc.Admitted.Add(1)
+					if i%64 == 0 {
+						sc.AdmitWaits.Add(1)
+					}
+				}
+			}(sh, weight)
+		}
+	}
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+			}
+			snap := s.Snapshot()
+			if len(snap.PerShard) != shards {
+				t.Errorf("PerShard has %d entries, want %d", len(snap.PerShard), shards)
+				return
+			}
+			var sum int64
+			for _, ss := range snap.PerShard {
+				sum += ss.Unmaps
+			}
+			if sum > shards*goroutines*per {
+				t.Errorf("mid-run per-shard Unmaps sum %d exceeds possible total", sum)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+
+	snap := s.Snapshot()
+	var mapSum, unmapSum int64
+	for sh, ss := range snap.PerShard {
+		wantMaps := int64(sh+1) * goroutines * per
+		if ss.Maps != wantMaps {
+			t.Errorf("shard %d Maps = %d, want %d", sh, ss.Maps, wantMaps)
+		}
+		if ss.Unmaps != goroutines*per {
+			t.Errorf("shard %d Unmaps = %d, want %d", sh, ss.Unmaps, goroutines*per)
+		}
+		if ss.Admitted != goroutines*per {
+			t.Errorf("shard %d Admitted = %d, want %d", sh, ss.Admitted, goroutines*per)
+		}
+		wantWaits := int64(goroutines * ((per + 63) / 64))
+		if ss.AdmitWaits != wantWaits {
+			t.Errorf("shard %d AdmitWaits = %d, want %d", sh, ss.AdmitWaits, wantWaits)
+		}
+		mapSum += ss.Maps
+		unmapSum += ss.Unmaps
+	}
+	wantMapSum := int64(shards*(shards+1)/2) * goroutines * per
+	if mapSum != wantMapSum {
+		t.Fatalf("per-shard Maps sum = %d, want %d", mapSum, wantMapSum)
+	}
+	if unmapSum != shards*goroutines*per {
+		t.Fatalf("per-shard Unmaps sum = %d, want %d", unmapSum, shards*goroutines*per)
+	}
+
+	// Per-shard deltas subtract entry-wise.
+	d := snap.Sub(snap)
+	for sh, ss := range d.PerShard {
+		if ss != (ShardSnapshot{}) {
+			t.Fatalf("self-delta shard %d not zero: %+v", sh, ss)
+		}
+	}
+}
+
+// TestStatsPerShardTelemetryNames pins the field compatibility between
+// Snapshot's per-shard entries and the telemetry registry (PR 4):
+// every shard counter is a named registry instrument
+// ("controller.shard<N>.<field>") whose registry-snapshot value equals
+// the merged Snapshot entry, so trio-top and arckfsck -json read the
+// same numbers without a second bookkeeping path.
+func TestStatsPerShardTelemetryNames(t *testing.T) {
+	s := newStats(4)
+	s.shard(0).Maps.Add(3)
+	s.shard(2).Recalls.Add(5)
+	s.shard(3).ScrubPages.Add(7)
+	// shard() wraps out-of-range hints instead of panicking: index 6 on
+	// a 4-shard stats lands on shard 2.
+	s.shard(6).Reaps.Add(11)
+
+	snap := s.Snapshot()
+	reg := s.Registry().Snapshot()
+	checks := []struct {
+		name   string
+		reg    int64
+		merged int64
+	}{
+		{"controller.shard0.maps", reg.Get("controller.shard0.maps"), snap.PerShard[0].Maps},
+		{"controller.shard2.recalls", reg.Get("controller.shard2.recalls"), snap.PerShard[2].Recalls},
+		{"controller.shard3.scrub_pages", reg.Get("controller.shard3.scrub_pages"), snap.PerShard[3].ScrubPages},
+		{"controller.shard2.reaps", reg.Get("controller.shard2.reaps"), snap.PerShard[2].Reaps},
+	}
+	for _, c := range checks {
+		if c.reg != c.merged {
+			t.Errorf("%s: registry=%d merged=%d", c.name, c.reg, c.merged)
+		}
+	}
+	if snap.PerShard[0].Maps != 3 || snap.PerShard[2].Recalls != 5 ||
+		snap.PerShard[3].ScrubPages != 7 || snap.PerShard[2].Reaps != 11 {
+		t.Fatalf("per-shard values wrong: %+v", snap.PerShard)
+	}
+
+	// Snapshot.Sub across different shard widths cannot subtract
+	// entry-wise; it keeps the newer snapshot's entries as-is.
+	other := newStats(2).Snapshot()
+	d := snap.Sub(other)
+	if len(d.PerShard) != 4 || d.PerShard[0].Maps != 3 {
+		t.Fatalf("width-mismatch Sub mangled per-shard entries: %+v", d.PerShard)
+	}
+}
+
 // TestPageTracingFoldsIntoTelemetry: the DebugPageTracing switch is an
 // alias over telemetry tracing — page accounting transitions become
 // filterable "page" trace events instead of a bespoke in-controller log.
 func TestPageTracingFoldsIntoTelemetry(t *testing.T) {
-	c := &Controller{stats: newStats()}
+	c := &Controller{stats: newStats(4)}
 	// Without tracing armed, tracePage is a no-op.
 	c.tracePage(7, "grant ls=%d", 1)
 	if got := pageTraceOf(7); len(got) != 0 {

@@ -41,13 +41,16 @@ type DataPathResult struct {
 	BlockBytes  int     `json:"block_bytes,omitempty"`
 }
 
-// DataPathReport is the BENCH_trio.json schema.
+// DataPathReport is the BENCH_trio.json schema. The datapath suite
+// owns Results; the massive-tenancy sweep owns Tenancy — each writer
+// preserves the other's section, so one file carries both gates.
 type DataPathReport struct {
 	Schema  string           `json:"schema"`
 	Go      string           `json:"go"`
 	Quick   bool             `json:"quick"`
 	Cost    bool             `json:"cost_model"`
 	Results []DataPathResult `json:"results"`
+	Tenancy *TenancyReport   `json:"tenancy,omitempty"`
 }
 
 // dpathFile is the working-set size of the file data workloads.
@@ -518,6 +521,9 @@ func WriteDataPathJSON(path string, p Params, results []DataPathResult) error {
 		Quick:   p.Quick,
 		Cost:    !p.NoCost,
 		Results: results,
+	}
+	if prev, err := LoadDataPathJSON(path); err == nil {
+		rep.Tenancy = prev.Tenancy // the tenancy sweep owns this section
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -199,6 +199,7 @@ func Registry() map[string]func(io.Writer, Params) error {
 		"tab5":      Tab5,
 		"fig10":     Fig10,
 		"datapath":  DataPath,
+		"tenancy":   Tenancy,
 		"all":       All,
 	}
 }

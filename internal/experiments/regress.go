@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 )
 
 // LoadDataPathJSON reads a BENCH_trio.json report written by
@@ -48,4 +49,23 @@ func CheckAllocRegression(baseline *DataPathReport, fresh []DataPathResult) []st
 		}
 	}
 	return regressions
+}
+
+// MergeTenancyJSON installs a fresh tenancy report into the BENCH JSON
+// at path, preserving the datapath results already there (or starting
+// a new report when the file does not exist yet).
+func MergeTenancyJSON(path string, t *TenancyReport) error {
+	rep, err := LoadDataPathJSON(path)
+	if err != nil {
+		rep = &DataPathReport{
+			Schema: "trio-bench/datapath/v1",
+			Go:     runtime.Version(),
+		}
+	}
+	rep.Tenancy = t
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -161,10 +161,20 @@ func (as *AddressSpace) UnmapPages(pages []nvm.PageID) {
 	}
 }
 
-// UnmapAll clears the whole mapping table.
+// UnmapAll clears the whole mapping table. The mapped count makes the
+// common teardown cheap: a process that already unmapped everything
+// (orderly close, or a reap at a syscall boundary) skips the table
+// walk entirely, and a partial walk stops at the last installed entry
+// — an atomic swap per device page on every teardown is what a flat
+// page table would otherwise cost.
 func (as *AddressSpace) UnmapAll() {
 	for p := range as.perms {
-		as.set(nvm.PageID(p), PermNone)
+		if as.mapped.Load() == 0 {
+			return
+		}
+		if as.perms[p].Load() != uint32(PermNone) {
+			as.set(nvm.PageID(p), PermNone)
+		}
 	}
 }
 

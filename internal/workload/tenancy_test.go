@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"trio/internal/controller"
+	"trio/internal/nvm"
+)
+
+// tenancyCtl builds a fresh controller sized for the spec. Cost
+// injection stays off in unit tests; the experiment harness turns it on.
+func tenancyCtl(t *testing.T, spec TenancySpec, shards int) *controller.Controller {
+	t.Helper()
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 1, PagesPerNode: spec.DevicePages()})
+	c, err := controller.New(dev, controller.Options{
+		Shards:        shards,
+		LeaseTime:     500 * time.Microsecond,
+		RecallTimeout: 2 * time.Millisecond,
+		LeaseSweep:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestTenancySmoke drives a small tenancy run end to end: every
+// session completes its cycles, deaths are reaped, and the recall
+// machinery produces a latency distribution.
+func TestTenancySmoke(t *testing.T) {
+	spec := TenancySpec{
+		Sessions:      64,
+		OpsPerSession: 12,
+		FilePages:     8,
+		HotFiles:      4,
+		HotPages:      4,
+		HotFrac:       0.1,
+		HotDwell:      time.Millisecond,
+		DeathFrac:     0.2,
+		Seed:          42,
+	}
+	c := tenancyCtl(t, spec, 8)
+	res, err := RunTenancy(c, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.Elapsed <= 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.Sessions != spec.Sessions || res.Shards != 8 {
+		t.Fatalf("wrong shape: %+v", res)
+	}
+	// Private cycles alone give each session at least one op even if
+	// every hot access lost its fight.
+	min := int64(spec.Sessions) // far below the expected ~2*ops*sessions
+	if res.Ops < min {
+		t.Fatalf("ops %d below floor %d", res.Ops, min)
+	}
+	if res.Deaths == 0 {
+		t.Fatalf("death schedule never fired (frac %.2f over %d sessions)", spec.DeathFrac, spec.Sessions)
+	}
+	t.Logf("%v deaths=%d recalls=%d p99=%v admitWaits=%d reaps=%d",
+		res.Result, res.Deaths, res.Recalls, res.RecallP99, res.AdmitWaits, res.Reaps)
+}
+
+// TestTenancy10kSessions is the headline scale proof (ISSUE 6): ten
+// thousand concurrent sessions — each its own trust group with a
+// private directory and file — run the full tenancy cycle against an
+// 8-shard controller on one device. The spec is deliberately lean
+// (small files, few ops) so the test exercises session COUNT, not
+// bandwidth: what it proves is that registration, routing, admission,
+// lease recall, and the per-shard reapers all stay correct and
+// convergent with 10k live trust domains, a couple hundred of which
+// die mid-run and must be collected by their home shards' sweepers.
+func TestTenancy10kSessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-session run is not short")
+	}
+	spec := TenancySpec{
+		Sessions:      10000,
+		OpsPerSession: 4,
+		FilePages:     2,
+		HotFiles:      16,
+		HotPages:      2,
+		HotFrac:       0.02,
+		HotDwell:      time.Millisecond,
+		DeathFrac:     0.02,
+		Seed:          1,
+	}
+	const shards = 8
+	c := tenancyCtl(t, spec, shards)
+	res, err := RunTenancy(c, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions != 10000 || res.Shards != shards {
+		t.Fatalf("wrong shape: %+v", res)
+	}
+	// Every session ran at least one full private cycle.
+	if res.Ops < int64(spec.Sessions) {
+		t.Fatalf("ops %d below the one-cycle-per-session floor %d", res.Ops, spec.Sessions)
+	}
+	// The death schedule is binomial around DeathFrac*Sessions*3/4 (a
+	// last-op death slot never fires); a run far outside this band means
+	// the schedule, not the controller, is broken.
+	if res.Deaths < 50 || res.Deaths > 400 {
+		t.Fatalf("deaths %d outside the plausible band for frac %.2f over %d sessions",
+			res.Deaths, spec.DeathFrac, spec.Sessions)
+	}
+	// Reap convergence: every abandoned session — and nothing else —
+	// gets collected. The measured-window delta can run ahead of the
+	// sweepers, so poll the live counter to its fixed point.
+	deadline := time.Now().Add(30 * time.Second)
+	for c.Stats().Reaps.Load() < int64(res.Deaths) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := c.Stats().Snapshot()
+	if st.Reaps != int64(res.Deaths) {
+		t.Fatalf("Reaps = %d, want exactly %d (one per death)", st.Reaps, res.Deaths)
+	}
+	// The corpses were spread across the shards, and the per-shard
+	// ledgers agree with the global one.
+	var reapSum int64
+	reapShards := 0
+	for _, ss := range st.PerShard {
+		reapSum += ss.Reaps
+		if ss.Reaps > 0 {
+			reapShards++
+		}
+	}
+	if reapSum != st.Reaps {
+		t.Fatalf("per-shard Reaps sum %d != global %d", reapSum, st.Reaps)
+	}
+	if reapShards < shards/2 {
+		t.Fatalf("reaps landed on only %d/%d shards", reapShards, shards)
+	}
+	if free := c.FreePagesCount(); free <= 0 {
+		t.Fatalf("allocator exhausted at 10k sessions (free=%d)", free)
+	}
+	t.Logf("%v deaths=%d recalls=%d p99=%v admitWaits=%d reaps=%d",
+		res.Result, res.Deaths, res.Recalls, res.RecallP99, res.AdmitWaits, st.Reaps)
+}
+
+// TestTenancyDeterministicLayout checks the spec's device sizing: the
+// setup phase must fit (and leave allocator headroom) at exactly
+// DevicePages.
+func TestTenancyDeviceSizing(t *testing.T) {
+	spec := TenancySpec{Sessions: 32, OpsPerSession: 2, FilePages: 8, HotFiles: 2, HotPages: 2}
+	c := tenancyCtl(t, spec, 4)
+	if _, err := RunTenancy(c, spec); err != nil {
+		t.Fatalf("run at minimum device size: %v", err)
+	}
+	if free := c.FreePagesCount(); free <= 0 {
+		t.Fatalf("allocator exhausted (free=%d)", free)
+	}
+}

@@ -23,6 +23,12 @@
 #      must report 0 allocs/op (instrumentation on the hot paths must
 #      stay near-free when off), and a -quick datapath run is gated
 #      against BENCH_trio.json allocs/op — a regression fails loudly.
+#   8. a massive-tenancy smoke: trio-bench -experiment tenancy -quick
+#      drives 1k concurrent sessions against the sharded controller at
+#      1 and 8 shards with the cost model on, and its in-process gates
+#      (shard-scaling floor and p99 lease-recall ceiling) exit nonzero
+#      on violation — a controller serialization regression fails here,
+#      loudly, not in the next full bench run.
 #
 # Any failure stops the run with a non-zero exit.
 set -eu
@@ -70,5 +76,11 @@ fi
 # Gate the quick datapath run's allocs/op against the checked-in
 # baseline: new allocations on the hot paths fail here, loudly.
 go run ./cmd/trio-bench -experiment datapath -quick -baseline BENCH_trio.json > /dev/null
+
+echo "== tenancy smoke (1k sessions; shard-scaling and recall-latency gates)"
+# The quick sweep's gates live in trio-bench itself (see
+# experiments.CheckTenancyGate): scaling below the floor or p99
+# lease-recall above the ceiling prints the violations and exits 1.
+go run ./cmd/trio-bench -experiment tenancy -quick > /dev/null
 
 echo "== all checks passed"
