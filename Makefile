@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-go fuzz tenancy
+.PHONY: check build test race vet bench bench-go fuzz tenancy tiering
 
 # The full gate: vet + build + tests + race detector + fuzz smoke.
 # CI runs this.
@@ -14,10 +14,11 @@ test:
 	$(GO) test ./...
 
 # Race-detect the packages that exercise real concurrency: the
-# conformance suite's parallel cases, the LibFS they drive, and the
-# telemetry registry/ring everything records into.
+# conformance suite's parallel cases, the LibFS they drive, the
+# telemetry registry/ring everything records into, and the write-back
+# tier plus the simulated backend under it.
 race:
-	$(GO) test -race ./internal/fstest/... ./internal/libfs/... ./internal/telemetry/... ./internal/controller/...
+	$(GO) test -race ./internal/fstest/... ./internal/libfs/... ./internal/telemetry/... ./internal/controller/... ./internal/tier/... ./internal/backend/...
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +47,15 @@ bench:
 # the points are wall-clock measurements.
 tenancy:
 	$(GO) run ./cmd/trio-bench -experiment tenancy -json BENCH_trio.json
+
+# Tiered-storage experiment (ISSUE 7): the NVM write-back tier over
+# the simulated slow backend, cost models on — write-absorb latency,
+# destage coalescing, hot reads from NVM vs backend-direct (gated at
+# >= 5x), and a backend outage absorbed gracefully (writes keep acking,
+# breaker trips then closes). Merged into the "tiering" section of
+# BENCH_trio.json. See EXPERIMENTS.md "Tiered storage".
+tiering:
+	$(GO) run ./cmd/trio-bench -experiment tiering -json BENCH_trio.json
 
 # The full Go benchmark suite: paper figures, ablations, and the
 # datapath families (testing.B form of the harness above).

@@ -153,6 +153,31 @@ func main() {
 			}
 			fmt.Println("\ntenancy gates passed")
 		}
+	} else if *experiment == "tiering" {
+		// The tiered-storage experiment (ISSUE 7): NVM write-back tier
+		// vs backend-direct, with the hot-read/drain/degradation gates
+		// evaluated in-process and the report merged into the BENCH
+		// JSON next to the datapath and tenancy sections.
+		p := experiments.Params{Quick: *quick, NoCost: *nocost}
+		var rep *experiments.TieringReport
+		rep, err = experiments.RunTieringSweep(os.Stdout, p)
+		if err == nil && *jsonPath != "" {
+			if werr := experiments.MergeTieringJSON(*jsonPath, rep); werr != nil {
+				err = werr
+			} else {
+				fmt.Printf("\nmerged tiering report into %s\n", *jsonPath)
+			}
+		}
+		if err == nil {
+			if fails := experiments.CheckTieringGate(rep); len(fails) > 0 {
+				fmt.Fprintln(os.Stderr, "\nTIERING GATE FAILURES:")
+				for _, f := range fails {
+					fmt.Fprintf(os.Stderr, "  %s\n", f)
+				}
+				os.Exit(1)
+			}
+			fmt.Println("\ntiering gates passed")
+		}
 	} else {
 		fn, ok := reg[*experiment]
 		if !ok {

@@ -2,7 +2,9 @@
 // stack: it drives a mixed ArckFS workload over the simulated NVM
 // machine and renders a per-interval table of cross-layer telemetry —
 // LibFS op rates and latency quantiles, NVM traffic, allocator and
-// delegation activity, MMU checks — from registry snapshot deltas.
+// delegation activity, MMU checks, and the NVM write-back tier's
+// dirty-page count, destage rate and circuit-breaker state — from
+// registry snapshot deltas.
 //
 // Usage:
 //
@@ -28,12 +30,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"trio/internal/backend"
 	"trio/internal/controller"
 	"trio/internal/core"
 	"trio/internal/delegation"
 	"trio/internal/libfs"
 	"trio/internal/nvm"
 	"trio/internal/telemetry"
+	"trio/internal/tier"
 )
 
 func main() {
@@ -71,11 +75,27 @@ func main() {
 		*workers = 1
 	}
 	dev := nvm.MustNewDevice(nvm.Config{Nodes: 2, PagesPerNode: 1 << 15})
+	// The write-back tier gets its own small NVM region and a simulated
+	// slow backend with an occasional latency spike, so the tier columns
+	// show real destage/breaker activity. Its destager rides the
+	// controller's shard sweepers via the AuxSweep hook below.
+	tdev := nvm.MustNewDevice(nvm.Config{Nodes: 1, PagesPerNode: 300})
+	tbe := backend.MustNewSim(1024, backend.DefaultCostModel())
+	ttr, err := tier.New(core.Direct(tdev, 0), 2, 290, tbe, tier.Options{})
+	if err != nil {
+		fatal(err)
+	}
 	// The background sweeper doubles as the scrub scheduler: one
-	// rate-limited checksum audit slice runs per sweep period.
+	// rate-limited checksum audit slice runs per sweep period; shard 0's
+	// sweeper also drives one destage pass of the write-back tier.
 	ctl, err := controller.New(dev, controller.Options{
 		LeaseSweep:    50 * time.Millisecond,
 		RecallTimeout: 25 * time.Millisecond,
+		AuxSweep: func(shard int) {
+			if shard == 0 {
+				ttr.DestageOnce()
+			}
+		},
 	})
 	if err != nil {
 		fatal(err)
@@ -151,6 +171,30 @@ func main() {
 		}
 	}()
 
+	// Tier traffic: one goroutine streams block writes through the
+	// write-back tier (a rolling working set, so overwrites and
+	// evictions both happen) and re-reads a hot prefix, while the
+	// controller's shard-0 sweeper destages behind it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		blk := make([]byte, backend.BlockSize)
+		for i := 0; !stop.Load(); i++ {
+			rng.Read(blk[:64])
+			if err := ttr.Write(backend.BlockID(i%256), blk); err != nil {
+				if err == tier.ErrClosed {
+					return
+				}
+				continue
+			}
+			if i%4 == 0 {
+				ttr.Read(backend.BlockID(rng.Intn(32)), blk)
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
 	// The rot injector: a deliberately silent FlipBits into a random
 	// sealed (cold) page per refresh, so the scrub columns demonstrate
 	// detection, repair and quarantine in real time.
@@ -179,6 +223,7 @@ func main() {
 
 	prev := telemetry.Default().Snapshot()
 	prevCS := ctl.Stats().Snapshot()
+	prevDestaged := ttr.Stats().Destaged
 	for tick := 0; *count == 0 || tick < *count; tick++ {
 		injectRot()
 		time.Sleep(*interval)
@@ -195,13 +240,16 @@ func main() {
 		csRate := func(v int64) float64 {
 			return float64(v) * 1000 / float64(secs)
 		}
+		ts := ttr.Stats()
+		destaged := ts.Destaged
 		if tick%20 == 0 {
-			fmt.Printf("%10s %10s %9s %9s %10s %10s %10s %9s %10s %9s %7s %7s %7s\n",
+			fmt.Printf("%10s %10s %9s %9s %10s %10s %10s %9s %10s %9s %7s %7s %7s %7s %8s %6s\n",
 				"read/s", "write/s", "rd p99ns", "wr p99ns",
 				"nvm wr/s", "persist/s", "alloc pg/s", "deleg/s", "mmu chk/s",
-				"scrub/s", "detect", "repair", "quar")
+				"scrub/s", "detect", "repair", "quar",
+				"t-dirty", "destg/s", "brkr")
 		}
-		fmt.Printf("%10.0f %10.0f %9d %9d %10.0f %10.0f %10.0f %9.0f %10.0f %9.0f %7d %7d %7d\n",
+		fmt.Printf("%10.0f %10.0f %9d %9d %10.0f %10.0f %10.0f %9.0f %10.0f %9.0f %7d %7d %7d %7d %8.0f %6s\n",
 			rate("libfs.read_ops"), rate("libfs.write_ops"),
 			d.Hist("libfs.read_ns").Quantile(0.99),
 			d.Hist("libfs.write_ns").Quantile(0.99),
@@ -210,7 +258,9 @@ func main() {
 			rate("delegation.batches_delegated")+rate("delegation.batches_inline"),
 			rate("mmu.checks"),
 			csRate(dcs.ScrubPages),
-			cs.ScrubDetected, cs.ScrubRepaired, cs.ScrubQuarantined)
+			cs.ScrubDetected, cs.ScrubRepaired, cs.ScrubQuarantined,
+			ts.Dirty, csRate(destaged-prevDestaged), ts.BreakerState)
+		prevDestaged = destaged
 	}
 
 	stop.Store(true)
@@ -218,7 +268,8 @@ func main() {
 	if err := fs.Close(); err != nil {
 		fatal(err)
 	}
-	ctl.Close()
+	ctl.Close() // stops the sweepers, and with them the tier destager
+	ttr.Close()
 	pool.Close()
 
 	if *tracePath != "" {

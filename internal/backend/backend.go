@@ -1,0 +1,278 @@
+// Package backend simulates the slow, cheap, *unreliable* block store
+// the NVM write-back tier (internal/tier) destages into. It is the
+// capacity layer of the tiered-storage architecture (ROADMAP #5,
+// ISSUE 7): think a SATA SSD, a distributed block service, or a cloud
+// volume — orders of magnitude more space than the NVM DIMMs, orders
+// of magnitude worse latency, and failure modes NVM never shows.
+//
+// The store exposes whole-block reads and writes (4 KiB, matching the
+// NVM page size so a staged page destages as one block) plus extent
+// variants that stream several contiguous blocks for one op-latency
+// charge — the destage path coalesces adjacent dirty blocks precisely
+// to amortize that per-op cost.
+//
+// Two properties matter to the tier's robustness machinery and are
+// modeled explicitly:
+//
+//   - Cost: every op pays a fixed latency (seek/queue/RPC) plus a
+//     bandwidth-proportional streaming term, via its own CostModel —
+//     deliberately separate from nvm.CostModel, since the whole point
+//     of the tier is the gap between the two.
+//   - Faults: a FaultPlan can fail ops outright (transient ErrIO),
+//     inject latency spikes, stall individual ops long enough to trip
+//     the tier's per-op timeouts, or take the store fully offline
+//     (ErrDown) for a while. Writes are block-atomic: an injected
+//     fault mid-extent leaves a prefix of whole blocks applied, never
+//     a torn block.
+//
+// The store itself is durable: it survives the NVM tier's simulated
+// crashes (tests keep the *Sim alive across nvm.Tracker.Crash), which
+// is exactly the asymmetry the destage protocol is built around.
+package backend
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"trio/internal/telemetry"
+)
+
+// BlockSize is the store's atomic write granularity, equal to the NVM
+// page size so one staged page destages as one block.
+const BlockSize = 4096
+
+// BlockID names one block of the store.
+type BlockID uint64
+
+// Typed errors. ErrIO and ErrDown are transient from the tier's point
+// of view: the retry/breaker machinery decides when to stop believing
+// that. ErrOutOfRange is a caller bug and never retried.
+var (
+	// ErrIO models a failed op (medium error, dropped RPC). Transient.
+	ErrIO = errors.New("backend: injected I/O error")
+	// ErrDown models a full outage: the store rejects every op
+	// immediately until the outage clears. Transient, but usually
+	// sustained — this is what trips the tier's circuit breaker.
+	ErrDown = errors.New("backend: store offline")
+	// ErrOutOfRange reports an access beyond the store's capacity.
+	ErrOutOfRange = errors.New("backend: block out of range")
+)
+
+// IsTransient reports whether err is a backend fault the caller may
+// reasonably retry (possibly after a breaker cooldown).
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrIO) || errors.Is(err, ErrDown)
+}
+
+// CostModel is the store's latency model: OpLatency per operation plus
+// n/Bandwidth of streaming time. Nil disables cost injection.
+type CostModel struct {
+	OpLatency time.Duration
+	Bandwidth float64 // bytes per second
+}
+
+// DefaultCostModel returns the model the tiering experiments use:
+// ~80µs per op and 250 MB/s of streaming bandwidth — a cheap flash or
+// networked store, roughly two orders of magnitude behind the modeled
+// NVM on small reads.
+func DefaultCostModel() *CostModel {
+	return &CostModel{OpLatency: 80 * time.Microsecond, Bandwidth: 250e6}
+}
+
+// opCost computes the modeled duration of one n-byte op.
+func (c *CostModel) opCost(n int) time.Duration {
+	if c == nil {
+		return 0
+	}
+	d := c.OpLatency
+	if c.Bandwidth > 0 {
+		d += time.Duration(float64(n) / c.Bandwidth * float64(time.Second))
+	}
+	return d
+}
+
+// Stats are the store's always-on atomic counters (telemetry mirrors
+// them when the registry is enabled; tests read these directly).
+type Stats struct {
+	Reads, Writes         int64
+	ReadBytes, WriteBytes int64
+	Errors                int64 // injected ErrIO
+	Rejects               int64 // ops rejected by an outage
+	Stalls                int64 // ops that served an armed stall
+}
+
+// Sim is the simulated store. All methods are safe for concurrent use;
+// modeled latency is served outside the data lock so concurrent ops
+// overlap their sleeps the way real queue depth would.
+type Sim struct {
+	mu     sync.RWMutex // guards arena contents
+	arena  []byte
+	blocks uint64
+	cost   *CostModel
+
+	faults Faults
+
+	statMu sync.Mutex
+	stats  Stats
+}
+
+// NewSim allocates a store of the given capacity in blocks.
+func NewSim(blocks int, cost *CostModel) (*Sim, error) {
+	if blocks <= 0 {
+		return nil, fmt.Errorf("backend: capacity must be positive, got %d blocks", blocks)
+	}
+	return &Sim{
+		arena:  make([]byte, blocks*BlockSize),
+		blocks: uint64(blocks),
+		cost:   cost,
+	}, nil
+}
+
+// MustNewSim is NewSim for tests with known-good configs.
+func MustNewSim(blocks int, cost *CostModel) *Sim {
+	s, err := NewSim(blocks, cost)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Blocks reports the store capacity.
+func (s *Sim) Blocks() uint64 { return s.blocks }
+
+// Faults returns the store's fault plan for tests to arm.
+func (s *Sim) Faults() *Faults { return &s.faults }
+
+// Stats returns a snapshot of the op counters.
+func (s *Sim) Stats() Stats {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return s.stats
+}
+
+func (s *Sim) checkRange(b BlockID, n int) error {
+	if n%BlockSize != 0 || n < 0 {
+		return fmt.Errorf("backend: access length %d is not whole blocks", n)
+	}
+	if uint64(b)+uint64(n/BlockSize) > s.blocks {
+		return fmt.Errorf("%w: [%d, +%d blocks) of %d", ErrOutOfRange, b, n/BlockSize, s.blocks)
+	}
+	return nil
+}
+
+// begin runs the common op prologue: armed stalls first (a hung op
+// hangs before anything else happens), then the outage gate, then the
+// per-op error rules, then the modeled cost.
+func (s *Sim) begin(write bool, n int) error {
+	if d := s.faults.takeStall(); d > 0 {
+		s.statMu.Lock()
+		s.stats.Stalls++
+		s.statMu.Unlock()
+		time.Sleep(d)
+	}
+	if s.faults.down() {
+		s.statMu.Lock()
+		s.stats.Rejects++
+		s.statMu.Unlock()
+		if telemetry.On() {
+			mRejects.Inc()
+		}
+		return ErrDown
+	}
+	if s.faults.takeErr(write) {
+		s.statMu.Lock()
+		s.stats.Errors++
+		s.statMu.Unlock()
+		if telemetry.On() {
+			mErrors.Inc()
+		}
+		return fmt.Errorf("%w (%s)", ErrIO, opName(write))
+	}
+	d := s.cost.opCost(n)
+	if spike := s.faults.takeDelay(); spike > 0 {
+		d += spike
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return nil
+}
+
+func opName(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}
+
+// ReadBlock copies block b into buf (len BlockSize).
+func (s *Sim) ReadBlock(b BlockID, buf []byte) error {
+	return s.ReadExtent(b, buf)
+}
+
+// ReadExtent streams len(buf)/BlockSize contiguous blocks starting at b
+// into buf for a single op-latency charge.
+func (s *Sim) ReadExtent(b BlockID, buf []byte) error {
+	if err := s.checkRange(b, len(buf)); err != nil {
+		return err
+	}
+	if err := s.begin(false, len(buf)); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	copy(buf, s.arena[int(b)*BlockSize:])
+	s.mu.RUnlock()
+	s.statMu.Lock()
+	s.stats.Reads++
+	s.stats.ReadBytes += int64(len(buf))
+	s.statMu.Unlock()
+	if telemetry.On() {
+		mReads.Inc()
+		mReadBytes.Add(int64(len(buf)))
+	}
+	return nil
+}
+
+// WriteBlock overwrites block b with data (len BlockSize).
+func (s *Sim) WriteBlock(b BlockID, data []byte) error {
+	return s.WriteExtent(b, data)
+}
+
+// WriteExtent overwrites len(data)/BlockSize contiguous blocks starting
+// at b for a single op-latency charge. The write is block-atomic and,
+// once it returns nil, durable — the store has no volatile cache to
+// lose in a frontend crash.
+func (s *Sim) WriteExtent(b BlockID, data []byte) error {
+	if err := s.checkRange(b, len(data)); err != nil {
+		return err
+	}
+	if err := s.begin(true, len(data)); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	copy(s.arena[int(b)*BlockSize:int(b)*BlockSize+len(data)], data)
+	s.mu.Unlock()
+	s.statMu.Lock()
+	s.stats.Writes++
+	s.stats.WriteBytes += int64(len(data))
+	s.statMu.Unlock()
+	if telemetry.On() {
+		mWrites.Inc()
+		mWriteBytes.Add(int64(len(data)))
+	}
+	return nil
+}
+
+// PeekBlock reads block b without cost, faults or counters — the
+// test-oracle backdoor for asserting what actually reached the store.
+func (s *Sim) PeekBlock(b BlockID, buf []byte) error {
+	if err := s.checkRange(b, len(buf)); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	copy(buf, s.arena[int(b)*BlockSize:])
+	s.mu.RUnlock()
+	return nil
+}

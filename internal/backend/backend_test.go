@@ -1,0 +1,178 @@
+package backend
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	s := MustNewSim(64, nil)
+	data := bytes.Repeat([]byte{0x5A}, BlockSize)
+	if err := s.WriteBlock(7, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, BlockSize)
+	if err := s.ReadBlock(7, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+	// Unwritten blocks read as zero.
+	if err := s.ReadBlock(8, got); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("unwritten block not zero")
+		}
+	}
+	st := s.Stats()
+	if st.Reads != 2 || st.Writes != 1 {
+		t.Fatalf("stats = %+v, want 2 reads / 1 write", st)
+	}
+}
+
+func TestExtentOpsAndBounds(t *testing.T) {
+	s := MustNewSim(16, nil)
+	ext := bytes.Repeat([]byte{0xC3}, 4*BlockSize)
+	if err := s.WriteExtent(2, ext); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4*BlockSize)
+	if err := s.ReadExtent(2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ext) {
+		t.Fatal("extent round trip mismatch")
+	}
+	// One extent op counts once, not per block.
+	if st := s.Stats(); st.Writes != 1 || st.WriteBytes != 4*BlockSize {
+		t.Fatalf("stats = %+v, want one 4-block write", st)
+	}
+	if err := s.WriteExtent(14, ext); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("beyond-capacity extent: %v, want ErrOutOfRange", err)
+	}
+	if err := s.WriteBlock(3, ext[:100]); err == nil {
+		t.Fatal("partial-block write accepted")
+	}
+}
+
+func TestErrorInjection(t *testing.T) {
+	s := MustNewSim(8, nil)
+	buf := make([]byte, BlockSize)
+	s.Faults().InjectWriteErr(1, 2)
+	if err := s.WriteBlock(0, buf); err != nil {
+		t.Fatalf("skip window: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := s.WriteBlock(0, buf); !errors.Is(err, ErrIO) {
+			t.Fatalf("armed write %d: %v, want ErrIO", i, err)
+		}
+	}
+	if err := s.WriteBlock(0, buf); err != nil {
+		t.Fatalf("window spent: %v", err)
+	}
+	s.Faults().InjectReadErr(0, 1)
+	if err := s.ReadBlock(0, buf); !errors.Is(err, ErrIO) {
+		t.Fatalf("armed read: %v, want ErrIO", err)
+	}
+	if !IsTransient(ErrIO) || !IsTransient(ErrDown) || IsTransient(ErrOutOfRange) {
+		t.Fatal("transience classification wrong")
+	}
+	if st := s.Stats(); st.Errors != 3 {
+		t.Fatalf("errors = %d, want 3", st.Errors)
+	}
+}
+
+func TestOutage(t *testing.T) {
+	s := MustNewSim(8, nil)
+	buf := make([]byte, BlockSize)
+	s.Faults().SetOutage(true)
+	if err := s.WriteBlock(0, buf); !errors.Is(err, ErrDown) {
+		t.Fatalf("outage write: %v, want ErrDown", err)
+	}
+	if err := s.ReadBlock(0, buf); !errors.Is(err, ErrDown) {
+		t.Fatalf("outage read: %v, want ErrDown", err)
+	}
+	s.Faults().SetOutage(false)
+	if err := s.WriteBlock(0, buf); err != nil {
+		t.Fatalf("post-outage write: %v", err)
+	}
+	// Timed outage clears by itself.
+	s.Faults().OutageFor(5 * time.Millisecond)
+	if err := s.ReadBlock(0, buf); !errors.Is(err, ErrDown) {
+		t.Fatalf("timed outage read: %v, want ErrDown", err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := s.ReadBlock(0, buf); err != nil {
+		t.Fatalf("after timed outage: %v", err)
+	}
+	if st := s.Stats(); st.Rejects != 3 {
+		t.Fatalf("rejects = %d, want 3", st.Rejects)
+	}
+}
+
+func TestLatencySpikeAndStall(t *testing.T) {
+	s := MustNewSim(8, nil)
+	buf := make([]byte, BlockSize)
+
+	s.Faults().DelayOps(3*time.Millisecond, 1)
+	start := time.Now()
+	if err := s.ReadBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 3*time.Millisecond {
+		t.Fatalf("spiked op took %v, want >= 3ms", el)
+	}
+	start = time.Now()
+	if err := s.ReadBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 2*time.Millisecond {
+		t.Fatalf("post-spike op still slow: %v", el)
+	}
+
+	// A stalled write hangs, then still lands — the timed-out-but-
+	// applied ambiguity the tier must tolerate.
+	s.Faults().StallOps(4*time.Millisecond, 1)
+	data := bytes.Repeat([]byte{0x77}, BlockSize)
+	start = time.Now()
+	if err := s.WriteBlock(3, data); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 4*time.Millisecond {
+		t.Fatalf("stalled op took %v, want >= 4ms", el)
+	}
+	if err := s.PeekBlock(3, buf); err != nil || !bytes.Equal(buf, data) {
+		t.Fatalf("stalled write did not land (err %v)", err)
+	}
+	if st := s.Stats(); st.Stalls != 1 {
+		t.Fatalf("stalls = %d, want 1", st.Stalls)
+	}
+}
+
+func TestCostModelCharges(t *testing.T) {
+	slow := &CostModel{OpLatency: 2 * time.Millisecond, Bandwidth: 100e6}
+	s := MustNewSim(8, slow)
+	buf := make([]byte, BlockSize)
+	start := time.Now()
+	if err := s.ReadBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 2*time.Millisecond {
+		t.Fatalf("costed op took %v, want >= OpLatency", el)
+	}
+	// An extent pays the op latency once: 4 blocks should cost well
+	// under 4x a single block.
+	ext := make([]byte, 4*BlockSize)
+	start = time.Now()
+	if err := s.ReadExtent(0, ext); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 6*time.Millisecond {
+		t.Fatalf("4-block extent took %v, want ~one op latency + stream", el)
+	}
+}

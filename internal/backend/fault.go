@@ -1,0 +1,148 @@
+// The backend's own fault plan. Deliberately simpler than the NVM's
+// (no pages, no persistence, no crash points): the backing store's
+// failure vocabulary is op-granular — an op fails, limps, hangs, or
+// the whole store is gone for a while. All knobs are safe to flip
+// while ops are in flight; that is how the chaos tests kill the store
+// mid-destage.
+package backend
+
+import (
+	"sync"
+	"time"
+)
+
+// opRule is one skip/count injection window, same semantics as the NVM
+// fault rules: the next skip matching ops pass, the following count
+// fail (count < 0: every one after the skip window).
+type opRule struct {
+	skip  int64
+	count int64
+}
+
+func (r *opRule) take() bool {
+	if r == nil {
+		return false
+	}
+	if r.skip > 0 {
+		r.skip--
+		return false
+	}
+	if r.count == 0 {
+		return false
+	}
+	if r.count > 0 {
+		r.count--
+	}
+	return true
+}
+
+// Faults is the store's fault-injection state. The zero value injects
+// nothing.
+type Faults struct {
+	mu         sync.Mutex
+	readRule   *opRule
+	writeRule  *opRule
+	delay      time.Duration // latency spike added per op
+	delayCount int64
+	stall      time.Duration // armed hung-op duration
+	stallCount int64
+	outage     bool
+	outageTill time.Time
+}
+
+// InjectReadErr arms read failures: the next skip reads pass, the
+// following count fail with ErrIO (count < 0: forever).
+func (f *Faults) InjectReadErr(skip, count int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.readRule = &opRule{skip: skip, count: count}
+}
+
+// InjectWriteErr arms write failures with the same semantics.
+func (f *Faults) InjectWriteErr(skip, count int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeRule = &opRule{skip: skip, count: count}
+}
+
+// DelayOps arms a latency spike: the next count ops (reads and writes)
+// take an extra d on top of the modeled cost (count < 0: forever).
+func (f *Faults) DelayOps(d time.Duration, count int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.delay, f.delayCount = d, count
+}
+
+// StallOps arms hung ops: the next count ops block for d before doing
+// anything else — long enough, by construction, for the tier's per-op
+// timeout to fire and abandon them. The op still completes afterwards
+// (a timed-out write may land!), which is exactly the ambiguity the
+// destage protocol's idempotence has to absorb.
+func (f *Faults) StallOps(d time.Duration, count int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stall, f.stallCount = d, count
+}
+
+// SetOutage takes the store offline (every op fails ErrDown
+// immediately) or brings it back.
+func (f *Faults) SetOutage(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.outage = on
+	f.outageTill = time.Time{}
+}
+
+// OutageFor takes the store offline for the given duration; it comes
+// back by itself.
+func (f *Faults) OutageFor(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.outage = false
+	f.outageTill = time.Now().Add(d)
+}
+
+// Down reports whether the store is currently offline.
+func (f *Faults) Down() bool { return f.down() }
+
+func (f *Faults) down() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.outage {
+		return true
+	}
+	return !f.outageTill.IsZero() && time.Now().Before(f.outageTill)
+}
+
+func (f *Faults) takeErr(write bool) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if write {
+		return f.writeRule.take()
+	}
+	return f.readRule.take()
+}
+
+func (f *Faults) takeDelay() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.delayCount == 0 {
+		return 0
+	}
+	if f.delayCount > 0 {
+		f.delayCount--
+	}
+	return f.delay
+}
+
+func (f *Faults) takeStall() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.stallCount == 0 {
+		return 0
+	}
+	if f.stallCount > 0 {
+		f.stallCount--
+	}
+	return f.stall
+}

@@ -1,0 +1,17 @@
+// Telemetry instruments of the simulated backing store, registered
+// against the process-wide default registry (disabled unless an
+// operator turns it on). The always-on Stats counters on *Sim mirror
+// these for tests that assert exact op counts without enabling the
+// global registry.
+package backend
+
+import "trio/internal/telemetry"
+
+var (
+	mReads      = telemetry.Default().NewCounter("backend.reads")
+	mReadBytes  = telemetry.Default().NewCounter("backend.read_bytes")
+	mWrites     = telemetry.Default().NewCounter("backend.writes")
+	mWriteBytes = telemetry.Default().NewCounter("backend.write_bytes")
+	mErrors     = telemetry.Default().NewCounter("backend.errors_injected")
+	mRejects    = telemetry.Default().NewCounter("backend.outage_rejects")
+)

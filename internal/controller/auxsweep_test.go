@@ -1,0 +1,54 @@
+package controller
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"trio/internal/nvm"
+)
+
+// TestAuxSweepRidesTheSweepers: an AuxSweep hook is driven once per
+// tick per shard by the background sweepers, and stops with Close.
+func TestAuxSweepRidesTheSweepers(t *testing.T) {
+	dev := nvm.MustNewDevice(smallCfg())
+	const shards = 4
+	var calls [shards]atomic.Int64
+	c, err := New(dev, Options{
+		Shards:     shards,
+		LeaseSweep: time.Millisecond,
+		AuxSweep: func(i int) {
+			calls[i].Add(1)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		all := true
+		for i := range calls {
+			if calls[i].Load() == 0 {
+				all = false
+			}
+		}
+		if all {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("not every shard drove the hook: %v", &calls)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Close()
+	after := [shards]int64{}
+	for i := range calls {
+		after[i] = calls[i].Load()
+	}
+	time.Sleep(10 * time.Millisecond)
+	for i := range calls {
+		if calls[i].Load() != after[i] {
+			t.Fatalf("shard %d hook still firing after Close", i)
+		}
+	}
+}

@@ -87,6 +87,15 @@ type Options struct {
 	// not serialize on one mutex. Defaults to 8; 1 restores the single
 	// global-lock behavior.
 	Shards int
+	// AuxSweep, when set, is called by each shard's background sweeper
+	// once per tick, after the shard's own reap/escalate/scrub work,
+	// with the shard index. It lets auxiliary subsystems ride the
+	// controller's sweeper cadence instead of running private timer
+	// goroutines — the write-back tier's destage workers (ISSUE 7) hook
+	// in here. The callback runs outside every controller lock and must
+	// not call back into this controller. It only runs when LeaseSweep
+	// starts the sweepers; Close stops it with them.
+	AuxSweep func(shard int)
 	// AdmitPerShard bounds how many calls from one shard's sessions may
 	// run inside the controller concurrently (admission control with an
 	// under-share priority, so a churning tenant cannot starve lease

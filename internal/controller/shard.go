@@ -496,6 +496,9 @@ func (c *Controller) shardSweeper(i int) {
 		case <-t.C:
 			c.sweepShard(i)
 			c.scrubShard(i)
+			if c.opts.AuxSweep != nil {
+				c.opts.AuxSweep(i)
+			}
 		}
 	}
 }

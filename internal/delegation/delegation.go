@@ -199,16 +199,16 @@ func (r *request) exec() {
 		sg := sg
 		var err error
 		if r.write {
-			err = nvm.RetryTransient(func() error {
+			err = nvm.RetryTransient(nvm.DefaultRetryPolicy(), func() error {
 				return r.view.WriteRange(sg.page, sg.off, sg.buf)
 			})
 			if err == nil && r.persist {
-				err = nvm.RetryTransient(func() error {
+				err = nvm.RetryTransient(nvm.DefaultRetryPolicy(), func() error {
 					return r.view.PersistRange(sg.page, sg.off, len(sg.buf))
 				})
 			}
 		} else {
-			err = nvm.RetryTransient(func() error {
+			err = nvm.RetryTransient(nvm.DefaultRetryPolicy(), func() error {
 				return r.view.ReadRange(sg.page, sg.off, sg.buf)
 			})
 		}
@@ -341,7 +341,7 @@ func (b *Batch) Write(p nvm.PageID, off int, data []byte) {
 				return
 			}
 			if b.persist {
-				b.err.set(nvm.RetryTransient(func() error {
+				b.err.set(nvm.RetryTransient(nvm.DefaultRetryPolicy(), func() error {
 					return b.inline.Persist(p, off, len(data))
 				}))
 			}
@@ -352,7 +352,7 @@ func (b *Batch) Write(p nvm.PageID, off int, data []byte) {
 			return
 		}
 		if b.persist {
-			b.err.set(nvm.RetryTransient(func() error {
+			b.err.set(nvm.RetryTransient(nvm.DefaultRetryPolicy(), func() error {
 				return b.as.Persist(p, off, len(data))
 			}))
 		}
@@ -403,7 +403,7 @@ func (b *Batch) writeRangeInline(p nvm.PageID, off int, data []byte) error {
 			return err
 		}
 		if b.persist {
-			return nvm.RetryTransient(func() error {
+			return nvm.RetryTransient(nvm.DefaultRetryPolicy(), func() error {
 				return b.inline.PersistRange(p, off, len(data))
 			})
 		}
@@ -413,7 +413,7 @@ func (b *Batch) writeRangeInline(p nvm.PageID, off int, data []byte) error {
 		return err
 	}
 	if b.persist {
-		return nvm.RetryTransient(func() error {
+		return nvm.RetryTransient(nvm.DefaultRetryPolicy(), func() error {
 			return b.as.PersistRange(p, off, len(data))
 		})
 	}

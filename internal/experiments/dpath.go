@@ -42,8 +42,9 @@ type DataPathResult struct {
 }
 
 // DataPathReport is the BENCH_trio.json schema. The datapath suite
-// owns Results; the massive-tenancy sweep owns Tenancy — each writer
-// preserves the other's section, so one file carries both gates.
+// owns Results; the massive-tenancy sweep owns Tenancy; the tiered
+// storage experiment owns Tiering — each writer preserves the other
+// sections, so one file carries every gate.
 type DataPathReport struct {
 	Schema  string           `json:"schema"`
 	Go      string           `json:"go"`
@@ -51,6 +52,7 @@ type DataPathReport struct {
 	Cost    bool             `json:"cost_model"`
 	Results []DataPathResult `json:"results"`
 	Tenancy *TenancyReport   `json:"tenancy,omitempty"`
+	Tiering *TieringReport   `json:"tiering,omitempty"`
 }
 
 // dpathFile is the working-set size of the file data workloads.
@@ -524,6 +526,7 @@ func WriteDataPathJSON(path string, p Params, results []DataPathResult) error {
 	}
 	if prev, err := LoadDataPathJSON(path); err == nil {
 		rep.Tenancy = prev.Tenancy // the tenancy sweep owns this section
+		rep.Tiering = prev.Tiering // the tiering experiment owns this one
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

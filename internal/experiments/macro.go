@@ -200,6 +200,7 @@ func Registry() map[string]func(io.Writer, Params) error {
 		"fig10":     Fig10,
 		"datapath":  DataPath,
 		"tenancy":   Tenancy,
+		"tiering":   Tiering,
 		"all":       All,
 	}
 }

@@ -69,3 +69,22 @@ func MergeTenancyJSON(path string, t *TenancyReport) error {
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
+
+// MergeTieringJSON installs a fresh tiered-storage report into the
+// BENCH JSON at path, preserving every other section already there (or
+// starting a new report when the file does not exist yet).
+func MergeTieringJSON(path string, t *TieringReport) error {
+	rep, err := LoadDataPathJSON(path)
+	if err != nil {
+		rep = &DataPathReport{
+			Schema: "trio-bench/datapath/v1",
+			Go:     runtime.Version(),
+		}
+	}
+	rep.Tiering = t
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

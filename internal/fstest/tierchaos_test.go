@@ -1,0 +1,165 @@
+package fstest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync"
+	"testing"
+	"time"
+
+	"trio/internal/backend"
+	"trio/internal/core"
+	"trio/internal/nvm"
+	"trio/internal/tier"
+)
+
+// Backend-outage chaos (ISSUE 7): concurrent writers hammer the tier
+// while a background destager drains it; mid-run the backend is killed
+// outright (plus a stalled op abandoned by the per-op timeout just
+// before the kill, so an ambiguous in-flight write spans the outage).
+// Required outcome: no acknowledged write is ever lost, the dirty
+// watermark converts the outage into backpressure (blocked writers,
+// not failed writes), the circuit breaker trips while the store is
+// down, and after recovery the breaker closes and the tier drains
+// completely.
+//
+// Run it many times under the race detector:
+//
+//	go test -race -count=50 -run TestTierOutageChaos ./internal/fstest/
+func TestTierOutageChaos(t *testing.T) {
+	const (
+		writers   = 4
+		blocksPer = 16
+		warmRound = 8 // rounds before the outage
+		hotRounds = 3 // rounds written while the store is down
+		outageDur = 25 * time.Millisecond
+	)
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 1, PagesPerNode: 64})
+	m := core.Direct(dev, 0)
+	be := backend.MustNewSim(writers*blocksPer, nil)
+	tr, err := tier.New(m, 2, 34, be, tier.Options{ // capacity 32
+		HighWater:        20,
+		LowWater:         8,
+		OpTimeout:        2 * time.Millisecond,
+		Retry:            nvm.RetryPolicy{Attempts: 2, Base: time.Microsecond},
+		BreakerThreshold: 2,
+		BreakerCooldown:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Background destager, standing in for the controller's AuxSweep.
+	stop := make(chan struct{})
+	var destWG sync.WaitGroup
+	destWG.Add(1)
+	go func() {
+		defer destWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if _, err := tr.DestageOnce(); err != nil && !backend.IsTransient(err) {
+					t.Errorf("destager: %v", err)
+					return
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+
+	// Writers own disjoint block ranges: block = w*blocksPer + i. Each
+	// records its own acked content; the shared tier still makes them
+	// race on slots, watermarks and the destager.
+	fill := func(w, i, round int) []byte {
+		b := make([]byte, backend.BlockSize)
+		binary.LittleEndian.PutUint64(b, uint64(w)<<40|uint64(i)<<20|uint64(round))
+		copy(b[8:], bytes.Repeat(b[:8], 16))
+		return b
+	}
+	ackedAll := make([][][]byte, writers)
+	var warm, done sync.WaitGroup
+	outageOn := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		warm.Add(1)
+		done.Add(1)
+		go func(w int) {
+			defer done.Done()
+			acked := make([][]byte, blocksPer)
+			ackedAll[w] = acked
+			write := func(i, round int) {
+				data := fill(w, i, round)
+				if err := tr.Write(backend.BlockID(w*blocksPer+i), data); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				acked[i] = data
+			}
+			for r := 0; r < warmRound; r++ {
+				for i := 0; i < blocksPer; i++ {
+					write(i, r)
+				}
+			}
+			warm.Done()
+			<-outageOn
+			// These rounds land during the outage: 4×16×3 writes against
+			// a 20-page high watermark — backpressure must engage, and
+			// every one of them must still be acknowledged eventually.
+			for r := warmRound; r < warmRound+hotRounds; r++ {
+				for i := 0; i < blocksPer; i++ {
+					write(i, r)
+				}
+			}
+		}(w)
+	}
+
+	warm.Wait()
+	// One op stalls past the per-op timeout right as the store dies:
+	// the abandoned write may land whenever it pleases.
+	be.Faults().StallOps(10*time.Millisecond, 1)
+	be.Faults().SetOutage(true)
+	close(outageOn)
+	time.Sleep(outageDur)
+	be.Faults().SetOutage(false)
+
+	done.Wait()
+	if err := tr.Drain(); err != nil {
+		t.Fatalf("drain after recovery: %v", err)
+	}
+	close(stop)
+	destWG.Wait()
+
+	st := tr.Stats()
+	if st.Dirty != 0 {
+		t.Fatalf("%d dirty pages after drain: %+v", st.Dirty, st)
+	}
+	if st.Backpressured == 0 {
+		t.Fatalf("outage never engaged the watermark backpressure: %+v", st)
+	}
+	if st.BreakerTrips == 0 {
+		t.Fatalf("sustained outage never tripped the breaker: %+v", st)
+	}
+	if st.BreakerState != "closed" {
+		t.Fatalf("breaker %s after recovery and drain: %+v", st.BreakerState, st)
+	}
+
+	// No acked write lost: the drained backend and the tier both serve
+	// every block's last acknowledged content.
+	buf := make([]byte, backend.BlockSize)
+	for w := 0; w < writers; w++ {
+		for i := 0; i < blocksPer; i++ {
+			want := ackedAll[w][i]
+			blk := backend.BlockID(w*blocksPer + i)
+			if err := be.PeekBlock(blk, buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf, want) {
+				t.Fatalf("backend block %d lost writer %d's last acked round", blk, w)
+			}
+			if err := tr.Read(blk, buf); err != nil || !bytes.Equal(buf, want) {
+				t.Fatalf("tier read of block %d: %v (content match %v)", blk, err, bytes.Equal(buf, want))
+			}
+		}
+	}
+}

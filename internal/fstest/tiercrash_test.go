@@ -1,0 +1,232 @@
+package fstest
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"trio/internal/backend"
+	"trio/internal/core"
+	"trio/internal/nvm"
+	"trio/internal/tier"
+)
+
+// The tier crash-point sweep (ISSUE 7): enumerate every persist point
+// of a workload that drives the full destage pipeline — stage, journal
+// intent, backend write, commit, reclaim — plus overwrites of clean
+// and dirty blocks and a read-miss promotion. At every point the
+// recovered tier must satisfy:
+//
+//   - no acknowledged write is lost: every acked block reads back with
+//     exactly its acked content;
+//   - no torn block: the interrupted write's block reads as either its
+//     old or its new content, never a mix (out-of-place updates);
+//   - no double-applied extent: after a full drain the backend holds
+//     exactly the newest acked version of every block — a stale
+//     re-apply or a wrongly-committed CLEAN would surface as a
+//     mismatch.
+
+const (
+	tierBase  nvm.PageID = 2
+	tierPages            = 14 // 1 log + 1 meta + 12 staging
+	seededBlk            = backend.BlockID(9)
+)
+
+func tierBlockContent(tag byte) []byte {
+	return bytes.Repeat([]byte{tag}, backend.BlockSize)
+}
+
+// tierStep is one scripted operation with its oracle effect; apply
+// runs only when do acked (returned nil).
+type tierStep struct {
+	name  string
+	do    func(tr *tier.Tier) error
+	apply func(o map[backend.BlockID][]byte)
+	// wrBlock/wrData mark a write step: the one op whose interruption
+	// leaves its block legally in either the old or the new state.
+	wrBlock backend.BlockID
+	wrData  []byte
+}
+
+func stepWrite(b backend.BlockID, tag byte) tierStep {
+	data := tierBlockContent(tag)
+	return tierStep{
+		name:    fmt.Sprintf("write %d=%c", b, tag),
+		do:      func(tr *tier.Tier) error { return tr.Write(b, data) },
+		apply:   func(o map[backend.BlockID][]byte) { o[b] = data },
+		wrBlock: b,
+		wrData:  data,
+	}
+}
+
+func stepDestage() tierStep {
+	return tierStep{
+		name: "destage",
+		do: func(tr *tier.Tier) error {
+			_, err := tr.DestageOnce()
+			return err
+		},
+	}
+}
+
+func stepPromote(b backend.BlockID, want []byte) tierStep {
+	return tierStep{
+		name: fmt.Sprintf("promote %d", b),
+		do: func(tr *tier.Tier) error {
+			buf := make([]byte, backend.BlockSize)
+			if err := tr.Read(b, buf); err != nil {
+				return err
+			}
+			if !bytes.Equal(buf, want) {
+				return fmt.Errorf("miss read of block %d returned wrong content", b)
+			}
+			return nil
+		},
+		apply: func(o map[backend.BlockID][]byte) { o[b] = want },
+	}
+}
+
+func tierScript() []tierStep {
+	return []tierStep{
+		stepWrite(0, 'a'),
+		stepWrite(1, 'b'),
+		stepWrite(2, 'c'),
+		stepDestage(),
+		stepWrite(1, 'B'), // overwrite a clean block
+		stepWrite(3, 'd'),
+		stepDestage(),
+		stepWrite(0, 'A'), // clean → dirty again
+		stepWrite(0, 'E'), // overwrite a dirty block (seq bump, out of place)
+		stepPromote(seededBlk, tierBlockContent('S')),
+		stepDestage(),
+		stepWrite(4, 'e'),
+	}
+}
+
+// tierRig is one fresh device + backend + tier.
+type tierRig struct {
+	mem core.Mem
+	dev *nvm.Device
+	be  *backend.Sim
+	tr  *tier.Tier
+}
+
+func newTierRig(t *testing.T) *tierRig {
+	t.Helper()
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 1, PagesPerNode: 32, TrackPersistence: true})
+	m := core.Direct(dev, 0)
+	be := backend.MustNewSim(16, nil)
+	if err := be.WriteBlock(seededBlk, tierBlockContent('S')); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tier.New(m, tierBase, tierPages, be, tier.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &tierRig{mem: m, dev: dev, be: be, tr: tr}
+}
+
+func TestTierCrashSweep(t *testing.T) {
+	script := tierScript()
+
+	// Dry run: count the workload's persist points (the tier is built
+	// before the plan is armed — mkfs-time crashes mean re-mkfs).
+	probe := newTierRig(t)
+	fp := nvm.NewFaultPlan()
+	probe.dev.SetFaultPlan(fp)
+	for _, s := range script {
+		if err := s.do(probe.tr); err != nil {
+			t.Fatalf("dry run: %s: %v", s.name, err)
+		}
+	}
+	n := fp.PersistPoints()
+	probe.dev.SetFaultPlan(nil)
+	if n < int64(len(script)) {
+		t.Fatalf("workload yields only %d persist points for %d steps", n, len(script))
+	}
+	t.Logf("workload: %d steps, %d persist points to sweep", len(script), n)
+
+	for k := int64(1); k <= n; k++ {
+		rig := newTierRig(t)
+		fp := nvm.NewFaultPlan()
+		fp.ArmCrashPoint(k)
+		rig.dev.SetFaultPlan(fp)
+
+		acked := map[backend.BlockID][]byte{}
+		inflightName := "(script completed)"
+		var inflight *tierStep
+		for i := range script {
+			if err := script[i].do(rig.tr); err != nil {
+				inflight = &script[i]
+				inflightName = script[i].name
+				break
+			}
+			if script[i].apply != nil {
+				script[i].apply(acked)
+			}
+		}
+		if !fp.Fired() {
+			t.Fatalf("k=%d: crash point never fired", k)
+		}
+		rig.dev.Tracker().Crash()
+		rig.dev.SetFaultPlan(nil)
+
+		rt, err := tier.Recover(rig.mem, tierBase, tierPages, rig.be, tier.Options{})
+		if err != nil {
+			t.Fatalf("k=%d (in %s): recover: %v", k, inflightName, err)
+		}
+
+		// Zero lost acked writes, zero torn blocks.
+		buf := make([]byte, backend.BlockSize)
+		final := map[backend.BlockID][]byte{}
+		for b, want := range acked {
+			final[b] = want
+		}
+		for b, want := range acked {
+			if inflight != nil && inflight.wrData != nil && inflight.wrBlock == b {
+				continue // checked below: either outcome is legal
+			}
+			if err := rt.Read(b, buf); err != nil {
+				t.Fatalf("k=%d (in %s): read acked block %d: %v", k, inflightName, b, err)
+			}
+			if !bytes.Equal(buf, want) {
+				t.Fatalf("k=%d (in %s): acked block %d lost (got %c, want %c)",
+					k, inflightName, b, buf[0], want[0])
+			}
+		}
+		if inflight != nil && inflight.wrData != nil {
+			b := inflight.wrBlock
+			if err := rt.Read(b, buf); err != nil {
+				t.Fatalf("k=%d (in %s): read in-flight block %d: %v", k, inflightName, b, err)
+			}
+			old, hadOld := acked[b]
+			switch {
+			case bytes.Equal(buf, inflight.wrData):
+				final[b] = inflight.wrData // the interrupted write made it
+			case hadOld && bytes.Equal(buf, old):
+			case !hadOld && bytes.Equal(buf, make([]byte, backend.BlockSize)):
+				// never written: the backend's zero block
+			default:
+				t.Fatalf("k=%d: in-flight block %d torn (byte %c)", k, b, buf[0])
+			}
+		}
+
+		// Zero double-applied extents: a full drain must leave the
+		// backend holding exactly the newest surviving version.
+		if err := rt.Drain(); err != nil {
+			t.Fatalf("k=%d (in %s): drain: %v", k, inflightName, err)
+		}
+		if st := rt.Stats(); st.Dirty != 0 {
+			t.Fatalf("k=%d: %d dirty pages after drain", k, st.Dirty)
+		}
+		for b, want := range final {
+			if err := rig.be.PeekBlock(b, buf); err != nil {
+				t.Fatalf("k=%d: peek block %d: %v", k, b, err)
+			}
+			if !bytes.Equal(buf, want) {
+				t.Fatalf("k=%d (in %s): backend block %d stale after drain (got %c, want %c)",
+					k, inflightName, b, buf[0], want[0])
+			}
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"trio/internal/core"
+	"trio/internal/nvm"
+)
+
+func intentSetup(t *testing.T) (core.Mem, *nvm.Device, *IntentLog) {
+	t.Helper()
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 1, PagesPerNode: 64, TrackPersistence: true})
+	m := core.Direct(dev, 0)
+	l, err := NewIntentLog(m, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, dev, l
+}
+
+func TestIntentRoundTrip(t *testing.T) {
+	_, _, l := intentSetup(t)
+	in := l.Begin()
+	payloads := [][]byte{[]byte("destage block 7"), []byte("destage block 8"), {0x00, 0xFF}}
+	for _, p := range payloads {
+		if err := in.Add(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Not sealed yet: nothing pending.
+	if got, err := l.Pending(); err != nil || got != nil {
+		t.Fatalf("pre-seal Pending = %v, %v; want nil", got, err)
+	}
+	if err := in.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.Pending()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("Pending returned %d records, want %d", len(got), len(payloads))
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], payloads[i])
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := l.Pending(); err != nil || got != nil {
+		t.Fatalf("post-commit Pending = %v, %v; want nil", got, err)
+	}
+	// A sealed intent can't grow.
+	if err := in.Add([]byte("late")); err == nil {
+		t.Fatal("Add after Seal accepted")
+	}
+}
+
+func TestIntentCrashStates(t *testing.T) {
+	// Crash before Seal: records may be persisted but the flag is not
+	// armed — recovery sees nothing pending.
+	t.Run("before seal", func(t *testing.T) {
+		m, dev, l := intentSetup(t)
+		in := l.Begin()
+		if err := in.Add([]byte("half-done")); err != nil {
+			t.Fatal(err)
+		}
+		dev.Tracker().Crash()
+		if got, err := AttachIntentLog(m, l.Page()).Pending(); err != nil || got != nil {
+			t.Fatalf("Pending after pre-seal crash = %v, %v; want nil", got, err)
+		}
+	})
+
+	// Crash after Seal: the full batch survives and must be re-executed.
+	t.Run("after seal", func(t *testing.T) {
+		m, dev, l := intentSetup(t)
+		in := l.Begin()
+		if err := in.Add([]byte("redo-me")); err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Add([]byte("me-too")); err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		dev.Tracker().Crash()
+		got, err := AttachIntentLog(m, l.Page()).Pending()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 2 || string(got[0]) != "redo-me" || string(got[1]) != "me-too" {
+			t.Fatalf("Pending after post-seal crash = %q", got)
+		}
+	})
+
+	// Crash after Commit: the batch is retired for good.
+	t.Run("after commit", func(t *testing.T) {
+		m, dev, l := intentSetup(t)
+		in := l.Begin()
+		if err := in.Add([]byte("done")); err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		dev.Tracker().Crash()
+		if got, err := AttachIntentLog(m, l.Page()).Pending(); err != nil || got != nil {
+			t.Fatalf("Pending after post-commit crash = %v, %v; want nil", got, err)
+		}
+	})
+}
+
+func TestIntentBatchCapacityAndCorruption(t *testing.T) {
+	m, _, l := intentSetup(t)
+	in := l.Begin()
+	big := make([]byte, nvm.PageSize) // can never fit behind the header
+	if err := in.Add(big); err == nil || !strings.Contains(err.Error(), "too large") {
+		t.Fatalf("oversized record: %v, want too-large error", err)
+	}
+	// A record that fits is still fine after the rejection.
+	if err := in.Add([]byte("small")); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the record length so it points past the page; Pending
+	// must fail loudly, not walk off the end.
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(nvm.PageSize))
+	if err := m.Write(l.Page(), recStart, hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Pending(); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt record: %v, want corrupt-record error", err)
+	}
+}

@@ -53,7 +53,7 @@ type retryMem struct {
 }
 
 func (m retryMem) Persist(p nvm.PageID, off, n int) error {
-	return nvm.RetryTransient(func() error { return m.Mem.Persist(p, off, n) })
+	return nvm.RetryTransient(nvm.DefaultRetryPolicy(), func() error { return m.Mem.Persist(p, off, n) })
 }
 
 // New creates a journal over the given (LibFS-owned) NVM page and

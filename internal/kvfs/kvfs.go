@@ -177,7 +177,7 @@ func (fs *FS) setLocked(cpu int, n *kvnode, val []byte) error {
 		if err := as.Write(ip, 0, zeros[:]); err != nil {
 			return err
 		}
-		if err := nvm.RetryTransient(func() error {
+		if err := nvm.RetryTransient(nvm.DefaultRetryPolicy(), func() error {
 			return as.Persist(ip, 0, nvm.PageSize)
 		}); err != nil {
 			return err
@@ -209,7 +209,7 @@ func (fs *FS) setLocked(cpu int, n *kvnode, val []byte) error {
 		if err := mem.Write(n.pages[i], 0, val[lo:hi]); err != nil {
 			return err
 		}
-		if err := nvm.RetryTransient(func() error {
+		if err := nvm.RetryTransient(nvm.DefaultRetryPolicy(), func() error {
 			return mem.Persist(n.pages[i], 0, hi-lo)
 		}); err != nil {
 			return err

@@ -521,7 +521,7 @@ type retryMem struct {
 }
 
 func (m retryMem) Persist(p nvm.PageID, off, n int) error {
-	return nvm.RetryTransient(func() error { return m.AddressSpace.Persist(p, off, n) })
+	return nvm.RetryTransient(nvm.DefaultRetryPolicy(), func() error { return m.AddressSpace.Persist(p, off, n) })
 }
 
 // persist is the retrying counterpart of fs.as.Persist for the few

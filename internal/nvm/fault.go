@@ -39,13 +39,51 @@ func IsInjected(err error) bool {
 		errors.Is(err, ErrInjectedFailure)
 }
 
-// retryAttempts bounds RetryTransient: 8 attempts with capped
-// exponential backoff starting at 1µs.
-const retryAttempts = 8
+// RetryPolicy bounds a transient-fault retry loop: how many times the
+// op may run, how the backoff between attempts grows, and how much
+// total backoff the loop may spend before giving up. The zero value of
+// any field falls back to the defaults below, so RetryPolicy{} behaves
+// like DefaultRetryPolicy().
+//
+// The backoff schedule is deterministic under a seeded jitter stream
+// (SetRetrySeed): Deadline is accounted against the *planned* sleeps,
+// not the wall clock, so two runs with the same seed retry — and give
+// up — at exactly the same attempts.
+type RetryPolicy struct {
+	// Attempts is the maximum number of op invocations.
+	Attempts int
+	// Base is the first backoff step; attempt k backs off Base<<k,
+	// jittered, up to Cap.
+	Base time.Duration
+	// Cap bounds one backoff step so a long busy window never balloons
+	// a single op's latency.
+	Cap time.Duration
+	// Deadline, when positive, bounds the cumulative backoff across all
+	// attempts: the loop gives up early rather than start a sleep that
+	// would exceed it.
+	Deadline time.Duration
+}
 
-// maxRetryDelay caps the exponential backoff so a long busy window
-// never balloons a single op's latency past a few hundred µs.
-const maxRetryDelay = 64 * time.Microsecond
+// DefaultRetryPolicy is the policy the NVM persist paths use: 8
+// attempts, 1µs base, 64µs cap, no deadline.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Attempts: 8, Base: time.Microsecond, Cap: 64 * time.Microsecond}
+}
+
+// norm fills zero fields with the defaults.
+func (pol RetryPolicy) norm() RetryPolicy {
+	def := DefaultRetryPolicy()
+	if pol.Attempts <= 0 {
+		pol.Attempts = def.Attempts
+	}
+	if pol.Base <= 0 {
+		pol.Base = def.Base
+	}
+	if pol.Cap <= 0 {
+		pol.Cap = def.Cap
+	}
+	return pol
+}
 
 // retryRNG is the deterministic jitter source shared by every
 // RetryTransient call: a splitmix64 stream whose state advances one
@@ -67,15 +105,15 @@ func nextRetryJitter() uint64 {
 	return z ^ (z >> 31)
 }
 
-// retryDelay computes the sleep before retry `attempt` (0-based): the
+// delay computes the sleep before retry `attempt` (0-based): the
 // capped exponential term, halved, plus deterministic jitter drawn
 // from j over the other half — full jitter keeps concurrent retriers
 // from thundering in lockstep while the seedable stream keeps tests
 // reproducible.
-func retryDelay(attempt int, j uint64) time.Duration {
-	d := time.Microsecond << attempt
-	if d > maxRetryDelay || d <= 0 {
-		d = maxRetryDelay
+func (pol RetryPolicy) delay(attempt int, j uint64) time.Duration {
+	d := pol.Base << attempt
+	if d > pol.Cap || d <= 0 {
+		d = pol.Cap
 	}
 	half := d / 2
 	if half <= 0 {
@@ -87,22 +125,40 @@ func retryDelay(attempt int, j uint64) time.Duration {
 // retrySleep is swapped out by tests that assert on the delay schedule.
 var retrySleep = time.Sleep
 
-// RetryTransient runs op, retrying with capped exponential backoff and
-// deterministic (seedable) jitter as long as it fails with the
-// transient ErrDeviceBusy. Any other result (success or a hard fault)
-// is returned immediately; if the budget is exhausted the last
-// ErrDeviceBusy is returned so the caller surfaces it as an I/O error
-// instead of spinning forever.
-func RetryTransient(op func() error) error {
+// Retry runs op under pol, retrying with capped exponential backoff and
+// deterministic (seedable) jitter as long as op fails with an error the
+// transient predicate accepts. Any other result (success or a hard
+// fault) is returned immediately; once the attempt or deadline budget
+// is exhausted the last transient error is returned — and counted in
+// nvm.retry_giveup — so the caller surfaces it as an I/O error instead
+// of spinning forever.
+func Retry(pol RetryPolicy, transient func(error) bool, op func() error) error {
+	pol = pol.norm()
+	var slept time.Duration
 	var err error
-	for attempt := 0; attempt < retryAttempts; attempt++ {
-		if err = op(); !errors.Is(err, ErrDeviceBusy) {
+	for attempt := 0; ; attempt++ {
+		if err = op(); err == nil || !transient(err) {
 			return err
 		}
+		if attempt+1 >= pol.Attempts {
+			break
+		}
+		d := pol.delay(attempt, nextRetryJitter())
+		if pol.Deadline > 0 && slept+d > pol.Deadline {
+			break
+		}
+		slept += d
 		mRetries.Inc()
-		retrySleep(retryDelay(attempt, nextRetryJitter()))
+		retrySleep(d)
 	}
+	mRetryGiveup.Inc()
 	return err
+}
+
+// RetryTransient is Retry specialized to the device's one transient
+// fault, the delayed-persistence window (ErrDeviceBusy).
+func RetryTransient(pol RetryPolicy, op func() error) error {
+	return Retry(pol, func(err error) bool { return errors.Is(err, ErrDeviceBusy) }, op)
 }
 
 // faultRule is one read- or write-error injection: the next `skip`
@@ -149,8 +205,9 @@ type FaultPlan struct {
 	mu         sync.Mutex
 	readRules  map[PageID]*faultRule
 	writeRules map[PageID]*faultRule
-	delays     map[PageID]int64 // remaining busy persists per page
-	tears      map[uint64]int   // global cacheline index -> durable prefix bytes
+	delays     map[PageID]int64      // remaining busy persists per page
+	opDelays   map[PageID]*delayRule // armed slow-I/O windows per page
+	tears      map[uint64]int        // global cacheline index -> durable prefix bytes
 	points     int64
 	armAt      int64
 	fired      bool
@@ -167,7 +224,50 @@ func NewFaultPlan() *FaultPlan {
 		readRules:  make(map[PageID]*faultRule),
 		writeRules: make(map[PageID]*faultRule),
 		delays:     make(map[PageID]int64),
+		opDelays:   make(map[PageID]*delayRule),
 		tears:      make(map[uint64]int),
+	}
+}
+
+// delayRule is one armed slow-I/O window: the next count matching
+// accesses each take an extra d of latency (count < 0: every access).
+type delayRule struct {
+	d     time.Duration
+	count int64
+}
+
+// DelayOp arms latency injection on page p (or AllPages): the next
+// count ReadAt/WriteAt accesses touching p (range ops consult their
+// first page) complete successfully but take an extra d — slow I/O,
+// not a hard error. It is how tests reproduce a device that limps:
+// timeouts, breaker trips and retry storms in the layers above must be
+// driven by latency, not only by injected failures. Persist-side
+// slowness has its own knob (DelayPersists: transient busy windows).
+func (fp *FaultPlan) DelayOp(p PageID, d time.Duration, count int64) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.opDelays[p] = &delayRule{d: d, count: count}
+}
+
+// sleepOpDelay applies an armed slow-I/O window to an access of page p,
+// sleeping outside the plan lock. Each injected delay counts as one
+// injected fault.
+func (fp *FaultPlan) sleepOpDelay(p PageID) {
+	fp.mu.Lock()
+	var d time.Duration
+	for _, key := range [2]PageID{p, AllPages} {
+		if r, ok := fp.opDelays[key]; ok && r.count != 0 {
+			if r.count > 0 {
+				r.count--
+			}
+			d = r.d
+			break
+		}
+	}
+	fp.mu.Unlock()
+	if d > 0 {
+		fp.injected()
+		time.Sleep(d)
 	}
 }
 

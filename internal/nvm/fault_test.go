@@ -5,6 +5,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"trio/internal/telemetry"
 )
 
 func faultDevice(t *testing.T, track bool) *Device {
@@ -101,22 +103,22 @@ func TestRetryTransientAbsorbsBoundedBusy(t *testing.T) {
 	if err := d.WriteAt(0, 2, 0, []byte("y")); err != nil {
 		t.Fatal(err)
 	}
-	if err := RetryTransient(func() error { return d.Persist(2, 0, 1) }); err != nil {
+	if err := RetryTransient(DefaultRetryPolicy(), func() error { return d.Persist(2, 0, 1) }); err != nil {
 		t.Fatalf("RetryTransient should absorb a short busy window: %v", err)
 	}
 
 	// A window longer than the retry budget surfaces ErrDeviceBusy.
 	fp.DelayPersists(AllPages, 1000)
 	attempts := 0
-	err := RetryTransient(func() error {
+	err := RetryTransient(DefaultRetryPolicy(), func() error {
 		attempts++
 		return d.Persist(2, 0, 1)
 	})
 	if !errors.Is(err, ErrDeviceBusy) {
 		t.Fatalf("got %v, want ErrDeviceBusy", err)
 	}
-	if attempts != retryAttempts {
-		t.Fatalf("attempts = %d, want %d (bounded)", attempts, retryAttempts)
+	if attempts != DefaultRetryPolicy().Attempts {
+		t.Fatalf("attempts = %d, want %d (bounded)", attempts, DefaultRetryPolicy().Attempts)
 	}
 }
 
@@ -327,7 +329,7 @@ func TestRetryBackoffDeterministicJitter(t *testing.T) {
 		old := retrySleep
 		retrySleep = func(d time.Duration) { delays = append(delays, d) }
 		defer func() { retrySleep = old }()
-		err := RetryTransient(func() error { return ErrDeviceBusy })
+		err := RetryTransient(DefaultRetryPolicy(), func() error { return ErrDeviceBusy })
 		if !errors.Is(err, ErrDeviceBusy) {
 			t.Fatalf("exhausted retry returned %v", err)
 		}
@@ -336,8 +338,10 @@ func TestRetryBackoffDeterministicJitter(t *testing.T) {
 
 	a := collect(42)
 	b := collect(42)
-	if len(a) != retryAttempts {
-		t.Fatalf("%d delays, want %d", len(a), retryAttempts)
+	// The final attempt returns without sleeping, so an exhausted loop
+	// records Attempts-1 backoffs.
+	if len(a) != DefaultRetryPolicy().Attempts-1 {
+		t.Fatalf("%d delays, want %d", len(a), DefaultRetryPolicy().Attempts-1)
 	}
 	for i := range a {
 		if a[i] != b[i] {
@@ -357,20 +361,153 @@ func TestRetryBackoffDeterministicJitter(t *testing.T) {
 
 	// Every delay respects the cap and stays positive; the exponential
 	// floor (half the capped term) keeps later attempts from collapsing.
+	maxDelay := DefaultRetryPolicy().Cap
 	for i, d := range a {
-		if d <= 0 || d > maxRetryDelay {
-			t.Fatalf("attempt %d: delay %v outside (0, %v]", i, d, maxRetryDelay)
+		if d <= 0 || d > maxDelay {
+			t.Fatalf("attempt %d: delay %v outside (0, %v]", i, d, maxDelay)
 		}
 	}
 	for _, seed := range []uint64{0, 1, 99} {
 		for i, d := range collect(seed) {
 			exp := time.Microsecond << i
-			if exp > maxRetryDelay {
-				exp = maxRetryDelay
+			if exp > maxDelay {
+				exp = maxDelay
 			}
 			if d < exp/2 || d > exp {
 				t.Fatalf("seed %d attempt %d: delay %v outside [%v, %v]", seed, i, d, exp/2, exp)
 			}
 		}
+	}
+}
+
+func TestRetryPolicyBounds(t *testing.T) {
+	// A custom attempt budget is respected exactly.
+	attempts := 0
+	pol := RetryPolicy{Attempts: 3, Base: time.Microsecond, Cap: 8 * time.Microsecond}
+	old := retrySleep
+	retrySleep = func(time.Duration) {}
+	defer func() { retrySleep = old }()
+	err := RetryTransient(pol, func() error {
+		attempts++
+		return ErrDeviceBusy
+	})
+	if !errors.Is(err, ErrDeviceBusy) || attempts != 3 {
+		t.Fatalf("attempts = %d err = %v, want 3 attempts ending in ErrDeviceBusy", attempts, err)
+	}
+
+	// A deadline cuts the loop before the attempt budget: with every
+	// backoff at least Base/2, a deadline below Base/2 permits no sleep
+	// at all, so exactly one attempt runs... plus the one that failed.
+	attempts = 0
+	pol = RetryPolicy{Attempts: 100, Base: 16 * time.Microsecond, Cap: 16 * time.Microsecond,
+		Deadline: time.Microsecond}
+	err = RetryTransient(pol, func() error {
+		attempts++
+		return ErrDeviceBusy
+	})
+	if !errors.Is(err, ErrDeviceBusy) {
+		t.Fatalf("got %v, want ErrDeviceBusy", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("deadline-bounded loop ran %d attempts, want 1", attempts)
+	}
+
+	// The deadline is accounted against planned sleeps, so the same
+	// seed gives up at the same attempt on every run.
+	counts := [2]int{}
+	for i := range counts {
+		SetRetrySeed(99)
+		RetryTransient(RetryPolicy{Attempts: 50, Base: 4 * time.Microsecond,
+			Cap: 64 * time.Microsecond, Deadline: 200 * time.Microsecond},
+			func() error { counts[i]++; return ErrDeviceBusy })
+	}
+	if counts[0] != counts[1] || counts[0] >= 50 {
+		t.Fatalf("seeded deadline schedules diverged: %d vs %d", counts[0], counts[1])
+	}
+}
+
+func TestRetryGiveupCounter(t *testing.T) {
+	telemetry.Default().Enable()
+	defer telemetry.Default().Disable()
+	old := retrySleep
+	retrySleep = func(time.Duration) {}
+	defer func() { retrySleep = old }()
+
+	before := telemetry.Default().Snapshot()
+	// A transient error that clears on the second attempt: retries tick,
+	// giveup does not.
+	n := 0
+	if err := RetryTransient(RetryPolicy{}, func() error {
+		if n++; n == 1 {
+			return ErrDeviceBusy
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// An everlasting transient error exhausts the budget: giveup ticks.
+	RetryTransient(RetryPolicy{Attempts: 4}, func() error { return ErrDeviceBusy })
+	d := telemetry.Default().Snapshot().Sub(before)
+	if d.Get("nvm.retries") < 2 {
+		t.Fatalf("nvm.retries = %d, want >= 2", d.Get("nvm.retries"))
+	}
+	if d.Get("nvm.retry_giveup") != 1 {
+		t.Fatalf("nvm.retry_giveup = %d, want 1", d.Get("nvm.retry_giveup"))
+	}
+}
+
+func TestDelayOpInjectsLatency(t *testing.T) {
+	d := faultDevice(t, false)
+	fp := NewFaultPlan()
+	d.SetFaultPlan(fp)
+
+	const slow = 3 * time.Millisecond
+	fp.DelayOp(7, slow, 2)
+	buf := make([]byte, 64)
+
+	// The two armed accesses limp; the op still succeeds and the data
+	// still lands.
+	start := time.Now()
+	if err := d.WriteAt(0, 7, 0, bytes.Repeat([]byte{0xAB}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadAt(0, 7, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 2*slow {
+		t.Fatalf("two delayed ops took %v, want >= %v", el, 2*slow)
+	}
+	if buf[0] != 0xAB {
+		t.Fatal("delayed write lost its data")
+	}
+
+	// The window is spent: the next access is fast again.
+	start = time.Now()
+	if err := d.ReadAt(0, 7, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > slow {
+		t.Fatalf("post-window access still slow: %v", el)
+	}
+	// Other pages were never slowed.
+	start = time.Now()
+	if err := d.ReadAt(0, 8, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > slow {
+		t.Fatalf("unrelated page slowed: %v", el)
+	}
+	if fp.Faults() < 2 {
+		t.Fatalf("injected delays not counted as faults: %d", fp.Faults())
+	}
+
+	// The wildcard delays coalesced range ops too (consulted once per run).
+	fp.DelayOp(AllPages, slow, 1)
+	start = time.Now()
+	if err := d.WriteRange(0, 9, 0, make([]byte, 2*PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < slow {
+		t.Fatalf("range op ignored the slow-I/O window: %v", el)
 	}
 }

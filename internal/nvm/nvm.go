@@ -214,6 +214,7 @@ func (d *Device) ReadAt(fromNode int, p PageID, off int, buf []byte) error {
 		if err := fp.readFault(p); err != nil {
 			return err
 		}
+		fp.sleepOpDelay(p)
 	}
 	d.charge(fromNode, p, len(buf), false)
 	if telemetry.On() {
@@ -242,6 +243,7 @@ func (d *Device) WriteAt(fromNode int, p PageID, off int, data []byte) error {
 		if err := fp.writeFault(p); err != nil {
 			return err
 		}
+		fp.sleepOpDelay(p)
 	}
 	d.charge(fromNode, p, len(data), true)
 	if telemetry.On() {
@@ -302,6 +304,9 @@ func (d *Device) ReadRange(fromNode int, p PageID, off int, buf []byte) error {
 				return err
 			}
 		}
+		// A coalesced run is one access: the slow-I/O window is consulted
+		// once, keyed by the run's first page.
+		fp.sleepOpDelay(p)
 	}
 	d.chargeSpan(fromNode, p, off, len(buf), false)
 	if telemetry.On() {
@@ -346,6 +351,9 @@ func (d *Device) WriteRange(fromNode int, p PageID, off int, data []byte) error 
 		mWriteBytes.AddOn(fromNode, int64(len(data)))
 	}
 	fp := d.plan.Load()
+	if fp != nil {
+		fp.sleepOpDelay(p) // one slow-I/O consult per coalesced run
+	}
 	pos, q, pgOff := 0, p, off
 	for pos < len(data) {
 		chunk := PageSize - pgOff

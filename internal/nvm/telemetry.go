@@ -9,13 +9,14 @@ package nvm
 import "trio/internal/telemetry"
 
 var (
-	mReads      = telemetry.Default().NewCounter("nvm.reads")
-	mReadBytes  = telemetry.Default().NewCounter("nvm.read_bytes")
-	mWrites     = telemetry.Default().NewCounter("nvm.writes")
-	mWriteBytes = telemetry.Default().NewCounter("nvm.write_bytes")
-	mPersists   = telemetry.Default().NewCounter("nvm.persists")
-	mFences     = telemetry.Default().NewCounter("nvm.fences")
-	mFaults     = telemetry.Default().NewCounter("nvm.faults_injected")
-	mRetries    = telemetry.Default().NewCounter("nvm.retries")
-	mCharges    = telemetry.Default().NewCounterPerShard("nvm.cost_charges")
+	mReads       = telemetry.Default().NewCounter("nvm.reads")
+	mReadBytes   = telemetry.Default().NewCounter("nvm.read_bytes")
+	mWrites      = telemetry.Default().NewCounter("nvm.writes")
+	mWriteBytes  = telemetry.Default().NewCounter("nvm.write_bytes")
+	mPersists    = telemetry.Default().NewCounter("nvm.persists")
+	mFences      = telemetry.Default().NewCounter("nvm.fences")
+	mFaults      = telemetry.Default().NewCounter("nvm.faults_injected")
+	mRetries     = telemetry.Default().NewCounter("nvm.retries")
+	mRetryGiveup = telemetry.Default().NewCounter("nvm.retry_giveup")
+	mCharges     = telemetry.Default().NewCounterPerShard("nvm.cost_charges")
 )

@@ -1,0 +1,86 @@
+// A classic three-state circuit breaker guarding the destage path.
+// Closed: work flows, consecutive run failures are counted. Open:
+// after `threshold` consecutive failures (or a failed probe) the tier
+// stops hammering a sick backend entirely until the cooldown passes —
+// writes keep landing in NVM meanwhile. Half-open: the first pass
+// after the cooldown is a probe; success closes the breaker, failure
+// re-opens it for another cooldown.
+package tier
+
+import (
+	"sync"
+	"time"
+)
+
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+type breaker struct {
+	mu        sync.Mutex
+	state     int
+	fails     int
+	until     time.Time // open-state cooldown deadline
+	trips     int64
+	threshold int
+	cooldown  time.Duration
+}
+
+// allow reports whether a destage pass may run now; an expired
+// cooldown moves the breaker to half-open and admits the probe.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		if now.Before(b.until) {
+			return false
+		}
+		b.state = breakerHalfOpen
+		return true
+	default:
+		return true
+	}
+}
+
+// ok records a successful run: the breaker closes fully.
+func (b *breaker) ok() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.fails = 0
+}
+
+// fail records a run that exhausted its retries. A half-open probe
+// failure re-opens immediately; closed-state failures open after
+// `threshold` in a row.
+func (b *breaker) fail(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.state == breakerHalfOpen || b.fails >= b.threshold {
+		b.state = breakerOpen
+		b.until = now.Add(b.cooldown)
+		b.trips++
+	}
+}
+
+func (b *breaker) stateName() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+func (b *breaker) tripCount() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -1,0 +1,392 @@
+// The destage pipeline and crash recovery: stage → journal intent →
+// backend write → commit → reclaim. See the package comment for the
+// invariants each step persists.
+package tier
+
+import (
+	"encoding/binary"
+	"errors"
+	"sort"
+	"time"
+
+	"trio/internal/backend"
+	"trio/internal/core"
+	"trio/internal/journal"
+	"trio/internal/nvm"
+	"trio/internal/telemetry"
+)
+
+// retryable classifies errors the backend retry loop may absorb:
+// transient backend faults and our own abandoned-op timeouts.
+func retryable(err error) bool {
+	return backend.IsTransient(err) || errors.Is(err, ErrTimeout)
+}
+
+// backendOp runs op under the per-op timeout and the retry policy.
+// blocks lists the backend blocks a *write* touches: they are marked
+// in flight for the duration of the (possibly abandoned) attempt so a
+// later destage pass cannot race a timed-out write that lands late
+// with different content.
+func (t *Tier) backendOp(op func() error, blocks []backend.BlockID) error {
+	attempts := 0
+	err := nvm.Retry(t.opt.Retry, retryable, func() error {
+		attempts++
+		return t.attemptOp(op, blocks)
+	})
+	if attempts > 1 {
+		t.mu.Lock()
+		t.st.Retries += int64(attempts - 1)
+		t.mu.Unlock()
+	}
+	return err
+}
+
+func (t *Tier) attemptOp(op func() error, blocks []backend.BlockID) error {
+	if len(blocks) > 0 {
+		t.mu.Lock()
+		for _, b := range blocks {
+			t.inflight[b]++
+		}
+		t.mu.Unlock()
+	}
+	done := make(chan error, 1)
+	go func() {
+		err := op()
+		if len(blocks) > 0 {
+			// The attempt is only "no longer in flight" once the backend
+			// call actually returned — even if we abandoned it long ago.
+			t.mu.Lock()
+			for _, b := range blocks {
+				if t.inflight[b]--; t.inflight[b] <= 0 {
+					delete(t.inflight, b)
+				}
+			}
+			t.mu.Unlock()
+		}
+		done <- err
+	}()
+	timer := time.NewTimer(t.opt.OpTimeout)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-timer.C:
+		t.mu.Lock()
+		t.st.Timeouts++
+		t.mu.Unlock()
+		if telemetry.On() {
+			mTimeouts.Inc()
+		}
+		return ErrTimeout
+	}
+}
+
+// destageItem is one staged block selected for a pass: the slot
+// identity captured at selection time (the commit guard) plus a DRAM
+// snapshot of the content, so the backend write never races page
+// reuse.
+type destageItem struct {
+	slot  int
+	block backend.BlockID
+	page  nvm.PageID
+	seq   uint64
+	data  []byte
+}
+
+const intentRecSize = 24 // block u64, page u64, seq u64
+
+func encodeIntent(it destageItem) []byte {
+	var b [intentRecSize]byte
+	binary.LittleEndian.PutUint64(b[0:], uint64(it.block))
+	binary.LittleEndian.PutUint64(b[8:], uint64(it.page))
+	binary.LittleEndian.PutUint64(b[16:], it.seq)
+	return b[:]
+}
+
+func decodeIntent(b []byte) (destageItem, bool) {
+	if len(b) != intentRecSize {
+		return destageItem{}, false
+	}
+	return destageItem{
+		block: backend.BlockID(binary.LittleEndian.Uint64(b[0:])),
+		page:  nvm.PageID(binary.LittleEndian.Uint64(b[8:])),
+		seq:   binary.LittleEndian.Uint64(b[16:]),
+	}, true
+}
+
+// DestageOnce runs one destage pass: select up to DestageBatch dirty
+// blocks, journal the intent, push them to the backend in coalesced
+// extents, and commit. It returns the number of blocks committed
+// CLEAN. A pass while the breaker is open (and still cooling) is a
+// no-op; a run that exhausts its retries records a breaker failure,
+// leaves its blocks dirty and aborts the pass — they simply destage
+// again later.
+func (t *Tier) DestageOnce() (int, error) {
+	t.destageMu.Lock()
+	defer t.destageMu.Unlock()
+	if !t.br.allow(time.Now()) {
+		return 0, nil
+	}
+
+	// Stage: select and snapshot, deterministically by slot index.
+	t.mu.Lock()
+	var items []destageItem
+	for i := range t.slots {
+		if len(items) >= t.opt.DestageBatch {
+			break
+		}
+		s := t.slots[i]
+		if s.state != slotDirty || t.inflight[s.block] > 0 {
+			continue
+		}
+		data := make([]byte, backend.BlockSize)
+		if err := t.mem.Read(s.page, 0, data); err != nil {
+			t.mu.Unlock()
+			return 0, err
+		}
+		items = append(items, destageItem{slot: i, block: s.block, page: s.page, seq: s.seq, data: data})
+	}
+	t.mu.Unlock()
+	if len(items) == 0 {
+		return 0, nil
+	}
+
+	// Journal intent: after the seal, a crash re-executes this batch.
+	in := t.log.Begin()
+	for _, it := range items {
+		if err := in.Add(encodeIntent(it)); err != nil {
+			return 0, err
+		}
+	}
+	if err := in.Seal(); err != nil {
+		return 0, err
+	}
+
+	// Backend write in coalesced extents, then commit run by run.
+	sort.Slice(items, func(i, j int) bool { return items[i].block < items[j].block })
+	destaged := 0
+	var firstErr error
+	for start := 0; start < len(items); {
+		end := start + 1
+		for end < len(items) && items[end].block == items[end-1].block+1 {
+			end++
+		}
+		run := items[start:end]
+		start = end
+		if err := t.writeRun(run); err != nil {
+			t.br.fail(time.Now())
+			t.mu.Lock()
+			t.st.Failures++
+			t.mu.Unlock()
+			if telemetry.On() {
+				mFailures.Inc()
+			}
+			firstErr = err
+			break
+		}
+		t.br.ok()
+		n, err := t.commitRun(run)
+		destaged += n
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+
+	// Reclaim: retire the intent batch. Blocks that failed to destage
+	// are still DIRTY and self-recovering, so this is safe even on a
+	// partial pass.
+	if err := t.log.Commit(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	t.mu.Lock()
+	t.st.Passes++
+	t.st.Destaged += int64(destaged)
+	t.mu.Unlock()
+	if telemetry.On() {
+		mDestaged.Add(int64(destaged))
+	}
+	return destaged, firstErr
+}
+
+// writeRun pushes one coalesced extent of staged snapshots.
+func (t *Tier) writeRun(run []destageItem) error {
+	ext := make([]byte, 0, len(run)*backend.BlockSize)
+	blocks := make([]backend.BlockID, 0, len(run))
+	for _, it := range run {
+		ext = append(ext, it.data...)
+		blocks = append(blocks, it.block)
+	}
+	return t.backendOp(func() error { return t.be.WriteExtent(run[0].block, ext) }, blocks)
+}
+
+// commitRun flips each destaged slot DIRTY→CLEAN — but only while the
+// slot still carries the staged {block, seq}. A slot overwritten (or
+// retired) since selection stays as it is; the newer content destages
+// on a later pass.
+func (t *Tier) commitRun(run []destageItem) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, it := range run {
+		s := &t.slots[it.slot]
+		if s.state != slotDirty || s.block != it.block || s.seq != it.seq {
+			continue
+		}
+		if err := t.setSlotState(it.slot, slotClean); err != nil {
+			return n, err
+		}
+		s.state = slotClean
+		t.dirty--
+		t.clean++
+		n++
+	}
+	t.mem.Fence()
+	t.cond.Broadcast()
+	return n, nil
+}
+
+// Drain destages until no dirty pages remain, waiting out breaker
+// cooldowns. It returns the first hard error once progress stops.
+func (t *Tier) Drain() error {
+	for {
+		t.mu.Lock()
+		dirty := t.dirty
+		t.mu.Unlock()
+		if dirty == 0 {
+			return nil
+		}
+		n, err := t.DestageOnce()
+		if n == 0 {
+			if err != nil {
+				return err
+			}
+			// Breaker cooling or every dirty block in flight — let the
+			// world move.
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// Recover attaches to a tier region after a crash: it rebuilds the
+// DRAM index from the slot table (keeping the highest seq per block
+// and retiring losers — the crash window between publishing a new
+// version and freeing its predecessor), re-executes any sealed destage
+// intents whose slots still match, and retires the intent log.
+func Recover(mem core.Mem, base nvm.PageID, pages int, be *backend.Sim, opt Options) (*Tier, error) {
+	t, err := attach(mem, base, pages, be, opt)
+	if err != nil {
+		return nil, err
+	}
+	t.log = journal.AttachIntentLog(mem, base)
+
+	// Scan the slot table.
+	best := make(map[backend.BlockID]int, t.cap)
+	var losers []int
+	for i := 0; i < t.cap; i++ {
+		p, off := t.slotLoc(i)
+		var e [slotSize]byte
+		if err := mem.Read(p, off, e[:]); err != nil {
+			return nil, err
+		}
+		s := slotInfo{
+			block: backend.BlockID(binary.LittleEndian.Uint64(e[slotBlockOff:])),
+			page:  nvm.PageID(binary.LittleEndian.Uint64(e[slotPageOff:])),
+			seq:   binary.LittleEndian.Uint64(e[slotSeqOff:]),
+			state: binary.LittleEndian.Uint64(e[slotStateOff:]),
+		}
+		if s.state != slotDirty && s.state != slotClean {
+			continue // FREE, or a half-published entry — empty either way
+		}
+		if s.page < t.staging || s.page >= t.staging+nvm.PageID(t.cap) || uint64(s.block) >= be.Blocks() {
+			losers = append(losers, i) // corrupt entry: retire it
+			continue
+		}
+		t.slots[i] = s
+		if j, ok := best[s.block]; ok {
+			if s.seq > t.slots[j].seq {
+				losers = append(losers, j)
+				best[s.block] = i
+			} else {
+				losers = append(losers, i)
+			}
+		} else {
+			best[s.block] = i
+		}
+	}
+	for _, i := range losers {
+		if err := t.setSlotState(i, slotFree); err != nil {
+			return nil, err
+		}
+		t.slots[i] = slotInfo{}
+	}
+	mem.Fence()
+
+	// Rebuild the DRAM index and free pools.
+	usedPage := make(map[nvm.PageID]bool, len(best))
+	for b, i := range best {
+		t.byBlock[b] = i
+		usedPage[t.slots[i].page] = true
+		if t.slots[i].state == slotDirty {
+			t.dirty++
+		} else {
+			t.clean++
+		}
+	}
+	used := make(map[int]bool, len(best))
+	for _, i := range best {
+		used[i] = true
+	}
+	for i := t.cap - 1; i >= 0; i-- {
+		if !used[i] {
+			t.freeSlots = append(t.freeSlots, i)
+		}
+		if p := t.staging + nvm.PageID(i); !usedPage[p] {
+			t.freePages = append(t.freePages, p)
+		}
+	}
+
+	// Re-execute sealed intents whose slots still match — the crashed
+	// pass's backend writes, replayed idempotently. A record whose slot
+	// moved on (higher seq, or already CLEAN) is skipped; a replay that
+	// fails leaves the block DIRTY for the normal destage path.
+	pend, err := t.log.Pending()
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range pend {
+		it, ok := decodeIntent(rec)
+		if !ok {
+			continue
+		}
+		i, ok := t.byBlock[it.block]
+		if !ok {
+			continue
+		}
+		s := &t.slots[i]
+		if s.state != slotDirty || s.seq != it.seq || s.page != it.page {
+			continue
+		}
+		data := make([]byte, backend.BlockSize)
+		if err := mem.Read(s.page, 0, data); err != nil {
+			return nil, err
+		}
+		if err := t.backendOp(func() error { return t.be.WriteExtent(it.block, data) }, []backend.BlockID{it.block}); err != nil {
+			continue
+		}
+		if err := t.setSlotState(i, slotClean); err != nil {
+			return nil, err
+		}
+		s.state = slotClean
+		t.dirty--
+		t.clean++
+		t.st.Destaged++
+	}
+	mem.Fence()
+	if len(pend) > 0 {
+		if err := t.log.Commit(); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,17 @@
+// Telemetry instruments of the write-back tier, on the process-wide
+// default registry. Counters only — point-in-time state (dirty pages,
+// breaker state) comes from Tier.Stats(), which trio-top reads
+// directly.
+package tier
+
+import "trio/internal/telemetry"
+
+var (
+	mWrites       = telemetry.Default().NewCounter("tier.writes")
+	mHits         = telemetry.Default().NewCounter("tier.read_hits")
+	mMisses       = telemetry.Default().NewCounter("tier.read_misses")
+	mDestaged     = telemetry.Default().NewCounter("tier.destaged")
+	mTimeouts     = telemetry.Default().NewCounter("tier.op_timeouts")
+	mFailures     = telemetry.Default().NewCounter("tier.destage_failures")
+	mBackpressure = telemetry.Default().NewCounter("tier.backpressure_waits")
+)

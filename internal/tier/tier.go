@@ -1,0 +1,514 @@
+// Package tier is the crash-consistent NVM write-back layer over the
+// slow, unreliable backing store (ROADMAP #5, ISSUE 7). Writes are
+// absorbed in NVM and acknowledged as soon as they are persistent
+// there; a destage pipeline later pushes them to the backend in
+// coalesced extents; hot reads are served from NVM.
+//
+// # On-NVM layout
+//
+// The tier owns a contiguous page range [base, base+pages):
+//
+//	base+0                 intent-log page (journal.IntentLog)
+//	base+1 … base+meta     slot table, 32-byte entries, 128 per page
+//	rest                   staging pages, one backend block each
+//
+// A slot entry is {block u64, page u64, seq u64, state u64} with
+// states FREE=0, DIRTY=1, CLEAN=2. The entry is not atomically
+// writable as a whole, so the state word doubles as the commit word:
+// the other three fields persist behind a fence first, then an 8-byte
+// atomic store of the state publishes the entry. Recovery treats any
+// entry whose state is FREE — including a half-written one — as
+// empty.
+//
+// # Crash consistency
+//
+// Updates are out of place. Overwriting a staged block writes the new
+// content to a *fresh* staging page, publishes a *fresh* slot with
+// seq+1, and only then retires the old slot; the old page rejoins the
+// free pool only after the FREE state has persisted and fenced, so a
+// crash can never resurrect a retired slot whose page was already
+// reused for other content. The acknowledgement point of a write is
+// the fence after its DIRTY state persists. In-place overwrite of a
+// dirty page is deliberately impossible: a crash mid-copy would tear
+// the previously *acknowledged* content.
+//
+// Destaging runs the pipeline stage → journal intent → backend write
+// → commit → reclaim. The commit flips DIRTY→CLEAN only while the
+// slot still carries the staged {block, seq} — a concurrent overwrite
+// bumps seq, so a destage of superseded content can never mark the
+// newer version clean. Re-destaging is idempotent (whole-block writes
+// of a content snapshot), which also absorbs the backend's nastiest
+// ambiguity: a timed-out write that lands anyway.
+//
+// # Robustness
+//
+// Backend ops run under a per-op timeout, bounded retry with
+// exponential backoff and jitter (nvm.RetryPolicy), and a circuit
+// breaker that trips on sustained failure and probes half-open after
+// a cooldown. A full outage degrades gracefully: writes keep landing
+// in NVM until the dirty-page high watermark, then writers block
+// (backpressure, never data loss) until destaging drains below the
+// low watermark.
+package tier
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"trio/internal/backend"
+	"trio/internal/core"
+	"trio/internal/journal"
+	"trio/internal/nvm"
+	"trio/internal/telemetry"
+)
+
+// Slot states.
+const (
+	slotFree  = 0
+	slotDirty = 1
+	slotClean = 2
+)
+
+const (
+	slotSize     = 32
+	slotsPerPage = nvm.PageSize / slotSize
+	// Slot entry field offsets.
+	slotBlockOff = 0
+	slotPageOff  = 8
+	slotSeqOff   = 16
+	slotStateOff = 24
+)
+
+var (
+	// ErrClosed reports an op on a closed tier.
+	ErrClosed = errors.New("tier: closed")
+	// ErrTimeout reports a backend op abandoned by the per-op timeout.
+	// The op may still complete inside the backend — the destage
+	// protocol's idempotence absorbs that.
+	ErrTimeout = errors.New("tier: backend op timed out")
+)
+
+// Options tunes the tier. The zero value picks workable defaults.
+type Options struct {
+	// HighWater / LowWater are the dirty-page backpressure hysteresis:
+	// writers block once dirty pages reach HighWater and resume once
+	// destaging drains them to LowWater. Defaults: 3/4 and 1/2 of
+	// capacity.
+	HighWater, LowWater int
+	// DestageBatch caps the dirty pages selected per destage pass
+	// (default 32).
+	DestageBatch int
+	// OpTimeout bounds each backend op attempt (default 50ms).
+	OpTimeout time.Duration
+	// Retry is the backoff policy for transient backend failures
+	// (zero value: nvm.DefaultRetryPolicy).
+	Retry nvm.RetryPolicy
+	// BreakerThreshold is the consecutive-failure count that trips the
+	// circuit breaker (default 3); BreakerCooldown is how long it stays
+	// open before probing half-open (default 100ms).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+}
+
+func (o Options) norm(capacity int) Options {
+	if o.HighWater <= 0 {
+		o.HighWater = capacity * 3 / 4
+	}
+	if o.HighWater < 1 {
+		o.HighWater = 1
+	}
+	if o.HighWater > capacity-1 {
+		o.HighWater = capacity - 1
+	}
+	if o.LowWater <= 0 {
+		o.LowWater = o.HighWater / 2
+	}
+	if o.LowWater >= o.HighWater {
+		o.LowWater = o.HighWater - 1
+	}
+	if o.DestageBatch <= 0 {
+		o.DestageBatch = 32
+	}
+	if o.OpTimeout <= 0 {
+		o.OpTimeout = 50 * time.Millisecond
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 100 * time.Millisecond
+	}
+	return o
+}
+
+// slotInfo is the DRAM mirror of one slot-table entry.
+type slotInfo struct {
+	block backend.BlockID
+	page  nvm.PageID
+	seq   uint64
+	state uint64
+}
+
+// Stats is a point-in-time snapshot of the tier, read directly by
+// trio-top (the telemetry registry has no gauges).
+type Stats struct {
+	Capacity, Dirty, Clean, Free int
+
+	Acked         int64 // writes acknowledged (persisted DIRTY in NVM)
+	Hits          int64 // reads served from NVM
+	Misses        int64 // reads that went to the backend
+	Promotions    int64 // backend reads installed as CLEAN
+	Evictions     int64 // CLEAN slots reclaimed for allocation
+	Destaged      int64 // blocks committed CLEAN by destage passes
+	Passes        int64 // destage passes that selected work
+	Retries       int64 // backend op attempts beyond the first
+	Timeouts      int64 // backend ops abandoned by the per-op timeout
+	Failures      int64 // destage runs that exhausted their retries
+	Backpressured int64 // writes that blocked on the high watermark
+
+	BreakerState string // "closed", "open" or "half-open"
+	BreakerTrips int64
+}
+
+// Tier is the write-back layer. All methods are safe for concurrent
+// use.
+type Tier struct {
+	mem     core.Mem
+	base    nvm.PageID
+	meta    int // slot-table pages
+	staging nvm.PageID
+	cap     int
+	be      *backend.Sim
+	opt     Options
+	log     *journal.IntentLog
+	br      breaker
+
+	// destageMu serializes destage passes: the intent log holds one
+	// batch at a time.
+	destageMu sync.Mutex
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	slots     []slotInfo
+	byBlock   map[backend.BlockID]int
+	freeSlots []int
+	freePages []nvm.PageID
+	dirty     int
+	clean     int
+	inflight  map[backend.BlockID]int // blocks with an abandoned backend write possibly still landing
+	closed    bool
+	st        Stats
+}
+
+// layoutFor solves the region split: with P pages, the largest N such
+// that 1 (intent log) + ceil(N/slotsPerPage) + N <= P.
+func layoutFor(pages int) (capacity, metaPages int, err error) {
+	n := pages - 2 // at least one meta page and the log page
+	for n > 0 {
+		meta := (n + slotsPerPage - 1) / slotsPerPage
+		if 1+meta+n <= pages {
+			return n, meta, nil
+		}
+		n--
+	}
+	return 0, 0, fmt.Errorf("tier: region of %d pages too small (need >= 3)", pages)
+}
+
+func attach(mem core.Mem, base nvm.PageID, pages int, be *backend.Sim, opt Options) (*Tier, error) {
+	capacity, meta, err := layoutFor(pages)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tier{
+		mem:      mem,
+		base:     base,
+		meta:     meta,
+		staging:  base + 1 + nvm.PageID(meta),
+		cap:      capacity,
+		be:       be,
+		opt:      opt.norm(capacity),
+		slots:    make([]slotInfo, capacity),
+		byBlock:  make(map[backend.BlockID]int, capacity),
+		inflight: make(map[backend.BlockID]int),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	t.br.threshold = t.opt.BreakerThreshold
+	t.br.cooldown = t.opt.BreakerCooldown
+	return t, nil
+}
+
+// New formats the region and returns an empty tier.
+func New(mem core.Mem, base nvm.PageID, pages int, be *backend.Sim, opt Options) (*Tier, error) {
+	t, err := attach(mem, base, pages, be, opt)
+	if err != nil {
+		return nil, err
+	}
+	// Zero the slot table: state 0 is FREE, so a zeroed table is empty.
+	zero := make([]byte, nvm.PageSize)
+	for i := 0; i < t.meta; i++ {
+		p := base + 1 + nvm.PageID(i)
+		if err := mem.Write(p, 0, zero); err != nil {
+			return nil, err
+		}
+		if err := mem.Persist(p, 0, nvm.PageSize); err != nil {
+			return nil, err
+		}
+	}
+	mem.Fence()
+	if t.log, err = journal.NewIntentLog(mem, base); err != nil {
+		return nil, err
+	}
+	for i := t.cap - 1; i >= 0; i-- {
+		t.freeSlots = append(t.freeSlots, i)
+		t.freePages = append(t.freePages, t.staging+nvm.PageID(i))
+	}
+	return t, nil
+}
+
+func (t *Tier) slotLoc(i int) (nvm.PageID, int) {
+	return t.base + 1 + nvm.PageID(i/slotsPerPage), (i % slotsPerPage) * slotSize
+}
+
+// publishSlot writes a slot's body fields, fences, then atomically
+// publishes the state word — the crash-safe install protocol.
+func (t *Tier) publishSlot(i int, s slotInfo) error {
+	p, off := t.slotLoc(i)
+	if err := t.mem.WriteU64(p, off+slotBlockOff, uint64(s.block)); err != nil {
+		return err
+	}
+	if err := t.mem.WriteU64(p, off+slotPageOff, uint64(s.page)); err != nil {
+		return err
+	}
+	if err := t.mem.WriteU64(p, off+slotSeqOff, s.seq); err != nil {
+		return err
+	}
+	if err := t.persist(p, off, slotStateOff); err != nil {
+		return err
+	}
+	t.mem.Fence()
+	if err := t.setSlotState(i, s.state); err != nil {
+		return err
+	}
+	t.mem.Fence()
+	t.slots[i] = s
+	return nil
+}
+
+// setSlotState atomically stores and persists a slot's state word.
+func (t *Tier) setSlotState(i int, state uint64) error {
+	p, off := t.slotLoc(i)
+	if err := t.mem.WriteU64(p, off+slotStateOff, state); err != nil {
+		return err
+	}
+	return t.persist(p, off+slotStateOff, 8)
+}
+
+// persist retries transient device busyness like every other
+// persistence-critical path in the tree.
+func (t *Tier) persist(p nvm.PageID, off, n int) error {
+	return nvm.RetryTransient(nvm.DefaultRetryPolicy(), func() error {
+		return t.mem.Persist(p, off, n)
+	})
+}
+
+// freeSlotLocked retires slot i: FREE persists and fences before the
+// slot and its page rejoin the free pools, so a crash cannot observe a
+// live entry pointing at a reused page.
+func (t *Tier) freeSlotLocked(i int) error {
+	if err := t.setSlotState(i, slotFree); err != nil {
+		return err
+	}
+	t.mem.Fence()
+	s := &t.slots[i]
+	if s.state == slotDirty {
+		t.dirty--
+	} else if s.state == slotClean {
+		t.clean--
+	}
+	delete(t.byBlock, s.block)
+	s.state = slotFree
+	t.freeSlots = append(t.freeSlots, i)
+	t.freePages = append(t.freePages, s.page)
+	return nil
+}
+
+// allocLocked produces a free slot and staging page, evicting a CLEAN
+// entry if the pools are empty.
+func (t *Tier) allocLocked() (int, nvm.PageID, error) {
+	if len(t.freeSlots) == 0 {
+		// Evict the first CLEAN slot; backend already holds its data.
+		evicted := false
+		for i := range t.slots {
+			if t.slots[i].state == slotClean {
+				if err := t.freeSlotLocked(i); err != nil {
+					return 0, 0, err
+				}
+				t.st.Evictions++
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return 0, 0, errors.New("tier: no free or clean slot (dirty watermark misconfigured?)")
+		}
+	}
+	si := t.freeSlots[len(t.freeSlots)-1]
+	t.freeSlots = t.freeSlots[:len(t.freeSlots)-1]
+	pg := t.freePages[len(t.freePages)-1]
+	t.freePages = t.freePages[:len(t.freePages)-1]
+	return si, pg, nil
+}
+
+// Write absorbs one block into NVM and acknowledges once it is
+// persistent there. It blocks (backpressure) while dirty pages sit at
+// the high watermark — under a backend outage this is the graceful-
+// degradation mode: no write is ever failed or lost, it just waits.
+func (t *Tier) Write(b backend.BlockID, data []byte) error {
+	if len(data) != backend.BlockSize {
+		return fmt.Errorf("tier: write of %d bytes, want one %d-byte block", len(data), backend.BlockSize)
+	}
+	if uint64(b) >= t.be.Blocks() {
+		return fmt.Errorf("%w: block %d of %d", backend.ErrOutOfRange, b, t.be.Blocks())
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dirty >= t.opt.HighWater {
+		t.st.Backpressured++
+		if telemetry.On() {
+			mBackpressure.Inc()
+		}
+		for !t.closed && t.dirty > t.opt.LowWater {
+			t.cond.Wait()
+		}
+	}
+	if t.closed {
+		return ErrClosed
+	}
+
+	si, pg, err := t.allocLocked()
+	if err != nil {
+		return err
+	}
+	old, hasOld := t.byBlock[b]
+	seq := uint64(1)
+	if hasOld {
+		seq = t.slots[old].seq + 1
+	}
+
+	// Out-of-place: content to the fresh page first…
+	if err := t.mem.Write(pg, 0, data); err != nil {
+		return err
+	}
+	if err := t.persist(pg, 0, backend.BlockSize); err != nil {
+		return err
+	}
+	t.mem.Fence()
+	// …then publish the fresh slot. The fence after DIRTY persists is
+	// the acknowledgement point.
+	if err := t.publishSlot(si, slotInfo{block: b, page: pg, seq: seq, state: slotDirty}); err != nil {
+		return err
+	}
+	t.byBlock[b] = si
+	t.dirty++
+	// Only now retire the superseded slot.
+	if hasOld {
+		if err := t.freeSlotLocked(old); err != nil {
+			return err
+		}
+		t.byBlock[b] = si // freeSlotLocked dropped the block's mapping
+	}
+	t.st.Acked++
+	if telemetry.On() {
+		mWrites.Inc()
+	}
+	return nil
+}
+
+// Read serves block b: from NVM when staged (hit), from the backend
+// otherwise (miss, with retry/timeout), promoting the miss into a
+// CLEAN slot when space allows.
+func (t *Tier) Read(b backend.BlockID, buf []byte) error {
+	if len(buf) != backend.BlockSize {
+		return fmt.Errorf("tier: read of %d bytes, want one %d-byte block", len(buf), backend.BlockSize)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	if si, ok := t.byBlock[b]; ok {
+		err := t.mem.Read(t.slots[si].page, 0, buf)
+		if err == nil {
+			t.st.Hits++
+		}
+		t.mu.Unlock()
+		if telemetry.On() && err == nil {
+			mHits.Inc()
+		}
+		return err
+	}
+	t.st.Misses++
+	t.mu.Unlock()
+	if telemetry.On() {
+		mMisses.Inc()
+	}
+
+	if err := t.backendOp(func() error { return t.be.ReadExtent(b, buf) }, nil); err != nil {
+		return err
+	}
+
+	// Promote: install as CLEAN (matches the backend, so crash-safe by
+	// construction) unless a concurrent write staged the block first.
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	if _, ok := t.byBlock[b]; ok {
+		return nil
+	}
+	si, pg, err := t.allocLocked()
+	if err != nil {
+		return nil // cache full of dirty pages; serve without promoting
+	}
+	if err := t.mem.Write(pg, 0, buf); err != nil {
+		return err
+	}
+	if err := t.persist(pg, 0, backend.BlockSize); err != nil {
+		return err
+	}
+	t.mem.Fence()
+	if err := t.publishSlot(si, slotInfo{block: b, page: pg, seq: 1, state: slotClean}); err != nil {
+		return err
+	}
+	t.byBlock[b] = si
+	t.clean++
+	t.st.Promotions++
+	return nil
+}
+
+// Stats snapshots the tier.
+func (t *Tier) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.st
+	st.Capacity = t.cap
+	st.Dirty = t.dirty
+	st.Clean = t.clean
+	st.Free = len(t.freeSlots)
+	st.BreakerState = t.br.stateName()
+	st.BreakerTrips = t.br.tripCount()
+	return st
+}
+
+// Close marks the tier closed and releases blocked writers with
+// ErrClosed. It does not drain; call Drain first if the dirty pages
+// should reach the backend.
+func (t *Tier) Close() {
+	t.mu.Lock()
+	t.closed = true
+	t.cond.Broadcast()
+	t.mu.Unlock()
+}

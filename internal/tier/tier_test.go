@@ -1,0 +1,314 @@
+package tier
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"trio/internal/backend"
+	"trio/internal/core"
+	"trio/internal/nvm"
+)
+
+func block(b byte) []byte { return bytes.Repeat([]byte{b}, backend.BlockSize) }
+
+func setup(t *testing.T, pages int, opt Options) (core.Mem, *nvm.Device, *backend.Sim, *Tier) {
+	t.Helper()
+	dev := nvm.MustNewDevice(nvm.Config{Nodes: 1, PagesPerNode: pages + 8, TrackPersistence: true})
+	m := core.Direct(dev, 0)
+	be := backend.MustNewSim(64, nil)
+	tr, err := New(m, 2, pages, be, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, dev, be, tr
+}
+
+func TestWriteReadDestage(t *testing.T) {
+	_, _, be, tr := setup(t, 18, Options{})
+	for i := 0; i < 4; i++ {
+		if err := tr.Write(backend.BlockID(i), block(byte('a'+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reads hit NVM; the backend has seen nothing yet.
+	buf := make([]byte, backend.BlockSize)
+	if err := tr.Read(2, buf); err != nil || buf[0] != 'c' {
+		t.Fatalf("staged read: %v, byte %c", err, buf[0])
+	}
+	if st := be.Stats(); st.Writes != 0 {
+		t.Fatalf("backend saw %d writes before destage", st.Writes)
+	}
+	n, err := tr.DestageOnce()
+	if err != nil || n != 4 {
+		t.Fatalf("DestageOnce = %d, %v; want 4", n, err)
+	}
+	// 4 contiguous blocks coalesce into one extent write.
+	if st := be.Stats(); st.Writes != 1 || st.WriteBytes != 4*backend.BlockSize {
+		t.Fatalf("backend stats = %+v, want one 4-block extent", st)
+	}
+	for i := 0; i < 4; i++ {
+		if err := be.PeekBlock(backend.BlockID(i), buf); err != nil || buf[0] != byte('a'+i) {
+			t.Fatalf("backend block %d: %v, byte %c", i, err, buf[0])
+		}
+	}
+	st := tr.Stats()
+	if st.Dirty != 0 || st.Clean != 4 || st.Acked != 4 || st.Destaged != 4 || st.Hits != 1 {
+		t.Fatalf("tier stats = %+v", st)
+	}
+	// Clean entries still serve reads from NVM.
+	if err := tr.Read(0, buf); err != nil || buf[0] != 'a' {
+		t.Fatalf("clean read: %v", err)
+	}
+	if st := be.Stats(); st.Reads != 0 {
+		t.Fatal("clean read went to the backend")
+	}
+}
+
+func TestOverwriteIsOutOfPlace(t *testing.T) {
+	_, _, be, tr := setup(t, 18, Options{})
+	if err := tr.Write(5, block('x')); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.DestageOnce(); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the now-clean block: it must go back to dirty with a
+	// bumped seq, and drain the new content.
+	if err := tr.Write(5, block('y')); err != nil {
+		t.Fatal(err)
+	}
+	if st := tr.Stats(); st.Dirty != 1 || st.Clean != 0 {
+		t.Fatalf("after overwrite: %+v", st)
+	}
+	if err := tr.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, backend.BlockSize)
+	if err := be.PeekBlock(5, buf); err != nil || buf[0] != 'y' {
+		t.Fatalf("backend after overwrite drain: %v, byte %c", err, buf[0])
+	}
+}
+
+func TestMissPromotionAndEviction(t *testing.T) {
+	_, _, be, tr := setup(t, 7, Options{}) // capacity 5
+	// Seed the backend directly.
+	for i := 0; i < 8; i++ {
+		if err := be.WriteBlock(backend.BlockID(i), block(byte('A'+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, backend.BlockSize)
+	if err := tr.Read(3, buf); err != nil || buf[0] != 'D' {
+		t.Fatalf("miss read: %v, byte %c", err, buf[0])
+	}
+	if st := tr.Stats(); st.Misses != 1 || st.Promotions != 1 || st.Clean != 1 {
+		t.Fatalf("after miss: %+v", st)
+	}
+	// The promoted copy serves the next read without backend traffic.
+	before := be.Stats().Reads
+	if err := tr.Read(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if be.Stats().Reads != before {
+		t.Fatal("promoted read still hit the backend")
+	}
+	// Fill past capacity with misses: evictions must kick in, never an
+	// allocation failure.
+	for i := 0; i < 8; i++ {
+		if err := tr.Read(backend.BlockID(i), buf); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	st := tr.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions filling a capacity-%d cache with 8 blocks: %+v", st.Capacity, st)
+	}
+	if st.Clean > st.Capacity {
+		t.Fatalf("clean %d exceeds capacity %d", st.Clean, st.Capacity)
+	}
+}
+
+func TestWatermarkBackpressure(t *testing.T) {
+	_, _, _, tr := setup(t, 10, Options{HighWater: 4, LowWater: 2}) // capacity 8
+	for i := 0; i < 4; i++ {
+		if err := tr.Write(backend.BlockID(i), block('d')); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The 5th write must block at the watermark…
+	released := make(chan error, 1)
+	go func() { released <- tr.Write(9, block('e')) }()
+	select {
+	case err := <-released:
+		t.Fatalf("write at watermark did not block (err %v)", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	// …until destaging drains below the low watermark.
+	if _, err := tr.DestageOnce(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-released:
+		if err != nil {
+			t.Fatalf("released write: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("write still blocked after drain")
+	}
+	if st := tr.Stats(); st.Backpressured != 1 {
+		t.Fatalf("backpressured = %d, want 1", st.Backpressured)
+	}
+}
+
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	_, _, be, tr := setup(t, 18, Options{
+		OpTimeout:        20 * time.Millisecond,
+		Retry:            nvm.RetryPolicy{Attempts: 2},
+		BreakerThreshold: 2,
+		BreakerCooldown:  30 * time.Millisecond,
+	})
+	for i := 0; i < 3; i++ {
+		if err := tr.Write(backend.BlockID(2*i), block('z')); err != nil { // non-contiguous: 3 runs
+			t.Fatal(err)
+		}
+	}
+	be.Faults().SetOutage(true)
+	n, err := tr.DestageOnce()
+	if n != 0 || !errors.Is(err, backend.ErrDown) {
+		t.Fatalf("outage pass = %d, %v; want 0, ErrDown", n, err)
+	}
+	if _, err := tr.DestageOnce(); !errors.Is(err, backend.ErrDown) {
+		t.Fatalf("second outage pass: %v", err)
+	}
+	st := tr.Stats()
+	if st.BreakerState != "open" || st.BreakerTrips != 1 || st.Failures != 2 {
+		t.Fatalf("after sustained failure: %+v", st)
+	}
+	// Open breaker: passes are no-ops, the backend is left alone.
+	rejects := be.Stats().Rejects
+	if n, err := tr.DestageOnce(); n != 0 || err != nil {
+		t.Fatalf("open-breaker pass = %d, %v", n, err)
+	}
+	if be.Stats().Rejects != rejects {
+		t.Fatal("open breaker still hit the backend")
+	}
+	// Recovery: after the cooldown the half-open probe closes the
+	// breaker and the tier drains.
+	be.Faults().SetOutage(false)
+	time.Sleep(40 * time.Millisecond)
+	if err := tr.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	st = tr.Stats()
+	if st.BreakerState != "closed" || st.Dirty != 0 || st.Destaged != 3 {
+		t.Fatalf("after recovery: %+v", st)
+	}
+}
+
+func TestTimeoutRetriesThenLands(t *testing.T) {
+	_, _, be, tr := setup(t, 18, Options{
+		OpTimeout: 5 * time.Millisecond,
+		Retry:     nvm.RetryPolicy{Attempts: 4},
+	})
+	if err := tr.Write(7, block('t')); err != nil {
+		t.Fatal(err)
+	}
+	// One stalled op outlives the per-op timeout; the retry succeeds.
+	be.Faults().StallOps(25*time.Millisecond, 1)
+	n, err := tr.DestageOnce()
+	if err != nil || n != 1 {
+		t.Fatalf("DestageOnce = %d, %v; want 1 after retry", n, err)
+	}
+	st := tr.Stats()
+	if st.Timeouts < 1 || st.Retries < 1 {
+		t.Fatalf("timeout/retry not recorded: %+v", st)
+	}
+	// Both the abandoned and the retried write carried the same
+	// snapshot, so whatever landed is correct.
+	time.Sleep(30 * time.Millisecond) // let the abandoned op finish
+	buf := make([]byte, backend.BlockSize)
+	if err := be.PeekBlock(7, buf); err != nil || buf[0] != 't' {
+		t.Fatalf("backend after timeout dance: %v, byte %c", err, buf[0])
+	}
+}
+
+func TestRecoverRebuildsAndReplays(t *testing.T) {
+	m, dev, be, tr := setup(t, 18, Options{})
+	for i := 0; i < 3; i++ {
+		if err := tr.Write(backend.BlockID(i), block(byte('p'+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tr.DestageOnce(); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite block 1 so recovery sees a dirty page too.
+	if err := tr.Write(1, block('Q')); err != nil {
+		t.Fatal(err)
+	}
+	dev.Tracker().Crash()
+
+	rt, err := Recover(m, 2, 18, be, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.Dirty != 1 || st.Clean != 2 {
+		t.Fatalf("recovered stats = %+v, want 1 dirty / 2 clean", st)
+	}
+	buf := make([]byte, backend.BlockSize)
+	if err := rt.Read(1, buf); err != nil || buf[0] != 'Q' {
+		t.Fatalf("acked overwrite lost in crash: %v, byte %c", err, buf[0])
+	}
+	if err := rt.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []byte{'p', 'Q', 'r'} {
+		if err := be.PeekBlock(backend.BlockID(i), buf); err != nil || buf[0] != want {
+			t.Fatalf("backend block %d after drain: %v, byte %c want %c", i, err, buf[0], want)
+		}
+	}
+}
+
+func TestLayoutBounds(t *testing.T) {
+	if _, _, err := layoutFor(2); err == nil {
+		t.Fatal("2-page region accepted")
+	}
+	cap3, meta3, err := layoutFor(3)
+	if err != nil || cap3 != 1 || meta3 != 1 {
+		t.Fatalf("layoutFor(3) = %d, %d, %v", cap3, meta3, err)
+	}
+	// 1 log + 2 meta pages cover up to 256 slots.
+	capBig, metaBig, err := layoutFor(200)
+	if err != nil || capBig != 197 || metaBig != 2 {
+		t.Fatalf("layoutFor(200) = %d, %d, %v", capBig, metaBig, err)
+	}
+}
+
+// Slow NVM — not just a slow backend — must degrade latency only:
+// FaultPlan.DelayOp limps every staging access, yet the write still
+// acks and destages correctly.
+func TestSlowNVMStagingStillCorrect(t *testing.T) {
+	_, dev, be, tr := setup(t, 10, Options{})
+	fp := nvm.NewFaultPlan()
+	dev.SetFaultPlan(fp)
+	const slow = 2 * time.Millisecond
+	fp.DelayOp(nvm.AllPages, slow, 4)
+
+	start := time.Now()
+	if err := tr.Write(3, block('z')); err != nil {
+		t.Fatalf("write through slow NVM: %v", err)
+	}
+	if el := time.Since(start); el < slow {
+		t.Fatalf("delay window never applied: write took %v", el)
+	}
+	if _, err := tr.DestageOnce(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, backend.BlockSize)
+	if err := be.PeekBlock(3, buf); err != nil || buf[0] != 'z' {
+		t.Fatalf("slow-NVM write did not land: %v, byte %c", err, buf[0])
+	}
+}

@@ -29,6 +29,12 @@
 #      (shard-scaling floor and p99 lease-recall ceiling) exit nonzero
 #      on violation — a controller serialization regression fails here,
 #      loudly, not in the next full bench run.
+#   9. a tiered-storage smoke: trio-bench -experiment tiering -quick
+#      runs the NVM write-back tier over the simulated slow backend
+#      with both cost models on, and its in-process gates (hot reads
+#      >= 5x backend-direct, zero dirty pages after the drain, outage
+#      writes acked, breaker closed after recovery) exit nonzero on
+#      violation.
 #
 # Any failure stops the run with a non-zero exit.
 set -eu
@@ -45,7 +51,7 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrency-bearing packages)"
-go test -race ./internal/fstest/... ./internal/libfs/... ./internal/telemetry/... ./internal/controller/...
+go test -race ./internal/fstest/... ./internal/libfs/... ./internal/telemetry/... ./internal/controller/... ./internal/tier/... ./internal/backend/...
 
 echo "== fuzz smoke (verifier adversarial targets, 10s each)"
 go test -run='^$' -fuzz='^FuzzVerifyRegular$' -fuzztime=10s ./internal/verifier/
@@ -82,5 +88,12 @@ echo "== tenancy smoke (1k sessions; shard-scaling and recall-latency gates)"
 # experiments.CheckTenancyGate): scaling below the floor or p99
 # lease-recall above the ceiling prints the violations and exits 1.
 go run ./cmd/trio-bench -experiment tenancy -quick > /dev/null
+
+echo "== tiering smoke (write-back tier; hot-read, drain, and breaker gates)"
+# The quick run's gates live in trio-bench itself (see
+# experiments.CheckTieringGate): hot reads slower than 5x
+# backend-direct, a drain that leaves dirty pages, unacked outage
+# writes, or a breaker stuck open all print the violations and exit 1.
+go run ./cmd/trio-bench -experiment tiering -quick > /dev/null
 
 echo "== all checks passed"
