@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-go fuzz tenancy tiering
+.PHONY: check build test race vet bench bench-go fuzz tenancy tiering smallops
 
 # The full gate: vet + build + tests + race detector + fuzz smoke.
 # CI runs this.
@@ -18,7 +18,7 @@ test:
 # telemetry registry/ring everything records into, and the write-back
 # tier plus the simulated backend under it.
 race:
-	$(GO) test -race ./internal/fstest/... ./internal/libfs/... ./internal/telemetry/... ./internal/controller/... ./internal/tier/... ./internal/backend/...
+	$(GO) test -race ./internal/fstest/... ./internal/libfs/... ./internal/telemetry/... ./internal/controller/... ./internal/tier/... ./internal/backend/... ./internal/ring/...
 
 vet:
 	$(GO) vet ./...
@@ -56,6 +56,16 @@ tenancy:
 # BENCH_trio.json. See EXPERIMENTS.md "Tiered storage".
 tiering:
 	$(GO) run ./cmd/trio-bench -experiment tiering -json BENCH_trio.json
+
+# Trust-boundary latency experiment (ISSUE 8): interleaved sync-vs-ring
+# pairs of the small-op workloads (4K append, create/unlink, map/unmap)
+# with the cost model on, merged into the "smallops" section of
+# BENCH_trio.json and gated on ringed submission reaching >= 2x the
+# synchronous trap path on at least one metadata-heavy mode. See
+# EXPERIMENTS.md "Trust-boundary latency". Run on an otherwise-idle
+# machine — the pairs are wall-clock measurements.
+smallops:
+	$(GO) run ./cmd/trio-bench -experiment smallops -json BENCH_trio.json
 
 # The full Go benchmark suite: paper figures, ablations, and the
 # datapath families (testing.B form of the harness above).

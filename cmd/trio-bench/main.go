@@ -46,7 +46,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "experiment id (fig5..fig10, tab3, tab5, integrity, datapath, tenancy, all)")
+		experiment = flag.String("experiment", "", "experiment id (fig5..fig10, tab3, tab5, integrity, datapath, tenancy, tiering, smallops, all)")
 		quick      = flag.Bool("quick", false, "shrink sweeps and op counts")
 		nocost     = flag.Bool("nocost", false, "disable the hardware cost model (functional smoke run)")
 		cost       = flag.Bool("cost", false, "datapath only: enable the hardware cost model (off by default there)")
@@ -177,6 +177,31 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Println("\ntiering gates passed")
+		}
+	} else if *experiment == "smallops" {
+		// The trust-boundary latency sweep (ISSUE 8): interleaved
+		// sync-vs-ring pairs per small-op mode, with the speedup gates
+		// evaluated in-process and the report merged into the BENCH JSON
+		// next to the other sections.
+		p := experiments.Params{Quick: *quick, NoCost: *nocost}
+		var rep *experiments.SmallOpsReport
+		rep, err = experiments.RunSmallOpsSweep(os.Stdout, p)
+		if err == nil && *jsonPath != "" {
+			if werr := experiments.MergeSmallOpsJSON(*jsonPath, rep); werr != nil {
+				err = werr
+			} else {
+				fmt.Printf("\nmerged smallops report into %s\n", *jsonPath)
+			}
+		}
+		if err == nil {
+			if fails := experiments.CheckSmallOpsGate(rep); len(fails) > 0 {
+				fmt.Fprintln(os.Stderr, "\nSMALLOPS GATE FAILURES:")
+				for _, f := range fails {
+					fmt.Fprintf(os.Stderr, "  %s\n", f)
+				}
+				os.Exit(1)
+			}
+			fmt.Println("\nsmallops gates passed")
 		}
 	} else {
 		fn, ok := reg[*experiment]

@@ -2,9 +2,9 @@
 // stack: it drives a mixed ArckFS workload over the simulated NVM
 // machine and renders a per-interval table of cross-layer telemetry —
 // LibFS op rates and latency quantiles, NVM traffic, allocator and
-// delegation activity, MMU checks, and the NVM write-back tier's
-// dirty-page count, destage rate and circuit-breaker state — from
-// registry snapshot deltas.
+// delegation activity, MMU checks, trust-boundary ring depths and
+// drain rate, and the NVM write-back tier's dirty-page count, destage
+// rate and circuit-breaker state — from registry snapshot deltas.
 //
 // Usage:
 //
@@ -46,6 +46,7 @@ func main() {
 		count     = flag.Int("n", 10, "number of refreshes (0 = run until interrupted)")
 		workers   = flag.Int("workers", 4, "workload goroutines")
 		rotMax    = flag.Int("rot", 0, "flip one bit in a random cold page per interval, up to this many (shows scrub detection live)")
+		ringDepth = flag.Int("ring", 64, "submission/completion ring depth for controller calls (0 = synchronous traps)")
 		httpAddr  = flag.String("http", "", "serve /metrics, /trace and /debug/pprof on this address")
 		tracePath = flag.String("trace", "", "record spans; write a Chrome trace_event file on exit")
 	)
@@ -91,6 +92,7 @@ func main() {
 	ctl, err := controller.New(dev, controller.Options{
 		LeaseSweep:    50 * time.Millisecond,
 		RecallTimeout: 25 * time.Millisecond,
+		RingDepth:     *ringDepth,
 		AuxSweep: func(shard int) {
 			if shard == 0 {
 				ttr.DestageOnce()
@@ -243,13 +245,14 @@ func main() {
 		ts := ttr.Stats()
 		destaged := ts.Destaged
 		if tick%20 == 0 {
-			fmt.Printf("%10s %10s %9s %9s %10s %10s %10s %9s %10s %9s %7s %7s %7s %7s %8s %6s\n",
+			fmt.Printf("%10s %10s %9s %9s %10s %10s %10s %9s %10s %6s %6s %9s %9s %7s %7s %7s %7s %8s %6s\n",
 				"read/s", "write/s", "rd p99ns", "wr p99ns",
 				"nvm wr/s", "persist/s", "alloc pg/s", "deleg/s", "mmu chk/s",
+				"sq-d", "cq-d", "drains/s",
 				"scrub/s", "detect", "repair", "quar",
 				"t-dirty", "destg/s", "brkr")
 		}
-		fmt.Printf("%10.0f %10.0f %9d %9d %10.0f %10.0f %10.0f %9.0f %10.0f %9.0f %7d %7d %7d %7d %8.0f %6s\n",
+		fmt.Printf("%10.0f %10.0f %9d %9d %10.0f %10.0f %10.0f %9.0f %10.0f %6d %6d %9.0f %9.0f %7d %7d %7d %7d %8.0f %6s\n",
 			rate("libfs.read_ops"), rate("libfs.write_ops"),
 			d.Hist("libfs.read_ns").Quantile(0.99),
 			d.Hist("libfs.write_ns").Quantile(0.99),
@@ -257,6 +260,9 @@ func main() {
 			rate("alloc.pages_out"),
 			rate("delegation.batches_delegated")+rate("delegation.batches_inline"),
 			rate("mmu.checks"),
+			d.Hist("ring.sq.depth").Quantile(0.99),
+			d.Hist("ring.cq.depth").Quantile(0.99),
+			rate("ring.drains"),
 			csRate(dcs.ScrubPages),
 			cs.ScrubDetected, cs.ScrubRepaired, cs.ScrubQuarantined,
 			ts.Dirty, csRate(destaged-prevDestaged), ts.BreakerState)

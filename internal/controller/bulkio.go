@@ -101,12 +101,38 @@ const maxSealRun = 256
 // in its previous state, which is at worst a sealed record the LibFS's
 // first store invalidates — the scrub pass then reports it, repairs it
 // from the still-correct candidate, or the unmap-time reseal fixes it.
+//
+// Callers invoke this BEFORE taking their own MMU refs, so writeRefs
+// still describes the pre-grant world: a page some session already
+// write-maps has an open record (the same invariant the unmap-time
+// sealer and the scrubber rely on to skip busy pages), and its RMW is
+// skipped — on a create/unlink stream the dirent page is held
+// write-mapped by the directory's owner the whole time, so this turns
+// the per-map record round trip into a table lookup.
 func (c *Controller) openGrantedLocked(pages []nvm.PageID) {
 	total := c.dev.NumPages()
 	base := core.ChecksumBase(total)
+	if len(pages) == 1 {
+		// Small-file hot path: a one-page grant (an empty file's dirent
+		// page) needs none of the copy/sort/run machinery — or its
+		// allocations, which otherwise dominate the map fast path.
+		if p := pages[0]; p < base && !c.pageWriteMappedLocked(p) {
+			fence := false
+			recordSegments(total, pageRun{start: p, n: 1}, func(seg pageRun) bool {
+				if c.openSegment(total, seg) {
+					fence = true
+				}
+				return true
+			})
+			if fence {
+				c.mem.Fence()
+			}
+		}
+		return
+	}
 	eligible := pages[:0:0]
 	for _, p := range pages {
-		if p < base {
+		if p < base && !c.pageWriteMappedLocked(p) {
 			eligible = append(eligible, p)
 		}
 	}
@@ -175,6 +201,16 @@ func (c *Controller) openSegmentSlow(total nvm.PageID, seg pageRun) bool {
 func (c *Controller) sealQuiescentLocked(pages []nvm.PageID) {
 	total := c.dev.NumPages()
 	base := core.ChecksumBase(total)
+	if len(pages) == 1 {
+		// Same one-page fast path as openGrantedLocked.
+		if p := pages[0]; p < base && !c.pageWriteMappedLocked(p) {
+			recordSegments(total, pageRun{start: p, n: 1}, func(seg pageRun) bool {
+				c.sealSegment(total, seg)
+				return true
+			})
+		}
+		return
+	}
 	eligible := pages[:0:0]
 	for _, p := range pages {
 		if p < base && !c.pageWriteMappedLocked(p) {

@@ -17,12 +17,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"trio/internal/alloc"
 	"trio/internal/core"
 	"trio/internal/mmu"
 	"trio/internal/nvm"
+	"trio/internal/ring"
 	"trio/internal/telemetry"
 	"trio/internal/verifier"
 )
@@ -96,6 +98,13 @@ type Options struct {
 	// not call back into this controller. It only runs when LeaseSweep
 	// starts the sweepers; Close stops it with them.
 	AuxSweep func(shard int)
+	// RingDepth, when positive, runs submission/completion rings across
+	// the trust boundary (ISSUE 8): each shard gets a shared-memory
+	// submission ring of this depth drained by a trusted worker that
+	// charges one trap/IPC per drained batch, and each session gets a
+	// completion ring + ticket table of the same depth. 0 (the default)
+	// keeps every call on the classic one-trap-per-op synchronous path.
+	RingDepth int
 	// AdmitPerShard bounds how many calls from one shard's sessions may
 	// run inside the controller concurrently (admission control with an
 	// under-share priority, so a churning tenant cannot starve lease
@@ -141,14 +150,16 @@ type fileState struct {
 	parent core.Ino
 
 	// pages is the verified core-state page set (index + data pages).
+	// May be nil (== empty): freshly adopted empty files never allocate
+	// one, and the create/unlink hot path relies on that.
 	pages map[nvm.PageID]bool
 
 	// children is the last verified dirent list (directories only); it
 	// doubles as the I3 baseline when no fresh checkpoint exists.
 	children []verifier.ChildRef
 
-	readers     map[LibFSID]bool
-	writer      LibFSID // 0 = none
+	readers     map[LibFSID]bool // nil until the first reader attaches
+	writer      LibFSID          // 0 = none
 	writerGroup GroupID
 	writerSince time.Time
 
@@ -169,6 +180,15 @@ type fileState struct {
 	// rebuilds the state (and the next scrub pass re-quarantines it if
 	// the damage persists).
 	corrupt bool
+}
+
+// addReaderLocked attaches a reader, allocating the map on first use
+// (most small files only ever see their creator).
+func (fs *fileState) addReaderLocked(id LibFSID) {
+	if fs.readers == nil {
+		fs.readers = make(map[LibFSID]bool, 1)
+	}
+	fs.readers[id] = true
 }
 
 // checkpoint snapshots a file's metadata when write access is granted
@@ -235,6 +255,19 @@ type libfsState struct {
 	// revoked from this session, so its next Unmap/Commit gets
 	// ErrRevoked instead of a generic bad-request error.
 	revoked map[core.Ino]bool
+
+	// rc is the session's completion ring + ticket table (nil when the
+	// controller runs without rings); see ringsvc.go.
+	rc *ringClient
+
+	// verifyRep and verifyEnv are per-session verification scratch for
+	// the ring drain path: every runVerifierLocked for a session runs
+	// under its home shard lock, so reusing one report and one env per
+	// session is race-free and saves four allocations per verification.
+	// The sync path must NOT use verifyRep — corruption handling nests a
+	// second verification while the outer report is still live.
+	verifyRep verifier.Report
+	verifyEnv envImpl
 }
 
 type mapping struct {
@@ -257,24 +290,28 @@ type Controller struct {
 	// themselves mutate only under lockAll. See shard.go.
 	shards []ctlShard
 
-	files   map[core.Ino]*fileState
+	files   inoTable[*fileState]
 	libfses map[LibFSID]*libfsState
 
 	// tabMu (leaf lock, ordered after every shard mutex) guards the
 	// global tables below for the fast paths; lockAll sections may
 	// access them directly.
+	// The ino- and page-keyed tables are dense direct-indexed arrays,
+	// not hash maps: inos are issued by a monotone counter and pages
+	// are bounded by the device, and the adoption/unmap fast paths hit
+	// these tables once or more per operation (see inotab.go).
 	tabMu     sync.Mutex
-	pageOwner map[nvm.PageID]core.Ino // page -> verified owning file
-	allocBy   map[core.Ino]LibFSID    // ino -> LibFS it was issued to
-	shadow    map[core.Ino]verifier.ShadowInfo
+	pageOwner []core.Ino        // page -> verified owning file (0 = none)
+	allocBy   inoTable[LibFSID] // ino -> LibFS it was issued to
+	shadow    inoTable[verifier.ShadowInfo]
 	// reaped records inos the reaper retired on behalf of a dead
 	// session (orphan GC, pool release), so that a surviving LibFS
 	// whose batched RemoveFile for one of them arrives late gets an
 	// idempotent success instead of ErrUnknownFile.
-	reaped map[core.Ino]bool
+	reaped inoTable[bool]
 	// writeRefs counts, per page, the sessions holding write permission
 	// (see Controller.writeMapped).
-	writeRefs map[nvm.PageID]int
+	writeRefs []int32
 
 	pageAlloc *alloc.PageAlloc
 	inoAlloc  *alloc.InoAlloc
@@ -292,6 +329,15 @@ type Controller struct {
 	sweepStop chan struct{}
 	sweepWG   sync.WaitGroup
 	stopOnce  sync.Once
+
+	// Submission rings (ISSUE 8): one per shard, drained by ringDrainer
+	// goroutines; see ringsvc.go. ringInflight/ringOff are the Close
+	// handshake that lets the drainers stop without stranding a waiter.
+	sqs          []*ring.Ring[ringReq]
+	ringStop     chan struct{}
+	ringWG       sync.WaitGroup
+	ringOff      atomic.Bool
+	ringInflight atomic.Int64
 }
 
 // New mounts a controller over the device, formatting it when blank and
@@ -305,13 +351,9 @@ func New(dev *nvm.Device, opts Options) (*Controller, error) {
 		opts:      opts,
 		verifier:  verifier.New(dev),
 		shards:    make([]ctlShard, opts.Shards),
-		files:     make(map[core.Ino]*fileState),
-		pageOwner: make(map[nvm.PageID]core.Ino),
+		pageOwner: make([]core.Ino, dev.NumPages()),
 		libfses:   make(map[LibFSID]*libfsState),
-		allocBy:   make(map[core.Ino]LibFSID),
-		shadow:    make(map[core.Ino]verifier.ShadowInfo),
-		reaped:    make(map[core.Ino]bool),
-		writeRefs: make(map[nvm.PageID]int),
+		writeRefs: make([]int32, dev.NumPages()),
 		nextLibFS: 1,
 		nextGroup: 1 << 16, // private groups; user groups are small ints
 		stats:     newStats(opts.Shards),
@@ -351,6 +393,9 @@ func New(dev *nvm.Device, opts Options) (*Controller, error) {
 			go c.shardSweeper(i)
 		}
 	}
+	if opts.RingDepth > 0 {
+		c.ringStart(opts.RingDepth)
+	}
 	return c, nil
 }
 
@@ -358,6 +403,7 @@ func New(dev *nvm.Device, opts Options) (*Controller, error) {
 // sweepers). Idempotent; a controller without sweepers needs no Close.
 func (c *Controller) Close() {
 	c.stopOnce.Do(func() {
+		c.ringShutdown()
 		if c.sweepStop != nil {
 			close(c.sweepStop)
 			c.sweepWG.Wait()
@@ -382,9 +428,9 @@ func (c *Controller) scanTree() (maxIno uint64, err error) {
 	if err != nil {
 		return 0, err
 	}
-	c.shadow[core.RootIno] = verifier.ShadowInfo{
+	c.shadow.set(core.RootIno, verifier.ShadowInfo{
 		Mode: rootInode.Mode, UID: rootInode.UID, GID: rootInode.GID, Type: core.TypeDir,
-	}
+	})
 	maxIno = uint64(core.RootIno)
 
 	type workItem struct{ fs *fileState }
@@ -399,14 +445,21 @@ func (c *Controller) scanTree() (maxIno uint64, err error) {
 			return 0, err
 		}
 		blocks := map[uint64]nvm.PageID{}
+		total := c.dev.NumPages()
 		err = core.WalkFile(c.mem, in.Head, int(c.dev.NumPages()),
 			func(p nvm.PageID) bool {
-				fs.pages[p] = true
+				// A corrupt mount image may chain to impossible page
+				// ids; keep them out of the dense ownership tables.
+				if p < total {
+					fs.pages[p] = true
+				}
 				return true
 			},
 			func(b uint64, p nvm.PageID) bool {
-				fs.pages[p] = true
-				blocks[b] = p
+				if p < total {
+					fs.pages[p] = true
+					blocks[b] = p
+				}
 				return true
 			})
 		if err != nil {
@@ -447,9 +500,9 @@ func (c *Controller) scanTree() (maxIno uint64, err error) {
 					readers: make(map[LibFSID]bool),
 				}
 				c.registerFileLocked(cfs)
-				c.shadow[child.Ino] = verifier.ShadowInfo{
+				c.shadow.set(child.Ino, verifier.ShadowInfo{
 					Mode: child.Mode, UID: child.UID, GID: child.GID, Type: child.Type,
-				}
+				})
 				fs.children = append(fs.children, verifier.ChildRef{
 					Ino: child.Ino, Name: name, Loc: loc, Inode: child,
 				})
@@ -525,6 +578,9 @@ func (c *Controller) Register(uid, gid uint32, node int, group GroupID) *Session
 		pageRefs:   make(map[nvm.PageID]int),
 		wmapped:    make(map[nvm.PageID]bool),
 		revoked:    make(map[core.Ino]bool),
+	}
+	if c.sqs != nil {
+		ls.rc = newRingClient(id, c.opts.RingDepth)
 	}
 	// Every LibFS can read the superblock (§4.1) and the checksum table
 	// (read-only: records are maintained by the controller and the
@@ -614,7 +670,7 @@ func (s *Session) Close() error {
 	}
 	s.c.pageAlloc.FreePages(pages)
 	for ino := range s.ls.allocInos {
-		delete(s.c.allocBy, ino)
+		s.c.allocBy.del(ino)
 		delete(s.ls.allocInos, ino)
 	}
 	// Global and home-shard membership move together (see shard.go) —
@@ -623,6 +679,7 @@ func (s *Session) Close() error {
 	// no-op corpse (through lockAll) on every tick from then on.
 	s.c.unregisterSessionLocked(s.ls.id)
 	s.ls.dead = true
+	s.c.ringKillLocked(s.ls)
 	// Settle the global write-mapped table before Revoke clears the
 	// permission array (after Revoke the per-page perms are gone and the
 	// accounting could not be reconstructed).

@@ -31,6 +31,27 @@ type MapInfo struct {
 // mapping is exclusive per trust group. A conflicting request waits for
 // the holder's lease to expire and then revokes it.
 func (s *Session) MapFile(ino core.Ino, loc core.FileLoc, write bool) (*MapInfo, error) {
+	// Submit-and-wait shim (ISSUE 8): when the controller runs
+	// submission rings, the request rides a per-shard ring and the
+	// drainer charges one trap per batch instead of one per call.
+	if p, ok := s.ringSubmit(opMap, ino, loc, write); ok {
+		info, err := p.Wait()
+		if err != nil {
+			return nil, err
+		}
+		return &info, nil
+	}
+	info, err := s.mapFileSync(ino, loc, write)
+	if err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// mapFileSync is the classic synchronous MapFile: one trap charged on
+// entry, executed on the caller's own goroutine. The ring path falls
+// back here when a request cannot complete without sleeping.
+func (s *Session) mapFileSync(ino core.Ino, loc core.FileLoc, write bool) (MapInfo, error) {
 	s.c.trap()
 	start := time.Now()
 	defer func() { s.c.stats.addMap(time.Since(start)) }()
@@ -51,21 +72,32 @@ func (s *Session) MapFile(ino core.Ino, loc core.FileLoc, write bool) (*MapInfo,
 
 	c.lockAll()
 	defer c.unlockAll()
+	return s.mapSlowLocked(ino, loc, write, gate, false, nil)
+}
+
+// mapSlowLocked is the lockAll half of MapFile: adoption, upgrades,
+// reader revocation, lease waits. noWait is the ring drainer's mode —
+// any conflict that would sleep returns errRetrySync instead, so the
+// drainer never blocks a whole shard ring behind one contended file.
+// acc, when non-nil, counts verifier round trips for deferred batch
+// charging (IPCN) instead of paying the IPC cost inline.
+func (s *Session) mapSlowLocked(ino core.Ino, loc core.FileLoc, write bool, gate *admitGate, noWait bool, acc *int) (MapInfo, error) {
+	c := s.c
 	if err := s.aliveLocked(); err != nil {
-		return nil, err
+		return MapInfo{}, err
 	}
 
-	fs, err := c.lookupOrAdoptLocked(ino, loc)
+	fs, adopted, err := c.lookupOrAdoptLocked(ino, loc, acc)
 	if err != nil {
-		return nil, err
+		return MapInfo{}, err
 	}
 	if fs.quarantined != 0 && fs.quarantined != s.ls.id {
-		return nil, ErrQuarantined
+		return MapInfo{}, ErrQuarantined
 	}
 	if fs.corrupt {
 		// The scrubber found latent media corruption it could not repair
 		// (ISSUE 5): the file is poisoned, never silently served.
-		return nil, fmt.Errorf("%w: ino %d has unrepairable media corruption", ErrCorrupt, fs.ino)
+		return MapInfo{}, fmt.Errorf("%w: ino %d has unrepairable media corruption", ErrCorrupt, fs.ino)
 	}
 
 	// Idempotent re-map: an existing mapping that already satisfies the
@@ -75,28 +107,47 @@ func (s *Session) MapFile(ino core.Ino, loc core.FileLoc, write bool) (*MapInfo,
 		if m.write || !write {
 			in, rerr := core.ReadDirentInode(c.mem, fs.loc.Page, fs.loc.Slot)
 			if rerr != nil {
-				return nil, rerr
+				return MapInfo{}, rerr
 			}
-			return &MapInfo{Ino: fs.ino, Loc: fs.loc, Inode: in, Write: m.write}, nil
+			return MapInfo{Ino: fs.ino, Loc: fs.loc, Inode: in, Write: m.write}, nil
 		}
-		if err := c.unmapLocked(s.ls, fs.ino); err != nil {
-			return nil, err
+		if err := c.unmapLocked(s.ls, fs.ino, acc); err != nil {
+			return MapInfo{}, err
 		}
 	}
 
 	// Permission check against the shadow table (ground truth, I4).
 	if !c.permitted(s.ls, fs.ino, write) {
-		return nil, fmt.Errorf("%w: ino %d write=%v for uid %d", ErrPermission, ino, write, s.ls.uid)
+		return MapInfo{}, fmt.Errorf("%w: ino %d write=%v for uid %d", ErrPermission, ino, write, s.ls.uid)
 	}
 
 	// Enforce concurrent-reads-or-exclusive-write across trust groups.
-	if err := c.waitForAccessLocked(s.ls, fs, write, gate); err != nil {
-		return nil, err
+	if noWait {
+		if fs.writer != 0 && fs.writerGroup != s.ls.group {
+			return MapInfo{}, errRetrySync
+		}
+		if write {
+			for rid := range fs.readers {
+				if r := c.libfses[rid]; r != nil && r.group != s.ls.group {
+					c.revokeLocked(r, fs.ino)
+				}
+			}
+		}
+	} else if err := c.waitForAccessLocked(s.ls, fs, write, gate); err != nil {
+		return MapInfo{}, err
 	}
 
-	in, err := core.ReadDirentInode(c.mem, fs.loc.Page, fs.loc.Slot)
-	if err != nil {
-		return nil, err
+	var in core.Inode
+	if adopted != nil {
+		// Fresh adoption: the verifier read this inode an instant ago
+		// under these same locks — reuse it rather than paying another
+		// media access.
+		in = *adopted
+	} else {
+		in, err = core.ReadDirentInode(c.mem, fs.loc.Page, fs.loc.Slot)
+		if err != nil {
+			return MapInfo{}, err
+		}
 	}
 
 	// Collect the page set to map: the dirent page plus the file's
@@ -106,12 +157,18 @@ func (s *Session) MapFile(ino core.Ino, loc core.FileLoc, write bool) (*MapInfo,
 		func(p nvm.PageID) bool { pages = append(pages, p); return true },
 		func(_ uint64, p nvm.PageID) bool { pages = append(pages, p); return true })
 	if err != nil {
-		return nil, fmt.Errorf("controller: walking file %d: %w", ino, err)
+		return MapInfo{}, fmt.Errorf("controller: walking file %d: %w", ino, err)
 	}
 
 	perm := mmu.PermRead
 	if write {
 		perm = mmu.PermWrite
+		// Checksum-behind: every granted page's record opens (durably)
+		// before the LibFS can issue its first store, so no sealed CRC
+		// can be invalidated by a write the scrubber doesn't know about.
+		// Runs before our own refs so openGrantedLocked sees the
+		// pre-grant writeRefs table (see its doc comment).
+		c.openGrantedLocked(pages)
 	}
 	for _, p := range pages {
 		s.ls.refPageLocked(p, perm)
@@ -124,14 +181,10 @@ func (s *Session) MapFile(ino core.Ino, loc core.FileLoc, write bool) (*MapInfo,
 		fs.writerGroup = s.ls.group
 		fs.writerSince = time.Now()
 		c.checkpointLocked(fs, &in)
-		// Checksum-behind: every granted page's record opens (durably)
-		// before the LibFS can issue its first store, so no sealed CRC
-		// can be invalidated by a write the scrubber doesn't know about.
-		c.openGrantedLocked(pages)
 	} else {
-		fs.readers[s.ls.id] = true
+		fs.addReaderLocked(s.ls.id)
 	}
-	return &MapInfo{Ino: fs.ino, Loc: fs.loc, Inode: in, Write: write}, nil
+	return MapInfo{Ino: fs.ino, Loc: fs.loc, Inode: in, Write: write}, nil
 }
 
 // mapFileFast is MapFile's common case under only the involved shards'
@@ -143,7 +196,7 @@ func (s *Session) MapFile(ino core.Ino, loc core.FileLoc, write bool) (*MapInfo,
 // touches the other shards (the old escalate-to-lockAll wait glued
 // every shard to the contended one). Only the transitions that mutate
 // foreign-shard state return errEscalate for the lockAll path.
-func (s *Session) mapFileFast(ino core.Ino, loc core.FileLoc, write bool, gate *admitGate) (*MapInfo, error) {
+func (s *Session) mapFileFast(ino core.Ino, loc core.FileLoc, write bool, gate *admitGate) (MapInfo, error) {
 	c := s.c
 	var waited *fileState
 	for {
@@ -152,7 +205,7 @@ func (s *Session) mapFileFast(ino core.Ino, loc core.FileLoc, write bool, gate *
 			// Drop the waiter mark from the previous iteration; the
 			// pointer comparison guards against the file having been
 			// retired (and the ino reused) while nothing was held.
-			if c.files[ino] == waited {
+			if fs, _ := c.files.get(ino); fs == waited {
 				waited.waiters--
 			}
 			waited = nil
@@ -183,32 +236,32 @@ func (s *Session) mapFileFast(ino core.Ino, loc core.FileLoc, write bool, gate *
 // sleep, and retry; otherwise (info, err) is the result, with
 // errEscalate sending the request to the lockAll path. It mutates
 // nothing before deciding.
-func (s *Session) mapFileOnceLocked(fs *fileState, write bool) (*MapInfo, time.Duration, error) {
+func (s *Session) mapFileOnceLocked(fs *fileState, write bool) (MapInfo, time.Duration, error) {
 	c := s.c
 	if fs == nil {
-		return nil, 0, errEscalate // adoption inserts into the registry
+		return MapInfo{}, 0, errEscalate // adoption inserts into the registry
 	}
 	if err := s.aliveLocked(); err != nil {
-		return nil, 0, err
+		return MapInfo{}, 0, err
 	}
 	if fs.quarantined != 0 && fs.quarantined != s.ls.id {
-		return nil, 0, ErrQuarantined
+		return MapInfo{}, 0, ErrQuarantined
 	}
 	if fs.corrupt {
-		return nil, 0, fmt.Errorf("%w: ino %d has unrepairable media corruption", ErrCorrupt, fs.ino)
+		return MapInfo{}, 0, fmt.Errorf("%w: ino %d has unrepairable media corruption", ErrCorrupt, fs.ino)
 	}
 	if m := s.ls.mapped[fs.ino]; m != nil {
 		if m.write || !write {
 			in, rerr := core.ReadDirentInode(c.mem, fs.loc.Page, fs.loc.Slot)
 			if rerr != nil {
-				return nil, 0, rerr
+				return MapInfo{}, 0, rerr
 			}
-			return &MapInfo{Ino: fs.ino, Loc: fs.loc, Inode: in, Write: m.write}, 0, nil
+			return MapInfo{Ino: fs.ino, Loc: fs.loc, Inode: in, Write: m.write}, 0, nil
 		}
-		return nil, 0, errEscalate // read→write upgrade releases the old grant
+		return MapInfo{}, 0, errEscalate // read→write upgrade releases the old grant
 	}
 	if !c.permitted(s.ls, fs.ino, write) {
-		return nil, 0, fmt.Errorf("%w: ino %d write=%v for uid %d", ErrPermission, fs.ino, write, s.ls.uid)
+		return MapInfo{}, 0, fmt.Errorf("%w: ino %d write=%v for uid %d", ErrPermission, fs.ino, write, s.ls.uid)
 	}
 	// A conflicting writer drives the lease state machine right here:
 	// the clock, the cooperative recall, and the holder-vanished reset
@@ -217,14 +270,14 @@ func (s *Session) mapFileOnceLocked(fs *fileState, write bool) (*MapInfo, time.D
 	// lockAll grant path, which knows how to stack them.
 	for fs.writer != 0 {
 		if fs.writer == s.ls.id || fs.writerGroup == s.ls.group {
-			return nil, 0, errEscalate
+			return MapInfo{}, 0, errEscalate
 		}
 		wait, err := c.escalateLeaseFastLocked(fs)
 		if err != nil {
-			return nil, 0, err // forcible revocation or holder reap
+			return MapInfo{}, 0, err // forcible revocation or holder reap
 		}
 		if wait > 0 {
-			return nil, wait, nil
+			return MapInfo{}, wait, nil
 		}
 		// wait == 0: the holder vanished under our lock; re-check.
 	}
@@ -232,36 +285,39 @@ func (s *Session) mapFileOnceLocked(fs *fileState, write bool) (*MapInfo, time.D
 		for rid := range fs.readers {
 			r := c.libfses[rid] // registry reads are safe under any shard lock
 			if r == nil || r.group != s.ls.group {
-				return nil, 0, errEscalate // revocation touches foreign shards
+				return MapInfo{}, 0, errEscalate // revocation touches foreign shards
 			}
 		}
 	}
 
 	in, err := core.ReadDirentInode(c.mem, fs.loc.Page, fs.loc.Slot)
 	if err != nil {
-		return nil, 0, err
+		return MapInfo{}, 0, err
 	}
 	pages := []nvm.PageID{fs.loc.Page}
 	err = core.WalkFile(c.mem, in.Head, int(c.dev.NumPages()),
 		func(p nvm.PageID) bool { pages = append(pages, p); return true },
 		func(_ uint64, p nvm.PageID) bool { pages = append(pages, p); return true })
 	if err != nil {
-		return nil, 0, fmt.Errorf("controller: walking file %d: %w", fs.ino, err)
+		return MapInfo{}, 0, fmt.Errorf("controller: walking file %d: %w", fs.ino, err)
 	}
 	if write {
 		// The grant opens checksum records: every page must be owned by
 		// the file or its parent (whose shards are held), so no other
 		// shard's grant or scrub can race the record read-modify-writes.
 		if !c.writeGrantPagesOK(pages, fs) {
-			return nil, 0, errEscalate
+			return MapInfo{}, 0, errEscalate
 		}
 	} else if !c.pagesOwnedWithin(pages, fs.ino, fs.parent) {
-		return nil, 0, errEscalate
+		return MapInfo{}, 0, errEscalate
 	}
 
 	perm := mmu.PermRead
 	if write {
 		perm = mmu.PermWrite
+		// Pre-ref, like mapSlowLocked: openGrantedLocked must see the
+		// pre-grant writeRefs table to skip already-open records.
+		c.openGrantedLocked(pages)
 	}
 	for _, p := range pages {
 		s.ls.refPageLocked(p, perm)
@@ -273,11 +329,10 @@ func (s *Session) mapFileOnceLocked(fs *fileState, write bool) (*MapInfo, time.D
 		fs.writerGroup = s.ls.group
 		fs.writerSince = time.Now()
 		c.checkpointLocked(fs, &in)
-		c.openGrantedLocked(pages)
 	} else {
-		fs.readers[s.ls.id] = true
+		fs.addReaderLocked(s.ls.id)
 	}
-	return &MapInfo{Ino: fs.ino, Loc: fs.loc, Inode: in, Write: write}, 0, nil
+	return MapInfo{Ino: fs.ino, Loc: fs.loc, Inode: in, Write: write}, 0, nil
 }
 
 // writeGrantPagesOK requires every page of a write grant to be owned by
@@ -287,7 +342,10 @@ func (c *Controller) writeGrantPagesOK(pages []nvm.PageID, fs *fileState) bool {
 	c.tabMu.Lock()
 	defer c.tabMu.Unlock()
 	for i, p := range pages {
-		own, ok := c.pageOwner[p]
+		// pageOwnerAt: the page list came from walking untrusted core
+		// state; an impossible id reads as unowned and rejects the grant.
+		own := c.pageOwnerAt(p)
+		ok := own != 0
 		if i == 0 { // the dirent page, owned by the parent directory
 			if (ok && own != fs.parent) || (!ok && p != core.RootInodePage) {
 				return false
@@ -399,52 +457,56 @@ func (c *Controller) revokeLocked(ls *libfsState, ino core.Ino) {
 		ls.unrefPageLocked(p)
 	}
 	delete(ls.mapped, ino)
-	if fs := c.files[ino]; fs != nil {
+	if fs, _ := c.files.get(ino); fs != nil {
 		delete(fs.readers, ls.id)
 	}
 }
 
 // lookupOrAdoptLocked resolves ino to a fileState, adopting files the
-// controller has never verified (fresh creates by some LibFS).
-func (c *Controller) lookupOrAdoptLocked(ino core.Ino, loc core.FileLoc) (*fileState, error) {
-	if fs, ok := c.files[ino]; ok {
-		return fs, nil
+// controller has never verified (fresh creates by some LibFS). acc,
+// when non-nil, defers the adoption verify's IPC charge to the caller.
+// For a fresh adoption the verifier's just-read inode is returned too,
+// so the caller need not pay a second media access for it.
+func (c *Controller) lookupOrAdoptLocked(ino core.Ino, loc core.FileLoc, acc *int) (*fileState, *core.Inode, error) {
+	if fs, ok := c.files.get(ino); ok {
+		return fs, nil, nil
 	}
-	creator, ok := c.allocBy[ino]
+	creator, ok := c.allocBy.get(ino)
 	if !ok {
-		return nil, fmt.Errorf("%w: ino %d", ErrUnknownFile, ino)
+		return nil, nil, fmt.Errorf("%w: ino %d", ErrUnknownFile, ino)
 	}
 	ls := c.libfses[creator]
 	if ls == nil {
-		return nil, fmt.Errorf("%w: ino %d (creator gone)", ErrUnknownFile, ino)
+		return nil, nil, fmt.Errorf("%w: ino %d (creator gone)", ErrUnknownFile, ino)
 	}
-	// Validate the location hint before trusting it: the slot must
-	// actually hold this ino, and its page must be a dirent page of an
-	// existing directory (or the root page).
-	if got, err := core.DirentIno(c.mem, loc.Page, loc.Slot); err != nil || got != ino {
-		return nil, fmt.Errorf("%w: location hint does not hold ino %d", ErrBadRequest, ino)
-	}
+	// Validate the location hint's page before trusting it: it must be
+	// a dirent page of an existing directory (or the root page). The
+	// slot's content needs no separate pre-read — the verification
+	// below reads the dirent and reports an ino mismatch as an I1
+	// violation, so a bogus slot can never be adopted; the pre-read
+	// would only duplicate a charged media access on every adoption.
 	parentIno, ok := c.direntPageParentLocked(loc.Page, creator)
 	if !ok {
-		return nil, fmt.Errorf("%w: location hint page %d is not a directory page", ErrBadRequest, loc.Page)
+		return nil, nil, fmt.Errorf("%w: location hint page %d is not a directory page", ErrBadRequest, loc.Page)
 	}
-	fs := &fileState{
-		ino: ino, loc: loc, parent: parentIno,
-		pages:   make(map[nvm.PageID]bool),
-		readers: make(map[LibFSID]bool),
-	}
-	rep, err := c.runVerifierLocked(fs, ls)
+	fs := &fileState{ino: ino, loc: loc, parent: parentIno}
+	rep, err := c.runVerifierLocked(fs, ls, acc)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if !rep.OK() {
+		// Failure classification (cold path): a slot that simply does
+		// not hold this ino is the caller's bad request, not corruption.
+		if got, derr := core.DirentIno(c.mem, loc.Page, loc.Slot); derr != nil || got != ino {
+			return nil, nil, fmt.Errorf("%w: location hint does not hold ino %d", ErrBadRequest, ino)
+		}
 		c.stats.Corruptions.Add(1)
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, rep.Violations)
+		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, rep.Violations)
 	}
 	fs.ftype = rep.Inode.Type
 	c.commitReportLocked(fs, ls, rep)
 	c.registerFileLocked(fs)
-	return fs, nil
+	return fs, &rep.Inode, nil
 }
 
 // direntPageParentLocked reports which directory owns page p as one of
@@ -455,8 +517,8 @@ func (c *Controller) direntPageParentLocked(p nvm.PageID, creator LibFSID) (core
 	if p == core.RootInodePage {
 		return 0, true
 	}
-	if ino, ok := c.pageOwner[p]; ok {
-		if fs := c.files[ino]; fs != nil && fs.ftype == core.TypeDir {
+	if ino := c.pageOwnerAt(p); ino != 0 {
+		if fs, _ := c.files.get(ino); fs != nil && fs.ftype == core.TypeDir {
 			return ino, true
 		}
 		return 0, false
@@ -471,6 +533,18 @@ func (c *Controller) direntPageParentLocked(p nvm.PageID, creator LibFSID) (core
 // When the mapping was writable, the integrity verifier checks the
 // file's core state before the pages become shareable again (steps 6–8).
 func (s *Session) UnmapFile(ino core.Ino) error {
+	// Submit-and-wait shim (ISSUE 8): ride the per-shard submission
+	// ring when the controller runs one; see MapFile.
+	if p, ok := s.ringSubmit(opUnmap, ino, core.FileLoc{}, false); ok {
+		_, err := p.Wait()
+		return err
+	}
+	return s.unmapFileSync(ino)
+}
+
+// unmapFileSync is the classic synchronous UnmapFile (one trap charged
+// on entry); the ring path falls back here on escalation.
+func (s *Session) unmapFileSync(ino core.Ino) error {
 	s.c.trap()
 	start := time.Now()
 	defer func() { s.c.stats.addUnmap(time.Since(start)) }()
@@ -480,7 +554,7 @@ func (s *Session) UnmapFile(ino core.Ino) error {
 	gate := c.admit(s.ls.id)
 	defer gate.exit(s.ls.id)
 
-	err := s.unmapFast(ino)
+	err := s.unmapFast(ino, nil)
 	if err != errEscalate {
 		return err
 	}
@@ -489,14 +563,14 @@ func (s *Session) UnmapFile(ino core.Ino) error {
 	if err := s.aliveLocked(); err != nil {
 		return err
 	}
-	return c.unmapLocked(s.ls, ino)
+	return c.unmapLocked(s.ls, ino, nil)
 }
 
 // unmapFast is UnmapFile under only the involved shards' locks. Reader
 // detaches always qualify; writer detaches qualify when the file is a
 // clean regular file whose pages are owned within the file and its
 // parent — corruption handling and directory child adoption escalate.
-func (s *Session) unmapFast(ino core.Ino) error {
+func (s *Session) unmapFast(ino core.Ino, acc *int) error {
 	c := s.c
 	set, fs := c.lockForFile(c.shardIdxSession(s.ls.id), ino, true)
 	defer c.unlockShards(&set)
@@ -524,7 +598,7 @@ func (s *Session) unmapFast(ino core.Ino) error {
 	if fs.ftype != core.TypeReg || fs.quarantined != 0 || fs.corrupt {
 		return errEscalate
 	}
-	rep, err := c.runVerifierLocked(fs, s.ls)
+	rep, err := c.runVerifierLocked(fs, s.ls, acc)
 	if err != nil {
 		return err
 	}
@@ -559,7 +633,7 @@ func (s *Session) unmapFast(ino core.Ino) error {
 	return nil
 }
 
-func (c *Controller) unmapLocked(ls *libfsState, ino core.Ino) error {
+func (c *Controller) unmapLocked(ls *libfsState, ino core.Ino, acc *int) error {
 	m := ls.mapped[ino]
 	if m == nil {
 		if ls.revoked[ino] {
@@ -567,7 +641,7 @@ func (c *Controller) unmapLocked(ls *libfsState, ino core.Ino) error {
 		}
 		return fmt.Errorf("%w: ino %d is not mapped", ErrBadRequest, ino)
 	}
-	fs := c.files[ino]
+	fs, _ := c.files.get(ino)
 	if fs == nil {
 		return fmt.Errorf("%w: ino %d", ErrUnknownFile, ino)
 	}
@@ -580,7 +654,7 @@ func (c *Controller) unmapLocked(ls *libfsState, ino core.Ino) error {
 		return nil
 	}
 
-	rep, err := c.runVerifierLocked(fs, ls)
+	rep, err := c.runVerifierLocked(fs, ls, acc)
 	if err != nil {
 		return err
 	}
@@ -636,14 +710,38 @@ var DebugVerifyFailure func(msg string)
 // telemetry.EnableTracing directly is equivalent.
 var DebugPageTracing bool
 
-func (c *Controller) runVerifierLocked(fs *fileState, ls *libfsState) (*verifier.Report, error) {
-	if c.cost != nil {
+// acc, when non-nil, is a ring drainer's verify accumulator: instead of
+// paying the IPC round trip inline, the call is counted and the drainer
+// charges one batched IPCN for the whole drained batch (satellite of
+// ISSUE 8 — the crossing cost is per batch, not per verification).
+func (c *Controller) runVerifierLocked(fs *fileState, ls *libfsState, acc *int) (*verifier.Report, error) {
+	if acc != nil {
+		*acc++
+	} else if c.cost != nil {
 		c.cost.IPC()
 	}
-	start := time.Now()
-	defer func() { c.stats.addVerify(time.Since(start)) }()
-	env := &envImpl{c: c, fs: fs, ls: ls}
-	rep, err := c.verifier.VerifyFile(env, fs.ino, fs.loc, fs.ino == core.RootIno)
+	if acc == nil {
+		start := time.Now()
+		defer func() { c.stats.addVerify(time.Since(start)) }()
+	} else {
+		// Ring drain path: count the verification but skip the per-call
+		// clock pair — the drain batch keeps one clock for all its ops
+		// (latency telemetry gets the batch average via addMapN).
+		c.stats.VerifyCnt.Add(1)
+	}
+	env := &ls.verifyEnv
+	*env = envImpl{c: c, fs: fs, ls: ls}
+	var rep *verifier.Report
+	var err error
+	if acc != nil {
+		// Ring drain path: reuse the session's scratch report
+		// (VerifyFileInto detaches Children, which commitReportLocked
+		// retains as the directory's verified child list).
+		rep = &ls.verifyRep
+		err = c.verifier.VerifyFileInto(rep, env, fs.ino, fs.loc, fs.ino == core.RootIno)
+	} else {
+		rep, err = c.verifier.VerifyFile(env, fs.ino, fs.loc, fs.ino == core.RootIno)
+	}
 	if err == nil && !rep.OK() {
 		if telemetry.TracingOn() {
 			telemetry.Emit(0, "verify.failure", "controller", int64(fs.ino),
@@ -659,6 +757,15 @@ func (c *Controller) runVerifierLocked(fs *fileState, ls *libfsState) (*verifier
 // commitReportLocked records a clean verification outcome: the file's
 // new page set, ino bindings and shadow adoptions for new children.
 func (c *Controller) commitReportLocked(fs *fileState, ls *libfsState, rep *verifier.Report) {
+	if len(rep.Pages) == 0 && len(fs.pages) == 0 {
+		// Empty file with no page history (the create/unlink hot path):
+		// there is no page set to reconcile, so skip straight to the
+		// shadow and children bookkeeping below — the two scratch maps
+		// this function otherwise builds are pure overhead here, and it
+		// runs twice per small-file cycle (adopt and write-unmap).
+		c.commitReportTailLocked(fs, ls, rep)
+		return
+	}
 	// Page set: consume newly bound pages from the allocation pool;
 	// release pages that left the file back to the allocator. Pool
 	// references of consumed pages either transfer onto the caller's
@@ -720,7 +827,12 @@ func (c *Controller) commitReportLocked(fs *fileState, ls *libfsState, rep *veri
 		}
 	}
 	fs.pages = newSet
+	c.commitReportTailLocked(fs, ls, rep)
+}
 
+// commitReportTailLocked is the page-set-independent half of
+// commitReportLocked: shadow adoption and child bookkeeping.
+func (c *Controller) commitReportTailLocked(fs *fileState, ls *libfsState, rep *verifier.Report) {
 	// Shadow adoption / refresh.
 	if _, ok := c.shadowOf(fs.ino); !ok {
 		c.setShadow(fs.ino, verifier.ShadowInfo{
@@ -747,7 +859,7 @@ func (c *Controller) commitReportLocked(fs *fileState, ls *libfsState, rep *veri
 // adoptChildLocked records one dirent's file (and, for directories, its
 // whole unverified subtree) into the controller's global information.
 func (c *Controller) adoptChildLocked(parent *fileState, ls *libfsState, ch *verifier.ChildRef) {
-	if cfs, ok := c.files[ch.Ino]; ok {
+	if cfs, ok := c.files.get(ch.Ino); ok {
 		cfs.loc = ch.Loc
 		cfs.parent = parent.ino
 		return
@@ -758,10 +870,18 @@ func (c *Controller) adoptChildLocked(parent *fileState, ls *libfsState, ch *ver
 		readers: make(map[LibFSID]bool),
 	}
 	// Bind the child's own pages by walking it (they are consumed from
-	// the creator's pool).
+	// the creator's pool). The chain is unverified core state: skip
+	// impossible page ids rather than let them into the dense tables.
+	total := c.dev.NumPages()
+	bindPage := func(p nvm.PageID) bool {
+		if p < total {
+			cfs.pages[p] = true
+		}
+		return true
+	}
 	core.WalkFile(c.mem, ch.Inode.Head, int(c.dev.NumPages()),
-		func(p nvm.PageID) bool { cfs.pages[p] = true; return true },
-		func(_ uint64, p nvm.PageID) bool { cfs.pages[p] = true; return true })
+		bindPage,
+		func(_ uint64, p nvm.PageID) bool { return bindPage(p) })
 	cm := ls.mapped[ch.Ino]
 	for p := range cfs.pages {
 		c.tracePage(p, "bind-adopt ino=%d ls=%d pool=%v", ch.Ino, ls.id, ls.allocPages[p])
@@ -787,18 +907,18 @@ func (c *Controller) adoptChildLocked(parent *fileState, ls *libfsState, ch *ver
 	}
 	c.sealQuiescentLocked(sealSet)
 	c.registerFileLocked(cfs)
-	if _, ok := c.shadow[ch.Ino]; !ok {
+	if !c.shadow.has(ch.Ino) {
 		// Credentials: the LibFS the ino was issued to (it may differ
 		// from the LibFS under verification within a trust group).
 		uid, gid := ls.uid, ls.gid
-		if holder, ok := c.allocBy[ch.Ino]; ok {
+		if holder, ok := c.allocBy.get(ch.Ino); ok {
 			if hls := c.libfses[holder]; hls != nil {
 				uid, gid = hls.uid, hls.gid
 			}
 		}
-		c.shadow[ch.Ino] = verifier.ShadowInfo{
+		c.shadow.set(ch.Ino, verifier.ShadowInfo{
 			Mode: ch.Inode.Mode, UID: uid, GID: gid, Type: ch.Inode.Type,
-		}
+		})
 	}
 	delete(ls.allocInos, ch.Ino)
 
@@ -838,10 +958,16 @@ func (c *Controller) adoptChildLocked(parent *fileState, ls *libfsState, ch *ver
 // handed out (§4.3): index pages for regular files, index and data
 // pages for directories.
 func (c *Controller) checkpointLocked(fs *fileState, in *core.Inode) {
-	cp := &checkpoint{inode: *in, pages: make(map[nvm.PageID][]byte)}
+	// pages stays nil for empty files (nothing to snapshot, and this
+	// runs on every write map); the restore/preserve paths range over
+	// it, which a nil map supports.
+	cp := &checkpoint{inode: *in}
 	snap := func(p nvm.PageID) bool {
 		buf := make([]byte, nvm.PageSize)
 		if err := c.mem.Read(p, 0, buf); err == nil {
+			if cp.pages == nil {
+				cp.pages = make(map[nvm.PageID][]byte)
+			}
 			cp.pages[p] = buf
 		}
 		return true
@@ -870,7 +996,7 @@ func (c *Controller) handleCorruptionLocked(fs *fileState, ls *libfsState, rep *
 		select {
 		case err := <-done:
 			if err == nil {
-				if rep2, err2 := c.runVerifierLocked(fs, ls); err2 == nil && rep2.OK() {
+				if rep2, err2 := c.runVerifierLocked(fs, ls, nil); err2 == nil && rep2.OK() {
 					c.stats.Fixed.Add(1)
 					return rep2
 				}
@@ -905,7 +1031,7 @@ func (c *Controller) handleCorruptionLocked(fs *fileState, ls *libfsState, rep *
 
 	// Re-verify the restored state; it must pass (it did when the
 	// checkpoint was cut).
-	rep2, err := c.runVerifierLocked(fs, ls)
+	rep2, err := c.runVerifierLocked(fs, ls, nil)
 	if err == nil && rep2.OK() {
 		return rep2
 	}
@@ -966,10 +1092,10 @@ func (e *envImpl) PageOwner(p nvm.PageID) (core.Ino, bool) {
 	}
 	return ino, ok
 }
-func (e *envImpl) InoKnown(ino core.Ino) bool { _, ok := e.c.files[ino]; return ok }
+func (e *envImpl) InoKnown(ino core.Ino) bool { return e.c.files.has(ino) }
 func (e *envImpl) InoAllocated(ino core.Ino) bool {
 	if e.sys {
-		_, ok := e.c.allocBy[ino]
+		ok := e.c.allocBy.has(ino)
 		return ok
 	}
 	// Inos issued to any LibFS in the same trust group count: group
@@ -990,7 +1116,7 @@ func (e *envImpl) Shadow(ino core.Ino) (verifier.ShadowInfo, bool) {
 }
 func (e *envImpl) CredFor(ino core.Ino) (uint32, uint32) {
 	if e.sys {
-		if holder, ok := e.c.allocBy[ino]; ok {
+		if holder, ok := e.c.allocBy.get(ino); ok {
 			if ls := e.c.libfses[holder]; ls != nil {
 				return ls.uid, ls.gid
 			}
@@ -1008,7 +1134,7 @@ func (e *envImpl) CheckpointChildren() ([]verifier.ChildRef, bool) {
 	return nil, false
 }
 func (e *envImpl) DirDeletedOK(child core.Ino) bool {
-	cfs, ok := e.c.files[child]
+	cfs, ok := e.c.files.get(child)
 	if !ok {
 		// Never verified: created and removed by the same LibFS.
 		return true

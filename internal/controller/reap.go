@@ -61,6 +61,13 @@ func (c *Controller) reapLocked(ls *libfsState) {
 	c.stats.Reaps.Add(1)
 	c.stats.shard(c.shardIdxSession(ls.id)).Reaps.Add(1)
 
+	// Retire the session's ring client first: abort its claimed-but-
+	// unpublished submission slots (a process that died mid-enqueue
+	// must not wedge its shard's ring) and release its waiters. Its
+	// already-published entries drain normally; their completions are
+	// dropped against the closed client.
+	c.ringKillLocked(ls)
+
 	// Settle the write-mapped accounting before the permission array is
 	// cleared; the unrefs below then find nothing left to double-count.
 	c.dropWriteRefs(ls)
@@ -75,7 +82,7 @@ func (c *Controller) reapLocked(ls *libfsState) {
 	var deadDirs []*fileState
 	for ino, m := range ls.mapped {
 		if m.write {
-			if fs := c.files[ino]; fs != nil && fs.ftype == core.TypeDir {
+			if fs, _ := c.files.get(ino); fs != nil && fs.ftype == core.TypeDir {
 				deadDirs = append(deadDirs, fs)
 			}
 		}
@@ -89,7 +96,7 @@ func (c *Controller) reapLocked(ls *libfsState) {
 	// corrupted.
 	for pass := 0; pass < 2; pass++ {
 		for ino, m := range ls.mapped {
-			fs := c.files[ino]
+			fs, _ := c.files.get(ino)
 			if fs == nil {
 				delete(ls.mapped, ino)
 				continue
@@ -133,12 +140,12 @@ func (c *Controller) reapLocked(ls *libfsState) {
 	}
 	c.pageAlloc.FreePages(pages)
 	for ino := range ls.allocInos {
-		delete(c.allocBy, ino)
+		c.allocBy.del(ino)
 		delete(ls.allocInos, ino)
 		// A surviving LibFS may hold a batched removal for a pool file
 		// of the dead session (shared directory); make it idempotent.
-		if _, known := c.files[ino]; !known {
-			c.reaped[ino] = true
+		if !c.files.has(ino) {
+			c.reaped.set(ino, true)
 		}
 	}
 	c.unregisterSessionLocked(ls.id)
@@ -169,35 +176,36 @@ func (c *Controller) reapOrphansLocked(ls *libfsState, deadDirs []*fileState) {
 		}
 	}
 	var orphans []*fileState
-	for ino, fs := range c.files {
+	c.files.forEach(func(ino core.Ino, fs *fileState) bool {
 		if ino == core.RootIno {
-			continue
+			return true
 		}
-		if !direntPages[fs.loc.Page] && c.allocBy[ino] != ls.id {
-			continue
+		if holder, _ := c.allocBy.get(ino); !direntPages[fs.loc.Page] && holder != ls.id {
+			return true
 		}
 		if fs.writer != 0 || len(fs.readers) > 0 {
-			continue
+			return true
 		}
 		if !c.direntGoneLocked(fs) {
-			continue
+			return true
 		}
 		orphans = append(orphans, fs)
-	}
+		return true
+	})
 	for _, fs := range orphans {
 		// Parked, not freed: the walk that bound these pages may have
 		// raced the dead session's last stores, so a surviving file of
 		// this session may reference one of them. The stray sweep that
 		// follows rebinds such pages; the pool release frees the rest.
 		for p := range fs.pages {
-			delete(c.pageOwner, p)
+			c.pageOwner[p] = 0
 			ls.parked[p] = true
 			c.tracePage(p, "park-orphan ino=%d ls=%d", fs.ino, ls.id)
 		}
 		c.unregisterFileLocked(fs.ino)
-		delete(c.shadow, fs.ino)
-		delete(c.allocBy, fs.ino)
-		c.reaped[fs.ino] = true
+		c.shadow.del(fs.ino)
+		c.allocBy.del(fs.ino)
+		c.reaped.set(fs.ino, true)
 	}
 }
 
@@ -210,7 +218,7 @@ func (c *Controller) reapOrphansLocked(ls *libfsState, deadDirs []*fileState) {
 // what they spell. The parent's page set is only consulted when the
 // parent has a trusted, non-empty one.
 func (c *Controller) direntGoneLocked(fs *fileState) bool {
-	if pfs := c.files[fs.parent]; pfs != nil && pfs.quarantined == 0 &&
+	if pfs, _ := c.files.get(fs.parent); pfs != nil && pfs.quarantined == 0 &&
 		len(pfs.pages) > 0 && !pfs.pages[fs.loc.Page] {
 		return true
 	}
@@ -233,20 +241,20 @@ func (c *Controller) reapFileLocked(ls *libfsState, fs *fileState) {
 	// dirent is only trusted when the parent directory is not
 	// quarantined.
 	if c.direntGoneLocked(fs) {
-		if pfs := c.files[fs.parent]; pfs == nil || pfs.quarantined == 0 {
+		if pfs, _ := c.files.get(fs.parent); pfs == nil || pfs.quarantined == 0 {
 			c.retireFileLocked(ls, fs)
 			return
 		}
 	}
 	c.stats.ReapVerifies.Add(1)
-	rep, err := c.runVerifierLocked(fs, ls)
+	rep, err := c.runVerifierLocked(fs, ls, nil)
 	if err == nil && rep.OK() {
 		c.commitReportLocked(fs, ls, rep)
 	} else {
 		c.stats.Corruptions.Add(1)
 		c.restoreCheckpointLocked(fs)
 		c.stats.Rollbacks.Add(1)
-		rep2, err2 := c.runVerifierLocked(fs, ls)
+		rep2, err2 := c.runVerifierLocked(fs, ls, nil)
 		if err2 == nil && rep2.OK() {
 			c.commitReportLocked(fs, ls, rep2)
 		} else {
@@ -283,14 +291,14 @@ func (c *Controller) retireFileLocked(ls *libfsState, fs *fileState) {
 	// page here that one of the holder's surviving files references
 	// (see libfsState.parked). Teardown settles it.
 	for p := range fs.pages {
-		delete(c.pageOwner, p)
+		c.pageOwner[p] = 0
 		ls.parked[p] = true
 		c.tracePage(p, "park-retire ino=%d ls=%d", fs.ino, ls.id)
 	}
 	c.unregisterFileLocked(fs.ino)
-	delete(c.shadow, fs.ino)
-	delete(c.allocBy, fs.ino)
-	c.reaped[fs.ino] = true
+	c.shadow.del(fs.ino)
+	c.allocBy.del(fs.ino)
+	c.reaped.set(fs.ino, true)
 }
 
 // bindStrayPoolPagesLocked transfers resources of ls's allocation pool
@@ -314,10 +322,11 @@ func (c *Controller) bindStrayPoolPagesLocked(ls *libfsState) {
 		return
 	}
 	// Snapshot: adoptChildLocked below inserts into c.files.
-	known := make([]*fileState, 0, len(c.files))
-	for _, fs := range c.files {
+	known := make([]*fileState, 0, c.files.count())
+	c.files.forEach(func(_ core.Ino, fs *fileState) bool {
 		known = append(known, fs)
-	}
+		return true
+	})
 	for _, fs := range known {
 		if fs.quarantined != 0 {
 			continue
@@ -335,6 +344,9 @@ func (c *Controller) bindStrayPoolPagesLocked(ls *libfsState) {
 				delete(ls.allocPages, p)
 				delete(ls.parked, p)
 				ls.unrefPageLocked(p)
+				if fsRef.pages == nil {
+					fsRef.pages = make(map[nvm.PageID]bool)
+				}
 				fsRef.pages[p] = true
 				c.pageOwner[p] = fsRef.ino
 				c.tracePage(p, "bind-stray ino=%d ls=%d", fsRef.ino, ls.id)

@@ -102,17 +102,17 @@ func (s *Session) FreePages(pages []nvm.PageID) error {
 			s.ls.unrefPageLocked(p)
 			c.tracePage(p, "free-pool ls=%d", s.ls.id)
 		case func() bool {
-			ino, owned := c.pageOwner[p]
-			if !owned {
+			ino := c.pageOwner[p]
+			if ino == 0 {
 				return false
 			}
 			m := s.ls.mapped[ino]
 			if m == nil || !m.write {
 				return false
 			}
-			fs := c.files[ino]
+			fs, _ := c.files.get(ino)
 			delete(fs.pages, p)
-			delete(c.pageOwner, p)
+			c.pageOwner[p] = 0
 			s.ls.unrefPageLocked(p)
 			c.tracePage(p, "free-bound ino=%d ls=%d", ino, s.ls.id)
 			return true
@@ -179,7 +179,7 @@ func (s *Session) AllocInos(cpu, n int) ([]core.Ino, error) {
 	}
 	c.tabMu.Lock()
 	for _, ino := range out {
-		c.allocBy[ino] = s.ls.id
+		c.allocBy.set(ino, s.ls.id)
 	}
 	c.tabMu.Unlock()
 	return out, nil
@@ -215,11 +215,11 @@ func (s *Session) changePerm(ino core.Ino, patch func(*shadowPatch)) error {
 	if err := s.aliveLocked(); err != nil {
 		return err
 	}
-	fs, ok := c.files[ino]
+	fs, ok := c.files.get(ino)
 	if !ok {
 		return fmt.Errorf("%w: ino %d", ErrUnknownFile, ino)
 	}
-	sh, ok := c.shadow[ino]
+	sh, ok := c.shadow.get(ino)
 	if !ok {
 		return fmt.Errorf("%w: ino %d has no shadow entry", ErrUnknownFile, ino)
 	}
@@ -240,7 +240,7 @@ func (s *Session) changePerm(ino core.Ino, patch func(*shadowPatch)) error {
 	if p.gid != nil {
 		sh.GID = *p.gid
 	}
-	c.shadow[ino] = sh
+	c.shadow.set(ino, sh)
 
 	// Refresh the cached fields in the core-state inode so readers see
 	// the change; the shadow stays authoritative either way.
@@ -317,8 +317,8 @@ func (s *Session) RemoveFiles(items []Removal) (recycled []nvm.PageID, err error
 		return nil, err
 	}
 	for _, it := range items {
-		if _, known := c.files[it.Ino]; !known {
-			if c.reaped[it.Ino] {
+		if !c.files.has(it.Ino) {
+			if c.reaped.has(it.Ino) {
 				// The reaper already retired this file on behalf of a
 				// dead session; the batched removal is a no-op, but the
 				// caller's own pool pages are still recyclable.
@@ -330,13 +330,13 @@ func (s *Session) RemoveFiles(items []Removal) (recycled []nvm.PageID, err error
 				}
 				continue
 			}
-			if c.allocBy[it.Ino] != s.ls.id {
+			if holder, _ := c.allocBy.get(it.Ino); holder != s.ls.id {
 				if err == nil {
 					err = fmt.Errorf("%w: ino %d", ErrUnknownFile, it.Ino)
 				}
 				continue
 			}
-			delete(c.allocBy, it.Ino)
+			c.allocBy.del(it.Ino)
 			delete(s.ls.allocInos, it.Ino)
 			for _, p := range it.Pages {
 				if s.ls.allocPages[p] {
@@ -355,9 +355,9 @@ func (s *Session) RemoveFiles(items []Removal) (recycled []nvm.PageID, err error
 
 func (s *Session) removeLocked(ino core.Ino, poolPages []nvm.PageID) error {
 	c := s.c
-	fs, ok := c.files[ino]
+	fs, ok := c.files.get(ino)
 	if !ok {
-		if c.reaped[ino] {
+		if c.reaped.has(ino) {
 			// Already retired by the reaper (dead-session orphan GC);
 			// removal is idempotent. Free the caller's own pool pages.
 			var freed []nvm.PageID
@@ -374,10 +374,10 @@ func (s *Session) removeLocked(ino core.Ino, poolPages []nvm.PageID) error {
 		}
 		// Never verified: the file lived entirely inside the creator's
 		// allocation pool.
-		if c.allocBy[ino] != s.ls.id {
+		if holder, _ := c.allocBy.get(ino); holder != s.ls.id {
 			return fmt.Errorf("%w: ino %d", ErrUnknownFile, ino)
 		}
-		delete(c.allocBy, ino)
+		c.allocBy.del(ino)
 		delete(s.ls.allocInos, ino)
 		var freed []nvm.PageID
 		for _, p := range poolPages {
@@ -412,7 +412,7 @@ func (s *Session) removeLocked(ino core.Ino, poolPages []nvm.PageID) error {
 	}
 	if fs.ftype == core.TypeDir {
 		for _, ch := range fs.children {
-			if _, live := c.files[ch.Ino]; live {
+			if c.files.has(ch.Ino) {
 				// A recorded child still exists; confirm against the
 				// core state that the directory is really empty.
 			}
@@ -434,13 +434,13 @@ func (s *Session) removeLocked(ino core.Ino, poolPages []nvm.PageID) error {
 	// concurrent stores (see libfsState.parked), so another of its
 	// files may reference one of them. Teardown settles the set.
 	for p := range fs.pages {
-		delete(c.pageOwner, p)
+		c.pageOwner[p] = 0
 		s.ls.parked[p] = true
 		c.tracePage(p, "park-rm ino=%d ls=%d", ino, s.ls.id)
 	}
 	c.unregisterFileLocked(ino)
-	delete(c.shadow, ino)
-	delete(c.allocBy, ino)
+	c.shadow.del(ino)
+	c.allocBy.del(ino)
 	return nil
 }
 
@@ -462,8 +462,8 @@ func (s *Session) Commit(ino core.Ino) error {
 		}
 		return fmt.Errorf("%w: ino %d is not write-mapped", ErrBadRequest, ino)
 	}
-	fs := c.files[ino]
-	rep, err := c.runVerifierLocked(fs, s.ls)
+	fs, _ := c.files.get(ino)
+	rep, err := c.runVerifierLocked(fs, s.ls, nil)
 	if err != nil {
 		return err
 	}
@@ -489,17 +489,17 @@ func (c *Controller) Recover(recoveryPrograms map[LibFSID]func() error) (checked
 			_ = fn()
 		}
 	}
-	for _, fs := range c.files {
+	c.files.forEach(func(_ core.Ino, fs *fileState) bool {
 		if fs.writer == 0 {
-			continue
+			return true
 		}
 		ls := c.libfses[fs.writer]
 		if ls == nil {
 			fs.writer = 0
-			continue
+			return true
 		}
 		checked++
-		rep, err := c.runVerifierLocked(fs, ls)
+		rep, err := c.runVerifierLocked(fs, ls, nil)
 		if err != nil || !rep.OK() {
 			c.restoreCheckpointLocked(fs)
 			c.stats.Rollbacks.Add(1)
@@ -516,7 +516,8 @@ func (c *Controller) Recover(recoveryPrograms map[LibFSID]func() error) (checked
 		}
 		fs.writer = 0
 		fs.checkpoint = nil
-	}
+		return true
+	})
 	return checked, rolledBack
 }
 
@@ -535,13 +536,14 @@ type FileInfo struct {
 func (c *Controller) Files() []FileInfo {
 	c.lockAll()
 	defer c.unlockAll()
-	out := make([]FileInfo, 0, len(c.files))
-	for _, fs := range c.files {
+	out := make([]FileInfo, 0, c.files.count())
+	c.files.forEach(func(_ core.Ino, fs *fileState) bool {
 		out = append(out, FileInfo{
 			Ino: fs.ino, Loc: fs.loc, Type: fs.ftype, Parent: fs.parent,
 			Pages: len(fs.pages), Writer: fs.writer,
 		})
-	}
+		return true
+	})
 	return out
 }
 
@@ -566,11 +568,16 @@ func pageNumIn(s string) string {
 // VerifyAll runs the verifier over every known file (the arckfsck
 // "full scan" mode); it returns the numbers of files checked and files
 // with violations.
+func holderOf(c *Controller, ino core.Ino) LibFSID {
+	h, _ := c.allocBy.get(ino)
+	return h
+}
+
 func (c *Controller) VerifyAll() (checked, bad int, firstProblem string) {
 	c.lockAll()
 	defer c.unlockAll()
 	sys := &libfsState{uid: 0, gid: 0, allocPages: map[nvm.PageID]bool{}, allocInos: map[core.Ino]bool{}}
-	for _, fs := range c.files {
+	c.files.forEach(func(_ core.Ino, fs *fileState) bool {
 		env := &envImpl{c: c, fs: fs, ls: sys, sys: true}
 		rep, err := c.verifier.VerifyFile(env, fs.ino, fs.loc, fs.ino == core.RootIno)
 		checked++
@@ -580,7 +587,7 @@ func (c *Controller) VerifyAll() (checked, bad int, firstProblem string) {
 				msg := fmt.Sprintf(
 					"VerifyAll ino=%d loc=%v type=%v parent=%d writer=%d readers=%d reaped=%v allocBy=%d quarantined=%d direntNow=%d err=%v viol=%v",
 					fs.ino, fs.loc, fs.ftype, fs.parent, fs.writer, len(fs.readers),
-					c.reaped[fs.ino], c.allocBy[fs.ino], fs.quarantined, got, err, rep.Violations)
+					c.reaped.has(fs.ino), holderOf(c, fs.ino), fs.quarantined, got, err, rep.Violations)
 				if telemetry.TracingOn() {
 					for _, v := range rep.Violations {
 						var pg uint64
@@ -603,6 +610,7 @@ func (c *Controller) VerifyAll() (checked, bad int, firstProblem string) {
 				}
 			}
 		}
-	}
+		return true
+	})
 	return checked, bad, firstProblem
 }

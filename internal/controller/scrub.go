@@ -120,7 +120,7 @@ func (c *Controller) scrubCandidatesLocked(from, to nvm.PageID) []nvm.PageID {
 			out = append(out, p)
 			continue
 		}
-		if _, owned := c.pageOwner[p]; owned {
+		if c.pageOwner[p] != 0 {
 			out = append(out, p)
 		}
 	}
@@ -157,14 +157,14 @@ func (c *Controller) scrubPassLocked(from, to nvm.PageID, budget int) scrubPassR
 			break
 		}
 		if p != 0 && p != core.RootInodePage {
-			ino, owned := c.pageOwner[p]
-			if !owned {
+			ino := c.pageOwner[p]
+			if ino == 0 {
 				continue
 			}
 			// An already-quarantined file is poisoned until remount:
 			// re-auditing its pages every pass would only inflate the
 			// detection counters for corruption already acted on.
-			if fs := c.files[ino]; fs != nil && fs.corrupt {
+			if fs, _ := c.files.get(ino); fs != nil && fs.corrupt {
 				rep.Skipped++
 				continue
 			}
@@ -221,10 +221,10 @@ func (c *Controller) pageWriteMappedLocked(p nvm.PageID) bool {
 // CRC before being installed; on success the repaired image is written
 // under the mapping sessions' shootdown barriers and persisted.
 func (c *Controller) repairPageLocked(p nvm.PageID, want uint32) bool {
-	ino, owned := c.pageOwner[p]
+	ino := c.pageOwner[p]
 	var fs *fileState
-	if owned {
-		fs = c.files[ino]
+	if ino != 0 {
+		fs, _ = c.files.get(ino)
 	}
 
 	var img []byte
@@ -373,12 +373,12 @@ func (m *pageMem) Fence()                                 {}
 // superblock, the root inode page with no rebuild source) has no file
 // to poison; the mismatch stays counted and re-detected each pass.
 func (c *Controller) quarantinePageLocked(p nvm.PageID) {
-	ino, ok := c.pageOwner[p]
-	if !ok {
+	ino := c.pageOwner[p]
+	if ino == 0 {
 		c.tracePage(p, "scrub-quarantine unowned")
 		return
 	}
-	fs := c.files[ino]
+	fs, _ := c.files.get(ino)
 	if fs == nil {
 		return
 	}

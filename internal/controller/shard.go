@@ -182,12 +182,12 @@ func (c *Controller) downgradeToShard(s *lockSet, keep int) {
 // shard's membership map move together.
 
 func (c *Controller) registerFileLocked(fs *fileState) {
-	c.files[fs.ino] = fs
+	c.files.set(fs.ino, fs)
 	c.shards[c.shardIdxIno(fs.ino)].files[fs.ino] = fs
 }
 
 func (c *Controller) unregisterFileLocked(ino core.Ino) {
-	delete(c.files, ino)
+	c.files.del(ino)
 	delete(c.shards[c.shardIdxIno(ino)].files, ino)
 }
 
@@ -211,7 +211,7 @@ func (c *Controller) lockForFile(sIdx int, ino core.Ino, withParent bool) (set l
 	set.add(sIdx)
 	set.add(c.shardIdxIno(ino))
 	c.lockShards(&set)
-	fs = c.files[ino] // registry reads are safe under any shard lock
+	fs, _ = c.files.get(ino) // registry reads are safe under any shard lock
 	if fs == nil || !withParent {
 		return set, fs
 	}
@@ -226,7 +226,7 @@ func (c *Controller) lockForFile(sIdx int, ino core.Ino, withParent bool) (set l
 		c.unlockShards(&set)
 		set.add(pIdx)
 		c.lockShards(&set)
-		fs2 := c.files[ino]
+		fs2, _ := c.files.get(ino)
 		if fs2 == nil {
 			return set, nil
 		}
@@ -241,12 +241,26 @@ func (c *Controller) lockForFile(sIdx int, ino core.Ino, withParent bool) (set l
 // tabMu accessors — the global tables fast paths may touch.
 // ---------------------------------------------------------------------
 
-// ownerOf reads the verified owner of page p.
+// pageOwnerAt reads pageOwner (0 = unowned) with bounds checking, for
+// call sites whose page comes from an untrusted location hint. The
+// caller supplies the locking (tabMu or an exclusive lock set).
+func (c *Controller) pageOwnerAt(p nvm.PageID) core.Ino {
+	if int(p) >= len(c.pageOwner) {
+		return 0
+	}
+	return c.pageOwner[p]
+}
+
+// ownerOf reads the verified owner of page p. Bounds-checked: p may
+// come from an untrusted location hint.
 func (c *Controller) ownerOf(p nvm.PageID) (core.Ino, bool) {
+	if int(p) >= len(c.pageOwner) {
+		return 0, false
+	}
 	c.tabMu.Lock()
-	ino, ok := c.pageOwner[p]
+	ino := c.pageOwner[p]
 	c.tabMu.Unlock()
-	return ino, ok
+	return ino, ino != 0
 }
 
 // setPageOwner binds page p to ino (fast-path commitReport; lockAll
@@ -260,14 +274,14 @@ func (c *Controller) setPageOwner(p nvm.PageID, ino core.Ino) {
 // clearPageOwner unbinds page p.
 func (c *Controller) clearPageOwner(p nvm.PageID) {
 	c.tabMu.Lock()
-	delete(c.pageOwner, p)
+	c.pageOwner[p] = 0
 	c.tabMu.Unlock()
 }
 
 // setShadow records ino's shadow entry.
 func (c *Controller) setShadow(ino core.Ino, sh verifier.ShadowInfo) {
 	c.tabMu.Lock()
-	c.shadow[ino] = sh
+	c.shadow.set(ino, sh)
 	c.tabMu.Unlock()
 }
 
@@ -279,7 +293,9 @@ func (c *Controller) pagesOwnedWithin(pages []nvm.PageID, a, b core.Ino) bool {
 	c.tabMu.Lock()
 	defer c.tabMu.Unlock()
 	for _, p := range pages {
-		if own, ok := c.pageOwner[p]; ok && own != a && own != b {
+		// pageOwnerAt, not a direct index: the pages were collected by
+		// walking untrusted core state, which may name impossible ids.
+		if own := c.pageOwnerAt(p); own != 0 && own != a && own != b {
 			return false
 		}
 	}
@@ -289,7 +305,7 @@ func (c *Controller) pagesOwnedWithin(pages []nvm.PageID, a, b core.Ino) bool {
 // shadowOf reads the shadow entry for ino.
 func (c *Controller) shadowOf(ino core.Ino) (verifier.ShadowInfo, bool) {
 	c.tabMu.Lock()
-	sh, ok := c.shadow[ino]
+	sh, ok := c.shadow.get(ino)
 	c.tabMu.Unlock()
 	return sh, ok
 }
@@ -297,7 +313,7 @@ func (c *Controller) shadowOf(ino core.Ino) (verifier.ShadowInfo, bool) {
 // allocHolderOf reads which session the ino was issued to.
 func (c *Controller) allocHolderOf(ino core.Ino) (LibFSID, bool) {
 	c.tabMu.Lock()
-	id, ok := c.allocBy[ino]
+	id, ok := c.allocBy.get(ino)
 	c.tabMu.Unlock()
 	return id, ok
 }
@@ -308,12 +324,11 @@ func (c *Controller) allocHolderOf(ino core.Ino) (LibFSID, bool) {
 // registered session.
 func (c *Controller) addWriteRef(p nvm.PageID, delta int) {
 	c.tabMu.Lock()
-	n := c.writeRefs[p] + delta
+	n := int(c.writeRefs[p]) + delta
 	if n <= 0 {
-		delete(c.writeRefs, p)
-	} else {
-		c.writeRefs[p] = n
+		n = 0
 	}
+	c.writeRefs[p] = int32(n)
 	c.tabMu.Unlock()
 }
 
@@ -335,7 +350,7 @@ func (c *Controller) dropWriteRefs(ls *libfsState) {
 	c.tabMu.Lock()
 	for p := range ls.wmapped {
 		if n := c.writeRefs[p] - 1; n <= 0 {
-			delete(c.writeRefs, p)
+			c.writeRefs[p] = 0
 		} else {
 			c.writeRefs[p] = n
 		}
@@ -534,7 +549,7 @@ func (c *Controller) sweepShard(i int) {
 		// convoys the others.
 		sh.mu.Lock()
 		force := false
-		if fs := c.files[ino]; fs != nil && fs.writer != 0 && fs.waiters > 0 {
+		if fs, _ := c.files.get(ino); fs != nil && fs.writer != 0 && fs.waiters > 0 {
 			_, err := c.escalateLeaseFastLocked(fs)
 			force = err != nil
 		}
@@ -543,7 +558,7 @@ func (c *Controller) sweepShard(i int) {
 			continue
 		}
 		c.lockAll()
-		if fs := c.files[ino]; fs != nil && fs.writer != 0 && fs.waiters > 0 {
+		if fs, _ := c.files.get(ino); fs != nil && fs.writer != 0 && fs.waiters > 0 {
 			c.escalateLeaseLocked(fs)
 		}
 		c.unlockAll()

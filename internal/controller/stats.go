@@ -170,6 +170,18 @@ func (s *Stats) addUnmap(d time.Duration) {
 	s.UnmapNS.Add(int64(d))
 }
 
+// addMapN / addUnmapN fold a whole drained ring batch into the latency
+// accounting with two stores: n ops that together took d.
+func (s *Stats) addMapN(n int64, d time.Duration) {
+	s.MapCount.Add(n)
+	s.MapNS.Add(int64(d))
+}
+
+func (s *Stats) addUnmapN(n int64, d time.Duration) {
+	s.UnmapCnt.Add(n)
+	s.UnmapNS.Add(int64(d))
+}
+
 func (s *Stats) addVerify(d time.Duration) {
 	s.VerifyCnt.Add(1)
 	s.VerifyNS.Add(int64(d))

@@ -23,6 +23,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -181,6 +182,22 @@ func ValidateName(name string) error {
 	return nil
 }
 
+// ValidateNameBytes is ValidateName for a name still sitting in a read
+// buffer (see ReadDirentInto) — validation without the string copy.
+func ValidateNameBytes(name []byte) error {
+	switch {
+	case len(name) == 0:
+		return errors.New("core: empty file name")
+	case len(name) > MaxNameLen:
+		return fmt.Errorf("core: name longer than %d bytes", MaxNameLen)
+	case string(name) == "." || string(name) == "..":
+		return fmt.Errorf("core: reserved name %q", name)
+	case bytes.ContainsAny(name, "/\x00"):
+		return fmt.Errorf("core: name %q contains '/' or NUL", name)
+	}
+	return nil
+}
+
 // Mem abstracts how a component reaches the core state's bytes. An
 // untrusted LibFS uses an mmu.AddressSpace (permission-checked); the
 // trusted controller and verifier use Direct access to the device.
@@ -257,6 +274,27 @@ func WriteInodeBody(m Mem, p nvm.PageID, off int, in *Inode) error {
 		return err
 	}
 	return m.Persist(p, off+8, InodeSize-8)
+}
+
+// WriteDirentBody installs a dirent's inode body and name with one
+// contiguous store span — a single Write + Persist covering everything
+// but the 8-byte ino commit word, which CommitDirentIno stores after the
+// caller's fence. Equivalent to WriteInodeBody + WriteDirentName but
+// half the media operations; the caller supplies the staging buffer so
+// small-op streams stay allocation-free.
+func WriteDirentBody(m Mem, p nvm.PageID, slot int, name string, in *Inode, b *[DirentSize]byte) error {
+	if err := ValidateName(name); err != nil {
+		return err
+	}
+	EncodeInode(b[:], in)
+	binary.LittleEndian.PutUint16(b[DirentNameLenOff:], uint16(len(name)))
+	copy(b[DirentNameOff:], name)
+	end := DirentNameOff + len(name)
+	off := SlotOffset(slot)
+	if err := m.Write(p, off+8, b[8:end]); err != nil {
+		return err
+	}
+	return m.Persist(p, off+8, end-8)
 }
 
 // SlotOffset returns the byte offset of dirent slot i in its page.
@@ -337,6 +375,39 @@ func ReadDirentInode(m Mem, p nvm.PageID, slot int) (Inode, error) {
 	return ReadInode(m, p, SlotOffset(slot)+DirentInodeOff)
 }
 
+// ErrBadNameLen reports a dirent whose stored name length exceeds the
+// format maximum. ReadDirent still returns the decoded inode alongside
+// it — the name bytes are corrupt, the inode area may not be.
+var ErrBadNameLen = errors.New("core: dirent name length exceeds max")
+
+// ReadDirent reads a whole dirent slot — embedded inode plus name — in
+// a single media access. The per-access latency of NVM reads dominates
+// their bandwidth at this size, so paths that need both fields (the
+// verifier checks every mapping twice) pay one charge instead of three.
+func ReadDirent(m Mem, p nvm.PageID, slot int) (Inode, string, error) {
+	var b [DirentSize]byte
+	in, nb, err := ReadDirentInto(m, p, slot, &b)
+	return in, string(nb), err
+}
+
+// ReadDirentInto is ReadDirent reading through a caller-owned buffer;
+// the returned name aliases b (no copy). Hot paths that only validate
+// the name use this form to keep the per-read buffer off the heap.
+func ReadDirentInto(m Mem, p nvm.PageID, slot int, b *[DirentSize]byte) (Inode, []byte, error) {
+	if err := m.Read(p, SlotOffset(slot), b[:]); err != nil {
+		return Inode{}, nil, err
+	}
+	in := DecodeInode(b[DirentInodeOff:])
+	n := int(binary.LittleEndian.Uint16(b[DirentNameLenOff:]))
+	if n == 0 {
+		return in, nil, nil
+	}
+	if n > MaxNameLen {
+		return in, nil, ErrBadNameLen
+	}
+	return in, b[DirentNameOff : DirentNameOff+n], nil
+}
+
 // DirentIno reads just the 8-byte commit word of a slot — the cheap
 // "is this slot live" probe.
 func DirentIno(m Mem, p nvm.PageID, slot int) (Ino, error) {
@@ -410,6 +481,12 @@ var ErrChainTooLong = errors.New("core: index chain exceeds page budget (cycle?)
 func WalkFile(m Mem, head nvm.PageID, maxPages int,
 	indexFn func(p nvm.PageID) bool,
 	dataFn func(block uint64, p nvm.PageID) bool) error {
+	if head == nvm.NilPage {
+		// Empty file: nothing to walk. Returning before the page buffer
+		// below keeps the (stack-zeroed) 4 KiB scratch off the small-op
+		// fast paths, which walk empty files constantly.
+		return nil
+	}
 	seen := 0
 	block := uint64(0)
 	var buf [nvm.PageSize]byte

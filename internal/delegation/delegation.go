@@ -22,7 +22,6 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"trio/internal/fsapi"
 	"trio/internal/mmu"
@@ -104,9 +103,12 @@ func (e *errSlot) set(err error) {
 // LibFS on the machine (paper: "the delegation threads are shared by
 // all LibFSes").
 type Pool struct {
-	dev     *nvm.Device
-	queues  []chan *request // one ring buffer per NUMA node
-	alive   []atomic.Int32  // live workers per node
+	dev    *nvm.Device
+	queues []chan *request // one ring buffer per NUMA node
+	alive  []atomic.Int32  // live workers per node
+	// dead[node] closes when the node's last worker exits; waiters park
+	// on it instead of polling worker liveness on a timer.
+	dead    []chan struct{}
 	closed  atomic.Bool
 	wg      sync.WaitGroup
 	workers int
@@ -123,12 +125,14 @@ func NewPool(dev *nvm.Device, workersPerNode int) *Pool {
 		dev:     dev,
 		queues:  make([]chan *request, dev.Nodes()),
 		alive:   make([]atomic.Int32, dev.Nodes()),
+		dead:    make([]chan struct{}, dev.Nodes()),
 		workers: workersPerNode,
 	}
 	for node := 0; node < dev.Nodes(); node++ {
 		// The ring buffer: bounded, so a flood of requests applies
 		// backpressure instead of spawning unbounded concurrency.
 		p.queues[node] = make(chan *request, 1024)
+		p.dead[node] = make(chan struct{})
 		for w := 0; w < workersPerNode; w++ {
 			p.alive[node].Add(1)
 			p.wg.Add(1)
@@ -174,7 +178,7 @@ func (p *Pool) worker(node int) {
 	defer p.wg.Done()
 	for req := range p.queues[node] {
 		if req.poison {
-			p.alive[node].Add(-1)
+			p.workerExit(node)
 			return
 		}
 		if !req.claim() {
@@ -182,7 +186,17 @@ func (p *Pool) worker(node int) {
 		}
 		req.exec()
 	}
-	p.alive[node].Add(-1)
+	p.workerExit(node)
+}
+
+// workerExit retires one worker; the last one out closes the node's
+// death channel, waking every parked waiter so it can fail over.
+// Workers are only ever created in NewPool, so the count decreases
+// monotonically and the close fires exactly once.
+func (p *Pool) workerExit(node int) {
+	if p.alive[node].Add(-1) == 0 {
+		close(p.dead[node])
+	}
 }
 
 // exec runs the request's segments through its view, with bounded
@@ -447,12 +461,6 @@ func (b *Batch) view(node int) *mmu.View {
 	return b.views[node]
 }
 
-// failoverPoll is how often a waiter re-checks worker liveness while
-// blocked on a dispatched request. Wall-clock bound on a dead node:
-// one poll interval before the waiter claims the request and executes
-// it directly.
-const failoverPoll = 200 * time.Microsecond
-
 // Wait dispatches one range request per touched node, blocks until each
 // completes, and returns the first error. Inline batches return
 // instantly.
@@ -516,26 +524,34 @@ func (b *Batch) Wait() error {
 	return err
 }
 
-// await blocks until req completes, failing over to direct execution
-// when the node's workers died with the request still queued.
+// await parks until req completes, failing over to direct execution
+// when the node's workers died with the request still queued. There is
+// no polling: the waiter sleeps on exactly two channels — the request's
+// completion and the node's death — so on the healthy path it wakes
+// exactly once, when the worker closes done.
 func (b *Batch) await(req *request) {
-	timer := time.NewTimer(failoverPoll)
-	defer timer.Stop()
-	for {
-		select {
-		case <-req.done:
-			return
-		case <-timer.C:
-			if b.pool.AliveWorkers(req.node) == 0 && req.claim() {
-				// The workers died before dequeuing it; the claim makes
-				// any late dequeue skip it, so direct execution is safe.
-				mFailovers.IncOn(req.node)
-				req.exec()
-				return
-			}
-			timer.Reset(failoverPoll)
+	select {
+	case <-req.done:
+		if telemetry.On() {
+			mWakeups.Inc()
 		}
+		return
+	case <-b.pool.dead[req.node]:
 	}
+	if telemetry.On() {
+		mWakeups.Inc()
+	}
+	if req.claim() {
+		// The workers died before dequeuing it; the claim makes any
+		// late dequeue skip it, so direct execution is safe.
+		mFailovers.IncOn(req.node)
+		req.exec()
+		return
+	}
+	// A worker claimed it before dying. Once claimed, a request always
+	// completes and closes done (workers never die mid-request), so
+	// this second park is bounded.
+	<-req.done
 }
 
 // Delegated reports whether this batch went through the workers.

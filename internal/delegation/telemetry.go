@@ -12,4 +12,9 @@ var (
 	mDispatch  = telemetry.Default().NewCounter("delegation.requests_dispatched")
 	mFailovers = telemetry.Default().NewCounter("delegation.failovers")
 	mDirect    = telemetry.Default().NewCounter("delegation.direct_fallbacks")
+	// mWakeups counts waiter wakeups inside Batch.Wait. Parked waiters
+	// wake exactly once per dispatched request on the healthy path; a
+	// value above requests_dispatched means spurious wakeups (the old
+	// timer-poll behaviour) crept back in.
+	mWakeups = telemetry.Default().NewCounter("delegation.wait_wakeups")
 )

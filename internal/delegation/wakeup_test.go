@@ -1,0 +1,57 @@
+package delegation
+
+import (
+	"testing"
+
+	"trio/internal/mmu"
+	"trio/internal/nvm"
+	"trio/internal/telemetry"
+)
+
+// TestWaitWakesOncePerCompletion (regression for the timer-poll Wait):
+// a parked waiter must wake exactly once per dispatched request on the
+// healthy path. The old implementation re-woke every 200µs to re-check
+// worker liveness, so wait_wakeups ran ahead of requests_dispatched on
+// any request slower than the poll interval.
+func TestWaitWakesOncePerCompletion(t *testing.T) {
+	dev, as, pool := setup(t)
+	telemetry.Default().Enable()
+	t.Cleanup(telemetry.Default().Disable)
+
+	pages := []nvm.PageID{2, 3, 258, 259, 514, 515, 770, 771}
+	for _, p := range pages {
+		as.Map(p, 1, mmu.PermWrite)
+	}
+	// Slow every persist down well past the old poll interval so a
+	// polling Wait would observably over-wake.
+	fp := nvm.NewFaultPlan()
+	for _, p := range pages {
+		fp.DelayPersists(p, 2)
+	}
+	dev.SetFaultPlan(fp)
+	t.Cleanup(func() { dev.SetFaultPlan(nil) })
+
+	before := telemetry.Default().Snapshot()
+	data := make([]byte, nvm.PageSize)
+	for round := 0; round < 25; round++ {
+		b := pool.NewBatch(as, DelegateWriteMin, true, true)
+		for _, p := range pages {
+			b.Write(p, 0, data)
+		}
+		if err := b.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		b.Release()
+	}
+	after := telemetry.Default().Snapshot()
+
+	dispatched := after.Get("delegation.requests_dispatched") - before.Get("delegation.requests_dispatched")
+	wakeups := after.Get("delegation.wait_wakeups") - before.Get("delegation.wait_wakeups")
+	if dispatched == 0 {
+		t.Fatal("no requests dispatched; batch did not delegate")
+	}
+	if wakeups != dispatched {
+		t.Fatalf("wait_wakeups=%d, want exactly requests_dispatched=%d (spurious waiter wakeups)",
+			wakeups, dispatched)
+	}
+}

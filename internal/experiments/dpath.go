@@ -43,16 +43,18 @@ type DataPathResult struct {
 
 // DataPathReport is the BENCH_trio.json schema. The datapath suite
 // owns Results; the massive-tenancy sweep owns Tenancy; the tiered
-// storage experiment owns Tiering — each writer preserves the other
-// sections, so one file carries every gate.
+// storage experiment owns Tiering; the trust-boundary sweep owns
+// SmallOps — each writer preserves the other sections, so one file
+// carries every gate.
 type DataPathReport struct {
-	Schema  string           `json:"schema"`
-	Go      string           `json:"go"`
-	Quick   bool             `json:"quick"`
-	Cost    bool             `json:"cost_model"`
-	Results []DataPathResult `json:"results"`
-	Tenancy *TenancyReport   `json:"tenancy,omitempty"`
-	Tiering *TieringReport   `json:"tiering,omitempty"`
+	Schema   string           `json:"schema"`
+	Go       string           `json:"go"`
+	Quick    bool             `json:"quick"`
+	Cost     bool             `json:"cost_model"`
+	Results  []DataPathResult `json:"results"`
+	Tenancy  *TenancyReport   `json:"tenancy,omitempty"`
+	Tiering  *TieringReport   `json:"tiering,omitempty"`
+	SmallOps *SmallOpsReport  `json:"smallops,omitempty"`
 }
 
 // dpathFile is the working-set size of the file data workloads.
@@ -525,8 +527,9 @@ func WriteDataPathJSON(path string, p Params, results []DataPathResult) error {
 		Results: results,
 	}
 	if prev, err := LoadDataPathJSON(path); err == nil {
-		rep.Tenancy = prev.Tenancy // the tenancy sweep owns this section
-		rep.Tiering = prev.Tiering // the tiering experiment owns this one
+		rep.Tenancy = prev.Tenancy   // the tenancy sweep owns this section
+		rep.Tiering = prev.Tiering   // the tiering experiment owns this one
+		rep.SmallOps = prev.SmallOps // the trust-boundary sweep owns this one
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -201,6 +201,7 @@ func Registry() map[string]func(io.Writer, Params) error {
 		"datapath":  DataPath,
 		"tenancy":   Tenancy,
 		"tiering":   Tiering,
+		"smallops":  SmallOps,
 		"all":       All,
 	}
 }

@@ -3,6 +3,8 @@ package nvm
 import (
 	"math"
 	"time"
+
+	"trio/internal/telemetry"
 )
 
 // CostModel injects the modeled hardware and kernel-crossing costs.
@@ -108,13 +110,42 @@ func (c *CostModel) chargeAccess(fromNode, node int, inflight int64, n int, writ
 }
 
 // Trap charges one user/kernel crossing.
-func (c *CostModel) Trap() { c.delay(c.TrapCost) }
+func (c *CostModel) Trap() { c.TrapN(1) }
+
+// TrapN charges one user/kernel crossing that carries n queued
+// operations across the boundary (a submission-ring drain): the delay
+// is paid once, and n is recorded in telemetry so the amortization is
+// observable. This is the batch-charging half of the ring cost model —
+// the crossing cost is per drain, not per entry.
+func (c *CostModel) TrapN(n int) {
+	if n <= 0 {
+		return
+	}
+	if telemetry.On() {
+		mTrapOps.Add(int64(n))
+	}
+	c.delay(c.TrapCost)
+}
 
 // VFSMeta charges the VFS-side bookkeeping of one metadata mutation.
 func (c *CostModel) VFSMeta() { c.delay(c.VFSMetaCost) }
 
 // IPC charges one round trip to a trusted process.
-func (c *CostModel) IPC() { c.delay(c.IPCCost) }
+func (c *CostModel) IPC() { c.IPCN(1) }
+
+// IPCN charges one round trip to a trusted process on behalf of n
+// batched requests (one delay, n counted in telemetry) — e.g. a ring
+// drainer handing the verifier a whole batch of unmapped files in a
+// single crossing.
+func (c *CostModel) IPCN(n int) {
+	if n <= 0 {
+		return
+	}
+	if telemetry.On() {
+		mIPCOps.Add(int64(n))
+	}
+	c.delay(c.IPCCost)
+}
 
 // delay burns or sleeps d of simulated hardware time.
 func (c *CostModel) delay(d time.Duration) {

@@ -19,4 +19,10 @@ var (
 	mRetries     = telemetry.Default().NewCounter("nvm.retries")
 	mRetryGiveup = telemetry.Default().NewCounter("nvm.retry_giveup")
 	mCharges     = telemetry.Default().NewCounterPerShard("nvm.cost_charges")
+	// Boundary crossings charged through the cost model: the op count
+	// includes every batched op (TrapN/IPCN add n per single delay), and
+	// the delay count is the number of delays actually paid — the gap
+	// between the two is the ring amortization at work.
+	mTrapOps = telemetry.Default().NewCounter("nvm.cost_trap_ops")
+	mIPCOps  = telemetry.Default().NewCounter("nvm.cost_ipc_ops")
 )

@@ -1,0 +1,246 @@
+package ring
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Chaos coverage for the slot state machine (ISSUE 8): a session dying
+// mid-enqueue must leave either an invisible slot or a fully-claimable
+// one, the reaper's AbortOwner must recycle claims without ever
+// touching a published record, and after the dust settles the ring must
+// be fully reusable. The sweep below enumerates death points the way
+// the PR 1 crash harness enumerates persist points: one run per (op
+// index, stage) pair over the submit→claim→publish→drain machine.
+
+// stage is where in its lifecycle a doomed op's owner dies.
+type stage int
+
+const (
+	dieBeforeClaim  stage = iota // process dies before touching the ring
+	dieAfterClaim                // dies holding a Claimed slot (the hard case)
+	dieAfterPublish              // dies with the record Published
+	stageCount
+)
+
+// TestCrashPointSweep replays a fixed script for every (k, stage):
+// a live owner submits ops interleaved with a doomed owner whose k-th
+// op dies at the given stage; the reaper then aborts the doomed owner
+// and the consumer drains. Invariants, every run:
+//   - every op the live owner had acked is drained exactly once, in order
+//   - no op of the doomed owner past its death is ever drained
+//   - a doomed op that died before publish is never drained
+//   - the ring ends empty and completes one more full lap cleanly
+func TestCrashPointSweep(t *testing.T) {
+	const script = 24 // ops per owner per run
+	for st := stage(0); st < stageCount; st++ {
+		for k := 0; k < script; k++ {
+			r := New[int](SQ, 64)
+			const live, doomed = 1, 2
+
+			acked := make(map[int]bool) // live-owner values acked by Submit
+			doomedAcked := make(map[int]bool)
+			dead := false
+			for i := 0; i < script; i++ {
+				// Live owner interleaves with the doomed one.
+				if err := r.Submit(live, i); err != nil {
+					t.Fatalf("stage %d k=%d: live submit %d: %v", st, k, i, err)
+				}
+				acked[i] = true
+				if dead {
+					continue
+				}
+				v := 1000 + i
+				if i == k {
+					// The doomed op: die at the armed stage.
+					dead = true
+					switch st {
+					case dieBeforeClaim:
+						// Process died before the enqueue: invisible.
+					case dieAfterClaim:
+						r.TestHookAfterClaim = func(o uint32) bool { return o != doomed }
+						if err := r.Submit(doomed, v); err != ErrAborted {
+							t.Fatalf("stage %d k=%d: abandoned submit: %v, want ErrAborted", st, k, err)
+						}
+						r.TestHookAfterClaim = nil
+					case dieAfterPublish:
+						if err := r.Submit(doomed, v); err != nil {
+							t.Fatalf("stage %d k=%d: doomed submit: %v", st, k, err)
+						}
+						doomedAcked[v] = true
+					}
+					continue
+				}
+				if err := r.Submit(doomed, v); err != nil {
+					t.Fatalf("stage %d k=%d: doomed submit %d: %v", st, k, v, err)
+				}
+				doomedAcked[v] = true
+			}
+
+			// The reaper runs: abort the dead owner's claims.
+			r.AbortOwner(doomed)
+
+			got, _ := drainAll(r)
+			next := 0
+			for _, e := range got {
+				switch e.Owner {
+				case live:
+					if e.Val != next {
+						t.Fatalf("stage %d k=%d: live order broken: got %d want %d", st, k, e.Val, next)
+					}
+					next++
+				case doomed:
+					if !doomedAcked[e.Val] {
+						t.Fatalf("stage %d k=%d: drained doomed value %d that was never acked", st, k, e.Val)
+					}
+					delete(doomedAcked, e.Val) // exactly once
+				default:
+					t.Fatalf("stage %d k=%d: unknown owner %d", st, k, e.Owner)
+				}
+			}
+			if next != len(acked) {
+				t.Fatalf("stage %d k=%d: live ops drained %d, acked %d (acked op lost)", st, k, next, len(acked))
+			}
+			if len(doomedAcked) != 0 {
+				t.Fatalf("stage %d k=%d: %d acked doomed ops never drained", st, k, len(doomedAcked))
+			}
+			if r.Depth() != 0 {
+				t.Fatalf("stage %d k=%d: depth %d after full drain", st, k, r.Depth())
+			}
+			// The ring must be fully reusable: one more complete lap.
+			for i := 0; i < r.Cap(); i++ {
+				if err := r.Submit(live, i); err != nil {
+					t.Fatalf("stage %d k=%d: post-reap lap submit %d: %v", st, k, i, err)
+				}
+			}
+			if got, _ := drainAll(r); len(got) != r.Cap() {
+				t.Fatalf("stage %d k=%d: post-reap lap drained %d, want %d", st, k, len(got), r.Cap())
+			}
+		}
+	}
+}
+
+// TestAbortOwnerLeavesPublished: the reaper must never abort a record
+// the producer had already published — those drain normally (the layer
+// above drops the completion for the dead session).
+func TestAbortOwnerLeavesPublished(t *testing.T) {
+	r := New[int](SQ, 64)
+	for i := 0; i < 10; i++ {
+		if err := r.Submit(5, i); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	if n := r.AbortOwner(5); n != 0 {
+		t.Fatalf("AbortOwner aborted %d published entries", n)
+	}
+	got, aborted := drainAll(r)
+	if len(got) != 10 || aborted != 0 {
+		t.Fatalf("drained %d (aborted %d), want 10 (0)", len(got), aborted)
+	}
+}
+
+// TestChaosConcurrentReap races producers, a draining consumer and a
+// reaper that repeatedly aborts one owner mid-traffic. Every submit
+// that returned nil must be drained exactly once; every submit that
+// returned ErrAborted must never be drained.
+func TestChaosConcurrentReap(t *testing.T) {
+	r := New[int](SQ, 128)
+	const producers = 4
+	const perProducer = 4000
+	const victim = uint32(producers) // the last producer gets reaped
+
+	var acked [producers + 1]sync.Map // owner -> set of acked values
+	var aborted atomic.Int64
+
+	stopReaper := make(chan struct{})
+	var reaperWG sync.WaitGroup
+	reaperWG.Add(1)
+	go func() {
+		defer reaperWG.Done()
+		for {
+			select {
+			case <-stopReaper:
+				return
+			default:
+				r.AbortOwner(victim)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for p := 1; p <= producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				v := p*perProducer + i
+				for {
+					err := r.Submit(uint32(p), v)
+					if err == nil {
+						acked[p].Store(v, true)
+						break
+					}
+					if err == ErrAborted {
+						aborted.Add(1)
+						break // op died with its owner; never retried
+					}
+					// ErrFull: wait for the consumer.
+				}
+			}
+		}(p)
+	}
+
+	drained := make(map[int]int)
+	consumerDone := make(chan struct{})
+	producersDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		buf := make([]Entry[int], 64)
+		for {
+			n, _ := r.Drain(buf)
+			for _, e := range buf[:n] {
+				drained[e.Val]++
+			}
+			if n == 0 {
+				select {
+				case <-producersDone:
+					if n2, _ := r.Drain(buf); n2 > 0 {
+						for _, e := range buf[:n2] {
+							drained[e.Val]++
+						}
+						continue
+					}
+					return
+				case <-r.Bell():
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stopReaper)
+	reaperWG.Wait()
+	// One final reap pass: claims the racing reaper may have missed.
+	r.AbortOwner(victim)
+	close(producersDone)
+	<-consumerDone
+
+	ackedTotal := 0
+	for p := 1; p <= producers; p++ {
+		acked[p].Range(func(k, _ any) bool {
+			ackedTotal++
+			v := k.(int)
+			if drained[v] != 1 {
+				t.Fatalf("acked value %d drained %d times, want exactly 1", v, drained[v])
+			}
+			delete(drained, v)
+			return true
+		})
+	}
+	// Everything drained but not acked would be a leaked completion.
+	for v, n := range drained {
+		t.Fatalf("value %d drained %d times but never acked (leaked completion)", v, n)
+	}
+	t.Logf("acked %d, reaper aborted %d mid-submit", ackedTotal, aborted.Load())
+}

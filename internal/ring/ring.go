@@ -1,0 +1,305 @@
+// Package ring implements the shared-memory submission/completion rings
+// that carry requests across Trio's trust boundary (ISSUE 8 — io_uring
+// for Trio). A ring is a fixed-capacity array of slots, multi-producer /
+// single-consumer, with each slot's lifecycle driven entirely by CAS on
+// a packed control word:
+//
+//	Free(lap) ──CAS producer──▶ Claimed(lap,owner)
+//	Claimed   ──CAS producer──▶ Published(lap,owner)   (value visible)
+//	Claimed   ──CAS reaper  ──▶ Aborted(lap,owner)     (owner died)
+//	Published / Aborted ──consumer──▶ Free(lap+1)
+//
+// The control word packs state (2 bits), lap (30 bits) and owner
+// (32 bits). The lap — sequence number divided by capacity — is what
+// makes death mid-submit safe: a slot claimed for sequence t can never
+// be confused with the same slot one revolution later, so the drainer
+// either sees a fully Published record or an entry the reaper can CAS
+// to Aborted; there is no torn intermediate it could execute. Laps wrap
+// after 2^30 revolutions (≥ 2^36 ops at the minimum capacity); no
+// simulated workload approaches that.
+//
+// The consumer drains in batches — that is the whole point: the caller
+// charges one boundary crossing (CostModel.TrapN/IPCN) per drained
+// batch instead of per operation. A capacity-1 doorbell channel lets
+// the consumer park between batches without polling.
+package ring
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"trio/internal/telemetry"
+)
+
+// Errors returned by Submit.
+var (
+	// ErrFull means the ring had no free slot: the consumer is a full
+	// lap behind. Callers fall back to the synchronous path.
+	ErrFull = errors.New("ring: full")
+	// ErrAborted means the reaper aborted the producer's claim between
+	// claim and publish (the owner was declared dead mid-submit).
+	ErrAborted = errors.New("ring: entry aborted by reaper")
+)
+
+// Slot states (bits 62–63 of the control word).
+const (
+	stFree uint64 = iota
+	stClaimed
+	stPublished
+	stAborted
+)
+
+const (
+	stateShift = 62
+	lapShift   = 32
+	lapMask    = (1 << 30) - 1
+	ownerMask  = (1 << 32) - 1
+)
+
+func pack(state, lap uint64, owner uint32) uint64 {
+	return state<<stateShift | (lap&lapMask)<<lapShift | uint64(owner)
+}
+
+func unpack(ctl uint64) (state, lap uint64, owner uint32) {
+	return ctl >> stateShift, (ctl >> lapShift) & lapMask, uint32(ctl & ownerMask)
+}
+
+// Entry is one drained record: the value plus the session/owner id the
+// producer claimed the slot under (the consumer drops completions for
+// owners that died between publish and drain).
+type Entry[T any] struct {
+	Owner uint32
+	Val   T
+}
+
+type slot[T any] struct {
+	ctl atomic.Uint64
+	val T
+}
+
+// Kind selects which depth histogram a ring's drains feed.
+type Kind int
+
+const (
+	// SQ is a submission ring (requests flowing toward trusted code).
+	SQ Kind = iota
+	// CQ is a completion ring (results flowing back to a session).
+	CQ
+)
+
+// Ring is a fixed-capacity MPSC ring. Producers call Submit
+// concurrently; exactly one consumer calls Drain. AbortOwner may be
+// called by any goroutine (the reaper) at any time.
+type Ring[T any] struct {
+	slots []slot[T]
+	mask  uint64
+	kind  Kind
+
+	tail atomic.Uint64 // next sequence number to claim
+	// head is the consumer's private cursor; headPub mirrors it for
+	// Depth() readers on other goroutines.
+	head    uint64
+	headPub atomic.Uint64
+
+	bell chan struct{}
+
+	// TestHookAfterClaim, when non-nil, runs after a producer claims a
+	// slot and before it publishes; returning false abandons the submit
+	// with the slot left Claimed — simulating a process dying
+	// mid-enqueue. Test-only; the nil check is the only fast-path cost.
+	TestHookAfterClaim func(owner uint32) bool
+}
+
+// New builds a ring with capacity rounded up to a power of two (minimum
+// 64, so a lap is never shorter than a realistic drain batch).
+func New[T any](kind Kind, capacity int) *Ring[T] {
+	n := 64
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring[T]{
+		slots: make([]slot[T], n),
+		mask:  uint64(n - 1),
+		kind:  kind,
+		bell:  make(chan struct{}, 1),
+	}
+}
+
+// Cap reports the slot count.
+func (r *Ring[T]) Cap() int { return len(r.slots) }
+
+// Depth reports the submitted-but-undrained entry count (approximate
+// under concurrency; exact when quiescent).
+func (r *Ring[T]) Depth() int {
+	d := int64(r.tail.Load()) - int64(r.headPub.Load())
+	if d < 0 {
+		d = 0
+	}
+	return int(d)
+}
+
+// Bell returns the doorbell: the consumer parks on it between drains.
+// One token is pending whenever an entry was published or aborted since
+// the last receive.
+func (r *Ring[T]) Bell() <-chan struct{} { return r.bell }
+
+func (r *Ring[T]) ring() {
+	select {
+	case r.bell <- struct{}{}:
+	default:
+	}
+}
+
+// Submit claims the next slot, writes v, and publishes it. owner must
+// be non-zero (it is how the reaper finds a dead session's claims).
+// Returns ErrFull when the consumer is a full lap behind and ErrAborted
+// when a reaper killed the claim before it could publish.
+func (r *Ring[T]) Submit(owner uint32, v T) error {
+	for {
+		t := r.tail.Load()
+		lap := (t / uint64(len(r.slots))) & lapMask
+		s := &r.slots[t&r.mask]
+		cur := s.ctl.Load()
+		st, slap, _ := unpack(cur)
+		switch {
+		case slap == lap && st == stFree:
+			if !s.ctl.CompareAndSwap(cur, pack(stClaimed, lap, owner)) {
+				continue // another producer took seq t
+			}
+			// Help the tail forward so a stalled producer cannot wedge
+			// the ring; losing the CAS just means someone else helped.
+			r.tail.CompareAndSwap(t, t+1)
+			if r.TestHookAfterClaim != nil && !r.TestHookAfterClaim(owner) {
+				return ErrAborted // simulated death mid-submit: slot stays Claimed
+			}
+			s.val = v
+			if !s.ctl.CompareAndSwap(pack(stClaimed, lap, owner), pack(stPublished, lap, owner)) {
+				// The reaper aborted this claim; the consumer recycles
+				// the slot. The value was written but never published —
+				// invisible, exactly like a store that never retired.
+				var zero T
+				s.val = zero
+				return ErrAborted
+			}
+			mSubmits.Add(1)
+			r.ring()
+			return nil
+		case slap == lap:
+			// Someone claimed sequence t but the tail still points at
+			// it: help and retry at t+1.
+			r.tail.CompareAndSwap(t, t+1)
+		case (lap-slap)&lapMask == 1:
+			// The slot still holds last lap's entry: consumer behind.
+			mFull.Add(1)
+			return ErrFull
+		default:
+			// Slot lap is ahead of our stale tail read; reload.
+		}
+	}
+}
+
+// Drain moves published entries into buf, starting at the consumer's
+// cursor and stopping at the first slot that is not ready (Free or
+// still Claimed — FIFO order is preserved even across an in-flight
+// producer). Aborted slots are recycled and counted, not returned.
+// Single consumer only.
+func (r *Ring[T]) Drain(buf []Entry[T]) (n, aborted int) {
+	for n < len(buf) {
+		s := &r.slots[r.head&r.mask]
+		lap := (r.head / uint64(len(r.slots))) & lapMask
+		st, slap, owner := unpack(s.ctl.Load())
+		if slap != lap {
+			break // nothing published at this sequence yet
+		}
+		switch st {
+		case stPublished:
+			buf[n] = Entry[T]{Owner: owner, Val: s.val}
+			var zero T
+			s.val = zero
+			s.ctl.Store(pack(stFree, (lap+1)&lapMask, 0))
+			n++
+			r.head++
+		case stAborted:
+			s.ctl.Store(pack(stFree, (lap+1)&lapMask, 0))
+			aborted++
+			r.head++
+		default:
+			// Free (not yet claimed) or Claimed (producer mid-publish,
+			// or a dead session's claim the reaper has not aborted
+			// yet): stop — consuming past it would reorder.
+			r.headPub.Store(r.head)
+			r.observeDrain(n, aborted)
+			return n, aborted
+		}
+	}
+	r.headPub.Store(r.head)
+	r.observeDrain(n, aborted)
+	return n, aborted
+}
+
+func (r *Ring[T]) observeDrain(n, aborted int) {
+	if n == 0 && aborted == 0 {
+		return
+	}
+	if !telemetry.On() {
+		return
+	}
+	mDrains.Inc()
+	mDrained.Add(int64(n))
+	if aborted > 0 {
+		mAborted.Add(int64(aborted))
+	}
+	mDrainBatch.Observe(int64(n))
+	depth := int64(r.tail.Load()) - int64(r.head)
+	if depth < 0 {
+		depth = 0
+	}
+	if r.kind == CQ {
+		mCQDepth.Observe(depth)
+	} else {
+		mSQDepth.Observe(depth)
+	}
+}
+
+// AbortOwner CASes every Claimed slot of the given owner to Aborted —
+// the reaper's half of death-safety. Published entries are left alone:
+// they drain normally and the consumer drops their completions. Returns
+// how many claims were aborted and rings the bell so the consumer
+// recycles them promptly.
+func (r *Ring[T]) AbortOwner(owner uint32) int {
+	aborted := 0
+	for i := range r.slots {
+		s := &r.slots[i]
+		for {
+			cur := s.ctl.Load()
+			st, lap, own := unpack(cur)
+			if st != stClaimed || own != owner {
+				break
+			}
+			if s.ctl.CompareAndSwap(cur, pack(stAborted, lap, owner)) {
+				aborted++
+				break
+			}
+		}
+	}
+	if aborted > 0 {
+		mAborts.Add(int64(aborted))
+		r.ring()
+	}
+	return aborted
+}
+
+// Shared instruments: every ring in the process feeds the same family
+// (NewCounter/NewHistogram return the existing instrument on re-
+// registration, so package init order does not matter).
+var (
+	mSubmits    = telemetry.Default().NewCounter("ring.submits")
+	mFull       = telemetry.Default().NewCounter("ring.full")
+	mAborts     = telemetry.Default().NewCounter("ring.aborts")
+	mAborted    = telemetry.Default().NewCounter("ring.aborted_drained")
+	mDrains     = telemetry.Default().NewCounter("ring.drains")
+	mDrained    = telemetry.Default().NewCounter("ring.drained")
+	mSQDepth    = telemetry.Default().NewHistogram("ring.sq.depth")
+	mCQDepth    = telemetry.Default().NewHistogram("ring.cq.depth")
+	mDrainBatch = telemetry.Default().NewHistogram("ring.drain.batch")
+)

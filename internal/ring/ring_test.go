@@ -1,0 +1,226 @@
+package ring
+
+import (
+	"sync"
+	"testing"
+)
+
+func drainAll(r *Ring[int]) ([]Entry[int], int) {
+	var out []Entry[int]
+	aborted := 0
+	buf := make([]Entry[int], 16)
+	for {
+		n, a := r.Drain(buf)
+		aborted += a
+		out = append(out, buf[:n]...)
+		if n == 0 && a == 0 {
+			return out, aborted
+		}
+	}
+}
+
+func TestSubmitDrainFIFO(t *testing.T) {
+	r := New[int](SQ, 64)
+	for i := 0; i < 40; i++ {
+		if err := r.Submit(7, i); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if got := r.Depth(); got != 40 {
+		t.Fatalf("depth = %d, want 40", got)
+	}
+	got, aborted := drainAll(r)
+	if aborted != 0 {
+		t.Fatalf("aborted = %d, want 0", aborted)
+	}
+	if len(got) != 40 {
+		t.Fatalf("drained %d entries, want 40", len(got))
+	}
+	for i, e := range got {
+		if e.Val != i || e.Owner != 7 {
+			t.Fatalf("entry %d = {owner %d, val %d}, want {7, %d}", i, e.Owner, e.Val, i)
+		}
+	}
+	if got := r.Depth(); got != 0 {
+		t.Fatalf("depth after drain = %d, want 0", got)
+	}
+}
+
+func TestFullThenDrainReopens(t *testing.T) {
+	r := New[int](SQ, 64)
+	n := r.Cap()
+	for i := 0; i < n; i++ {
+		if err := r.Submit(1, i); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if err := r.Submit(1, n); err != ErrFull {
+		t.Fatalf("submit into full ring: %v, want ErrFull", err)
+	}
+	buf := make([]Entry[int], 1)
+	if got, _ := r.Drain(buf); got != 1 {
+		t.Fatalf("drain = %d, want 1", got)
+	}
+	if err := r.Submit(1, n); err != nil {
+		t.Fatalf("submit after partial drain: %v", err)
+	}
+}
+
+// TestLapWrap pushes the ring through many revolutions so slot laps
+// advance and recycled slots keep their sequencing.
+func TestLapWrap(t *testing.T) {
+	r := New[int](SQ, 64)
+	buf := make([]Entry[int], 8)
+	next := 0
+	for i := 0; i < 50*r.Cap(); i++ {
+		if err := r.Submit(3, i); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if i%3 == 0 {
+			n, a := r.Drain(buf)
+			if a != 0 {
+				t.Fatalf("unexpected aborts: %d", a)
+			}
+			for _, e := range buf[:n] {
+				if e.Val != next {
+					t.Fatalf("drained %d, want %d (FIFO broken across laps)", e.Val, next)
+				}
+				next++
+			}
+		}
+	}
+	got, _ := drainAll(r)
+	for _, e := range got {
+		if e.Val != next {
+			t.Fatalf("drained %d, want %d", e.Val, next)
+		}
+		next++
+	}
+	if next != 50*r.Cap() {
+		t.Fatalf("drained %d total, want %d", next, 50*r.Cap())
+	}
+}
+
+// TestConcurrentProducers hammers one ring from many goroutines while a
+// consumer drains; every submitted value must be drained exactly once.
+func TestConcurrentProducers(t *testing.T) {
+	r := New[int](SQ, 128)
+	const producers = 8
+	const perProducer = 2000
+
+	seen := make(map[int]int)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]Entry[int], 64)
+		total := 0
+		for total < producers*perProducer {
+			n, _ := r.Drain(buf)
+			if n == 0 {
+				<-r.Bell()
+				continue
+			}
+			for _, e := range buf[:n] {
+				seen[e.Val]++
+			}
+			total += n
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				v := p*perProducer + i
+				for {
+					err := r.Submit(uint32(p+1), v)
+					if err == nil {
+						break
+					}
+					if err != ErrFull {
+						t.Errorf("submit: %v", err)
+						return
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	<-done
+
+	if len(seen) != producers*perProducer {
+		t.Fatalf("drained %d distinct values, want %d", len(seen), producers*perProducer)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d drained %d times", v, n)
+		}
+	}
+}
+
+// TestPerProducerOrder: an MPSC ring only promises per-producer FIFO;
+// check it under contention.
+func TestPerProducerOrder(t *testing.T) {
+	r := New[int](SQ, 64)
+	const producers = 4
+	const perProducer = 5000
+
+	last := make([]int, producers+1)
+	for i := range last {
+		last[i] = -1
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]Entry[int], 32)
+		total := 0
+		for total < producers*perProducer {
+			n, _ := r.Drain(buf)
+			if n == 0 {
+				<-r.Bell()
+				continue
+			}
+			for _, e := range buf[:n] {
+				if e.Val <= last[e.Owner] {
+					t.Errorf("owner %d: drained %d after %d", e.Owner, e.Val, last[e.Owner])
+					return
+				}
+				last[e.Owner] = e.Val
+			}
+			total += n
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for p := 1; p <= producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				for r.Submit(uint32(p), i) == ErrFull {
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	<-done
+}
+
+func BenchmarkRingSubmit(b *testing.B) {
+	r := New[uint64](SQ, 4096)
+	buf := make([]Entry[uint64], 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Submit(1, uint64(i)); err == ErrFull {
+			r.Drain(buf)
+			i--
+			continue
+		}
+		if i&255 == 255 {
+			r.Drain(buf)
+		}
+	}
+}

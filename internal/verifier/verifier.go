@@ -27,6 +27,7 @@
 package verifier
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -118,6 +119,11 @@ type Report struct {
 	// violation per dirent slot, and the report must stay bounded no
 	// matter what the bytes say.
 	Truncated bool
+
+	// buf stages the dirent read (see core.ReadDirentInto); keeping it
+	// in the report means the hot verification path does no per-call
+	// buffer allocation.
+	buf [core.DirentSize]byte
 }
 
 // maxViolations bounds a report's violation list. One corrupt page can
@@ -155,7 +161,25 @@ func (r *Report) addf(inv, format string, args ...any) {
 // VerifyFile checks the file whose inode sits at loc. isRoot relaxes the
 // name check for the root directory (whose dirent has no name).
 func (v *Verifier) VerifyFile(env Env, ino core.Ino, loc core.FileLoc, isRoot bool) (*Report, error) {
-	r := &Report{Ino: ino}
+	r := &Report{}
+	if err := v.VerifyFileInto(r, env, ino, loc, isRoot); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// VerifyFileInto is VerifyFile writing into a caller-owned report — the
+// batch-verification form: a drainer checking a stream of small files
+// reuses one report instead of allocating per file. The report is fully
+// reset; Violations and Pages reuse their backing arrays, Children is
+// detached (callers retain it as the directory's verified child list).
+func (v *Verifier) VerifyFileInto(r *Report, env Env, ino core.Ino, loc core.FileLoc, isRoot bool) error {
+	r.Ino = ino
+	r.Violations = r.Violations[:0]
+	r.Pages = r.Pages[:0]
+	r.Children = nil
+	r.Inode = core.Inode{}
+	r.Truncated = false
 	defer func() {
 		if telemetry.On() {
 			mReports.IncOn(int(ino))
@@ -166,13 +190,16 @@ func (v *Verifier) VerifyFile(env Env, ino core.Ino, loc core.FileLoc, isRoot bo
 		}
 	}()
 
-	in, err := core.ReadDirentInode(v.mem, loc.Page, loc.Slot)
-	if err != nil {
-		// Unreadable inode bytes are a verification failure, not a
+	// One media access covers the whole dirent: inode and name together
+	// (the slot is self-contained, and two extra reads per verification
+	// would double the charged boundary cost of every small op).
+	in, name, nameErr := core.ReadDirentInto(v.mem, loc.Page, loc.Slot, &r.buf)
+	if nameErr != nil && !errors.Is(nameErr, core.ErrBadNameLen) {
+		// Unreadable slot bytes are a verification failure, not a
 		// verifier failure: the caller must see a Report (and roll the
 		// file back), whatever is in the slot.
-		r.addf("I1", "unreadable inode at page %d slot %d: %v", loc.Page, loc.Slot, err)
-		return r, nil
+		r.addf("I1", "unreadable inode at page %d slot %d: %v", loc.Page, loc.Slot, nameErr)
+		return nil
 	}
 	r.Inode = in
 
@@ -182,16 +209,15 @@ func (v *Verifier) VerifyFile(env Env, ino core.Ino, loc core.FileLoc, isRoot bo
 	}
 	if in.Type != core.TypeReg && in.Type != core.TypeDir {
 		r.addf("I1", "invalid file type %d", in.Type)
-		return r, nil // nothing further can be checked sensibly
+		return nil // nothing further can be checked sensibly
 	}
 	if in.Mode > 0o7777 {
 		r.addf("I1", "invalid mode %#o", in.Mode)
 	}
-	name, err := core.ReadDirentName(v.mem, loc.Page, loc.Slot)
-	if err != nil {
-		r.addf("I1", "unreadable name: %v", err)
+	if nameErr != nil {
+		r.addf("I1", "unreadable name: %v", nameErr)
 	} else if !isRoot {
-		if nerr := core.ValidateName(name); nerr != nil {
+		if nerr := core.ValidateNameBytes(name); nerr != nil {
 			r.addf("I1", "invalid name: %v", nerr)
 		}
 	}
@@ -209,7 +235,7 @@ func (v *Verifier) VerifyFile(env Env, ino core.Ino, loc core.FileLoc, isRoot bo
 	if in.Type == core.TypeDir {
 		v.checkDirectory(env, r, blocks)
 	}
-	return r, nil
+	return nil
 }
 
 // checkShadow compares an inode's cached permission fields against the
@@ -236,6 +262,9 @@ func (v *Verifier) checkShadow(env Env, r *Report, in *core.Inode, what string) 
 // checkPages walks the index chain, enforcing I2, and returns the live
 // (block → data page) mapping for directory content checks.
 func (v *Verifier) checkPages(env Env, r *Report, head nvm.PageID) map[uint64]nvm.PageID {
+	if head == nvm.NilPage {
+		return nil // empty file: no chain, no bookkeeping to allocate
+	}
 	blocks := make(map[uint64]nvm.PageID)
 	seen := make(map[nvm.PageID]bool)
 	total := env.TotalPages()

@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"trio/internal/controller"
+	"trio/internal/nvm"
+)
+
+func runSmallOpsOnce(t *testing.T, spec SmallOpsSpec, cost bool, ringDepth int) SmallOpsResult {
+	t.Helper()
+	var cm *nvm.CostModel
+	if cost {
+		cm = nvm.DefaultCostModel()
+	}
+	dev, err := nvm.NewDevice(nvm.Config{Nodes: 1, PagesPerNode: spec.DevicePages(), Cost: cm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := controller.New(dev, controller.Options{
+		Shards:    4,
+		LeaseTime: 200 * time.Millisecond,
+		RingDepth: ringDepth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := RunSmallOps(c, spec)
+	if err != nil {
+		t.Fatalf("smallops %s (ring=%d): %v", spec.Mode, ringDepth, err)
+	}
+	return res
+}
+
+// TestSmallOpsModes is the functional smoke: every mode completes, on
+// both the synchronous and the ringed path, and reports sane counts.
+func TestSmallOpsModes(t *testing.T) {
+	for _, mode := range []string{"append", "create", "mapunmap"} {
+		for _, depth := range []int{0, 64} {
+			spec := SmallOpsSpec{Threads: 4, OpsPerThread: 40, Mode: mode}
+			res := runSmallOpsOnce(t, spec, false, depth)
+			if res.Cycles != int64(4*40) {
+				t.Fatalf("%s ring=%d: cycles = %d, want %d", mode, depth, res.Cycles, 4*40)
+			}
+			if res.Ops < res.Cycles*2 {
+				t.Fatalf("%s ring=%d: ops = %d below 2/cycle", mode, depth, res.Ops)
+			}
+			if mode == "append" && res.Bytes != res.Cycles*4096 {
+				t.Fatalf("append ring=%d: bytes = %d", depth, res.Bytes)
+			}
+		}
+	}
+}

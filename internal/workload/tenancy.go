@@ -435,11 +435,8 @@ func tenancySetup(c *controller.Controller, spec TenancySpec) ([]tenant, []hotFi
 // writeDirent installs a complete dirent (inode body, name, then the
 // committing ino store) at the given page and slot.
 func writeDirent(m core.Mem, dp nvm.PageID, slot int, name string, in *core.Inode) error {
-	off := core.SlotOffset(slot)
-	if err := core.WriteInodeBody(m, dp, off, in); err != nil {
-		return err
-	}
-	if err := core.WriteDirentName(m, dp, slot, name); err != nil {
+	var b [core.DirentSize]byte
+	if err := core.WriteDirentBody(m, dp, slot, name, in, &b); err != nil {
 		return err
 	}
 	m.Fence()

@@ -35,6 +35,11 @@
 #      >= 5x backend-direct, zero dirty pages after the drain, outage
 #      writes acked, breaker closed after recovery) exit nonzero on
 #      violation.
+#  10. a trust-boundary smoke: the ring submit fast path must report
+#      0 allocs/op, and trio-bench -experiment smallops -quick runs
+#      shrunken interleaved sync-vs-ring pairs with the cost model on;
+#      its in-process gates (ringed speedup floor on the metadata
+#      modes) exit nonzero on violation.
 #
 # Any failure stops the run with a non-zero exit.
 set -eu
@@ -51,7 +56,7 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrency-bearing packages)"
-go test -race ./internal/fstest/... ./internal/libfs/... ./internal/telemetry/... ./internal/controller/... ./internal/tier/... ./internal/backend/...
+go test -race ./internal/fstest/... ./internal/libfs/... ./internal/telemetry/... ./internal/controller/... ./internal/tier/... ./internal/backend/... ./internal/ring/...
 
 echo "== fuzz smoke (verifier adversarial targets, 10s each)"
 go test -run='^$' -fuzz='^FuzzVerifyRegular$' -fuzztime=10s ./internal/verifier/
@@ -95,5 +100,20 @@ echo "== tiering smoke (write-back tier; hot-read, drain, and breaker gates)"
 # backend-direct, a drain that leaves dirty pages, unacked outage
 # writes, or a breaker stuck open all print the violations and exit 1.
 go run ./cmd/trio-bench -experiment tiering -quick > /dev/null
+
+echo "== smallops smoke (ring submit allocs; sync-vs-ring speedup gates)"
+# The submission fast path must stay allocation-free: an alloc per
+# submit would dwarf the trap amortization the rings exist to buy.
+ring_allocs=$(go test -run='^$' -bench='^BenchmarkRingSubmit' -benchtime=100x -benchmem ./internal/ring/ \
+	| awk '/^BenchmarkRingSubmit/ { n++; if ($(NF-1) + 0 != 0) bad = 1 } END { if (n == 0) bad = 1; print bad + 0 }')
+if [ "$ring_allocs" != "0" ]; then
+	echo "FAIL: ring submit path allocates (see benchmarks above)" >&2
+	exit 1
+fi
+# The quick sweep's gates live in trio-bench itself (see
+# experiments.CheckSmallOpsGate): ringed submission below the quick
+# speedup floor on both metadata modes prints the violations and
+# exits 1.
+go run ./cmd/trio-bench -experiment smallops -quick > /dev/null
 
 echo "== all checks passed"
