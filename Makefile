@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-go fuzz tenancy tiering smallops
+.PHONY: check build test race vet bench bench-go fuzz tenancy tiering smallops serve
 
 # The full gate: vet + build + tests + race detector + fuzz smoke.
 # CI runs this.
@@ -15,10 +15,13 @@ test:
 
 # Race-detect the packages that exercise real concurrency: the
 # conformance suite's parallel cases, the LibFS they drive, the
-# telemetry registry/ring everything records into, and the write-back
-# tier plus the simulated backend under it.
+# telemetry registry/ring everything records into, the write-back
+# tier plus the simulated backend under it, and the wire-serving
+# front-end (pipelined connections, out-of-order workers) with its
+# multi-client load generator.
 race:
-	$(GO) test -race ./internal/fstest/... ./internal/libfs/... ./internal/telemetry/... ./internal/controller/... ./internal/tier/... ./internal/backend/... ./internal/ring/...
+	$(GO) test -race ./internal/fstest/... ./internal/libfs/... ./internal/telemetry/... ./internal/controller/... ./internal/tier/... ./internal/backend/... ./internal/ring/... ./internal/serve/...
+	$(GO) test -race -run '^TestNetLoad' ./internal/workload/
 
 vet:
 	$(GO) vet ./...
@@ -66,6 +69,15 @@ tiering:
 # machine — the pairs are wall-clock measurements.
 smallops:
 	$(GO) run ./cmd/trio-bench -experiment smallops -json BENCH_trio.json
+
+# Wire-serving experiment (ISSUE 9): one trio-serve connection against
+# an in-process ArckFS server, serial RPC (depth 1) vs pipelined
+# (depth 8), cost model on — merged into the "serving" section of
+# BENCH_trio.json and gated on pipelining reaching >= 2x serial
+# throughput. See EXPERIMENTS.md "Network serving". Run on an
+# otherwise-idle machine — the pairs are wall-clock measurements.
+serve:
+	$(GO) run ./cmd/trio-bench -experiment serving -json BENCH_trio.json
 
 # The full Go benchmark suite: paper figures, ablations, and the
 # datapath families (testing.B form of the harness above).

@@ -46,7 +46,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "experiment id (fig5..fig10, tab3, tab5, integrity, datapath, tenancy, tiering, smallops, all)")
+		experiment = flag.String("experiment", "", "experiment id (fig5..fig10, tab3, tab5, integrity, datapath, tenancy, tiering, smallops, serving, all)")
 		quick      = flag.Bool("quick", false, "shrink sweeps and op counts")
 		nocost     = flag.Bool("nocost", false, "disable the hardware cost model (functional smoke run)")
 		cost       = flag.Bool("cost", false, "datapath only: enable the hardware cost model (off by default there)")
@@ -202,6 +202,31 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Println("\nsmallops gates passed")
+		}
+	} else if *experiment == "serving" {
+		// The wire-protocol serving experiment (ISSUE 9): serial RPC
+		// (depth 1) vs pipelined (depth 8) over the in-process loopback
+		// transport, with the speedup gate evaluated in-process and the
+		// report merged into the BENCH JSON next to the other sections.
+		p := experiments.Params{Quick: *quick, NoCost: *nocost}
+		var rep *experiments.ServingReport
+		rep, err = experiments.RunServingSweep(os.Stdout, p)
+		if err == nil && *jsonPath != "" {
+			if werr := experiments.MergeServingJSON(*jsonPath, rep); werr != nil {
+				err = werr
+			} else {
+				fmt.Printf("\nmerged serving report into %s\n", *jsonPath)
+			}
+		}
+		if err == nil {
+			if fails := experiments.CheckServingGate(rep); len(fails) > 0 {
+				fmt.Fprintln(os.Stderr, "\nSERVING GATE FAILURES:")
+				for _, f := range fails {
+					fmt.Fprintf(os.Stderr, "  %s\n", f)
+				}
+				os.Exit(1)
+			}
+			fmt.Println("\nserving gates passed")
 		}
 	} else {
 		fn, ok := reg[*experiment]

@@ -3,8 +3,10 @@
 // machine and renders a per-interval table of cross-layer telemetry —
 // LibFS op rates and latency quantiles, NVM traffic, allocator and
 // delegation activity, MMU checks, trust-boundary ring depths and
-// drain rate, and the NVM write-back tier's dirty-page count, destage
-// rate and circuit-breaker state — from registry snapshot deltas.
+// drain rate, the NVM write-back tier's dirty-page count, destage
+// rate and circuit-breaker state, and the trio-serve wire front-end's
+// connection count, RPC rate and in-flight depth — from registry
+// snapshot deltas.
 //
 // Usage:
 //
@@ -34,8 +36,10 @@ import (
 	"trio/internal/controller"
 	"trio/internal/core"
 	"trio/internal/delegation"
+	"trio/internal/fsapi"
 	"trio/internal/libfs"
 	"trio/internal/nvm"
+	"trio/internal/serve"
 	"trio/internal/telemetry"
 	"trio/internal/tier"
 )
@@ -173,6 +177,56 @@ func main() {
 		}
 	}()
 
+	// Serving traffic: the same LibFS is exported over the trio-serve
+	// wire protocol and a loopback client keeps a couple of requests
+	// pipelined against it, so the serve columns (conns, rpc/s, in
+	// flight) show a live front-end instead of zeros.
+	wsrv, err := serve.NewServer(fs, serve.Options{Workers: 2, MaxInflight: 8})
+	if err != nil {
+		fatal(err)
+	}
+	wconn, err := wsrv.Loopback(9999)
+	if err != nil {
+		fatal(err)
+	}
+	srvDir, _, err := wconn.Mkdir(wsrv.Root(), "srv", 0o755)
+	if err != nil {
+		fatal(err)
+	}
+	var srvFiles []fsapi.Handle
+	srvBlk := make([]byte, 8192)
+	for i := 0; i < 4; i++ {
+		h, _, err := wconn.Create(srvDir, fmt.Sprintf("s%d", i), 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := wconn.Write(h, 0, srvBlk); err != nil {
+			fatal(err)
+		}
+		srvFiles = append(srvFiles, h)
+	}
+	for lane := 0; lane < 2; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(lane) + 99))
+			buf := make([]byte, len(srvBlk))
+			for !stop.Load() {
+				h := srvFiles[rng.Intn(len(srvFiles))]
+				var err error
+				if rng.Intn(4) == 0 {
+					_, err = wconn.Write(h, 0, buf)
+				} else {
+					_, err = wconn.Read(h, 0, buf)
+				}
+				if err != nil {
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(lane)
+	}
+
 	// Tier traffic: one goroutine streams block writes through the
 	// write-back tier (a rolling working set, so overwrites and
 	// evictions both happen) and re-reads a hot prefix, while the
@@ -245,14 +299,15 @@ func main() {
 		ts := ttr.Stats()
 		destaged := ts.Destaged
 		if tick%20 == 0 {
-			fmt.Printf("%10s %10s %9s %9s %10s %10s %10s %9s %10s %6s %6s %9s %9s %7s %7s %7s %7s %8s %6s\n",
+			fmt.Printf("%10s %10s %9s %9s %10s %10s %10s %9s %10s %6s %6s %9s %9s %7s %7s %7s %7s %8s %6s %5s %7s %5s\n",
 				"read/s", "write/s", "rd p99ns", "wr p99ns",
 				"nvm wr/s", "persist/s", "alloc pg/s", "deleg/s", "mmu chk/s",
 				"sq-d", "cq-d", "drains/s",
 				"scrub/s", "detect", "repair", "quar",
-				"t-dirty", "destg/s", "brkr")
+				"t-dirty", "destg/s", "brkr",
+				"conns", "rpc/s", "infl")
 		}
-		fmt.Printf("%10.0f %10.0f %9d %9d %10.0f %10.0f %10.0f %9.0f %10.0f %6d %6d %9.0f %9.0f %7d %7d %7d %7d %8.0f %6s\n",
+		fmt.Printf("%10.0f %10.0f %9d %9d %10.0f %10.0f %10.0f %9.0f %10.0f %6d %6d %9.0f %9.0f %7d %7d %7d %7d %8.0f %6s %5d %7.0f %5d\n",
 			rate("libfs.read_ops"), rate("libfs.write_ops"),
 			d.Hist("libfs.read_ns").Quantile(0.99),
 			d.Hist("libfs.write_ns").Quantile(0.99),
@@ -265,12 +320,15 @@ func main() {
 			rate("ring.drains"),
 			csRate(dcs.ScrubPages),
 			cs.ScrubDetected, cs.ScrubRepaired, cs.ScrubQuarantined,
-			ts.Dirty, csRate(destaged-prevDestaged), ts.BreakerState)
+			ts.Dirty, csRate(destaged-prevDestaged), ts.BreakerState,
+			cur.Get("serve.conns"), rate("serve.rpcs"), cur.Get("serve.inflight"))
 		prevDestaged = destaged
 	}
 
 	stop.Store(true)
 	wg.Wait()
+	wconn.Close()
+	wsrv.Close()
 	if err := fs.Close(); err != nil {
 		fatal(err)
 	}

@@ -55,6 +55,7 @@ type DataPathReport struct {
 	Tenancy  *TenancyReport   `json:"tenancy,omitempty"`
 	Tiering  *TieringReport   `json:"tiering,omitempty"`
 	SmallOps *SmallOpsReport  `json:"smallops,omitempty"`
+	Serving  *ServingReport   `json:"serving,omitempty"`
 }
 
 // dpathFile is the working-set size of the file data workloads.
@@ -530,6 +531,7 @@ func WriteDataPathJSON(path string, p Params, results []DataPathResult) error {
 		rep.Tenancy = prev.Tenancy   // the tenancy sweep owns this section
 		rep.Tiering = prev.Tiering   // the tiering experiment owns this one
 		rep.SmallOps = prev.SmallOps // the trust-boundary sweep owns this one
+		rep.Serving = prev.Serving   // the wire-serving experiment owns this one
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

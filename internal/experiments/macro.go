@@ -202,6 +202,7 @@ func Registry() map[string]func(io.Writer, Params) error {
 		"tenancy":   Tenancy,
 		"tiering":   Tiering,
 		"smallops":  SmallOps,
+		"serving":   Serving,
 		"all":       All,
 	}
 }

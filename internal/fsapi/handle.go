@@ -1,0 +1,63 @@
+// Handle-addressed access (ISSUE 9): the extension a wire-protocol file
+// server needs on top of the path-addressed Client interface. A network
+// server cannot hold per-client fd tables the way a process can — NFS
+// taught the shape: requests carry a small stable *file handle* that
+// names the file itself, survives server restarts, and lets a client
+// retry a dropped request against fresh server state.
+//
+// A Handle is (ino, generation). ArckFS issues inode numbers from a
+// monotone batched counter and never recycles them, so its handles use
+// generation 0 and an ino alone is unambiguous for the lifetime of the
+// device. Baselines without native handle support are served through a
+// path-walk fallback kept at the server boundary (internal/serve); the
+// generation field carries the fallback's path fingerprint there, so a
+// handle minted for one name cannot silently resolve to a file later
+// created with the same ino by a different FS instance.
+package fsapi
+
+import "errors"
+
+// ErrStale is the handle-op counterpart of ErrNotExist: the handle was
+// once valid but no longer names a live file (unlinked, recycled dirent
+// slot, or a server restart that lost the path-fallback mapping). NFS
+// calls this ESTALE; clients respond by re-walking the path.
+var ErrStale = errors.New("fsapi: stale file handle")
+
+// Handle is a stable identity for one file, independent of any open fd
+// table. On the wire it packs into a single 64-bit word: ino in the low
+// 48 bits, generation in the high 16 (see Pack/Unpack).
+type Handle struct {
+	Ino uint64
+	Gen uint64
+}
+
+// handle packing: ino in the low 48 bits, generation in the high 16.
+const (
+	handleInoBits = 48
+	handleInoMask = (uint64(1) << handleInoBits) - 1
+	handleGenMask = (uint64(1) << 16) - 1
+)
+
+// Pack encodes the handle into one 64-bit word for the wire.
+func (h Handle) Pack() uint64 {
+	return (h.Gen&handleGenMask)<<handleInoBits | h.Ino&handleInoMask
+}
+
+// UnpackHandle decodes a wire word back into a Handle.
+func UnpackHandle(v uint64) Handle {
+	return Handle{Ino: v & handleInoMask, Gen: v >> handleInoBits}
+}
+
+// HandleClient is the optional Client extension a handle-addressed
+// server probes for with a type assertion. Implementations resolve the
+// handle through their own ino-indexed tables — no path walk — and
+// return ErrStale when the ino no longer names a live file they know.
+type HandleClient interface {
+	Client
+	// OpenByHandle opens the regular file the handle names. ErrIsDir
+	// for directories, ErrStale when the handle cannot be resolved.
+	OpenByHandle(h Handle, write bool) (File, error)
+	// StatByHandle returns the file's metadata. The Name field is empty:
+	// a handle names an inode, not a dirent.
+	StatByHandle(h Handle) (FileInfo, error)
+}

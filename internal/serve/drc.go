@@ -1,0 +1,79 @@
+// The duplicate-request cache (DRC): NFS's answer to at-least-once
+// transports meeting non-idempotent operations. A client that never saw
+// a reply retransmits with the SAME xid — possibly on a new connection
+// after a reconnect — and the server must return the ORIGINAL verdict,
+// not run CREATE/REMOVE/RENAME a second time.
+//
+// Entries are keyed (clientID, xid) — the client id comes from the
+// connection's HELLO, so the cache survives the connection it was
+// filled on. An entry is born in-flight (first arrival claims it and
+// executes); a duplicate arriving before completion parks on the done
+// channel instead of re-executing, and a duplicate arriving after
+// completion replays the recorded reply frame verbatim (same xid, same
+// status, same body). Eviction is FIFO over completed entries, bounding
+// memory the way real NFS servers bound their DRC.
+package serve
+
+import "sync"
+
+type drcKey struct {
+	client uint64
+	xid    uint32
+}
+
+type drcEntry struct {
+	done  chan struct{} // closed once reply is recorded
+	reply []byte        // complete reply frame, replayed verbatim
+}
+
+type drc struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[drcKey]*drcEntry
+	fifo    []drcKey // completed entries in completion order
+}
+
+func newDRC(capacity int) *drc {
+	return &drc{cap: capacity, entries: make(map[drcKey]*drcEntry, capacity)}
+}
+
+// claim looks the key up, inserting a fresh in-flight entry when it is
+// new. dup=false means the caller owns execution and must call record;
+// dup=true means the caller waits on entry.done and replays entry.reply.
+func (d *drc) claim(key drcKey) (entry *drcEntry, dup bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.entries[key]; ok {
+		return e, true
+	}
+	e := &drcEntry{done: make(chan struct{})}
+	d.entries[key] = e
+	return e, false
+}
+
+// record stores the reply frame for a claimed entry and releases any
+// parked duplicates. It takes its own copy of frame.
+func (d *drc) record(key drcKey, entry *drcEntry, frame []byte) {
+	entry.reply = append([]byte(nil), frame...)
+	d.mu.Lock()
+	d.fifo = append(d.fifo, key)
+	for len(d.fifo) > d.cap {
+		old := d.fifo[0]
+		d.fifo = d.fifo[1:]
+		delete(d.entries, old)
+	}
+	d.mu.Unlock()
+	close(entry.done)
+}
+
+// nonIdempotent reports whether a proc must go through the DRC.
+// Reads, lookups, getattrs and commits are naturally idempotent;
+// namespace mutations and appends are not (a doubled APPEND lands the
+// payload twice, a doubled CREATE turns success into ErrExist).
+func nonIdempotent(p Proc) bool {
+	switch p {
+	case ProcCreate, ProcMkdir, ProcRemove, ProcRmdir, ProcRename, ProcAppend, ProcSetattr:
+		return true
+	}
+	return false
+}

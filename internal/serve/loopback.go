@@ -1,0 +1,190 @@
+// In-process loopback transport: a buffered duplex byte pipe plus an
+// fsapi.FS wrapper that mounts a server and a wire client over it.
+//
+// io.Pipe/net.Pipe are synchronous — every Write rendezvouses with a
+// Read — which would serialize the very pipelining this subsystem
+// exists to measure. This pipe buffers like a TCP socket: writes land
+// in a bounded ring and block only when it fills (flow control), so a
+// client can genuinely keep depth-N requests in flight against an
+// in-process server. The loopback is both the conformance vehicle (the
+// wire path runs the whole internal/fstest suite) and the experiment
+// transport (-experiment serving measures pipelined vs serial RPC over
+// it with zero kernel networking noise).
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"trio/internal/fsapi"
+)
+
+// pipeBuf is one direction: a bounded ring with blocking read/write.
+type pipeBuf struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	r, w   int // read/write cursors; n tracks occupancy
+	n      int
+	closed bool
+}
+
+func newPipeBuf(capacity int) *pipeBuf {
+	p := &pipeBuf{buf: make([]byte, capacity)}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *pipeBuf) write(b []byte) (int, error) {
+	total := 0
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for total < len(b) {
+		for p.n == len(p.buf) && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			return total, fmt.Errorf("%w: loopback pipe closed", io.ErrClosedPipe)
+		}
+		for total < len(b) && p.n < len(p.buf) {
+			span := len(p.buf) - p.w
+			if span > len(p.buf)-p.n {
+				span = len(p.buf) - p.n
+			}
+			if span > len(b)-total {
+				span = len(b) - total
+			}
+			copy(p.buf[p.w:p.w+span], b[total:total+span])
+			p.w = (p.w + span) % len(p.buf)
+			p.n += span
+			total += span
+		}
+		p.cond.Broadcast()
+	}
+	return total, nil
+}
+
+func (p *pipeBuf) read(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.n == 0 && !p.closed {
+		p.cond.Wait()
+	}
+	if p.n == 0 {
+		return 0, io.EOF
+	}
+	total := 0
+	for total < len(b) && p.n > 0 {
+		span := len(p.buf) - p.r
+		if span > p.n {
+			span = p.n
+		}
+		if span > len(b)-total {
+			span = len(b) - total
+		}
+		copy(b[total:total+span], p.buf[p.r:p.r+span])
+		p.r = (p.r + span) % len(p.buf)
+		p.n -= span
+		total += span
+	}
+	p.cond.Broadcast()
+	return total, nil
+}
+
+func (p *pipeBuf) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// half is one endpoint of the duplex pipe.
+type half struct {
+	rd, wr *pipeBuf
+}
+
+func (h *half) Read(b []byte) (int, error)  { return h.rd.read(b) }
+func (h *half) Write(b []byte) (int, error) { return h.wr.write(b) }
+
+// Close tears down both directions: the peer's pending reads drain then
+// EOF, its writes fail.
+func (h *half) Close() error {
+	h.rd.close()
+	h.wr.close()
+	return nil
+}
+
+// NewDuplex returns two connected endpoints, each direction buffering
+// up to capacity bytes.
+func NewDuplex(capacity int) (a, b io.ReadWriteCloser) {
+	ab := newPipeBuf(capacity)
+	ba := newPipeBuf(capacity)
+	return &half{rd: ba, wr: ab}, &half{rd: ab, wr: ba}
+}
+
+// loopbackBuf is the per-direction buffer of loopback connections:
+// comfortably more than one max-depth pipeline of small frames plus a
+// few data frames.
+const loopbackBuf = 1 << 20
+
+// Loopback opens one extra in-process connection to the server,
+// returning the dialed client end. Used by the load generator to run
+// many client connections against one in-process server.
+func (s *Server) Loopback(clientID uint64) (*Conn, error) {
+	a, b := NewDuplex(loopbackBuf)
+	go s.ServeConn(a)
+	return Dial(b, clientID)
+}
+
+// LoopbackFS mounts inner behind an in-process server and presents the
+// wire client back as an fsapi.FS — the conformance vehicle: if this
+// passes internal/fstest, the wire preserves in-process semantics.
+type LoopbackFS struct {
+	inner fsapi.FS
+	srv   *Server
+	conn  *Conn
+	done  chan struct{}
+}
+
+var _ fsapi.FS = (*LoopbackFS)(nil)
+
+// NewLoopbackFS wraps inner. The wrapper owns inner: Close tears down
+// the connection, the server, and then inner itself.
+func NewLoopbackFS(inner fsapi.FS, opts Options) (*LoopbackFS, error) {
+	srv, err := NewServer(inner, opts)
+	if err != nil {
+		return nil, err
+	}
+	a, b := NewDuplex(loopbackBuf)
+	done := make(chan struct{})
+	go func() {
+		srv.ServeConn(a)
+		close(done)
+	}()
+	conn, err := Dial(b, 1)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	return &LoopbackFS{inner: inner, srv: srv, conn: conn, done: done}, nil
+}
+
+// Name implements fsapi.FS.
+func (l *LoopbackFS) Name() string { return l.inner.Name() + "+serve" }
+
+// NewClient implements fsapi.FS. Every client shares the one pipelined
+// connection — concurrent clients are exactly what exercises the
+// out-of-order completion path.
+func (l *LoopbackFS) NewClient(cpu int) fsapi.Client { return NewClient(l.conn) }
+
+// Server exposes the in-process server (for extra Loopback conns).
+func (l *LoopbackFS) Server() *Server { return l.srv }
+
+// Close implements fsapi.FS.
+func (l *LoopbackFS) Close() error {
+	l.conn.Close()
+	<-l.done
+	l.srv.Close()
+	return l.inner.Close()
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"trio/internal/fsapi"
+)
+
+// TestFrameRoundTrip packs several frames back to back in one buffer
+// (the reply-batching shape) and reads them back.
+func TestFrameRoundTrip(t *testing.T) {
+	var buf []byte
+	type want struct {
+		xid  uint32
+		op   uint8
+		name string
+		blob []byte
+	}
+	wants := []want{
+		{xid: 1, op: uint8(ProcLookup), name: "alpha"},
+		{xid: 7, op: uint8(ProcWrite), blob: bytes.Repeat([]byte{0xAB}, 300)},
+		{xid: 2, op: uint8(StatusOK), name: "z", blob: []byte("tail")},
+	}
+	for _, w := range wants {
+		start := len(buf)
+		buf = BeginFrame(buf, w.xid, w.op)
+		buf = AppendHandle(buf, fsapi.Handle{Ino: 42, Gen: 7})
+		buf = AppendString(buf, w.name)
+		buf = AppendBytes(buf, w.blob)
+		buf = AppendAttr(buf, Attr{Size: 123456, Mode: 0o644, IsDir: true})
+		buf = EndFrame(buf, start)
+	}
+
+	rd := bytes.NewReader(buf)
+	var rbuf []byte
+	for i, w := range wants {
+		fr, nbuf, err := ReadFrame(rd, rbuf)
+		rbuf = nbuf
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if fr.Xid != w.xid || fr.Op != w.op {
+			t.Fatalf("frame %d: got xid=%d op=%d", i, fr.Xid, fr.Op)
+		}
+		d := NewDec(fr.Body)
+		h := d.Handle()
+		name := string(d.Name())
+		blob := d.Bytes()
+		attr := d.Attr()
+		if err := d.Err(); err != nil {
+			t.Fatalf("frame %d: decode: %v", i, err)
+		}
+		if h != (fsapi.Handle{Ino: 42, Gen: 7}) {
+			t.Fatalf("frame %d: handle %+v", i, h)
+		}
+		if name != w.name || !bytes.Equal(blob, w.blob) {
+			t.Fatalf("frame %d: name=%q blob=%d bytes", i, name, len(blob))
+		}
+		if attr.Size != 123456 || attr.Mode != 0o644 || !attr.IsDir {
+			t.Fatalf("frame %d: attr %+v", i, attr)
+		}
+	}
+	if _, _, err := ReadFrame(rd, rbuf); err == nil {
+		t.Fatal("expected EOF after last frame")
+	}
+}
+
+// TestHandlePacking exercises the 48/16 split, including the top of
+// both ranges.
+func TestHandlePacking(t *testing.T) {
+	for _, h := range []fsapi.Handle{
+		{Ino: 0, Gen: 0},
+		{Ino: 1, Gen: 0},
+		{Ino: (1 << 48) - 1, Gen: (1 << 16) - 1},
+		{Ino: 123456789, Gen: 0x9e37},
+	} {
+		if got := fsapi.UnpackHandle(h.Pack()); got != h {
+			t.Fatalf("pack/unpack %+v -> %+v", h, got)
+		}
+	}
+}
+
+// TestStatusErrRoundTrip keeps the error mapping bidirectional: what
+// the server classifies, the client must reconstruct errors.Is-equal.
+func TestStatusErrRoundTrip(t *testing.T) {
+	errs := []error{
+		fsapi.ErrNotExist, fsapi.ErrExist, fsapi.ErrIsDir, fsapi.ErrNotDir,
+		fsapi.ErrNotEmpty, fsapi.ErrPerm, fsapi.ErrInval, fsapi.ErrNoSpace,
+		fsapi.ErrIO, fsapi.ErrCorrupt, fsapi.ErrStale,
+	}
+	for _, e := range errs {
+		st := StatusOf(e)
+		if st == StatusOK {
+			t.Fatalf("%v classified OK", e)
+		}
+		if back := st.Err(); !errors.Is(back, e) {
+			t.Fatalf("%v -> %d -> %v", e, st, back)
+		}
+	}
+	if StatusOf(nil) != StatusOK || StatusOK.Err() != nil {
+		t.Fatal("nil/OK mapping broken")
+	}
+	if st := StatusOf(errors.New("mystery")); st != StatusIO {
+		t.Fatalf("unknown error -> %d, want StatusIO", st)
+	}
+}
+
+// TestReadFrameRejectsOversized keeps MaxFrame a hard wall.
+func TestReadFrameRejectsOversized(t *testing.T) {
+	hdr := []byte{0xff, 0xff, 0xff, 0xff} // 4 GiB payload claim
+	if _, _, err := ReadFrame(bytes.NewReader(hdr), nil); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized frame: %v", err)
+	}
+	// And undersized: a payload too small for xid+op.
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{3, 0, 0, 0, 1, 2, 3}), nil); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("undersized frame: %v", err)
+	}
+}
+
+// BenchmarkServeCodec is the steady-state encode+decode path of one
+// WRITE request. check.sh gates it at 0 allocs/op: frame building is
+// append-only into a reused buffer and decoding returns views, so the
+// wire tax is copies, never garbage.
+func BenchmarkServeCodec(b *testing.B) {
+	payload := bytes.Repeat([]byte{0x5A}, 4096)
+	var frame, rbuf []byte
+	rd := bytes.NewReader(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame = BeginFrame(frame[:0], uint32(i), uint8(ProcWrite))
+		frame = AppendHandle(frame, fsapi.Handle{Ino: 42})
+		frame = appendU64(frame, uint64(i)*4096)
+		frame = AppendBytes(frame, payload)
+		frame = EndFrame(frame, 0)
+
+		rd.Reset(frame)
+		fr, nbuf, err := ReadFrame(rd, rbuf)
+		rbuf = nbuf
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := NewDec(fr.Body)
+		h := d.Handle()
+		off := d.U64()
+		data := d.Bytes()
+		if d.Err() != nil || h.Ino != 42 || off != uint64(i)*4096 || len(data) != len(payload) {
+			b.Fatal("decode mismatch")
+		}
+	}
+	b.SetBytes(int64(len(payload)))
+}

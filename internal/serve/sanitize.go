@@ -1,0 +1,49 @@
+// Path sanitization at the server boundary (ISSUE 9 satellite). The
+// wire carries single directory-entry names, never slash-joined paths,
+// so the server is the one place a hostile client could smuggle a
+// traversal component ("..", an embedded NUL, an empty name) into the
+// path strings it assembles for fsapi. Nothing below this layer guards
+// traversal — fsapi.SplitPath happily splits whatever it is handed —
+// so every name is vetted here, before any string is built.
+package serve
+
+import (
+	"fmt"
+
+	"trio/internal/fsapi"
+)
+
+// CheckName vets one wire name. It accepts exactly the names a local
+// fsapi caller could create through a single path component: non-empty,
+// at most MaxName bytes, no NUL, no '/', and neither "." nor "..".
+// Rejections are fsapi.ErrInval so they travel as StatusInval.
+func CheckName(name []byte) error {
+	switch {
+	case len(name) == 0:
+		return fmt.Errorf("%w: empty name", fsapi.ErrInval)
+	case len(name) > MaxName:
+		return fmt.Errorf("%w: name longer than %d bytes", fsapi.ErrInval, MaxName)
+	case len(name) == 1 && name[0] == '.':
+		return fmt.Errorf("%w: name %q", fsapi.ErrInval, ".")
+	case len(name) == 2 && name[0] == '.' && name[1] == '.':
+		return fmt.Errorf("%w: name %q", fsapi.ErrInval, "..")
+	}
+	for _, b := range name {
+		if b == 0 {
+			return fmt.Errorf("%w: NUL byte in name", fsapi.ErrInval)
+		}
+		if b == '/' {
+			return fmt.Errorf("%w: '/' in name", fsapi.ErrInval)
+		}
+	}
+	return nil
+}
+
+// joinPath appends a vetted name to a directory path. dir is always a
+// handle-table path ("/" or "/a/b"), name has passed CheckName.
+func joinPath(dir string, name string) string {
+	if dir == "/" {
+		return "/" + name
+	}
+	return dir + "/" + name
+}

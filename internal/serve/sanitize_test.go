@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"trio/internal/fsapi"
+)
+
+// TestCheckName is the table-driven boundary test the satellite asks
+// for: every traversal shape a hostile client could put on the wire
+// must die with ErrInval before any path string is assembled.
+func TestCheckName(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		ok   bool
+	}{
+		{"plain", "file.txt", true},
+		{"dotfile", ".config", true},
+		{"double-dot-prefix", "..x", true}, // not a traversal, just a name
+		{"unicode", "héllo", true},
+		{"max-len", strings.Repeat("a", MaxName), true},
+
+		{"empty", "", false},
+		{"dot", ".", false},
+		{"dotdot", "..", false},
+		{"slash", "a/b", false},
+		{"leading-slash", "/etc", false},
+		{"nul", "a\x00b", false},
+		{"nul-only", "\x00", false},
+		{"too-long", strings.Repeat("a", MaxName+1), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CheckName([]byte(tc.in))
+			if tc.ok && err != nil {
+				t.Fatalf("CheckName(%q) = %v, want nil", tc.in, err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatalf("CheckName(%q) accepted", tc.in)
+				}
+				if !errors.Is(err, fsapi.ErrInval) {
+					t.Fatalf("CheckName(%q) = %v, want ErrInval", tc.in, err)
+				}
+			}
+		})
+	}
+}
+
+// TestClientSideSanitize proves the fsapi adapter refuses hostile paths
+// before they ever hit the wire.
+func TestClientSideSanitize(t *testing.T) {
+	for _, p := range []string{"/a/../b", "/./x", "/a\x00b", "/"} {
+		if _, _, err := splitForWire(p); !errors.Is(err, fsapi.ErrInval) {
+			t.Fatalf("splitForWire(%q) = %v, want ErrInval", p, err)
+		}
+	}
+	if dir, name, err := splitForWire("/a/b/c"); err != nil || name != "c" || len(dir) != 2 {
+		t.Fatalf("splitForWire(/a/b/c) = %v %q %v", dir, name, err)
+	}
+}

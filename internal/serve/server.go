@@ -1,0 +1,747 @@
+// The protocol server: per-connection pipelining machinery mapped onto
+// an fsapi.FS.
+//
+// Each connection runs three roles wired by channels:
+//
+//	reader ──reqs──▶ workers(×N) ──replies──▶ writer
+//
+// The reader decodes frames and admits them under the per-connection
+// in-flight cap (the backpressure the tentpole asks for: a client that
+// pipelines past the cap blocks in the transport, it cannot balloon
+// server memory). Workers execute out of order — each owns its own
+// fsapi.Client and a small open-file cache — so a slow READ never
+// blocks the metadata traffic behind it. The writer drains every
+// completed reply it can see into one transport write (reply batching);
+// xids, not arrival order, tell the client which request each reply
+// answers.
+//
+// The server holds no per-client open-file state the protocol depends
+// on: worker file caches are a pure performance cache, invalidated
+// wholesale on namespace mutations via a server-wide epoch.
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trio/internal/fsapi"
+	"trio/internal/telemetry"
+)
+
+// Options tunes a Server. Zero values select the defaults.
+type Options struct {
+	// Workers is the number of executor goroutines per connection
+	// (default 4). Keep conns×workers near the device's per-node
+	// concurrency sweet spot; more buys nothing but contention.
+	Workers int
+	// MaxInflight caps admitted-but-unreplied requests per connection
+	// (default 64). This is the pipelining depth the server grants.
+	MaxInflight int
+	// DRCSize bounds the duplicate-request cache (default 1024 entries).
+	DRCSize int
+	// FileCache bounds each worker's open-file cache (default 16).
+	FileCache int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 64
+	}
+	if o.DRCSize <= 0 {
+		o.DRCSize = 1024
+	}
+	if o.FileCache <= 0 {
+		o.FileCache = 16
+	}
+	return o
+}
+
+// Server serves the trio wire protocol from one mounted fsapi.FS.
+type Server struct {
+	fs   fsapi.FS
+	opts Options
+	tab  *handleTab
+	drc  *drc
+
+	root     fsapi.Handle
+	rootAttr Attr
+
+	// epoch invalidates worker file caches after namespace mutations.
+	epoch atomic.Uint64
+	// cpuSeq spreads worker fsapi.Clients across CPU hints.
+	cpuSeq atomic.Int64
+
+	mu     sync.Mutex
+	conns  map[*srvConn]struct{}
+	closed bool
+}
+
+// NewServer mounts a protocol server over fs. It probes fs for native
+// handle support (fsapi.HandleClient) and mints the root handle.
+func NewServer(fs fsapi.FS, opts Options) (*Server, error) {
+	c := fs.NewClient(0)
+	_, native := c.(fsapi.HandleClient)
+	s := &Server{
+		fs:    fs,
+		opts:  opts.withDefaults(),
+		tab:   newHandleTab(native),
+		drc:   nil,
+		conns: make(map[*srvConn]struct{}),
+	}
+	s.drc = newDRC(s.opts.DRCSize)
+	info, err := c.Stat("/")
+	if err != nil {
+		return nil, fmt.Errorf("serve: stat root: %w", err)
+	}
+	s.root = s.tab.mint("/", info)
+	s.rootAttr = AttrOf(info)
+	return s, nil
+}
+
+// Root reports the root handle HELLO hands out.
+func (s *Server) Root() fsapi.Handle { return s.root }
+
+// Serve accepts connections from l until it fails (or s is closed).
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// Close tears down every active connection. The mounted FS is not
+// closed; the caller owns it.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]*srvConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.closeTransport()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// per-connection machinery
+// ---------------------------------------------------------------------
+
+// request is one admitted frame, body copied out of the read buffer so
+// the reader can keep decoding while workers execute.
+type request struct {
+	xid  uint32
+	proc Proc
+	body []byte
+}
+
+type srvConn struct {
+	srv *Server
+	rw  io.ReadWriteCloser
+
+	clientID atomic.Uint64 // set by HELLO; requests before it are fatal
+
+	sem     chan struct{} // in-flight cap
+	reqs    chan request
+	replies chan []byte // complete reply frames (pooled buffers)
+
+	workerWG sync.WaitGroup
+	writerWG sync.WaitGroup
+	closer   sync.Once
+}
+
+// bufPool recycles request bodies and reply frames.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+func getBuf() []byte  { return (*(bufPool.Get().(*[]byte)))[:0] }
+func putBuf(b []byte) { bufPool.Put(&b) }
+
+// ServeConn runs one connection to completion. It is the entry point
+// shared by the TCP accept loop and the in-process loopback transport.
+func (s *Server) ServeConn(rw io.ReadWriteCloser) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		rw.Close()
+		return errors.New("serve: server closed")
+	}
+	c := &srvConn{
+		srv:     s,
+		rw:      rw,
+		sem:     make(chan struct{}, s.opts.MaxInflight),
+		reqs:    make(chan request, s.opts.MaxInflight),
+		replies: make(chan []byte, s.opts.MaxInflight+1),
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	mConns.Inc()
+	mConnsTotal.Inc()
+
+	c.writerWG.Add(1)
+	go c.writeLoop()
+	for i := 0; i < s.opts.Workers; i++ {
+		c.workerWG.Add(1)
+		go c.worker(i)
+	}
+
+	err := c.readLoop()
+
+	close(c.reqs)
+	c.workerWG.Wait()
+	close(c.replies)
+	c.writerWG.Wait()
+	c.closeTransport()
+
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	mConns.Add(-1)
+	return err
+}
+
+func (c *srvConn) closeTransport() {
+	c.closer.Do(func() { c.rw.Close() })
+}
+
+// readLoop decodes and admits requests until the transport ends.
+func (c *srvConn) readLoop() error {
+	var buf []byte
+	for {
+		fr, nbuf, err := ReadFrame(c.rw, buf)
+		buf = nbuf
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			if errors.Is(err, ErrBadFrame) {
+				mBadFrame.Inc()
+			}
+			return err
+		}
+		if Proc(fr.Op) == ProcHello {
+			if err := c.hello(fr); err != nil {
+				return err
+			}
+			continue
+		}
+		if c.clientID.Load() == 0 {
+			// Requests before HELLO have no DRC identity; drop the
+			// connection rather than guess.
+			mBadFrame.Inc()
+			return fmt.Errorf("%w: request before HELLO", ErrBadFrame)
+		}
+		c.sem <- struct{}{} // backpressure: cap in-flight
+		mInflight.Inc()
+		body := getBuf()
+		body = append(body, fr.Body...)
+		c.reqs <- request{xid: fr.Xid, proc: Proc(fr.Op), body: body}
+	}
+}
+
+// hello handles the handshake inline on the reader, so clientID is
+// visible before any pipelined request behind it is dispatched.
+func (c *srvConn) hello(fr Frame) error {
+	d := NewDec(fr.Body)
+	magic, ver, id := d.U32(), d.U16(), d.U64()
+	reply := getBuf()
+	if d.Err() != nil || magic != Magic || ver != ProtoVersion || id == 0 {
+		reply = BeginFrame(reply, fr.Xid, uint8(StatusInval))
+		reply = EndFrame(reply, 0)
+		c.replies <- reply
+		return fmt.Errorf("%w: bad HELLO", ErrBadFrame)
+	}
+	c.clientID.Store(id)
+	reply = BeginFrame(reply, fr.Xid, uint8(StatusOK))
+	reply = AppendHandle(reply, c.srv.root)
+	reply = AppendAttr(reply, c.srv.rootAttr)
+	reply = EndFrame(reply, 0)
+	c.replies <- reply
+	mRPCs.Inc()
+	mProcs[ProcHello].Inc()
+	return nil
+}
+
+// writeLoop batches completed replies into single transport writes.
+func (c *srvConn) writeLoop() {
+	defer c.writerWG.Done()
+	var out []byte
+	broken := false
+	for first := range c.replies {
+		out = append(out[:0], first...)
+		putBuf(first)
+		n := int64(1)
+	drain:
+		for {
+			select {
+			case f, ok := <-c.replies:
+				if !ok {
+					break drain
+				}
+				out = append(out, f...)
+				putBuf(f)
+				n++
+			default:
+				break drain
+			}
+		}
+		if !broken {
+			if _, err := c.rw.Write(out); err != nil {
+				broken = true
+				c.closeTransport() // unblocks the reader; keep draining
+			} else {
+				mReplyBatches.Inc()
+				mReplyFrames.Add(n)
+			}
+		}
+	}
+}
+
+// worker executes admitted requests out of order. Each worker owns a
+// private fsapi.Client (the per-thread contract of the FS layer) and a
+// bounded open-file cache.
+func (c *srvConn) worker(id int) {
+	defer c.workerWG.Done()
+	client := c.srv.fs.NewClient(int(c.srv.cpuSeq.Add(1)))
+	fc := newFileCache(c.srv.opts.FileCache)
+	defer fc.closeAll()
+	for req := range c.reqs {
+		c.handle(client, fc, id, req)
+	}
+}
+
+func (c *srvConn) handle(client fsapi.Client, fc *fileCache, id int, req request) {
+	var start time.Time
+	if telemetry.On() {
+		start = time.Now()
+	}
+	var reply []byte
+	if nonIdempotent(req.proc) {
+		key := drcKey{client: c.clientID.Load(), xid: req.xid}
+		entry, dup := c.srv.drc.claim(key)
+		if dup {
+			<-entry.done
+			mDRCHits.Inc()
+			reply = append(getBuf(), entry.reply...)
+		} else {
+			reply = c.exec(client, fc, req)
+			c.srv.drc.record(key, entry, reply)
+		}
+	} else {
+		reply = c.exec(client, fc, req)
+	}
+	putBuf(req.body)
+	c.replies <- reply
+	<-c.sem
+	mInflight.Add(-1)
+	mRPCs.IncOn(id)
+	mProcs[req.proc].IncOn(id)
+	if telemetry.On() {
+		mRPCNanos.ObserveSince(start)
+	}
+}
+
+// dirPath resolves a handle that a namespace op needs as a directory.
+// A handle that is not in the table but still resolves to a live
+// regular file answers ErrNotDir (the POSIX verdict), not ErrStale.
+func (c *srvConn) dirPath(client fsapi.Client, h fsapi.Handle) (string, error) {
+	dir, err := c.srv.tab.dirPath(h)
+	if err == nil {
+		return dir, nil
+	}
+	if info, serr := c.srv.tab.statHandle(client, h); serr == nil && !info.IsDir {
+		return "", fsapi.ErrNotDir
+	}
+	return "", err
+}
+
+// errReply rebuilds buf as a bare status frame.
+func errReply(buf []byte, xid uint32, err error) []byte {
+	if errors.Is(err, fsapi.ErrStale) {
+		mStale.Inc()
+	}
+	buf = BeginFrame(buf[:0], xid, uint8(StatusOf(err)))
+	return EndFrame(buf, 0)
+}
+
+// exec runs one request and returns its encoded reply frame (in a
+// pooled buffer the writer releases).
+func (c *srvConn) exec(client fsapi.Client, fc *fileCache, req request) []byte {
+	s := c.srv
+	d := NewDec(req.body)
+	buf := getBuf()
+	ok := func() []byte { return EndFrame(buf, 0) }
+
+	switch req.proc {
+	case ProcNull:
+		buf = BeginFrame(buf, req.xid, uint8(StatusOK))
+		return ok()
+
+	case ProcGetattr:
+		h := d.Handle()
+		if d.Err() != nil {
+			return errReply(buf, req.xid, fsapi.ErrInval)
+		}
+		info, err := s.tab.statHandle(client, h)
+		if err != nil {
+			return errReply(buf, req.xid, err)
+		}
+		buf = BeginFrame(buf, req.xid, uint8(StatusOK))
+		buf = AppendAttr(buf, AttrOf(info))
+		return ok()
+
+	case ProcLookup:
+		h, name := d.Handle(), d.Name()
+		if d.Err() != nil {
+			return errReply(buf, req.xid, fsapi.ErrInval)
+		}
+		if err := CheckName(name); err != nil {
+			return errReply(buf, req.xid, err)
+		}
+		dir, err := c.dirPath(client, h)
+		if err != nil {
+			return errReply(buf, req.xid, err)
+		}
+		path := joinPath(dir, string(name))
+		info, err := client.Stat(path)
+		if err != nil {
+			return errReply(buf, req.xid, err)
+		}
+		nh := s.tab.mint(path, info)
+		buf = BeginFrame(buf, req.xid, uint8(StatusOK))
+		buf = AppendHandle(buf, nh)
+		buf = AppendAttr(buf, AttrOf(info))
+		return ok()
+
+	case ProcRead:
+		h, off, n := d.Handle(), int64(d.U64()), int(d.U32())
+		if d.Err() != nil || n < 0 || n > MaxFrame-64 {
+			return errReply(buf, req.xid, fsapi.ErrInval)
+		}
+		f, err := fc.get(c, client, h, false)
+		if err != nil {
+			return errReply(buf, req.xid, err)
+		}
+		// Encode optimistically: reserve the count field, read straight
+		// into the reply buffer (no bounce copy), patch the count.
+		buf = BeginFrame(buf, req.xid, uint8(StatusOK))
+		pos := len(buf)
+		buf = appendU32(buf, 0)
+		for len(buf) < pos+4+n {
+			buf = append(buf, 0)
+		}
+		cnt, err := f.ReadAt(buf[pos+4:pos+4+n], off)
+		if err != nil {
+			fc.drop(h, false)
+			return errReply(buf, req.xid, err)
+		}
+		buf = buf[:pos+4+cnt]
+		binary.LittleEndian.PutUint32(buf[pos:], uint32(cnt))
+		return ok()
+
+	case ProcWrite:
+		h, off := d.Handle(), int64(d.U64())
+		data := d.Bytes()
+		if d.Err() != nil {
+			return errReply(buf, req.xid, fsapi.ErrInval)
+		}
+		f, err := fc.get(c, client, h, true)
+		if err != nil {
+			return errReply(buf, req.xid, err)
+		}
+		cnt, err := f.WriteAt(data, off)
+		if err != nil {
+			fc.drop(h, true)
+			return errReply(buf, req.xid, err)
+		}
+		buf = BeginFrame(buf, req.xid, uint8(StatusOK))
+		buf = appendU32(buf, uint32(cnt))
+		return ok()
+
+	case ProcAppend:
+		h := d.Handle()
+		data := d.Bytes()
+		if d.Err() != nil {
+			return errReply(buf, req.xid, fsapi.ErrInval)
+		}
+		f, err := fc.get(c, client, h, true)
+		if err != nil {
+			return errReply(buf, req.xid, err)
+		}
+		at, err := f.Append(data)
+		if err != nil {
+			fc.drop(h, true)
+			return errReply(buf, req.xid, err)
+		}
+		buf = BeginFrame(buf, req.xid, uint8(StatusOK))
+		buf = appendU64(buf, uint64(at))
+		return ok()
+
+	case ProcCreate, ProcMkdir:
+		h := d.Handle()
+		mode := d.U16()
+		name := d.Name()
+		if d.Err() != nil {
+			return errReply(buf, req.xid, fsapi.ErrInval)
+		}
+		if err := CheckName(name); err != nil {
+			return errReply(buf, req.xid, err)
+		}
+		dir, err := c.dirPath(client, h)
+		if err != nil {
+			return errReply(buf, req.xid, err)
+		}
+		path := joinPath(dir, string(name))
+		if req.proc == ProcCreate {
+			f, cerr := client.Create(path, mode)
+			if cerr != nil {
+				return errReply(buf, req.xid, cerr)
+			}
+			f.Close()
+			// Creating over an existing name truncates: cached opens of
+			// the old content must not serve stale sizes.
+			s.epoch.Add(1)
+		} else {
+			if merr := client.Mkdir(path, mode); merr != nil {
+				return errReply(buf, req.xid, merr)
+			}
+		}
+		info, err := client.Stat(path)
+		if err != nil {
+			return errReply(buf, req.xid, err)
+		}
+		nh := s.tab.mint(path, info)
+		buf = BeginFrame(buf, req.xid, uint8(StatusOK))
+		buf = AppendHandle(buf, nh)
+		buf = AppendAttr(buf, AttrOf(info))
+		return ok()
+
+	case ProcRemove, ProcRmdir:
+		h := d.Handle()
+		name := d.Name()
+		if d.Err() != nil {
+			return errReply(buf, req.xid, fsapi.ErrInval)
+		}
+		if err := CheckName(name); err != nil {
+			return errReply(buf, req.xid, err)
+		}
+		dir, err := c.dirPath(client, h)
+		if err != nil {
+			return errReply(buf, req.xid, err)
+		}
+		path := joinPath(dir, string(name))
+		// Identify the victim before the namespace changes, but forget
+		// its table entry only on success — a failed remove must leave
+		// live handles resolvable.
+		victim, haveVictim := fsapi.Handle{}, false
+		if info, serr := client.Stat(path); serr == nil {
+			victim = fsapi.Handle{Ino: info.Ino}
+			if !s.tab.native {
+				victim.Gen = pathGen(path)
+			}
+			haveVictim = true
+		}
+		if req.proc == ProcRemove {
+			err = client.Unlink(path)
+		} else {
+			err = client.Rmdir(path)
+		}
+		if err != nil {
+			return errReply(buf, req.xid, err)
+		}
+		if haveVictim {
+			s.tab.forget(victim)
+		}
+		s.epoch.Add(1)
+		buf = BeginFrame(buf, req.xid, uint8(StatusOK))
+		return ok()
+
+	case ProcRename:
+		fromH, toH := d.Handle(), d.Handle()
+		fromName, toName := d.Name(), d.Name()
+		if d.Err() != nil {
+			return errReply(buf, req.xid, fsapi.ErrInval)
+		}
+		if err := CheckName(fromName); err != nil {
+			return errReply(buf, req.xid, err)
+		}
+		if err := CheckName(toName); err != nil {
+			return errReply(buf, req.xid, err)
+		}
+		fromDir, err := c.dirPath(client, fromH)
+		if err != nil {
+			return errReply(buf, req.xid, err)
+		}
+		toDir, err := c.dirPath(client, toH)
+		if err != nil {
+			return errReply(buf, req.xid, err)
+		}
+		from, to := joinPath(fromDir, string(fromName)), joinPath(toDir, string(toName))
+		// On success the moved inode's handle follows it to the new
+		// path; a replaced destination inode's handle turns stale. A
+		// failed rename changes no table state.
+		handleAt := func(p string) (fsapi.Handle, bool) {
+			info, serr := client.Stat(p)
+			if serr != nil {
+				return fsapi.Handle{}, false
+			}
+			v := fsapi.Handle{Ino: info.Ino}
+			if !s.tab.native {
+				v.Gen = pathGen(p)
+			}
+			return v, true
+		}
+		moved, haveMoved := handleAt(from)
+		replaced, haveReplaced := handleAt(to)
+		if err := client.Rename(from, to); err != nil {
+			return errReply(buf, req.xid, err)
+		}
+		if haveReplaced {
+			s.tab.forget(replaced)
+		}
+		if haveMoved {
+			s.tab.remap(moved, to)
+		}
+		s.epoch.Add(1)
+		buf = BeginFrame(buf, req.xid, uint8(StatusOK))
+		return ok()
+
+	case ProcReaddir:
+		h := d.Handle()
+		if d.Err() != nil {
+			return errReply(buf, req.xid, fsapi.ErrInval)
+		}
+		dir, err := c.dirPath(client, h)
+		if err != nil {
+			return errReply(buf, req.xid, err)
+		}
+		names, err := client.ReadDir(dir)
+		if err != nil {
+			return errReply(buf, req.xid, err)
+		}
+		buf = BeginFrame(buf, req.xid, uint8(StatusOK))
+		buf = appendU32(buf, uint32(len(names)))
+		for _, n := range names {
+			buf = AppendString(buf, n)
+		}
+		return ok()
+
+	case ProcSetattr:
+		h, size := d.Handle(), int64(d.U64())
+		if d.Err() != nil || size < 0 {
+			return errReply(buf, req.xid, fsapi.ErrInval)
+		}
+		f, err := fc.get(c, client, h, true)
+		if err != nil {
+			return errReply(buf, req.xid, err)
+		}
+		if err := f.Truncate(size); err != nil {
+			fc.drop(h, true)
+			return errReply(buf, req.xid, err)
+		}
+		buf = BeginFrame(buf, req.xid, uint8(StatusOK))
+		return ok()
+
+	case ProcCommit:
+		h := d.Handle()
+		if d.Err() != nil {
+			return errReply(buf, req.xid, fsapi.ErrInval)
+		}
+		f, err := fc.get(c, client, h, true)
+		if err != nil {
+			return errReply(buf, req.xid, err)
+		}
+		if err := f.Sync(); err != nil {
+			fc.drop(h, true)
+			return errReply(buf, req.xid, err)
+		}
+		buf = BeginFrame(buf, req.xid, uint8(StatusOK))
+		return ok()
+	}
+
+	buf = BeginFrame(buf, req.xid, uint8(StatusBadProc))
+	return ok()
+}
+
+// ---------------------------------------------------------------------
+// worker open-file cache
+// ---------------------------------------------------------------------
+
+// fileCache is one worker's bounded cache of resolved open files. It is
+// a pure performance cache: correctness never depends on it because a
+// namespace mutation anywhere bumps the server epoch and the next
+// access flushes everything.
+type fileCache struct {
+	cap   int
+	epoch uint64
+	m     map[uint64]fsapi.File
+	order []uint64
+}
+
+func newFileCache(capacity int) *fileCache {
+	return &fileCache{cap: capacity, m: make(map[uint64]fsapi.File, capacity)}
+}
+
+func cacheKey(h fsapi.Handle, write bool) uint64 {
+	k := h.Pack() << 1
+	if write {
+		k |= 1
+	}
+	return k
+}
+
+func (fc *fileCache) get(c *srvConn, client fsapi.Client, h fsapi.Handle, write bool) (fsapi.File, error) {
+	if e := c.srv.epoch.Load(); e != fc.epoch {
+		fc.closeAll()
+		fc.epoch = e
+	}
+	key := cacheKey(h, write)
+	if f, ok := fc.m[key]; ok {
+		return f, nil
+	}
+	f, err := c.srv.tab.openFile(client, h, write)
+	if err != nil {
+		return nil, err
+	}
+	for len(fc.order) >= fc.cap {
+		old := fc.order[0]
+		fc.order = fc.order[1:]
+		if of, ok := fc.m[old]; ok {
+			of.Close()
+			delete(fc.m, old)
+		}
+	}
+	fc.m[key] = f
+	fc.order = append(fc.order, key)
+	return f, nil
+}
+
+// drop evicts one entry after an I/O error so the next access re-opens.
+func (fc *fileCache) drop(h fsapi.Handle, write bool) {
+	key := cacheKey(h, write)
+	if f, ok := fc.m[key]; ok {
+		f.Close()
+		delete(fc.m, key)
+	}
+}
+
+func (fc *fileCache) closeAll() {
+	for k, f := range fc.m {
+		f.Close()
+		delete(fc.m, k)
+	}
+	fc.order = fc.order[:0]
+}

@@ -1,0 +1,161 @@
+// The server-side handle table: how 64-bit wire handles resolve to
+// files on the mounted FS.
+//
+// Two regimes, probed once at mount:
+//
+//   - Native (fsapi.HandleClient, i.e. ArckFS): file handles are
+//     (ino, gen 0) and resolve through the FS's own ino-indexed tables
+//     — OpenByHandle/StatByHandle, no path walk, no server state. Only
+//     DIRECTORY handles live in this table (fsapi namespace ops are
+//     path-addressed), so losing the table costs re-LOOKUPs from the
+//     root, never file-handle validity. That is the NFS statelessness
+//     property the tentpole asks for.
+//
+//   - Fallback (every baseline): handles are (ino, gen = path
+//     fingerprint) and resolve through a packed-handle → path map kept
+//     here. Every resolution re-stats the path and verifies the ino
+//     still matches before acting, so a recycled name (unlink + create)
+//     or a renamed-away entry reads as fsapi.ErrStale, never as the
+//     wrong file — the same verdict ArckFS's dirent-slot verification
+//     produces natively.
+package serve
+
+import (
+	"errors"
+	"sync"
+
+	"trio/internal/fsapi"
+)
+
+// handleTab maps packed handles to paths. See the package comment for
+// which handles are recorded in which regime.
+type handleTab struct {
+	native bool // FS clients implement fsapi.HandleClient
+
+	mu    sync.RWMutex
+	paths map[uint64]string
+}
+
+func newHandleTab(native bool) *handleTab {
+	return &handleTab{native: native, paths: make(map[uint64]string)}
+}
+
+// pathGen fingerprints a path into a non-zero 16-bit generation (FNV-1a
+// folded), so a fallback handle minted for one name cannot silently
+// resolve against a different FS instance that reuses the same ino.
+func pathGen(path string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(path); i++ {
+		h ^= uint64(path[i])
+		h *= 1099511628211
+	}
+	g := (h ^ h>>16 ^ h>>32 ^ h>>48) & 0xffff
+	if g == 0 {
+		g = 0x9e37
+	}
+	return g
+}
+
+// mint issues the wire handle for a freshly resolved (path, info) and
+// records whatever this regime needs to resolve it later.
+func (t *handleTab) mint(path string, info fsapi.FileInfo) fsapi.Handle {
+	h := fsapi.Handle{Ino: info.Ino}
+	if !t.native {
+		h.Gen = pathGen(path)
+	}
+	if !t.native || info.IsDir {
+		t.mu.Lock()
+		t.paths[h.Pack()] = path
+		t.mu.Unlock()
+	}
+	return h
+}
+
+// path reports the recorded path for a handle.
+func (t *handleTab) path(h fsapi.Handle) (string, bool) {
+	t.mu.RLock()
+	p, ok := t.paths[h.Pack()]
+	t.mu.RUnlock()
+	return p, ok
+}
+
+// dirPath resolves a handle that must name a directory, for namespace
+// ops (lookup/create/remove/...). Unknown handles are stale.
+func (t *handleTab) dirPath(h fsapi.Handle) (string, error) {
+	p, ok := t.path(h)
+	if !ok {
+		return "", fsapi.ErrStale
+	}
+	return p, nil
+}
+
+// forget drops a recorded mapping (after REMOVE/RMDIR of the entry the
+// handle was minted for). Fallback handles held by other clients turn
+// stale — the NFS semantics a stateless server is allowed.
+func (t *handleTab) forget(h fsapi.Handle) {
+	t.mu.Lock()
+	delete(t.paths, h.Pack())
+	t.mu.Unlock()
+}
+
+// remap re-points a recorded mapping after a successful RENAME: a
+// handle names an inode, so it must stay valid across a rename of the
+// inode's name (only the resolution path changes).
+func (t *handleTab) remap(h fsapi.Handle, path string) {
+	t.mu.Lock()
+	if _, ok := t.paths[h.Pack()]; ok {
+		t.paths[h.Pack()] = path
+	}
+	t.mu.Unlock()
+}
+
+// staleIfGone maps ErrNotExist to ErrStale: a path that resolved when
+// the handle was minted and is gone now means the handle no longer
+// names a live file.
+func staleIfGone(err error) error {
+	if errors.Is(err, fsapi.ErrNotExist) {
+		return fsapi.ErrStale
+	}
+	return err
+}
+
+// openFile resolves a file handle to an open fsapi.File.
+func (t *handleTab) openFile(c fsapi.Client, h fsapi.Handle, write bool) (fsapi.File, error) {
+	if p, ok := t.path(h); ok {
+		// Recorded handle (any fallback handle, or a native directory).
+		info, err := c.Stat(p)
+		if err != nil {
+			return nil, staleIfGone(err)
+		}
+		if info.IsDir {
+			return nil, fsapi.ErrIsDir
+		}
+		if info.Ino != h.Ino {
+			return nil, fsapi.ErrStale
+		}
+		f, err := c.Open(p, write)
+		return f, staleIfGone(err)
+	}
+	if t.native && h.Gen == 0 {
+		return c.(fsapi.HandleClient).OpenByHandle(h, write)
+	}
+	return nil, fsapi.ErrStale
+}
+
+// statHandle resolves a handle to its current attributes.
+func (t *handleTab) statHandle(c fsapi.Client, h fsapi.Handle) (fsapi.FileInfo, error) {
+	if p, ok := t.path(h); ok {
+		info, err := c.Stat(p)
+		if err != nil {
+			return fsapi.FileInfo{}, staleIfGone(err)
+		}
+		if info.Ino != h.Ino {
+			return fsapi.FileInfo{}, fsapi.ErrStale
+		}
+		return info, nil
+	}
+	if t.native && h.Gen == 0 {
+		return c.(fsapi.HandleClient).StatByHandle(h)
+	}
+	return fsapi.FileInfo{}, fsapi.ErrStale
+}

@@ -40,6 +40,11 @@
 #      shrunken interleaved sync-vs-ring pairs with the cost model on;
 #      its in-process gates (ringed speedup floor on the metadata
 #      modes) exit nonzero on violation.
+#  11. a serving smoke: the wire codec's steady-state encode/decode
+#      must report 0 allocs/op, and trio-bench -experiment serving
+#      -quick runs shrunken serial-vs-pipelined pairs with the cost
+#      model on; its in-process gate (pipelined speedup floor at
+#      depth 8) exits nonzero on violation.
 #
 # Any failure stops the run with a non-zero exit.
 set -eu
@@ -56,7 +61,10 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrency-bearing packages)"
-go test -race ./internal/fstest/... ./internal/libfs/... ./internal/telemetry/... ./internal/controller/... ./internal/tier/... ./internal/backend/... ./internal/ring/...
+go test -race ./internal/fstest/... ./internal/libfs/... ./internal/telemetry/... ./internal/controller/... ./internal/tier/... ./internal/backend/... ./internal/ring/... ./internal/serve/...
+# The workload package's tenancy sweeps are too heavy for the race
+# detector's ~20x slowdown; race just the netload generator it added.
+go test -race -run '^TestNetLoad' ./internal/workload/
 
 echo "== fuzz smoke (verifier adversarial targets, 10s each)"
 go test -run='^$' -fuzz='^FuzzVerifyRegular$' -fuzztime=10s ./internal/verifier/
@@ -115,5 +123,20 @@ fi
 # speedup floor on both metadata modes prints the violations and
 # exits 1.
 go run ./cmd/trio-bench -experiment smallops -quick > /dev/null
+
+echo "== serving smoke (wire codec allocs; serial-vs-pipelined speedup gate)"
+# The steady-state codec (frame encode + ReadFrame + decode) must stay
+# allocation-free: an alloc per RPC would show up on every wire op of
+# every connection.
+codec_allocs=$(go test -run='^$' -bench='^BenchmarkServeCodec' -benchtime=100x -benchmem ./internal/serve/ \
+	| awk '/^BenchmarkServeCodec/ { n++; if ($(NF-1) + 0 != 0) bad = 1 } END { if (n == 0) bad = 1; print bad + 0 }')
+if [ "$codec_allocs" != "0" ]; then
+	echo "FAIL: serve codec steady state allocates (see benchmarks above)" >&2
+	exit 1
+fi
+# The quick run's gate lives in trio-bench itself (see
+# experiments.CheckServingGate): pipelined throughput below the quick
+# speedup floor over serial RPC prints the violation and exits 1.
+go run ./cmd/trio-bench -experiment serving -quick > /dev/null
 
 echo "== all checks passed"
