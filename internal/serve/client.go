@@ -15,6 +15,8 @@
 package serve
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -58,6 +60,17 @@ func Dial(rw io.ReadWriteCloser, clientID uint64) (*Conn, error) {
 		return nil, fmt.Errorf("%w: zero client id", fsapi.ErrInval)
 	}
 	c := &Conn{rw: rw, clientID: clientID, pending: make(map[uint32]chan reply)}
+	// Seed the xid space randomly. The server's duplicate-request cache
+	// is keyed (clientID, xid) and outlives connections, so restarting
+	// at 0 on every Dial would collide a reconnect's new requests with
+	// the previous connection's cached replies. The DRC fingerprints
+	// requests so a collision degrades to a cache miss, never a wrong
+	// replay — the seed keeps collisions rare, the fingerprint keeps
+	// them harmless.
+	var seed [4]byte
+	if _, err := rand.Read(seed[:]); err == nil {
+		c.nextXid = binary.LittleEndian.Uint32(seed[:])
+	}
 	go c.demux()
 	body := make([]byte, 0, 16)
 	body = appendU32(body, Magic)
@@ -294,21 +307,38 @@ func (c *Conn) Rename(fromDir fsapi.Handle, fromName string, toDir fsapi.Handle,
 	return err
 }
 
-// Readdir lists the names under a directory handle.
+// Readdir lists the names under a directory handle, following the
+// server's continuation cookie until the listing completes — each page
+// is one bounded reply frame, so arbitrarily large directories list
+// without ever exceeding MaxFrame.
 func (c *Conn) Readdir(h fsapi.Handle) ([]string, error) {
-	body := make([]byte, 0, 8)
-	body = AppendHandle(body, h)
-	rep, err := c.call(ProcReaddir, body)
-	if err != nil {
-		return nil, err
+	var names []string
+	cookie := uint32(0)
+	for {
+		body := make([]byte, 0, 12)
+		body = AppendHandle(body, h)
+		body = appendU32(body, cookie)
+		rep, err := c.call(ProcReaddir, body)
+		if err != nil {
+			return nil, err
+		}
+		d := NewDec(rep.body)
+		n := int(d.U32())
+		for i := 0; i < n && d.Err() == nil; i++ {
+			names = append(names, string(d.Name()))
+		}
+		next := d.U32()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if next == 0 {
+			return names, nil
+		}
+		if next <= cookie {
+			return nil, fmt.Errorf("%w: readdir cookie did not advance", fsapi.ErrIO)
+		}
+		cookie = next
 	}
-	d := NewDec(rep.body)
-	n := int(d.U32())
-	names := make([]string, 0, n)
-	for i := 0; i < n; i++ {
-		names = append(names, string(d.Name()))
-	}
-	return names, d.Err()
 }
 
 // Setattr truncates the file a handle names.

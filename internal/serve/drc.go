@@ -6,12 +6,21 @@
 //
 // Entries are keyed (clientID, xid) — the client id comes from the
 // connection's HELLO, so the cache survives the connection it was
-// filled on. An entry is born in-flight (first arrival claims it and
-// executes); a duplicate arriving before completion parks on the done
-// channel instead of re-executing, and a duplicate arriving after
-// completion replays the recorded reply frame verbatim (same xid, same
-// status, same body). Eviction is FIFO over completed entries, bounding
-// memory the way real NFS servers bound their DRC.
+// filled on. Because the key outlives connections while clients choose
+// xids, every entry also records a fingerprint of the request bytes
+// (proc + body): only an arrival with the SAME fingerprint is a
+// retransmission. A key hit with a different fingerprint is an xid
+// collision — a reconnected client reusing the xid space, or two
+// connections sharing a client id — and replaying the old verdict
+// would answer the wrong request, so the stale entry is superseded and
+// the new request executes.
+//
+// An entry is born in-flight (first arrival claims it and executes); a
+// duplicate arriving before completion parks on the done channel
+// instead of re-executing, and a duplicate arriving after completion
+// replays the recorded reply frame verbatim (same xid, same status,
+// same body). Eviction is FIFO over completed entries, bounding memory
+// the way real NFS servers bound their DRC.
 package serve
 
 import "sync"
@@ -22,8 +31,22 @@ type drcKey struct {
 }
 
 type drcEntry struct {
+	fp    uint64        // request fingerprint: proc + body bytes
 	done  chan struct{} // closed once reply is recorded
 	reply []byte        // complete reply frame, replayed verbatim
+}
+
+// reqFingerprint hashes a request's identity (proc + body, FNV-1a) so
+// the DRC can tell a true retransmission (identical bytes) from an xid
+// collision (a different request reusing the key after a reconnect).
+func reqFingerprint(p Proc, body []byte) uint64 {
+	h := uint64(14695981039346656037) ^ uint64(p)
+	h *= 1099511628211
+	for i := 0; i < len(body); i++ {
+		h ^= uint64(body[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 type drc struct {
@@ -40,13 +63,26 @@ func newDRC(capacity int) *drc {
 // claim looks the key up, inserting a fresh in-flight entry when it is
 // new. dup=false means the caller owns execution and must call record;
 // dup=true means the caller waits on entry.done and replays entry.reply.
-func (d *drc) claim(key drcKey) (entry *drcEntry, dup bool) {
+// A key hit whose fingerprint differs is NOT a duplicate: the old entry
+// is superseded and the caller executes the new request.
+func (d *drc) claim(key drcKey, fp uint64) (entry *drcEntry, dup bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if e, ok := d.entries[key]; ok {
-		return e, true
+		if e.fp == fp {
+			return e, true
+		}
+		// Different request bytes under the same key: drop the stale
+		// entry's FIFO slot (if completed) so eviction never deletes
+		// the replacement out from under a future retransmission.
+		for i, k := range d.fifo {
+			if k == key {
+				d.fifo = append(d.fifo[:i], d.fifo[i+1:]...)
+				break
+			}
+		}
 	}
-	e := &drcEntry{done: make(chan struct{})}
+	e := &drcEntry{fp: fp, done: make(chan struct{})}
 	d.entries[key] = e
 	return e, false
 }
@@ -56,11 +92,13 @@ func (d *drc) claim(key drcKey) (entry *drcEntry, dup bool) {
 func (d *drc) record(key drcKey, entry *drcEntry, frame []byte) {
 	entry.reply = append([]byte(nil), frame...)
 	d.mu.Lock()
-	d.fifo = append(d.fifo, key)
-	for len(d.fifo) > d.cap {
-		old := d.fifo[0]
-		d.fifo = d.fifo[1:]
-		delete(d.entries, old)
+	if d.entries[key] == entry { // not superseded while executing
+		d.fifo = append(d.fifo, key)
+		for len(d.fifo) > d.cap {
+			old := d.fifo[0]
+			d.fifo = d.fifo[1:]
+			delete(d.entries, old)
+		}
 	}
 	d.mu.Unlock()
 	close(entry.done)

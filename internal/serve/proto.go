@@ -166,8 +166,10 @@ func (st Status) Err() error {
 // Protocol limits and constants.
 const (
 	// Magic/ProtoVersion open every connection inside ProcHello.
+	// Version 2 added the READDIR continuation cookie (request carries
+	// a start index, replies end with a next-cookie, 0 = complete).
 	Magic        uint32 = 0x54524930 // "TRI0"
-	ProtoVersion uint16 = 1
+	ProtoVersion uint16 = 2
 
 	// MaxFrame bounds one frame's payload; large I/O must fit (the
 	// conformance suite streams 1 MiB files in 64 KiB chunks, the load
@@ -180,6 +182,13 @@ const (
 	// frameHeader is the non-body payload size: xid + op byte.
 	frameHeader = 5
 )
+
+// maxDirPayload caps the entry bytes one READDIR reply carries; bigger
+// directories continue under the reply's next-cookie. Well under
+// MaxFrame so a full page plus framing always fits. A variable, not a
+// const, so tests can shrink it to exercise pagination without minting
+// tens of thousands of entries.
+var maxDirPayload = 1 << 20
 
 // ErrBadFrame reports a malformed or oversized frame.
 var ErrBadFrame = errors.New("serve: malformed frame")

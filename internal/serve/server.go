@@ -47,6 +47,12 @@ type Options struct {
 	DRCSize int
 	// FileCache bounds each worker's open-file cache (default 16).
 	FileCache int
+	// HandleCap bounds the server-side handle→path table (default
+	// 65536 entries). The table is an LRU: a handle evicted under
+	// pressure answers ErrStale on its next use — the legitimate
+	// stateless-server verdict — instead of the table growing without
+	// bound on read-mostly workloads.
+	HandleCap int
 }
 
 func (o Options) withDefaults() Options {
@@ -61,6 +67,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FileCache <= 0 {
 		o.FileCache = 16
+	}
+	if o.HandleCap <= 0 {
+		o.HandleCap = 65536
 	}
 	return o
 }
@@ -90,19 +99,20 @@ type Server struct {
 func NewServer(fs fsapi.FS, opts Options) (*Server, error) {
 	c := fs.NewClient(0)
 	_, native := c.(fsapi.HandleClient)
+	o := opts.withDefaults()
 	s := &Server{
 		fs:    fs,
-		opts:  opts.withDefaults(),
-		tab:   newHandleTab(native),
-		drc:   nil,
+		opts:  o,
+		tab:   newHandleTab(native, o.HandleCap),
+		drc:   newDRC(o.DRCSize),
 		conns: make(map[*srvConn]struct{}),
 	}
-	s.drc = newDRC(s.opts.DRCSize)
 	info, err := c.Stat("/")
 	if err != nil {
 		return nil, fmt.Errorf("serve: stat root: %w", err)
 	}
 	s.root = s.tab.mint("/", info)
+	s.tab.pin(s.root)
 	s.rootAttr = AttrOf(info)
 	return s, nil
 }
@@ -244,6 +254,15 @@ func (c *srvConn) readLoop() error {
 			mBadFrame.Inc()
 			return fmt.Errorf("%w: request before HELLO", ErrBadFrame)
 		}
+		if Proc(fr.Op) >= procCount {
+			// Unknown proc: answer StatusBadProc here, never dispatch.
+			// The op byte is attacker-controlled and downstream paths
+			// index fixed-size per-proc tables with it.
+			mBadFrame.Inc()
+			reply := BeginFrame(getBuf(), fr.Xid, uint8(StatusBadProc))
+			c.replies <- EndFrame(reply, 0)
+			continue
+		}
 		c.sem <- struct{}{} // backpressure: cap in-flight
 		mInflight.Inc()
 		body := getBuf()
@@ -331,7 +350,7 @@ func (c *srvConn) handle(client fsapi.Client, fc *fileCache, id int, req request
 	var reply []byte
 	if nonIdempotent(req.proc) {
 		key := drcKey{client: c.clientID.Load(), xid: req.xid}
-		entry, dup := c.srv.drc.claim(key)
+		entry, dup := c.srv.drc.claim(key, reqFingerprint(req.proc, req.body))
 		if dup {
 			<-entry.done
 			mDRCHits.Inc()
@@ -613,14 +632,14 @@ func (c *srvConn) exec(client fsapi.Client, fc *fileCache, req request) []byte {
 			s.tab.forget(replaced)
 		}
 		if haveMoved {
-			s.tab.remap(moved, to)
+			s.tab.remap(moved, from, to)
 		}
 		s.epoch.Add(1)
 		buf = BeginFrame(buf, req.xid, uint8(StatusOK))
 		return ok()
 
 	case ProcReaddir:
-		h := d.Handle()
+		h, cookie := d.Handle(), int(d.U32())
 		if d.Err() != nil {
 			return errReply(buf, req.xid, fsapi.ErrInval)
 		}
@@ -632,11 +651,35 @@ func (c *srvConn) exec(client fsapi.Client, fc *fileCache, req request) []byte {
 		if err != nil {
 			return errReply(buf, req.xid, err)
 		}
+		// Page the listing: one reply carries at most maxDirPayload
+		// bytes of entries plus a continuation cookie (the index of the
+		// next unsent entry, 0 = listing complete). Without the cap a
+		// big directory would emit a frame past MaxFrame, which the
+		// peer rejects — tearing down the connection instead of
+		// listing. Index cookies give the usual weak READDIR guarantee:
+		// entries mutated between pages may be missed or repeated.
 		buf = BeginFrame(buf, req.xid, uint8(StatusOK))
-		buf = appendU32(buf, uint32(len(names)))
-		for _, n := range names {
-			buf = AppendString(buf, n)
+		cntPos := len(buf)
+		buf = appendU32(buf, 0)
+		limit := len(buf) + maxDirPayload
+		i := cookie
+		if i > len(names) {
+			i = len(names)
 		}
+		n := 0
+		for ; i < len(names); i++ {
+			if n > 0 && len(buf)+2+len(names[i]) > limit {
+				break
+			}
+			buf = AppendString(buf, names[i])
+			n++
+		}
+		binary.LittleEndian.PutUint32(buf[cntPos:], uint32(n))
+		next := uint32(0)
+		if i < len(names) {
+			next = uint32(i)
+		}
+		buf = appendU32(buf, next)
 		return ok()
 
 	case ProcSetattr:

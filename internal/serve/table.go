@@ -18,26 +18,58 @@
 //     or a renamed-away entry reads as fsapi.ErrStale, never as the
 //     wrong file — the same verdict ArckFS's dirent-slot verification
 //     produces natively.
+//
+// The table is a bounded LRU (Options.HandleCap): read-mostly
+// workloads mint an entry per LOOKUP and nothing but REMOVE/RMDIR of
+// the exact recorded path ever deletes one, so an unbounded map is a
+// slow leak on a long-lived server. Evicting the least-recently-used
+// entry is always legitimate — a stateless server may forget any
+// handle, and the owner re-LOOKUPs after the resulting ErrStale. The
+// root handle is pinned: evicting it would stale the whole namespace
+// for every client with no recovery path.
 package serve
 
 import (
+	"container/list"
 	"errors"
+	"strings"
 	"sync"
 
 	"trio/internal/fsapi"
 )
 
+// tabEntry is one recorded handle→path mapping, owned by the LRU list.
+type tabEntry struct {
+	key  uint64
+	path string
+}
+
 // handleTab maps packed handles to paths. See the package comment for
 // which handles are recorded in which regime.
 type handleTab struct {
 	native bool // FS clients implement fsapi.HandleClient
+	cap    int  // max recorded entries (LRU-evicted beyond)
 
-	mu    sync.RWMutex
-	paths map[uint64]string
+	mu     sync.Mutex
+	paths  map[uint64]*list.Element // packed handle → element in lru
+	lru    *list.List               // front = most recently used; holds *tabEntry
+	pinned uint64                   // the root's key; never evicted
 }
 
-func newHandleTab(native bool) *handleTab {
-	return &handleTab{native: native, paths: make(map[uint64]string)}
+func newHandleTab(native bool, capacity int) *handleTab {
+	return &handleTab{
+		native: native,
+		cap:    capacity,
+		paths:  make(map[uint64]*list.Element, 64),
+		lru:    list.New(),
+	}
+}
+
+// pin exempts a handle (the root) from eviction.
+func (t *handleTab) pin(h fsapi.Handle) {
+	t.mu.Lock()
+	t.pinned = h.Pack()
+	t.mu.Unlock()
 }
 
 // pathGen fingerprints a path into a non-zero 16-bit generation (FNV-1a
@@ -65,18 +97,45 @@ func (t *handleTab) mint(path string, info fsapi.FileInfo) fsapi.Handle {
 	}
 	if !t.native || info.IsDir {
 		t.mu.Lock()
-		t.paths[h.Pack()] = path
+		t.insertLocked(h.Pack(), path)
 		t.mu.Unlock()
 	}
 	return h
 }
 
-// path reports the recorded path for a handle.
+// insertLocked records (or refreshes) key→path and evicts past cap.
+func (t *handleTab) insertLocked(key uint64, path string) {
+	if el, ok := t.paths[key]; ok {
+		el.Value.(*tabEntry).path = path
+		t.lru.MoveToFront(el)
+		return
+	}
+	t.paths[key] = t.lru.PushFront(&tabEntry{key: key, path: path})
+	for t.lru.Len() > t.cap {
+		el := t.lru.Back()
+		if el.Value.(*tabEntry).key == t.pinned {
+			el = el.Prev()
+		}
+		if el == nil {
+			break
+		}
+		delete(t.paths, el.Value.(*tabEntry).key)
+		t.lru.Remove(el)
+	}
+}
+
+// path reports the recorded path for a handle, refreshing its LRU spot.
 func (t *handleTab) path(h fsapi.Handle) (string, bool) {
-	t.mu.RLock()
-	p, ok := t.paths[h.Pack()]
-	t.mu.RUnlock()
-	return p, ok
+	t.mu.Lock()
+	el, ok := t.paths[h.Pack()]
+	if !ok {
+		t.mu.Unlock()
+		return "", false
+	}
+	t.lru.MoveToFront(el)
+	p := el.Value.(*tabEntry).path
+	t.mu.Unlock()
+	return p, true
 }
 
 // dirPath resolves a handle that must name a directory, for namespace
@@ -94,17 +153,32 @@ func (t *handleTab) dirPath(h fsapi.Handle) (string, error) {
 // stale — the NFS semantics a stateless server is allowed.
 func (t *handleTab) forget(h fsapi.Handle) {
 	t.mu.Lock()
-	delete(t.paths, h.Pack())
+	if el, ok := t.paths[h.Pack()]; ok {
+		delete(t.paths, h.Pack())
+		t.lru.Remove(el)
+	}
 	t.mu.Unlock()
 }
 
-// remap re-points a recorded mapping after a successful RENAME: a
-// handle names an inode, so it must stay valid across a rename of the
-// inode's name (only the resolution path changes).
-func (t *handleTab) remap(h fsapi.Handle, path string) {
+// remap re-points recorded mappings after a successful RENAME of from →
+// to: a handle names an inode, so it must stay valid across a rename of
+// the inode's name (only the resolution path changes). A directory
+// rename moves everything beneath it, so every recorded path under
+// from/ is prefix-rewritten too — otherwise directory handles (and, in
+// fallback mode, file handles) below a renamed directory would answer
+// ErrStale on their next use.
+func (t *handleTab) remap(h fsapi.Handle, from, to string) {
+	prefix := from + "/"
 	t.mu.Lock()
-	if _, ok := t.paths[h.Pack()]; ok {
-		t.paths[h.Pack()] = path
+	if el, ok := t.paths[h.Pack()]; ok {
+		el.Value.(*tabEntry).path = to
+		t.lru.MoveToFront(el)
+	}
+	for el := t.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*tabEntry)
+		if strings.HasPrefix(e.path, prefix) {
+			e.path = to + e.path[len(from):]
+		}
 	}
 	t.mu.Unlock()
 }
