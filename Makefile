@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-go fuzz tenancy tiering smallops serve
+.PHONY: check build test race vet bench bench-go fuzz tenancy tiering smallops serve netchaos
 
 # The full gate: vet + build + tests + race detector + fuzz smoke.
 # CI runs this.
@@ -20,8 +20,8 @@ test:
 # front-end (pipelined connections, out-of-order workers) with its
 # multi-client load generator.
 race:
-	$(GO) test -race ./internal/fstest/... ./internal/libfs/... ./internal/telemetry/... ./internal/controller/... ./internal/tier/... ./internal/backend/... ./internal/ring/... ./internal/serve/...
-	$(GO) test -race -run '^TestNetLoad' ./internal/workload/
+	$(GO) test -race ./internal/fstest/... ./internal/libfs/... ./internal/telemetry/... ./internal/controller/... ./internal/tier/... ./internal/backend/... ./internal/ring/... ./internal/serve/... ./internal/netsim/...
+	$(GO) test -race -run '^TestNet' ./internal/workload/
 
 vet:
 	$(GO) vet ./...
@@ -78,6 +78,16 @@ smallops:
 # otherwise-idle machine — the pairs are wall-clock measurements.
 serve:
 	$(GO) run ./cmd/trio-bench -experiment serving -json BENCH_trio.json
+
+# Network-resilience experiment (ISSUE 10): a fleet of reconnecting
+# sessions appends unique records through fault-injected transports
+# (kills, partitions, truncated frames) while a chaos controller fires
+# faults mid-flight; the post-storm oracle audit is the gate — zero
+# acked-op loss, zero double-apply, availability >= 99%, acked p99
+# under the per-call deadline. Merged into the "netchaos" section of
+# BENCH_trio.json. See EXPERIMENTS.md "Network resilience".
+netchaos:
+	$(GO) run ./cmd/trio-bench -experiment netchaos -json BENCH_trio.json
 
 # The full Go benchmark suite: paper figures, ablations, and the
 # datapath families (testing.B form of the harness above).

@@ -228,6 +228,31 @@ func main() {
 			}
 			fmt.Println("\nserving gates passed")
 		}
+	} else if *experiment == "netchaos" {
+		// The network-resilience storm (ISSUE 10): reconnecting
+		// sessions through fault-injected transports, with the
+		// exactly-once oracle audit evaluated in-process and the report
+		// merged into the BENCH JSON next to the other sections.
+		p := experiments.Params{Quick: *quick, NoCost: *nocost}
+		var rep *experiments.NetChaosReport
+		rep, err = experiments.RunNetChaosSweep(os.Stdout, p)
+		if err == nil && *jsonPath != "" {
+			if werr := experiments.MergeNetChaosJSON(*jsonPath, rep); werr != nil {
+				err = werr
+			} else {
+				fmt.Printf("\nmerged netchaos report into %s\n", *jsonPath)
+			}
+		}
+		if err == nil {
+			if fails := experiments.CheckNetChaosGate(rep); len(fails) > 0 {
+				fmt.Fprintln(os.Stderr, "\nNETCHAOS GATE FAILURES:")
+				for _, f := range fails {
+					fmt.Fprintf(os.Stderr, "  %s\n", f)
+				}
+				os.Exit(1)
+			}
+			fmt.Println("\nnetchaos gates passed")
+		}
 	} else {
 		fn, ok := reg[*experiment]
 		if !ok {

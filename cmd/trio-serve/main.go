@@ -10,6 +10,8 @@
 //	trio-serve                         # arckfs on :7030
 //	trio-serve -addr :9000 -fs nova    # a baseline FS, same wire
 //	trio-serve -workers 8 -inflight 256
+//	trio-serve -server-inflight 512    # shed past this with BUSY
+//	trio-serve -drain-timeout 30s      # graceful-drain budget on signal
 //	trio-serve -telemetry              # print counter table on shutdown
 //
 // The protocol is stateless in the NFS sense: handles survive
@@ -19,12 +21,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"trio/internal/fsfactory"
 	"trio/internal/serve"
@@ -40,6 +44,10 @@ func main() {
 		cpus     = flag.Int("cpus", 8, "simulated CPU count (per-CPU journals/allocators)")
 		workers  = flag.Int("workers", 4, "handler goroutines per connection")
 		inflight = flag.Int("inflight", 64, "max in-flight requests per connection (backpressure cap)")
+		srvInfl  = flag.Int("server-inflight", 1024, "server-wide in-flight budget; excess requests are shed with BUSY")
+		rdTO     = flag.Duration("read-timeout", 0, "per-connection read deadline (0 = none); dead peers are shed")
+		wrTO     = flag.Duration("write-timeout", 0, "per-connection write deadline (0 = none)")
+		drainTO  = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain budget on SIGINT/SIGTERM before hard close")
 		cost     = flag.Bool("cost", false, "enable the NVM cost model (serve at modeled media speed)")
 		useTelem = flag.Bool("telemetry", false, "enable telemetry; print the counter table on shutdown")
 	)
@@ -62,8 +70,11 @@ func main() {
 	defer inst.Close()
 
 	srv, err := serve.NewServer(inst, serve.Options{
-		Workers:     *workers,
-		MaxInflight: *inflight,
+		Workers:        *workers,
+		MaxInflight:    *inflight,
+		ServerInflight: *srvInfl,
+		ReadTimeout:    *rdTO,
+		WriteTimeout:   *wrTO,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "server: %v\n", err)
@@ -80,17 +91,26 @@ func main() {
 	fmt.Printf("trio-serve: exporting %s on %s (root handle %#x, %d workers/conn, %d in flight)\n",
 		inst.Name(), ln.Addr(), root.Pack(), *workers, *inflight)
 
-	// Serve blocks until the listener closes; shut down cleanly on
-	// SIGINT/SIGTERM so deferred Close paths (and the telemetry table)
-	// still run.
+	// Serve blocks until the listener closes. Both SIGINT and SIGTERM
+	// route through the graceful drain: stop accepting, let every
+	// admitted request complete and flush its reply (new requests get
+	// BUSY meanwhile), then close. Past -drain-timeout the drain gives
+	// up and hard-closes, so a wedged peer cannot hold shutdown hostage.
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		fmt.Printf("trio-serve: %v, shutting down\n", s)
+		fmt.Printf("trio-serve: %v, draining (budget %v)\n", s, *drainTO)
 		ln.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "trio-serve: drain: %v (hard close)\n", err)
+		} else {
+			fmt.Println("trio-serve: drained")
+		}
+		cancel()
 		<-done
 	case err := <-done:
 		if err != nil {

@@ -56,6 +56,7 @@ type DataPathReport struct {
 	Tiering  *TieringReport   `json:"tiering,omitempty"`
 	SmallOps *SmallOpsReport  `json:"smallops,omitempty"`
 	Serving  *ServingReport   `json:"serving,omitempty"`
+	NetChaos *NetChaosReport  `json:"netchaos,omitempty"`
 }
 
 // dpathFile is the working-set size of the file data workloads.
@@ -532,6 +533,7 @@ func WriteDataPathJSON(path string, p Params, results []DataPathResult) error {
 		rep.Tiering = prev.Tiering   // the tiering experiment owns this one
 		rep.SmallOps = prev.SmallOps // the trust-boundary sweep owns this one
 		rep.Serving = prev.Serving   // the wire-serving experiment owns this one
+		rep.NetChaos = prev.NetChaos // the network-resilience storm owns this one
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

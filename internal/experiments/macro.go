@@ -203,6 +203,7 @@ func Registry() map[string]func(io.Writer, Params) error {
 		"tiering":   Tiering,
 		"smallops":  SmallOps,
 		"serving":   Serving,
+		"netchaos":  NetChaos,
 		"all":       All,
 	}
 }

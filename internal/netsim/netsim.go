@@ -1,0 +1,342 @@
+// Package netsim is the network analogue of internal/nvm's FaultPlan:
+// a deterministic, seedable fault-injection wrapper for stream
+// transports (ISSUE 10). It wraps any io.ReadWriteCloser — the
+// in-process loopback duplex or a real net.Conn — and injects the
+// failures a serving stack must survive:
+//
+//   - connection kills: the transport dies mid-conversation, with
+//     optional byte-level truncation of the frame being written (the
+//     peer sees a torn frame, the sharpest codec-resync test);
+//   - partitions: a silent black-hole — writes "succeed" and go
+//     nowhere, reads block until the partition heals or the
+//     connection is killed, exactly the shape of a dead switch port
+//     that TCP keepalive hasn't noticed yet;
+//   - latency: a base injected delay per transport op plus seeded
+//     jitter and periodic spikes (the overloaded-middlebox shape);
+//   - short reads / chunked writes: transfers are split at arbitrary
+//     byte boundaries so no code can assume one frame arrives in one
+//     Read — TCP never promised that, the loopback pipe accidentally
+//     did.
+//
+// All byte-level faults are scheduled by a per-connection RNG seeded
+// from Plan.Seed, so a failing chaos run replays. Kills and partitions
+// can also be driven externally (Kill/Partition/Heal) by a chaos
+// scheduler — that is how workload.RunNetChaos builds its seeded
+// kill/partition storms.
+//
+// The disabled path is free: Wrap with a nil or zero Plan returns a
+// wrapper whose Read/Write forward after one atomic load — zero
+// allocations on the serve codec path, gated by BenchmarkNetsimCodec
+// in check.sh — yet Kill/Partition still work, so a chaos schedule can
+// drive connections that have no per-op faults armed.
+package netsim
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrKilled reports an operation on a connection the fault plan (or the
+// chaos scheduler) has killed. It surfaces where the real network would
+// produce ECONNRESET.
+var ErrKilled = errors.New("netsim: connection killed")
+
+// Plan schedules byte-level faults for one wrapped connection. The zero
+// value injects nothing. A Plan is consumed by Wrap; one Plan value can
+// seed many connections (each Wrap derives its own RNG stream).
+type Plan struct {
+	// Seed makes the byte-level schedule reproducible. 0 means seed 1.
+	Seed int64
+
+	// ReadLatency/WriteLatency sleep before every underlying op;
+	// Jitter adds a uniform [0,Jitter) on top of each.
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+	Jitter       time.Duration
+
+	// SpikeEvery makes roughly every Nth transport op sleep Spike
+	// extra — the latency-spike fault. 0 disables spikes.
+	SpikeEvery int
+	Spike      time.Duration
+
+	// MaxChunk caps the bytes one underlying Read or Write moves, so
+	// transfers split at arbitrary boundaries (short reads, torn
+	// writes). 0 disables chunking.
+	MaxChunk int
+
+	// KillAfterOps kills the connection on roughly the Nth transport
+	// op (uniformly drawn from [KillAfterOps, 2*KillAfterOps)).
+	// 0 disables scheduled kills; Kill() always works.
+	KillAfterOps int
+
+	// TruncateOnKill writes a random prefix of the in-flight buffer
+	// before a scheduled kill lands on a Write — the peer receives a
+	// byte-level truncated frame, not a clean close.
+	TruncateOnKill bool
+}
+
+// active reports whether any per-op fault is armed (the slow path is
+// needed at all).
+func (p *Plan) active() bool {
+	if p == nil {
+		return false
+	}
+	return p.ReadLatency > 0 || p.WriteLatency > 0 || p.Jitter > 0 ||
+		p.SpikeEvery > 0 || p.MaxChunk > 0 || p.KillAfterOps > 0
+}
+
+// Conn wraps one transport with the plan's fault schedule. It is safe
+// for one concurrent reader plus one concurrent writer (the shape every
+// frame-demuxing protocol client has) and for Kill/Partition/Heal from
+// any goroutine.
+type Conn struct {
+	rw io.ReadWriteCloser
+
+	// fast is true while no per-op fault is armed AND the connection
+	// is neither partitioned nor killed: Read/Write forward directly
+	// after this one atomic load.
+	fast atomic.Bool
+
+	mu       sync.Mutex
+	plan     Plan
+	armed    bool // plan has per-op faults
+	rng      *rand.Rand
+	ops      int
+	killOp   int // ops value that triggers the scheduled kill; 0 = never
+	killed   bool
+	closed   bool
+	parted   bool
+	healCh   chan struct{} // non-nil while partitioned; closed by Heal
+	killCh   chan struct{} // closed by Kill/Close: unblocks partition waits
+	killOnce sync.Once
+
+	kills      atomic.Int64
+	partitions atomic.Int64
+}
+
+// Wrap returns rw behind the plan's fault schedule. A nil plan (or one
+// with no per-op faults) arms nothing: the wrapper forwards with zero
+// overhead beyond one atomic load, but Kill/Partition/Heal still work.
+func Wrap(rw io.ReadWriteCloser, p *Plan) *Conn {
+	c := &Conn{rw: rw, killCh: make(chan struct{})}
+	if p != nil {
+		c.plan = *p
+	}
+	c.armed = c.plan.active()
+	if c.armed {
+		seed := c.plan.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		c.rng = rand.New(rand.NewSource(seed))
+		if c.plan.KillAfterOps > 0 {
+			c.killOp = c.plan.KillAfterOps + c.rng.Intn(c.plan.KillAfterOps)
+		}
+	}
+	c.fast.Store(!c.armed)
+	return c
+}
+
+// Kill closes the underlying transport immediately: both directions
+// fail from here on, pending partition waits unblock. Idempotent.
+func (c *Conn) Kill() {
+	c.mu.Lock()
+	if !c.killed {
+		c.killed = true
+		c.kills.Add(1)
+	}
+	c.fast.Store(false)
+	c.mu.Unlock()
+	c.killOnce.Do(func() {
+		close(c.killCh)
+		c.rw.Close()
+	})
+}
+
+// Killed reports whether the connection was killed (scheduled or
+// explicit).
+func (c *Conn) Killed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.killed
+}
+
+// Partition black-holes the connection: writes swallow their bytes
+// silently, reads block until Heal or Kill. Idempotent while
+// partitioned.
+func (c *Conn) Partition() {
+	c.mu.Lock()
+	if !c.parted && !c.killed && !c.closed {
+		c.parted = true
+		c.healCh = make(chan struct{})
+		c.partitions.Add(1)
+		c.fast.Store(false)
+	}
+	c.mu.Unlock()
+}
+
+// Heal lifts a partition: blocked reads resume, writes flow again.
+// Bytes written during the partition are gone — the peer's next frame
+// read may land mid-frame, which is the point.
+func (c *Conn) Heal() {
+	c.mu.Lock()
+	if c.parted {
+		c.parted = false
+		close(c.healCh)
+		c.healCh = nil
+		c.fast.Store(!c.armed && !c.killed && !c.closed)
+	}
+	c.mu.Unlock()
+}
+
+// Stats reports how many kills and partitions this connection took.
+func (c *Conn) Stats() (kills, partitions int64) {
+	return c.kills.Load(), c.partitions.Load()
+}
+
+// Close implements io.Closer (a graceful local close, distinct from
+// Kill only in intent).
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.fast.Store(false)
+	c.mu.Unlock()
+	c.killOnce.Do(func() {
+		close(c.killCh)
+		c.rw.Close()
+	})
+	return nil
+}
+
+// Read implements io.Reader under the fault schedule.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.fast.Load() {
+		return c.rw.Read(p)
+	}
+	return c.slowRead(p)
+}
+
+// Write implements io.Writer under the fault schedule.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.fast.Load() {
+		return c.rw.Write(p)
+	}
+	return c.slowWrite(p)
+}
+
+// gate handles the common per-op prologue: partition wait, kill check,
+// op accounting, latency. It returns (delay, chunk, kill): how long to
+// sleep before the op, the byte cap for this op (0 = no cap), and
+// whether this op is the scheduled kill.
+func (c *Conn) gate(write bool) (delay time.Duration, chunk int, kill bool, err error) {
+	for {
+		c.mu.Lock()
+		if c.closed || c.killed {
+			c.mu.Unlock()
+			return 0, 0, false, ErrKilled
+		}
+		if c.parted {
+			if write {
+				// Silent black-hole: the write path swallows bytes
+				// without blocking, like a sender whose segments die
+				// on the wire while the socket buffer still drains.
+				c.mu.Unlock()
+				return 0, -1, false, nil
+			}
+			heal, kill := c.healCh, c.killCh
+			c.mu.Unlock()
+			select {
+			case <-heal:
+				continue
+			case <-kill:
+				return 0, 0, false, ErrKilled
+			}
+		}
+		if c.armed {
+			c.ops++
+			if c.plan.ReadLatency > 0 && !write {
+				delay += c.plan.ReadLatency
+			}
+			if c.plan.WriteLatency > 0 && write {
+				delay += c.plan.WriteLatency
+			}
+			if c.plan.Jitter > 0 {
+				delay += time.Duration(c.rng.Int63n(int64(c.plan.Jitter)))
+			}
+			if c.plan.SpikeEvery > 0 && c.rng.Intn(c.plan.SpikeEvery) == 0 {
+				delay += c.plan.Spike
+			}
+			if c.plan.MaxChunk > 0 {
+				chunk = 1 + c.rng.Intn(c.plan.MaxChunk)
+			}
+			if c.killOp > 0 && c.ops >= c.killOp {
+				kill = true
+			}
+		}
+		c.mu.Unlock()
+		return delay, chunk, kill, nil
+	}
+}
+
+func (c *Conn) slowRead(p []byte) (int, error) {
+	delay, chunk, kill, err := c.gate(false)
+	if err != nil {
+		return 0, err
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if kill {
+		c.Kill()
+		return 0, ErrKilled
+	}
+	if chunk > 0 && chunk < len(p) {
+		p = p[:chunk] // short read: the caller must loop, as with TCP
+	}
+	return c.rw.Read(p)
+}
+
+func (c *Conn) slowWrite(p []byte) (int, error) {
+	total := 0
+	for total < len(p) {
+		delay, chunk, kill, err := c.gate(true)
+		if err != nil {
+			return total, err
+		}
+		if chunk == -1 {
+			// Partitioned: swallow the rest silently.
+			return len(p), nil
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		b := p[total:]
+		if chunk > 0 && chunk < len(b) {
+			b = b[:chunk]
+		}
+		if kill {
+			if c.plan.TruncateOnKill && len(b) > 1 {
+				// Byte-level truncation mid-frame: deliver a random
+				// strict prefix, then die. The peer's framing layer
+				// must detect the tear, never act on it.
+				c.mu.Lock()
+				n := c.rng.Intn(len(b)-1) + 1
+				c.mu.Unlock()
+				w, _ := c.rw.Write(b[:n])
+				total += w
+			}
+			c.Kill()
+			return total, ErrKilled
+		}
+		n, err := c.rw.Write(b)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

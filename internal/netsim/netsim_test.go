@@ -1,0 +1,276 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"trio/internal/fsapi"
+	"trio/internal/serve"
+)
+
+// TestPassthrough: a disabled wrapper (nil plan) moves bytes unchanged
+// in both directions and Close behaves like the underlying transport.
+func TestPassthrough(t *testing.T) {
+	a, b := serve.NewDuplex(1 << 16)
+	ca, cb := Wrap(a, nil), Wrap(b, nil)
+
+	msg := bytes.Repeat([]byte("0123456789abcdef"), 100)
+	go func() { ca.Write(msg) }()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(cb, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("passthrough corrupted data")
+	}
+	ca.Close()
+	if _, err := cb.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read after peer close succeeded")
+	}
+}
+
+// TestShortReadsChunkedWrites: MaxChunk splits transfers at arbitrary
+// boundaries but a looping reader still reassembles the exact stream.
+func TestShortReadsChunkedWrites(t *testing.T) {
+	a, b := serve.NewDuplex(1 << 16)
+	plan := &Plan{Seed: 7, MaxChunk: 5}
+	ca, cb := Wrap(a, plan), Wrap(b, &Plan{Seed: 8, MaxChunk: 3})
+
+	msg := bytes.Repeat([]byte("chunky"), 500)
+	done := make(chan error, 1)
+	go func() {
+		_, err := ca.Write(msg)
+		done <- err
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(cb, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("chunked transfer corrupted data")
+	}
+}
+
+// TestScheduledKillDeterminism: the same seed kills on the same op; a
+// different seed (almost surely) on a different one. After the kill
+// both directions fail with ErrKilled.
+func TestScheduledKillDeterminism(t *testing.T) {
+	killOp := func(seed int64) int {
+		a, _ := serve.NewDuplex(1 << 16)
+		c := Wrap(a, &Plan{Seed: seed, KillAfterOps: 20})
+		ops := 0
+		for {
+			if _, err := c.Write([]byte("x")); err != nil {
+				if !errors.Is(err, ErrKilled) {
+					t.Fatalf("kill surfaced as %v", err)
+				}
+				break
+			}
+			ops++
+			if ops > 100 {
+				t.Fatal("scheduled kill never fired")
+			}
+		}
+		return ops
+	}
+	a1, a2, b1 := killOp(42), killOp(42), killOp(43)
+	if a1 != a2 {
+		t.Fatalf("same seed killed at ops %d and %d", a1, a2)
+	}
+	if a1 < 20 || a1 >= 40 {
+		t.Fatalf("kill at op %d, want within [20,40)", a1)
+	}
+	_ = b1 // different seed may coincide; only the bounds are contractual
+
+	// Explicit Kill unblocks and poisons a disabled wrapper too.
+	x, y := serve.NewDuplex(64)
+	cx, cy := Wrap(x, nil), Wrap(y, nil)
+	go func() {
+		time.Sleep(time.Millisecond)
+		cx.Kill()
+	}()
+	if _, err := cx.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read survived kill")
+	}
+	if _, err := cx.Write([]byte("z")); !errors.Is(err, ErrKilled) {
+		t.Fatalf("write after kill = %v, want ErrKilled", err)
+	}
+	if !cx.Killed() {
+		t.Fatal("Killed() false after Kill")
+	}
+	cy.Close()
+}
+
+// TestTruncationMidFrame: a TruncateOnKill write delivers a strict
+// prefix of the dying frame. The peer must see every earlier frame
+// intact and then a framing error or EOF — never a corrupted frame
+// that parses.
+func TestTruncationMidFrame(t *testing.T) {
+	a, b := serve.NewDuplex(1 << 16)
+	c := Wrap(a, &Plan{Seed: 11, KillAfterOps: 6, TruncateOnKill: true})
+
+	// Writer: small frames with a self-describing pattern.
+	go func() {
+		frame := make([]byte, 0, 64)
+		for i := 0; ; i++ {
+			f := serve.BeginFrame(frame[:0], uint32(i), 1)
+			f = append(f, bytes.Repeat([]byte{byte(i)}, 32)...)
+			f = serve.EndFrame(f, 0)
+			if _, err := c.Write(f); err != nil {
+				return
+			}
+		}
+	}()
+
+	var rbuf []byte
+	next := uint32(0)
+	for {
+		fr, nbuf, err := serve.ReadFrame(b, rbuf)
+		rbuf = nbuf
+		if err != nil {
+			// Torn tail: acceptable ends are EOF or a framing error.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, serve.ErrBadFrame) {
+				t.Fatalf("unexpected tail error: %v", err)
+			}
+			break
+		}
+		if fr.Xid != next {
+			t.Fatalf("frame %d arrived as xid %d", next, fr.Xid)
+		}
+		for _, by := range fr.Body {
+			if by != byte(next) {
+				t.Fatalf("frame %d body corrupted", next)
+			}
+		}
+		next++
+	}
+	if next == 0 {
+		t.Fatal("no frame survived before the kill")
+	}
+}
+
+// TestPartitionBlackhole: writes during a partition are swallowed,
+// reads block until Heal, and traffic after Heal flows again.
+func TestPartitionBlackhole(t *testing.T) {
+	a, b := serve.NewDuplex(1 << 16)
+	c := Wrap(a, nil)
+
+	c.Partition()
+	if n, err := c.Write([]byte("lost")); err != nil || n != 4 {
+		t.Fatalf("partitioned write = %d,%v; want silent success", n, err)
+	}
+
+	readDone := make(chan struct{})
+	go func() {
+		// This read starts during the partition and must park there —
+		// the select below proves it blocks. Once healed it delivers
+		// the peer's post-heal bytes.
+		buf := make([]byte, 8)
+		n, err := c.Read(buf)
+		if err != nil || string(buf[:n]) != "fresh" {
+			t.Errorf("post-heal read = %q, %v; want \"fresh\"", buf[:n], err)
+		}
+		close(readDone)
+	}()
+	select {
+	case <-readDone:
+		t.Fatal("read completed during partition")
+	case <-time.After(5 * time.Millisecond):
+	}
+
+	// Heal, then real traffic flows; the swallowed bytes never arrive.
+	c.Heal()
+	if _, err := b.Write([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	<-readDone
+
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	// The pipe preserves order, so the FIRST five bytes b sees must be
+	// "hello": had the partitioned write leaked, "lost" would precede.
+	got := make([]byte, 5)
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("post-heal stream %q; swallowed bytes leaked", got)
+	}
+
+	kills, parts := c.Stats()
+	if kills != 0 || parts != 1 {
+		t.Fatalf("stats kills=%d partitions=%d, want 0,1", kills, parts)
+	}
+	c.Close()
+	b.Close()
+}
+
+// TestLatencyInjection: armed latency delays ops without corrupting
+// them.
+func TestLatencyInjection(t *testing.T) {
+	a, b := serve.NewDuplex(1 << 16)
+	c := Wrap(a, &Plan{Seed: 3, WriteLatency: 2 * time.Millisecond})
+	start := time.Now()
+	if _, err := c.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 2*time.Millisecond {
+		t.Fatalf("write took %v, want >= 2ms injected latency", d)
+	}
+	got := make([]byte, 4)
+	if _, err := io.ReadFull(b, got); err != nil || string(got) != "slow" {
+		t.Fatalf("latency path corrupted data: %q %v", got, err)
+	}
+	c.Close()
+}
+
+// nullRWC replays one buffer for reads and discards writes — the
+// minimal transport under the codec benchmark.
+type nullRWC struct{ rd bytes.Reader }
+
+func (n *nullRWC) Read(p []byte) (int, error)  { return n.rd.Read(p) }
+func (n *nullRWC) Write(p []byte) (int, error) { return len(p), nil }
+func (n *nullRWC) Close() error                { return nil }
+
+// BenchmarkNetsimCodec is the check.sh gate for the satellite: the
+// DISABLED netsim wrapper must add zero allocations per op to the
+// serve codec path (encode one WRITE frame through the wrapper, read
+// it back through the wrapper, decode). The fault machinery may cost
+// whatever it needs once armed; while off it must be one atomic load.
+func BenchmarkNetsimCodec(b *testing.B) {
+	payload := bytes.Repeat([]byte{0x5A}, 4096)
+	under := &nullRWC{}
+	nc := Wrap(under, nil)
+	var frame, rbuf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame = serve.BeginFrame(frame[:0], uint32(i), 5)
+		frame = serve.AppendHandle(frame, fsapi.Handle{Ino: 42})
+		frame = serve.AppendBytes(frame, payload)
+		frame = serve.EndFrame(frame, 0)
+		if _, err := nc.Write(frame); err != nil {
+			b.Fatal(err)
+		}
+		under.rd.Reset(frame)
+		fr, nbuf, err := serve.ReadFrame(nc, rbuf)
+		rbuf = nbuf
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := serve.NewDec(fr.Body)
+		h := d.Handle()
+		data := d.Bytes()
+		if d.Err() != nil || h.Ino != 42 || len(data) != len(payload) {
+			b.Fatal("decode mismatch")
+		}
+	}
+	b.SetBytes(int64(len(payload)))
+}

@@ -72,11 +72,7 @@ func Dial(rw io.ReadWriteCloser, clientID uint64) (*Conn, error) {
 		c.nextXid = binary.LittleEndian.Uint32(seed[:])
 	}
 	go c.demux()
-	body := make([]byte, 0, 16)
-	body = appendU32(body, Magic)
-	body = appendU16(body, ProtoVersion)
-	body = appendU64(body, clientID)
-	rep, err := c.call(ProcHello, body)
+	rep, err := c.call(ProcHello, encHello(clientID))
 	if err != nil {
 		c.Close()
 		return nil, err
@@ -182,76 +178,47 @@ func (c *Conn) call(proc Proc, body []byte) (reply, error) {
 
 // Getattr stats a handle.
 func (c *Conn) Getattr(h fsapi.Handle) (Attr, error) {
-	body := make([]byte, 0, 8)
-	body = AppendHandle(body, h)
-	rep, err := c.call(ProcGetattr, body)
+	rep, err := c.call(ProcGetattr, encHandle(h))
 	if err != nil {
 		return Attr{}, err
 	}
-	d := NewDec(rep.body)
-	a := d.Attr()
-	return a, d.Err()
+	return decAttr(rep)
 }
 
 // Lookup resolves name under dir.
 func (c *Conn) Lookup(dir fsapi.Handle, name string) (fsapi.Handle, Attr, error) {
-	body := make([]byte, 0, 16+len(name))
-	body = AppendHandle(body, dir)
-	body = AppendString(body, name)
-	rep, err := c.call(ProcLookup, body)
+	rep, err := c.call(ProcLookup, encLookup(dir, name))
 	if err != nil {
 		return fsapi.Handle{}, Attr{}, err
 	}
-	d := NewDec(rep.body)
-	h, a := d.Handle(), d.Attr()
-	return h, a, d.Err()
+	return decHandleAttr(rep)
 }
 
 // Read reads up to n bytes at off into p (len(p) ≥ n).
 func (c *Conn) Read(h fsapi.Handle, off int64, p []byte) (int, error) {
-	body := make([]byte, 0, 24)
-	body = AppendHandle(body, h)
-	body = appendU64(body, uint64(off))
-	body = appendU32(body, uint32(len(p)))
-	rep, err := c.call(ProcRead, body)
+	rep, err := c.call(ProcRead, encRead(h, off, len(p)))
 	if err != nil {
 		return 0, err
 	}
-	d := NewDec(rep.body)
-	data := d.Bytes()
-	if d.Err() != nil {
-		return 0, d.Err()
-	}
-	return copy(p, data), nil
+	return decReadInto(rep, p)
 }
 
 // Write writes p at off.
 func (c *Conn) Write(h fsapi.Handle, off int64, p []byte) (int, error) {
-	body := make([]byte, 0, 24+len(p))
-	body = AppendHandle(body, h)
-	body = appendU64(body, uint64(off))
-	body = AppendBytes(body, p)
-	rep, err := c.call(ProcWrite, body)
+	rep, err := c.call(ProcWrite, encWrite(h, off, p))
 	if err != nil {
 		return 0, err
 	}
-	d := NewDec(rep.body)
-	n := int(d.U32())
-	return n, d.Err()
+	return decWrote(rep)
 }
 
 // Append appends p, returning the offset it landed at.
 func (c *Conn) Append(h fsapi.Handle, p []byte) (int64, error) {
-	body := make([]byte, 0, 16+len(p))
-	body = AppendHandle(body, h)
-	body = AppendBytes(body, p)
-	rep, err := c.call(ProcAppend, body)
+	rep, err := c.call(ProcAppend, encAppend(h, p))
 	if err != nil {
 		return 0, err
 	}
-	d := NewDec(rep.body)
-	at := int64(d.U64())
-	return at, d.Err()
+	return decAppendedAt(rep)
 }
 
 // Create creates (or truncates) name under dir.
@@ -265,17 +232,11 @@ func (c *Conn) Mkdir(dir fsapi.Handle, name string, mode uint16) (fsapi.Handle, 
 }
 
 func (c *Conn) makeNode(p Proc, dir fsapi.Handle, name string, mode uint16) (fsapi.Handle, Attr, error) {
-	body := make([]byte, 0, 16+len(name))
-	body = AppendHandle(body, dir)
-	body = appendU16(body, mode)
-	body = AppendString(body, name)
-	rep, err := c.call(p, body)
+	rep, err := c.call(p, encMakeNode(dir, mode, name))
 	if err != nil {
 		return fsapi.Handle{}, Attr{}, err
 	}
-	d := NewDec(rep.body)
-	h, a := d.Handle(), d.Attr()
-	return h, a, d.Err()
+	return decHandleAttr(rep)
 }
 
 // Remove unlinks a file name under dir.
@@ -289,21 +250,13 @@ func (c *Conn) Rmdir(dir fsapi.Handle, name string) error {
 }
 
 func (c *Conn) removeNode(p Proc, dir fsapi.Handle, name string) error {
-	body := make([]byte, 0, 16+len(name))
-	body = AppendHandle(body, dir)
-	body = AppendString(body, name)
-	_, err := c.call(p, body)
+	_, err := c.call(p, encRemoveNode(dir, name))
 	return err
 }
 
 // Rename moves fromName under fromDir to toName under toDir.
 func (c *Conn) Rename(fromDir fsapi.Handle, fromName string, toDir fsapi.Handle, toName string) error {
-	body := make([]byte, 0, 24+len(fromName)+len(toName))
-	body = AppendHandle(body, fromDir)
-	body = AppendHandle(body, toDir)
-	body = AppendString(body, fromName)
-	body = AppendString(body, toName)
-	_, err := c.call(ProcRename, body)
+	_, err := c.call(ProcRename, encRename(fromDir, toDir, fromName, toName))
 	return err
 }
 
@@ -312,49 +265,20 @@ func (c *Conn) Rename(fromDir fsapi.Handle, fromName string, toDir fsapi.Handle,
 // is one bounded reply frame, so arbitrarily large directories list
 // without ever exceeding MaxFrame.
 func (c *Conn) Readdir(h fsapi.Handle) ([]string, error) {
-	var names []string
-	cookie := uint32(0)
-	for {
-		body := make([]byte, 0, 12)
-		body = AppendHandle(body, h)
-		body = appendU32(body, cookie)
-		rep, err := c.call(ProcReaddir, body)
-		if err != nil {
-			return nil, err
-		}
-		d := NewDec(rep.body)
-		n := int(d.U32())
-		for i := 0; i < n && d.Err() == nil; i++ {
-			names = append(names, string(d.Name()))
-		}
-		next := d.U32()
-		if d.Err() != nil {
-			return nil, d.Err()
-		}
-		if next == 0 {
-			return names, nil
-		}
-		if next <= cookie {
-			return nil, fmt.Errorf("%w: readdir cookie did not advance", fsapi.ErrIO)
-		}
-		cookie = next
-	}
+	return readdirPages(h, func(body []byte) (reply, error) {
+		return c.call(ProcReaddir, body)
+	})
 }
 
 // Setattr truncates the file a handle names.
 func (c *Conn) Setattr(h fsapi.Handle, size int64) error {
-	body := make([]byte, 0, 16)
-	body = AppendHandle(body, h)
-	body = appendU64(body, uint64(size))
-	_, err := c.call(ProcSetattr, body)
+	_, err := c.call(ProcSetattr, encSetattr(h, size))
 	return err
 }
 
 // Commit syncs the file a handle names.
 func (c *Conn) Commit(h fsapi.Handle) error {
-	body := make([]byte, 0, 8)
-	body = AppendHandle(body, h)
-	_, err := c.call(ProcCommit, body)
+	_, err := c.call(ProcCommit, encHandle(h))
 	return err
 }
 

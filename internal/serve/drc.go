@@ -20,10 +20,16 @@
 // instead of re-executing, and a duplicate arriving after completion
 // replays the recorded reply frame verbatim (same xid, same status,
 // same body). Eviction is FIFO over completed entries, bounding memory
-// the way real NFS servers bound their DRC.
+// the way real NFS servers bound their DRC — and additionally by TTL:
+// a retransmission only arrives within a client's retry horizon, so a
+// verdict older than the TTL is dead weight a long-lived quiet client
+// would otherwise pin forever under the FIFO cap alone.
 package serve
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 type drcKey struct {
 	client uint64
@@ -34,6 +40,10 @@ type drcEntry struct {
 	fp    uint64        // request fingerprint: proc + body bytes
 	done  chan struct{} // closed once reply is recorded
 	reply []byte        // complete reply frame, replayed verbatim
+
+	// completedAt is set (under drc.mu) when the verdict is recorded;
+	// zero means still in flight. In-flight entries never expire.
+	completedAt time.Time
 }
 
 // reqFingerprint hashes a request's identity (proc + body, FNV-1a) so
@@ -52,12 +62,25 @@ func reqFingerprint(p Proc, body []byte) uint64 {
 type drc struct {
 	mu      sync.Mutex
 	cap     int
+	ttl     time.Duration    // completed entries older than this expire
+	now     func() time.Time // time.Now; swapped by tests
 	entries map[drcKey]*drcEntry
 	fifo    []drcKey // completed entries in completion order
 }
 
-func newDRC(capacity int) *drc {
-	return &drc{cap: capacity, entries: make(map[drcKey]*drcEntry, capacity)}
+func newDRC(capacity int, ttl time.Duration) *drc {
+	return &drc{
+		cap:     capacity,
+		ttl:     ttl,
+		now:     time.Now,
+		entries: make(map[drcKey]*drcEntry, capacity),
+	}
+}
+
+// expired reports whether a COMPLETED entry's verdict is past the TTL.
+// Caller holds d.mu.
+func (d *drc) expired(e *drcEntry, now time.Time) bool {
+	return d.ttl > 0 && !e.completedAt.IsZero() && now.Sub(e.completedAt) > d.ttl
 }
 
 // claim looks the key up, inserting a fresh in-flight entry when it is
@@ -69,12 +92,14 @@ func (d *drc) claim(key drcKey, fp uint64) (entry *drcEntry, dup bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if e, ok := d.entries[key]; ok {
-		if e.fp == fp {
+		if e.fp == fp && !d.expired(e, d.now()) {
 			return e, true
 		}
-		// Different request bytes under the same key: drop the stale
-		// entry's FIFO slot (if completed) so eviction never deletes
-		// the replacement out from under a future retransmission.
+		// Either different request bytes under the same key (an xid
+		// collision) or a verdict past its TTL (no live retransmission
+		// can still want it): drop the stale entry's FIFO slot (if
+		// completed) so eviction never deletes the replacement out from
+		// under a future retransmission, then re-execute.
 		for i, k := range d.fifo {
 			if k == key {
 				d.fifo = append(d.fifo[:i], d.fifo[i+1:]...)
@@ -92,10 +117,27 @@ func (d *drc) claim(key drcKey, fp uint64) (entry *drcEntry, dup bool) {
 func (d *drc) record(key drcKey, entry *drcEntry, frame []byte) {
 	entry.reply = append([]byte(nil), frame...)
 	d.mu.Lock()
+	now := d.now()
+	entry.completedAt = now
 	if d.entries[key] == entry { // not superseded while executing
 		d.fifo = append(d.fifo, key)
 		for len(d.fifo) > d.cap {
 			old := d.fifo[0]
+			d.fifo = d.fifo[1:]
+			delete(d.entries, old)
+		}
+		// Opportunistic TTL purge from the FIFO head: completion order
+		// is completion time order, so expired verdicts cluster there.
+		for len(d.fifo) > 0 {
+			old := d.fifo[0]
+			e, ok := d.entries[old]
+			if !ok {
+				d.fifo = d.fifo[1:]
+				continue
+			}
+			if !d.expired(e, now) {
+				break
+			}
 			d.fifo = d.fifo[1:]
 			delete(d.entries, old)
 		}

@@ -15,12 +15,18 @@ package serve
 import (
 	"fmt"
 	"io"
+	"math/rand"
+	"os"
 	"sync"
+	"time"
 
 	"trio/internal/fsapi"
 )
 
-// pipeBuf is one direction: a bounded ring with blocking read/write.
+// pipeBuf is one direction: a bounded ring with blocking read/write,
+// optional delivery latency (applied on the read side, so it shapes a
+// slow reader the way a saturated downlink does), and per-endpoint
+// deadlines in the net.Conn style.
 type pipeBuf struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -28,6 +34,16 @@ type pipeBuf struct {
 	r, w   int // read/write cursors; n tracks occupancy
 	n      int
 	closed bool
+
+	// lat+jitter delay every read's delivery; rng is guarded by mu.
+	lat    time.Duration
+	jitter time.Duration
+	rng    *rand.Rand
+
+	// rdl/wdl fail blocked reads/writes past the deadline (zero = none).
+	// The timers broadcast the cond so parked waiters re-check.
+	rdl, wdl       time.Time
+	rTimer, wTimer *time.Timer
 }
 
 func newPipeBuf(capacity int) *pipeBuf {
@@ -36,13 +52,69 @@ func newPipeBuf(capacity int) *pipeBuf {
 	return p
 }
 
+func expired(dl time.Time) bool {
+	return !dl.IsZero() && !time.Now().Before(dl)
+}
+
+// armDeadline re-points one of the wakeup timers; caller holds p.mu.
+func (p *pipeBuf) armDeadline(t *time.Timer, dl time.Time) *time.Timer {
+	if t != nil {
+		t.Stop()
+	}
+	if dl.IsZero() {
+		return nil
+	}
+	d := time.Until(dl)
+	if d < 0 {
+		d = 0
+	}
+	return time.AfterFunc(d, func() {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
+}
+
+func (p *pipeBuf) setReadDeadline(dl time.Time) {
+	p.mu.Lock()
+	p.rdl = dl
+	p.rTimer = p.armDeadline(p.rTimer, dl)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func (p *pipeBuf) setWriteDeadline(dl time.Time) {
+	p.mu.Lock()
+	p.wdl = dl
+	p.wTimer = p.armDeadline(p.wTimer, dl)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// delay computes this read's injected delivery latency.
+func (p *pipeBuf) delay() time.Duration {
+	if p.lat == 0 && p.jitter == 0 {
+		return 0
+	}
+	p.mu.Lock()
+	d := p.lat
+	if p.jitter > 0 {
+		d += time.Duration(p.rng.Int63n(int64(p.jitter)))
+	}
+	p.mu.Unlock()
+	return d
+}
+
 func (p *pipeBuf) write(b []byte) (int, error) {
 	total := 0
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for total < len(b) {
-		for p.n == len(p.buf) && !p.closed {
+		for p.n == len(p.buf) && !p.closed && !expired(p.wdl) {
 			p.cond.Wait()
+		}
+		if p.n == len(p.buf) && expired(p.wdl) {
+			return total, os.ErrDeadlineExceeded
 		}
 		if p.closed {
 			return total, fmt.Errorf("%w: loopback pipe closed", io.ErrClosedPipe)
@@ -66,10 +138,16 @@ func (p *pipeBuf) write(b []byte) (int, error) {
 }
 
 func (p *pipeBuf) read(b []byte) (int, error) {
+	if d := p.delay(); d > 0 {
+		time.Sleep(d)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for p.n == 0 && !p.closed {
+	for p.n == 0 && !p.closed && !expired(p.rdl) {
 		p.cond.Wait()
+	}
+	if p.n == 0 && expired(p.rdl) && !p.closed {
+		return 0, os.ErrDeadlineExceeded
 	}
 	if p.n == 0 {
 		return 0, io.EOF
@@ -107,6 +185,13 @@ type half struct {
 func (h *half) Read(b []byte) (int, error)  { return h.rd.read(b) }
 func (h *half) Write(b []byte) (int, error) { return h.wr.write(b) }
 
+// SetReadDeadline/SetWriteDeadline give the loopback the net.Conn
+// deadline surface the server's dead-peer shedding probes for. A
+// deadline only fails an op that would BLOCK past it; buffered data
+// still delivers.
+func (h *half) SetReadDeadline(t time.Time) error  { h.rd.setReadDeadline(t); return nil }
+func (h *half) SetWriteDeadline(t time.Time) error { h.wr.setWriteDeadline(t); return nil }
+
 // Close tears down both directions: the peer's pending reads drain then
 // EOF, its writes fail.
 func (h *half) Close() error {
@@ -118,8 +203,45 @@ func (h *half) Close() error {
 // NewDuplex returns two connected endpoints, each direction buffering
 // up to capacity bytes.
 func NewDuplex(capacity int) (a, b io.ReadWriteCloser) {
-	ab := newPipeBuf(capacity)
-	ba := newPipeBuf(capacity)
+	return NewDuplexOpts(DuplexOptions{Capacity: capacity})
+}
+
+// DuplexOptions shapes a loopback duplex beyond the default
+// perfect-pipe behavior (ISSUE 10: exercise slow-reader paths).
+type DuplexOptions struct {
+	// Capacity is the per-direction ring size (default loopbackBuf).
+	Capacity int
+	// ABLatency delays delivery of a→b traffic (applied per read on
+	// the b endpoint); BALatency the reverse direction.
+	ABLatency time.Duration
+	BALatency time.Duration
+	// Jitter adds uniform [0,Jitter) to each delayed read, both
+	// directions. Requires a latency to be set on the direction.
+	Jitter time.Duration
+	// Seed makes jitter reproducible. 0 means 1.
+	Seed int64
+}
+
+// NewDuplexOpts is NewDuplex with per-direction delivery latency and
+// jitter — the slow-reader harness netsim's tests and the reply-writer
+// batching coverage share.
+func NewDuplexOpts(o DuplexOptions) (a, b io.ReadWriteCloser) {
+	if o.Capacity <= 0 {
+		o.Capacity = loopbackBuf
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	ab := newPipeBuf(o.Capacity)
+	ba := newPipeBuf(o.Capacity)
+	if o.ABLatency > 0 || o.Jitter > 0 {
+		ab.lat, ab.jitter = o.ABLatency, o.Jitter
+		ab.rng = rand.New(rand.NewSource(o.Seed))
+	}
+	if o.BALatency > 0 || o.Jitter > 0 {
+		ba.lat, ba.jitter = o.BALatency, o.Jitter
+		ba.rng = rand.New(rand.NewSource(o.Seed + 1))
+	}
 	return &half{rd: ba, wr: ab}, &half{rd: ab, wr: ba}
 }
 

@@ -101,7 +101,36 @@ const (
 	StatusCorrupt
 	StatusStale
 	StatusBadProc
+	// StatusBusy is overload shedding: the server's in-flight budget
+	// is exhausted (or it is draining) and the request was NOT
+	// executed. Always safe to retry after a backoff — the verdict is
+	// issued before dispatch and never recorded in the DRC.
+	StatusBusy
 )
+
+// ErrBusy is StatusBusy's client-side form: the server shed the
+// request before executing it. Retry after a backoff (Session does
+// this automatically).
+var ErrBusy = errors.New("serve: server busy (request shed, retry)")
+
+// ErrDeadline reports a per-call deadline that expired while the
+// request was in flight. The request MAY have executed server-side;
+// retrying it through the same Session with the same xid is safe (the
+// duplicate-request cache deduplicates), re-issuing it as a NEW call
+// may double-apply non-idempotent operations.
+var ErrDeadline = errors.New("serve: call deadline exceeded")
+
+// ErrSessionClosed reports a call issued against (or failed by) a
+// closed or broken-for-good Session.
+var ErrSessionClosed = errors.New("serve: session closed")
+
+// Retryable reports whether an error is a transient serving failure
+// the caller may retry: overload shedding, an expired call deadline,
+// or a torn transport. Application verdicts (ErrNotExist, ErrExist,
+// ...) are never retryable.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrBusy) || errors.Is(err, ErrDeadline)
+}
 
 // statusErrs maps each non-OK status to its canonical fsapi error, so
 // errors.Is works identically on both sides of the wire.
@@ -117,6 +146,7 @@ var statusErrs = map[Status]error{
 	StatusIO:       fsapi.ErrIO,
 	StatusCorrupt:  fsapi.ErrCorrupt,
 	StatusStale:    fsapi.ErrStale,
+	StatusBusy:     ErrBusy,
 }
 
 // StatusOf classifies an fsapi error for the wire. Unrecognized errors
@@ -146,6 +176,8 @@ func StatusOf(err error) Status {
 		return StatusNoSpace
 	case errors.Is(err, fsapi.ErrCorrupt):
 		return StatusCorrupt
+	case errors.Is(err, ErrBusy):
+		return StatusBusy
 	default:
 		return StatusIO
 	}

@@ -1,0 +1,152 @@
+// Typed-RPC encode/decode helpers shared by the two client flavors:
+// Conn (one transport, fails on disconnect) and Session (persistent,
+// reconnecting). Keeping the wire shapes here means a retransmitted
+// Session request is byte-identical to the original — which is exactly
+// what the server's duplicate-request cache fingerprints.
+package serve
+
+import (
+	"fmt"
+
+	"trio/internal/fsapi"
+)
+
+// ---------------------------------------------------------------------
+// request bodies
+// ---------------------------------------------------------------------
+
+func encHello(clientID uint64) []byte {
+	body := make([]byte, 0, 16)
+	body = appendU32(body, Magic)
+	body = appendU16(body, ProtoVersion)
+	return appendU64(body, clientID)
+}
+
+func encHandle(h fsapi.Handle) []byte {
+	return AppendHandle(make([]byte, 0, 8), h)
+}
+
+func encLookup(dir fsapi.Handle, name string) []byte {
+	body := make([]byte, 0, 16+len(name))
+	body = AppendHandle(body, dir)
+	return AppendString(body, name)
+}
+
+func encRead(h fsapi.Handle, off int64, n int) []byte {
+	body := make([]byte, 0, 24)
+	body = AppendHandle(body, h)
+	body = appendU64(body, uint64(off))
+	return appendU32(body, uint32(n))
+}
+
+func encWrite(h fsapi.Handle, off int64, p []byte) []byte {
+	body := make([]byte, 0, 24+len(p))
+	body = AppendHandle(body, h)
+	body = appendU64(body, uint64(off))
+	return AppendBytes(body, p)
+}
+
+func encAppend(h fsapi.Handle, p []byte) []byte {
+	body := make([]byte, 0, 16+len(p))
+	body = AppendHandle(body, h)
+	return AppendBytes(body, p)
+}
+
+func encMakeNode(dir fsapi.Handle, mode uint16, name string) []byte {
+	body := make([]byte, 0, 16+len(name))
+	body = AppendHandle(body, dir)
+	body = appendU16(body, mode)
+	return AppendString(body, name)
+}
+
+func encRemoveNode(dir fsapi.Handle, name string) []byte {
+	body := make([]byte, 0, 16+len(name))
+	body = AppendHandle(body, dir)
+	return AppendString(body, name)
+}
+
+func encRename(fromDir, toDir fsapi.Handle, fromName, toName string) []byte {
+	body := make([]byte, 0, 24+len(fromName)+len(toName))
+	body = AppendHandle(body, fromDir)
+	body = AppendHandle(body, toDir)
+	body = AppendString(body, fromName)
+	return AppendString(body, toName)
+}
+
+func encReaddir(h fsapi.Handle, cookie uint32) []byte {
+	body := make([]byte, 0, 12)
+	body = AppendHandle(body, h)
+	return appendU32(body, cookie)
+}
+
+func encSetattr(h fsapi.Handle, size int64) []byte {
+	body := make([]byte, 0, 16)
+	body = AppendHandle(body, h)
+	return appendU64(body, uint64(size))
+}
+
+// ---------------------------------------------------------------------
+// reply bodies
+// ---------------------------------------------------------------------
+
+func decAttr(rep reply) (Attr, error) {
+	d := NewDec(rep.body)
+	a := d.Attr()
+	return a, d.Err()
+}
+
+func decHandleAttr(rep reply) (fsapi.Handle, Attr, error) {
+	d := NewDec(rep.body)
+	h, a := d.Handle(), d.Attr()
+	return h, a, d.Err()
+}
+
+func decReadInto(rep reply, p []byte) (int, error) {
+	d := NewDec(rep.body)
+	data := d.Bytes()
+	if err := d.Err(); err != nil {
+		return 0, err
+	}
+	return copy(p, data), nil
+}
+
+func decWrote(rep reply) (int, error) {
+	d := NewDec(rep.body)
+	n := int(d.U32())
+	return n, d.Err()
+}
+
+func decAppendedAt(rep reply) (int64, error) {
+	d := NewDec(rep.body)
+	at := int64(d.U64())
+	return at, d.Err()
+}
+
+// readdirPages follows the server's continuation cookie until the
+// listing completes; page issues one READDIR for the given cookie.
+func readdirPages(h fsapi.Handle, page func(body []byte) (reply, error)) ([]string, error) {
+	var names []string
+	cookie := uint32(0)
+	for {
+		rep, err := page(encReaddir(h, cookie))
+		if err != nil {
+			return nil, err
+		}
+		d := NewDec(rep.body)
+		n := int(d.U32())
+		for i := 0; i < n && d.Err() == nil; i++ {
+			names = append(names, string(d.Name()))
+		}
+		next := d.U32()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if next == 0 {
+			return names, nil
+		}
+		if next <= cookie {
+			return nil, fmt.Errorf("%w: readdir cookie did not advance", fsapi.ErrIO)
+		}
+		cookie = next
+	}
+}

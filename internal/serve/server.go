@@ -21,6 +21,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -53,6 +54,25 @@ type Options struct {
 	// stateless-server verdict — instead of the table growing without
 	// bound on read-mostly workloads.
 	HandleCap int
+	// ServerInflight caps admitted-but-unreplied requests across ALL
+	// connections (default 1024). Past it the server sheds new
+	// requests with StatusBusy instead of queueing without bound — one
+	// flooding tenant degrades into client-side backoff, not server
+	// collapse. Shedding happens in the reader, before the DRC and
+	// before dispatch, so a Busy verdict is never cached and a same-xid
+	// retry is always safe.
+	ServerInflight int
+	// DRCTTL expires duplicate-request-cache verdicts by age (default
+	// 2 minutes) in addition to the DRCSize FIFO cap, so a long-lived
+	// quiet client cannot pin stale verdicts. It must comfortably
+	// exceed any client's retry horizon.
+	DRCTTL time.Duration
+	// ReadTimeout/WriteTimeout, when positive and the transport
+	// supports deadlines (net.Conn, the loopback duplex), bound each
+	// frame read / reply batch write so a dead peer is shed instead of
+	// holding a connection's goroutines forever. Default 0 = off.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -70,6 +90,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.HandleCap <= 0 {
 		o.HandleCap = 65536
+	}
+	if o.ServerInflight <= 0 {
+		o.ServerInflight = 1024
+	}
+	if o.DRCTTL <= 0 {
+		o.DRCTTL = 2 * time.Minute
 	}
 	return o
 }
@@ -89,10 +115,29 @@ type Server struct {
 	// cpuSeq spreads worker fsapi.Clients across CPU hints.
 	cpuSeq atomic.Int64
 
+	// inflight is the server-wide admitted-request count; admission
+	// control sheds with StatusBusy past opts.ServerInflight.
+	inflight atomic.Int64
+	// draining: no new connections, no new requests (Busy), in-flight
+	// work completes and flushes. Set by Drain.
+	draining atomic.Bool
+
 	mu     sync.Mutex
 	conns  map[*srvConn]struct{}
 	closed bool
 }
+
+// admit claims one slot of the server-wide in-flight budget; callers
+// that get false must shed the request with StatusBusy.
+func (s *Server) admit() bool {
+	if s.inflight.Add(1) > int64(s.opts.ServerInflight) {
+		s.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+func (s *Server) release() { s.inflight.Add(-1) }
 
 // NewServer mounts a protocol server over fs. It probes fs for native
 // handle support (fsapi.HandleClient) and mints the root handle.
@@ -104,7 +149,7 @@ func NewServer(fs fsapi.FS, opts Options) (*Server, error) {
 		fs:    fs,
 		opts:  o,
 		tab:   newHandleTab(native, o.HandleCap),
-		drc:   newDRC(o.DRCSize),
+		drc:   newDRC(o.DRCSize, o.DRCTTL),
 		conns: make(map[*srvConn]struct{}),
 	}
 	info, err := c.Stat("/")
@@ -147,6 +192,46 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// Drain shuts the server down gracefully: stop accepting connections,
+// shed NEW requests with StatusBusy, let every admitted request
+// complete and its reply reach the transport, then Close. The ctx
+// bounds how long to wait; on expiry the remaining connections are
+// torn down hard and ctx's error is returned.
+//
+// Acked-durability contract: any mutation whose reply was written
+// before Drain returns is durable and will never be re-executed —
+// draining never cancels work the server already accepted.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	for {
+		if s.quiesced() {
+			return s.Close()
+		}
+		select {
+		case <-ctx.Done():
+			s.Close()
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// quiesced reports whether every admitted request has completed AND its
+// reply has been handed to the transport.
+func (s *Server) quiesced() bool {
+	if s.inflight.Load() != 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		if c.unflushed.Load() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // ---------------------------------------------------------------------
 // per-connection machinery
 // ---------------------------------------------------------------------
@@ -169,9 +254,25 @@ type srvConn struct {
 	reqs    chan request
 	replies chan []byte // complete reply frames (pooled buffers)
 
+	// unflushed counts replies enqueued but not yet handed to the
+	// transport; Drain waits for it to reach zero so an acked mutation's
+	// reply is actually on the wire before the server goes away.
+	unflushed atomic.Int64
+
+	// rd/wd are the transport's deadline hooks, nil when it has none.
+	rd interface{ SetReadDeadline(time.Time) error }
+	wd interface{ SetWriteDeadline(time.Time) error }
+
 	workerWG sync.WaitGroup
 	writerWG sync.WaitGroup
 	closer   sync.Once
+}
+
+// sendReply enqueues one complete reply frame, keeping the unflushed
+// count Drain polls in step. Every reply path must come through here.
+func (c *srvConn) sendReply(frame []byte) {
+	c.unflushed.Add(1)
+	c.replies <- frame
 }
 
 // bufPool recycles request bodies and reply frames.
@@ -184,7 +285,7 @@ func putBuf(b []byte) { bufPool.Put(&b) }
 // shared by the TCP accept loop and the in-process loopback transport.
 func (s *Server) ServeConn(rw io.ReadWriteCloser) error {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining.Load() {
 		s.mu.Unlock()
 		rw.Close()
 		return errors.New("serve: server closed")
@@ -195,6 +296,12 @@ func (s *Server) ServeConn(rw io.ReadWriteCloser) error {
 		sem:     make(chan struct{}, s.opts.MaxInflight),
 		reqs:    make(chan request, s.opts.MaxInflight),
 		replies: make(chan []byte, s.opts.MaxInflight+1),
+	}
+	if s.opts.ReadTimeout > 0 {
+		c.rd, _ = rw.(interface{ SetReadDeadline(time.Time) error })
+	}
+	if s.opts.WriteTimeout > 0 {
+		c.wd, _ = rw.(interface{ SetWriteDeadline(time.Time) error })
 	}
 	s.conns[c] = struct{}{}
 	s.mu.Unlock()
@@ -231,6 +338,9 @@ func (c *srvConn) closeTransport() {
 func (c *srvConn) readLoop() error {
 	var buf []byte
 	for {
+		if c.rd != nil {
+			c.rd.SetReadDeadline(time.Now().Add(c.srv.opts.ReadTimeout))
+		}
 		fr, nbuf, err := ReadFrame(c.rw, buf)
 		buf = nbuf
 		if err != nil {
@@ -260,7 +370,17 @@ func (c *srvConn) readLoop() error {
 			// index fixed-size per-proc tables with it.
 			mBadFrame.Inc()
 			reply := BeginFrame(getBuf(), fr.Xid, uint8(StatusBadProc))
-			c.replies <- EndFrame(reply, 0)
+			c.sendReply(EndFrame(reply, 0))
+			continue
+		}
+		if c.srv.draining.Load() || !c.srv.admit() {
+			// Overload shedding / drain. This verdict is issued BEFORE
+			// the DRC claim and before dispatch: the request did not
+			// execute and nothing was cached, so a same-xid retry after
+			// the client's backoff is always safe.
+			mShed.Inc()
+			reply := BeginFrame(getBuf(), fr.Xid, uint8(StatusBusy))
+			c.sendReply(EndFrame(reply, 0))
 			continue
 		}
 		c.sem <- struct{}{} // backpressure: cap in-flight
@@ -279,16 +399,14 @@ func (c *srvConn) hello(fr Frame) error {
 	reply := getBuf()
 	if d.Err() != nil || magic != Magic || ver != ProtoVersion || id == 0 {
 		reply = BeginFrame(reply, fr.Xid, uint8(StatusInval))
-		reply = EndFrame(reply, 0)
-		c.replies <- reply
+		c.sendReply(EndFrame(reply, 0))
 		return fmt.Errorf("%w: bad HELLO", ErrBadFrame)
 	}
 	c.clientID.Store(id)
 	reply = BeginFrame(reply, fr.Xid, uint8(StatusOK))
 	reply = AppendHandle(reply, c.srv.root)
 	reply = AppendAttr(reply, c.srv.rootAttr)
-	reply = EndFrame(reply, 0)
-	c.replies <- reply
+	c.sendReply(EndFrame(reply, 0))
 	mRPCs.Inc()
 	mProcs[ProcHello].Inc()
 	return nil
@@ -318,6 +436,9 @@ func (c *srvConn) writeLoop() {
 			}
 		}
 		if !broken {
+			if c.wd != nil {
+				c.wd.SetWriteDeadline(time.Now().Add(c.srv.opts.WriteTimeout))
+			}
 			if _, err := c.rw.Write(out); err != nil {
 				broken = true
 				c.closeTransport() // unblocks the reader; keep draining
@@ -326,6 +447,9 @@ func (c *srvConn) writeLoop() {
 				mReplyFrames.Add(n)
 			}
 		}
+		// Flushed (or unflushable: the peer is gone and these replies
+		// can never be delivered — Drain must not wait on a dead conn).
+		c.unflushed.Add(-n)
 	}
 }
 
@@ -363,8 +487,9 @@ func (c *srvConn) handle(client fsapi.Client, fc *fileCache, id int, req request
 		reply = c.exec(client, fc, req)
 	}
 	putBuf(req.body)
-	c.replies <- reply
+	c.sendReply(reply)
 	<-c.sem
+	c.srv.release()
 	mInflight.Add(-1)
 	mRPCs.IncOn(id)
 	mProcs[req.proc].IncOn(id)

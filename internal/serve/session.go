@@ -1,0 +1,675 @@
+// Session: the reconnecting client (ISSUE 10).
+//
+// Conn fails permanently when its transport dies. Session wraps the
+// same pipelined call machinery around a redial function and survives:
+// when the transport breaks it redials with capped exponential backoff
+// plus jitter, re-runs the HELLO handshake, and retransmits every
+// in-flight request with its ORIGINAL xid. The server's duplicate-
+// request cache is keyed (clientID, xid) and outlives connections, so
+// a retransmitted mutation either replays the cached reply or executes
+// for the first time — never twice. That is the exactly-once contract
+// workload.RunNetChaos proves under fault storms.
+//
+// Two failure shapes need different handling and get different errors:
+//
+//   - a dead transport (read/write error): invisible to callers — the
+//     call stays pending across the reconnect and is retransmitted;
+//   - a silent transport (partition black-hole): detected only by the
+//     per-call deadline. The call fails fast with ErrDeadline — the
+//     request MAY have executed server-side, so only a same-xid retry
+//     is safe and the Session does NOT retry it (a fresh call would
+//     risk a double apply; the caller decides). The deadline also marks
+//     the transport suspect and force-closes it, which is what turns an
+//     undetectable partition into an ordinary reconnect.
+//
+// StatusBusy replies are retried internally with backoff and the same
+// xid: the server sheds load before executing or recording anything,
+// so the retry cannot double-apply.
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trio/internal/fsapi"
+)
+
+// Redial produces a fresh transport to the same server. It is called
+// once per connection attempt; returning an error counts against the
+// session's redial budget.
+type Redial func() (io.ReadWriteCloser, error)
+
+// SessionOptions configures a Session. The zero value of every field
+// except ClientID gets a sane default.
+type SessionOptions struct {
+	// ClientID keys the server's duplicate-request cache and MUST be
+	// non-zero and stable across reconnects of this logical client.
+	ClientID uint64
+
+	// CallTimeout bounds calls whose context carries no deadline, and
+	// bounds the HELLO exchange during reconnect (a partition during
+	// the handshake would otherwise hang the connect loop forever).
+	// Default 30s.
+	CallTimeout time.Duration
+
+	// BackoffBase/BackoffMax shape the exponential backoff between
+	// redial attempts and before Busy retries: base<<n capped at max,
+	// plus uniform jitter of up to half the delay. Defaults 1ms/250ms.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// RedialBudget is the number of CONSECUTIVE failed connection
+	// attempts after which the session breaks permanently. Default 64.
+	RedialBudget int
+
+	// Seed makes backoff jitter reproducible in tests. 0 means 1.
+	Seed int64
+}
+
+func (o SessionOptions) withDefaults() SessionOptions {
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 30 * time.Second
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 250 * time.Millisecond
+	}
+	if o.RedialBudget <= 0 {
+		o.RedialBudget = 64
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// SessionStats counts the resilience machinery's activations.
+type SessionStats struct {
+	Reconnects  int64 // successful re-handshakes after the first
+	Retransmits int64 // in-flight requests resent with original xids
+	BusyRetries int64 // StatusBusy replies retried after backoff
+	Deadlines   int64 // calls failed by their context deadline
+}
+
+// scall is one in-flight session call. body is the Session's own copy:
+// retransmission happens after the caller's buffer may have been
+// reused, and the bytes must be identical for the DRC fingerprint.
+type scall struct {
+	proc Proc
+	body []byte
+	ch   chan reply // buffered 1; closed only on terminal session death
+}
+
+// Session is a persistent, reconnecting client connection. All methods
+// are safe for concurrent use; any number of goroutines share the one
+// transport with many requests in flight, exactly like Conn.
+type Session struct {
+	redial Redial
+	opts   SessionOptions
+
+	wmu sync.Mutex // serializes frame writes on the current transport
+
+	mu         sync.Mutex
+	nextXid    uint32
+	pending    map[uint32]*scall
+	cur        io.ReadWriteCloser // nil while disconnected
+	gen        int                // transport generation; bumps per install
+	connecting bool               // a connectLoop goroutine is running
+	closed     bool
+	broken     error // terminal failure; fails all future calls
+	root       fsapi.Handle
+	rootAttr   Attr
+	rng        *mrand.Rand // jitter; guarded by mu
+
+	closeCh chan struct{} // closed by Close: interrupts backoff sleeps
+
+	reconnects  atomic.Int64
+	retransmits atomic.Int64
+	busyRetries atomic.Int64
+	deadlines   atomic.Int64
+}
+
+// NewSession connects eagerly (so Root is immediately valid) and
+// returns a session that survives transport failures from then on. The
+// initial connect uses the same backoff and redial budget as any
+// reconnect; if the budget is exhausted NewSession fails.
+func NewSession(redial Redial, o SessionOptions) (*Session, error) {
+	if o.ClientID == 0 {
+		return nil, fmt.Errorf("%w: zero client id", fsapi.ErrInval)
+	}
+	o = o.withDefaults()
+	s := &Session{
+		redial:     redial,
+		opts:       o,
+		pending:    make(map[uint32]*scall),
+		connecting: true,
+		rng:        mrand.New(mrand.NewSource(o.Seed)),
+		closeCh:    make(chan struct{}),
+	}
+	// Random xid seed, same rationale as Dial: the DRC outlives
+	// sessions, so fresh sessions of a reused clientID must not collide
+	// xids with their predecessor's cached verdicts.
+	var seed [4]byte
+	if _, err := rand.Read(seed[:]); err == nil {
+		s.nextXid = binary.LittleEndian.Uint32(seed[:])
+	}
+	s.connectLoop()
+	s.mu.Lock()
+	err := s.broken
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Root reports the root handle from the most recent handshake.
+func (s *Session) Root() fsapi.Handle {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.root
+}
+
+// Stats snapshots the resilience counters.
+func (s *Session) Stats() SessionStats {
+	return SessionStats{
+		Reconnects:  s.reconnects.Load(),
+		Retransmits: s.retransmits.Load(),
+		BusyRetries: s.busyRetries.Load(),
+		Deadlines:   s.deadlines.Load(),
+	}
+}
+
+// Close tears the session down. In-flight calls fail with
+// ErrSessionClosed; no reconnect is attempted.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	rw := s.cur
+	s.cur = nil
+	for xid, sc := range s.pending {
+		delete(s.pending, xid)
+		close(sc.ch)
+	}
+	s.mu.Unlock()
+	close(s.closeCh)
+	if rw != nil {
+		rw.Close()
+	}
+	return nil
+}
+
+// terminalErr reports why the session can no longer carry calls.
+func (s *Session) terminalErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken != nil {
+		return s.broken
+	}
+	return ErrSessionClosed
+}
+
+// fail breaks the session permanently (redial budget exhausted).
+func (s *Session) fail(err error) {
+	s.mu.Lock()
+	if s.broken == nil && !s.closed {
+		s.broken = err
+	}
+	for xid, sc := range s.pending {
+		delete(s.pending, xid)
+		close(sc.ch)
+	}
+	s.connecting = false
+	s.mu.Unlock()
+}
+
+// backoffDelay is base<<(attempt) capped at max, plus uniform jitter of
+// up to half the delay so a thundering herd of reconnecting clients
+// decorrelates.
+func (s *Session) backoffDelay(attempt int) time.Duration {
+	d := s.opts.BackoffBase
+	for i := 0; i < attempt && d < s.opts.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > s.opts.BackoffMax {
+		d = s.opts.BackoffMax
+	}
+	s.mu.Lock()
+	j := time.Duration(s.rng.Int63n(int64(d)/2 + 1))
+	s.mu.Unlock()
+	return d + j
+}
+
+// sleep waits for d, Close, or ctx (nil ctx = only Close interrupts).
+// It reports false when the wait was interrupted.
+func (s *Session) sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-t.C:
+		return true
+	case <-s.closeCh:
+		return false
+	case <-done:
+		return false
+	}
+}
+
+// suspect force-closes the current transport so the demux error path
+// runs a reconnect. Used when a deadline fires: a partitioned transport
+// produces no read error on its own, and without this every later call
+// would hang on the same black hole.
+func (s *Session) suspect() {
+	s.mu.Lock()
+	rw := s.cur
+	if rw == nil || s.connecting || s.closed || s.broken != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.cur = nil
+	s.connecting = true
+	s.mu.Unlock()
+	rw.Close()
+	go s.connectLoop()
+}
+
+// transportBroken runs when gen's demux dies. Stale generations are
+// ignored; the live one triggers a reconnect.
+func (s *Session) transportBroken(gen int) {
+	s.mu.Lock()
+	if s.closed || s.broken != nil || gen != s.gen || s.cur == nil {
+		s.mu.Unlock()
+		return
+	}
+	rw := s.cur
+	s.cur = nil
+	s.connecting = true
+	s.mu.Unlock()
+	rw.Close()
+	go s.connectLoop()
+}
+
+// connectLoop dials until a handshake succeeds or the budget runs out,
+// then installs the transport and retransmits everything pending. The
+// install (gen bump, cur swap, pending snapshot) is one critical
+// section, and call() registers+captures cur in one critical section,
+// so every pending call is EITHER in the snapshot (retransmitted here)
+// OR saw the new cur and sends itself — never neither, never both.
+func (s *Session) connectLoop() {
+	fails := 0
+	var lastErr error
+	for {
+		s.mu.Lock()
+		if s.closed || s.broken != nil {
+			s.connecting = false
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+
+		rw, err := s.redial()
+		if err == nil {
+			var root fsapi.Handle
+			var rattr Attr
+			root, rattr, err = s.hello(rw)
+			if err == nil {
+				s.mu.Lock()
+				if s.closed || s.broken != nil {
+					s.connecting = false
+					s.mu.Unlock()
+					rw.Close()
+					return
+				}
+				s.gen++
+				gen := s.gen
+				s.cur = rw
+				s.root, s.rootAttr = root, rattr
+				s.connecting = false
+				type retx struct {
+					xid  uint32
+					proc Proc
+					body []byte
+				}
+				snap := make([]retx, 0, len(s.pending))
+				for xid, sc := range s.pending {
+					snap = append(snap, retx{xid, sc.proc, sc.body})
+				}
+				s.mu.Unlock()
+				if gen > 1 {
+					s.reconnects.Add(1)
+				}
+				go s.demux(rw, gen)
+				for _, r := range snap {
+					if s.send(rw, r.xid, r.proc, r.body) != nil {
+						break // demux's error path reconnects and re-snapshots
+					}
+					s.retransmits.Add(1)
+				}
+				return
+			}
+			rw.Close()
+		}
+		lastErr = err
+		fails++
+		if fails >= s.opts.RedialBudget {
+			s.fail(fmt.Errorf("%w: session redial budget exhausted: %v", fsapi.ErrIO, lastErr))
+			return
+		}
+		if !s.sleep(nil, s.backoffDelay(fails-1)) {
+			s.mu.Lock()
+			s.connecting = false
+			s.mu.Unlock()
+			return
+		}
+	}
+}
+
+// hello runs the handshake synchronously on a transport no demux owns
+// yet. CallTimeout bounds it by force-closing the transport: a
+// partition striking mid-handshake must not wedge the connect loop.
+func (s *Session) hello(rw io.ReadWriteCloser) (fsapi.Handle, Attr, error) {
+	s.mu.Lock()
+	s.nextXid++
+	xid := s.nextXid
+	s.mu.Unlock()
+
+	timer := time.AfterFunc(s.opts.CallTimeout, func() { rw.Close() })
+	defer timer.Stop()
+
+	frame := getBuf()
+	frame = BeginFrame(frame, xid, uint8(ProcHello))
+	frame = append(frame, encHello(s.opts.ClientID)...)
+	frame = EndFrame(frame, 0)
+	_, werr := rw.Write(frame)
+	putBuf(frame)
+	if werr != nil {
+		return fsapi.Handle{}, Attr{}, fmt.Errorf("%w: hello write: %v", fsapi.ErrIO, werr)
+	}
+	fr, _, err := ReadFrame(rw, nil)
+	if err != nil {
+		return fsapi.Handle{}, Attr{}, fmt.Errorf("%w: hello read: %v", fsapi.ErrIO, err)
+	}
+	if fr.Xid != xid {
+		return fsapi.Handle{}, Attr{}, fmt.Errorf("%w: hello reply xid mismatch", fsapi.ErrIO)
+	}
+	if st := Status(fr.Op); st != StatusOK {
+		return fsapi.Handle{}, Attr{}, st.Err()
+	}
+	d := NewDec(fr.Body)
+	h, a := d.Handle(), d.Attr()
+	return h, a, d.Err()
+}
+
+// send writes one request frame. Errors are deliberately soft: a failed
+// write means the transport is dying, and the demux error path will
+// reconnect and retransmit the still-pending call.
+func (s *Session) send(rw io.ReadWriteCloser, xid uint32, proc Proc, body []byte) error {
+	frame := getBuf()
+	frame = BeginFrame(frame, xid, uint8(proc))
+	frame = append(frame, body...)
+	frame = EndFrame(frame, 0)
+	s.wmu.Lock()
+	_, err := rw.Write(frame)
+	s.wmu.Unlock()
+	putBuf(frame)
+	return err
+}
+
+// demux reads reply frames from one transport generation and completes
+// the matching pending calls. Deleting from pending BEFORE delivering
+// guarantees at most one delivery per registration, so the buffered
+// channel send never blocks.
+func (s *Session) demux(rw io.ReadWriteCloser, gen int) {
+	var buf []byte
+	for {
+		fr, nbuf, err := ReadFrame(rw, buf)
+		buf = nbuf
+		if err != nil {
+			s.transportBroken(gen)
+			return
+		}
+		s.mu.Lock()
+		sc, ok := s.pending[fr.Xid]
+		if ok {
+			delete(s.pending, fr.Xid)
+		}
+		s.mu.Unlock()
+		if !ok {
+			continue // late reply for an abandoned or superseded call
+		}
+		sc.ch <- reply{status: Status(fr.Op), body: append([]byte(nil), fr.Body...)}
+	}
+}
+
+// call runs one request to completion across any number of transports.
+func (s *Session) call(ctx context.Context, proc Proc, body []byte) (reply, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if _, has := ctx.Deadline(); !has {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.CallTimeout)
+		defer cancel()
+	}
+	sc := &scall{proc: proc, body: append([]byte(nil), body...), ch: make(chan reply, 1)}
+
+	s.mu.Lock()
+	if err := s.deadLocked(); err != nil {
+		s.mu.Unlock()
+		return reply{}, err
+	}
+	s.nextXid++
+	xid := s.nextXid
+	s.mu.Unlock()
+
+	for attempt := 0; ; attempt++ {
+		// Register and capture the transport atomically (see
+		// connectLoop for why this pairing matters).
+		s.mu.Lock()
+		if err := s.deadLocked(); err != nil {
+			s.mu.Unlock()
+			return reply{}, err
+		}
+		s.pending[xid] = sc
+		rw := s.cur
+		s.mu.Unlock()
+
+		if rw != nil {
+			// A write error is ignored on purpose: the call stays
+			// pending and the reconnect retransmits it.
+			_ = s.send(rw, xid, proc, sc.body)
+		}
+
+		select {
+		case rep, ok := <-sc.ch:
+			if !ok {
+				return reply{}, s.terminalErr()
+			}
+			if rep.status == StatusBusy {
+				// Shed before execution, never cached: a same-xid
+				// retry after backoff is always safe.
+				s.busyRetries.Add(1)
+				if !s.sleep(ctx, s.backoffDelay(attempt)) {
+					select {
+					case <-s.closeCh:
+						return reply{}, s.terminalErr()
+					default:
+					}
+					// Deadline during Busy backoff: the server's last
+					// verdict was "not executed", so surface Busy (the
+					// caller knows the op definitely did not apply).
+					return reply{}, fmt.Errorf("%w: %v", ErrBusy, ctx.Err())
+				}
+				continue
+			}
+			if rep.status != StatusOK {
+				return reply{}, rep.status.Err()
+			}
+			return rep, nil
+
+		case <-ctx.Done():
+			s.deadlines.Add(1)
+			s.mu.Lock()
+			_, still := s.pending[xid]
+			if still {
+				delete(s.pending, xid)
+			}
+			s.mu.Unlock()
+			if !still {
+				// The reply beat the deadline by a hair: demux already
+				// removed us, the buffered send is in flight. Take it.
+				if rep, ok := <-sc.ch; ok {
+					if rep.status == StatusOK {
+						return rep, nil
+					}
+					if rep.status != StatusBusy {
+						return reply{}, rep.status.Err()
+					}
+					// Busy at the deadline: definitely not applied.
+					return reply{}, fmt.Errorf("%w: %v", ErrBusy, ctx.Err())
+				}
+				return reply{}, s.terminalErr()
+			}
+			// The request may have executed server-side; only a
+			// same-xid retransmit would be safe, and the caller's
+			// deadline said stop. Suspect the transport so a silent
+			// partition turns into a reconnect instead of wedging
+			// every subsequent call.
+			s.suspect()
+			return reply{}, fmt.Errorf("%w (proc %d)", ErrDeadline, proc)
+		}
+	}
+}
+
+// deadLocked reports the terminal error, if any. Caller holds s.mu.
+func (s *Session) deadLocked() error {
+	if s.broken != nil {
+		return s.broken
+	}
+	if s.closed {
+		return ErrSessionClosed
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// typed RPCs (context-aware mirrors of Conn's)
+// ---------------------------------------------------------------------
+
+// Getattr stats a handle.
+func (s *Session) Getattr(ctx context.Context, h fsapi.Handle) (Attr, error) {
+	rep, err := s.call(ctx, ProcGetattr, encHandle(h))
+	if err != nil {
+		return Attr{}, err
+	}
+	return decAttr(rep)
+}
+
+// Lookup resolves name under dir.
+func (s *Session) Lookup(ctx context.Context, dir fsapi.Handle, name string) (fsapi.Handle, Attr, error) {
+	rep, err := s.call(ctx, ProcLookup, encLookup(dir, name))
+	if err != nil {
+		return fsapi.Handle{}, Attr{}, err
+	}
+	return decHandleAttr(rep)
+}
+
+// Read reads up to len(p) bytes at off into p.
+func (s *Session) Read(ctx context.Context, h fsapi.Handle, off int64, p []byte) (int, error) {
+	rep, err := s.call(ctx, ProcRead, encRead(h, off, len(p)))
+	if err != nil {
+		return 0, err
+	}
+	return decReadInto(rep, p)
+}
+
+// Write writes p at off.
+func (s *Session) Write(ctx context.Context, h fsapi.Handle, off int64, p []byte) (int, error) {
+	rep, err := s.call(ctx, ProcWrite, encWrite(h, off, p))
+	if err != nil {
+		return 0, err
+	}
+	return decWrote(rep)
+}
+
+// Append appends p, returning the offset it landed at.
+func (s *Session) Append(ctx context.Context, h fsapi.Handle, p []byte) (int64, error) {
+	rep, err := s.call(ctx, ProcAppend, encAppend(h, p))
+	if err != nil {
+		return 0, err
+	}
+	return decAppendedAt(rep)
+}
+
+// Create creates (or truncates) name under dir.
+func (s *Session) Create(ctx context.Context, dir fsapi.Handle, name string, mode uint16) (fsapi.Handle, Attr, error) {
+	rep, err := s.call(ctx, ProcCreate, encMakeNode(dir, mode, name))
+	if err != nil {
+		return fsapi.Handle{}, Attr{}, err
+	}
+	return decHandleAttr(rep)
+}
+
+// Mkdir creates a directory under dir.
+func (s *Session) Mkdir(ctx context.Context, dir fsapi.Handle, name string, mode uint16) (fsapi.Handle, Attr, error) {
+	rep, err := s.call(ctx, ProcMkdir, encMakeNode(dir, mode, name))
+	if err != nil {
+		return fsapi.Handle{}, Attr{}, err
+	}
+	return decHandleAttr(rep)
+}
+
+// Remove unlinks a file name under dir.
+func (s *Session) Remove(ctx context.Context, dir fsapi.Handle, name string) error {
+	_, err := s.call(ctx, ProcRemove, encRemoveNode(dir, name))
+	return err
+}
+
+// Rmdir removes an empty directory name under dir.
+func (s *Session) Rmdir(ctx context.Context, dir fsapi.Handle, name string) error {
+	_, err := s.call(ctx, ProcRmdir, encRemoveNode(dir, name))
+	return err
+}
+
+// Rename moves fromName under fromDir to toName under toDir.
+func (s *Session) Rename(ctx context.Context, fromDir fsapi.Handle, fromName string, toDir fsapi.Handle, toName string) error {
+	_, err := s.call(ctx, ProcRename, encRename(fromDir, toDir, fromName, toName))
+	return err
+}
+
+// Readdir lists the names under a directory handle, paging on the
+// server's continuation cookie.
+func (s *Session) Readdir(ctx context.Context, h fsapi.Handle) ([]string, error) {
+	return readdirPages(h, func(body []byte) (reply, error) {
+		return s.call(ctx, ProcReaddir, body)
+	})
+}
+
+// Setattr truncates the file a handle names.
+func (s *Session) Setattr(ctx context.Context, h fsapi.Handle, size int64) error {
+	_, err := s.call(ctx, ProcSetattr, encSetattr(h, size))
+	return err
+}
+
+// Commit syncs the file a handle names.
+func (s *Session) Commit(ctx context.Context, h fsapi.Handle) error {
+	_, err := s.call(ctx, ProcCommit, encHandle(h))
+	return err
+}

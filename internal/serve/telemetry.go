@@ -37,6 +37,10 @@ var (
 	mDRCHits  = telemetry.Default().NewCounter("serve.drc_hits")
 	mStale    = telemetry.Default().NewCounter("serve.stale")
 	mBadFrame = telemetry.Default().NewCounter("serve.bad_frames")
+
+	// mShed counts requests answered StatusBusy by admission control or
+	// drain — the overload-shedding gauge (ISSUE 10).
+	mShed = telemetry.Default().NewCounter("serve.shed")
 )
 
 func init() {

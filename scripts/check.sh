@@ -45,6 +45,12 @@
 #      -quick runs shrunken serial-vs-pipelined pairs with the cost
 #      model on; its in-process gate (pipelined speedup floor at
 #      depth 8) exits nonzero on violation.
+#  12. a netchaos smoke: a netsim wrapper with no fault plan must add
+#      0 allocs/op to the codec path, and trio-bench -experiment
+#      netchaos -quick runs a shrunken fault storm (kills, partitions,
+#      truncated frames against reconnecting sessions); its in-process
+#      gates (zero acked-op loss, zero double-apply, availability
+#      floor) exit nonzero on violation.
 #
 # Any failure stops the run with a non-zero exit.
 set -eu
@@ -61,10 +67,11 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrency-bearing packages)"
-go test -race ./internal/fstest/... ./internal/libfs/... ./internal/telemetry/... ./internal/controller/... ./internal/tier/... ./internal/backend/... ./internal/ring/... ./internal/serve/...
+go test -race ./internal/fstest/... ./internal/libfs/... ./internal/telemetry/... ./internal/controller/... ./internal/tier/... ./internal/backend/... ./internal/ring/... ./internal/serve/... ./internal/netsim/...
 # The workload package's tenancy sweeps are too heavy for the race
-# detector's ~20x slowdown; race just the netload generator it added.
-go test -race -run '^TestNetLoad' ./internal/workload/
+# detector's ~20x slowdown; race just the network generators it added
+# (the netload fleet and the netchaos fault storm).
+go test -race -run '^TestNet' ./internal/workload/
 
 echo "== fuzz smoke (verifier adversarial targets, 10s each)"
 go test -run='^$' -fuzz='^FuzzVerifyRegular$' -fuzztime=10s ./internal/verifier/
@@ -138,5 +145,21 @@ fi
 # experiments.CheckServingGate): pipelined throughput below the quick
 # speedup floor over serial RPC prints the violation and exits 1.
 go run ./cmd/trio-bench -experiment serving -quick > /dev/null
+
+echo "== netchaos smoke (disabled-faults wrapper allocs; exactly-once storm gate)"
+# A netsim wrapper with no fault plan must be invisible: the codec
+# round trip through it has to stay at 0 allocs/op, or every transport
+# that keeps the wrapper for later fault injection pays on every RPC.
+netsim_allocs=$(go test -run='^$' -bench='^BenchmarkNetsimCodec' -benchtime=100x -benchmem ./internal/netsim/ \
+	| awk '/^BenchmarkNetsimCodec/ { n++; if ($(NF-1) + 0 != 0) bad = 1 } END { if (n == 0) bad = 1; print bad + 0 }')
+if [ "$netsim_allocs" != "0" ]; then
+	echo "FAIL: disabled netsim wrapper allocates on the codec path (see benchmarks above)" >&2
+	exit 1
+fi
+# The quick storm's gates live in trio-bench itself (see
+# experiments.CheckNetChaosGate): acked-op loss, double-apply,
+# unexplained bytes, missing faults, or an availability collapse
+# prints the violations and exits 1.
+go run ./cmd/trio-bench -experiment netchaos -quick > /dev/null
 
 echo "== all checks passed"
